@@ -1,0 +1,516 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) on the TM2 emulator, plus Bechamel micro-benchmarks of
+   the compiler itself (one Test.make per table/figure family).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe fig4       # one artefact
+     dune exec bench/main.exe fig4 tab3  # several
+
+   Artefacts: fig4 fig5 tab1 tab2 fig6 fig7 tab3 tab4 bechamel.
+   Absolute numbers differ from the paper (different substrate, scaled
+   inputs — see DESIGN.md §7); the comparisons and shapes are the result. *)
+
+module P = Wario.Pipeline
+module E = Wario_emulator
+module Report = Wario.Report
+module W = Wario_workloads.Programs
+
+let benchmarks = W.all
+
+let instrumented_envs =
+  [ P.Ratchet; P.R_pdg; P.Epilog_opt; P.Write_cluster; P.Loop_cluster;
+    P.Wario; P.Wario_expander ]
+
+(* ------------------------------------------------------------------ *)
+(* Cached compile+run                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { compiled : P.compiled; run : E.Emulator.result }
+
+let cache : (string * string, entry) Hashtbl.t = Hashtbl.create 64
+
+let get ?(unroll = 8) (b : W.benchmark) (env : P.environment) : entry =
+  let key = (b.name, P.environment_name env ^ "@" ^ string_of_int unroll) in
+  match Hashtbl.find_opt cache key with
+  | Some e -> e
+  | None ->
+      let opts = { P.default_options with unroll_factor = unroll } in
+      let compiled = P.compile ~opts env b.source in
+      let run = E.Emulator.run ~verify:(env <> P.Plain) compiled.P.image in
+      (match run.E.Emulator.violations with
+      | _ :: _ when env <> P.Plain ->
+          Printf.eprintf "*** %s [%s]: %d WAR violations!\n" b.name
+            (P.environment_name env)
+            (List.length run.E.Emulator.violations)
+      | _ -> ());
+      let e = { compiled; run } in
+      Hashtbl.replace cache key e;
+      e
+
+let norm_time b env =
+  let plain = (get b P.Plain).run.E.Emulator.cycles in
+  float_of_int (get b env).run.E.Emulator.cycles /. float_of_int plain
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: normalized execution time                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  print_endline
+    "\n=== Figure 4: execution time normalized to uninstrumented C ===\n";
+  let header = "benchmark" :: List.map P.environment_name instrumented_envs in
+  let rows =
+    List.map
+      (fun b ->
+        b.W.name
+        :: List.map
+             (fun env -> Printf.sprintf "%.3f" (norm_time b env))
+             instrumented_envs)
+      benchmarks
+  in
+  let avg env =
+    let xs = List.map (fun b -> norm_time b env) benchmarks in
+    List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
+  let avg_row =
+    "AVERAGE"
+    :: List.map (fun env -> Printf.sprintf "%.3f" (avg env)) instrumented_envs
+  in
+  print_string (Report.table header (rows @ [ avg_row ]));
+  let overhead env = avg env -. 1. in
+  let reduction base target =
+    100. *. (overhead base -. overhead target) /. overhead base
+  in
+  Printf.printf
+    "\ncheckpoint overhead of WARio vs Ratchet: %.1f%% lower (paper: 45.6%%)\n"
+    (reduction P.Ratchet P.Wario);
+  Printf.printf
+    "checkpoint overhead of WARio vs R-PDG:  %.1f%% lower (paper: 27.7%%)\n"
+    (reduction P.R_pdg P.Wario);
+  Printf.printf
+    "WARio+Expander vs Ratchet: %.1f%% lower (paper: 58.1%%); vs R-PDG: %.1f%% \
+     (paper: 44.3%%)\n"
+    (reduction P.Ratchet P.Wario_expander)
+    (reduction P.R_pdg P.Wario_expander)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: checkpoint causes, relative to R-PDG                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  print_endline
+    "\n=== Figure 5: executed checkpoints by cause (% of R-PDG total) ===\n";
+  List.iter
+    (fun b ->
+      let base =
+        float_of_int (get b P.R_pdg).run.E.Emulator.checkpoints_total
+      in
+      Printf.printf "%s:\n" b.W.name;
+      let header =
+        [ "environment"; "fn exit %"; "fn entry %"; "back-end %";
+          "middle-end %"; "total %" ]
+      in
+      let rows =
+        List.map
+          (fun env ->
+            let c = (get b env).run.E.Emulator.checkpoints in
+            let pct n =
+              Printf.sprintf "%.1f" (100. *. float_of_int n /. base)
+            in
+            [
+              P.environment_name env;
+              pct c.E.Emulator.c_exit;
+              pct c.E.Emulator.c_entry;
+              pct c.E.Emulator.c_backend;
+              pct c.E.Emulator.c_middle;
+              pct
+                (c.E.Emulator.c_exit + c.E.Emulator.c_entry
+               + c.E.Emulator.c_backend + c.E.Emulator.c_middle);
+            ])
+          [ P.R_pdg; P.Epilog_opt; P.Write_cluster; P.Loop_cluster; P.Wario;
+            P.Wario_expander ]
+      in
+      print_string (Report.table header rows);
+      print_newline ())
+    benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: executed checkpoints vs Ratchet                             *)
+(* ------------------------------------------------------------------ *)
+
+let tab1 () =
+  print_endline
+    "\n=== Table 1: change in executed checkpoints vs Ratchet ===\n";
+  let delta b env =
+    let r = float_of_int (get b P.Ratchet).run.E.Emulator.checkpoints_total in
+    let v = float_of_int (get b env).run.E.Emulator.checkpoints_total in
+    100. *. (v -. r) /. r
+  in
+  let rows =
+    List.map
+      (fun b ->
+        [
+          b.W.name;
+          Printf.sprintf "%.1f%%" (delta b P.Wario);
+          Printf.sprintf "%.1f%%" (delta b P.Wario_expander);
+        ])
+      benchmarks
+  in
+  let avg env =
+    let xs = List.map (fun b -> delta b env) benchmarks in
+    Printf.sprintf "%.1f%%"
+      (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+  in
+  print_string
+    (Report.table
+       [ "benchmark"; "WARio"; "WARio+Expander" ]
+       (rows @ [ [ "average"; avg P.Wario; avg P.Wario_expander ] ]));
+  print_endline "(paper: average -47.6% / -50.2%)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: code size                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tab2 () =
+  print_endline "\n=== Table 2: .text size increase vs uninstrumented C ===\n";
+  let delta b env =
+    let plain = float_of_int (get b P.Plain).compiled.P.text_bytes in
+    let v = float_of_int (get b env).compiled.P.text_bytes in
+    100. *. (v -. plain) /. plain
+  in
+  let rows =
+    List.map
+      (fun b ->
+        [
+          b.W.name;
+          string_of_int (get b P.Plain).compiled.P.text_bytes;
+          Printf.sprintf "%+.1f%%" (delta b P.Ratchet);
+          Printf.sprintf "%+.1f%%" (delta b P.Wario);
+          Printf.sprintf "%+.1f%%" (delta b P.Wario_expander);
+          Printf.sprintf "+%dB"
+            ((get b P.Wario).compiled.P.text_bytes
+            - (get b P.Plain).compiled.P.text_bytes);
+        ])
+      benchmarks
+  in
+  let avg env =
+    let xs = List.map (fun b -> delta b env) benchmarks in
+    Printf.sprintf "%+.1f%%"
+      (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+  in
+  print_string
+    (Report.table
+       [ "benchmark"; "plain B"; "Ratchet"; "WARio"; "WARio+Expander";
+         "WARio abs" ]
+       (rows
+       @ [ [ "average"; ""; avg P.Ratchet; avg P.Wario; avg P.Wario_expander;
+             "" ] ]));
+  print_endline
+    "(paper: average +18.4% / +18.7% / +32.9%.  Relative growth diverges\n\
+    \ here because our ports are almost entirely hot loop: unrolling the\n\
+    \ loops that ARE the benchmark multiplies .text, where the paper's\n\
+    \ binaries amortise it over large cold sections.  Ratchet's +7% and the\n\
+    \ absolute deltas of a few KiB match the paper's observation that a\n\
+    \ checkpoint is just one jump instruction.)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: unroll factor sweep                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  print_endline
+    "\n=== Figure 6: Loop Write Clusterer unroll factor N (SHA, Tiny AES, \
+     CoreMark) ===\n";
+  let subset =
+    List.filter
+      (fun b -> List.mem b.W.name [ "sha"; "aes"; "coremark" ])
+      benchmarks
+  in
+  let factors = [ 1; 2; 4; 6; 8; 10; 15; 20; 25; 30 ] in
+  List.iter
+    (fun b ->
+      Printf.printf "%s:\n" b.W.name;
+      let base = get ~unroll:1 b P.Loop_cluster in
+      let b_mid = base.run.E.Emulator.checkpoints.E.Emulator.c_middle in
+      let b_cyc = base.run.E.Emulator.cycles in
+      let rows =
+        List.map
+          (fun n ->
+            let e = get ~unroll:n b P.Loop_cluster in
+            let c = e.run.E.Emulator.checkpoints in
+            [
+              string_of_int n;
+              Printf.sprintf "%.1f"
+                (100. *. float_of_int c.E.Emulator.c_middle
+                /. float_of_int (max 1 b_mid));
+              string_of_int c.E.Emulator.c_backend;
+              Printf.sprintf "%.1f"
+                (100.
+                *. float_of_int (b_cyc - e.run.E.Emulator.cycles)
+                /. float_of_int b_cyc);
+              string_of_int e.run.E.Emulator.checkpoints_total;
+            ])
+          factors
+      in
+      print_string
+        (Report.table
+           [ "N"; "middle-end ckpts %"; "back-end ckpts";
+             "time reduction %"; "total ckpts" ]
+           rows);
+      print_newline ())
+    subset;
+  print_endline
+    "(paper: substantial improvement already at N=2; plateau around N=8; \
+     back-end\n checkpoints grow with N)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: idempotent region sizes                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  print_endline
+    "\n=== Figure 7: idempotent region sizes (cycles between checkpoints) \
+     ===\n";
+  List.iter
+    (fun b ->
+      Printf.printf "%s:\n" b.W.name;
+      let rows =
+        List.map
+          (fun env ->
+            let s =
+              Report.summarize_regions (get b env).run.E.Emulator.region_sizes
+            in
+            [
+              P.environment_name env;
+              string_of_int s.Report.rs_p25;
+              string_of_int s.Report.rs_median;
+              string_of_int s.Report.rs_p75;
+              Printf.sprintf "%.0f" s.Report.rs_mean;
+              string_of_int s.Report.rs_max;
+            ])
+          [ P.Ratchet; P.R_pdg; P.Wario ]
+      in
+      print_string
+        (Report.table
+           [ "environment"; "p25"; "median"; "p75"; "mean"; "max" ]
+           rows);
+      print_newline ())
+    benchmarks;
+  print_endline
+    "(paper: medians barely move; means and maxima grow — the removed\n\
+    \ checkpoints sat in small regions)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: intermittent power                                          *)
+(* ------------------------------------------------------------------ *)
+
+let tab3 () =
+  print_endline
+    "\n=== Table 3: re-execution overhead O and power failures P \
+     (WARio+Expander) ===\n";
+  let supplies =
+    [
+      ("50k cyc {6.2ms@8MHz}", E.Power.Periodic 50_000);
+      ("100k cyc {12.5ms}", E.Power.Periodic 100_000);
+      ("1M cyc {125ms}", E.Power.Periodic 1_000_000);
+      ("5M cyc {625ms}", E.Power.Periodic 5_000_000);
+      ("trace theta (rf)", E.Power.Trace (E.Traces.rf_trace ()));
+      ("trace beta (solar)", E.Power.Trace (E.Traces.solar_trace ()));
+    ]
+  in
+  let header =
+    "power on duration"
+    :: List.concat_map (fun (b : W.benchmark) -> [ b.name ^ " O"; "P" ])
+         benchmarks
+  in
+  let rows =
+    List.map
+      (fun (name, supply) ->
+        name
+        :: List.concat_map
+             (fun b ->
+               let cont = (get b P.Wario_expander).run.E.Emulator.cycles in
+               match
+                 E.Emulator.run ~supply ~verify:false
+                   (get b P.Wario_expander).compiled.P.image
+               with
+               | r ->
+                   [
+                     Printf.sprintf "%.2f%%"
+                       (100.
+                       *. float_of_int (r.E.Emulator.cycles - cont)
+                       /. float_of_int cont);
+                     string_of_int r.E.Emulator.power_failures;
+                   ]
+               | exception E.Emulator.No_forward_progress ->
+                   [ "stuck"; "-" ])
+             benchmarks)
+      supplies
+  in
+  print_string (Report.table header rows);
+  print_endline
+    "\n(paper: overhead < 1% except at very short on-times; P falls as the\n\
+    \ on-period grows.  Our benchmarks finish in fewer cycles than the\n\
+    \ paper's, so P is proportionally smaller at equal on-times.)"
+
+(* ------------------------------------------------------------------ *)
+(* Extensions (paper §6 discussion items, implemented here)             *)
+(* ------------------------------------------------------------------ *)
+
+let ext () =
+  print_endline
+    "\n=== Extensions: profile-guided Expander and region bounding (paper      §6) ===\n";
+  (* profile-guided expander ablation *)
+  print_endline "-- Expander: structural guess vs call-count profile --";
+  let rows =
+    List.filter_map
+      (fun b ->
+        if not (List.mem b.W.name [ "crc"; "aes"; "picojpeg" ]) then None
+        else begin
+          let blind = get b P.Wario_expander in
+          let profile = blind.run.E.Emulator.call_counts in
+          let opts =
+            { P.default_options with expander_profile = Some profile }
+          in
+          let guided = P.compile ~opts P.Wario_expander b.W.source in
+          let rg = E.Emulator.run guided.P.image in
+          Some
+            [
+              b.W.name;
+              string_of_int blind.run.E.Emulator.checkpoints_total;
+              string_of_int rg.E.Emulator.checkpoints_total;
+              Printf.sprintf "%.2f"
+                (float_of_int rg.E.Emulator.cycles
+                /. float_of_int (get b P.Plain).run.E.Emulator.cycles);
+            ]
+        end)
+      benchmarks
+  in
+  print_string
+    (Report.table
+       [ "benchmark"; "ckpts (blind)"; "ckpts (profiled)"; "norm time" ]
+       rows);
+  (* region bounding ablation: minimum viable on-period *)
+  print_endline
+    "\n-- Region bounder: maximum region size and minimum viable on-time --";
+  let b = W.find "sha" in
+  let rows =
+    List.map
+      (fun bound ->
+        let opts = { P.default_options with max_region = bound } in
+        let c = P.compile ~opts P.Wario b.W.source in
+        let r = E.Emulator.run c.P.image in
+        let s = Report.summarize_regions r.E.Emulator.region_sizes in
+        [
+          (match bound with None -> "unbounded" | Some n -> string_of_int n);
+          string_of_int s.Report.rs_max;
+          string_of_int r.E.Emulator.checkpoints_total;
+          Printf.sprintf "%.3f"
+            (float_of_int r.E.Emulator.cycles
+            /. float_of_int (get b P.Plain).run.E.Emulator.cycles);
+          Printf.sprintf "%.2f ms"
+            (float_of_int (s.Report.rs_max + 500) /. 8000.);
+        ])
+      [ None; Some 2000; Some 500; Some 120 ]
+  in
+  print_string
+    (Report.table
+       [ "bound"; "max region"; "ckpts"; "norm time"; "min on-time @8MHz" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 4                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tab4 () =
+  print_newline ();
+  print_string (Report.table4 ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: compiler throughput micro-benchmarks                       *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  print_endline
+    "\n=== Bechamel: compiler pass timings (one per artefact family) ===\n";
+  let open Bechamel in
+  let sha = W.find "sha" in
+  let mk_prog () =
+    let p = Wario_minic.Minic.compile sha.W.source in
+    Wario_transforms.Opt_pipeline.run p;
+    p
+  in
+  let precompiled = P.compile P.Wario sha.W.source in
+  let tests =
+    [
+      Test.make ~name:"fig4.compile-wario"
+        (Staged.stage (fun () -> ignore (P.compile P.Wario sha.W.source)));
+      Test.make ~name:"fig5.checkpoint-inserter"
+        (Staged.stage (fun () ->
+             ignore (Wario_transforms.Checkpoint_inserter.run (mk_prog ()))));
+      Test.make ~name:"tab1.compile-ratchet"
+        (Staged.stage (fun () -> ignore (P.compile P.Ratchet sha.W.source)));
+      Test.make ~name:"tab2.encode-text-size"
+        (Staged.stage (fun () ->
+             ignore (Wario_machine.Encode.text_size precompiled.P.mprog)));
+      Test.make ~name:"fig6.loop-write-clusterer"
+        (Staged.stage (fun () ->
+             ignore
+               (Wario_transforms.Loop_write_clusterer.run ~unroll_factor:8
+                  (mk_prog ()))));
+      Test.make ~name:"fig7.frontend-and-o3"
+        (Staged.stage (fun () -> ignore (mk_prog ())));
+      Test.make ~name:"tab3.trace-generation"
+        (Staged.stage (fun () -> ignore (E.Traces.rf_trace ())));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raws =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"wario" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raws in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let v =
+        match Analyze.OLS.estimates est with
+        | Some (v :: _) -> Printf.sprintf "%.0f ns/run" v
+        | _ -> "n/a"
+      in
+      rows := [ name; v ] :: !rows)
+    results;
+  print_string (Report.table [ "pass"; "time" ] (List.sort compare !rows))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let artefacts =
+  [
+    ("fig4", fig4); ("fig5", fig5); ("tab1", tab1); ("tab2", tab2);
+    ("fig6", fig6); ("fig7", fig7); ("tab3", tab3); ("tab4", tab4);
+    ("ext", ext); ("bechamel", bechamel);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst artefacts
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name artefacts with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown artefact %s (have: %s)\n" name
+            (String.concat " " (List.map fst artefacts));
+          exit 1)
+    requested;
+  Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,256 @@
+(* iclang: the WARio compilation driver (paper §4.6).
+
+   Replaces `clang` for intermittently-powered targets: compiles MiniC
+   sources through a selected software environment and can run the result on
+   the emulator under a chosen power supply.
+
+     iclang compile prog.mc -e wario --dump-asm
+     iclang run prog.mc -e ratchet --power 50000 --stats
+     iclang run --benchmark sha -e wario-expander --trace rf
+     iclang list-benchmarks
+     iclang dump-ir prog.mc -e wario *)
+
+module P = Wario.Pipeline
+module R = Wario.Run
+module E = Wario_emulator
+module W = Wario_workloads.Programs
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_source file benchmark =
+  match (file, benchmark) with
+  | Some f, None -> Ok (read_file f)
+  | None, Some b -> (
+      match List.find_opt (fun (x : W.benchmark) -> x.name = b) W.all with
+      | Some x -> Ok x.source
+      | None ->
+          Error
+            (Printf.sprintf "unknown benchmark %s (see list-benchmarks)" b))
+  | _ -> Error "provide exactly one of FILE or --benchmark"
+
+(* --- common options --- *)
+
+let env_conv =
+  let parse s =
+    match P.environment_of_name s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown environment %s (choose from: %s)" s
+               (String.concat ", "
+                  (List.map P.environment_name P.all_environments))))
+  in
+  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (P.environment_name e))
+
+let env_arg =
+  Arg.(
+    value
+    & opt env_conv P.Wario
+    & info [ "e"; "environment" ] ~docv:"ENV"
+        ~doc:"Software environment (plain-c, ratchet, r-pdg, ..., wario).")
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+
+let benchmark_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "benchmark"; "b" ] ~docv:"NAME" ~doc:"Use a built-in benchmark.")
+
+let unroll_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "unroll"; "N" ] ~docv:"N"
+        ~doc:"Loop Write Clusterer unroll factor (paper default 8).")
+
+let max_region_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-region" ] ~docv:"CYCLES"
+        ~doc:
+          "Bound idempotent regions to roughly CYCLES estimated cycles            (location-specific checkpoints, an extension of the paper's §6).")
+
+let profile_guided_arg =
+  Arg.(
+    value & flag
+    & info [ "profile-guided" ]
+        ~doc:
+          "Run once to collect a call-count profile, then recompile with the            profile-guided Expander (only meaningful with -e wario-expander).")
+
+let no_opt_arg =
+  Arg.(
+    value & flag
+    & info [ "O0"; "no-opt" ]
+        ~doc:
+          "Skip the generic -O3 substitute (mem2reg/inlining/folding) before            the WARio transformations.")
+
+let opts_of ?max_region ?profile ~no_opt unroll =
+  {
+    P.default_options with
+    unroll_factor = unroll;
+    max_region;
+    expander_profile = profile;
+    optimize = not no_opt;
+  }
+
+(* --- compile --- *)
+
+let do_compile file benchmark env unroll max_region no_opt dump_ir dump_asm =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok src -> (
+      try
+        let c = P.compile ~opts:(opts_of ?max_region ~no_opt unroll) env src in
+        if dump_ir then
+          print_string (Wario_ir.Ir_printer.program_to_string c.P.ir);
+        if dump_asm then
+          List.iter
+            (fun f ->
+              Format.printf "%a@." Wario_machine.Isa.pp_mfunc f)
+            c.P.mprog.Wario_machine.Isa.mfuncs;
+        Printf.printf
+          "compiled [%s]: %d bytes of text, %d data, %d middle-end WARs, %d \
+           middle-end checkpoints, %d spill WARs, %d spill checkpoints\n"
+          (P.environment_name env) c.P.text_bytes
+          c.P.image.E.Image.data_bytes c.P.middle.P.wars_found
+          c.P.middle.P.middle_ckpts c.P.backend.spill_wars
+          c.P.backend.spill_ckpts;
+        `Ok ()
+      with
+      | Wario_minic.Minic.Error e -> `Error (false, e)
+      | Wario_backend.Isel.Isel_error e -> `Error (false, e))
+
+let compile_cmd =
+  let dump_ir =
+    Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the final WIR.")
+  in
+  let dump_asm =
+    Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the TM2 assembly.")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile MiniC through a software environment")
+    Term.(
+      ret
+        (const do_compile $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
+       $ max_region_arg $ no_opt_arg $ dump_ir $ dump_asm))
+
+(* --- run --- *)
+
+let do_run file benchmark env unroll max_region no_opt profile_guided power
+    trace irq stats no_verify =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok src -> (
+      try
+        let c = P.compile ~opts:(opts_of ?max_region ~no_opt unroll) env src in
+        let c =
+          if not profile_guided then c
+          else begin
+            (* pilot run: collect the call-count profile, then recompile *)
+            let pilot = E.Emulator.run ~verify:false c.P.image in
+            P.compile
+              ~opts:
+                (opts_of ?max_region ~no_opt
+                   ~profile:pilot.E.Emulator.call_counts unroll)
+              env src
+          end
+        in
+        let supply =
+          match (power, trace) with
+          | Some p, _ -> E.Power.Periodic p
+          | None, Some "rf" -> E.Power.Trace (E.Traces.rf_trace ())
+          | None, Some "solar" -> E.Power.Trace (E.Traces.solar_trace ())
+          | None, Some t -> failwith ("unknown trace " ^ t ^ " (rf|solar)")
+          | None, None -> E.Power.Continuous
+        in
+        let r =
+          E.Emulator.run ~supply ~irq_period:irq ~verify:(not no_verify)
+            c.P.image
+        in
+        List.iter (fun v -> Printf.printf "%ld\n" v) r.E.Emulator.output;
+        Printf.printf "exit=%ld\n" r.E.Emulator.exit_code;
+        if stats then begin
+          let ck = r.E.Emulator.checkpoints in
+          Printf.printf
+            "cycles=%d instrs=%d checkpoints=%d (entry=%d exit=%d \
+             middle-end=%d back-end=%d) power-failures=%d boots=%d irqs=%d\n"
+            r.E.Emulator.cycles r.E.Emulator.instrs
+            r.E.Emulator.checkpoints_total ck.c_entry ck.c_exit ck.c_middle
+            ck.c_backend r.E.Emulator.power_failures r.E.Emulator.boots
+            r.E.Emulator.irqs_taken;
+          match r.E.Emulator.region_sizes with
+          | [] -> ()
+          | rs ->
+              Printf.printf
+                "idempotent regions: n=%d median=%d mean=%.0f max=%d cycles\n"
+                (List.length rs)
+                (Wario_support.Util.percentile 50. rs)
+                (Wario_support.Util.mean rs)
+                (List.fold_left max 0 rs)
+        end;
+        (match r.E.Emulator.violations with
+        | [] -> `Ok ()
+        | v ->
+            Printf.printf "*** %d WAR violations detected!\n" (List.length v);
+            `Error (false, "WAR violations detected"))
+      with
+      | Wario_minic.Minic.Error e -> `Error (false, e)
+      | E.Emulator.No_forward_progress ->
+          `Error (false, "no forward progress under this power supply"))
+
+let run_cmd =
+  let power =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "power" ] ~docv:"CYCLES" ~doc:"Intermittent power: fixed on-period.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"NAME" ~doc:"Harvester trace: rf or solar.")
+  in
+  let irq =
+    Arg.(
+      value & opt int 0
+      & info [ "irq" ] ~docv:"CYCLES" ~doc:"Fire an interrupt every N cycles.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics.") in
+  let no_verify =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Disable the WAR verifier.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and run on the emulator")
+    Term.(
+      ret
+        (const do_run $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
+       $ max_region_arg $ no_opt_arg $ profile_guided_arg $ power $ trace
+       $ irq $ stats $ no_verify))
+
+(* --- list-benchmarks --- *)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list-benchmarks" ~doc:"List the built-in benchmarks")
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (b : W.benchmark) ->
+              Printf.printf "%-10s %s\n" b.name b.description)
+            W.all)
+      $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "iclang" ~version:"1.0"
+       ~doc:"WARio: efficient code generation for intermittent computing")
+    [ compile_cmd; run_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/clustering_demo.ml: List Printf String Wario Wario_emulator Wario_ir Wario_minic Wario_transforms

@@ -1,0 +1,1 @@
+examples/life.ml: Int32 List Printf Wario Wario_emulator

@@ -1,0 +1,1 @@
+examples/life.mli:

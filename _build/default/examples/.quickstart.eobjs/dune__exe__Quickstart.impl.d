@@ -1,0 +1,1 @@
+examples/quickstart.ml: Int32 List Printf String Wario Wario_emulator

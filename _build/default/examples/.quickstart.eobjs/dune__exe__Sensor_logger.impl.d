@@ -1,0 +1,1 @@
+examples/sensor_logger.ml: Array List Printf Wario Wario_emulator Wario_workloads

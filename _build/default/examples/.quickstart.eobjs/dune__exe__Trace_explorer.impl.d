@@ -1,0 +1,1 @@
+examples/trace_explorer.ml: List Printf Wario Wario_emulator Wario_workloads

@@ -1,0 +1,87 @@
+(* Watch the Loop Write Clusterer transform a loop (paper Figure 3).
+
+     dune exec examples/clustering_demo.exe
+
+   Compiles the paper's motivating loop shape, dumps the IR before and
+   after the transformation, and shows the checkpoint reduction measured by
+   the emulator for several unroll factors. *)
+
+module P = Wario.Pipeline
+module T = Wario_transforms
+module Ir = Wario_ir.Ir
+
+let source =
+  {|
+unsigned a[256]; unsigned b[256]; unsigned c[256];
+int main(void) {
+  int i;
+  for (i = 0; i < 256; i++) { a[i] = (unsigned)i; b[i] = (unsigned)(i * 2); c[i] = 0u; }
+  /* the Figure 3 shape: three WAR read-modify-writes per iteration */
+  for (i = 0; i < 240; i++) {
+    a[i] = a[i] + 1u;
+    b[i] = b[i] + 1u;
+    c[i] = c[i] + a[i] + b[i];
+  }
+  unsigned s = 0;
+  for (i = 0; i < 256; i++) s = s * 17u + a[i] + b[i] + c[i];
+  print_int((int)s);
+  return 0;
+}
+|}
+
+let hot_loop_ir prog =
+  (* print the function body around the first unrolled loop *)
+  let f = Ir.find_func prog "main" in
+  Wario_ir.Ir_printer.func_to_string f
+
+let () =
+  print_endline "== Loop Write Clusterer demo (paper Figure 3) ==\n";
+
+  (* IR before *)
+  let before = Wario_minic.Minic.compile source in
+  T.Opt_pipeline.run before;
+  ignore (T.Checkpoint_inserter.run before);
+  print_endline "-- hot loop, direct checkpoint placement (Ratchet) --";
+  let txt = hot_loop_ir before in
+  (* show only the loop body lines to keep the demo readable *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  String.split_on_char '\n' txt
+  |> List.filter (fun l ->
+         contains l "for.body" || contains l "checkpoint" || contains l "store"
+         || contains l "load")
+  |> List.iteri (fun i l -> if i < 24 then print_endline l);
+
+  print_endline "\n-- after Loop Write Clusterer (N=4) --";
+  let after = Wario_minic.Minic.compile source in
+  T.Opt_pipeline.run after;
+  let st = T.Loop_write_clusterer.run ~unroll_factor:4 after in
+  ignore (T.Checkpoint_inserter.run after);
+  Printf.printf
+    "unrolled %d loop(s); postponed %d stores; instrumented %d dependent \
+     reads; %d early-exit write-backs\n"
+    st.loops_unrolled st.stores_postponed st.reads_instrumented
+    st.exit_writebacks;
+
+  (* measure executed checkpoints per unroll factor *)
+  print_endline "\n-- executed checkpoints and cycles by unroll factor N --";
+  Printf.printf "%6s %12s %10s %12s\n" "N" "checkpoints" "cycles" "text bytes";
+  let base = ref 0 in
+  List.iter
+    (fun n ->
+      let env = if n = 1 then P.R_pdg else P.Wario in
+      let opts = { P.default_options with unroll_factor = n } in
+      let c = P.compile ~opts env source in
+      let r = Wario_emulator.Emulator.run c.P.image in
+      if n = 1 then base := r.Wario_emulator.Emulator.checkpoints_total;
+      Printf.printf "%6d %12d %10d %12d\n" n
+        r.Wario_emulator.Emulator.checkpoints_total
+        r.Wario_emulator.Emulator.cycles c.P.text_bytes)
+    [ 1; 2; 4; 8; 16 ];
+  print_endline
+    "\n(N=1 row is R-PDG, i.e. no clustering; larger N keeps shrinking the\n\
+     checkpoint count until the back-end spill cost catches up — the paper's\n\
+     Figure 6 plateau.)"

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Hashtbl Int32 List Map Wario_ir Wario_support

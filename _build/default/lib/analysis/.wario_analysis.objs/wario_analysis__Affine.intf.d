@@ -1,0 +1,1 @@
+lib/analysis/affine.mli: Hashtbl Wario_ir Wario_support

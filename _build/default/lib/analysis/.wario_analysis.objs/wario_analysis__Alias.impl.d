@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Hashtbl Int32 List Set Wario_ir Wario_support

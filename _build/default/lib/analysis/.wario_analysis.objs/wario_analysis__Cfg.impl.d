@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Hashtbl List Wario_ir Wario_support

@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Hashtbl Wario_ir

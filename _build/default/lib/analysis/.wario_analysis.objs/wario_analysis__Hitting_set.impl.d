@@ -1,0 +1,1 @@
+lib/analysis/hitting_set.ml: Array Hashtbl List Printf Wario_support

@@ -1,0 +1,1 @@
+lib/analysis/hitting_set.mli:

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Dominance Hashtbl List Wario_ir Wario_support

@@ -1,0 +1,1 @@
+lib/analysis/loops.mli: Cfg Dominance Wario_ir Wario_support

@@ -1,0 +1,1 @@
+lib/analysis/pdg.ml: Alias Cfg List Reach Wario_ir

@@ -1,0 +1,1 @@
+lib/analysis/pdg.mli: Alias Cfg Reach Wario_ir

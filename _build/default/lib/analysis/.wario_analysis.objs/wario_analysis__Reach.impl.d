@@ -1,0 +1,1 @@
+lib/analysis/reach.ml: Cfg Hashtbl List Queue Wario_ir Wario_support

@@ -1,0 +1,137 @@
+(* Affine symbolic addresses over a straight-line spine.
+
+   A light stand-in for LLVM's scalar evolution, used by the Loop Write
+   Clusterer to disambiguate the addresses of different unrolled iterations:
+   `a + 4*i` and `a + 4*(i+1)` differ by a non-zero constant and can never
+   alias, so no runtime check is needed — exactly the precision that keeps
+   the paper's dependent-read instrumentation rare.
+
+   The analysis walks a *spine*: a sequence of blocks each executed exactly
+   once per traversal, in order (the Loop Write Clusterer passes the chain
+   of body blocks dominating the final latch).  Every register value is an
+   affine sum of opaque symbols (unknown-but-fixed values such as loads,
+   the induction variable on entry, or globals' addresses) with integer
+   coefficients plus a constant.  Registers written in off-spine blocks are
+   "tainted": each of their uses becomes a fresh opaque symbol, which is
+   sound (no two occurrences are assumed equal).
+
+   The key judgment is [disjoint e1 n1 e2 n2]: the two accesses cannot
+   overlap, established when their difference is a pure constant d with
+   d >= n2 or d <= -n1. *)
+
+open Wario_ir.Ir
+module Int_set = Wario_support.Util.Int_set
+
+type sym = Sglob of string | Sslot of int | Sopaque of int
+
+module Sym_map = Map.Make (struct
+  type t = sym
+
+  let compare = compare
+end)
+
+(** An affine expression: sum of coeff * symbol, plus a constant. *)
+type expr = { terms : int Sym_map.t; const : int }
+
+let const c = { terms = Sym_map.empty; const = c }
+
+let of_sym s = { terms = Sym_map.singleton s 1; const = 0 }
+
+let add e1 e2 =
+  {
+    terms =
+      Sym_map.union (fun _ a b -> if a + b = 0 then None else Some (a + b))
+        e1.terms e2.terms;
+    const = e1.const + e2.const;
+  }
+
+let neg e = { terms = Sym_map.map (fun c -> -c) e.terms; const = -e.const }
+let sub e1 e2 = add e1 (neg e2)
+
+let mul_const e k =
+  if k = 0 then const 0
+  else { terms = Sym_map.map (fun c -> c * k) e.terms; const = e.const * k }
+
+let as_const e = if Sym_map.is_empty e.terms then Some e.const else None
+
+(** Can accesses [e1, n1 bytes) and [e2, n2 bytes) never overlap? *)
+let disjoint e1 n1 e2 n2 =
+  match as_const (sub e1 e2) with
+  | Some d -> d >= n2 || d <= -n1
+  | None -> false
+
+(** Are the two addresses provably identical? *)
+let equal_expr e1 e2 =
+  match as_const (sub e1 e2) with Some 0 -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Spine walk                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  mutable regs : expr Wario_support.Util.Int_map.t;
+  mutable fresh : int;
+  tainted : Int_set.t;
+}
+
+let fresh_opaque env =
+  let n = env.fresh in
+  env.fresh <- n + 1;
+  of_sym (Sopaque n)
+
+let lookup env r =
+  if Int_set.mem r env.tainted then fresh_opaque env
+  else
+    match Wario_support.Util.Int_map.find_opt r env.regs with
+    | Some e -> e
+    | None ->
+        (* first occurrence before any spine def: an unknown-but-fixed value *)
+        let e = fresh_opaque env in
+        env.regs <- Wario_support.Util.Int_map.add r e env.regs;
+        e
+
+let eval_value env = function
+  | Reg r -> lookup env r
+  | Imm i -> const (Int32.to_int i)
+  | Glob g -> of_sym (Sglob g)
+  | Slot s -> of_sym (Sslot s)
+
+let set env r e =
+  if not (Int_set.mem r env.tainted) then
+    env.regs <- Wario_support.Util.Int_map.add r e env.regs
+
+(** Walk [spine] (blocks of [f], in execution order) and return the affine
+    address of every load/store on the spine, keyed by program point. *)
+let mem_addresses (f : func) ~(spine : label list) ~(tainted : Int_set.t) :
+    (point, expr) Hashtbl.t =
+  let env =
+    { regs = Wario_support.Util.Int_map.empty; fresh = 0; tainted }
+  in
+  let out = Hashtbl.create 64 in
+  List.iter
+    (fun lbl ->
+      let b = find_block f lbl in
+      List.iteri
+        (fun k ins ->
+          (match ins with
+          | Load (_, _, addr) | Store (_, _, addr) ->
+              Hashtbl.replace out (lbl, k) (eval_value env addr)
+          | _ -> ());
+          match ins with
+          | Mov (d, v) -> set env d (eval_value env v)
+          | Bin (d, Add, a, b) -> set env d (add (eval_value env a) (eval_value env b))
+          | Bin (d, Sub, a, b) -> set env d (sub (eval_value env a) (eval_value env b))
+          | Bin (d, Mul, a, Imm k) ->
+              set env d (mul_const (eval_value env a) (Int32.to_int k))
+          | Bin (d, Mul, Imm k, a) ->
+              set env d (mul_const (eval_value env a) (Int32.to_int k))
+          | Bin (d, Shl, a, Imm k) when Int32.to_int k >= 0 && Int32.to_int k < 31
+            ->
+              set env d (mul_const (eval_value env a) (1 lsl Int32.to_int k))
+          | _ -> (
+              match instr_def ins with
+              | Some d -> set env d (fresh_opaque env)
+              | None -> ()))
+        b.insns)
+    spine;
+  out

@@ -1,0 +1,33 @@
+(** Affine symbolic addresses over a straight-line spine — a light stand-in
+    for LLVM's scalar evolution, used by the Loop Write Clusterer to prove
+    that the addresses of different unrolled iterations cannot alias
+    ([a + 4*i] vs [a + 4*(i+1)]). *)
+
+type sym = Sglob of string | Sslot of int | Sopaque of int
+
+type expr
+(** An affine sum of symbols with integer coefficients, plus a constant. *)
+
+val const : int -> expr
+val of_sym : sym -> expr
+val add : expr -> expr -> expr
+val sub : expr -> expr -> expr
+val mul_const : expr -> int -> expr
+val as_const : expr -> int option
+
+val disjoint : expr -> int -> expr -> int -> bool
+(** [disjoint e1 n1 e2 n2]: can the accesses never overlap?  Established
+    when their difference is a pure constant d with d >= n2 or d <= -n1. *)
+
+val equal_expr : expr -> expr -> bool
+(** Provably identical addresses. *)
+
+val mem_addresses :
+  Wario_ir.Ir.func ->
+  spine:Wario_ir.Ir.label list ->
+  tainted:Wario_support.Util.Int_set.t ->
+  (Wario_ir.Ir.point, expr) Hashtbl.t
+(** Walk [spine] (blocks executed exactly once per traversal, in order) and
+    return the affine address of every load/store on it.  Registers in
+    [tainted] (defined off-spine) are treated as fresh opaque values at each
+    use, which is sound. *)

@@ -1,0 +1,273 @@
+(* Alias analysis.
+
+   Two precision modes, matching the paper's software environments:
+
+   - [Precise] models the PDG information NOELLE provides: a flow-insensitive
+     base+offset points-to analysis.  Every address is abstracted as a set of
+     (base object, offset) pairs where offsets stay constant through
+     `+ constant` arithmetic; adding a non-constant makes the offset unknown
+     but keeps the base.  A whole-program escape analysis determines which
+     objects can be reached through unknown pointers (address passed to a
+     call, stored to memory, or returned).
+
+   - [Basic] models LLVM's basic AA as used by Ratchet: only directly-named
+     globals/slots are distinguished; any pointer arithmetic loses the base,
+     and unknown pointers alias every object.  This is the deliberately
+     cruder baseline the paper compares against (Ratchet vs. R-PDG).
+
+   All queries are intra-procedural on a per-function summary; bases are
+   global symbols or stack slots of the analysed function. *)
+
+open Wario_ir.Ir
+module Util = Wario_support.Util
+
+type mode = Precise | Basic
+
+type base = Gbase of string | Sbase of int
+
+module Base_off = struct
+  type t = base * int option (* None = unknown offset *)
+
+  let compare = compare
+end
+
+module Bo_set = Set.Make (Base_off)
+
+(* Abstract value of a register: set of possible pointer targets plus a flag
+   for "may be a pointer we know nothing about". *)
+type aval = { targets : Bo_set.t; unknown : bool }
+
+let bot = { targets = Bo_set.empty; unknown = false }
+let top = { targets = Bo_set.empty; unknown = true }
+
+let join a b =
+  { targets = Bo_set.union a.targets b.targets; unknown = a.unknown || b.unknown }
+
+let aval_equal a b = Bo_set.equal a.targets b.targets && a.unknown = b.unknown
+
+type t = {
+  mode : mode;
+  (* register -> abstract pointer value, for the analysed function *)
+  regs : (reg, aval) Hashtbl.t;
+  (* objects whose address escapes (whole-program) *)
+  escaped : (base, unit) Hashtbl.t;
+  func : func;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Escape analysis (whole program)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* An address escapes when a Glob/Slot value (or a register that may hold
+   one) is passed to a call, stored to memory as *data*, or returned.  We
+   run one flow-insensitive pass per function with a local register
+   abstraction, and collect escaping bases globally.  Slots are
+   per-function, so a slot escaping in its own function is recorded with
+   that function's identity folded in: slot ids are unique per function, and
+   queries are per-function, so the pair never collides in practice —
+   queries only ever mix bases from one function plus globals. *)
+
+let compute_reg_avals (mode : mode) (f : func) : (reg, aval) Hashtbl.t =
+  let regs : (reg, aval) Hashtbl.t = Hashtbl.create 64 in
+  let get r = try Hashtbl.find regs r with Not_found -> bot in
+  let set r v =
+    let old = get r in
+    let nv = join old v in
+    if not (aval_equal old nv) then begin
+      Hashtbl.replace regs r nv;
+      true
+    end
+    else false
+  in
+  let aval_of_value = function
+    | Reg r -> get r
+    | Imm _ -> bot
+    | Glob g -> { targets = Bo_set.singleton (Gbase g, Some 0); unknown = false }
+    | Slot s -> { targets = Bo_set.singleton (Sbase s, Some 0); unknown = false }
+  in
+  (* Parameters may carry pointers from the caller. *)
+  let changed = ref true in
+  List.iter (fun p -> ignore (set p top)) f.params;
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            let upd d v = if set d v then changed := true in
+            match i with
+            | Mov (d, v) | Select (d, _, v, _) ->
+                upd d (aval_of_value v);
+                (match i with
+                | Select (d, _, _, w) -> upd d (aval_of_value w)
+                | _ -> ())
+            | Bin (d, Add, a, bv) -> (
+                match mode with
+                | Basic ->
+                    (* basic AA: arithmetic on a pointer loses the base *)
+                    let va = aval_of_value a and vb = aval_of_value bv in
+                    if
+                      (not (Bo_set.is_empty va.targets))
+                      || va.unknown
+                      || (not (Bo_set.is_empty vb.targets))
+                      || vb.unknown
+                    then upd d top
+                | Precise -> (
+                    let shift v (off : int32 option) =
+                      {
+                        v with
+                        targets =
+                          Bo_set.map
+                            (fun (b, o) ->
+                              match (o, off) with
+                              | Some o, Some k -> (b, Some (o + Int32.to_int k))
+                              | _ -> (b, None))
+                            v.targets;
+                      }
+                    in
+                    match (a, bv) with
+                    | _, Imm k -> upd d (shift (aval_of_value a) (Some k))
+                    | Imm k, _ -> upd d (shift (aval_of_value bv) (Some k))
+                    | _ ->
+                        (* reg+reg: base survives, offset is lost *)
+                        upd d (shift (aval_of_value a) None);
+                        upd d (shift (aval_of_value bv) None)))
+            | Bin (d, Sub, a, bv) -> (
+                match mode with
+                | Basic ->
+                    let va = aval_of_value a in
+                    if (not (Bo_set.is_empty va.targets)) || va.unknown then
+                      upd d top
+                | Precise -> (
+                    let shift v off =
+                      {
+                        v with
+                        targets =
+                          Bo_set.map
+                            (fun (b, o) ->
+                              match (o, off) with
+                              | Some o, Some k -> (b, Some (o - Int32.to_int k))
+                              | _ -> (b, None))
+                            v.targets;
+                      }
+                    in
+                    match bv with
+                    | Imm k -> upd d (shift (aval_of_value a) (Some k))
+                    | _ -> upd d (shift (aval_of_value a) None)))
+            | Bin (d, _, a, bv) ->
+                (* other arithmetic: conservatively keep bases, lose offsets *)
+                let blur v =
+                  {
+                    v with
+                    targets = Bo_set.map (fun (b, _) -> (b, None)) v.targets;
+                  }
+                in
+                upd d (blur (aval_of_value a));
+                upd d (blur (aval_of_value bv))
+            | Load (d, _, _) ->
+                (* a pointer loaded from memory can point anywhere escaped *)
+                upd d top
+            | Call (Some d, _, _) -> upd d top
+            | Cmp (d, _, _, _) -> upd d bot
+            | Call (None, _, _) | Store _ | Checkpoint _ | Print _ -> ())
+          b.insns)
+      f.blocks
+  done;
+  regs
+
+let collect_escapes (prog : program) : (base, unit) Hashtbl.t =
+  let escaped = Hashtbl.create 64 in
+  let mark_aval (v : aval) =
+    Bo_set.iter (fun (b, _) -> Hashtbl.replace escaped b ()) v.targets
+  in
+  List.iter
+    (fun f ->
+      let regs = compute_reg_avals Precise f in
+      let aval_of_value = function
+        | Reg r -> ( try Hashtbl.find regs r with Not_found -> bot)
+        | Imm _ -> bot
+        | Glob g -> { targets = Bo_set.singleton (Gbase g, Some 0); unknown = false }
+        | Slot s -> { targets = Bo_set.singleton (Sbase s, Some 0); unknown = false }
+      in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Store (_, data, _) -> mark_aval (aval_of_value data)
+              | Call (_, _, args) -> List.iter (fun a -> mark_aval (aval_of_value a)) args
+              | _ -> ())
+            b.insns;
+          match b.term with
+          | Ret (Some v) -> mark_aval (aval_of_value v)
+          | _ -> ())
+        f.blocks)
+    prog.funcs;
+  escaped
+
+(* ------------------------------------------------------------------ *)
+(* Building and querying                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Build the per-function alias summary.  [escapes] should be shared across
+    functions of the same program (see [escapes_of_program]). *)
+let build ?(mode = Precise) ~(escapes : (base, unit) Hashtbl.t) (f : func) : t =
+  { mode; regs = compute_reg_avals mode f; escaped = escapes; func = f }
+
+let escapes_of_program = collect_escapes
+
+let aval_of t (v : value) : aval =
+  match v with
+  | Reg r -> ( try Hashtbl.find t.regs r with Not_found -> bot)
+  | Imm _ -> bot
+  | Glob g -> { targets = Bo_set.singleton (Gbase g, Some 0); unknown = false }
+  | Slot s -> { targets = Bo_set.singleton (Sbase s, Some 0); unknown = false }
+
+let base_escapes t b =
+  match t.mode with
+  | Basic -> true (* basic AA has no escape information *)
+  | Precise -> Hashtbl.mem t.escaped b
+
+(* Two (base, offset) targets with access sizes overlap? *)
+let target_overlap (b1, o1) n1 (b2, o2) n2 =
+  b1 = b2
+  &&
+  match (o1, o2) with
+  | Some o1, Some o2 -> o1 < o2 + n2 && o2 < o1 + n1
+  | _ -> true
+
+(** May the accesses [addr1, n1 bytes] and [addr2, n2 bytes] overlap? *)
+let may_alias t (addr1 : value) (n1 : int) (addr2 : value) (n2 : int) : bool =
+  let v1 = aval_of t addr1 and v2 = aval_of t addr2 in
+  (* Unknown pointers alias anything escaped and other unknowns. *)
+  let unk_vs_targets unk_v other =
+    unk_v.unknown
+    && (other.unknown
+       || Bo_set.exists (fun (b, _) -> base_escapes t b) other.targets)
+  in
+  (* No information at all (e.g. loaded pointer vs loaded pointer). *)
+  if v1.unknown && v2.unknown then true
+  else if unk_vs_targets v1 v2 || unk_vs_targets v2 v1 then true
+  else
+    Bo_set.exists
+      (fun t1 -> Bo_set.exists (fun t2 -> target_overlap t1 n1 t2 n2) v2.targets)
+      v1.targets
+
+(** Must the two accesses refer to exactly the same bytes? *)
+let must_alias t (addr1 : value) (n1 : int) (addr2 : value) (n2 : int) : bool =
+  if n1 <> n2 then false
+  else
+    let v1 = aval_of t addr1 and v2 = aval_of t addr2 in
+    (not v1.unknown) && (not v2.unknown)
+    && Bo_set.cardinal v1.targets = 1
+    && Bo_set.cardinal v2.targets = 1
+    &&
+    match (Bo_set.min_elt v1.targets, Bo_set.min_elt v2.targets) with
+    | (b1, Some o1), (b2, Some o2) -> b1 = b2 && o1 = o2
+    | _ -> false
+
+(** The bases an address may refer to ([None] when unknown). *)
+let bases_of t (addr : value) : base list option =
+  let v = aval_of t addr in
+  if v.unknown then None
+  else Some (Bo_set.fold (fun (b, _) acc -> b :: acc) v.targets [] |> Util.dedup_stable)

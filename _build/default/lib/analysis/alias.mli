@@ -1,0 +1,31 @@
+(** Alias analysis with two precision modes (paper §5.1.3):
+
+    - [Precise] models the PDG information NOELLE provides: flow-insensitive
+      base+offset points-to analysis with a whole-program escape analysis;
+    - [Basic] models LLVM's basic AA as used by Ratchet: pointer arithmetic
+      loses the base and unknown pointers alias every object — the
+      deliberately cruder baseline (Ratchet vs R-PDG). *)
+
+type mode = Precise | Basic
+
+type base = Gbase of string | Sbase of int
+(** Memory objects: global symbols and stack slots of the analysed function. *)
+
+type t
+
+val escapes_of_program : Wario_ir.Ir.program -> (base, unit) Hashtbl.t
+(** Objects whose address escapes (passed to a call, stored, or returned).
+    Compute once per program and share across [build] calls. *)
+
+val build :
+  ?mode:mode -> escapes:(base, unit) Hashtbl.t -> Wario_ir.Ir.func -> t
+
+val may_alias : t -> Wario_ir.Ir.value -> int -> Wario_ir.Ir.value -> int -> bool
+(** [may_alias t a1 n1 a2 n2]: may the accesses [a1, n1 bytes) and
+    [a2, n2 bytes) overlap? *)
+
+val must_alias : t -> Wario_ir.Ir.value -> int -> Wario_ir.Ir.value -> int -> bool
+(** Must the two accesses cover exactly the same bytes? *)
+
+val bases_of : t -> Wario_ir.Ir.value -> base list option
+(** The objects an address may point to; [None] when unknown. *)

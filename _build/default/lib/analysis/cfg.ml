@@ -1,0 +1,74 @@
+(* Control-flow graph view of a WIR function: successor/predecessor maps and
+   orderings.  All analyses are computed on demand from a snapshot of the
+   function; transformations that mutate the function must rebuild. *)
+
+open Wario_ir.Ir
+module Util = Wario_support.Util
+
+type t = {
+  func : func;
+  blocks : (label, block) Hashtbl.t;
+  succs : (label, label list) Hashtbl.t;
+  preds : (label, label list) Hashtbl.t;
+  order : label array;  (** reverse postorder from the entry *)
+  index : (label, int) Hashtbl.t;  (** label -> position in [order] *)
+}
+
+let block t lbl = Hashtbl.find t.blocks lbl
+let succs t lbl = try Hashtbl.find t.succs lbl with Not_found -> []
+let preds t lbl = try Hashtbl.find t.preds lbl with Not_found -> []
+let entry t = (entry_block t.func).bname
+let labels t = Array.to_list t.order
+
+(** Blocks whose terminator is [Ret]. *)
+let exits t =
+  List.filter (fun l -> match (block t l).term with Ret _ -> true | _ -> false)
+    (labels t)
+
+let build (f : func) : t =
+  let blocks = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace blocks b.bname b) f.blocks;
+  let succs = Hashtbl.create 64 and preds = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      let ss = Util.dedup_stable (successors b) in
+      Hashtbl.replace succs b.bname ss;
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s with Not_found -> [] in
+          Hashtbl.replace preds s (cur @ [ b.bname ]))
+        ss)
+    f.blocks;
+  (* Reverse postorder via DFS from the entry; unreachable blocks are
+     appended at the end so every block has an index. *)
+  let visited = Hashtbl.create 64 in
+  let post = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.add visited l ();
+      List.iter dfs (try Hashtbl.find succs l with Not_found -> []);
+      post := l :: !post
+    end
+  in
+  (match f.blocks with [] -> () | b :: _ -> dfs b.bname);
+  let unreachable =
+    List.filter (fun b -> not (Hashtbl.mem visited b.bname)) f.blocks
+  in
+  let order = Array.of_list (!post @ List.map (fun b -> b.bname) unreachable) in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) order;
+  { func = f; blocks; succs; preds; order; index }
+
+(** Is [dst] reachable from [src] (following edges, src itself counts only
+    via a non-empty path)? *)
+let reachable_from t src dst =
+  let visited = Hashtbl.create 16 in
+  let rec go l =
+    if l = dst then true
+    else if Hashtbl.mem visited l then false
+    else begin
+      Hashtbl.add visited l ();
+      List.exists go (succs t l)
+    end
+  in
+  List.exists go (succs t src)

@@ -1,0 +1,25 @@
+(** Control-flow-graph view of a WIR function.
+
+    A snapshot: rebuild after mutating the function. *)
+
+type t = {
+  func : Wario_ir.Ir.func;
+  blocks : (Wario_ir.Ir.label, Wario_ir.Ir.block) Hashtbl.t;
+  succs : (Wario_ir.Ir.label, Wario_ir.Ir.label list) Hashtbl.t;
+  preds : (Wario_ir.Ir.label, Wario_ir.Ir.label list) Hashtbl.t;
+  order : Wario_ir.Ir.label array;  (** reverse postorder from the entry *)
+  index : (Wario_ir.Ir.label, int) Hashtbl.t;  (** label -> position in [order] *)
+}
+
+val build : Wario_ir.Ir.func -> t
+val block : t -> Wario_ir.Ir.label -> Wario_ir.Ir.block
+val succs : t -> Wario_ir.Ir.label -> Wario_ir.Ir.label list
+val preds : t -> Wario_ir.Ir.label -> Wario_ir.Ir.label list
+val entry : t -> Wario_ir.Ir.label
+val labels : t -> Wario_ir.Ir.label list
+
+val exits : t -> Wario_ir.Ir.label list
+(** Blocks whose terminator is [Ret]. *)
+
+val reachable_from : t -> Wario_ir.Ir.label -> Wario_ir.Ir.label -> bool
+(** [reachable_from t src dst]: a non-empty path exists from [src] to [dst]. *)

@@ -1,0 +1,170 @@
+(* Dominator and post-dominator trees (Cooper–Harvey–Kennedy iterative
+   algorithm).  Post-dominance is computed on the reversed CFG with a virtual
+   exit joining all [Ret] blocks; blocks that cannot reach any exit (infinite
+   loops) post-dominate nothing and are reported as such. *)
+
+open Wario_ir.Ir
+
+type t = {
+  idom : (label, label) Hashtbl.t;  (** immediate dominator; entry absent *)
+  entry : label;
+  (* dominator-tree DFS intervals for O(1) dominance queries *)
+  pre : (label, int) Hashtbl.t;
+  post : (label, int) Hashtbl.t;
+}
+
+let intersect index idom a b =
+  let rec go a b =
+    if a = b then a
+    else begin
+      let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+      if ia > ib then go (Hashtbl.find idom a) b
+      else go a (Hashtbl.find idom b)
+    end
+  in
+  go a b
+
+(* Generic CHK fixpoint over an explicit graph. *)
+let compute_idoms ~(order : label array) ~(index : (label, int) Hashtbl.t)
+    ~(preds : label -> label list) ~(entry : label) : (label, label) Hashtbl.t =
+  let idom = Hashtbl.create 64 in
+  Hashtbl.replace idom entry entry;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed =
+            List.filter (fun p -> Hashtbl.mem idom p) (preds b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom =
+                List.fold_left
+                  (fun acc p -> intersect index idom acc p)
+                  first rest
+              in
+              if Hashtbl.find_opt idom b <> Some new_idom then begin
+                Hashtbl.replace idom b new_idom;
+                changed := true
+              end
+        end)
+      order
+  done;
+  Hashtbl.remove idom entry;
+  idom
+
+(* DFS-number the dominator tree so that [a dominates b] becomes an
+   interval check. *)
+let number_tree idom entry nodes =
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt idom n with
+      | Some p ->
+          let cur = try Hashtbl.find children p with Not_found -> [] in
+          Hashtbl.replace children p (n :: cur)
+      | None -> ())
+    nodes;
+  let pre = Hashtbl.create 64 and post = Hashtbl.create 64 in
+  let counter = ref 0 in
+  (* explicit stack: dominator trees can be deep on unrolled code *)
+  let rec dfs n =
+    incr counter;
+    Hashtbl.replace pre n !counter;
+    List.iter dfs (try Hashtbl.find children n with Not_found -> []);
+    incr counter;
+    Hashtbl.replace post n !counter
+  in
+  dfs entry;
+  (pre, post)
+
+let build (cfg : Cfg.t) : t =
+  let entry = Cfg.entry cfg in
+  let idom =
+    compute_idoms ~order:cfg.order ~index:cfg.index
+      ~preds:(fun l -> Cfg.preds cfg l)
+      ~entry
+  in
+  let pre, post = number_tree idom entry (Cfg.labels cfg) in
+  { idom; entry; pre; post }
+
+(** [dominates t a b]: does [a] dominate [b]?  (Reflexive; O(1).) *)
+let dominates t a b =
+  if a = b || a = t.entry then true
+  else
+    match
+      ( Hashtbl.find_opt t.pre a, Hashtbl.find_opt t.pre b,
+        Hashtbl.find_opt t.post a )
+    with
+    | Some pa, Some pb, Some qa -> pa <= pb && pb < qa
+    | _ -> false (* unreachable blocks dominate nothing *)
+
+let idom t b = Hashtbl.find_opt t.idom b
+
+(* ------------------------------------------------------------------ *)
+(* Post-dominance                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type post = {
+  pidom : (label, label) Hashtbl.t;
+  virtual_exit : label;
+  reaches_exit : (label, unit) Hashtbl.t;
+}
+
+let virtual_exit_label = "$exit"
+
+let build_post (cfg : Cfg.t) : post =
+  let exits = Cfg.exits cfg in
+  (* Reversed graph: preds of b = successors; plus the virtual exit. *)
+  let rsuccs l =
+    if l = virtual_exit_label then exits
+    else []
+  in
+  let rpreds l =
+    if l = virtual_exit_label then []
+    else
+      Cfg.succs cfg l
+      @ (if List.mem l exits then [ virtual_exit_label ] else [])
+  in
+  ignore rsuccs;
+  (* Reverse postorder on the reversed graph, starting at the virtual exit. *)
+  let visited = Hashtbl.create 64 in
+  let post_acc = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.add visited l ();
+      let preds_in_rev =
+        if l = virtual_exit_label then exits else Cfg.preds cfg l
+      in
+      (* In the reversed graph, successors of l are the CFG predecessors. *)
+      List.iter dfs preds_in_rev;
+      post_acc := l :: !post_acc
+    end
+  in
+  dfs virtual_exit_label;
+  let order = Array.of_list !post_acc in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) order;
+  let pidom =
+    compute_idoms ~order ~index
+      ~preds:(fun l -> List.filter (Hashtbl.mem visited) (rpreds l))
+      ~entry:virtual_exit_label
+  in
+  { pidom; virtual_exit = virtual_exit_label; reaches_exit = visited }
+
+(** [post_dominates p a b]: does [a] post-dominate [b]?  Blocks that cannot
+    reach an exit post-dominate only themselves. *)
+let post_dominates p a b =
+  if a = b then true
+  else if not (Hashtbl.mem p.reaches_exit a && Hashtbl.mem p.reaches_exit b)
+  then false
+  else
+    let rec go x =
+      match Hashtbl.find_opt p.pidom x with
+      | Some up -> if up = a then true else if up = p.virtual_exit then false else go up
+      | None -> false
+    in
+    go b

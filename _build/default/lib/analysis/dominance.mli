@@ -1,0 +1,22 @@
+(** Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+
+    Post-dominance uses a virtual exit joining all [Ret] blocks; blocks that
+    cannot reach an exit post-dominate only themselves. *)
+
+type t
+
+val build : Cfg.t -> t
+
+val dominates : t -> Wario_ir.Ir.label -> Wario_ir.Ir.label -> bool
+(** [dominates t a b]: every path from the entry to [b] passes through [a]
+    (reflexive). *)
+
+val idom : t -> Wario_ir.Ir.label -> Wario_ir.Ir.label option
+(** Immediate dominator ([None] for the entry / unreachable blocks). *)
+
+type post
+
+val build_post : Cfg.t -> post
+
+val post_dominates : post -> Wario_ir.Ir.label -> Wario_ir.Ir.label -> bool
+(** [post_dominates p a b]: every path from [b] to an exit passes [a]. *)

@@ -1,0 +1,93 @@
+(* Greedy minimal hitting set (de Kruijf et al., §4.2.1 — the algorithm both
+   Ratchet and WARio use to pick checkpoint locations).
+
+   Input: a family of non-empty candidate sets (one per WAR violation) and a
+   cost per candidate.  Output: a set of candidates such that every input
+   set contains at least one chosen candidate.  The greedy rule picks, at
+   each step, the candidate maximising (number of uncovered sets hit) / cost,
+   breaking ties toward lower cost and then lower element order for
+   determinism.
+
+   The implementation is the standard incremental-count greedy: when an
+   element is chosen, only the sets it covers have their other elements'
+   counters decremented, so total work is proportional to the sum of set
+   sizes plus (#elements x #chosen). *)
+
+module Make (Elt : sig
+  type t
+
+  val compare : t -> t -> int
+end) =
+struct
+  (** [solve ~cost sets] returns chosen elements; raises [Invalid_argument]
+      if a set is empty (an unhittable WAR). *)
+  let solve ~(cost : Elt.t -> float) (sets : Elt.t list list) : Elt.t list =
+    List.iteri
+      (fun i s ->
+        if s = [] then
+          invalid_arg (Printf.sprintf "Hitting_set.solve: set %d is empty" i))
+      sets;
+    (* intern elements (hashed: candidate families can hold millions) *)
+    let id_of : (Elt.t, int) Hashtbl.t = Hashtbl.create 4096 in
+    let elems = ref [] in
+    let n_elems = ref 0 in
+    let intern e =
+      match Hashtbl.find_opt id_of e with
+      | Some i -> i
+      | None ->
+          let i = !n_elems in
+          incr n_elems;
+          Hashtbl.replace id_of e i;
+          elems := e :: !elems;
+          i
+    in
+    let sets =
+      Array.of_list
+        (List.map
+           (fun s ->
+             Array.of_list (List.map intern (List.sort_uniq Elt.compare s)))
+           sets)
+    in
+    let elems = Array.of_list (List.rev !elems) in
+    let ne = Array.length elems in
+    let costs = Array.map cost elems in
+    (* element -> indices of sets containing it *)
+    let containing = Array.make ne [] in
+    Array.iteri
+      (fun si s -> Array.iter (fun e -> containing.(e) <- si :: containing.(e)) s)
+      sets;
+    let covered = Array.make (Array.length sets) false in
+    let count = Array.make ne 0 in
+    Array.iteri (fun e lst -> count.(e) <- List.length lst) containing;
+    let uncovered = ref (Array.length sets) in
+    let chosen = ref [] in
+    (* Greedy selection with a lazy max-heap: scores only decrease as sets
+       get covered, so a stale heap entry is simply re-pushed with its
+       current score; ties break toward lower cost then element order by
+       perturbing the score deterministically at push time. *)
+    let score e = float_of_int count.(e) /. max costs.(e) 1e-9 in
+    let heap = Wario_support.Util.Fheap.create () in
+    for e = 0 to ne - 1 do
+      if count.(e) > 0 then Wario_support.Util.Fheap.push heap (score e) e
+    done;
+    while !uncovered > 0 do
+      let key, e = Wario_support.Util.Fheap.pop heap in
+      let current = score e in
+      if count.(e) = 0 then () (* fully stale: drop *)
+      else if current < key -. 1e-12 then
+        (* stale: revalidate *)
+        Wario_support.Util.Fheap.push heap current e
+      else begin
+        chosen := elems.(e) :: !chosen;
+        List.iter
+          (fun si ->
+            if not covered.(si) then begin
+              covered.(si) <- true;
+              decr uncovered;
+              Array.iter (fun e' -> count.(e') <- count.(e') - 1) sets.(si)
+            end)
+          containing.(e)
+      end
+    done;
+    List.rev !chosen
+end

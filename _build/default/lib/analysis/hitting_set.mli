@@ -1,0 +1,14 @@
+(** Greedy minimal hitting set (de Kruijf et al. §4.2.1) — the algorithm
+    both Ratchet and WARio use to pick checkpoint locations.  Incremental
+    counters make it linear-ish in the sum of set sizes. *)
+
+module Make (Elt : sig
+  type t
+
+  val compare : t -> t -> int
+end) : sig
+  val solve : cost:(Elt.t -> float) -> Elt.t list list -> Elt.t list
+  (** [solve ~cost sets] returns elements such that every set contains at
+      least one of them, greedily maximising (sets hit)/cost per pick.
+      @raise Invalid_argument on an empty set (an unhittable WAR). *)
+end

@@ -1,0 +1,114 @@
+(* Natural-loop detection.
+
+   A back edge is an edge [u -> h] where [h] dominates [u]; the natural loop
+   of the edge is [h] plus every block that reaches [u] without passing
+   through [h].  Loops sharing a header are merged (as LLVM does).  The
+   result carries the information the Loop Write Clusterer needs: header,
+   latches, member blocks, exit edges and nesting depth. *)
+
+open Wario_ir.Ir
+module Str_set = Wario_support.Util.Str_set
+
+type loop = {
+  header : label;
+  latches : label list;  (** sources of back edges into the header *)
+  blocks : Str_set.t;
+  exits : (label * label) list;  (** (inside block, outside target) edges *)
+  depth : int;  (** 1 = outermost *)
+  parent : label option;  (** header of the enclosing loop *)
+}
+
+type t = {
+  loops : loop list;  (** innermost-first *)
+  depth_of : label -> int;  (** loop-nesting depth of a block; 0 = no loop *)
+}
+
+let natural_loop cfg header latch : Str_set.t =
+  let set = ref (Str_set.add header (Str_set.singleton latch)) in
+  let rec go l =
+    List.iter
+      (fun p ->
+        if not (Str_set.mem p !set) then begin
+          set := Str_set.add p !set;
+          go p
+        end)
+      (Cfg.preds cfg l)
+  in
+  if latch <> header then go latch;
+  !set
+
+let find_exits cfg blocks =
+  Str_set.fold
+    (fun b acc ->
+      List.fold_left
+        (fun acc s -> if Str_set.mem s blocks then acc else (b, s) :: acc)
+        acc (Cfg.succs cfg b))
+    blocks []
+
+let build (cfg : Cfg.t) (dom : Dominance.t) : t =
+  (* Collect back edges grouped by header. *)
+  let back_edges = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun h ->
+          if Dominance.dominates dom h u then begin
+            let cur = try Hashtbl.find back_edges h with Not_found -> [] in
+            Hashtbl.replace back_edges h (u :: cur)
+          end)
+        (Cfg.succs cfg u))
+    (Cfg.labels cfg);
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) back_edges [] in
+  let raw_loops =
+    List.map
+      (fun h ->
+        let latches = Hashtbl.find back_edges h in
+        let blocks =
+          List.fold_left
+            (fun acc latch -> Str_set.union acc (natural_loop cfg h latch))
+            Str_set.empty latches
+        in
+        (h, latches, blocks))
+      headers
+  in
+  (* Nesting: loop A contains loop B if A's blocks include B's header and
+     A <> B.  Depth = number of containing loops + 1. *)
+  let contains (ha, _, ba) (hb, _, _) = ha <> hb && Str_set.mem hb ba in
+  let loops =
+    List.map
+      (fun ((h, latches, blocks) as l) ->
+        let enclosing = List.filter (fun l' -> contains l' l) raw_loops in
+        (* The innermost enclosing loop is the smallest one by block count. *)
+        let parent =
+          match
+            List.sort
+              (fun (_, _, b1) (_, _, b2) ->
+                compare (Str_set.cardinal b1) (Str_set.cardinal b2))
+              enclosing
+          with
+          | (h', _, _) :: _ -> Some h'
+          | [] -> None
+        in
+        {
+          header = h;
+          latches;
+          blocks;
+          exits = find_exits cfg blocks;
+          depth = List.length enclosing + 1;
+          parent;
+        })
+      raw_loops
+  in
+  let loops =
+    List.sort (fun a b -> compare b.depth a.depth) loops (* innermost first *)
+  in
+  let depth_of lbl =
+    List.fold_left
+      (fun acc l -> if Str_set.mem lbl l.blocks then max acc l.depth else acc)
+      0 loops
+  in
+  { loops; depth_of }
+
+(** The innermost loop containing [lbl], if any. *)
+let innermost_containing t lbl =
+  List.find_opt (fun l -> Str_set.mem lbl l.blocks) t.loops

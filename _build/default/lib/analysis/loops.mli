@@ -1,0 +1,20 @@
+(** Natural-loop detection (loops sharing a header are merged, as in LLVM). *)
+
+type loop = {
+  header : Wario_ir.Ir.label;
+  latches : Wario_ir.Ir.label list;  (** sources of back edges to the header *)
+  blocks : Wario_support.Util.Str_set.t;
+  exits : (Wario_ir.Ir.label * Wario_ir.Ir.label) list;
+      (** (inside block, outside target) edges *)
+  depth : int;  (** 1 = outermost *)
+  parent : Wario_ir.Ir.label option;  (** header of the enclosing loop *)
+}
+
+type t = {
+  loops : loop list;  (** innermost-first *)
+  depth_of : Wario_ir.Ir.label -> int;  (** nesting depth of a block; 0 = none *)
+}
+
+val build : Cfg.t -> Dominance.t -> t
+
+val innermost_containing : t -> Wario_ir.Ir.label -> loop option

@@ -1,0 +1,85 @@
+(* Memory-dependence information: the part of the Program Dependence Graph
+   WARio consumes (the paper obtains it from NOELLE).
+
+   For a function we collect every memory operation with its program point
+   and answer WAR / RAW queries by combining alias information with
+   barrier-aware reachability:
+
+   - WAR (the paper's "WAR violation"): a load L and a store S that may
+     alias, with a barrier-free path from L to S.  Re-execution from a
+     checkpoint before L would then re-read a location S already overwrote.
+   - RAW: a store S and a load L that may alias with a barrier-free path
+     S -> L (used by the Loop Write Clusterer's dependent-read handling). *)
+
+open Wario_ir.Ir
+
+type mem_op = {
+  mo_point : point;
+  mo_load : bool;  (** true = load, false = store *)
+  mo_width : width;
+  mo_addr : value;
+}
+
+type war = { war_load : mem_op; war_store : mem_op }
+
+type t = {
+  func : func;
+  alias : Alias.t;
+  reach : Reach.t;
+  ops : mem_op list;
+}
+
+let collect_ops (f : func) : mem_op list =
+  List.concat_map
+    (fun b ->
+      List.mapi (fun i ins -> (i, ins)) b.insns
+      |> List.filter_map (fun (i, ins) ->
+             match ins with
+             | Load (_, w, addr) ->
+                 Some { mo_point = (b.bname, i); mo_load = true; mo_width = w; mo_addr = addr }
+             | Store (w, _, addr) ->
+                 Some { mo_point = (b.bname, i); mo_load = false; mo_width = w; mo_addr = addr }
+             | _ -> None))
+    f.blocks
+
+let build (alias : Alias.t) (cfg : Cfg.t) (f : func) : t =
+  { func = f; alias; reach = Reach.build cfg; ops = collect_ops f }
+
+let loads t = List.filter (fun o -> o.mo_load) t.ops
+let stores t = List.filter (fun o -> not o.mo_load) t.ops
+
+let size_of op = bytes_of_width op.mo_width
+
+let may_alias_ops t a b =
+  Alias.may_alias t.alias a.mo_addr (size_of a) b.mo_addr (size_of b)
+
+let must_alias_ops t a b =
+  Alias.must_alias t.alias a.mo_addr (size_of a) b.mo_addr (size_of b)
+
+(** All WAR violations of the function: load/store pairs that may alias with
+    a barrier-free load-to-store path. *)
+let wars (t : t) : war list =
+  let sts = stores t in
+  List.concat_map
+    (fun l ->
+      List.filter_map
+        (fun s ->
+          if may_alias_ops t l s && Reach.reaches t.reach l.mo_point s.mo_point
+          then Some { war_load = l; war_store = s }
+          else None)
+        sts)
+    (loads t)
+
+(** RAW dependencies: (store, load) pairs that may alias with a barrier-free
+    store-to-load path. *)
+let raws (t : t) : (mem_op * mem_op) list =
+  let lds = loads t in
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun l ->
+          if may_alias_ops t s l && Reach.reaches t.reach s.mo_point l.mo_point
+          then Some (s, l)
+          else None)
+        lds)
+    (stores t)

@@ -1,0 +1,33 @@
+(** Memory-dependence information: the part of the Program Dependence Graph
+    WARio consumes (the paper obtains it from NOELLE). *)
+
+type mem_op = {
+  mo_point : Wario_ir.Ir.point;
+  mo_load : bool;  (** true = load, false = store *)
+  mo_width : Wario_ir.Ir.width;
+  mo_addr : Wario_ir.Ir.value;
+}
+
+type war = { war_load : mem_op; war_store : mem_op }
+(** A WAR violation: a load and a store that may alias, with a barrier-free
+    path from the load to the store (paper §1). *)
+
+type t = {
+  func : Wario_ir.Ir.func;
+  alias : Alias.t;
+  reach : Reach.t;
+  ops : mem_op list;
+}
+
+val build : Alias.t -> Cfg.t -> Wario_ir.Ir.func -> t
+val loads : t -> mem_op list
+val stores : t -> mem_op list
+val may_alias_ops : t -> mem_op -> mem_op -> bool
+val must_alias_ops : t -> mem_op -> mem_op -> bool
+
+val wars : t -> war list
+(** All WAR violations of the function. *)
+
+val raws : t -> (mem_op * mem_op) list
+(** (store, load) pairs that may alias with a barrier-free store-to-load
+    path (used by dependent-read handling). *)

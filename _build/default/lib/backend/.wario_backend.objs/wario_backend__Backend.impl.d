@@ -1,0 +1,1 @@
+lib/backend/backend.ml: Frame Isel List Mliveness Regalloc Stack_ckpt Wario_ir Wario_machine Webs

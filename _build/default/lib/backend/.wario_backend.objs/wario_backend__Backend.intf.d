@@ -1,0 +1,1 @@
+lib/backend/backend.mli: Frame Stack_ckpt Wario_ir Wario_machine

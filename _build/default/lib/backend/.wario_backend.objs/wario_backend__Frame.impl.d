@@ -1,0 +1,1 @@
+lib/backend/frame.ml: Hashtbl Int32 Isel List Wario_ir Wario_machine Wario_support

@@ -1,0 +1,1 @@
+lib/backend/frame.mli: Wario_ir Wario_machine

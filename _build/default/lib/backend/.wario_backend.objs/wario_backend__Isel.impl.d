@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Int32 List Printf Wario_ir Wario_machine

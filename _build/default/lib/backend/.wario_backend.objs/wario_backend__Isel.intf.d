@@ -1,0 +1,1 @@
+lib/backend/isel.mli: Wario_ir Wario_machine

@@ -1,0 +1,1 @@
+lib/backend/mliveness.ml: Array Hashtbl List Wario_machine Wario_support

@@ -1,0 +1,1 @@
+lib/backend/mliveness.mli: Wario_machine

@@ -1,0 +1,1 @@
+lib/backend/regalloc.mli: Wario_machine

@@ -1,0 +1,1 @@
+lib/backend/stack_ckpt.ml: Array Hashtbl List Queue Wario_analysis Wario_machine Wario_support

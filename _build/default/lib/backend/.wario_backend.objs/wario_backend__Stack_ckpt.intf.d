@@ -1,0 +1,1 @@
+lib/backend/stack_ckpt.mli: Wario_machine

@@ -1,0 +1,1 @@
+lib/backend/webs.ml: Array Hashtbl Int List Set Wario_machine Wario_support

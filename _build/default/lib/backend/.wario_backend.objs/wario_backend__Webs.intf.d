@@ -1,0 +1,1 @@
+lib/backend/webs.mli: Wario_machine

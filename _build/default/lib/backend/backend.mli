@@ -1,0 +1,22 @@
+(** Back-end driver: WIR program -> TM2 machine program (paper Figure 2,
+    dark-blue area): isel, web splitting, linear-scan register allocation
+    with stack-slot sharing disabled, the stack-spill checkpoint inserter,
+    frame lowering with pop conversion, and checkpoint live masks. *)
+
+type config = {
+  spill_strategy : Stack_ckpt.strategy option;  (** [None] = uninstrumented *)
+  epilog_style : Frame.epilog_style;
+}
+
+val plain_backend : config
+(** No checkpoints at all (the uninstrumented C baseline). *)
+
+val ratchet_backend : config
+(** Naive spill checkpoints, up-to-three-checkpoint epilogs. *)
+
+val wario_backend : config
+(** Hitting-set spill checkpoints, single-checkpoint epilogs. *)
+
+type stats = { spill_wars : int; spill_ckpts : int; spill_slots : int }
+
+val run : config:config -> Wario_ir.Ir.program -> Wario_machine.Isa.mprog * stats

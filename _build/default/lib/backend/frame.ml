@@ -1,0 +1,179 @@
+(* Frame lowering: prolog/epilog construction, pseudo elimination, and the
+   two back-end checkpoint behaviours around function boundaries:
+
+   - the *Idempotent Stack Pop Converter* (paper §3.1.3): every pop becomes
+     loads, a checkpoint, then the stack-pointer adjustment, so an interrupt
+     pushing onto the stack after the adjustment cannot corrupt re-execution;
+   - the *Epilog Optimizer*: interrupts are disabled across the epilog, all
+     restores execute, a single checkpoint covers every stack-pointer
+     adjustment, then interrupts are re-enabled — one exit checkpoint
+     instead of up to three.
+
+   Frame layout (descending stack):
+
+       [caller frame]
+       [saved callee-saved registers + lr]   <- pushed by prolog
+       [IR slot area]
+       [spill slots]                          <- sp during the body
+
+   A function that writes no stack memory (no pushes, no frame) needs no
+   entry or exit checkpoint at all. *)
+
+module I = Wario_machine.Isa
+module Ir = Wario_ir.Ir
+module Util = Wario_support.Util
+
+type epilog_style =
+  | Naive  (** pop converter only: up to three exit checkpoints *)
+  | Optimized  (** epilog optimizer: a single exit checkpoint *)
+  | Bare  (** no boundary checkpoints at all (uninstrumented baseline) *)
+
+(* Callee-saved registers actually written by the body. *)
+let used_callee_saved (mf : I.mfunc) : int list =
+  let used = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun ins ->
+          match I.writes ins with
+          | Some r when r >= 4 && r <= 12 -> Hashtbl.replace used r ()
+          | _ -> ())
+        b.I.mcode)
+    mf.I.mblocks;
+  List.filter (Hashtbl.mem used) [ 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+
+let calls_out (mf : I.mfunc) =
+  List.exists
+    (fun b -> List.exists (function I.Bl _ -> true | _ -> false) b.I.mcode)
+    mf.I.mblocks
+
+(** Lower frames for one function.
+    @param slots the IR stack slots of the source function
+    @param spill_slots number of register-allocator spill slots *)
+let run ~(style : epilog_style) ~(slots : Ir.slot list) ~(spill_slots : int)
+    (mf : I.mfunc) : unit =
+  (* layout: spills first, then IR slots *)
+  let spill_off n = 4 * n in
+  let slot_area_base = Util.align_up (4 * spill_slots) 8 in
+  let slot_off, slot_area =
+    List.fold_left
+      (fun (m, off) (s : Ir.slot) ->
+        let off = Util.align_up off s.slot_align in
+        (Util.Int_map.add s.slot_id off m, off + s.slot_size))
+      (Util.Int_map.empty, slot_area_base)
+      slots
+  in
+  let frame_bytes = Util.align_up slot_area 8 in
+  let saved = used_callee_saved mf in
+  (* r11/r12 are scratch: no need to preserve them across calls we make,
+     but the ABI says callee-saved for r11; treat both as scratch-only and
+     exclude from saves (they are never live across our calls). *)
+  let saved = List.filter (fun r -> r <= 10) saved in
+  let need_lr = calls_out mf in
+  let push_list = saved @ if need_lr then [ I.lr ] else [] in
+  let writes_stack = frame_bytes > 0 || push_list <> [] in
+  mf.I.frame_words <- frame_bytes / 4;
+  (* --- eliminate pseudos --- *)
+  List.iter
+    (fun b ->
+      b.I.mcode <-
+        List.map
+          (fun ins ->
+            match ins with
+            | I.FrameAddr (rd, s) ->
+                let off = Util.Int_map.find s slot_off in
+                I.Alu (I.ADD, rd, I.sp, I.I (Int32.of_int off))
+            | I.SpillLd (rd, n) ->
+                I.Ldr (I.W32, rd, I.sp, Int32.of_int (spill_off n))
+            | I.SpillSt (rd, n) ->
+                I.Str (I.W32, rd, I.sp, Int32.of_int (spill_off n))
+            | ins -> ins)
+          b.I.mcode)
+    mf.I.mblocks;
+  (* --- prolog --- *)
+  ignore writes_stack;
+  let prolog =
+    (* The function-entry checkpoint is unconditional (except in the
+       uninstrumented baseline): the middle end's WAR analysis treats every
+       call as a region barrier (paper: calls are forced checkpoint
+       locations), so even a stackless leaf must provide the barrier. *)
+    (if style <> Bare then [ I.Ckpt (I.Function_entry, 0) ] else [])
+    @ (if push_list <> [] then [ I.Push push_list ] else [])
+    @
+    if frame_bytes > 0 then
+      [ I.Alu (I.SUB, I.sp, I.sp, I.I (Int32.of_int frame_bytes)) ]
+    else []
+  in
+  (match mf.I.mblocks with
+  | stub :: _ -> stub.I.mcode <- prolog @ stub.I.mcode
+  | [] -> ());
+  (* --- epilog --- *)
+  let nsaved = List.length push_list in
+  let epilog_code =
+    match style with
+    | Bare ->
+        (* plain epilog: restores and one adjustment, no checkpoints *)
+        let restores =
+          List.mapi
+            (fun k r ->
+              I.Ldr (I.W32, r, I.sp, Int32.of_int (frame_bytes + (4 * k))))
+            push_list
+        in
+        let total = frame_bytes + (4 * List.length push_list) in
+        if total = 0 then [ I.Bx_lr ]
+        else
+          restores
+          @ [ I.Alu (I.ADD, I.sp, I.sp, I.I (Int32.of_int total)); I.Bx_lr ]
+    | Naive ->
+        (* (1) deallocate locals; (2) pop callee-saved; (3) pop lr — each
+           sp adjustment preceded by its own checkpoint (pop conversion). *)
+        (if frame_bytes > 0 then
+           [
+             I.Ckpt (I.Function_exit, 0);
+             I.Alu (I.ADD, I.sp, I.sp, I.I (Int32.of_int frame_bytes));
+           ]
+         else [])
+        @ (if saved <> [] then
+             List.mapi
+               (fun k r -> I.Ldr (I.W32, r, I.sp, Int32.of_int (4 * k)))
+               saved
+             @ [
+                 I.Ckpt (I.Function_exit, 0);
+                 I.Alu
+                   (I.ADD, I.sp, I.sp, I.I (Int32.of_int (4 * List.length saved)));
+               ]
+           else [])
+        @ (if need_lr then
+             [
+               I.Ldr (I.W32, I.lr, I.sp, 0l);
+               I.Ckpt (I.Function_exit, 0);
+               I.Alu (I.ADD, I.sp, I.sp, I.I 4l);
+             ]
+           else if frame_bytes = 0 && saved = [] then
+             (* even a stackless function must end its region: its reads
+                must not share a region with the caller's later writes *)
+             [ I.Ckpt (I.Function_exit, 0) ]
+           else [])
+        @ [ I.Bx_lr ]
+    | Optimized ->
+        (* interrupts off; all restores; one checkpoint; one adjustment *)
+        let restores =
+          List.mapi
+            (fun k r ->
+              I.Ldr (I.W32, r, I.sp, Int32.of_int (frame_bytes + (4 * k))))
+            push_list
+        in
+        let total = frame_bytes + (4 * nsaved) in
+        if total = 0 then [ I.Ckpt (I.Function_exit, 0); I.Bx_lr ]
+        else
+          [ I.Cpsid ] @ restores
+          @ [
+              I.Ckpt (I.Function_exit, 0);
+              I.Alu (I.ADD, I.sp, I.sp, I.I (Int32.of_int total));
+              I.Cpsie;
+              I.Bx_lr;
+            ]
+  in
+  mf.I.mblocks <-
+    mf.I.mblocks
+    @ [ { I.mlabel = Isel.epilog_label mf.I.mname; mcode = epilog_code } ]

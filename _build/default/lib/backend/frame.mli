@@ -1,0 +1,21 @@
+(** Frame lowering: prologs, the Idempotent Stack Pop Converter, and the
+    Epilog Optimizer (paper §3.1.3).
+
+    Every function (except in the [Bare] baseline) is bracketed by a
+    mandatory entry checkpoint and at least one exit checkpoint: calls are
+    the forced region barriers the middle-end analysis assumes. *)
+
+type epilog_style =
+  | Naive  (** pop converter only: up to three exit checkpoints *)
+  | Optimized  (** epilog optimizer: a single exit checkpoint, irqs deferred *)
+  | Bare  (** no boundary checkpoints at all (uninstrumented baseline) *)
+
+val run :
+  style:epilog_style ->
+  slots:Wario_ir.Ir.slot list ->
+  spill_slots:int ->
+  Wario_machine.Isa.mfunc ->
+  unit
+(** Lower frames in place: resolve slot/spill pseudos to sp-relative
+    accesses, add the prolog (entry checkpoint, pushes, frame allocation)
+    and the epilog in the chosen style. *)

@@ -1,0 +1,209 @@
+(* Instruction selection: WIR -> TM2 over virtual registers.
+
+   The mapping is direct (one IR instruction becomes a short fixed pattern),
+   which keeps the relative cost of the software environments comparable —
+   the paper's evaluation compares checkpoint strategies, not instruction
+   schedulers.  IR register [r] becomes virtual register [first_vreg + r];
+   block label [l] of function [f] becomes the program-unique [f $ l].
+
+   Calling convention: up to four arguments in r0-r3, result in r0, r4-r10
+   callee-saved (the register allocator's pool), r11/r12 reserved as spill
+   scratch.  More than four parameters is a front-end restriction. *)
+
+open Wario_ir.Ir
+module I = Wario_machine.Isa
+
+exception Isel_error of string
+
+let mwidth = function
+  | W8 -> I.W8
+  | W16 -> I.W16
+  | W32 -> I.W32
+  | S8 -> I.S8
+  | S16 -> I.S16
+
+let mcause = function
+  | Middle_end_war -> I.Middle_end_war
+  | Back_end_war -> I.Back_end_war
+  | Function_entry -> I.Function_entry
+  | Function_exit -> I.Function_exit
+
+let cond_of_cmpop = function
+  | Ceq -> I.EQ
+  | Cne -> I.NE
+  | Cslt -> I.LT
+  | Csle -> I.LE
+  | Csgt -> I.GT
+  | Csge -> I.GE
+  | Cult -> I.LO
+  | Cule -> I.LS
+  | Cugt -> I.HI
+  | Cuge -> I.HS
+
+let mangle fname lbl = fname ^ "$" ^ lbl
+let epilog_label fname = fname ^ "$.epilog"
+
+type ctx = {
+  f : func;
+  mutable next_vreg : int;
+  mutable code_rev : I.instr list;
+}
+
+let vreg r = I.first_vreg + r
+
+let fresh ctx =
+  let v = ctx.next_vreg in
+  ctx.next_vreg <- v + 1;
+  v
+
+let emit ctx i = ctx.code_rev <- i :: ctx.code_rev
+
+let fits_mov_imm i = Int32.compare i 0l >= 0 && Int32.compare i 256l < 0
+let fits_op2_imm i = Int32.compare i 0l >= 0 && Int32.compare i 256l < 0
+
+(* Materialise a value into a register. *)
+let to_reg ctx (v : value) : I.mreg =
+  match v with
+  | Reg r -> vreg r
+  | Imm i ->
+      let t = fresh ctx in
+      if fits_mov_imm i then emit ctx (I.Mov (t, I.I i))
+      else emit ctx (I.Movw32 (t, i));
+      t
+  | Glob g ->
+      let t = fresh ctx in
+      emit ctx (I.AdrData (t, g, 0l));
+      t
+  | Slot s ->
+      let t = fresh ctx in
+      emit ctx (I.FrameAddr (t, s));
+      t
+
+(* Value as a flexible second operand. *)
+let to_op2 ctx (v : value) : I.operand2 =
+  match v with
+  | Imm i when fits_op2_imm i -> I.I i
+  | v -> I.R (to_reg ctx v)
+
+let select_instr ctx (ins : instr) : unit =
+  match ins with
+  | Bin (d, op, a, b) -> (
+      let simple aop =
+        let ra = to_reg ctx a in
+        let o2 = to_op2 ctx b in
+        emit ctx (I.Alu (aop, vreg d, ra, o2))
+      in
+      match op with
+      | Add -> simple I.ADD
+      | Sub -> simple I.SUB
+      | Mul ->
+          (* Thumb-2 MUL takes registers only *)
+          let ra = to_reg ctx a and rb = to_reg ctx b in
+          emit ctx (I.Alu (I.MUL, vreg d, ra, I.R rb))
+      | And -> simple I.AND
+      | Or -> simple I.ORR
+      | Xor -> simple I.EOR
+      | Shl -> simple I.LSL
+      | Lshr -> simple I.LSR
+      | Ashr -> simple I.ASR
+      | Sdiv ->
+          let ra = to_reg ctx a and rb = to_reg ctx b in
+          emit ctx (I.Alu (I.SDIV, vreg d, ra, I.R rb))
+      | Udiv ->
+          let ra = to_reg ctx a and rb = to_reg ctx b in
+          emit ctx (I.Alu (I.UDIV, vreg d, ra, I.R rb))
+      | Srem | Urem ->
+          (* q = a / b; d = a - q*b  (sdiv/udiv + mul + sub, like MLS) *)
+          let ra = to_reg ctx a and rb = to_reg ctx b in
+          let q = fresh ctx and t = fresh ctx in
+          emit ctx
+            (I.Alu ((if op = Srem then I.SDIV else I.UDIV), q, ra, I.R rb));
+          emit ctx (I.Alu (I.MUL, t, q, I.R rb));
+          emit ctx (I.Alu (I.SUB, vreg d, ra, I.R t)))
+  | Cmp (d, op, a, b) ->
+      let ra = to_reg ctx a in
+      let o2 = to_op2 ctx b in
+      (* materialise the boolean: mov 0; cmp; it<c> mov 1 *)
+      emit ctx (I.Mov (vreg d, I.I 0l));
+      emit ctx (I.Cmp (ra, o2));
+      emit ctx (I.Movc (cond_of_cmpop op, vreg d, I.I 1l))
+  | Mov (d, v) -> (
+      match v with
+      | Reg r -> emit ctx (I.Mov (vreg d, I.R (vreg r)))
+      | Imm i ->
+          if fits_mov_imm i then emit ctx (I.Mov (vreg d, I.I i))
+          else emit ctx (I.Movw32 (vreg d, i))
+      | Glob g -> emit ctx (I.AdrData (vreg d, g, 0l))
+      | Slot s -> emit ctx (I.FrameAddr (vreg d, s)))
+  | Select (d, c, a, b) ->
+      let rc = to_reg ctx c in
+      let ra = to_reg ctx a in
+      let ob = to_op2 ctx b in
+      let t = fresh ctx in
+      emit ctx (I.Mov (t, ob));
+      emit ctx (I.Cmp (rc, I.I 0l));
+      emit ctx (I.Movc (I.NE, t, I.R ra));
+      emit ctx (I.Mov (vreg d, I.R t))
+  | Load (d, w, addr) ->
+      let ra = to_reg ctx addr in
+      emit ctx (I.Ldr (mwidth w, vreg d, ra, 0l))
+  | Store (w, data, addr) ->
+      let rd = to_reg ctx data in
+      let ra = to_reg ctx addr in
+      emit ctx (I.Str (mwidth w, rd, ra, 0l))
+  | Call (d, callee, args) ->
+      if List.length args > 4 then
+        raise
+          (Isel_error
+             (Printf.sprintf "call to %s: more than 4 arguments" callee));
+      (* evaluate arguments into temps first, then move into r0-r3 *)
+      let temps = List.map (to_reg ctx) args in
+      List.iteri (fun i t -> emit ctx (I.Mov (i, I.R t))) temps;
+      emit ctx (I.Bl callee);
+      (match d with Some d -> emit ctx (I.Mov (vreg d, I.R I.r0)) | None -> ())
+  | Checkpoint c -> emit ctx (I.Ckpt (mcause c, 0))
+  | Print v ->
+      let o = to_op2 ctx v in
+      emit ctx (I.Mov (I.r0, o));
+      emit ctx (I.Svc 0)
+
+let select_term ctx fname (t : term) : unit =
+  match t with
+  | Br l -> emit ctx (I.B (mangle fname l))
+  | Cbr (c, l1, l2) ->
+      let rc = to_reg ctx c in
+      emit ctx (I.Cmp (rc, I.I 0l));
+      emit ctx (I.Bc (I.NE, mangle fname l1));
+      emit ctx (I.B (mangle fname l2))
+  | Ret v ->
+      (match v with
+      | Some v ->
+          let o = to_op2 ctx v in
+          emit ctx (I.Mov (I.r0, o))
+      | None -> ());
+      emit ctx (I.B (epilog_label fname))
+
+(** Select one function.  The first block is labelled with the bare function
+    name so [Bl] targets resolve; parameters are moved out of r0-r3. *)
+let select_func (f : func) : I.mfunc * int =
+  if List.length f.params > 4 then
+    raise
+      (Isel_error
+         (Printf.sprintf "%s: more than 4 parameters unsupported" f.fname));
+  let ctx = { f; next_vreg = I.first_vreg + f.next_reg; code_rev = [] } in
+  let body =
+    List.map
+      (fun (b : block) ->
+        ctx.code_rev <- [];
+        List.iter (select_instr ctx) b.insns;
+        select_term ctx f.fname b.term;
+        { I.mlabel = mangle f.fname b.bname; mcode = List.rev ctx.code_rev })
+      f.blocks
+  in
+  (* A stub block carries the function-name label (the [Bl] target) and the
+     parameter landing moves, then falls through to the entry block (blocks
+     are laid out in order and fall through when not ending in a branch). *)
+  ctx.code_rev <- [];
+  List.iteri (fun i p -> emit ctx (I.Mov (vreg p, I.R i))) f.params;
+  let stub = { I.mlabel = f.fname; mcode = List.rev ctx.code_rev } in
+  ({ I.mname = f.fname; mblocks = stub :: body; frame_words = 0 }, ctx.next_vreg)

@@ -1,0 +1,16 @@
+(** Instruction selection: WIR -> TM2 over virtual registers.
+
+    Calling convention: up to four arguments in r0-r3, result in r0,
+    r4-r10 callee-saved, r11/r12 spill scratch. *)
+
+exception Isel_error of string
+
+val mangle : string -> string -> string
+(** [mangle fname lbl] is the program-unique machine label of a block. *)
+
+val epilog_label : string -> string
+
+val select_func : Wario_ir.Ir.func -> Wario_machine.Isa.mfunc * int
+(** Returns the machine function (first block labelled with the function
+    name, parameter-landing moves, branches to the epilog label) and the
+    next free virtual register. *)

@@ -1,0 +1,128 @@
+(* Physical-register liveness on machine code, used to compute the live
+   register mask of every checkpoint — a checkpoint saves only the live
+   registers plus sp/lr/pc (paper §4.5), so its cost scales with pressure. *)
+
+module I = Wario_machine.Isa
+module Int_set = Wario_support.Util.Int_set
+
+let instr_uses = function
+  | I.Bl _ -> [ 0; 1; 2; 3 ] (* arguments (conservative) *)
+  | I.Bx_lr ->
+      (* returning exposes the return value AND the callee-saved registers
+         to the caller: r4-r10 hold caller state that must survive any
+         checkpoint/restore inside this function *)
+      [ 0; 4; 5; 6; 7; 8; 9; 10; I.lr ]
+  | I.Svc _ -> [ 0 ]
+  | ins -> List.filter (fun r -> r < 13) (I.reads ins)
+
+let instr_defs = function
+  | I.Bl _ -> [ 0; 1; 2; 3; 12; I.lr ] (* caller-saved clobbers *)
+  | ins -> ( match I.writes ins with Some d when d < 13 -> [ d ] | _ -> [])
+
+(** Rewrite every [Ckpt] of [mf] with its live-register mask (bits 0-12 for
+    r0-r12 plus bit 14 for lr when live; sp and pc are always saved by the
+    checkpoint routine itself). *)
+let set_ckpt_masks (mf : I.mfunc) : unit =
+  let blocks = Array.of_list mf.I.mblocks in
+  let n = Array.length blocks in
+  let label_index = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.replace label_index b.I.mlabel i) blocks;
+  let succs i =
+    let b = blocks.(i) in
+    let rec scan acc seals = function
+      | [] -> (acc, seals)
+      | ins :: rest ->
+          let acc =
+            match ins with
+            | I.B l | I.Bc (_, l) -> (
+                match Hashtbl.find_opt label_index l with
+                | Some t -> t :: acc
+                | None -> acc)
+            | _ -> acc
+          in
+          let seals =
+            match (rest, ins) with [], (I.B _ | I.Bx_lr) -> true | _ -> seals
+          in
+          scan acc seals rest
+    in
+    let targets, sealed = scan [] false b.I.mcode in
+    if sealed || i + 1 >= n then targets else (i + 1) :: targets
+  in
+  (* lr counts in liveness too (Bx_lr reads it) *)
+  let lr_bit = I.lr in
+  ignore lr_bit;
+  let uses ins =
+    let base = instr_uses ins in
+    match ins with I.Bx_lr -> base | _ -> base @ (if List.mem I.lr (I.reads ins) then [ I.lr ] else [])
+  in
+  let defs ins =
+    let base = instr_defs ins in
+    match I.writes ins with
+    | Some d when d = I.lr -> I.lr :: base
+    | _ -> base
+  in
+  let gen_kill b =
+    List.fold_left
+      (fun (gen, kill) ins ->
+        let gen =
+          List.fold_left
+            (fun g u -> if Int_set.mem u kill then g else Int_set.add u g)
+            gen (uses ins)
+        in
+        let kill =
+          List.fold_left (fun k d -> Int_set.add d k) kill (defs ins)
+        in
+        (gen, kill))
+      (Int_set.empty, Int_set.empty)
+      b.I.mcode
+  in
+  let gens = Array.map (fun b -> fst (gen_kill b)) blocks in
+  let kills = Array.map (fun b -> snd (gen_kill b)) blocks in
+  let live_in = Array.make n Int_set.empty in
+  let live_out = Array.make n Int_set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Int_set.union acc live_in.(s))
+          Int_set.empty (succs i)
+      in
+      let inn = Int_set.union gens.(i) (Int_set.diff out kills.(i)) in
+      if not (Int_set.equal out live_out.(i)) then begin
+        live_out.(i) <- out;
+        changed := true
+      end;
+      if not (Int_set.equal inn live_in.(i)) then begin
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (* per-instruction backward pass within each block to set masks *)
+  Array.iteri
+    (fun i b ->
+      let rev = List.rev b.I.mcode in
+      let live = ref live_out.(i) in
+      let out =
+        List.map
+          (fun ins ->
+            let ins' =
+              match ins with
+              | I.Ckpt (cause, _) ->
+                  let mask =
+                    Int_set.fold
+                      (fun r m -> if r <> I.sp && r <> I.pc then m lor (1 lsl r) else m)
+                      !live 0
+                  in
+                  I.Ckpt (cause, mask)
+              | ins -> ins
+            in
+            live := Int_set.diff !live (Int_set.of_list (defs ins));
+            live := Int_set.union !live (Int_set.of_list (uses ins));
+            ins')
+          rev
+      in
+      b.I.mcode <- List.rev out)
+    blocks

@@ -1,0 +1,6 @@
+(** Physical-register liveness on machine code: computes each checkpoint's
+    live-register mask (a checkpoint saves only the live registers plus
+    sp/pc/flags, paper §4.5).  Returning exposes r0 and the callee-saved
+    registers to the caller, so they are live-out at [Bx_lr]. *)
+
+val set_ckpt_masks : Wario_machine.Isa.mfunc -> unit

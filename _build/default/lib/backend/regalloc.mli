@@ -1,0 +1,14 @@
+(** Linear-scan register allocation.
+
+    Pool: r0-r3 for ranges that do not cross a call or clash with the
+    argument-transfer moves, r4-r10 (callee-saved) otherwise; r11/r12 are
+    reserved spill scratch.  Stack-slot sharing is disabled: every spilled
+    virtual register has its own slot (paper §4.4's
+    [-no-stack-slot-sharing]). *)
+
+type result = {
+  mfunc : Wario_machine.Isa.mfunc;  (** rewritten in place *)
+  spill_slots : int;
+}
+
+val run : Wario_machine.Isa.mfunc -> result

@@ -1,0 +1,13 @@
+(** Stack Spill Checkpoint Inserter (paper §3.1.3, §4.4).
+
+    Runs between register allocation and frame lowering, while spill
+    accesses are explicit pseudos.  Slots are never shared, so a WAR on a
+    spill slot needs a barrier-free load-to-store path — in practice loops. *)
+
+type strategy =
+  | Naive  (** Ratchet: a checkpoint before every WAR-completing store *)
+  | Hitting_set  (** WARio: greedy hitting set over candidate windows *)
+
+type stats = { spill_wars : int; spill_ckpts : int }
+
+val run : strategy:strategy -> Wario_machine.Isa.mfunc -> stats

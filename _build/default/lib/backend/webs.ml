@@ -1,0 +1,260 @@
+(* Live-range splitting by webs (du-chain components).
+
+   WIR is not SSA, so a single virtual register can carry many unrelated
+   values (e.g. each unrolled iteration redefines the loop counter).  If
+   such a register spills, its slot gets store/load/store/... patterns that
+   read-then-write the same stack slot inside one region — spurious
+   back-end WARs an SSA-based compiler (like the paper's LLVM) never sees.
+
+   A *web* is a connected component of the def-use relation: a def and a use
+   are connected when the def reaches the use; two defs are connected when
+   they reach a common use.  Renaming every web to a fresh virtual register
+   makes most ranges single-def, restoring the SSA-like granularity both
+   the register allocator and the spill-WAR analysis expect.
+
+   Runs on machine code straight out of instruction selection. *)
+
+module I = Wario_machine.Isa
+module Int_map = Wario_support.Util.Int_map
+
+(* Union-find over def ids. *)
+module Uf = struct
+  type t = { parent : int array; rank : int array }
+
+  let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+  let rec find t i =
+    if t.parent.(i) = i then i
+    else begin
+      let r = find t t.parent.(i) in
+      t.parent.(i) <- r;
+      r
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then
+      if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+      else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+      else begin
+        t.parent.(rb) <- ra;
+        t.rank.(ra) <- t.rank.(ra) + 1
+      end
+end
+
+let vreg_uses_defs ins =
+  let vs l = List.filter (fun r -> r >= I.first_vreg) l in
+  ( vs (I.reads ins),
+    match I.writes ins with
+    | Some d when d >= I.first_vreg -> Some d
+    | _ -> None )
+
+(** Split the virtual live ranges of [mf] into webs; returns the next free
+    virtual register id after renaming. *)
+let run (mf : I.mfunc) ~(next_vreg : int) : int =
+  let blocks = Array.of_list mf.I.mblocks in
+  let n = Array.length blocks in
+  let label_index = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.replace label_index b.I.mlabel i) blocks;
+  let succs i =
+    let rec scan acc seals = function
+      | [] -> (acc, seals)
+      | ins :: rest ->
+          let acc =
+            match ins with
+            | I.B l | I.Bc (_, l) -> (
+                match Hashtbl.find_opt label_index l with
+                | Some t -> t :: acc
+                | None -> acc)
+            | _ -> acc
+          in
+          let seals =
+            match (rest, ins) with [], (I.B _ | I.Bx_lr) -> true | _ -> seals
+          in
+          scan acc seals rest
+    in
+    let targets, sealed = scan [] false blocks.(i).I.mcode in
+    if sealed || i + 1 >= n then targets else (i + 1) :: targets
+  in
+  (* number all defs; def id per (block, instr index) *)
+  let def_ids = Hashtbl.create 256 in
+  let ndefs = ref 0 in
+  Array.iteri
+    (fun bi b ->
+      List.iteri
+        (fun k ins ->
+          match vreg_uses_defs ins with
+          | _, Some _ ->
+              Hashtbl.replace def_ids (bi, k) !ndefs;
+              incr ndefs
+          | _ -> ())
+        b.I.mcode)
+    blocks;
+  (* one synthetic "undef" def per vreg for uses with no reaching def *)
+  let undef_def = Hashtbl.create 16 in
+  let undef_of v =
+    match Hashtbl.find_opt undef_def v with
+    | Some d -> d
+    | None ->
+        let d = !ndefs in
+        incr ndefs;
+        Hashtbl.replace undef_def v d;
+        d
+  in
+  (* reaching definitions at block level: for each vreg, the set of def ids
+     live at block entry/exit.  Sets are small; use sorted int lists. *)
+  let module Ds = Set.Make (Int) in
+  let gen_out = Array.make n Int_map.empty in
+  (* block transfer: defs surviving to the end (last def of each vreg) and
+     vregs killed *)
+  let block_last_def = Array.make n Int_map.empty in
+  Array.iteri
+    (fun bi b ->
+      let m = ref Int_map.empty in
+      List.iteri
+        (fun k ins ->
+          match vreg_uses_defs ins with
+          | _, Some d -> m := Int_map.add d (Hashtbl.find def_ids (bi, k)) !m
+          | _ -> ())
+        b.I.mcode;
+      block_last_def.(bi) <- !m)
+    blocks;
+  let live_in = Array.make n Int_map.empty in
+  let preds = Array.make n [] in
+  Array.iteri (fun i _ -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) (succs i)) blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      (* in = union over preds of out *)
+      let inn =
+        List.fold_left
+          (fun acc p ->
+            Int_map.union (fun _ a b -> Some (Ds.union a b)) acc gen_out.(p))
+          Int_map.empty preds.(i)
+      in
+      if not (Int_map.equal Ds.equal inn live_in.(i)) then begin
+        live_in.(i) <- inn;
+        changed := true
+      end;
+      let out =
+        Int_map.merge
+          (fun _ last inherited ->
+            match last with
+            | Some d -> Some (Ds.singleton d)
+            | None -> inherited)
+          block_last_def.(i) inn
+      in
+      if not (Int_map.equal Ds.equal out gen_out.(i)) then begin
+        gen_out.(i) <- out;
+        changed := true
+      end
+    done
+  done;
+  (* walk each block, joining reaching defs at uses *)
+  let uf = Uf.create !ndefs in
+  Array.iteri
+    (fun bi b ->
+      let reach = ref live_in.(bi) in
+      List.iteri
+        (fun k ins ->
+          let uses, def = vreg_uses_defs ins in
+          List.iter
+            (fun v ->
+              match Int_map.find_opt v !reach with
+              | Some ds when not (Ds.is_empty ds) ->
+                  let first = Ds.min_elt ds in
+                  Ds.iter (fun d -> Uf.union uf first d) ds
+              | _ ->
+                  (* no reaching def: tie to the vreg's undef web *)
+                  ignore (undef_of v))
+            uses;
+          (* a conditional move merges the old and new value of rd: its def
+             must live in the same web as the reaching defs of rd *)
+          (match ins with
+          | I.Movc (_, rd, _) when rd >= I.first_vreg ->
+              let d = Hashtbl.find def_ids (bi, k) in
+              (match Int_map.find_opt rd !reach with
+              | Some ds when not (Ds.is_empty ds) ->
+                  Ds.iter (fun d' -> Uf.union uf d d') ds
+              | _ -> Uf.union uf d (undef_of rd))
+          | _ -> ());
+          match def with
+          | Some v ->
+              let d = Hashtbl.find def_ids (bi, k) in
+              reach := Int_map.add v (Ds.singleton d) !reach
+          | None -> ())
+        b.I.mcode)
+    blocks;
+  (* assign fresh vregs per (vreg, web-root); keep a stable mapping *)
+  let web_reg : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref next_vreg in
+  let reg_for v root =
+    match Hashtbl.find_opt web_reg (v, root) with
+    | Some r -> r
+    | None ->
+        let r = !next in
+        incr next;
+        Hashtbl.replace web_reg (v, root) r;
+        r
+  in
+  (* second walk: rewrite *)
+  Array.iteri
+    (fun bi b ->
+      let reach = ref live_in.(bi) in
+      b.I.mcode <-
+        List.mapi
+          (fun k ins ->
+            let uses, def = vreg_uses_defs ins in
+            ignore uses;
+            let map_use v =
+              if v < I.first_vreg then v
+              else
+                match Int_map.find_opt v !reach with
+                | Some ds when not (Ds.is_empty ds) ->
+                    reg_for v (Uf.find uf (Ds.min_elt ds))
+                | _ -> reg_for v (Uf.find uf (undef_of v))
+            in
+            (* compute the def's new name *)
+            let map_def v =
+              if v < I.first_vreg then v
+              else
+                let d = Hashtbl.find def_ids (bi, k) in
+                reg_for v (Uf.find uf d)
+            in
+            let mo = function I.R r -> I.R (map_use r) | o -> o in
+            let ins' =
+              match ins with
+              | I.Alu (op, rd, rn, o) -> I.Alu (op, map_def rd, map_use rn, mo o)
+              | I.Mov (rd, o) -> I.Mov (map_def rd, mo o)
+              | I.Movw32 (rd, v) -> I.Movw32 (map_def rd, v)
+              | I.Movc (c, rd, o) ->
+                  (* conditional write: the use (old value) and the def must
+                     agree — the use join above already unified them *)
+                  let rd' = map_use rd in
+                  I.Movc (c, rd', mo o)
+              | I.Cmp (rn, o) -> I.Cmp (map_use rn, mo o)
+              | I.Ldr (w, rd, rn, off) -> I.Ldr (w, map_def rd, map_use rn, off)
+              | I.LdrR (w, rd, rn, rm) ->
+                  I.LdrR (w, map_def rd, map_use rn, map_use rm)
+              | I.Str (w, rd, rn, off) -> I.Str (w, map_use rd, map_use rn, off)
+              | I.StrR (w, rd, rn, rm) ->
+                  I.StrR (w, map_use rd, map_use rn, map_use rm)
+              | I.AdrData (rd, s, off) -> I.AdrData (map_def rd, s, off)
+              | I.FrameAddr (rd, s) -> I.FrameAddr (map_def rd, s)
+              | I.SpillLd (rd, nn) -> I.SpillLd (map_def rd, nn)
+              | I.SpillSt (rd, nn) -> I.SpillSt (map_use rd, nn)
+              | (I.Push _ | I.B _ | I.Bc _ | I.Bl _ | I.Bx_lr | I.Ckpt _
+                | I.Cpsid | I.Cpsie | I.Svc _) as i ->
+                  i
+            in
+            (* update reaching defs after the def *)
+            (match def with
+            | Some v ->
+                let d = Hashtbl.find def_ids (bi, k) in
+                reach := Int_map.add v (Ds.singleton d) !reach
+            | None -> ());
+            ins')
+          b.I.mcode)
+    blocks;
+  !next

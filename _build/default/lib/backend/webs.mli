@@ -1,0 +1,10 @@
+(** Live-range splitting by webs (du-chain components).
+
+    WIR is not SSA, so a virtual register can carry many unrelated values;
+    if such a register spills, its slot shows store/load/store patterns —
+    spurious back-end WARs an SSA-based compiler never sees.  Renaming each
+    web restores SSA-like granularity for the allocator and the spill-WAR
+    analysis. *)
+
+val run : Wario_machine.Isa.mfunc -> next_vreg:int -> int
+(** Rewrites in place; returns the next free virtual register id. *)

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: List Wario_analysis Wario_backend Wario_emulator Wario_ir Wario_machine Wario_minic Wario_transforms

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Wario_backend Wario_emulator Wario_ir Wario_machine Wario_transforms

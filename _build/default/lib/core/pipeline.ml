@@ -1,0 +1,173 @@
+(* The WARio compilation pipeline: the paper's contribution, assembled.
+
+   An [environment] names one of the software environments of the
+   evaluation (paper §5.1.3); [compile] runs MiniC source through the
+   corresponding sequence of transformations (Figure 2) down to a linked
+   TM2 image ready for the emulator. *)
+
+module Ir = Wario_ir.Ir
+module T = Wario_transforms
+module A = Wario_analysis
+module B = Wario_backend
+
+type environment =
+  | Plain  (** uninstrumented C; continuous power only *)
+  | Ratchet  (** basic alias analysis + hitting set; naive back end *)
+  | R_pdg  (** Ratchet with precise PDG information *)
+  | Epilog_opt  (** R-PDG + Epilog Optimizer (basic spill inserter) *)
+  | Write_cluster  (** R-PDG + Write Clusterer + HS spill inserter *)
+  | Loop_cluster  (** R-PDG + Loop Write Clusterer + HS spill inserter *)
+  | Wario  (** complete WARio *)
+  | Wario_expander  (** WARio + Expander *)
+
+let environment_name = function
+  | Plain -> "plain-c"
+  | Ratchet -> "ratchet"
+  | R_pdg -> "r-pdg"
+  | Epilog_opt -> "epilog-optimizer"
+  | Write_cluster -> "write-clusterer"
+  | Loop_cluster -> "loop-write-clusterer"
+  | Wario -> "wario"
+  | Wario_expander -> "wario-expander"
+
+let all_environments =
+  [ Plain; Ratchet; R_pdg; Epilog_opt; Write_cluster; Loop_cluster; Wario;
+    Wario_expander ]
+
+let environment_of_name s =
+  List.find_opt (fun e -> environment_name e = s) all_environments
+
+type options = {
+  unroll_factor : int;  (** the paper's N; default 8 (§5.2.4) *)
+  expander_size_limit : int;
+  optimize : bool;  (** run the -O3 substitute first (default true) *)
+  expander_profile : (string * int) list option;
+      (** dynamic call counts: switches the Expander to profile-guided mode *)
+  max_region : int option;
+      (** bound idempotent regions to ~n estimated cycles (extension, §6) *)
+}
+
+let default_options =
+  {
+    unroll_factor = 8;
+    expander_size_limit = 400;
+    optimize = true;
+    expander_profile = None;
+    max_region = None;
+  }
+
+type middle_stats = {
+  wars_found : int;
+  middle_ckpts : int;
+  lwc : T.Loop_write_clusterer.stats option;
+  wc_moves : int;
+  expander : T.Expander.stats option;
+}
+
+type compiled = {
+  env : environment;
+  ir : Ir.program;  (** IR after all middle-end transformations *)
+  mprog : Wario_machine.Isa.mprog;
+  image : Wario_emulator.Image.t;
+  middle : middle_stats;
+  backend : B.Backend.stats;
+  text_bytes : int;
+}
+
+let backend_config = function
+  | Plain -> B.Backend.plain_backend
+  | Ratchet | R_pdg -> B.Backend.ratchet_backend
+  | Epilog_opt ->
+      (* paper §5.1.3: the HS spill inserter is disabled for this
+         environment so it does not pollute the epilog results *)
+      {
+        B.Backend.spill_strategy = Some B.Stack_ckpt.Naive;
+        epilog_style = B.Frame.Optimized;
+      }
+  | Write_cluster | Loop_cluster ->
+      {
+        B.Backend.spill_strategy = Some B.Stack_ckpt.Hitting_set;
+        epilog_style = B.Frame.Naive;
+      }
+  | Wario | Wario_expander -> B.Backend.wario_backend
+
+(** Run the middle end for [env] on [prog] (mutates it). *)
+let middle_end ?(opts = default_options) (env : environment)
+    (prog : Ir.program) : middle_stats =
+  if opts.optimize then T.Opt_pipeline.run prog;
+  let lwc =
+    match env with
+    | Loop_cluster | Wario | Wario_expander ->
+        let st =
+          T.Loop_write_clusterer.run ~unroll_factor:opts.unroll_factor prog
+        in
+        (* clean up moves and dead snapshots left behind by the clustering
+           (copy propagation and DCE never reorder memory operations) *)
+        ignore (T.Copyprop.run prog);
+        ignore (T.Dce.run prog);
+        Some st
+    | _ -> None
+  in
+  let expander =
+    match env with
+    | Wario_expander ->
+        Some
+          (T.Expander.run ~size_limit:opts.expander_size_limit
+             ?profile:opts.expander_profile prog)
+    | _ -> None
+  in
+  let wc_moves =
+    match env with
+    | Write_cluster | Wario | Wario_expander -> T.Write_clusterer.run prog
+    | _ -> 0
+  in
+  let wars_found, middle_ckpts =
+    match env with
+    | Plain -> (0, 0)
+    | Ratchet ->
+        let st = T.Checkpoint_inserter.run ~mode:A.Alias.Basic prog in
+        (st.wars, st.checkpoints)
+    | _ ->
+        let st = T.Checkpoint_inserter.run ~mode:A.Alias.Precise prog in
+        (st.wars, st.checkpoints)
+  in
+  (* optional extension: bound region sizes for tiny storage capacitors *)
+  (match (env, opts.max_region) with
+  | Plain, _ | _, None -> ()
+  | _, Some n -> ignore (T.Region_bounder.run ~max_instrs:n prog));
+  { wars_found; middle_ckpts; lwc; wc_moves; expander }
+
+(** Compile MiniC source text under a software environment. *)
+let compile ?(opts = default_options) (env : environment) (source : string) :
+    compiled =
+  let prog = Wario_minic.Minic.compile source in
+  let middle = middle_end ~opts env prog in
+  Wario_ir.Ir_verify.verify_program prog;
+  let mprog, backend = B.Backend.run ~config:(backend_config env) prog in
+  let image = Wario_emulator.Image.link mprog in
+  {
+    env;
+    ir = prog;
+    mprog;
+    image;
+    middle;
+    backend;
+    text_bytes = image.Wario_emulator.Image.text_bytes;
+  }
+
+(** Compile an already-lowered IR program (used by tests). *)
+let compile_ir ?(opts = default_options) (env : environment)
+    (prog : Ir.program) : compiled =
+  let middle = middle_end ~opts env prog in
+  Wario_ir.Ir_verify.verify_program prog;
+  let mprog, backend = B.Backend.run ~config:(backend_config env) prog in
+  let image = Wario_emulator.Image.link mprog in
+  {
+    env;
+    ir = prog;
+    mprog;
+    image;
+    middle;
+    backend;
+    text_bytes = image.Wario_emulator.Image.text_bytes;
+  }

@@ -1,0 +1,61 @@
+(** The WARio compilation pipeline — the paper's contribution, assembled.
+
+    [compile env src] runs MiniC source through the software environment
+    [env] (paper §5.1.3): the -O3 substitute, the selected WARio middle-end
+    transformations, the PDG checkpoint inserter, and the back end, down to
+    a linked TM2 image for the emulator. *)
+
+type environment =
+  | Plain  (** uninstrumented C; continuous power only *)
+  | Ratchet  (** basic alias analysis + hitting set; naive back end *)
+  | R_pdg  (** Ratchet with precise PDG information *)
+  | Epilog_opt  (** R-PDG + Epilog Optimizer (basic spill inserter) *)
+  | Write_cluster  (** R-PDG + Write Clusterer + HS spill inserter *)
+  | Loop_cluster  (** R-PDG + Loop Write Clusterer + HS spill inserter *)
+  | Wario  (** complete WARio *)
+  | Wario_expander  (** WARio + Expander *)
+
+val environment_name : environment -> string
+val all_environments : environment list
+val environment_of_name : string -> environment option
+
+type options = {
+  unroll_factor : int;  (** the paper's N; default 8 (§5.2.4) *)
+  expander_size_limit : int;
+  optimize : bool;  (** run the -O3 substitute first (default true) *)
+  expander_profile : (string * int) list option;
+      (** dynamic call counts: switches the Expander to profile-guided mode *)
+  max_region : int option;
+      (** bound idempotent regions to ~n estimated cycles (extension, §6) *)
+}
+
+val default_options : options
+
+type middle_stats = {
+  wars_found : int;
+  middle_ckpts : int;
+  lwc : Wario_transforms.Loop_write_clusterer.stats option;
+  wc_moves : int;
+  expander : Wario_transforms.Expander.stats option;
+}
+
+type compiled = {
+  env : environment;
+  ir : Wario_ir.Ir.program;  (** IR after all middle-end transformations *)
+  mprog : Wario_machine.Isa.mprog;
+  image : Wario_emulator.Image.t;
+  middle : middle_stats;
+  backend : Wario_backend.Backend.stats;
+  text_bytes : int;
+}
+
+val middle_end :
+  ?opts:options -> environment -> Wario_ir.Ir.program -> middle_stats
+(** Run just the middle end (mutates the program). *)
+
+val compile : ?opts:options -> environment -> string -> compiled
+(** Compile MiniC source text.
+    @raise Wario_minic.Minic.Error on front-end errors *)
+
+val compile_ir : ?opts:options -> environment -> Wario_ir.Ir.program -> compiled
+(** Compile an already-lowered IR program (mutates it). *)

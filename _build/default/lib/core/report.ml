@@ -1,0 +1,90 @@
+(* Report formatting: plain-text tables for the benchmark harness, plus the
+   static feature-comparison of paper Table 4. *)
+
+let hr width = String.make width '-'
+
+(** Render a table: header row + rows, columns sized to fit. *)
+let table ?(title = "") (header : string list) (rows : string list list) :
+    string =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         if i < ncols then widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let pad = widths.(i) - String.length cell in
+           if i = 0 then cell ^ String.make pad ' '
+           else String.make pad ' ' ^ cell)
+         r)
+  in
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let b = Buffer.create 1024 in
+  if title <> "" then Buffer.add_string b (title ^ "\n");
+  Buffer.add_string b (render_row header);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (hr total);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b (render_row r);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let pct ?(digits = 1) x = Printf.sprintf "%+.*f%%" digits x
+let ratio x = Printf.sprintf "%.2f" x
+
+(** Paper Table 4: WARio against the related intermittent-execution support
+    systems (static content; reproduced from the paper). *)
+let table4 () : string =
+  table
+    ~title:
+      "Table 4: WARio compared against state-of-the-art intermittent \
+       execution support systems"
+    [
+      "system"; "NV main mem"; "reg-only ckpt"; "no runtime log";
+      "incorruptible"; "C support"; "compiler-based"; "code-aware";
+      "code-transf."; "ARM";
+    ]
+    [
+      [ "Mementos"; "no"; "no"; "yes"; "yes"; "yes"; "no"; "no"; "no"; "yes" ];
+      [ "MPatch"; "no"; "no"; "no"; "yes"; "yes"; "no"; "no"; "no"; "yes" ];
+      [ "Chinchilla"; "yes"; "yes"; "no"; "yes"; "partially"; "yes"; "no";
+        "partially"; "no" ];
+      [ "TICS"; "yes"; "no"; "no"; "yes"; "yes"; "yes"; "no"; "no"; "no" ];
+      [ "InK"; "partially"; "yes"; "partially"; "yes"; "no"; "no"; "no"; "no";
+        "no" ];
+      [ "Ratchet"; "yes"; "yes"; "yes"; "yes"; "yes"; "yes"; "yes"; "no";
+        "yes" ];
+      [ "WARio"; "yes"; "yes"; "yes"; "yes"; "yes"; "yes"; "yes"; "yes";
+        "yes" ];
+    ]
+
+(** Five-number summary of idempotent region sizes (paper Figure 7). *)
+type region_summary = {
+  rs_p25 : int;
+  rs_median : int;
+  rs_p75 : int;
+  rs_mean : float;
+  rs_max : int;
+  rs_count : int;
+}
+
+let summarize_regions (sizes : int list) : region_summary =
+  match sizes with
+  | [] -> { rs_p25 = 0; rs_median = 0; rs_p75 = 0; rs_mean = 0.; rs_max = 0; rs_count = 0 }
+  | _ ->
+      let module U = Wario_support.Util in
+      {
+        rs_p25 = U.percentile 25. sizes;
+        rs_median = U.percentile 50. sizes;
+        rs_p75 = U.percentile 75. sizes;
+        rs_mean = U.mean sizes;
+        rs_max = List.fold_left max 0 sizes;
+        rs_count = List.length sizes;
+      }

@@ -1,0 +1,22 @@
+(** Plain-text tables for the benchmark harness, plus paper Table 4. *)
+
+val table : ?title:string -> string list -> string list list -> string
+(** Render a header row + data rows with fitted columns. *)
+
+val pct : ?digits:int -> float -> string
+val ratio : float -> string
+
+val table4 : unit -> string
+(** Paper Table 4: WARio against related intermittent-execution systems. *)
+
+(** Five-number summary of idempotent region sizes (paper Figure 7). *)
+type region_summary = {
+  rs_p25 : int;
+  rs_median : int;
+  rs_p75 : int;
+  rs_mean : float;
+  rs_max : int;
+  rs_count : int;
+}
+
+val summarize_regions : int list -> region_summary

@@ -1,0 +1,51 @@
+(* Running compiled images on the emulator under the paper's power cases
+   (§5.1.4) plus convenience wrappers used by examples, tests and benches. *)
+
+module E = Wario_emulator
+
+type outcome = {
+  result : E.Emulator.result;
+  compiled : Pipeline.compiled;
+}
+
+(** Continuous power (paper: execution-time overhead measurements). *)
+let continuous ?(irq_period = 0) ?(verify = true) (c : Pipeline.compiled) :
+    outcome =
+  { result = E.Emulator.run ~irq_period ~verify c.Pipeline.image; compiled = c }
+
+(** Intermittent power with a fixed on-period in cycles. *)
+let periodic ?(irq_period = 0) ?(verify = true) ~(on_cycles : int)
+    (c : Pipeline.compiled) : outcome =
+  {
+    result =
+      E.Emulator.run ~irq_period ~verify
+        ~supply:(E.Power.Periodic on_cycles) c.Pipeline.image;
+    compiled = c;
+  }
+
+(** Intermittent power replaying a harvester trace of on-durations. *)
+let with_trace ?(irq_period = 0) ?(verify = true) ~(trace : int array)
+    (c : Pipeline.compiled) : outcome =
+  {
+    result =
+      E.Emulator.run ~irq_period ~verify ~supply:(E.Power.Trace trace)
+        c.Pipeline.image;
+    compiled = c;
+  }
+
+(** Compile and run a source under an environment on continuous power. *)
+let compile_and_run ?(opts = Pipeline.default_options)
+    (env : Pipeline.environment) (source : string) : outcome =
+  continuous (Pipeline.compile ~opts env source)
+
+(** Assert the absence of WAR violations; raises [Failure] otherwise. *)
+let check_no_violations (o : outcome) : unit =
+  match o.result.E.Emulator.violations with
+  | [] -> ()
+  | v :: _ as all ->
+      failwith
+        (Printf.sprintf
+           "%d WAR violation(s); first: %s at 0x%x in %s (pc=%d, [%s])"
+           (List.length all) v.E.Emulator.v_instr v.E.Emulator.v_addr
+           v.E.Emulator.v_func v.E.Emulator.v_pc
+           (Pipeline.environment_name o.compiled.Pipeline.env))

@@ -1,0 +1,20 @@
+(** Running compiled images under the paper's power cases (§5.1.4). *)
+
+type outcome = {
+  result : Wario_emulator.Emulator.result;
+  compiled : Pipeline.compiled;
+}
+
+val continuous : ?irq_period:int -> ?verify:bool -> Pipeline.compiled -> outcome
+
+val periodic :
+  ?irq_period:int -> ?verify:bool -> on_cycles:int -> Pipeline.compiled -> outcome
+
+val with_trace :
+  ?irq_period:int -> ?verify:bool -> trace:int array -> Pipeline.compiled -> outcome
+
+val compile_and_run :
+  ?opts:Pipeline.options -> Pipeline.environment -> string -> outcome
+
+val check_no_violations : outcome -> unit
+(** @raise Failure describing the first WAR violation, if any *)

@@ -1,0 +1,1 @@
+lib/emulator/emulator.ml: Array Bytes Char Hashtbl Image Int32 List Power Printf Sys Wario_machine

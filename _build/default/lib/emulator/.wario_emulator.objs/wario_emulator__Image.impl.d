@@ -1,0 +1,1 @@
+lib/emulator/image.ml: Array Hashtbl Int32 List Wario_machine Wario_support

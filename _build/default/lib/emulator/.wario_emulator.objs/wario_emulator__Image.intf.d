@@ -1,0 +1,1 @@
+lib/emulator/image.mli: Wario_machine

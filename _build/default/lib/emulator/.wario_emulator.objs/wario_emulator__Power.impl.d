@@ -1,0 +1,1 @@
+lib/emulator/power.ml: Array

@@ -1,0 +1,1 @@
+lib/emulator/traces.ml: Array Wario_support

@@ -1,0 +1,593 @@
+(* Cortex-M-class emulator for TM2 images (the paper's custom Unicorn-based
+   emulator, §5.1.1, rebuilt as an interpreter).
+
+   Modelled:
+   - a three-stage-pipeline cycle model (taken branches pay a refill);
+   - non-volatile main memory, volatile registers/flags;
+   - the double-buffered checkpoint runtime: [Ckpt] saves the live
+     registers (mask) + sp/pc/flags into the inactive buffer and commits by
+     bumping its sequence number — a power failure mid-checkpoint leaves the
+     previous checkpoint intact;
+   - intermittent power ([Power]): every instruction (and the checkpoint
+     commit, atomically) spends from the current on-period budget; running
+     dry is a power failure: volatile state clears, and on the next
+     on-period the boot sequence and checkpoint restore replay;
+   - optional periodic interrupts: exception entry pushes eight words at sp
+     exactly like the hardware, which is the WAR hazard the pop converter
+     and epilog optimizer exist for; [Cpsid]/[Cpsie] defer delivery;
+   - WAR-violation-absence verification (paper §5.1.1): per idempotent
+     region, a write to a byte first accessed by a read is a violation —
+     checked on *every* access including back-end stack traffic;
+   - statistics: executed checkpoints by cause, idempotent region sizes in
+     cycles, power failures, cycle/instruction totals. *)
+
+module I = Wario_machine.Isa
+
+exception Emu_error of string
+exception No_forward_progress
+
+let boot_cycles = 400
+let halt_magic = 0x7fffffffl
+
+type violation = { v_pc : int; v_func : string; v_addr : int; v_instr : string }
+
+type cause_counts = {
+  mutable c_entry : int;
+  mutable c_exit : int;
+  mutable c_middle : int;
+  mutable c_backend : int;
+}
+
+type result = {
+  output : int32 list;
+  exit_code : int32;
+  cycles : int;  (** total active cycles, incl. boot/restore/re-execution *)
+  instrs : int;
+  checkpoints : cause_counts;
+  checkpoints_total : int;
+  region_sizes : int list;  (** cycles between region boundaries *)
+  power_failures : int;
+  boots : int;
+  violations : violation list;
+  irqs_taken : int;
+  call_counts : (string * int) list;
+      (** dynamic calls per callee (a profile for the Expander) *)
+}
+
+type state = {
+  img : Image.t;
+  mem : Bytes.t;
+  regs : int32 array;
+  mutable nf : bool;
+  mutable zf : bool;
+  mutable cf : bool;
+  mutable vf : bool;
+  mutable pc : int;
+  mutable primask : bool;  (** true = interrupts disabled *)
+  mutable pending_irq : bool;
+  mutable halted : bool;
+  mutable exit_code : int32;
+  (* power *)
+  power : Power.t;
+  mutable budget : int option;
+  mutable cycles : int;
+  mutable instrs : int;
+  fuel : int;
+  (* interrupts *)
+  irq_period : int;
+  mutable next_irq_at : int;
+  mutable irqs_taken : int;
+  (* verification *)
+  verify : bool;
+  epoch : int array;
+  kinds : Bytes.t;
+  mutable cur_epoch : int;
+  mutable violations : violation list;
+  (* stats *)
+  counts : cause_counts;
+  mutable region_start : int;
+  mutable regions_rev : int list;
+  mutable failures : int;
+  mutable boots : int;
+  mutable boots_since_commit : int;
+  mutable out_rev : int32 list;
+  calls : (string, int) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Memory with WAR tracking                                             *)
+(* ------------------------------------------------------------------ *)
+
+let in_ckpt_area a = a >= Image.ckpt_base && a < Image.ckpt_base + 0x100
+
+let check_addr st a n =
+  if a < 0x40 || a + n > Image.mem_size then
+    raise
+      (Emu_error
+         (Printf.sprintf "memory fault at 0x%x (pc=%d, %s)" a st.pc
+            (I.string_of_instr st.img.Image.code.(st.pc))))
+
+let track_read st a n =
+  if st.verify && not (in_ckpt_area a) then
+    for i = a to a + n - 1 do
+      if st.epoch.(i) <> st.cur_epoch then begin
+        st.epoch.(i) <- st.cur_epoch;
+        Bytes.unsafe_set st.kinds i 'r'
+      end
+    done
+
+let track_write st a n =
+  if st.verify && not (in_ckpt_area a) then
+    for i = a to a + n - 1 do
+      if st.epoch.(i) <> st.cur_epoch then begin
+        st.epoch.(i) <- st.cur_epoch;
+        Bytes.unsafe_set st.kinds i 'w'
+      end
+      else if Bytes.unsafe_get st.kinds i = 'r' then begin
+        st.violations <-
+          {
+            v_pc = st.pc;
+            v_func = st.img.Image.func_of_pc.(st.pc);
+            v_addr = i;
+            v_instr = I.string_of_instr st.img.Image.code.(st.pc);
+          }
+          :: st.violations;
+        (* only report each byte once per region *)
+        Bytes.unsafe_set st.kinds i 'w'
+      end
+    done
+
+let region_boundary st =
+  st.cur_epoch <- st.cur_epoch + 1;
+  st.regions_rev <- (st.cycles - st.region_start) :: st.regions_rev;
+  st.region_start <- st.cycles
+
+let load st w a =
+  let a = Int32.to_int a land 0xffffffff in
+  let n = I.bytes_of_width w in
+  check_addr st a n;
+  track_read st a n;
+  match w with
+  | I.W8 -> Int32.of_int (Char.code (Bytes.get st.mem a))
+  | I.S8 ->
+      let v = Char.code (Bytes.get st.mem a) in
+      Int32.of_int (if v >= 0x80 then v - 0x100 else v)
+  | I.W16 -> Int32.of_int (Bytes.get_uint16_le st.mem a)
+  | I.S16 -> Int32.of_int (Bytes.get_int16_le st.mem a)
+  | I.W32 -> Bytes.get_int32_le st.mem a
+
+let store st w a v =
+  let a = Int32.to_int a land 0xffffffff in
+  let n = I.bytes_of_width w in
+  check_addr st a n;
+  track_write st a n;
+  match w with
+  | I.W8 | I.S8 -> Bytes.set st.mem a (Char.chr (Int32.to_int v land 0xff))
+  | I.W16 | I.S16 -> Bytes.set_uint16_le st.mem a (Int32.to_int v land 0xffff)
+  | I.W32 -> Bytes.set_int32_le st.mem a v
+
+(* raw accesses for the checkpoint runtime (never tracked) *)
+let raw_store32 st a v = Bytes.set_int32_le st.mem a v
+let raw_load32 st a = Bytes.get_int32_le st.mem a
+
+(* ------------------------------------------------------------------ *)
+(* ALU and flags                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let eval_alu op (a : int32) (b : int32) : int32 =
+  let sh = Int32.to_int b land 255 in
+  let shift f = if sh >= 32 then 0l else f a sh in
+  match op with
+  | I.ADD -> Int32.add a b
+  | I.SUB -> Int32.sub a b
+  | I.RSB -> Int32.sub b a
+  | I.MUL -> Int32.mul a b
+  | I.SDIV ->
+      (* Cortex-M semantics: division by zero yields 0 (DIV_0_TRP clear) *)
+      if Int32.equal b 0l then 0l
+      else if Int32.equal a Int32.min_int && Int32.equal b (-1l) then
+        Int32.min_int
+      else Int32.div a b
+  | I.UDIV -> if Int32.equal b 0l then 0l else Int32.unsigned_div a b
+  | I.AND -> Int32.logand a b
+  | I.ORR -> Int32.logor a b
+  | I.EOR -> Int32.logxor a b
+  | I.LSL -> shift Int32.shift_left
+  | I.LSR -> shift Int32.shift_right_logical
+  | I.ASR -> if sh >= 32 then Int32.shift_right a 31 else Int32.shift_right a sh
+
+let set_flags st (a : int32) (b : int32) =
+  let d = Int32.sub a b in
+  st.nf <- Int32.compare d 0l < 0;
+  st.zf <- Int32.equal d 0l;
+  st.cf <- Int32.unsigned_compare a b >= 0;
+  st.vf <-
+    (Int32.compare a 0l < 0 && Int32.compare b 0l >= 0 && Int32.compare d 0l >= 0)
+    || (Int32.compare a 0l >= 0 && Int32.compare b 0l < 0 && Int32.compare d 0l < 0)
+
+let cond_holds st = function
+  | I.EQ -> st.zf
+  | I.NE -> not st.zf
+  | I.LT -> st.nf <> st.vf
+  | I.LE -> st.zf || st.nf <> st.vf
+  | I.GT -> (not st.zf) && st.nf = st.vf
+  | I.GE -> st.nf = st.vf
+  | I.LO -> not st.cf
+  | I.LS -> (not st.cf) || st.zf
+  | I.HI -> st.cf && not st.zf
+  | I.HS -> st.cf
+  | I.AL -> true
+
+let pack_flags st =
+  (if st.nf then 1 else 0)
+  lor (if st.zf then 2 else 0)
+  lor (if st.cf then 4 else 0)
+  lor if st.vf then 8 else 0
+
+let unpack_flags st v =
+  st.nf <- v land 1 <> 0;
+  st.zf <- v land 2 <> 0;
+  st.cf <- v land 4 <> 0;
+  st.vf <- v land 8 <> 0
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint runtime (double buffered)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let buffer_stride = 0x80
+let buf_addr i = Image.ckpt_base + (i * buffer_stride)
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+let ckpt_cost mask = 12 + (2 * (popcount mask + 3)) (* + sp, pc, flags *)
+let restore_cost mask = 8 + (2 * (popcount mask + 3))
+
+let active_buffer st =
+  let s0 = raw_load32 st (buf_addr 0) and s1 = raw_load32 st (buf_addr 1) in
+  if Int32.equal s0 0l && Int32.equal s1 0l then None
+  else if Int32.unsigned_compare s0 s1 >= 0 then Some 0
+  else Some 1
+
+let commit_checkpoint st mask resume_pc =
+  let target =
+    match active_buffer st with Some 0 -> 1 | Some _ -> 0 | None -> 0
+  in
+  let base = buf_addr target in
+  raw_store32 st (base + 4) (Int32.of_int mask);
+  raw_store32 st (base + 8) (Int32.of_int resume_pc);
+  raw_store32 st (base + 12) st.regs.(I.sp);
+  raw_store32 st (base + 16) (Int32.of_int (pack_flags st));
+  for r = 0 to 14 do
+    if mask land (1 lsl r) <> 0 then
+      raw_store32 st (base + 20 + (4 * r)) st.regs.(r)
+  done;
+  (* commit: bump the sequence number last *)
+  let seq =
+    Int32.add 1l
+      (match active_buffer st with
+      | None -> 0l
+      | Some i -> raw_load32 st (buf_addr i))
+  in
+  raw_store32 st base seq;
+  st.boots_since_commit <- 0;
+  region_boundary st
+
+let restore_checkpoint st : bool =
+  match active_buffer st with
+  | None -> false
+  | Some i ->
+      let base = buf_addr i in
+      let mask = Int32.to_int (raw_load32 st (base + 4)) in
+      st.pc <- Int32.to_int (raw_load32 st (base + 8));
+      st.regs.(I.sp) <- raw_load32 st (base + 12);
+      unpack_flags st (Int32.to_int (raw_load32 st (base + 16)));
+      for r = 0 to 14 do
+        if r <> I.sp then
+          st.regs.(r) <-
+            (if mask land (1 lsl r) <> 0 then raw_load32 st (base + 20 + (4 * r))
+             else 0l)
+      done;
+      st.cycles <- st.cycles + restore_cost mask;
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Power                                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Power_failed
+
+(* Spend [c] cycles atomically; raises [Power_failed] if the budget cannot
+   cover them (the action does not take place). *)
+let spend st c =
+  (match st.budget with
+  | Some b when b < c ->
+      st.budget <- Some 0;
+      raise Power_failed
+  | Some b -> st.budget <- Some (b - c)
+  | None -> ());
+  st.cycles <- st.cycles + c;
+  if st.cycles > st.fuel then
+    raise (Emu_error "cycle budget exhausted (no termination?)")
+
+let cold_start st =
+  st.pc <- st.img.Image.entry;
+  Array.fill st.regs 0 16 0l;
+  st.regs.(I.sp) <- Int32.of_int Image.stack_top;
+  st.regs.(I.lr) <- halt_magic;
+  st.nf <- false;
+  st.zf <- false;
+  st.cf <- false;
+  st.vf <- false
+
+let power_on st =
+  st.boots <- st.boots + 1;
+  st.boots_since_commit <- st.boots_since_commit + 1;
+  if st.boots_since_commit > 2000 then raise No_forward_progress;
+  st.budget <- Power.next_budget st.power;
+  st.primask <- false;
+  st.pending_irq <- false;
+  (* boot + restore; failing inside these just burns the period *)
+  spend st boot_cycles;
+  if not (restore_checkpoint st) then cold_start st;
+  if Sys.getenv_opt "WARIO_DEBUG_EMU" <> None && (st.boots < 50 || st.boots mod 10000 = 0) then
+    Printf.eprintf "boot %d: pc=%d (%s) cycles=%d\n%!" st.boots st.pc
+      st.img.Image.func_of_pc.(st.pc) st.cycles;
+  st.cur_epoch <- st.cur_epoch + 1;
+  st.region_start <- st.cycles;
+  (* the interrupt timer starts once the application code resumes *)
+  st.next_irq_at <- st.cycles + st.irq_period
+
+let power_failure st =
+  st.failures <- st.failures + 1;
+  Array.fill st.regs 0 16 0l
+
+(* ------------------------------------------------------------------ *)
+(* Interrupts                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Hardware exception entry/exit: push {r0-r3, r12, lr, pc, xpsr} at sp,
+   run an empty handler, pop, return.  The pushes are real tracked writes:
+   this is precisely the ISR WAR hazard of paper §3.1.3. *)
+let take_irq st =
+  spend st 24;
+  let sp = Int32.to_int st.regs.(I.sp) in
+  let frame = sp - 32 in
+  let values =
+    [|
+      st.regs.(0); st.regs.(1); st.regs.(2); st.regs.(3); st.regs.(12);
+      st.regs.(I.lr); Int32.of_int st.pc; Int32.of_int (pack_flags st);
+    |]
+  in
+  check_addr st frame 32;
+  Array.iteri
+    (fun i v ->
+      track_write st (frame + (4 * i)) 4;
+      raw_store32 st (frame + (4 * i)) v)
+    values;
+  (* empty handler; exception return reads the frame back *)
+  for i = 0 to 7 do
+    track_read st (frame + (4 * i)) 4;
+    ignore (raw_load32 st (frame + (4 * i)))
+  done;
+  st.irqs_taken <- st.irqs_taken + 1
+
+let maybe_irq st =
+  if st.irq_period > 0 && st.cycles >= st.next_irq_at then begin
+    st.next_irq_at <- st.cycles + st.irq_period;
+    if st.primask then st.pending_irq <- true else take_irq st
+  end
+  else if st.pending_irq && not st.primask then begin
+    st.pending_irq <- false;
+    take_irq st
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution                                                *)
+(* ------------------------------------------------------------------ *)
+
+let op2 st = function I.R r -> st.regs.(r) | I.I i -> i
+
+let exec_instr st (ins : I.instr) =
+  let next = st.pc + 1 in
+  match ins with
+  | I.Alu (op, rd, rn, o) ->
+      spend st (match op with I.SDIV | I.UDIV -> 6 | _ -> 1);
+      st.regs.(rd) <- eval_alu op st.regs.(rn) (op2 st o);
+      st.pc <- next
+  | I.Mov (rd, o) ->
+      spend st 1;
+      st.regs.(rd) <- op2 st o;
+      st.pc <- next
+  | I.Movw32 (rd, v) ->
+      spend st 2;
+      st.regs.(rd) <- v;
+      st.pc <- next
+  | I.Movc (c, rd, o) ->
+      spend st 1;
+      if cond_holds st c then st.regs.(rd) <- op2 st o;
+      st.pc <- next
+  | I.Cmp (rn, o) ->
+      spend st 1;
+      set_flags st st.regs.(rn) (op2 st o);
+      st.pc <- next
+  | I.Ldr (w, rd, rn, off) ->
+      spend st 2;
+      st.regs.(rd) <- load st w (Int32.add st.regs.(rn) off);
+      st.pc <- next
+  | I.LdrR (w, rd, rn, rm) ->
+      spend st 2;
+      st.regs.(rd) <- load st w (Int32.add st.regs.(rn) st.regs.(rm));
+      st.pc <- next
+  | I.Str (w, rd, rn, off) ->
+      spend st 2;
+      store st w (Int32.add st.regs.(rn) off) st.regs.(rd);
+      st.pc <- next
+  | I.StrR (w, rd, rn, rm) ->
+      spend st 2;
+      store st w (Int32.add st.regs.(rn) st.regs.(rm)) st.regs.(rd);
+      st.pc <- next
+  | I.AdrData (rd, _, _) ->
+      spend st 2;
+      st.regs.(rd) <- st.img.Image.adr.(st.pc);
+      st.pc <- next
+  | I.Push rs ->
+      spend st (1 + List.length rs);
+      let n = List.length rs in
+      let sp = Int32.to_int st.regs.(I.sp) - (4 * n) in
+      check_addr st sp (4 * n);
+      List.iteri
+        (fun i r ->
+          track_write st (sp + (4 * i)) 4;
+          raw_store32 st (sp + (4 * i)) st.regs.(r))
+        rs;
+      st.regs.(I.sp) <- Int32.of_int sp;
+      st.pc <- next
+  | I.B _ ->
+      spend st 3;
+      st.pc <- st.img.Image.target.(st.pc)
+  | I.Bc (c, _) ->
+      if cond_holds st c then begin
+        spend st 3;
+        st.pc <- st.img.Image.target.(st.pc)
+      end
+      else begin
+        spend st 1;
+        st.pc <- next
+      end
+  | I.Bl _ ->
+      spend st 4;
+      let callee = st.img.Image.func_of_pc.(st.img.Image.target.(st.pc)) in
+      Hashtbl.replace st.calls callee
+        (1 + try Hashtbl.find st.calls callee with Not_found -> 0);
+      st.regs.(I.lr) <- Int32.of_int next;
+      st.pc <- st.img.Image.target.(st.pc)
+  | I.Bx_lr ->
+      spend st 3;
+      if Int32.equal st.regs.(I.lr) halt_magic then begin
+        st.halted <- true;
+        st.exit_code <- st.regs.(0)
+      end
+      else st.pc <- Int32.to_int st.regs.(I.lr)
+  | I.Ckpt (cause, mask) ->
+      let mask = if Sys.getenv_opt "WARIO_SAVE_ALL" <> None then 0x7fff else mask in
+      spend st (ckpt_cost mask);
+      commit_checkpoint st mask next;
+      (match cause with
+      | I.Function_entry -> st.counts.c_entry <- st.counts.c_entry + 1
+      | I.Function_exit -> st.counts.c_exit <- st.counts.c_exit + 1
+      | I.Middle_end_war -> st.counts.c_middle <- st.counts.c_middle + 1
+      | I.Back_end_war -> st.counts.c_backend <- st.counts.c_backend + 1);
+      st.pc <- next
+  | I.Cpsid ->
+      spend st 1;
+      st.primask <- true;
+      st.pc <- next
+  | I.Cpsie ->
+      spend st 1;
+      st.primask <- false;
+      st.pc <- next
+  | I.Svc 0 ->
+      (* console output, made atomic with an implicit checkpoint (the
+         standard treatment of peripheral output; not counted in the cause
+         statistics) *)
+      let mask = 0x5fff in
+      spend st (2 + ckpt_cost mask);
+      st.out_rev <- st.regs.(0) :: st.out_rev;
+      commit_checkpoint st mask next;
+      st.pc <- next
+  | I.Svc _ ->
+      spend st 1;
+      st.halted <- true;
+      st.exit_code <- st.regs.(0)
+  | I.FrameAddr _ | I.SpillLd _ | I.SpillSt _ ->
+      raise (Emu_error ("pseudo instruction in linked code: " ^ I.string_of_instr ins))
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let init_memory st =
+  List.iter
+    (fun (a, n, v) ->
+      match n with
+      | 1 -> Bytes.set st.mem a (Char.chr (Int32.to_int v land 0xff))
+      | 2 -> Bytes.set_uint16_le st.mem a (Int32.to_int v land 0xffff)
+      | _ -> Bytes.set_int32_le st.mem a v)
+    st.img.Image.init_image
+
+let run ?(fuel = 2_000_000_000) ?(supply = Power.Continuous) ?(irq_period = 0)
+    ?(verify = true) (img : Image.t) : result =
+  let st =
+    {
+      img;
+      mem = Bytes.make Image.mem_size '\000';
+      regs = Array.make 16 0l;
+      nf = false;
+      zf = false;
+      cf = false;
+      vf = false;
+      pc = img.Image.entry;
+      primask = false;
+      pending_irq = false;
+      halted = false;
+      exit_code = 0l;
+      power = Power.create supply;
+      budget = None;
+      cycles = 0;
+      instrs = 0;
+      fuel;
+      irq_period;
+      next_irq_at = irq_period;
+      irqs_taken = 0;
+      verify;
+      epoch = Array.make Image.mem_size (-1);
+      kinds = Bytes.make Image.mem_size ' ';
+      cur_epoch = 0;
+      violations = [];
+      counts = { c_entry = 0; c_exit = 0; c_middle = 0; c_backend = 0 };
+      region_start = 0;
+      regions_rev = [];
+      failures = 0;
+      boots = 0;
+      boots_since_commit = 0;
+      out_rev = [];
+      calls = Hashtbl.create 16;
+    }
+  in
+  init_memory st;
+  (* first power-on *)
+  let rec boot () =
+    try power_on st
+    with Power_failed ->
+      power_failure st;
+      boot ()
+  in
+  boot ();
+  while not st.halted do
+    try
+      maybe_irq st;
+      exec_instr st st.img.Image.code.(st.pc);
+      st.instrs <- st.instrs + 1
+    with Power_failed ->
+      power_failure st;
+      boot ()
+  done;
+  {
+    output = List.rev st.out_rev;
+    exit_code = st.exit_code;
+    cycles = st.cycles;
+    instrs = st.instrs;
+    checkpoints = st.counts;
+    checkpoints_total =
+      st.counts.c_entry + st.counts.c_exit + st.counts.c_middle
+      + st.counts.c_backend;
+    region_sizes = List.rev ((st.cycles - st.region_start) :: st.regions_rev);
+    power_failures = st.failures;
+    boots = st.boots;
+    violations = List.rev st.violations;
+    irqs_taken = st.irqs_taken;
+    call_counts =
+      List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) st.calls []);
+  }

@@ -1,0 +1,61 @@
+(** Cortex-M-class emulator for TM2 images (the paper's custom
+    Unicorn-based emulator, §5.1.1, rebuilt as an interpreter).
+
+    Models a three-stage-pipeline cycle count, non-volatile main memory
+    with volatile registers/flags, the double-buffered checkpoint runtime,
+    intermittent power with boot/restore replay, optional periodic
+    interrupts (hardware exception entry pushes eight words at sp — the
+    hazard the pop converter exists for), WAR-violation-absence
+    verification on every access, and the statistics behind Figures 4-7 and
+    Table 3. *)
+
+exception Emu_error of string
+exception No_forward_progress
+(** Raised when thousands of consecutive power cycles elapse without a
+    single checkpoint commit: the device can never finish under this
+    supply. *)
+
+val boot_cycles : int
+
+type violation = { v_pc : int; v_func : string; v_addr : int; v_instr : string }
+
+type cause_counts = {
+  mutable c_entry : int;
+  mutable c_exit : int;
+  mutable c_middle : int;
+  mutable c_backend : int;
+}
+
+type result = {
+  output : int32 list;
+  exit_code : int32;
+  cycles : int;  (** total active cycles, incl. boot/restore/re-execution *)
+  instrs : int;
+  checkpoints : cause_counts;
+  checkpoints_total : int;
+  region_sizes : int list;  (** cycles between region boundaries *)
+  power_failures : int;
+  boots : int;
+  violations : violation list;
+  irqs_taken : int;
+  call_counts : (string * int) list;
+      (** dynamic calls per callee (a profile for the Expander) *)
+}
+
+val ckpt_cost : int -> int
+(** Cycles to checkpoint with a given live mask. *)
+
+val restore_cost : int -> int
+
+val run :
+  ?fuel:int ->
+  ?supply:Power.supply ->
+  ?irq_period:int ->
+  ?verify:bool ->
+  Image.t ->
+  result
+(** Execute an image until it halts.
+    @param fuel total active-cycle budget (default 2G)
+    @param supply power model (default [Continuous])
+    @param irq_period fire an interrupt every N cycles (0 = off)
+    @param verify track WAR violations (default true) *)

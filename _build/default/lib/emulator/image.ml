@@ -1,0 +1,121 @@
+(* ELF-lite linking: flatten a machine program into an executable image.
+
+   Code lives in its own (flash) space addressed by instruction index; data
+   is laid out in the byte-addressable non-volatile main memory:
+
+       0x00000 .. 0x0003f   reserved (catches null dereferences)
+       0x00040 .. 0x0013f   checkpoint double buffer (see Emulator)
+       0x00200 ..           globals (.data/.rodata)
+       ...                  heapless gap
+       mem_size - 8         initial stack pointer (descending)
+
+   Branch targets and data symbols are resolved at link time into side
+   arrays indexed by pc, so the emulator never does string lookups. *)
+
+module I = Wario_machine.Isa
+module Util = Wario_support.Util
+
+exception Link_error of string
+
+let mem_size = 1 lsl 20 (* 1 MiB NVM *)
+let ckpt_base = 0x40
+let globals_base = 0x200
+let stack_top = mem_size - 8
+
+type t = {
+  code : I.instr array;
+  target : int array;  (** resolved branch/call target per pc; -1 if none *)
+  adr : int32 array;  (** resolved AdrData value per pc; 0 if none *)
+  entry : int;  (** pc of [main] *)
+  symbols : (string * int) list;  (** data symbol -> address *)
+  func_of_pc : string array;  (** enclosing function name per pc *)
+  init_image : (int * int * int32) list;  (** (addr, bytes, value) *)
+  text_bytes : int;
+  data_bytes : int;
+}
+
+let link (p : I.mprog) : t =
+  (* lay out data *)
+  let next = ref globals_base in
+  let symbols =
+    List.map
+      (fun (d : I.data) ->
+        let a = Util.align_up !next (max 1 d.dalign) in
+        next := a + d.dsize;
+        (d.dname, a))
+      p.mdata
+  in
+  let data_bytes = !next - globals_base in
+  if !next >= stack_top - 65536 then raise (Link_error "data section too large");
+  let init_image =
+    List.concat_map
+      (fun (d : I.data) ->
+        let base = List.assoc d.dname symbols in
+        List.map (fun (off, w, v) -> (base + off, w, v)) d.dinit)
+      p.mdata
+  in
+  (* flatten code *)
+  let instrs = ref [] and labels = Hashtbl.create 256 in
+  let counter = ref 0 in
+  List.iter
+    (fun (f : I.mfunc) ->
+      List.iter
+        (fun (b : I.mblock) ->
+          if Hashtbl.mem labels b.I.mlabel then
+            raise (Link_error ("duplicate label " ^ b.I.mlabel));
+          Hashtbl.replace labels b.I.mlabel !counter;
+          List.iter
+            (fun ins ->
+              instrs := (ins, f.I.mname) :: !instrs;
+              incr counter)
+            b.I.mcode)
+        f.I.mblocks)
+    p.mfuncs;
+  let pairs = Array.of_list (List.rev !instrs) in
+  let code = Array.map fst pairs in
+  let func_of_pc = Array.map snd pairs in
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> i
+    | None -> raise (Link_error ("undefined label " ^ l))
+  in
+  let target =
+    Array.map
+      (function
+        | I.B l | I.Bc (_, l) | I.Bl l -> resolve l
+        | _ -> -1)
+      code
+  in
+  let adr =
+    Array.map
+      (function
+        | I.AdrData (_, s, off) -> (
+            match List.assoc_opt s symbols with
+            | Some a -> Int32.add (Int32.of_int a) off
+            | None -> raise (Link_error ("undefined data symbol " ^ s)))
+        | _ -> 0l)
+      code
+  in
+  let entry =
+    match Hashtbl.find_opt labels "main" with
+    | Some i -> i
+    | None -> raise (Link_error "no main function")
+  in
+  {
+    code;
+    target;
+    adr;
+    entry;
+    symbols;
+    func_of_pc;
+    init_image;
+    text_bytes =
+      Array.fold_left (fun a i -> a + Wario_machine.Encode.size_bytes i) 0 code;
+    data_bytes;
+  }
+
+(** Address of a data symbol (for tests and examples). *)
+let symbol t name =
+  match List.assoc_opt name t.symbols with
+  | Some a -> a
+  | None -> raise (Link_error ("unknown symbol " ^ name))

@@ -1,0 +1,30 @@
+(** ELF-lite linking: flatten a machine program into an executable image
+    with resolved branch targets and data-symbol addresses.
+
+    Memory map: a reserved null page, the checkpoint double buffer at
+    [ckpt_base], globals from [globals_base], and a descending stack from
+    [stack_top]. *)
+
+exception Link_error of string
+
+val mem_size : int
+val ckpt_base : int
+val globals_base : int
+val stack_top : int
+
+type t = {
+  code : Wario_machine.Isa.instr array;
+  target : int array;  (** resolved branch/call target per pc; -1 if none *)
+  adr : int32 array;  (** resolved AdrData value per pc *)
+  entry : int;  (** pc of [main] *)
+  symbols : (string * int) list;
+  func_of_pc : string array;
+  init_image : (int * int * int32) list;  (** (addr, bytes, value) *)
+  text_bytes : int;
+  data_bytes : int;
+}
+
+val link : Wario_machine.Isa.mprog -> t
+
+val symbol : t -> string -> int
+(** Address of a data symbol (tests and examples). *)

@@ -1,0 +1,27 @@
+(* Power-supply models for intermittent execution (paper §5.1.4).
+
+   The emulator only needs the *on-durations*: during an off period nothing
+   executes and volatile state is lost, so off-time never appears in cycle
+   accounting (only in the count of power failures). *)
+
+type supply =
+  | Continuous
+  | Periodic of int  (** fixed on-period, in clock cycles *)
+  | Trace of int array  (** sequence of on-durations, repeated cyclically *)
+
+type t = { supply : supply; mutable index : int }
+
+let create supply = { supply; index = 0 }
+
+(** Cycles of energy available in the next on-period; [None] = unlimited. *)
+let next_budget t : int option =
+  match t.supply with
+  | Continuous -> None
+  | Periodic n -> Some n
+  | Trace arr ->
+      if Array.length arr = 0 then invalid_arg "Power: empty trace";
+      let v = arr.(t.index mod Array.length arr) in
+      t.index <- t.index + 1;
+      Some v
+
+let is_continuous t = t.supply = Continuous

@@ -1,0 +1,17 @@
+(** Power-supply models for intermittent execution (paper §5.1.4).  Only
+    on-durations matter: during an off period nothing executes and volatile
+    state is lost. *)
+
+type supply =
+  | Continuous
+  | Periodic of int  (** fixed on-period, in clock cycles *)
+  | Trace of int array  (** sequence of on-durations, repeated cyclically *)
+
+type t
+
+val create : supply -> t
+
+val next_budget : t -> int option
+(** Energy (in cycles) of the next on-period; [None] = unlimited. *)
+
+val is_continuous : t -> bool

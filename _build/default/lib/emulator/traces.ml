@@ -1,0 +1,44 @@
+(* Synthetic energy-harvester traces.
+
+   The paper replays two measured voltage traces from the Mementos
+   artifact [47, 49] (an RF-harvesting trace and a second, slower one).
+   Those recordings are not redistributable here, so we generate seeded
+   synthetic equivalents that cover the same regimes the paper's traces do:
+
+   - [rf_trace] ("trace theta"): an RF-powered device near a reader — many
+     short, bursty on-periods (tens of thousands of cycles) with occasional
+     longer windows when the device is close to the energy source;
+   - [solar_trace] ("trace beta"): indoor-solar-style harvesting — longer
+     and steadier on-periods (hundreds of thousands of cycles) with slow
+     envelope variation.
+
+   Only the *distribution of on-durations* matters to the emulator (see
+   [Power]); the synthetic traces preserve the qualitative shape of the
+   paper's Table 3 (more failures than any fixed >=1M-cycle period for the
+   RF trace, very few for the solar trace). *)
+
+module Lcg = Wario_support.Util.Lcg
+
+(** Bursty RF-harvester-like on-durations (cycles). *)
+let rf_trace ?(seed = 0x5eed) ?(n = 4096) () : int array =
+  let rng = Lcg.create seed in
+  Array.init n (fun _ ->
+      let burst = Lcg.int rng 100 in
+      if burst < 70 then 20_000 + Lcg.int rng 60_000 (* common short burst *)
+      else if burst < 95 then 80_000 + Lcg.int rng 160_000
+      else 250_000 + Lcg.int rng 500_000 (* rare long window *))
+
+(** Indoor-solar-like on-durations (cycles): longer, slowly varying. *)
+let solar_trace ?(seed = 0xbea7) ?(n = 1024) () : int array =
+  let rng = Lcg.create seed in
+  let envelope = ref 1.0 in
+  Array.init n (fun _ ->
+      (* slow random-walk envelope in [0.5, 2.0] *)
+      envelope := !envelope +. ((Lcg.float rng -. 0.5) *. 0.1);
+      if !envelope < 0.5 then envelope := 0.5;
+      if !envelope > 2.0 then envelope := 2.0;
+      let base = 400_000 + Lcg.int rng 800_000 in
+      int_of_float (float_of_int base *. !envelope))
+
+let mean (arr : int array) =
+  Array.fold_left ( + ) 0 arr / max 1 (Array.length arr)

@@ -1,0 +1,13 @@
+(** Synthetic energy-harvester traces, substituting the Mementos recordings
+    the paper replays (which are not redistributable): a bursty
+    RF-harvesting regime and a steadier indoor-solar regime.  Seeded and
+    deterministic. *)
+
+val rf_trace : ?seed:int -> ?n:int -> unit -> int array
+(** Bursty on-durations: mostly 20k-80k cycles with rare long windows. *)
+
+val solar_trace : ?seed:int -> ?n:int -> unit -> int array
+(** Longer on-durations (hundreds of thousands of cycles) under a slow
+    random-walk envelope. *)
+
+val mean : int array -> int

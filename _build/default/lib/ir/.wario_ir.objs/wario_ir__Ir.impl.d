@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Int List Option Printf Set String Wario_support

@@ -1,0 +1,1 @@
+lib/ir/ir_interp.ml: Bytes Char Hashtbl Int32 Ir List Option Printf Wario_support

@@ -1,0 +1,1 @@
+lib/ir/ir_printer.ml: Format Int32 Ir List Printf String

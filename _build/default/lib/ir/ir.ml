@@ -1,0 +1,232 @@
+(* WIR: the WARio intermediate representation.
+
+   WIR is a register-machine IR in the spirit of LLVM IR, specialised for the
+   intermittent-computing setting:
+
+   - unbounded virtual registers holding 32-bit values (registers are the
+     *volatile* state: they are saved by checkpoints and restored on reboot);
+   - explicit [Load]/[Store] instructions against byte-addressed non-volatile
+     main memory (globals and stack slots), the only place WAR hazards live;
+   - a [Checkpoint] intrinsic carrying the cause used for paper Figure 5;
+   - non-SSA: a register may be assigned several times.  Transformations that
+     clone code (unrolling, inlining) rename registers to fresh ones, which
+     restores SSA-like freshness where it matters. *)
+
+(** Memory access widths.  Registers are always 32 bits wide; loads
+    zero-extend ([U8]/[U16]) or sign-extend ([S8]/[S16]). *)
+type width = W8 | W16 | W32 | S8 | S16
+
+let bytes_of_width = function W8 | S8 -> 1 | W16 | S16 -> 2 | W32 -> 4
+
+(** Virtual register id. *)
+type reg = int
+
+(** Basic-block label. *)
+type label = string
+
+type value =
+  | Reg of reg
+  | Imm of int32
+  | Glob of string  (** address of a global symbol *)
+  | Slot of int  (** address of a stack slot of the enclosing function *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Udiv | Srem | Urem
+  | And | Or | Xor | Shl | Lshr | Ashr
+
+type cmpop = Ceq | Cne | Cslt | Csle | Csgt | Csge | Cult | Cule | Cugt | Cuge
+
+(** Why a checkpoint exists — the four causes of paper Figure 5. *)
+type ckpt_cause = Middle_end_war | Back_end_war | Function_entry | Function_exit
+
+type instr =
+  | Bin of reg * binop * value * value
+  | Cmp of reg * cmpop * value * value  (** dst = 1 if cmp holds else 0 *)
+  | Mov of reg * value
+  | Select of reg * value * value * value  (** dst = if cond <> 0 then a else b *)
+  | Load of reg * width * value  (** dst = mem[addr] *)
+  | Store of width * value * value  (** mem[addr] <- data; [Store (w, data, addr)] *)
+  | Call of reg option * string * value list
+  | Checkpoint of ckpt_cause
+  | Print of value  (** observable output (emulator syscall); used as the oracle *)
+
+type term =
+  | Br of label
+  | Cbr of value * label * label  (** if cond <> 0 then l1 else l2 *)
+  | Ret of value option
+
+type block = { bname : label; mutable insns : instr list; mutable term : term }
+
+(** A stack slot: function-local non-volatile storage (C locals & arrays). *)
+type slot = { slot_id : int; slot_size : int; slot_align : int }
+
+type func = {
+  fname : string;
+  mutable params : reg list;  (** parameter registers, in order *)
+  mutable slots : slot list;
+  mutable blocks : block list;  (** first block is the entry *)
+  mutable next_reg : reg;  (** fresh-register counter *)
+  mutable next_label : int;  (** fresh-label counter *)
+}
+
+type global = {
+  gname : string;
+  gsize : int;
+  galign : int;
+  ginit : (int * width * int32) list;  (** (byte offset, width, value) initialisers *)
+  gconst : bool;
+}
+
+type program = { globals : global list; funcs : func list }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors and fresh-name generation                                 *)
+(* ------------------------------------------------------------------ *)
+
+let find_func p name =
+  match List.find_opt (fun f -> f.fname = name) p.funcs with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Ir.find_func: no function %s" name)
+
+let find_func_opt p name = List.find_opt (fun f -> f.fname = name) p.funcs
+
+let find_block f lbl =
+  match List.find_opt (fun b -> b.bname = lbl) f.blocks with
+  | Some b -> b
+  | None ->
+      invalid_arg (Printf.sprintf "Ir.find_block: no block %s in %s" lbl f.fname)
+
+let entry_block f =
+  match f.blocks with
+  | [] -> invalid_arg (Printf.sprintf "Ir.entry_block: %s has no blocks" f.fname)
+  | b :: _ -> b
+
+let fresh_reg f =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  r
+
+let fresh_label f hint =
+  let n = f.next_label in
+  f.next_label <- n + 1;
+  Printf.sprintf "%s.%d" hint n
+
+let fresh_slot f size align =
+  let id =
+    1 + List.fold_left (fun acc s -> max acc s.slot_id) (-1) f.slots
+  in
+  let s = { slot_id = id; slot_size = size; slot_align = align } in
+  f.slots <- f.slots @ [ s ];
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Successors, uses and defs                                           *)
+(* ------------------------------------------------------------------ *)
+
+let successors b =
+  match b.term with
+  | Br l -> [ l ]
+  | Cbr (_, l1, l2) -> if l1 = l2 then [ l1 ] else [ l1; l2 ]
+  | Ret _ -> []
+
+(** Registers read by a value. *)
+let value_uses = function Reg r -> [ r ] | Imm _ | Glob _ | Slot _ -> []
+
+(** Registers read by an instruction. *)
+let instr_uses = function
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) -> value_uses a @ value_uses b
+  | Mov (_, v) | Print v -> value_uses v
+  | Select (_, c, a, b) -> value_uses c @ value_uses a @ value_uses b
+  | Load (_, _, addr) -> value_uses addr
+  | Store (_, data, addr) -> value_uses data @ value_uses addr
+  | Call (_, _, args) -> List.concat_map value_uses args
+  | Checkpoint _ -> []
+
+(** Register written by an instruction, if any. *)
+let instr_def = function
+  | Bin (d, _, _, _) | Cmp (d, _, _, _) | Mov (d, _) | Select (d, _, _, _)
+  | Load (d, _, _) ->
+      Some d
+  | Call (d, _, _) -> d
+  | Store _ | Checkpoint _ | Print _ -> None
+
+let term_uses = function
+  | Br _ -> []
+  | Cbr (c, _, _) -> value_uses c
+  | Ret (Some v) -> value_uses v
+  | Ret None -> []
+
+(** Does the instruction have a side effect besides defining a register?
+    Pure instructions can be removed when their result is dead. *)
+let has_side_effect = function
+  | Store _ | Call _ | Checkpoint _ | Print _ -> true
+  | Bin _ | Cmp _ | Mov _ | Select _ | Load _ -> false
+
+(** Instructions that act as region barriers for WAR analysis: an executed
+    checkpoint ends the idempotent region; a call executes the callee's
+    function-entry checkpoint. *)
+let is_barrier = function Checkpoint _ | Call _ -> true | _ -> false
+
+let is_store = function Store _ -> true | _ -> false
+let is_load = function Load _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Register renaming (used by unrolling and inlining)                  *)
+(* ------------------------------------------------------------------ *)
+
+let rename_value subst v =
+  match v with
+  | Reg r -> ( match subst r with Some r' -> Reg r' | None -> v)
+  | Imm _ | Glob _ | Slot _ -> v
+
+let rename_instr subst i =
+  let rv = rename_value subst in
+  let rd d = match subst d with Some d' -> d' | None -> d in
+  match i with
+  | Bin (d, op, a, b) -> Bin (rd d, op, rv a, rv b)
+  | Cmp (d, op, a, b) -> Cmp (rd d, op, rv a, rv b)
+  | Mov (d, v) -> Mov (rd d, rv v)
+  | Select (d, c, a, b) -> Select (rd d, rv c, rv a, rv b)
+  | Load (d, w, addr) -> Load (rd d, w, rv addr)
+  | Store (w, data, addr) -> Store (w, rv data, rv addr)
+  | Call (d, f, args) -> Call (Option.map rd d, f, List.map rv args)
+  | Checkpoint c -> Checkpoint c
+  | Print v -> Print (rv v)
+
+let rename_term subst t =
+  match t with
+  | Br l -> Br l
+  | Cbr (c, l1, l2) -> Cbr (rename_value subst c, l1, l2)
+  | Ret v -> Ret (Option.map (rename_value subst) v)
+
+(** Retarget the labels of a terminator through [f]. *)
+let retarget_term f t =
+  match t with
+  | Br l -> Br (f l)
+  | Cbr (c, l1, l2) -> Cbr (c, f l1, f l2)
+  | Ret v -> Ret v
+
+(* ------------------------------------------------------------------ *)
+(* Program points                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** A program point inside a function: [(block label, instruction index)].
+    Index [i] denotes the point *before* the i-th instruction of the block;
+    index [List.length insns] is the point just before the terminator. *)
+type point = label * int
+
+let compare_point (l1, i1) (l2, i2) =
+  match String.compare l1 l2 with 0 -> Int.compare i1 i2 | c -> c
+
+module Point_set = Set.Make (struct
+  type t = point
+
+  let compare = compare_point
+end)
+
+(** Insert [new_is] at point [(lbl, idx)] of [f]. *)
+let insert_at f (lbl, idx) new_is =
+  let b = find_block f lbl in
+  let before = Wario_support.Util.take idx b.insns in
+  let after = Wario_support.Util.drop idx b.insns in
+  b.insns <- before @ new_is @ after

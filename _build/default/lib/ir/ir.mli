@@ -1,0 +1,126 @@
+(** WIR: the WARio intermediate representation.
+
+    A register-machine IR in the spirit of LLVM IR, specialised for
+    intermittent computing: unbounded 32-bit virtual registers are the
+    {e volatile} state saved by checkpoints; {!Load}/{!Store} access the
+    byte-addressed {e non-volatile} main memory (globals and stack slots),
+    which is where Write-After-Read hazards live.  WIR is not SSA — a
+    register may be assigned several times; cloning transformations rename
+    registers to fresh ones where freshness matters. *)
+
+(** Memory access widths.  Registers are always 32 bits; loads zero-extend
+    ([W8]/[W16]) or sign-extend ([S8]/[S16]). *)
+type width = W8 | W16 | W32 | S8 | S16
+
+val bytes_of_width : width -> int
+
+type reg = int
+(** Virtual register id. *)
+
+type label = string
+(** Basic-block label, unique within a function. *)
+
+type value =
+  | Reg of reg
+  | Imm of int32
+  | Glob of string  (** address of a global symbol *)
+  | Slot of int  (** address of a stack slot of the enclosing function *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Udiv | Srem | Urem
+  | And | Or | Xor | Shl | Lshr | Ashr
+
+type cmpop = Ceq | Cne | Cslt | Csle | Csgt | Csge | Cult | Cule | Cugt | Cuge
+
+(** Why a checkpoint exists — the four causes of paper Figure 5. *)
+type ckpt_cause = Middle_end_war | Back_end_war | Function_entry | Function_exit
+
+type instr =
+  | Bin of reg * binop * value * value
+  | Cmp of reg * cmpop * value * value  (** dst = 1 if the comparison holds *)
+  | Mov of reg * value
+  | Select of reg * value * value * value  (** dst = if cond <> 0 then a else b *)
+  | Load of reg * width * value  (** dst = mem\[addr\] *)
+  | Store of width * value * value  (** [Store (w, data, addr)]: mem\[addr\] <- data *)
+  | Call of reg option * string * value list
+  | Checkpoint of ckpt_cause  (** checkpoint intrinsic (lowered by the back end) *)
+  | Print of value  (** observable output; the oracle for differential testing *)
+
+type term =
+  | Br of label
+  | Cbr of value * label * label  (** if cond <> 0 then l1 else l2 *)
+  | Ret of value option
+
+type block = { bname : label; mutable insns : instr list; mutable term : term }
+
+(** A stack slot: function-local non-volatile storage (C locals and arrays). *)
+type slot = { slot_id : int; slot_size : int; slot_align : int }
+
+type func = {
+  fname : string;
+  mutable params : reg list;  (** parameter registers, in order *)
+  mutable slots : slot list;
+  mutable blocks : block list;  (** the first block is the entry *)
+  mutable next_reg : reg;
+  mutable next_label : int;
+}
+
+type global = {
+  gname : string;
+  gsize : int;
+  galign : int;
+  ginit : (int * width * int32) list;  (** (byte offset, width, value) *)
+  gconst : bool;
+}
+
+type program = { globals : global list; funcs : func list }
+
+(** {1 Accessors and fresh-name generation} *)
+
+val find_func : program -> string -> func
+val find_func_opt : program -> string -> func option
+val find_block : func -> label -> block
+val entry_block : func -> block
+val fresh_reg : func -> reg
+val fresh_label : func -> string -> label
+val fresh_slot : func -> int -> int -> slot
+
+(** {1 Structure queries} *)
+
+val successors : block -> label list
+val value_uses : value -> reg list
+val instr_uses : instr -> reg list
+val instr_def : instr -> reg option
+val term_uses : term -> reg list
+
+val has_side_effect : instr -> bool
+(** Can the instruction be removed when its result is dead? *)
+
+val is_barrier : instr -> bool
+(** Region barriers for WAR analysis: checkpoints and calls (every function
+    is bracketed by entry/exit checkpoints in the back end). *)
+
+val is_store : instr -> bool
+val is_load : instr -> bool
+
+(** {1 Renaming (used by unrolling and inlining)} *)
+
+val rename_value : (reg -> reg option) -> value -> value
+val rename_instr : (reg -> reg option) -> instr -> instr
+val rename_term : (reg -> reg option) -> term -> term
+
+val retarget_term : (label -> label) -> term -> term
+(** Rewrite the branch targets of a terminator. *)
+
+(** {1 Program points} *)
+
+type point = label * int
+(** A point inside a function: [(block, i)] denotes the position {e before}
+    the i-th instruction; [List.length insns] is before the terminator. *)
+
+val compare_point : point -> point -> int
+
+module Point_set : Set.S with type elt = point
+
+val insert_at : func -> point -> instr list -> unit
+(** [insert_at f p is] splices [is] at point [p]. *)

@@ -1,0 +1,295 @@
+(* Reference interpreter for WIR.
+
+   The interpreter is the semantic oracle of the repository: every
+   transformation must preserve its observable behaviour (the sequence of
+   [Print]ed values and the return value of [main]), and the TM2 emulator must
+   agree with it under continuous power.
+
+   It can optionally track WAR violations at IR granularity (same
+   first-access rule as the machine-level verifier): region boundaries are
+   executed [Checkpoint] instructions and function entries, matching the
+   back end which places a function-entry checkpoint in every function. *)
+
+open Ir
+module Util = Wario_support.Util
+
+exception Trap of string
+
+type result = {
+  output : int32 list;  (** values printed, in order *)
+  ret : int32;  (** return value of [main] *)
+  instructions : int;  (** dynamic IR instruction count *)
+  checkpoints : int;  (** dynamic [Checkpoint] executions *)
+  war_violations : (string * instr) list;
+      (** (function, offending store) pairs, when WAR checking is enabled *)
+}
+
+type state = {
+  prog : program;
+  mem : Bytes.t;
+  mutable sp : int;
+  mutable out_rev : int32 list;
+  mutable icount : int;
+  mutable ckpt_count : int;
+  fuel : int;
+  war_check : bool;
+  (* First-access map of the current idempotent region: addr -> was the first
+     access a read?  Cleared at region boundaries. *)
+  region : (int, bool) Hashtbl.t;
+  mutable wars_rev : (string * instr) list;
+  glob_addr : (string, int) Hashtbl.t;
+}
+
+let mem_size = 1 lsl 21 (* 2 MiB of non-volatile memory *)
+let stack_top = mem_size - 16
+let globals_base = 0x1000
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_addr st addr n =
+  if addr < 0 || addr + n > Bytes.length st.mem then
+    raise (Trap (Printf.sprintf "memory access out of range: 0x%x" addr))
+
+let load st width addr =
+  let addr = Int32.to_int addr land 0xffffffff in
+  check_addr st addr (bytes_of_width width);
+  match width with
+  | W8 -> Int32.of_int (Char.code (Bytes.get st.mem addr))
+  | S8 ->
+      let v = Char.code (Bytes.get st.mem addr) in
+      Int32.of_int (if v >= 0x80 then v - 0x100 else v)
+  | W16 -> Int32.of_int (Bytes.get_uint16_le st.mem addr)
+  | S16 -> Int32.of_int (Bytes.get_int16_le st.mem addr)
+  | W32 -> Bytes.get_int32_le st.mem addr
+
+let store st width addr v =
+  let addr = Int32.to_int addr land 0xffffffff in
+  check_addr st addr (bytes_of_width width);
+  match width with
+  | W8 | S8 -> Bytes.set st.mem addr (Char.chr (Int32.to_int v land 0xff))
+  | W16 | S16 -> Bytes.set_uint16_le st.mem addr (Int32.to_int v land 0xffff)
+  | W32 -> Bytes.set_int32_le st.mem addr v
+
+(* WAR tracking: record the first access kind per byte of the region. *)
+let track_read st addr n =
+  if st.war_check then
+    let a = Int32.to_int addr land 0xffffffff in
+    for i = a to a + n - 1 do
+      if not (Hashtbl.mem st.region i) then Hashtbl.add st.region i true
+    done
+
+(* Returns [true] if this write hits a byte whose first access was a read. *)
+let track_write st addr n =
+  if not st.war_check then false
+  else begin
+    let a = Int32.to_int addr land 0xffffffff in
+    let bad = ref false in
+    for i = a to a + n - 1 do
+      match Hashtbl.find_opt st.region i with
+      | Some true -> bad := true
+      | Some false -> ()
+      | None -> Hashtbl.add st.region i false
+    done;
+    !bad
+  end
+
+let region_boundary st = if st.war_check then Hashtbl.reset st.region
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_bool v = not (Int32.equal v 0l)
+
+let eval_binop op (a : int32) (b : int32) : int32 =
+  let shift_amt = Int32.to_int b land 31 in
+  match op with
+  | Add -> Int32.add a b
+  | Sub -> Int32.sub a b
+  | Mul -> Int32.mul a b
+  | Sdiv ->
+      if Int32.equal b 0l then raise (Trap "sdiv by zero")
+      else if Int32.equal a Int32.min_int && Int32.equal b (-1l) then
+        Int32.min_int
+      else Int32.div a b
+  | Udiv ->
+      if Int32.equal b 0l then raise (Trap "udiv by zero")
+      else Int32.unsigned_div a b
+  | Srem ->
+      if Int32.equal b 0l then raise (Trap "srem by zero")
+      else if Int32.equal a Int32.min_int && Int32.equal b (-1l) then 0l
+      else Int32.rem a b
+  | Urem ->
+      if Int32.equal b 0l then raise (Trap "urem by zero")
+      else Int32.unsigned_rem a b
+  | And -> Int32.logand a b
+  | Or -> Int32.logor a b
+  | Xor -> Int32.logxor a b
+  | Shl -> Int32.shift_left a shift_amt
+  | Lshr -> Int32.shift_right_logical a shift_amt
+  | Ashr -> Int32.shift_right a shift_amt
+
+let eval_cmpop op (a : int32) (b : int32) : bool =
+  let u = Int32.unsigned_compare a b in
+  let s = Int32.compare a b in
+  match op with
+  | Ceq -> s = 0
+  | Cne -> s <> 0
+  | Cslt -> s < 0
+  | Csle -> s <= 0
+  | Csgt -> s > 0
+  | Csge -> s >= 0
+  | Cult -> u < 0
+  | Cule -> u <= 0
+  | Cugt -> u > 0
+  | Cuge -> u >= 0
+
+(* A function activation: register file + slot base addresses. *)
+type frame = { regs : (reg, int32) Hashtbl.t; slot_addr : int Util.Int_map.t }
+
+let eval_value st (fr : frame) = function
+  | Reg r -> (
+      match Hashtbl.find_opt fr.regs r with
+      | Some v -> v
+      | None -> 0l (* reading a never-written register yields 0 *))
+  | Imm i -> i
+  | Glob g -> (
+      match Hashtbl.find_opt st.glob_addr g with
+      | Some a -> Int32.of_int a
+      | None -> raise (Trap ("unknown global " ^ g)))
+  | Slot s -> (
+      match Util.Int_map.find_opt s fr.slot_addr with
+      | Some a -> Int32.of_int a
+      | None -> raise (Trap (Printf.sprintf "unknown slot $%d" s)))
+
+let set_reg (fr : frame) r v = Hashtbl.replace fr.regs r v
+
+(* Lay out the stack slots of [f] below the current stack pointer. *)
+let push_frame st f =
+  let slot_addr, total =
+    List.fold_left
+      (fun (m, off) s ->
+        let off = Util.align_up off s.slot_align in
+        (Util.Int_map.add s.slot_id off m, off + s.slot_size))
+      (Util.Int_map.empty, 0)
+      f.slots
+  in
+  let total = Util.align_up total 8 in
+  let base = st.sp - total in
+  if base < globals_base then raise (Trap "interpreter stack overflow");
+  st.sp <- base;
+  let slot_addr = Util.Int_map.map (fun off -> base + off) slot_addr in
+  ({ regs = Hashtbl.create 64; slot_addr }, total)
+
+let rec exec_func st (f : func) (args : int32 list) : int32 =
+  let fr, frame_size = push_frame st f in
+  (* Function entry is a region boundary: the back end places a
+     function-entry checkpoint in every function. *)
+  region_boundary st;
+  (try List.iter2 (fun p a -> set_reg fr p a) f.params args
+   with Invalid_argument _ ->
+     raise
+       (Trap
+          (Printf.sprintf "call of %s with %d args, expected %d" f.fname
+             (List.length args) (List.length f.params))));
+  let ret = exec_block st f fr (entry_block f) in
+  st.sp <- st.sp + frame_size;
+  ret
+
+and exec_block st f fr b : int32 =
+  List.iter (exec_instr st f fr) b.insns;
+  st.icount <- st.icount + 1 + List.length b.insns;
+  if st.icount > st.fuel then raise (Trap "out of fuel (non-termination?)");
+  match b.term with
+  | Br l -> exec_block st f fr (find_block f l)
+  | Cbr (c, l1, l2) ->
+      let l = if to_bool (eval_value st fr c) then l1 else l2 in
+      exec_block st f fr (find_block f l)
+  | Ret None -> 0l
+  | Ret (Some v) -> eval_value st fr v
+
+and exec_instr st f fr (i : instr) : unit =
+  let ev = eval_value st fr in
+  match i with
+  | Bin (d, op, a, b) -> set_reg fr d (eval_binop op (ev a) (ev b))
+  | Cmp (d, op, a, b) ->
+      set_reg fr d (if eval_cmpop op (ev a) (ev b) then 1l else 0l)
+  | Mov (d, v) -> set_reg fr d (ev v)
+  | Select (d, c, a, b) -> set_reg fr d (if to_bool (ev c) then ev a else ev b)
+  | Load (d, w, addr) ->
+      let a = ev addr in
+      track_read st a (bytes_of_width w);
+      set_reg fr d (load st w a)
+  | Store (w, data, addr) ->
+      let a = ev addr in
+      if track_write st a (bytes_of_width w) then
+        st.wars_rev <- (f.fname, i) :: st.wars_rev;
+      store st w a (ev data)
+  | Call (d, callee, args) ->
+      let g = find_func st.prog callee in
+      let vals = List.map ev args in
+      let r = exec_func st g vals in
+      (* returning crosses the callee's mandatory exit checkpoint *)
+      region_boundary st;
+      Option.iter (fun d -> set_reg fr d r) d
+  | Checkpoint _ ->
+      st.ckpt_count <- st.ckpt_count + 1;
+      region_boundary st
+  | Print v -> st.out_rev <- ev v :: st.out_rev
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let layout_globals prog =
+  let tbl = Hashtbl.create 16 in
+  let next = ref globals_base in
+  List.iter
+    (fun g ->
+      let a = Util.align_up !next (max 1 g.galign) in
+      Hashtbl.add tbl g.gname a;
+      next := a + g.gsize)
+    prog.globals;
+  tbl
+
+let init_globals st prog =
+  List.iter
+    (fun g ->
+      let base = Hashtbl.find st.glob_addr g.gname in
+      List.iter
+        (fun (off, w, v) -> store st w (Int32.of_int (base + off)) v)
+        g.ginit)
+    prog.globals
+
+(** Run [main] (or [entry]) of [prog].
+    @param fuel dynamic instruction budget (default 200M)
+    @param war_check enable IR-level WAR-violation tracking *)
+let run ?(fuel = 200_000_000) ?(war_check = false) ?(entry = "main")
+    ?(args = []) (prog : program) : result =
+  let st =
+    {
+      prog;
+      mem = Bytes.make mem_size '\000';
+      sp = stack_top;
+      out_rev = [];
+      icount = 0;
+      ckpt_count = 0;
+      fuel;
+      war_check;
+      region = Hashtbl.create 256;
+      wars_rev = [];
+      glob_addr = layout_globals prog;
+    }
+  in
+  init_globals st prog;
+  let main = find_func prog entry in
+  let ret = exec_func st main args in
+  {
+    output = List.rev st.out_rev;
+    ret;
+    instructions = st.icount;
+    checkpoints = st.ckpt_count;
+    war_violations = List.rev st.wars_rev;
+  }

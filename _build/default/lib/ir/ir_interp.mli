@@ -1,0 +1,40 @@
+(** Reference interpreter for WIR — the semantic oracle of the repository.
+
+    Every transformation must preserve its observable behaviour (the
+    sequence of {!Ir.Print}ed values and the return value of [main]), and
+    the TM2 emulator must agree with it under continuous power.
+
+    The interpreter can optionally track WAR violations at IR granularity
+    using the same first-access rule as the machine-level verifier.  Region
+    boundaries are executed {!Ir.Checkpoint}s plus function entries and
+    returns, matching the mandatory entry/exit checkpoints of the back
+    end. *)
+
+exception Trap of string
+(** Runtime error: division by zero, out-of-range access, stack overflow,
+    exhausted fuel, unknown symbol. *)
+
+type result = {
+  output : int32 list;  (** values printed, in order *)
+  ret : int32;  (** return value of the entry function *)
+  instructions : int;  (** dynamic IR instruction count *)
+  checkpoints : int;  (** dynamic [Checkpoint] executions *)
+  war_violations : (string * Ir.instr) list;
+      (** (function, offending store) pairs, when WAR checking is enabled *)
+}
+
+val eval_binop : Ir.binop -> int32 -> int32 -> int32
+(** 32-bit arithmetic with C semantics (traps on division by zero). *)
+
+val eval_cmpop : Ir.cmpop -> int32 -> int32 -> bool
+
+val run :
+  ?fuel:int ->
+  ?war_check:bool ->
+  ?entry:string ->
+  ?args:int32 list ->
+  Ir.program ->
+  result
+(** Run [entry] (default ["main"]).
+    @param fuel dynamic instruction budget (default 200M); exceeding it traps
+    @param war_check enable IR-level WAR-violation tracking (default false) *)

@@ -1,0 +1,89 @@
+(* Pretty-printing of WIR, used by [iclang dump-ir], tests and debugging. *)
+
+open Ir
+
+let string_of_width = function
+  | W8 -> "u8"
+  | W16 -> "u16"
+  | W32 -> "u32"
+  | S8 -> "s8"
+  | S16 -> "s16"
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+  | Udiv -> "udiv" | Srem -> "srem" | Urem -> "urem" | And -> "and"
+  | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let string_of_cmpop = function
+  | Ceq -> "eq" | Cne -> "ne" | Cslt -> "slt" | Csle -> "sle" | Csgt -> "sgt"
+  | Csge -> "sge" | Cult -> "ult" | Cule -> "ule" | Cugt -> "ugt" | Cuge -> "uge"
+
+let string_of_cause = function
+  | Middle_end_war -> "middle_end_war"
+  | Back_end_war -> "back_end_war"
+  | Function_entry -> "function_entry"
+  | Function_exit -> "function_exit"
+
+let string_of_value = function
+  | Reg r -> Printf.sprintf "%%%d" r
+  | Imm i -> Int32.to_string i
+  | Glob g -> "@" ^ g
+  | Slot s -> Printf.sprintf "$%d" s
+
+let string_of_instr i =
+  let v = string_of_value in
+  match i with
+  | Bin (d, op, a, b) ->
+      Printf.sprintf "%%%d = %s %s, %s" d (string_of_binop op) (v a) (v b)
+  | Cmp (d, op, a, b) ->
+      Printf.sprintf "%%%d = icmp %s %s, %s" d (string_of_cmpop op) (v a) (v b)
+  | Mov (d, x) -> Printf.sprintf "%%%d = mov %s" d (v x)
+  | Select (d, c, a, b) ->
+      Printf.sprintf "%%%d = select %s, %s, %s" d (v c) (v a) (v b)
+  | Load (d, w, addr) ->
+      Printf.sprintf "%%%d = load.%s [%s]" d (string_of_width w) (v addr)
+  | Store (w, data, addr) ->
+      Printf.sprintf "store.%s %s, [%s]" (string_of_width w) (v data) (v addr)
+  | Call (None, f, args) ->
+      Printf.sprintf "call @%s(%s)" f (String.concat ", " (List.map v args))
+  | Call (Some d, f, args) ->
+      Printf.sprintf "%%%d = call @%s(%s)" d f
+        (String.concat ", " (List.map v args))
+  | Checkpoint c -> Printf.sprintf "checkpoint !%s" (string_of_cause c)
+  | Print x -> Printf.sprintf "print %s" (v x)
+
+let string_of_term = function
+  | Br l -> Printf.sprintf "br %s" l
+  | Cbr (c, l1, l2) -> Printf.sprintf "cbr %s, %s, %s" (string_of_value c) l1 l2
+  | Ret None -> "ret"
+  | Ret (Some x) -> Printf.sprintf "ret %s" (string_of_value x)
+
+let pp_block fmt b =
+  Format.fprintf fmt "%s:@." b.bname;
+  List.iter (fun i -> Format.fprintf fmt "  %s@." (string_of_instr i)) b.insns;
+  Format.fprintf fmt "  %s@." (string_of_term b.term)
+
+let pp_func fmt f =
+  Format.fprintf fmt "func @%s(%s)"
+    f.fname
+    (String.concat ", " (List.map (Printf.sprintf "%%%d") f.params));
+  if f.slots <> [] then
+    Format.fprintf fmt " slots[%s]"
+      (String.concat ", "
+         (List.map
+            (fun s -> Printf.sprintf "$%d:%d" s.slot_id s.slot_size)
+            f.slots));
+  Format.fprintf fmt " {@.";
+  List.iter (pp_block fmt) f.blocks;
+  Format.fprintf fmt "}@."
+
+let pp_global fmt g =
+  Format.fprintf fmt "global @%s : %d bytes%s@." g.gname g.gsize
+    (if g.gconst then " const" else "")
+
+let pp_program fmt p =
+  List.iter (pp_global fmt) p.globals;
+  List.iter (pp_func fmt) p.funcs
+
+let func_to_string f = Format.asprintf "%a" pp_func f
+let program_to_string p = Format.asprintf "%a" pp_program p

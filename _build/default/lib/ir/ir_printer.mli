@@ -1,0 +1,15 @@
+(** Pretty-printing of WIR (used by [iclang dump-ir], tests, debugging). *)
+
+val string_of_width : Ir.width -> string
+val string_of_binop : Ir.binop -> string
+val string_of_cmpop : Ir.cmpop -> string
+val string_of_cause : Ir.ckpt_cause -> string
+val string_of_value : Ir.value -> string
+val string_of_instr : Ir.instr -> string
+val string_of_term : Ir.term -> string
+val pp_block : Format.formatter -> Ir.block -> unit
+val pp_func : Format.formatter -> Ir.func -> unit
+val pp_global : Format.formatter -> Ir.global -> unit
+val pp_program : Format.formatter -> Ir.program -> unit
+val func_to_string : Ir.func -> string
+val program_to_string : Ir.program -> string

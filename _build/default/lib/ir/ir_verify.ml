@@ -1,0 +1,101 @@
+(* Structural well-formedness checks for WIR.
+
+   Run after the front end and after every transformation in tests; raises
+   [Ill_formed] with a description of the first problem found. *)
+
+open Ir
+
+exception Ill_formed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+let verify_func (prog : program) (f : func) =
+  (* Unique block labels. *)
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem labels b.bname then
+        fail "%s: duplicate block label %s" f.fname b.bname;
+      Hashtbl.add labels b.bname ())
+    f.blocks;
+  if f.blocks = [] then fail "%s: no blocks" f.fname;
+  (* Branch targets exist. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem labels l) then
+            fail "%s: block %s branches to unknown label %s" f.fname b.bname l)
+        (successors b))
+    f.blocks;
+  (* Unique slot ids. *)
+  let slot_ids = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem slot_ids s.slot_id then
+        fail "%s: duplicate slot $%d" f.fname s.slot_id;
+      if s.slot_size <= 0 then fail "%s: slot $%d has size %d" f.fname s.slot_id s.slot_size;
+      Hashtbl.add slot_ids s.slot_id ())
+    f.slots;
+  (* Slots referenced exist; calls resolve; register ids within bounds. *)
+  let check_value b = function
+    | Slot s ->
+        if not (Hashtbl.mem slot_ids s) then
+          fail "%s/%s: reference to unknown slot $%d" f.fname b.bname s
+    | Glob g ->
+        if not (List.exists (fun gl -> gl.gname = g) prog.globals) then
+          fail "%s/%s: reference to unknown global @%s" f.fname b.bname g
+    | Reg r ->
+        if r < 0 || r >= f.next_reg then
+          fail "%s/%s: register %%%d out of bounds (next_reg=%d)" f.fname
+            b.bname r f.next_reg
+    | Imm _ -> ()
+  in
+  let check_def b d =
+    if d < 0 || d >= f.next_reg then
+      fail "%s/%s: def register %%%d out of bounds" f.fname b.bname d
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          (match i with
+          | Call (_, callee, args) -> (
+              match find_func_opt prog callee with
+              | None -> fail "%s/%s: call to unknown function %s" f.fname b.bname callee
+              | Some g ->
+                  if List.length g.params <> List.length args then
+                    fail "%s/%s: call to %s with %d args, expected %d" f.fname
+                      b.bname callee (List.length args) (List.length g.params))
+          | _ -> ());
+          List.iter (fun u -> check_value b (Reg u)) (instr_uses i);
+          (match i with
+          | Load (_, _, a) -> check_value b a
+          | Store (_, d, a) -> check_value b d; check_value b a
+          | Bin (_, _, x, y) | Cmp (_, _, x, y) -> check_value b x; check_value b y
+          | Mov (_, v) | Print v -> check_value b v
+          | Select (_, c, x, y) -> check_value b c; check_value b x; check_value b y
+          | Call (_, _, args) -> List.iter (check_value b) args
+          | Checkpoint _ -> ());
+          Option.iter (check_def b) (instr_def i))
+        b.insns;
+      match b.term with
+      | Cbr (c, _, _) -> check_value b c
+      | Ret (Some v) -> check_value b v
+      | _ -> ())
+    f.blocks
+
+let verify_program (prog : program) =
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem names f.fname then fail "duplicate function %s" f.fname;
+      Hashtbl.add names f.fname ())
+    prog.funcs;
+  let gnames = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem gnames g.gname then fail "duplicate global %s" g.gname;
+      Hashtbl.add gnames g.gname ())
+    prog.globals;
+  List.iter (verify_func prog) prog.funcs

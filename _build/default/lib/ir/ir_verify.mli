@@ -1,0 +1,10 @@
+(** Structural well-formedness checks for WIR.
+
+    Run after the front end and after every transformation (the tests do);
+    checks unique labels and slots, resolvable branch targets, resolvable
+    call targets with matching arity, and in-bounds register ids. *)
+
+exception Ill_formed of string
+
+val verify_func : Ir.program -> Ir.func -> unit
+val verify_program : Ir.program -> unit

@@ -1,0 +1,1 @@
+lib/machine/encode.ml: Int32 Isa List

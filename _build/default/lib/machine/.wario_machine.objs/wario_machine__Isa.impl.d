@@ -1,0 +1,1 @@
+lib/machine/isa.ml: Format List Printf String

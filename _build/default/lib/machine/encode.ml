@@ -1,0 +1,55 @@
+(* Code-size model: the Thumb-2 encoding width of each instruction, used to
+   report the `.text` growth of Table 2.  The heuristics follow the real
+   encoder: common narrow forms (low registers, small immediates) take 16
+   bits, everything else 32; constant materialisation is movw+movt. *)
+
+open Isa
+
+let low r = r < 8
+let fits_imm8 i = Int32.compare i 0l >= 0 && Int32.compare i 256l < 0
+let fits_imm5_scaled w i =
+  let scale = Int32.of_int (bytes_of_width w) in
+  Int32.rem i scale = 0l
+  && Int32.compare i 0l >= 0
+  && Int32.compare (Int32.div i scale) 32l < 0
+
+(** Encoded size of one instruction in bytes. *)
+let size_bytes = function
+  | Alu (op, rd, rn, o) -> (
+      match (op, o) with
+      | (ADD | SUB), I i when low rd && low rn && fits_imm8 i -> 2
+      | (ADD | SUB | AND | ORR | EOR | LSL | LSR | ASR | MUL), R rm
+        when low rd && low rn && low rm && rd = rn ->
+          2
+      | _ -> 4)
+  | Mov (rd, I i) when low rd && fits_imm8 i -> 2
+  | Mov (rd, R rm) when low rd && low rm -> 2
+  | Mov _ -> 4
+  | Movw32 _ -> 8 (* movw + movt *)
+  | Movc _ -> 4 (* IT + 16-bit mov *)
+  | Cmp (rn, I i) when low rn && fits_imm8 i -> 2
+  | Cmp (rn, R rm) when low rn && low rm -> 2
+  | Cmp _ -> 4
+  | Ldr (w, rd, rn, off) | Str (w, rd, rn, off) ->
+      if low rd && low rn && fits_imm5_scaled w off then 2 else 4
+  | LdrR (_, rd, rn, rm) | StrR (_, rd, rn, rm) ->
+      if low rd && low rn && low rm then 2 else 4
+  | AdrData _ -> 8 (* movw + movt against the symbol *)
+  | Push rs -> if List.for_all (fun r -> low r || r = lr) rs then 2 else 4
+  | B _ -> 2
+  | Bc _ -> 2
+  | Bl _ -> 4
+  | Bx_lr -> 2
+  | Ckpt _ -> 4 (* bl __wario_checkpoint *)
+  | Cpsid | Cpsie -> 2
+  | Svc _ -> 2
+  | FrameAddr _ | SpillLd _ | SpillSt _ -> 4 (* pseudo; should be lowered *)
+
+(** Total `.text` bytes of a machine program. *)
+let text_size (p : mprog) : int =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc b -> List.fold_left (fun a i -> a + size_bytes i) acc b.mcode)
+        acc f.mblocks)
+    0 p.mfuncs

@@ -1,0 +1,8 @@
+(** Code-size model: the Thumb-2 encoding width of each instruction (16 or
+    32 bits by the usual narrow-form rules; constants are movw+movt).
+    Backs the `.text` accounting of paper Table 2. *)
+
+val size_bytes : Isa.instr -> int
+
+val text_size : Isa.mprog -> int
+(** Total `.text` bytes of a machine program. *)

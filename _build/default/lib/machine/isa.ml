@@ -1,0 +1,209 @@
+(* TM2: a Thumb-2-like virtual ISA for the ARM Cortex-M class target
+   (paper §4.1).  Sixteen registers (r13=sp, r14=lr, r15=pc), NZCV flags set
+   by [Cmp], conditional execution via [Bc]/[Movc] (modelling IT blocks), and
+   a checkpoint instruction standing for the `bl __wario_checkpoint` thunk.
+
+   The same instruction type serves two stages: instruction selection
+   produces it over *virtual* registers (arbitrary ints >= 16 plus pseudo
+   frame operations); register allocation and frame lowering rewrite it to
+   physical registers (0..15) and sp-relative accesses.  [Image]/[Emulator]
+   only accept the physical form. *)
+
+type mreg = int
+
+let r0 = 0
+let sp = 13
+let lr = 14
+let pc = 15
+
+(** First virtual register id; isel numbers virtual registers from here. *)
+let first_vreg = 16
+
+type width = W8 | W16 | W32 | S8 | S16
+
+let bytes_of_width = function W8 | S8 -> 1 | W16 | S16 -> 2 | W32 -> 4
+
+type cond = EQ | NE | LT | LE | GT | GE | LO | LS | HI | HS | AL
+
+type aluop =
+  | ADD | SUB | RSB | MUL | SDIV | UDIV | AND | ORR | EOR | LSL | LSR | ASR
+
+type operand2 = R of mreg | I of int32
+
+type ckpt_cause = Middle_end_war | Back_end_war | Function_entry | Function_exit
+
+let string_of_cause = function
+  | Middle_end_war -> "middle-end WAR"
+  | Back_end_war -> "back-end WAR"
+  | Function_entry -> "function entry"
+  | Function_exit -> "function exit"
+
+type instr =
+  (* data processing *)
+  | Alu of aluop * mreg * mreg * operand2  (** rd = rn OP op2 *)
+  | Mov of mreg * operand2
+  | Movw32 of mreg * int32  (** movw+movt constant materialisation *)
+  | Movc of cond * mreg * operand2  (** IT <c>; mov<c> *)
+  | Cmp of mreg * operand2  (** sets NZCV *)
+  (* memory *)
+  | Ldr of width * mreg * mreg * int32  (** rd = mem[rn + imm] *)
+  | LdrR of width * mreg * mreg * mreg  (** rd = mem[rn + rm] *)
+  | Str of width * mreg * mreg * int32  (** mem[rn + imm] = rd *)
+  | StrR of width * mreg * mreg * mreg
+  | AdrData of mreg * string * int32  (** rd = &symbol + off (movw/movt) *)
+  | Push of mreg list  (** descending store multiple; low-to-high order *)
+  (* control *)
+  | B of string
+  | Bc of cond * string
+  | Bl of string  (** call; writes lr *)
+  | Bx_lr  (** return *)
+  (* intermittent-computing support *)
+  | Ckpt of ckpt_cause * int  (** checkpoint; bit i of the mask = save ri *)
+  | Cpsid  (** disable interrupts *)
+  | Cpsie  (** enable interrupts *)
+  | Svc of int  (** 0: print r0; 1: halt with status r0 *)
+  (* pseudos eliminated by frame lowering (virtual stage only) *)
+  | FrameAddr of mreg * int  (** rd = sp + offset_of(IR slot id) *)
+  | SpillLd of mreg * int  (** rd = spill slot n *)
+  | SpillSt of mreg * int  (** spill slot n = rd *)
+
+(** A machine basic block; control may fall through to the next block in
+    layout order. *)
+type mblock = { mlabel : string; mutable mcode : instr list }
+
+type mfunc = {
+  mname : string;
+  mutable mblocks : mblock list;
+  mutable frame_words : int;  (** spill + slot area, in words (after RA) *)
+}
+
+(** Initialised data image of a global symbol. *)
+type data = {
+  dname : string;
+  dsize : int;
+  dalign : int;
+  dinit : (int * int * int32) list;  (** (offset, byte width, value) *)
+}
+
+type mprog = { mfuncs : mfunc list; mdata : data list }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let is_branch = function
+  | B _ | Bc _ | Bx_lr -> true
+  | _ -> false
+
+(** Registers read by an instruction (physical stage). *)
+let reads = function
+  | Alu (_, _, rn, R rm) -> [ rn; rm ]
+  | Alu (_, _, rn, I _) -> [ rn ]
+  | Mov (_, R rm) -> [ rm ]
+  (* conditional move: the old value survives when the condition fails *)
+  | Movc (_, rd, R rm) -> [ rd; rm ]
+  | Movc (_, rd, I _) -> [ rd ]
+  | Mov (_, I _) | Movw32 _ | AdrData _ -> []
+  | Cmp (rn, R rm) -> [ rn; rm ]
+  | Cmp (rn, I _) -> [ rn ]
+  | Ldr (_, _, rn, _) -> [ rn ]
+  | LdrR (_, _, rn, rm) -> [ rn; rm ]
+  | Str (_, rd, rn, _) -> [ rd; rn ]
+  | StrR (_, rd, rn, rm) -> [ rd; rn; rm ]
+  | Push rs -> sp :: rs
+  | B _ | Bc _ -> []
+  | Bl _ -> []
+  | Bx_lr -> [ lr ]
+  | Ckpt _ -> [ sp ]
+  | Cpsid | Cpsie -> []
+  | Svc _ -> [ r0 ]
+  | FrameAddr _ -> [ sp ]
+  | SpillLd _ -> [ sp ]
+  | SpillSt (rd, _) -> [ rd; sp ]
+
+(** Register written, if any.  [Movc] conditionally writes: treated as a
+    write for liveness (may) and as a read-modify-write for safety. *)
+let writes = function
+  | Alu (_, rd, _, _) | Mov (rd, _) | Movw32 (rd, _) | Movc (_, rd, _)
+  | Ldr (_, rd, _, _) | LdrR (_, rd, _, _) | AdrData (rd, _, _)
+  | FrameAddr (rd, _) | SpillLd (rd, _) ->
+      Some rd
+  | Push _ -> Some sp
+  | Bl _ -> Some lr
+  | Cmp _ | Str _ | StrR _ | B _ | Bc _ | Bx_lr | Ckpt _ | Cpsid | Cpsie
+  | Svc _ | SpillSt _ ->
+      None
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing (assembly listing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_width = function
+  | W8 -> "b" | W16 -> "h" | W32 -> "" | S8 -> "sb" | S16 -> "sh"
+
+let string_of_cond = function
+  | EQ -> "eq" | NE -> "ne" | LT -> "lt" | LE -> "le" | GT -> "gt"
+  | GE -> "ge" | LO -> "lo" | LS -> "ls" | HI -> "hi" | HS -> "hs" | AL -> ""
+
+let string_of_aluop = function
+  | ADD -> "add" | SUB -> "sub" | RSB -> "rsb" | MUL -> "mul"
+  | SDIV -> "sdiv" | UDIV -> "udiv" | AND -> "and" | ORR -> "orr"
+  | EOR -> "eor" | LSL -> "lsl" | LSR -> "lsr" | ASR -> "asr"
+
+let string_of_reg r =
+  if r = sp then "sp"
+  else if r = lr then "lr"
+  else if r = pc then "pc"
+  else if r < first_vreg then Printf.sprintf "r%d" r
+  else Printf.sprintf "v%d" r
+
+let string_of_op2 = function
+  | R r -> string_of_reg r
+  | I i -> Printf.sprintf "#%ld" i
+
+let string_of_instr = function
+  | Alu (op, rd, rn, o) ->
+      Printf.sprintf "%s %s, %s, %s" (string_of_aluop op) (string_of_reg rd)
+        (string_of_reg rn) (string_of_op2 o)
+  | Mov (rd, o) -> Printf.sprintf "mov %s, %s" (string_of_reg rd) (string_of_op2 o)
+  | Movw32 (rd, v) -> Printf.sprintf "movw32 %s, #%ld" (string_of_reg rd) v
+  | Movc (c, rd, o) ->
+      Printf.sprintf "it %s; mov%s %s, %s" (string_of_cond c) (string_of_cond c)
+        (string_of_reg rd) (string_of_op2 o)
+  | Cmp (rn, o) -> Printf.sprintf "cmp %s, %s" (string_of_reg rn) (string_of_op2 o)
+  | Ldr (w, rd, rn, off) ->
+      Printf.sprintf "ldr%s %s, [%s, #%ld]" (string_of_width w)
+        (string_of_reg rd) (string_of_reg rn) off
+  | LdrR (w, rd, rn, rm) ->
+      Printf.sprintf "ldr%s %s, [%s, %s]" (string_of_width w) (string_of_reg rd)
+        (string_of_reg rn) (string_of_reg rm)
+  | Str (w, rd, rn, off) ->
+      Printf.sprintf "str%s %s, [%s, #%ld]" (string_of_width w)
+        (string_of_reg rd) (string_of_reg rn) off
+  | StrR (w, rd, rn, rm) ->
+      Printf.sprintf "str%s %s, [%s, %s]" (string_of_width w) (string_of_reg rd)
+        (string_of_reg rn) (string_of_reg rm)
+  | AdrData (rd, s, off) ->
+      Printf.sprintf "adr %s, %s+%ld" (string_of_reg rd) s off
+  | Push rs ->
+      Printf.sprintf "push {%s}" (String.concat ", " (List.map string_of_reg rs))
+  | B l -> "b " ^ l
+  | Bc (c, l) -> Printf.sprintf "b%s %s" (string_of_cond c) l
+  | Bl f -> "bl " ^ f
+  | Bx_lr -> "bx lr"
+  | Ckpt (cause, mask) ->
+      Printf.sprintf "ckpt #%s, mask=0x%x" (string_of_cause cause) mask
+  | Cpsid -> "cpsid i"
+  | Cpsie -> "cpsie i"
+  | Svc n -> Printf.sprintf "svc #%d" n
+  | FrameAddr (rd, s) -> Printf.sprintf "frameaddr %s, $%d" (string_of_reg rd) s
+  | SpillLd (rd, n) -> Printf.sprintf "spill_ld %s, !%d" (string_of_reg rd) n
+  | SpillSt (rd, n) -> Printf.sprintf "spill_st %s, !%d" (string_of_reg rd) n
+
+let pp_mfunc fmt (f : mfunc) =
+  Format.fprintf fmt "%s: (frame %d words)@." f.mname f.frame_words;
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "%s:@." b.mlabel;
+      List.iter (fun i -> Format.fprintf fmt "    %s@." (string_of_instr i)) b.mcode)
+    f.mblocks

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Array Ast Int32 List Printf String

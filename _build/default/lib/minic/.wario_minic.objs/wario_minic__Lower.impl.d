@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Char Hashtbl Int32 List Option Typecheck Wario_ir Wario_support

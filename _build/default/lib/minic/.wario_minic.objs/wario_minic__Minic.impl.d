@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Ast Lexer Lower Parser Printf String Typecheck Wario_ir

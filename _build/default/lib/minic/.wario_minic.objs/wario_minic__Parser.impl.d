@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Char Int32 Lexer List Printf

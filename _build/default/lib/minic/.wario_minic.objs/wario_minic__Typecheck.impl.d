@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Char Hashtbl Int32 List Printf Wario_ir Wario_support

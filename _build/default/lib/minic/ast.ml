@@ -1,0 +1,104 @@
+(* Abstract syntax of MiniC, the C subset accepted by the WARio front end.
+
+   MiniC covers the language constructs the paper's benchmarks need:
+   integers of three widths (signed and unsigned), pointers, one- and
+   two-dimensional arrays, structs, the full C expression grammar (including
+   short-circuit operators, assignment operators, increment/decrement,
+   casts, sizeof and the conditional operator) and the usual statements.
+   There are no floats, unions, function pointers, varargs or goto. *)
+
+type position = { line : int; col : int }
+
+type iwidth = I8 | I16 | I32
+type signedness = Signed | Unsigned
+
+type ty =
+  | Void
+  | Int of iwidth * signedness
+  | Ptr of ty
+  | Array of ty * int
+  | Struct of string  (** by name; resolved by the type checker *)
+
+type unop =
+  | Neg  (** -e *)
+  | Not  (** !e *)
+  | Bnot  (** ~e *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuit *)
+
+type expr = { desc : expr_desc; pos : position }
+
+and expr_desc =
+  | Int_lit of int32 * signedness
+  | Char_lit of char
+  | Ident of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of expr * expr  (** lhs = rhs *)
+  | Op_assign of binop * expr * expr  (** lhs op= rhs *)
+  | Pre_inc of expr
+  | Pre_dec of expr
+  | Post_inc of expr
+  | Post_dec of expr
+  | Call of string * expr list
+  | Index of expr * expr  (** e1[e2] *)
+  | Member of expr * string  (** e.f *)
+  | Arrow of expr * string  (** e->f *)
+  | Deref of expr  (** *e *)
+  | Addr_of of expr  (** &e *)
+  | Cast of ty * expr
+  | Cond of expr * expr * expr  (** c ? a : b *)
+  | Sizeof_type of ty
+  | Sizeof_expr of expr
+
+type stmt = { sdesc : stmt_desc; spos : position }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option  (** local declaration *)
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo_while of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sswitch of expr * switch_case list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sempty
+
+and switch_case = {
+  sc_value : int32 option;  (** [None] = default *)
+  sc_body : stmt list;  (** falls through to the next case unless it breaks *)
+}
+
+type init =
+  | Init_expr of expr
+  | Init_list of init list  (** brace initialiser for arrays *)
+
+type struct_def = { sd_name : string; sd_fields : (ty * string) list }
+
+type global_def = {
+  gd_name : string;
+  gd_ty : ty;
+  gd_init : init option;
+  gd_const : bool;
+}
+
+type func_def = {
+  fd_name : string;
+  fd_ret : ty;
+  fd_params : (ty * string) list;
+  fd_body : stmt list;
+}
+
+type decl =
+  | Dstruct of struct_def
+  | Dglobal of global_def
+  | Dfunc of func_def
+
+type unit_ = decl list

@@ -1,0 +1,260 @@
+(* Hand-written lexer for MiniC.
+
+   Produces a token array in one pass; positions are recorded per token for
+   error reporting.  We lex eagerly (the grammar is small and programs are a
+   few thousand tokens) which keeps the parser free of buffering logic. *)
+
+type token =
+  (* literals and identifiers *)
+  | INT_LIT of int32 * bool  (* value, is-unsigned *)
+  | CHAR_LIT of char
+  | IDENT of string
+  (* keywords *)
+  | KW_int | KW_unsigned | KW_signed | KW_char | KW_short | KW_long
+  | KW_void | KW_const | KW_struct | KW_if | KW_else | KW_while | KW_do
+  | KW_for | KW_return | KW_break | KW_continue | KW_sizeof
+  | KW_switch | KW_case | KW_default
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW | QUESTION | COLON
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LSHIFT | RSHIFT
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN | PERCENT_ASSIGN
+  | AMP_ASSIGN | PIPE_ASSIGN | CARET_ASSIGN | LSHIFT_ASSIGN | RSHIFT_ASSIGN
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+exception Lex_error of string * Ast.position
+
+let keyword_table =
+  [
+    ("int", KW_int); ("unsigned", KW_unsigned); ("signed", KW_signed);
+    ("char", KW_char); ("short", KW_short); ("long", KW_long);
+    ("void", KW_void); ("const", KW_const); ("struct", KW_struct);
+    ("if", KW_if); ("else", KW_else); ("while", KW_while); ("do", KW_do);
+    ("for", KW_for); ("return", KW_return); ("break", KW_break);
+    ("continue", KW_continue); ("sizeof", KW_sizeof);
+    ("switch", KW_switch); ("case", KW_case); ("default", KW_default);
+  ]
+
+let string_of_token = function
+  | INT_LIT (i, u) -> Int32.to_string i ^ (if u then "u" else "")
+  | CHAR_LIT c -> Printf.sprintf "%C" c
+  | IDENT s -> s
+  | KW_int -> "int" | KW_unsigned -> "unsigned" | KW_signed -> "signed"
+  | KW_char -> "char" | KW_short -> "short" | KW_long -> "long"
+  | KW_void -> "void" | KW_const -> "const" | KW_struct -> "struct"
+  | KW_if -> "if" | KW_else -> "else" | KW_while -> "while" | KW_do -> "do"
+  | KW_for -> "for" | KW_return -> "return" | KW_break -> "break"
+  | KW_continue -> "continue" | KW_sizeof -> "sizeof"
+  | KW_switch -> "switch" | KW_case -> "case" | KW_default -> "default"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | DOT -> "." | ARROW -> "->" | QUESTION -> "?" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | LSHIFT -> "<<" | RSHIFT -> ">>"
+  | LT -> "<" | GT -> ">" | LE -> "<=" | GE -> ">=" | EQEQ -> "==" | NEQ -> "!="
+  | ANDAND -> "&&" | OROR -> "||" | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+=" | MINUS_ASSIGN -> "-=" | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/=" | PERCENT_ASSIGN -> "%=" | AMP_ASSIGN -> "&="
+  | PIPE_ASSIGN -> "|=" | CARET_ASSIGN -> "^=" | LSHIFT_ASSIGN -> "<<="
+  | RSHIFT_ASSIGN -> ">>=" | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"
+
+type t = { src : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let make src = { src; pos = 0; line = 1; bol = 0 }
+
+let position lx : Ast.position = { line = lx.line; col = lx.pos - lx.bol + 1 }
+let error lx msg = raise (Lex_error (msg, position lx))
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+let peek_char2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws_and_comments lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws_and_comments lx
+  | Some '/' when peek_char2 lx = Some '/' ->
+      while peek_char lx <> None && peek_char lx <> Some '\n' do advance lx done;
+      skip_ws_and_comments lx
+  | Some '/' when peek_char2 lx = Some '*' ->
+      advance lx; advance lx;
+      let rec close () =
+        match (peek_char lx, peek_char2 lx) with
+        | Some '*', Some '/' -> advance lx; advance lx
+        | None, _ -> error lx "unterminated block comment"
+        | _ -> advance lx; close ()
+      in
+      close ();
+      skip_ws_and_comments lx
+  | Some '#' ->
+      (* Tolerate preprocessor-style lines (e.g. pasted headers) by skipping
+         them: MiniC has no preprocessor. *)
+      while peek_char lx <> None && peek_char lx <> Some '\n' do advance lx done;
+      skip_ws_and_comments lx
+  | _ -> ()
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let lex_number lx =
+  let start = lx.pos in
+  let hex =
+    peek_char lx = Some '0' && (peek_char2 lx = Some 'x' || peek_char2 lx = Some 'X')
+  in
+  if hex then (advance lx; advance lx);
+  let valid = if hex then is_hex_digit else is_digit in
+  while (match peek_char lx with Some c -> valid c | None -> false) do
+    advance lx
+  done;
+  (* C integer suffixes: u/U marks the literal unsigned; l/L is ignored. *)
+  let digits_end = lx.pos in
+  let unsigned_suffix = ref false in
+  while
+    match peek_char lx with
+    | Some ('u' | 'U') -> unsigned_suffix := true; true
+    | Some ('l' | 'L') -> true
+    | _ -> false
+  do
+    advance lx
+  done;
+  let text = String.sub lx.src start (digits_end - start) in
+  if text = "" || (hex && String.length text <= 2) then error lx "bad number";
+  (* Parse as unsigned 32-bit: "0xffffffff" must wrap, not overflow. *)
+  let v =
+    try
+      (* Hex literals parse unsigned (and wrap) natively; decimal literals
+         need the "0u" prefix so 4294967295 wraps instead of overflowing. *)
+      if hex then Int32.of_string text else Int32.of_string ("0u" ^ text)
+    with Failure _ -> error lx ("integer literal out of range: " ^ text)
+  in
+  (* C rule (simplified to our two ranks): a literal is unsigned when
+     suffixed with u, or when a hex literal exceeds INT_MAX. *)
+  let unsigned = !unsigned_suffix || (hex && Int32.compare v 0l < 0) in
+  INT_LIT (v, unsigned)
+
+let lex_char_lit lx =
+  advance lx;
+  (* opening quote *)
+  let c =
+    match peek_char lx with
+    | Some '\\' -> (
+        advance lx;
+        match peek_char lx with
+        | Some 'n' -> '\n' | Some 't' -> '\t' | Some 'r' -> '\r'
+        | Some '0' -> '\000' | Some '\\' -> '\\' | Some '\'' -> '\''
+        | _ -> error lx "bad escape in char literal")
+    | Some c when c <> '\'' -> c
+    | _ -> error lx "bad char literal"
+  in
+  advance lx;
+  if peek_char lx <> Some '\'' then error lx "unterminated char literal";
+  advance lx;
+  CHAR_LIT c
+
+(* Longest-match operator lexing. *)
+let lex_operator lx =
+  let c2 tok = advance lx; advance lx; tok in
+  let c1 tok = advance lx; tok in
+  let c3 tok = advance lx; advance lx; advance lx; tok in
+  match (peek_char lx, peek_char2 lx) with
+  | Some '<', Some '<' ->
+      if lx.pos + 2 < String.length lx.src && lx.src.[lx.pos + 2] = '=' then
+        c3 LSHIFT_ASSIGN
+      else c2 LSHIFT
+  | Some '>', Some '>' ->
+      if lx.pos + 2 < String.length lx.src && lx.src.[lx.pos + 2] = '=' then
+        c3 RSHIFT_ASSIGN
+      else c2 RSHIFT
+  | Some '<', Some '=' -> c2 LE
+  | Some '>', Some '=' -> c2 GE
+  | Some '=', Some '=' -> c2 EQEQ
+  | Some '!', Some '=' -> c2 NEQ
+  | Some '&', Some '&' -> c2 ANDAND
+  | Some '|', Some '|' -> c2 OROR
+  | Some '+', Some '+' -> c2 PLUSPLUS
+  | Some '-', Some '-' -> c2 MINUSMINUS
+  | Some '-', Some '>' -> c2 ARROW
+  | Some '+', Some '=' -> c2 PLUS_ASSIGN
+  | Some '-', Some '=' -> c2 MINUS_ASSIGN
+  | Some '*', Some '=' -> c2 STAR_ASSIGN
+  | Some '/', Some '=' -> c2 SLASH_ASSIGN
+  | Some '%', Some '=' -> c2 PERCENT_ASSIGN
+  | Some '&', Some '=' -> c2 AMP_ASSIGN
+  | Some '|', Some '=' -> c2 PIPE_ASSIGN
+  | Some '^', Some '=' -> c2 CARET_ASSIGN
+  | Some '(', _ -> c1 LPAREN
+  | Some ')', _ -> c1 RPAREN
+  | Some '{', _ -> c1 LBRACE
+  | Some '}', _ -> c1 RBRACE
+  | Some '[', _ -> c1 LBRACKET
+  | Some ']', _ -> c1 RBRACKET
+  | Some ';', _ -> c1 SEMI
+  | Some ',', _ -> c1 COMMA
+  | Some '.', _ -> c1 DOT
+  | Some '?', _ -> c1 QUESTION
+  | Some ':', _ -> c1 COLON
+  | Some '+', _ -> c1 PLUS
+  | Some '-', _ -> c1 MINUS
+  | Some '*', _ -> c1 STAR
+  | Some '/', _ -> c1 SLASH
+  | Some '%', _ -> c1 PERCENT
+  | Some '&', _ -> c1 AMP
+  | Some '|', _ -> c1 PIPE
+  | Some '^', _ -> c1 CARET
+  | Some '~', _ -> c1 TILDE
+  | Some '!', _ -> c1 BANG
+  | Some '<', _ -> c1 LT
+  | Some '>', _ -> c1 GT
+  | Some '=', _ -> c1 ASSIGN
+  | Some c, _ -> error lx (Printf.sprintf "unexpected character %C" c)
+  | None, _ -> EOF
+
+let next_token lx : token * Ast.position =
+  skip_ws_and_comments lx;
+  let pos = position lx in
+  match peek_char lx with
+  | None -> (EOF, pos)
+  | Some c when is_digit c -> (lex_number lx, pos)
+  | Some '\'' -> (lex_char_lit lx, pos)
+  | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+        advance lx
+      done;
+      let text = String.sub lx.src start (lx.pos - start) in
+      let tok =
+        match List.assoc_opt text keyword_table with
+        | Some kw -> kw
+        | None -> IDENT text
+      in
+      (tok, pos)
+  | Some _ -> (lex_operator lx, pos)
+
+(** Tokenize a full source string. *)
+let tokenize (src : string) : (token * Ast.position) array =
+  let lx = make src in
+  let rec go acc =
+    let (tok, _) as t = next_token lx in
+    if tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  Array.of_list (go [])

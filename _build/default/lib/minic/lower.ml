@@ -1,0 +1,698 @@
+(* Lowering from the MiniC AST to WIR.
+
+   One pass: types are computed while code is generated (the typing rules
+   live in [Typecheck]).  Every local variable and parameter is given a
+   non-volatile stack slot — exactly the memory layout of the paper's target,
+   where the whole stack lives in NVM; the [Mem2reg] transformation later
+   promotes non-escaping scalars into (volatile) registers, playing the role
+   of LLVM's -O3 for our pipeline. *)
+
+open Ast
+open Typecheck
+module Ir = Wario_ir.Ir
+
+let err = Typecheck.err
+
+(* ------------------------------------------------------------------ *)
+(* Lowering context                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type local = { l_slot : int; l_ty : ty }
+
+type ctx = {
+  env : env;
+  f : Ir.func;
+  mutable cur_label : Ir.label;
+  mutable cur_insns_rev : Ir.instr list;
+  mutable done_blocks : Ir.block list;  (** finished blocks, reversed *)
+  mutable scopes : (string * local) list list;
+  mutable breaks : Ir.label list;
+  mutable continues : Ir.label list;
+  ret_ty : ty;
+}
+
+let emit ctx i = ctx.cur_insns_rev <- i :: ctx.cur_insns_rev
+let new_reg ctx = Ir.fresh_reg ctx.f
+let new_label ctx hint = Ir.fresh_label ctx.f hint
+
+(** Terminate the current block and start a new one labelled [lbl]. *)
+let finish_block ctx term lbl =
+  let b =
+    { Ir.bname = ctx.cur_label; insns = List.rev ctx.cur_insns_rev; term }
+  in
+  ctx.done_blocks <- b :: ctx.done_blocks;
+  ctx.cur_label <- lbl;
+  ctx.cur_insns_rev <- []
+
+let lookup_local ctx name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some l -> Some l
+        | None -> go rest)
+  in
+  go ctx.scopes
+
+let declare_local ctx pos name ty =
+  let size = sizeof ctx.env pos ty in
+  let align = alignof ctx.env pos ty in
+  let slot = Ir.fresh_slot ctx.f size align in
+  (match ctx.scopes with
+  | scope :: rest ->
+      if List.mem_assoc name scope then
+        err pos "duplicate local %s in the same scope" name;
+      ctx.scopes <- ((name, { l_slot = slot.Ir.slot_id; l_ty = ty }) :: scope) :: rest
+  | [] -> assert false);
+  slot.Ir.slot_id
+
+(* ------------------------------------------------------------------ *)
+(* Value plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Truncate-and-extend a 32-bit register value to behave as type [t]
+   (used for the *value* of assignments to narrow lvalues). *)
+let narrow ctx (v : Ir.value) (t : ty) : Ir.value =
+  match t with
+  | Int (I8, Unsigned) ->
+      let d = new_reg ctx in
+      emit ctx (Ir.Bin (d, Ir.And, v, Ir.Imm 0xffl));
+      Ir.Reg d
+  | Int (I16, Unsigned) ->
+      let d = new_reg ctx in
+      emit ctx (Ir.Bin (d, Ir.And, v, Ir.Imm 0xffffl));
+      Ir.Reg d
+  | Int (I8, Signed) ->
+      let a = new_reg ctx and b = new_reg ctx in
+      emit ctx (Ir.Bin (a, Ir.Shl, v, Ir.Imm 24l));
+      emit ctx (Ir.Bin (b, Ir.Ashr, Ir.Reg a, Ir.Imm 24l));
+      Ir.Reg b
+  | Int (I16, Signed) ->
+      let a = new_reg ctx and b = new_reg ctx in
+      emit ctx (Ir.Bin (a, Ir.Shl, v, Ir.Imm 16l));
+      emit ctx (Ir.Bin (b, Ir.Ashr, Ir.Reg a, Ir.Imm 16l));
+      Ir.Reg b
+  | _ -> v
+
+let scale_index ctx (idx : Ir.value) (elem_size : int) : Ir.value =
+  if elem_size = 1 then idx
+  else begin
+    let d = new_reg ctx in
+    emit ctx (Ir.Bin (d, Ir.Mul, idx, Ir.Imm (Int32.of_int elem_size)));
+    Ir.Reg d
+  end
+
+let add_addr ctx (base : Ir.value) (off : Ir.value) : Ir.value =
+  match off with
+  | Ir.Imm 0l -> base
+  | _ ->
+      let d = new_reg ctx in
+      emit ctx (Ir.Bin (d, Ir.Add, base, off));
+      Ir.Reg d
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Decay arrays to pointers when an lvalue is used as an rvalue. *)
+let decay = function Array (elem, _) -> Ptr elem | t -> t
+
+let ir_cmp_of signed (op : binop) : Ir.cmpop =
+  match (op, signed) with
+  | Eq, _ -> Ir.Ceq
+  | Ne, _ -> Ir.Cne
+  | Lt, true -> Ir.Cslt
+  | Le, true -> Ir.Csle
+  | Gt, true -> Ir.Csgt
+  | Ge, true -> Ir.Csge
+  | Lt, false -> Ir.Cult
+  | Le, false -> Ir.Cule
+  | Gt, false -> Ir.Cugt
+  | Ge, false -> Ir.Cuge
+  | _ -> invalid_arg "ir_cmp_of"
+
+let rec lower_expr ctx (e : expr) : Ir.value * ty =
+  let pos = e.pos in
+  match e.desc with
+  | Int_lit (v, sg) -> (Ir.Imm v, Int (I32, sg))
+  | Char_lit c -> (Ir.Imm (Int32.of_int (Char.code c)), Int (I8, Signed))
+  | Ident name -> (
+      match lower_lvalue_opt ctx e with
+      | Some (addr, ty) -> load_rvalue ctx pos addr ty
+      | None -> err pos "unknown identifier %s" name)
+  | Index _ | Member _ | Arrow _ | Deref _ -> (
+      match lower_lvalue_opt ctx e with
+      | Some (addr, ty) -> load_rvalue ctx pos addr ty
+      | None -> err pos "invalid lvalue expression")
+  | Unary (Neg, a) ->
+      let va, ta = lower_rvalue ctx a in
+      if not (is_integer ta) then err pos "unary - on non-integer";
+      let d = new_reg ctx in
+      emit ctx (Ir.Bin (d, Ir.Sub, Ir.Imm 0l, va));
+      (Ir.Reg d, promote ta)
+  | Unary (Bnot, a) ->
+      let va, ta = lower_rvalue ctx a in
+      if not (is_integer ta) then err pos "unary ~ on non-integer";
+      let d = new_reg ctx in
+      emit ctx (Ir.Bin (d, Ir.Xor, va, Ir.Imm (-1l)));
+      (Ir.Reg d, promote ta)
+  | Unary (Not, a) ->
+      let va, ta = lower_rvalue ctx a in
+      if not (is_scalar ta) then err pos "unary ! on non-scalar";
+      let d = new_reg ctx in
+      emit ctx (Ir.Cmp (d, Ir.Ceq, va, Ir.Imm 0l));
+      (Ir.Reg d, Int (I32, Signed))
+  | Binary (Land, a, b) -> lower_short_circuit ctx ~is_and:true a b
+  | Binary (Lor, a, b) -> lower_short_circuit ctx ~is_and:false a b
+  | Binary (op, a, b) -> lower_binary ctx pos op a b
+  | Assign (lhs, rhs) ->
+      let addr, lty = lower_lvalue ctx lhs in
+      let v, rty = lower_rvalue ctx rhs in
+      check_assignable pos lty rty;
+      emit ctx (Ir.Store (width_of ctx.env pos lty, v, addr));
+      (narrow ctx v lty, lty)
+  | Op_assign (op, lhs, rhs) ->
+      let addr, lty = lower_lvalue ctx lhs in
+      let old = new_reg ctx in
+      emit ctx (Ir.Load (old, width_of ctx.env pos lty, addr));
+      let v, _ =
+        lower_binary_values ctx pos op (Ir.Reg old, lty) (lower_rvalue ctx rhs)
+      in
+      emit ctx (Ir.Store (width_of ctx.env pos lty, v, addr));
+      (narrow ctx v lty, lty)
+  | Pre_inc a -> lower_incdec ctx pos a ~delta:1l ~pre:true
+  | Pre_dec a -> lower_incdec ctx pos a ~delta:(-1l) ~pre:true
+  | Post_inc a -> lower_incdec ctx pos a ~delta:1l ~pre:false
+  | Post_dec a -> lower_incdec ctx pos a ~delta:(-1l) ~pre:false
+  | Call ("print_int", args) -> (
+      match args with
+      | [ a ] ->
+          let v, _ = lower_rvalue ctx a in
+          emit ctx (Ir.Print v);
+          (Ir.Imm 0l, Void)
+      | _ -> err pos "print_int takes one argument")
+  | Call (fname, args) -> (
+      match Hashtbl.find_opt ctx.env.funcs fname with
+      | None -> err pos "call to unknown function %s" fname
+      | Some fs ->
+          if List.length fs.fs_params <> List.length args then
+            err pos "%s expects %d arguments, got %d" fname
+              (List.length fs.fs_params) (List.length args);
+          let vals =
+            List.map2
+              (fun pty a ->
+                let v, aty = lower_rvalue ctx a in
+                check_assignable pos pty aty;
+                v)
+              fs.fs_params args
+          in
+          if fs.fs_ret = Void then begin
+            emit ctx (Ir.Call (None, fname, vals));
+            (Ir.Imm 0l, Void)
+          end
+          else begin
+            let d = new_reg ctx in
+            emit ctx (Ir.Call (Some d, fname, vals));
+            (Ir.Reg d, fs.fs_ret)
+          end)
+  | Addr_of a ->
+      let addr, ty = lower_lvalue ctx a in
+      (addr, Ptr ty)
+  | Cast (t, a) ->
+      let v, _ = lower_rvalue ctx a in
+      (* Casting to a narrow integer truncates the value. *)
+      (narrow ctx v t, t)
+  | Cond (c, a, b) ->
+      let vc, tc = lower_rvalue ctx c in
+      if not (is_scalar tc) then err pos "condition must be scalar";
+      let lt = new_label ctx "cond.then"
+      and lf = new_label ctx "cond.else"
+      and le = new_label ctx "cond.end" in
+      let res = new_reg ctx in
+      finish_block ctx (Ir.Cbr (vc, lt, lf)) lt;
+      let va, ta = lower_rvalue ctx a in
+      emit ctx (Ir.Mov (res, va));
+      finish_block ctx (Ir.Br le) lf;
+      let vb, tb = lower_rvalue ctx b in
+      emit ctx (Ir.Mov (res, vb));
+      finish_block ctx (Ir.Br le) le;
+      let ty =
+        if is_pointer ta then ta
+        else if is_pointer tb then tb
+        else arith_common ta tb
+      in
+      (Ir.Reg res, ty)
+  | Sizeof_type t -> (Ir.Imm (Int32.of_int (sizeof ctx.env pos t)), Int (I32, Unsigned))
+  | Sizeof_expr a ->
+      let t = static_type_of ctx a in
+      (Ir.Imm (Int32.of_int (sizeof ctx.env pos t)), Int (I32, Unsigned))
+
+(* rvalue = expression value with arrays decayed. *)
+and lower_rvalue ctx e : Ir.value * ty =
+  let v, t = lower_expr ctx e in
+  (v, decay t)
+
+and load_rvalue ctx pos addr (ty : ty) : Ir.value * ty =
+  match ty with
+  | Array (elem, _) -> (addr, Ptr elem) (* decay: the address is the value *)
+  | Struct _ -> (addr, ty) (* struct rvalues only usable via & and members *)
+  | Void -> err pos "void value"
+  | _ ->
+      let d = new_reg ctx in
+      emit ctx (Ir.Load (d, width_of ctx.env pos ty, addr));
+      (Ir.Reg d, ty)
+
+and check_assignable pos (lty : ty) (rty : ty) =
+  match (lty, rty) with
+  | Int _, Int _ -> ()
+  | Ptr _, Ptr _ -> () (* C would warn on mismatched pointees; we allow *)
+  | Ptr _, Int _ | Int _, Ptr _ -> () (* ints and pointers interconvert *)
+  | _ ->
+      err pos "incompatible assignment (%s <- %s)"
+        (match lty with Void -> "void" | Struct s -> "struct " ^ s | Array _ -> "array" | _ -> "scalar")
+        (match rty with Void -> "void" | Struct s -> "struct " ^ s | Array _ -> "array" | _ -> "scalar")
+
+and lower_incdec ctx pos a ~delta ~pre : Ir.value * ty =
+  let addr, ty = lower_lvalue ctx a in
+  let w = width_of ctx.env pos ty in
+  let old = new_reg ctx in
+  emit ctx (Ir.Load (old, w, addr));
+  let step =
+    match ty with
+    | Ptr elem -> Int32.mul delta (Int32.of_int (sizeof ctx.env pos elem))
+    | _ -> delta
+  in
+  let nv = new_reg ctx in
+  emit ctx (Ir.Bin (nv, Ir.Add, Ir.Reg old, Ir.Imm step));
+  emit ctx (Ir.Store (w, Ir.Reg nv, addr));
+  if pre then (narrow ctx (Ir.Reg nv) ty, ty) else (Ir.Reg old, ty)
+
+and lower_short_circuit ctx ~is_and a b : Ir.value * ty =
+  let res = new_reg ctx in
+  let va, _ = lower_rvalue ctx a in
+  emit ctx (Ir.Mov (res, Ir.Imm (if is_and then 0l else 1l)));
+  let lrhs = new_label ctx (if is_and then "land.rhs" else "lor.rhs") in
+  let lend = new_label ctx (if is_and then "land.end" else "lor.end") in
+  let term =
+    if is_and then Ir.Cbr (va, lrhs, lend) else Ir.Cbr (va, lend, lrhs)
+  in
+  finish_block ctx term lrhs;
+  let vb, _ = lower_rvalue ctx b in
+  let d = new_reg ctx in
+  emit ctx (Ir.Cmp (d, Ir.Cne, vb, Ir.Imm 0l));
+  emit ctx (Ir.Mov (res, Ir.Reg d));
+  finish_block ctx (Ir.Br lend) lend;
+  (Ir.Reg res, Int (I32, Signed))
+
+and lower_binary ctx pos op a b : Ir.value * ty =
+  let va = lower_rvalue ctx a in
+  let vb = lower_rvalue ctx b in
+  lower_binary_values ctx pos op va vb
+
+and lower_binary_values ctx pos op ((va, ta) : Ir.value * ty)
+    ((vb, tb) : Ir.value * ty) : Ir.value * ty =
+  let bin irop rty =
+    let d = new_reg ctx in
+    emit ctx (Ir.Bin (d, irop, va, vb));
+    (Ir.Reg d, rty)
+  in
+  match (op, ta, tb) with
+  (* pointer arithmetic *)
+  | Add, Ptr elem, Int _ ->
+      let off = scale_index ctx vb (sizeof ctx.env pos elem) in
+      (add_addr ctx va off, ta)
+  | Add, Int _, Ptr elem ->
+      let off = scale_index ctx va (sizeof ctx.env pos elem) in
+      (add_addr ctx vb off, tb)
+  | Sub, Ptr elem, Int _ ->
+      let off = scale_index ctx vb (sizeof ctx.env pos elem) in
+      let d = new_reg ctx in
+      emit ctx (Ir.Bin (d, Ir.Sub, va, off));
+      (Ir.Reg d, ta)
+  | Sub, Ptr elem, Ptr _ ->
+      let d = new_reg ctx and q = new_reg ctx in
+      emit ctx (Ir.Bin (d, Ir.Sub, va, vb));
+      emit ctx (Ir.Bin (q, Ir.Sdiv, Ir.Reg d, Ir.Imm (Int32.of_int (sizeof ctx.env pos elem))));
+      (Ir.Reg q, Int (I32, Signed))
+  | (Eq | Ne | Lt | Le | Gt | Ge), Ptr _, _ | (Eq | Ne | Lt | Le | Gt | Ge), _, Ptr _
+    ->
+      let d = new_reg ctx in
+      emit ctx (Ir.Cmp (d, ir_cmp_of false op, va, vb));
+      (Ir.Reg d, Int (I32, Signed))
+  | _, Int _, Int _ -> (
+      let common = arith_common ta tb in
+      let unsigned = common = Int (I32, Unsigned) in
+      match op with
+      | Add -> bin Ir.Add common
+      | Sub -> bin Ir.Sub common
+      | Mul -> bin Ir.Mul common
+      | Div -> bin (if unsigned then Ir.Udiv else Ir.Sdiv) common
+      | Mod -> bin (if unsigned then Ir.Urem else Ir.Srem) common
+      | Band -> bin Ir.And common
+      | Bor -> bin Ir.Or common
+      | Bxor -> bin Ir.Xor common
+      | Shl -> bin Ir.Shl (promote ta)
+      | Shr ->
+          (* Shift result/signedness comes from the promoted left operand. *)
+          let lhs_unsigned = promote ta = Int (I32, Unsigned) in
+          bin (if lhs_unsigned then Ir.Lshr else Ir.Ashr) (promote ta)
+      | Eq | Ne | Lt | Le | Gt | Ge ->
+          let d = new_reg ctx in
+          emit ctx (Ir.Cmp (d, ir_cmp_of (not unsigned) op, va, vb));
+          (Ir.Reg d, Int (I32, Signed))
+      | Land | Lor -> assert false (* handled earlier *))
+  | _ -> err pos "invalid operands to binary operator"
+
+(* lvalue lowering: returns the address and the type stored there. *)
+and lower_lvalue ctx (e : expr) : Ir.value * ty =
+  match lower_lvalue_opt ctx e with
+  | Some r -> r
+  | None -> err e.pos "expression is not an lvalue"
+
+and lower_lvalue_opt ctx (e : expr) : (Ir.value * ty) option =
+  let pos = e.pos in
+  match e.desc with
+  | Ident name -> (
+      match lookup_local ctx name with
+      | Some l -> Some (Ir.Slot l.l_slot, l.l_ty)
+      | None -> (
+          match Hashtbl.find_opt ctx.env.globals name with
+          | Some (ty, _) -> Some (Ir.Glob name, ty)
+          | None -> None))
+  | Deref a ->
+      let v, t = lower_rvalue ctx a in
+      (match t with
+      | Ptr elem -> Some (v, elem)
+      | _ -> err pos "dereference of non-pointer")
+  | Index (a, idx) ->
+      let base, t = lower_rvalue ctx a in
+      let elem =
+        match t with
+        | Ptr elem -> elem
+        | _ -> err pos "indexing a non-pointer/non-array"
+      in
+      let vi, ti = lower_rvalue ctx idx in
+      if not (is_integer ti) then err pos "array index must be an integer";
+      let off = scale_index ctx vi (sizeof ctx.env pos elem) in
+      Some (add_addr ctx base off, elem)
+  | Member (a, fname) ->
+      let addr, t = lower_lvalue ctx a in
+      (match t with
+      | Struct sname ->
+          let fi = find_field ctx.env pos sname fname in
+          Some (add_addr ctx addr (Ir.Imm (Int32.of_int fi.fi_offset)), fi.fi_ty)
+      | _ -> err pos "member access on non-struct")
+  | Arrow (a, fname) ->
+      let v, t = lower_rvalue ctx a in
+      (match t with
+      | Ptr (Struct sname) ->
+          let fi = find_field ctx.env pos sname fname in
+          Some (add_addr ctx v (Ir.Imm (Int32.of_int fi.fi_offset)), fi.fi_ty)
+      | _ -> err pos "-> on non-struct-pointer")
+  | _ -> None
+
+(* Static type computation for sizeof(expr): no code is emitted. *)
+and static_type_of ctx (e : expr) : ty =
+  let pos = e.pos in
+  match e.desc with
+  | Int_lit (_, sg) -> Int (I32, sg)
+  | Char_lit _ -> Int (I8, Signed)
+  | Ident name -> (
+      match lookup_local ctx name with
+      | Some l -> l.l_ty
+      | None -> (
+          match Hashtbl.find_opt ctx.env.globals name with
+          | Some (ty, _) -> ty
+          | None -> err pos "unknown identifier %s" name))
+  | Deref a -> (
+      match decay (static_type_of ctx a) with
+      | Ptr elem -> elem
+      | _ -> err pos "dereference of non-pointer")
+  | Index (a, _) -> (
+      match decay (static_type_of ctx a) with
+      | Ptr elem -> elem
+      | _ -> err pos "indexing a non-pointer")
+  | Member (a, f) -> (
+      match static_type_of ctx a with
+      | Struct s -> (find_field ctx.env pos s f).fi_ty
+      | _ -> err pos "member access on non-struct")
+  | Arrow (a, f) -> (
+      match decay (static_type_of ctx a) with
+      | Ptr (Struct s) -> (find_field ctx.env pos s f).fi_ty
+      | _ -> err pos "-> on non-struct-pointer")
+  | Cast (t, _) -> t
+  | _ -> err pos "unsupported operand of sizeof"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt ctx (s : stmt) : unit =
+  match s.sdesc with
+  | Sempty -> ()
+  | Sexpr e -> ignore (lower_expr ctx e)
+  | Sdecl (ty, name, init) -> (
+      ignore (sizeof ctx.env s.spos ty);
+      let slot = declare_local ctx s.spos name ty in
+      match init with
+      | None -> ()
+      | Some e ->
+          let v, rty = lower_rvalue ctx e in
+          check_assignable s.spos (decay ty) rty;
+          emit ctx (Ir.Store (width_of ctx.env s.spos ty, v, Ir.Slot slot)))
+  | Sblock stmts ->
+      ctx.scopes <- [] :: ctx.scopes;
+      List.iter (lower_stmt ctx) stmts;
+      ctx.scopes <- List.tl ctx.scopes
+  | Sif (c, then_, else_) -> (
+      let vc, _ = lower_rvalue ctx c in
+      match else_ with
+      | None ->
+          let lt = new_label ctx "if.then" and le = new_label ctx "if.end" in
+          finish_block ctx (Ir.Cbr (vc, lt, le)) lt;
+          lower_stmt ctx then_;
+          finish_block ctx (Ir.Br le) le
+      | Some els ->
+          let lt = new_label ctx "if.then"
+          and lf = new_label ctx "if.else"
+          and le = new_label ctx "if.end" in
+          finish_block ctx (Ir.Cbr (vc, lt, lf)) lt;
+          lower_stmt ctx then_;
+          finish_block ctx (Ir.Br le) lf;
+          lower_stmt ctx els;
+          finish_block ctx (Ir.Br le) le)
+  | Swhile (c, body) ->
+      let lcond = new_label ctx "while.cond"
+      and lbody = new_label ctx "while.body"
+      and lend = new_label ctx "while.end" in
+      finish_block ctx (Ir.Br lcond) lcond;
+      let vc, _ = lower_rvalue ctx c in
+      finish_block ctx (Ir.Cbr (vc, lbody, lend)) lbody;
+      ctx.breaks <- lend :: ctx.breaks;
+      ctx.continues <- lcond :: ctx.continues;
+      lower_stmt ctx body;
+      ctx.breaks <- List.tl ctx.breaks;
+      ctx.continues <- List.tl ctx.continues;
+      finish_block ctx (Ir.Br lcond) lend
+  | Sdo_while (body, c) ->
+      let lbody = new_label ctx "do.body"
+      and lcond = new_label ctx "do.cond"
+      and lend = new_label ctx "do.end" in
+      finish_block ctx (Ir.Br lbody) lbody;
+      ctx.breaks <- lend :: ctx.breaks;
+      ctx.continues <- lcond :: ctx.continues;
+      lower_stmt ctx body;
+      ctx.breaks <- List.tl ctx.breaks;
+      ctx.continues <- List.tl ctx.continues;
+      finish_block ctx (Ir.Br lcond) lcond;
+      let vc, _ = lower_rvalue ctx c in
+      finish_block ctx (Ir.Cbr (vc, lbody, lend)) lend
+  | Sfor (init, cond, step, body) ->
+      ctx.scopes <- [] :: ctx.scopes;
+      Option.iter (lower_stmt ctx) init;
+      let lcond = new_label ctx "for.cond"
+      and lbody = new_label ctx "for.body"
+      and lstep = new_label ctx "for.step"
+      and lend = new_label ctx "for.end" in
+      finish_block ctx (Ir.Br lcond) lcond;
+      (match cond with
+      | None -> finish_block ctx (Ir.Br lbody) lbody
+      | Some c ->
+          let vc, _ = lower_rvalue ctx c in
+          finish_block ctx (Ir.Cbr (vc, lbody, lend)) lbody);
+      ctx.breaks <- lend :: ctx.breaks;
+      ctx.continues <- lstep :: ctx.continues;
+      lower_stmt ctx body;
+      ctx.breaks <- List.tl ctx.breaks;
+      ctx.continues <- List.tl ctx.continues;
+      finish_block ctx (Ir.Br lstep) lstep;
+      Option.iter (fun e -> ignore (lower_expr ctx e)) step;
+      finish_block ctx (Ir.Br lcond) lend;
+      ctx.scopes <- List.tl ctx.scopes
+  | Sswitch (scrut, cases) ->
+      let v, ty = lower_rvalue ctx scrut in
+      if not (is_integer ty) then err s.spos "switch on non-integer";
+      (* C constraints: unique case values, at most one default *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun c ->
+          match c.sc_value with
+          | Some k ->
+              if Hashtbl.mem seen k then err s.spos "duplicate case %ld" k;
+              Hashtbl.add seen k ()
+          | None -> ())
+        cases;
+      if List.length (List.filter (fun c -> c.sc_value = None) cases) > 1 then
+        err s.spos "multiple default labels";
+      (* pin the scrutinee in a register: dispatch reads it repeatedly *)
+      let sv = new_reg ctx in
+      emit ctx (Ir.Mov (sv, v));
+      let lend = new_label ctx "switch.end" in
+      let case_labels =
+        List.map (fun _ -> new_label ctx "switch.case") cases
+      in
+      (* dispatch chain: compare against each case value in order *)
+      let default_target =
+        match
+          Wario_support.Util.list_index_of
+            (fun c -> c.sc_value = None)
+            cases
+        with
+        | Some i -> List.nth case_labels i
+        | None -> lend
+      in
+      List.iteri
+        (fun i c ->
+          match c.sc_value with
+          | Some k ->
+              let cr = new_reg ctx in
+              emit ctx (Ir.Cmp (cr, Ir.Ceq, Ir.Reg sv, Ir.Imm k));
+              let lnext = new_label ctx "switch.disp" in
+              finish_block ctx
+                (Ir.Cbr (Ir.Reg cr, List.nth case_labels i, lnext))
+                lnext
+          | None -> ())
+        cases;
+      finish_block ctx (Ir.Br default_target) (new_label ctx "dead");
+      (* case bodies, in order, falling through to the next one *)
+      ctx.breaks <- lend :: ctx.breaks;
+      List.iteri
+        (fun i c ->
+          (* enter this case's block *)
+          finish_block ctx (Ir.Br (List.nth case_labels i)) (List.nth case_labels i);
+          ctx.scopes <- [] :: ctx.scopes;
+          List.iter (lower_stmt ctx) c.sc_body;
+          ctx.scopes <- List.tl ctx.scopes)
+        cases;
+      ctx.breaks <- List.tl ctx.breaks;
+      finish_block ctx (Ir.Br lend) lend
+  | Sreturn e -> (
+      (match (e, ctx.ret_ty) with
+      | None, Void -> finish_block ctx (Ir.Ret None) (new_label ctx "dead")
+      | Some e, rty ->
+          if rty = Void then err s.spos "returning a value from a void function";
+          let v, ty = lower_rvalue ctx e in
+          check_assignable s.spos rty ty;
+          finish_block ctx (Ir.Ret (Some v)) (new_label ctx "dead")
+      | None, _ -> err s.spos "missing return value"))
+  | Sbreak -> (
+      match ctx.breaks with
+      | l :: _ -> finish_block ctx (Ir.Br l) (new_label ctx "dead")
+      | [] -> err s.spos "break outside a loop")
+  | Scontinue -> (
+      match ctx.continues with
+      | l :: _ -> finish_block ctx (Ir.Br l) (new_label ctx "dead")
+      | [] -> err s.spos "continue outside a loop")
+
+(* ------------------------------------------------------------------ *)
+(* Top-level lowering                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let lower_func env (fd : func_def) : Ir.func =
+  let f =
+    {
+      Ir.fname = fd.fd_name;
+      params = [];
+      slots = [];
+      blocks = [];
+      next_reg = 0;
+      next_label = 0;
+    }
+  in
+  let ctx =
+    {
+      env;
+      f;
+      cur_label = "entry";
+      cur_insns_rev = [];
+      done_blocks = [];
+      scopes = [ [] ];
+      breaks = [];
+      continues = [];
+      ret_ty = fd.fd_ret;
+    }
+  in
+  (* Parameters arrive in registers and are immediately stored into slots so
+     they behave like ordinary locals (Mem2reg later undoes the round-trip
+     for parameters whose address is never taken). *)
+  let param_regs =
+    List.map
+      (fun (pty, pname) ->
+        let r = new_reg ctx in
+        let slot = declare_local ctx no_pos pname pty in
+        emit ctx (Ir.Store (width_of env no_pos (decay pty), Ir.Reg r, Ir.Slot slot));
+        r)
+      fd.fd_params
+  in
+  f.Ir.params <- param_regs;
+  List.iter (lower_stmt ctx) fd.fd_body;
+  (* Implicit return on fallthrough. *)
+  let final_term =
+    if fd.fd_ret = Void then Ir.Ret None else Ir.Ret (Some (Ir.Imm 0l))
+  in
+  finish_block ctx final_term "unused.exit";
+  f.Ir.blocks <- List.rev ctx.done_blocks;
+  f
+
+(* Flatten a global initialiser into (offset, width, value) triples. *)
+let rec flatten_init env pos (t : ty) (init : init) (off : int) :
+    (int * Ir.width * int32) list =
+  match (t, init) with
+  | (Int _ | Ptr _), Init_expr e -> [ (off, width_of env pos t, const_eval env e) ]
+  | Array (elem, n), Init_list items ->
+      if List.length items > n then err pos "too many initialisers";
+      let esz = sizeof env pos elem in
+      List.concat
+        (List.mapi
+           (fun i item -> flatten_init env pos elem item (off + (i * esz)))
+           items)
+  | Array (elem, n), Init_expr e ->
+      (* scalar init replicated?  No: C fills the first element. *)
+      ignore n;
+      flatten_init env pos elem (Init_expr e) off
+  | _, Init_list _ -> err pos "brace initialiser on non-array"
+  | _ -> err pos "unsupported global initialiser"
+
+let lower_global env (gd : global_def) : Ir.global =
+  let pos = no_pos in
+  {
+    Ir.gname = gd.gd_name;
+    gsize = sizeof env pos gd.gd_ty;
+    galign = alignof env pos gd.gd_ty;
+    ginit =
+      (match gd.gd_init with
+      | None -> []
+      | Some init -> flatten_init env pos gd.gd_ty init 0);
+    gconst = gd.gd_const;
+  }
+
+(** Lower a full translation unit to a WIR program. *)
+let lower_unit (u : unit_) : Ir.program =
+  let env = build_env u in
+  let globals =
+    List.filter_map (function Dglobal g -> Some (lower_global env g) | _ -> None) u
+  in
+  let funcs =
+    List.filter_map (function Dfunc fd -> Some (lower_func env fd) | _ -> None) u
+  in
+  { Ir.globals; funcs }

@@ -1,0 +1,31 @@
+(* Front-end driver: MiniC source text -> WIR program.
+
+   Mirrors the paper's front end (clang + gllvm producing a single
+   whole-program IR file): [compile] accepts one or more source strings,
+   concatenates them into a single translation unit and lowers it. *)
+
+exception Error of string
+
+let format_pos (p : Ast.position) = Printf.sprintf "%d:%d" p.line p.col
+
+(** Parse and lower MiniC source to WIR.  Raises [Error] with a located
+    message on lexical, syntax or type errors. *)
+let compile ?(sources = []) (src : string) : Wario_ir.Ir.program =
+  let full = String.concat "\n" (src :: sources) in
+  try
+    let ast = Parser.parse_unit full in
+    let prog = Lower.lower_unit ast in
+    Wario_ir.Ir_verify.verify_program prog;
+    prog
+  with
+  | Lexer.Lex_error (msg, pos) ->
+      raise (Error (Printf.sprintf "lex error at %s: %s" (format_pos pos) msg))
+  | Parser.Parse_error (msg, pos) ->
+      raise (Error (Printf.sprintf "parse error at %s: %s" (format_pos pos) msg))
+  | Typecheck.Type_error (msg, pos) ->
+      raise (Error (Printf.sprintf "type error at %s: %s" (format_pos pos) msg))
+  | Wario_ir.Ir_verify.Ill_formed msg ->
+      raise (Error ("internal error: ill-formed IR from front end: " ^ msg))
+
+(** Parse only (for tests). *)
+let parse (src : string) : Ast.unit_ = Parser.parse_unit src

@@ -1,0 +1,14 @@
+(** Front-end driver: MiniC source text -> WIR program.
+
+    Mirrors the paper's front end (clang + gllvm producing one
+    whole-program IR file): [compile] concatenates the given sources into a
+    single translation unit and lowers it. *)
+
+exception Error of string
+(** A located lexical, syntax or type error. *)
+
+val compile : ?sources:string list -> string -> Wario_ir.Ir.program
+(** Parse, type and lower MiniC; the result passes {!Wario_ir.Ir_verify}. *)
+
+val parse : string -> Ast.unit_
+(** Parse only (tests). *)

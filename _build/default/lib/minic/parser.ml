@@ -1,0 +1,557 @@
+(* Recursive-descent parser for MiniC.
+
+   Expression parsing uses precedence climbing with the standard C
+   precedence table.  Declarations support the subset of C declarators the
+   benchmarks need: scalars, pointers ([*] before the name) and up to
+   two array dimensions after the name. *)
+
+open Ast
+open Lexer
+
+exception Parse_error of string * position
+
+type t = { toks : (token * position) array; mutable idx : int }
+
+let make toks = { toks; idx = 0 }
+let peek p = fst p.toks.(p.idx)
+let peek2 p = if p.idx + 1 < Array.length p.toks then fst p.toks.(p.idx + 1) else EOF
+let pos p = snd p.toks.(p.idx)
+let advance p = if p.idx + 1 < Array.length p.toks then p.idx <- p.idx + 1
+
+let error p msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found '%s')" msg (string_of_token (peek p)), pos p))
+
+let expect p tok msg =
+  if peek p = tok then advance p else error p ("expected " ^ msg)
+
+let expect_ident p =
+  match peek p with
+  | IDENT s -> advance p; s
+  | _ -> error p "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Does a type specifier start here?  Used to distinguish declarations from
+   expression statements and casts from parenthesised expressions. *)
+let starts_type p =
+  match peek p with
+  | KW_int | KW_unsigned | KW_signed | KW_char | KW_short | KW_long | KW_void
+  | KW_const | KW_struct ->
+      true
+  | _ -> false
+
+(* Parse a base type specifier: [const] (int|unsigned [int|char|short]|...). *)
+let parse_base_type p =
+  let rec skip_const () =
+    if peek p = KW_const then (advance p; skip_const ())
+  in
+  skip_const ();
+  let t =
+    match peek p with
+    | KW_void -> advance p; Void
+    | KW_struct ->
+        advance p;
+        let name = expect_ident p in
+        Struct name
+    | KW_char -> advance p; Int (I8, Signed)
+    | KW_short ->
+        advance p;
+        if peek p = KW_int then advance p;
+        Int (I16, Signed)
+    | KW_int -> advance p; Int (I32, Signed)
+    | KW_long ->
+        advance p;
+        if peek p = KW_int then advance p;
+        Int (I32, Signed)
+    | KW_signed ->
+        advance p;
+        (match peek p with
+        | KW_char -> advance p; Int (I8, Signed)
+        | KW_short -> advance p; if peek p = KW_int then advance p; Int (I16, Signed)
+        | KW_int -> advance p; Int (I32, Signed)
+        | KW_long -> advance p; if peek p = KW_int then advance p; Int (I32, Signed)
+        | _ -> Int (I32, Signed))
+    | KW_unsigned ->
+        advance p;
+        (match peek p with
+        | KW_char -> advance p; Int (I8, Unsigned)
+        | KW_short -> advance p; if peek p = KW_int then advance p; Int (I16, Unsigned)
+        | KW_int -> advance p; Int (I32, Unsigned)
+        | KW_long -> advance p; if peek p = KW_int then advance p; Int (I32, Unsigned)
+        | _ -> Int (I32, Unsigned))
+    | _ -> error p "expected type"
+  in
+  skip_const ();
+  t
+
+(* Pointer stars after the base type. *)
+let parse_pointers p base =
+  let t = ref base in
+  while peek p = STAR do
+    advance p;
+    (* const pointers: int * const p *)
+    while peek p = KW_const do advance p done;
+    t := Ptr !t
+  done;
+  !t
+
+(* Array dimensions after a declarator name; dimensions must be constant
+   expressions, which we restrict to integer literals (possibly parenthesised
+   products are not needed by the benchmarks). *)
+let rec parse_array_dims p base =
+  if peek p = LBRACKET then begin
+    advance p;
+    let n =
+      match peek p with
+      | INT_LIT (v, _) -> advance p; Int32.to_int v
+      | _ -> error p "expected integer array dimension"
+    in
+    expect p RBRACKET "']'";
+    let inner = parse_array_dims p base in
+    Array (inner, n)
+  end
+  else base
+
+(* A full abstract type (for casts and sizeof): base + stars, no name. *)
+let parse_abstract_type p =
+  let base = parse_base_type p in
+  parse_pointers p base
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mk pos desc = { desc; pos }
+
+(* Binary operator precedence; higher binds tighter. *)
+let binop_of_token = function
+  | STAR -> Some (Mul, 10) | SLASH -> Some (Div, 10) | PERCENT -> Some (Mod, 10)
+  | PLUS -> Some (Add, 9) | MINUS -> Some (Sub, 9)
+  | LSHIFT -> Some (Shl, 8) | RSHIFT -> Some (Shr, 8)
+  | LT -> Some (Lt, 7) | GT -> Some (Gt, 7) | LE -> Some (Le, 7) | GE -> Some (Ge, 7)
+  | EQEQ -> Some (Eq, 6) | NEQ -> Some (Ne, 6)
+  | AMP -> Some (Band, 5)
+  | CARET -> Some (Bxor, 4)
+  | PIPE -> Some (Bor, 3)
+  | ANDAND -> Some (Land, 2)
+  | OROR -> Some (Lor, 1)
+  | _ -> None
+
+let assign_op_of_token = function
+  | PLUS_ASSIGN -> Some Add | MINUS_ASSIGN -> Some Sub | STAR_ASSIGN -> Some Mul
+  | SLASH_ASSIGN -> Some Div | PERCENT_ASSIGN -> Some Mod
+  | AMP_ASSIGN -> Some Band | PIPE_ASSIGN -> Some Bor | CARET_ASSIGN -> Some Bxor
+  | LSHIFT_ASSIGN -> Some Shl | RSHIFT_ASSIGN -> Some Shr
+  | _ -> None
+
+let rec parse_expr p = parse_assign p
+
+and parse_assign p =
+  let lhs = parse_cond p in
+  match peek p with
+  | ASSIGN ->
+      let ps = pos p in
+      advance p;
+      let rhs = parse_assign p in
+      mk ps (Assign (lhs, rhs))
+  | tok -> (
+      match assign_op_of_token tok with
+      | Some op ->
+          let ps = pos p in
+          advance p;
+          let rhs = parse_assign p in
+          mk ps (Op_assign (op, lhs, rhs))
+      | None -> lhs)
+
+and parse_cond p =
+  let c = parse_binary p 1 in
+  if peek p = QUESTION then begin
+    let ps = pos p in
+    advance p;
+    let a = parse_expr p in
+    expect p COLON "':'";
+    let b = parse_cond p in
+    mk ps (Cond (c, a, b))
+  end
+  else c
+
+and parse_binary p min_prec =
+  let lhs = ref (parse_unary p) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (peek p) with
+    | Some (op, prec) when prec >= min_prec ->
+        let ps = pos p in
+        advance p;
+        let rhs = parse_binary p (prec + 1) in
+        lhs := mk ps (Binary (op, !lhs, rhs))
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary p =
+  let ps = pos p in
+  match peek p with
+  | MINUS -> advance p; mk ps (Unary (Neg, parse_unary p))
+  | BANG -> advance p; mk ps (Unary (Not, parse_unary p))
+  | TILDE -> advance p; mk ps (Unary (Bnot, parse_unary p))
+  | STAR -> advance p; mk ps (Deref (parse_unary p))
+  | AMP -> advance p; mk ps (Addr_of (parse_unary p))
+  | PLUSPLUS -> advance p; mk ps (Pre_inc (parse_unary p))
+  | MINUSMINUS -> advance p; mk ps (Pre_dec (parse_unary p))
+  | PLUS -> advance p; parse_unary p
+  | KW_sizeof ->
+      advance p;
+      if peek p = LPAREN then begin
+        advance p;
+        if starts_type p then begin
+          let t = parse_abstract_type p in
+          expect p RPAREN "')'";
+          mk ps (Sizeof_type t)
+        end
+        else begin
+          let e = parse_expr p in
+          expect p RPAREN "')'";
+          mk ps (Sizeof_expr e)
+        end
+      end
+      else mk ps (Sizeof_expr (parse_unary p))
+  | LPAREN when starts_type_ahead p ->
+      advance p;
+      let t = parse_abstract_type p in
+      expect p RPAREN "')' after cast type";
+      mk ps (Cast (t, parse_unary p))
+  | _ -> parse_postfix p
+
+(* After '(' — is this a cast?  True iff a type specifier follows. *)
+and starts_type_ahead p =
+  match peek2 p with
+  | KW_int | KW_unsigned | KW_signed | KW_char | KW_short | KW_long | KW_void
+  | KW_const | KW_struct ->
+      true
+  | _ -> false
+
+and parse_postfix p =
+  let e = ref (parse_primary p) in
+  let continue = ref true in
+  while !continue do
+    let ps = pos p in
+    match peek p with
+    | LBRACKET ->
+        advance p;
+        let idx = parse_expr p in
+        expect p RBRACKET "']'";
+        e := mk ps (Index (!e, idx))
+    | DOT ->
+        advance p;
+        let f = expect_ident p in
+        e := mk ps (Member (!e, f))
+    | ARROW ->
+        advance p;
+        let f = expect_ident p in
+        e := mk ps (Arrow (!e, f))
+    | PLUSPLUS -> advance p; e := mk ps (Post_inc !e)
+    | MINUSMINUS -> advance p; e := mk ps (Post_dec !e)
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary p =
+  let ps = pos p in
+  match peek p with
+  | INT_LIT (v, u) ->
+      advance p;
+      mk ps (Int_lit (v, if u then Unsigned else Signed))
+  | CHAR_LIT c -> advance p; mk ps (Char_lit c)
+  | IDENT name when peek2 p = LPAREN ->
+      advance p; advance p;
+      let args = ref [] in
+      if peek p <> RPAREN then begin
+        args := [ parse_assign p ];
+        while peek p = COMMA do
+          advance p;
+          args := parse_assign p :: !args
+        done
+      end;
+      expect p RPAREN "')'";
+      mk ps (Call (name, List.rev !args))
+  | IDENT name -> advance p; mk ps (Ident name)
+  | LPAREN ->
+      advance p;
+      let e = parse_expr p in
+      expect p RPAREN "')'";
+      e
+  | _ -> error p "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mk_stmt spos sdesc = { sdesc; spos }
+
+(* Local declarations allow: TYPE [*]* name [dims] [= expr] [, ...];
+   Brace initialisers are only supported for globals (like the benchmarks). *)
+let rec parse_local_decls p : stmt list =
+  let ps = pos p in
+  let base = parse_base_type p in
+  let one () =
+    let t = parse_pointers p base in
+    let name = expect_ident p in
+    let t = parse_array_dims p t in
+    let init = if peek p = ASSIGN then (advance p; Some (parse_assign p)) else None in
+    mk_stmt ps (Sdecl (t, name, init))
+  in
+  let decls = ref [ one () ] in
+  while peek p = COMMA do
+    advance p;
+    decls := one () :: !decls
+  done;
+  expect p SEMI "';'";
+  List.rev !decls
+
+and parse_stmt p : stmt =
+  let ps = pos p in
+  match peek p with
+  | SEMI -> advance p; mk_stmt ps Sempty
+  | LBRACE ->
+      advance p;
+      let stmts = ref [] in
+      while peek p <> RBRACE do
+        stmts := List.rev_append (parse_stmt_or_decl p) !stmts
+      done;
+      advance p;
+      mk_stmt ps (Sblock (List.rev !stmts))
+  | KW_if ->
+      advance p;
+      expect p LPAREN "'('";
+      let c = parse_expr p in
+      expect p RPAREN "')'";
+      let then_ = parse_stmt p in
+      let else_ =
+        if peek p = KW_else then (advance p; Some (parse_stmt p)) else None
+      in
+      mk_stmt ps (Sif (c, then_, else_))
+  | KW_while ->
+      advance p;
+      expect p LPAREN "'('";
+      let c = parse_expr p in
+      expect p RPAREN "')'";
+      mk_stmt ps (Swhile (c, parse_stmt p))
+  | KW_do ->
+      advance p;
+      let body = parse_stmt p in
+      expect p KW_while "'while'";
+      expect p LPAREN "'('";
+      let c = parse_expr p in
+      expect p RPAREN "')'";
+      expect p SEMI "';'";
+      mk_stmt ps (Sdo_while (body, c))
+  | KW_for ->
+      advance p;
+      expect p LPAREN "'('";
+      let init =
+        if peek p = SEMI then (advance p; None)
+        else if starts_type p then begin
+          match parse_local_decls p with
+          | [ d ] -> Some d
+          | ds -> Some (mk_stmt ps (Sblock ds))
+        end
+        else begin
+          let e = parse_expr p in
+          expect p SEMI "';'";
+          Some (mk_stmt ps (Sexpr e))
+        end
+      in
+      let cond = if peek p = SEMI then None else Some (parse_expr p) in
+      expect p SEMI "';'";
+      let step = if peek p = RPAREN then None else Some (parse_expr p) in
+      expect p RPAREN "')'";
+      let body = parse_stmt p in
+      mk_stmt ps (Sfor (init, cond, step, body))
+  | KW_switch ->
+      advance p;
+      expect p LPAREN "'('";
+      let scrut = parse_expr p in
+      expect p RPAREN "')'";
+      expect p LBRACE "'{' (switch body)";
+      let cases = ref [] in
+      while peek p <> RBRACE do
+        let value =
+          match peek p with
+          | KW_case -> (
+              advance p;
+              let v =
+                match peek p with
+                | INT_LIT (v, _) -> advance p; v
+                | CHAR_LIT c -> advance p; Int32.of_int (Char.code c)
+                | MINUS -> (
+                    advance p;
+                    match peek p with
+                    | INT_LIT (v, _) -> advance p; Int32.neg v
+                    | _ -> error p "expected integer after '-' in case label")
+                | _ -> error p "expected constant case label"
+              in
+              expect p COLON "':'";
+              Some v)
+          | KW_default ->
+              advance p;
+              expect p COLON "':'";
+              None
+          | _ -> error p "expected 'case' or 'default'"
+        in
+        let body = ref [] in
+        while
+          peek p <> KW_case && peek p <> KW_default && peek p <> RBRACE
+        do
+          body := List.rev_append (parse_stmt_or_decl p) !body
+        done;
+        cases := { sc_value = value; sc_body = List.rev !body } :: !cases
+      done;
+      advance p;
+      mk_stmt ps (Sswitch (scrut, List.rev !cases))
+  | KW_return ->
+      advance p;
+      let e = if peek p = SEMI then None else Some (parse_expr p) in
+      expect p SEMI "';'";
+      mk_stmt ps (Sreturn e)
+  | KW_break -> advance p; expect p SEMI "';'"; mk_stmt ps Sbreak
+  | KW_continue -> advance p; expect p SEMI "';'"; mk_stmt ps Scontinue
+  | _ ->
+      let e = parse_expr p in
+      expect p SEMI "';'";
+      mk_stmt ps (Sexpr e)
+
+and parse_stmt_or_decl p : stmt list =
+  if starts_type p then parse_local_decls p else [ parse_stmt p ]
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_init p : init =
+  if peek p = LBRACE then begin
+    advance p;
+    let items = ref [] in
+    if peek p <> RBRACE then begin
+      items := [ parse_init p ];
+      while peek p = COMMA do
+        advance p;
+        if peek p <> RBRACE (* allow trailing comma *) then
+          items := parse_init p :: !items
+      done
+    end;
+    expect p RBRACE "'}'";
+    Init_list (List.rev !items)
+  end
+  else Init_expr (parse_assign p)
+
+let parse_struct_def p : struct_def =
+  expect p KW_struct "'struct'";
+  let name = expect_ident p in
+  expect p LBRACE "'{'";
+  let fields = ref [] in
+  while peek p <> RBRACE do
+    let base = parse_base_type p in
+    let one () =
+      let t = parse_pointers p base in
+      let fname = expect_ident p in
+      let t = parse_array_dims p t in
+      fields := (t, fname) :: !fields
+    in
+    one ();
+    while peek p = COMMA do advance p; one () done;
+    expect p SEMI "';'"
+  done;
+  advance p;
+  expect p SEMI "';' after struct definition";
+  { sd_name = name; sd_fields = List.rev !fields }
+
+(* struct definitions look like "struct NAME {". A "struct NAME ident" is a
+   global/function using a struct type. *)
+let is_struct_def p =
+  peek p = KW_struct
+  && (match peek2 p with IDENT _ -> true | _ -> false)
+  && p.idx + 2 < Array.length p.toks
+  && fst p.toks.(p.idx + 2) = LBRACE
+
+let parse_decl p : decl list =
+  if is_struct_def p then [ Dstruct (parse_struct_def p) ]
+  else begin
+    let const = peek p = KW_const in
+    let base = parse_base_type p in
+    let t0 = parse_pointers p base in
+    let name = expect_ident p in
+    if peek p = LPAREN then begin
+      (* function definition *)
+      advance p;
+      let params = ref [] in
+      if peek p = KW_void && peek2 p = RPAREN then advance p
+      else if peek p <> RPAREN then begin
+        let one () =
+          let pb = parse_base_type p in
+          let pt = parse_pointers p pb in
+          let pname = expect_ident p in
+          (* array parameters decay to pointers *)
+          let pt =
+            if peek p = LBRACKET then begin
+              let rec skip_dims t =
+                if peek p = LBRACKET then begin
+                  advance p;
+                  (match peek p with INT_LIT _ -> advance p | _ -> ());
+                  expect p RBRACKET "']'";
+                  skip_dims (Ptr t)
+                end
+                else t
+              in
+              skip_dims pt
+            end
+            else pt
+          in
+          params := (pt, pname) :: !params
+        in
+        one ();
+        while peek p = COMMA do advance p; one () done
+      end;
+      expect p RPAREN "')'";
+      expect p LBRACE "'{' (function body)";
+      let body = ref [] in
+      while peek p <> RBRACE do
+        body := List.rev_append (parse_stmt_or_decl p) !body
+      done;
+      advance p;
+      [ Dfunc { fd_name = name; fd_ret = t0; fd_params = List.rev !params;
+                fd_body = List.rev !body } ]
+    end
+    else begin
+      (* global variable(s) *)
+      let one t name =
+        let t = parse_array_dims p t in
+        let init =
+          if peek p = ASSIGN then (advance p; Some (parse_init p)) else None
+        in
+        Dglobal { gd_name = name; gd_ty = t; gd_init = init; gd_const = const }
+      in
+      let decls = ref [ one t0 name ] in
+      while peek p = COMMA do
+        advance p;
+        let t = parse_pointers p base in
+        let name = expect_ident p in
+        decls := one t name :: !decls
+      done;
+      expect p SEMI "';'";
+      List.rev !decls
+    end
+  end
+
+(** Parse a full translation unit. *)
+let parse_unit (src : string) : unit_ =
+  let p = make (Lexer.tokenize src) in
+  let decls = ref [] in
+  while peek p <> EOF do
+    decls := List.rev_append (parse_decl p) !decls
+  done;
+  List.rev !decls

@@ -1,0 +1,210 @@
+(* Type environment, struct layout, constant evaluation and the C typing
+   rules shared by the MiniC front end.
+
+   The front end is organised as: [Parser] builds the AST, [Typecheck]
+   provides the environment and typing rules, and [Lower] walks the AST once,
+   checking types as it generates WIR (errors are reported through
+   [Type_error] with a source position). *)
+
+open Ast
+
+exception Type_error of string * position
+
+let err pos fmt = Printf.ksprintf (fun s -> raise (Type_error (s, pos))) fmt
+
+type field_info = { fi_name : string; fi_ty : ty; fi_offset : int }
+
+type struct_layout = {
+  sl_name : string;
+  sl_fields : field_info list;
+  sl_size : int;
+  sl_align : int;
+}
+
+type func_sig = { fs_name : string; fs_ret : ty; fs_params : ty list }
+
+type env = {
+  structs : (string, struct_layout) Hashtbl.t;
+  globals : (string, ty * bool (* const *)) Hashtbl.t;
+  funcs : (string, func_sig) Hashtbl.t;
+}
+
+let no_pos : position = { line = 0; col = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Sizes and alignment                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec sizeof env pos (t : ty) : int =
+  match t with
+  | Void -> err pos "sizeof(void)"
+  | Int (I8, _) -> 1
+  | Int (I16, _) -> 2
+  | Int (I32, _) -> 4
+  | Ptr _ -> 4
+  | Array (elem, n) -> n * sizeof env pos elem
+  | Struct name -> (
+      match Hashtbl.find_opt env.structs name with
+      | Some sl -> sl.sl_size
+      | None -> err pos "unknown struct %s" name)
+
+let rec alignof env pos (t : ty) : int =
+  match t with
+  | Void -> 1
+  | Int (I8, _) -> 1
+  | Int (I16, _) -> 2
+  | Int (I32, _) -> 4
+  | Ptr _ -> 4
+  | Array (elem, _) -> alignof env pos elem
+  | Struct name -> (
+      match Hashtbl.find_opt env.structs name with
+      | Some sl -> sl.sl_align
+      | None -> err pos "unknown struct %s" name)
+
+let layout_struct env (sd : struct_def) : struct_layout =
+  let pos = no_pos in
+  let fields, size, align =
+    List.fold_left
+      (fun (fields, off, align) (ty, name) ->
+        let a = alignof env pos ty in
+        let off = Wario_support.Util.align_up off a in
+        ( { fi_name = name; fi_ty = ty; fi_offset = off } :: fields,
+          off + sizeof env pos ty,
+          max align a ))
+      ([], 0, 1) sd.sd_fields
+  in
+  {
+    sl_name = sd.sd_name;
+    sl_fields = List.rev fields;
+    sl_size = Wario_support.Util.align_up size align;
+    sl_align = align;
+  }
+
+let find_field env pos sname fname : field_info =
+  match Hashtbl.find_opt env.structs sname with
+  | None -> err pos "unknown struct %s" sname
+  | Some sl -> (
+      match List.find_opt (fun f -> f.fi_name = fname) sl.sl_fields with
+      | Some f -> f
+      | None -> err pos "struct %s has no field %s" sname fname)
+
+(* ------------------------------------------------------------------ *)
+(* Typing rules                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_integer = function Int _ -> true | _ -> false
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_scalar t = is_integer t || is_pointer t
+
+(** C integer promotion: all sub-int ranks promote to signed int. *)
+let promote = function
+  | Int ((I8 | I16), _) -> Int (I32, Signed)
+  | t -> t
+
+(** Usual arithmetic conversions for two integer operands: after promotion,
+    the result is unsigned iff either operand is [unsigned int]. *)
+let arith_common a b =
+  match (promote a, promote b) with
+  | Int (I32, Unsigned), _ | _, Int (I32, Unsigned) -> Int (I32, Unsigned)
+  | _ -> Int (I32, Signed)
+
+(** Memory access width for a scalar type. *)
+let width_of _env pos (t : ty) : Wario_ir.Ir.width =
+  match t with
+  | Int (I8, Unsigned) -> Wario_ir.Ir.W8
+  | Int (I8, Signed) -> Wario_ir.Ir.S8
+  | Int (I16, Unsigned) -> Wario_ir.Ir.W16
+  | Int (I16, Signed) -> Wario_ir.Ir.S16
+  | Int (I32, _) | Ptr _ -> Wario_ir.Ir.W32
+  | Void -> err pos "void value cannot be loaded or stored"
+  | Array _ -> err pos "array value cannot be loaded or stored directly"
+  | Struct s -> err pos "struct %s cannot be loaded or stored directly" s
+
+(* ------------------------------------------------------------------ *)
+(* Constant-expression evaluation (global initialisers, dimensions)    *)
+(* ------------------------------------------------------------------ *)
+
+let rec const_eval env (e : expr) : int32 =
+  let pos = e.pos in
+  match e.desc with
+  | Int_lit (v, _) -> v
+  | Char_lit c -> Int32.of_int (Char.code c)
+  | Unary (Neg, a) -> Int32.neg (const_eval env a)
+  | Unary (Bnot, a) -> Int32.lognot (const_eval env a)
+  | Unary (Not, a) -> if Int32.equal (const_eval env a) 0l then 1l else 0l
+  | Binary (op, a, b) ->
+      let va = const_eval env a and vb = const_eval env b in
+      let bool_ c = if c then 1l else 0l in
+      let sh = Int32.to_int vb land 31 in
+      (match op with
+      | Add -> Int32.add va vb
+      | Sub -> Int32.sub va vb
+      | Mul -> Int32.mul va vb
+      | Div ->
+          if Int32.equal vb 0l then err pos "division by zero in constant"
+          else Int32.div va vb
+      | Mod ->
+          if Int32.equal vb 0l then err pos "mod by zero in constant"
+          else Int32.rem va vb
+      | Band -> Int32.logand va vb
+      | Bor -> Int32.logor va vb
+      | Bxor -> Int32.logxor va vb
+      | Shl -> Int32.shift_left va sh
+      | Shr -> Int32.shift_right_logical va sh
+      | Eq -> bool_ (Int32.equal va vb)
+      | Ne -> bool_ (not (Int32.equal va vb))
+      | Lt -> bool_ (Int32.compare va vb < 0)
+      | Le -> bool_ (Int32.compare va vb <= 0)
+      | Gt -> bool_ (Int32.compare va vb > 0)
+      | Ge -> bool_ (Int32.compare va vb >= 0)
+      | Land -> bool_ ((not (Int32.equal va 0l)) && not (Int32.equal vb 0l))
+      | Lor -> bool_ ((not (Int32.equal va 0l)) || not (Int32.equal vb 0l)))
+  | Cast (_, a) -> const_eval env a
+  | Cond (c, a, b) ->
+      if Int32.equal (const_eval env c) 0l then const_eval env b
+      else const_eval env a
+  | Sizeof_type t -> Int32.of_int (sizeof env pos t)
+  | _ -> err pos "expression is not a compile-time constant"
+
+(* ------------------------------------------------------------------ *)
+(* Environment construction                                             *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_sigs =
+  [
+    (* Observable output; lowered to the [Print] WIR instruction. *)
+    { fs_name = "print_int"; fs_ret = Void; fs_params = [ Int (I32, Signed) ] };
+  ]
+
+let build_env (u : unit_) : env =
+  let env =
+    {
+      structs = Hashtbl.create 16;
+      globals = Hashtbl.create 64;
+      funcs = Hashtbl.create 64;
+    }
+  in
+  List.iter (fun fs -> Hashtbl.add env.funcs fs.fs_name fs) builtin_sigs;
+  List.iter
+    (fun decl ->
+      match decl with
+      | Dstruct sd ->
+          if Hashtbl.mem env.structs sd.sd_name then
+            err no_pos "duplicate struct %s" sd.sd_name;
+          Hashtbl.add env.structs sd.sd_name (layout_struct env sd)
+      | Dglobal gd ->
+          if Hashtbl.mem env.globals gd.gd_name then
+            err no_pos "duplicate global %s" gd.gd_name;
+          ignore (sizeof env no_pos gd.gd_ty);
+          Hashtbl.add env.globals gd.gd_name (gd.gd_ty, gd.gd_const)
+      | Dfunc fd ->
+          if Hashtbl.mem env.funcs fd.fd_name then
+            err no_pos "duplicate function %s" fd.fd_name;
+          Hashtbl.add env.funcs fd.fd_name
+            {
+              fs_name = fd.fd_name;
+              fs_ret = fd.fd_ret;
+              fs_params = List.map fst fd.fd_params;
+            })
+    u;
+  env

@@ -1,0 +1,1 @@
+lib/support/util.ml: Array Hashtbl Int Int32 List Map Set String

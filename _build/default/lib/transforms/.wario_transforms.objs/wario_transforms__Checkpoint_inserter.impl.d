@@ -1,0 +1,1 @@
+lib/transforms/checkpoint_inserter.ml: Hashtbl List Printf Sys Unix Wario_analysis Wario_ir Wario_support

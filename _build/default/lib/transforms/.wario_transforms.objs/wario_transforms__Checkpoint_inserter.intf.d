@@ -1,0 +1,1 @@
+lib/transforms/checkpoint_inserter.mli: Wario_analysis Wario_ir

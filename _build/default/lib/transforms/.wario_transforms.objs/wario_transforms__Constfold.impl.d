@@ -1,0 +1,1 @@
+lib/transforms/constfold.ml: Int32 List Wario_ir

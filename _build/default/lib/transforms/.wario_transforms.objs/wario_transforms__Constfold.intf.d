@@ -1,0 +1,1 @@
+lib/transforms/constfold.mli: Wario_ir

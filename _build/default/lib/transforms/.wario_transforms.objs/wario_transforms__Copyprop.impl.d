@@ -1,0 +1,1 @@
+lib/transforms/copyprop.ml: Hashtbl List Option Wario_ir

@@ -1,0 +1,1 @@
+lib/transforms/copyprop.mli: Wario_ir

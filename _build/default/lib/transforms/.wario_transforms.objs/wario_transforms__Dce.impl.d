@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: List Wario_ir Wario_support

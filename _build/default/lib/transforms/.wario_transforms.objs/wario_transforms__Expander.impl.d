@@ -1,0 +1,1 @@
+lib/transforms/expander.ml: Hashtbl Inliner List Wario_analysis Wario_ir Wario_support

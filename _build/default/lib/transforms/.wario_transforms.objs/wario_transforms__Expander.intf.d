@@ -1,0 +1,1 @@
+lib/transforms/expander.mli: Wario_ir

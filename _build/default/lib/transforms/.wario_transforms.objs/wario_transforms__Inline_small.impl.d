@@ -1,0 +1,1 @@
+lib/transforms/inline_small.ml: Inliner List Wario_ir

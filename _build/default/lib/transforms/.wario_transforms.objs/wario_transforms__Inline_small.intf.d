@@ -1,0 +1,1 @@
+lib/transforms/inline_small.mli: Wario_ir

@@ -1,0 +1,1 @@
+lib/transforms/inliner.ml: Hashtbl List Wario_ir Wario_support

@@ -1,0 +1,1 @@
+lib/transforms/inliner.mli: Wario_ir

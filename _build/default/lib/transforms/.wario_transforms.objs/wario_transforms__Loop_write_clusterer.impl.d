@@ -1,0 +1,1 @@
+lib/transforms/loop_write_clusterer.ml: Hashtbl List Printf Queue Sys Wario_analysis Wario_ir Wario_support

@@ -1,0 +1,1 @@
+lib/transforms/loop_write_clusterer.mli: Wario_ir

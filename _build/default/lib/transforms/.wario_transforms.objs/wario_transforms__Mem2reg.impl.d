@@ -1,0 +1,1 @@
+lib/transforms/mem2reg.ml: Hashtbl List Wario_ir

@@ -1,0 +1,1 @@
+lib/transforms/opt_pipeline.ml: Constfold Copyprop Dce Inline_small Mem2reg Simplifycfg Wario_ir

@@ -1,0 +1,1 @@
+lib/transforms/opt_pipeline.mli: Wario_ir

@@ -1,0 +1,1 @@
+lib/transforms/region_bounder.ml: Hashtbl List Wario_analysis Wario_ir Wario_support

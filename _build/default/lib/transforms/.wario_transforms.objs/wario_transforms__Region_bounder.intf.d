@@ -1,0 +1,1 @@
+lib/transforms/region_bounder.mli: Wario_ir

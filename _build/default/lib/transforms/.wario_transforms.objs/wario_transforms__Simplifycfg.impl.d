@@ -1,0 +1,1 @@
+lib/transforms/simplifycfg.ml: Hashtbl List Wario_ir

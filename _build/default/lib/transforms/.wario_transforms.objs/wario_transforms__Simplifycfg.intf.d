@@ -1,0 +1,1 @@
+lib/transforms/simplifycfg.mli: Wario_ir

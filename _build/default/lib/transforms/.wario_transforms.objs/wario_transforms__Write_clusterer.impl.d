@@ -1,0 +1,1 @@
+lib/transforms/write_clusterer.ml: Array Hashtbl List Wario_analysis Wario_ir Wario_support

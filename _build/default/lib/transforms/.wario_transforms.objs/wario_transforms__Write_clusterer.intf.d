@@ -1,0 +1,1 @@
+lib/transforms/write_clusterer.mli: Wario_ir

@@ -1,0 +1,171 @@
+(* PDG Checkpoint Inserter (paper §3.1.2).
+
+   For every function: collect the remaining WAR violations (those not
+   already cut by forced checkpoints — calls — or previously inserted
+   checkpoints), convert each WAR into the set of program points whose
+   checkpoint would resolve it, and run the greedy minimal hitting set to
+   pick a small set of checkpoint locations.  Costs grow exponentially with
+   loop depth so the algorithm prefers placing checkpoints outside loops.
+
+   Candidate points for a WAR (load L, store S):
+   - the point immediately before S (always cuts every L→S path);
+   - when L and S share a block with L before S: every point in (L, S];
+   - when L and S share a block with S before L (a loop-carried WAR):
+     every point after L and every point up to S in that block;
+   - every point of any block B with block(L) dom B and B dom block(S)
+     (the dominator sandwich; such a B lies on every L→S path), with the
+     end-point blocks restricted to the positions after L / up to S. *)
+
+open Wario_ir.Ir
+module Analysis = Wario_analysis
+
+module Point_hs = Analysis.Hitting_set.Make (struct
+  type t = point
+
+  let compare = compare_point
+end)
+
+type stats = { functions : int; wars : int; checkpoints : int }
+
+(* Candidate checkpoint points resolving one WAR.  [block_len] must be an
+   O(1) lookup: this runs once per WAR and WAR counts grow quadratically on
+   unrolled code. *)
+let candidates ~(block_len : label -> int) (dom : Analysis.Dominance.t)
+    (war : Analysis.Pdg.war) : point list =
+  let lb, li = war.war_load.mo_point in
+  let sb, si = war.war_store.mo_point in
+  let pts = ref [ (sb, si) ] in
+  (* duplicates are fine: the hitting set interns with sort_uniq *)
+  let add p = pts := p :: !pts in
+  if lb = sb then begin
+    if li < si then
+      for k = li + 1 to si do add (lb, k) done
+    else begin
+      (* loop-carried within one block: after L or before/at S *)
+      for k = li + 1 to block_len lb do add (lb, k) done;
+      for k = 0 to si do add (lb, k) done
+    end
+  end
+  else begin
+    (* end-point blocks *)
+    for k = li + 1 to block_len lb do add (lb, k) done;
+    for k = 0 to si do add (sb, k) done;
+    (* dominator sandwich: block(L) dom B && B dom block(S).  The blocks
+       dominating [sb] are exactly its idom chain, so walk it upward and
+       keep the segment below [lb]. *)
+    let rec chain b =
+      match Analysis.Dominance.idom dom b with
+      | Some up when up <> b ->
+          if up <> lb && Analysis.Dominance.dominates dom lb up then begin
+            for k = 0 to block_len up do add (up, k) done;
+            chain up
+          end
+          else if up = lb then () (* reached L's block: stop *)
+          else chain up (* above lb: nothing more can qualify *)
+      | _ -> ()
+    in
+    chain sb
+  end;
+  !pts
+
+let insert_checkpoints f (points : point list) (cause : ckpt_cause) =
+  (* Insert per block in descending index order so indices stay valid. *)
+  let by_block = Hashtbl.create 8 in
+  List.iter
+    (fun (lbl, i) ->
+      let cur = try Hashtbl.find by_block lbl with Not_found -> [] in
+      Hashtbl.replace by_block lbl (i :: cur))
+    (Wario_support.Util.dedup_stable points);
+  Hashtbl.iter
+    (fun lbl idxs ->
+      List.iter
+        (fun i -> insert_at f (lbl, i) [ Checkpoint cause ])
+        (List.sort (fun a b -> compare b a) idxs))
+    by_block
+
+let run_func ~(mode : Analysis.Alias.mode) ~escapes (f : func) : int * int =
+  let dbg = Sys.getenv_opt "WARIO_DEBUG_CPI" <> None in
+  let now () = if dbg then Unix.gettimeofday () else 0. in
+  let t0 = now () in
+  let cfg = Analysis.Cfg.build f in
+  let dom = Analysis.Dominance.build cfg in
+  let loops = Analysis.Loops.build cfg dom in
+  let t1 = now () in
+  let alias = Analysis.Alias.build ~mode ~escapes f in
+  let t2 = now () in
+  let pdg = Analysis.Pdg.build alias cfg f in
+  let wars = Analysis.Pdg.wars pdg in
+  let t3 = now () in
+  if dbg && t3 -. t0 > 0.2 then
+    Printf.eprintf "cpi %-14s cfg=%.1f alias=%.1f wars=%.1f (#wars=%d)
+%!"
+      f.fname (t1 -. t0) (t2 -. t1) (t3 -. t2) (List.length wars);
+  if wars = [] then (0, 0)
+  else begin
+    (* Subsumption: for a fixed store and load block, the pair with the
+       latest load has the smallest candidate set, and that set is a subset
+       of every earlier pair's (all our candidate constructions shrink
+       monotonically as the load moves later).  Covering it covers them
+       all, so only the latest-load pair per (store, load block) needs a
+       set — WAR counts grow quadratically on unrolled code, and this
+       keeps the hitting-set input linear in the store count. *)
+    let best : (point * label * bool, Analysis.Pdg.war) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    List.iter
+      (fun (w : Analysis.Pdg.war) ->
+        let sb, si = w.war_store.mo_point in
+        let lb, li = w.war_load.mo_point in
+        (* forward same-block pairs and loop-carried same-block pairs have
+           different candidate shapes: never subsume across kinds *)
+        let forward = lb = sb && li < si in
+        let key = (w.war_store.mo_point, lb, forward) in
+        match Hashtbl.find_opt best key with
+        | Some w' when snd w'.war_load.mo_point >= li -> ()
+        | _ -> Hashtbl.replace best key w)
+      wars;
+    let reduced = Hashtbl.fold (fun _ w acc -> w :: acc) best [] in
+    let reduced =
+      List.sort
+        (fun (a : Analysis.Pdg.war) (b : Analysis.Pdg.war) ->
+          compare
+            (a.war_store.mo_point, a.war_load.mo_point)
+            (b.war_store.mo_point, b.war_load.mo_point))
+        reduced
+    in
+    let lens = Hashtbl.create 64 in
+    List.iter
+      (fun b -> Hashtbl.replace lens b.bname (List.length b.insns))
+      f.blocks;
+    let block_len lbl = try Hashtbl.find lens lbl with Not_found -> 0 in
+    let sets = List.map (candidates ~block_len dom) reduced in
+    let cost (lbl, _) =
+      (* prefer shallow loop nesting; 10x per level like a trip-count guess *)
+      10. ** float_of_int (loops.Analysis.Loops.depth_of lbl)
+    in
+    let t4 = now () in
+    let chosen = Point_hs.solve ~cost sets in
+    let t5 = now () in
+    insert_checkpoints f chosen Middle_end_war;
+    if dbg && t5 -. t3 > 0.2 then
+      Printf.eprintf "cpi %-14s cand=%.1f hs=%.1f insert=%.1f chosen=%d
+%!"
+        f.fname (t4 -. t3) (t5 -. t4)
+        (now () -. t5)
+        (List.length chosen);
+    (List.length wars, List.length chosen)
+  end
+
+(** Insert middle-end checkpoints for the whole program; returns statistics. *)
+let run ?(mode = Analysis.Alias.Precise) (p : program) : stats =
+  let escapes = Analysis.Alias.escapes_of_program p in
+  List.fold_left
+    (fun acc f ->
+      let wars, cps = run_func ~mode ~escapes f in
+      {
+        functions = acc.functions + 1;
+        wars = acc.wars + wars;
+        checkpoints = acc.checkpoints + cps;
+      })
+    { functions = 0; wars = 0; checkpoints = 0 }
+    p.funcs

@@ -1,0 +1,9 @@
+(** PDG Checkpoint Inserter (paper §3.1.2): convert every remaining WAR
+    violation into its set of resolving program points and pick checkpoint
+    locations with the greedy minimal hitting set, costed by loop depth. *)
+
+type stats = { functions : int; wars : int; checkpoints : int }
+
+val run : ?mode:Wario_analysis.Alias.mode -> Wario_ir.Ir.program -> stats
+(** [mode] selects the alias precision: [Basic] reproduces Ratchet,
+    [Precise] (default) reproduces R-PDG / WARio. *)

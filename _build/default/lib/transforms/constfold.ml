@@ -1,0 +1,63 @@
+(* Constant folding and algebraic simplification.
+
+   Folds [Bin]/[Cmp]/[Select] instructions whose operands are immediates,
+   applies identity simplifications (x+0, x*1, x&-1, ...), and turns a [Cbr]
+   on a constant into a [Br].  Division by a constant zero is left in place
+   (it traps at run time, matching C's undefined behaviour surfacing). *)
+
+open Wario_ir.Ir
+module Interp = Wario_ir.Ir_interp
+
+let fold_bin op a b : int32 option =
+  match op with
+  | (Sdiv | Udiv | Srem | Urem) when Int32.equal b 0l -> None
+  | _ -> Some (Interp.eval_binop op a b)
+
+let run_func (f : func) : int =
+  let folded = ref 0 in
+  List.iter
+    (fun b ->
+      b.insns <-
+        List.map
+          (fun i ->
+            let simpler =
+              match i with
+              | Bin (d, op, Imm a, Imm b) -> (
+                  match fold_bin op a b with
+                  | Some v -> Some (Mov (d, Imm v))
+                  | None -> None)
+              | Bin (d, Add, x, Imm 0l) | Bin (d, Add, Imm 0l, x)
+              | Bin (d, Sub, x, Imm 0l)
+              | Bin (d, Or, x, Imm 0l) | Bin (d, Or, Imm 0l, x)
+              | Bin (d, Xor, x, Imm 0l) | Bin (d, Xor, Imm 0l, x)
+              | Bin (d, Mul, x, Imm 1l) | Bin (d, Mul, Imm 1l, x)
+              | Bin (d, And, x, Imm -1l) | Bin (d, And, Imm -1l, x)
+              | Bin (d, (Shl | Lshr | Ashr), x, Imm 0l) ->
+                  Some (Mov (d, x))
+              | Bin (d, Mul, _, Imm 0l) | Bin (d, Mul, Imm 0l, _)
+              | Bin (d, And, _, Imm 0l) | Bin (d, And, Imm 0l, _) ->
+                  Some (Mov (d, Imm 0l))
+              | Cmp (d, op, Imm a, Imm b) ->
+                  Some (Mov (d, if Interp.eval_cmpop op a b then Imm 1l else Imm 0l))
+              | Select (d, Imm c, a, b) ->
+                  Some (Mov (d, if Int32.equal c 0l then b else a))
+              | Select (d, _, a, b) when a = b -> Some (Mov (d, a))
+              | _ -> None
+            in
+            match simpler with
+            | Some s -> incr folded; s
+            | None -> i)
+          b.insns;
+      match b.term with
+      | Cbr (Imm c, l1, l2) ->
+          incr folded;
+          b.term <- Br (if Int32.equal c 0l then l2 else l1)
+      | Cbr (c, l1, l2) when l1 = l2 ->
+          incr folded;
+          ignore c;
+          b.term <- Br l1
+      | _ -> ())
+    f.blocks;
+  !folded
+
+let run (p : program) : int = List.fold_left (fun n f -> n + run_func f) 0 p.funcs

@@ -1,0 +1,5 @@
+(** Constant folding and algebraic simplification.  Constant divisions by
+    zero are left in place (they trap, as the program would). *)
+
+val run : Wario_ir.Ir.program -> int
+(** Returns the number of instructions simplified. *)

@@ -1,0 +1,64 @@
+(* Block-local copy propagation.
+
+   Within a basic block, after [Mov (d, v)], later uses of [d] are replaced
+   by [v] until either [d] or (when [v] is a register) [v]'s register is
+   redefined.  Calls invalidate nothing: WIR registers are private to the
+   function.  Combined with DCE this cleans up the mov-chains produced by
+   lowering and mem2reg. *)
+
+open Wario_ir.Ir
+
+let run_func (f : func) : int =
+  let replaced = ref 0 in
+  List.iter
+    (fun b ->
+      (* current known copy for a register *)
+      let copies : (reg, value) Hashtbl.t = Hashtbl.create 16 in
+      let subst v =
+        match v with
+        | Reg r -> (
+            match Hashtbl.find_opt copies r with
+            | Some v' -> incr replaced; v'
+            | None -> v)
+        | _ -> v
+      in
+      let invalidate d =
+        Hashtbl.remove copies d;
+        (* drop copies whose source register is being redefined *)
+        let stale =
+          Hashtbl.fold
+            (fun k v acc -> match v with Reg r when r = d -> k :: acc | _ -> acc)
+            copies []
+        in
+        List.iter (Hashtbl.remove copies) stale
+      in
+      b.insns <-
+        List.map
+          (fun i ->
+            let i' =
+              match i with
+              | Bin (d, op, a, bb) -> Bin (d, op, subst a, subst bb)
+              | Cmp (d, op, a, bb) -> Cmp (d, op, subst a, subst bb)
+              | Mov (d, v) -> Mov (d, subst v)
+              | Select (d, c, a, bb) -> Select (d, subst c, subst a, subst bb)
+              | Load (d, w, addr) -> Load (d, w, subst addr)
+              | Store (w, data, addr) -> Store (w, subst data, subst addr)
+              | Call (d, fn, args) -> Call (d, fn, List.map subst args)
+              | Checkpoint _ -> i
+              | Print v -> Print (subst v)
+            in
+            (match instr_def i' with Some d -> invalidate d | None -> ());
+            (match i' with
+            | Mov (d, v) when v <> Reg d -> Hashtbl.replace copies d v
+            | _ -> ());
+            i')
+          b.insns;
+      b.term <-
+        (match b.term with
+        | Br l -> Br l
+        | Cbr (c, l1, l2) -> Cbr (subst c, l1, l2)
+        | Ret v -> Ret (Option.map subst v)))
+    f.blocks;
+  !replaced
+
+let run (p : program) : int = List.fold_left (fun n f -> n + run_func f) 0 p.funcs

@@ -1,0 +1,5 @@
+(** Block-local copy propagation (cleans up the mov-chains produced by
+    lowering and mem2reg; combine with {!Dce}). *)
+
+val run : Wario_ir.Ir.program -> int
+(** Returns the number of operands replaced. *)

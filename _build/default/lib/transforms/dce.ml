@@ -1,0 +1,97 @@
+(* Dead-code elimination.
+
+   Removes pure instructions whose destination register is never used
+   anywhere in the function (WIR is not SSA, so "used anywhere" is the sound
+   criterion), and stack slots that are only ever written (dead locals: all
+   stores to them are removed too when the address is the bare slot).
+   Iterates to a fixpoint with itself. *)
+
+open Wario_ir.Ir
+module Int_set = Wario_support.Util.Int_set
+
+let used_regs (f : func) : Int_set.t =
+  List.fold_left
+    (fun acc b ->
+      let acc =
+        List.fold_left
+          (fun acc i -> List.fold_left (fun a r -> Int_set.add r a) acc (instr_uses i))
+          acc b.insns
+      in
+      List.fold_left (fun a r -> Int_set.add r a) acc (term_uses b.term))
+    Int_set.empty f.blocks
+
+(* Slots whose address is used by anything other than "store to bare slot". *)
+let observed_slots (f : func) : Int_set.t =
+  List.fold_left
+    (fun acc b ->
+      let value_slots v acc =
+        match v with Slot s -> Int_set.add s acc | _ -> acc
+      in
+      let acc =
+        List.fold_left
+          (fun acc i ->
+            match i with
+            | Store (_, data, Slot _) -> value_slots data acc
+            | Store (_, data, addr) -> value_slots data (value_slots addr acc)
+            | Load (_, _, addr) -> value_slots addr acc
+            | Bin (_, _, a, b) | Cmp (_, _, a, b) -> value_slots a (value_slots b acc)
+            | Mov (_, v) | Print v -> value_slots v acc
+            | Select (_, c, a, b) ->
+                value_slots c (value_slots a (value_slots b acc))
+            | Call (_, _, args) -> List.fold_left (fun a v -> value_slots v a) acc args
+            | Checkpoint _ -> acc)
+          acc b.insns
+      in
+      match b.term with
+      | Cbr (c, _, _) -> value_slots c acc
+      | Ret (Some v) -> value_slots v acc
+      | _ -> acc)
+    Int_set.empty f.blocks
+
+let run_func (f : func) : int =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = used_regs f in
+    List.iter
+      (fun b ->
+        let keep i =
+          match instr_def i with
+          | Some d when (not (has_side_effect i)) && not (Int_set.mem d used) ->
+              false
+          | _ -> true
+        in
+        let n0 = List.length b.insns in
+        b.insns <- List.filter keep b.insns;
+        let n1 = List.length b.insns in
+        if n1 <> n0 then begin
+          removed := !removed + (n0 - n1);
+          changed := true
+        end)
+      f.blocks;
+    (* Dead slots: never loaded / never escaping; their stores go too. *)
+    let observed = observed_slots f in
+    let dead_slots =
+      List.filter (fun s -> not (Int_set.mem s.slot_id observed)) f.slots
+    in
+    if dead_slots <> [] then begin
+      let dead_ids = List.map (fun s -> s.slot_id) dead_slots in
+      List.iter
+        (fun b ->
+          let keep = function
+            | Store (_, _, Slot s) when List.mem s dead_ids -> false
+            | _ -> true
+          in
+          let n0 = List.length b.insns in
+          b.insns <- List.filter keep b.insns;
+          removed := !removed + (n0 - List.length b.insns))
+        f.blocks;
+      f.slots <-
+        List.filter (fun s -> not (List.mem s.slot_id dead_ids)) f.slots;
+      changed := true
+    end
+  done;
+  !removed
+
+let run (p : program) : int = List.fold_left (fun n f -> n + run_func f) 0 p.funcs

@@ -1,0 +1,5 @@
+(** Dead-code elimination: pure instructions whose destination register is
+    never used, and stack slots that are only ever written directly. *)
+
+val run : Wario_ir.Ir.program -> int
+(** Returns the number of instructions removed. *)

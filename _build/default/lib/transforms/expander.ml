@@ -1,0 +1,151 @@
+(* Expander (paper §3.1.2, §4.3): heuristic aggressive inlining.
+
+   Each function call costs checkpoints: one at the callee's entry and at
+   least one in its epilog.  The Expander inlines more aggressively than a
+   generic size-driven inliner would:
+
+   1. it collects candidate functions — those "containing pointers" (at the
+      IR level: a parameter register flows into a load/store address), which
+      are the ones whose inlining can also expose WARs to the clusterers;
+   2. it inlines calls to candidates that appear inside an innermost loop
+      (a loop with no sub-loops) of the caller.
+
+   Recursive callees and very large callees are skipped.  The paper notes
+   the heuristic can occasionally be detrimental (Tiny AES) without profile
+   information — that behaviour is preserved. *)
+
+open Wario_ir.Ir
+module Analysis = Wario_analysis
+module Str_set = Wario_support.Util.Str_set
+
+let default_size_limit = 400
+
+(* Does some parameter register flow into a memory address?  One forward
+   pass: the set of "parameter-derived" registers grows through moves and
+   arithmetic. *)
+let has_pointer_params (f : func) : bool =
+  if f.params = [] then false
+  else begin
+    let derived = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.replace derived p ()) f.params;
+    let is_derived = function
+      | Reg r -> Hashtbl.mem derived r
+      | Glob _ | Slot _ | Imm _ -> false
+    in
+    let changed = ref true in
+    let found = ref false in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              (match i with
+              | Load (_, _, addr) -> if is_derived addr then found := true
+              | Store (_, _, addr) -> if is_derived addr then found := true
+              | _ -> ());
+              match (instr_def i, i) with
+              | Some d, (Bin _ | Mov _ | Select _) ->
+                  if
+                    (not (Hashtbl.mem derived d))
+                    && List.exists
+                         (fun u -> Hashtbl.mem derived u)
+                         (instr_uses i)
+                  then begin
+                    Hashtbl.replace derived d ();
+                    changed := true
+                  end
+              | _ -> ())
+            b.insns)
+        f.blocks
+    done;
+    !found
+  end
+
+type stats = { candidates : int; inlined : int }
+
+let default_hot_threshold = 32
+
+(** Run the Expander over the program.
+
+    Without [profile], candidates are guessed structurally (functions whose
+    parameters flow into memory accesses) — the paper notes the guess is
+    sometimes wrong and that profiling would fix it (§5.2.2, §6).  With
+    [profile] (dynamic call counts from an emulator run), candidates are the
+    hot functions instead: the profile-guided variant of the paper's future
+    work. *)
+let run ?(size_limit = default_size_limit) ?profile
+    ?(hot_threshold = default_hot_threshold) (p : program) : stats =
+  let is_candidate f =
+    match profile with
+    | None -> has_pointer_params f
+    | Some counts -> (
+        match List.assoc_opt f.fname counts with
+        | Some n -> n >= hot_threshold
+        | None -> false)
+  in
+  let candidates =
+    List.filter
+      (fun f ->
+        f.fname <> "main"
+        && is_candidate f
+        && (not (Inliner.is_directly_recursive f))
+        && Inliner.instr_count f <= size_limit)
+      p.funcs
+  in
+  let cand_names = List.map (fun f -> f.fname) candidates in
+  let inlined = ref 0 in
+  List.iter
+    (fun caller ->
+      let cfg = Analysis.Cfg.build caller in
+      let dom = Analysis.Dominance.build cfg in
+      let loops = Analysis.Loops.build cfg dom in
+      (* structural mode: only loops without sub-loops (paper §4.3); with a
+         profile, hotness already told us the call matters, so any loop
+         block is a site *)
+      let innermost_blocks =
+        List.fold_left
+          (fun acc (l : Analysis.Loops.loop) ->
+            let has_subloop =
+              List.exists
+                (fun (l' : Analysis.Loops.loop) ->
+                  l'.header <> l.header && Str_set.mem l'.header l.blocks)
+                loops.loops
+            in
+            if has_subloop && profile = None then acc
+            else Str_set.union acc l.blocks)
+          Str_set.empty loops.loops
+      in
+      (* Inline one site at a time and re-scan: inlining splits blocks and
+         shifts indices.  Only blocks of the original innermost loops are
+         scanned, so inlined bodies are not expanded transitively; a pass
+         budget bounds growth. *)
+      let find_site () =
+        List.find_map
+          (fun b ->
+            if not (Str_set.mem b.bname innermost_blocks) then None
+            else
+              List.mapi (fun i ins -> (i, ins)) b.insns
+              |> List.find_map (fun (i, ins) ->
+                     match ins with
+                     | Call (_, callee, _)
+                       when List.mem callee cand_names && callee <> caller.fname
+                       ->
+                         Some (b.bname, i, callee)
+                     | _ -> None))
+          caller.blocks
+      in
+      let rec pass budget =
+        if budget > 0 then
+          match find_site () with
+          | Some (lbl, i, callee) ->
+              let cf = find_func p callee in
+              if Inliner.inline_call caller cf (lbl, i) then begin
+                incr inlined;
+                pass (budget - 1)
+              end
+          | None -> ()
+      in
+      pass 24)
+    p.funcs;
+  { candidates = List.length candidates; inlined = !inlined }

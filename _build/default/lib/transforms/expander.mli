@@ -1,0 +1,21 @@
+(** Expander (paper §3.1.2, §4.3): heuristic aggressive inlining of
+    pointer-carrying functions called from innermost loops.  Each call costs
+    entry/exit checkpoints, so inlining hot callees pays even when a generic
+    inliner would decline; the heuristic can occasionally lose (the paper's
+    Tiny AES observation), which is preserved. *)
+
+type stats = { candidates : int; inlined : int }
+
+val default_size_limit : int
+val default_hot_threshold : int
+
+val run :
+  ?size_limit:int ->
+  ?profile:(string * int) list ->
+  ?hot_threshold:int ->
+  Wario_ir.Ir.program ->
+  stats
+(** Without [profile], candidates are guessed structurally; with a profile
+    (dynamic call counts, e.g. {!Wario_emulator.Emulator.result}'s
+    [call_counts]) the hot functions are inlined instead — the
+    profile-guided Expander of the paper's future work (§6). *)

@@ -1,0 +1,57 @@
+(* Size-driven inlining of small functions — the `-inline` half of the
+   paper's pre-pass (§4.6: a basic inlining transformation runs before the
+   Loop Write Clusterer, as part of the -O3 equivalent).
+
+   Calls to small non-recursive functions (rotate/xtime-style helpers) are
+   inlined so that hot loops become call-free; the Loop Write Clusterer
+   requires call-free loops, so without this pass the paper's headline
+   benchmarks (SHA, Tiny AES) would never cluster. *)
+
+open Wario_ir.Ir
+
+let default_threshold = 30
+
+let run ?(threshold = default_threshold) ?(rounds = 3) (p : program) : int =
+  let inlined = ref 0 in
+  let small f =
+    f.fname <> "main"
+    && (not (Inliner.is_directly_recursive f))
+    && Inliner.instr_count f <= threshold
+  in
+  for _round = 1 to rounds do
+    let small_names =
+      List.filter_map (fun f -> if small f then Some f.fname else None) p.funcs
+    in
+    List.iter
+      (fun caller ->
+        let budget = ref 64 in
+        let rec go () =
+          if !budget > 0 then begin
+            let site =
+              List.find_map
+                (fun b ->
+                  List.mapi (fun i ins -> (i, ins)) b.insns
+                  |> List.find_map (fun (i, ins) ->
+                         match ins with
+                         | Call (_, callee, _)
+                           when List.mem callee small_names
+                                && callee <> caller.fname ->
+                             Some (b.bname, i, callee)
+                         | _ -> None))
+                caller.blocks
+            in
+            match site with
+            | Some (lbl, i, callee) ->
+                if Inliner.inline_call caller (find_func p callee) (lbl, i)
+                then begin
+                  incr inlined;
+                  decr budget;
+                  go ()
+                end
+            | None -> ()
+          end
+        in
+        go ())
+      p.funcs
+  done;
+  !inlined

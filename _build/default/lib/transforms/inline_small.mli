@@ -1,0 +1,8 @@
+(** Size-driven inlining of small non-recursive functions — the paper's
+    basic inlining pre-pass.  Hot loops must be call-free for the Loop Write
+    Clusterer to fire; this is what inlines rotate/xtime-style helpers. *)
+
+val default_threshold : int
+
+val run : ?threshold:int -> ?rounds:int -> Wario_ir.Ir.program -> int
+(** Returns the number of call sites inlined. *)

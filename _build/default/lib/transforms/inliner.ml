@@ -1,0 +1,114 @@
+(* Function inlining machinery, used by the Expander.
+
+   Inlining a call site splices a renamed copy of the callee into the
+   caller: callee registers are renamed into fresh caller registers, callee
+   stack slots become fresh caller slots, parameters become moves, and every
+   [Ret] becomes a move to the result register plus a branch to the join
+   block (the remainder of the call block). *)
+
+open Wario_ir.Ir
+
+let instr_count (f : func) =
+  List.fold_left (fun n b -> n + 1 + List.length b.insns) 0 f.blocks
+
+let is_directly_recursive (f : func) =
+  List.exists
+    (fun b ->
+      List.exists
+        (function Call (_, callee, _) -> callee = f.fname | _ -> false)
+        b.insns)
+    f.blocks
+
+(** Inline the call at [point] (which must be a [Call] to [callee]) into
+    [caller].  Returns [true] on success. *)
+let inline_call (caller : func) (callee : func) ((lbl, idx) : point) : bool =
+  let b = find_block caller lbl in
+  match List.nth_opt b.insns idx with
+  | Some (Call (dst, name, args)) when name = callee.fname ->
+      (* Fresh names for everything in the callee. *)
+      let reg_base = caller.next_reg in
+      caller.next_reg <- caller.next_reg + callee.next_reg;
+      let rename r = Some (reg_base + r) in
+      let slot_map = Hashtbl.create 8 in
+      List.iter
+        (fun s ->
+          let ns = fresh_slot caller s.slot_size s.slot_align in
+          Hashtbl.add slot_map s.slot_id ns.slot_id)
+        callee.slots;
+      let map_label l = fresh_label caller (callee.fname ^ "." ^ l) in
+      let label_map = Hashtbl.create 16 in
+      List.iter
+        (fun cb -> Hashtbl.add label_map cb.bname (map_label cb.bname))
+        callee.blocks;
+      let join_label = fresh_label caller (callee.fname ^ ".join") in
+      let remap_value v =
+        match v with
+        | Reg r -> Reg (reg_base + r)
+        | Slot s -> Slot (Hashtbl.find slot_map s)
+        | Imm _ | Glob _ -> v
+      in
+      let rec remap_instr i =
+        (* rename registers, then fix slots *)
+        let i = rename_instr rename i in
+        match i with
+        | Bin (d, op, a, b) -> Bin (d, op, remap_slot a, remap_slot b)
+        | Cmp (d, op, a, b) -> Cmp (d, op, remap_slot a, remap_slot b)
+        | Mov (d, v) -> Mov (d, remap_slot v)
+        | Select (d, c, a, b) -> Select (d, remap_slot c, remap_slot a, remap_slot b)
+        | Load (d, w, a) -> Load (d, w, remap_slot a)
+        | Store (w, v, a) -> Store (w, remap_slot v, remap_slot a)
+        | Call (d, fn, args) -> Call (d, fn, List.map remap_slot args)
+        | Checkpoint _ | Print _ -> (
+            match i with Print v -> Print (remap_slot v) | i -> i)
+      and remap_slot v =
+        match v with Slot s -> Slot (Hashtbl.find slot_map s) | v -> v
+      in
+      ignore remap_value;
+      let result_reg =
+        match dst with Some d -> Some d | None -> None
+      in
+      let new_blocks =
+        List.map
+          (fun cb ->
+            let term =
+              match cb.term with
+              | Ret v ->
+                  (* move the return value, jump to the join block *)
+                  ignore v;
+                  Br join_label
+              | t -> retarget_term (fun l -> Hashtbl.find label_map l) t
+            in
+            let ret_moves =
+              match (cb.term, result_reg) with
+              | Ret (Some v), Some d ->
+                  [ Mov (d, remap_slot (rename_value rename v)) ]
+              | Ret None, Some d -> [ Mov (d, Imm 0l) ]
+              | _ -> []
+            in
+            let term =
+              match term with
+              | Cbr (c, l1, l2) ->
+                  Cbr (remap_slot (rename_value rename c), l1, l2)
+              | t -> t
+            in
+            {
+              bname = Hashtbl.find label_map cb.bname;
+              insns = List.map remap_instr cb.insns @ ret_moves;
+              term;
+            })
+          callee.blocks
+      in
+      (* Parameter moves. *)
+      let param_moves =
+        List.map2 (fun p a -> Mov (reg_base + p, a)) callee.params args
+      in
+      (* Split the call block. *)
+      let before = Wario_support.Util.take idx b.insns in
+      let after = Wario_support.Util.drop (idx + 1) b.insns in
+      let callee_entry = Hashtbl.find label_map (entry_block callee).bname in
+      let join_block = { bname = join_label; insns = after; term = b.term } in
+      b.insns <- before @ param_moves;
+      b.term <- Br callee_entry;
+      caller.blocks <- caller.blocks @ new_blocks @ [ join_block ];
+      true
+  | _ -> false

@@ -1,0 +1,10 @@
+(** Function-inlining machinery shared by {!Inline_small} and {!Expander}. *)
+
+val instr_count : Wario_ir.Ir.func -> int
+val is_directly_recursive : Wario_ir.Ir.func -> bool
+
+val inline_call :
+  Wario_ir.Ir.func -> Wario_ir.Ir.func -> Wario_ir.Ir.point -> bool
+(** [inline_call caller callee point] splices a renamed copy of [callee] at
+    the call site at [point]; returns [false] if the point is not a call to
+    [callee]. *)

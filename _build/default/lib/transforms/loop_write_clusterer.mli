@@ -1,0 +1,21 @@
+(** Loop Write Clusterer (paper §3.1.2, Algorithm 1, Figure 3).
+
+    Unrolls candidate loops N times and postpones their WAR stores to the
+    final latch, clustering N iterations' writes behind one checkpoint.
+    Early exits get write-back blocks; dependent reads get runtime
+    address-check/select chains — or direct register forwarding when the
+    affine analysis proves must-alias (the [w\[t-3\]] pattern).  A
+    cost-aware refinement cancels stores whose runtime checks would exceed
+    the checkpoint savings (the paper's break-even point). *)
+
+type stats = {
+  loops_seen : int;
+  loops_unrolled : int;
+  stores_postponed : int;
+  reads_instrumented : int;  (** loads rewritten into compare/select chains *)
+  reads_forwarded : int;  (** loads replaced by direct register forwards *)
+  exit_writebacks : int;
+}
+
+val run : ?unroll_factor:int -> Wario_ir.Ir.program -> stats
+(** @param unroll_factor the paper's N; default 8 (§5.2.4) *)

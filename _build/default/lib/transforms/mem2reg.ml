@@ -1,0 +1,127 @@
+(* Promote non-escaping scalar stack slots to virtual registers.
+
+   Plays the role of LLVM's mem2reg/SROA in our pipeline: after the front
+   end, every C local lives in a non-volatile stack slot; without promotion
+   every local access would be a memory access and the WAR analysis would
+   drown in false hazards that -O3-compiled code (as used in the paper's
+   evaluation, §5.1.2) does not have.
+
+   A slot is promotable when every occurrence of [Slot s] in the function is
+   as the *address* of a [Load] or [Store] covering the whole slot, all
+   loads use the same width, and all store widths match the slot size.
+   Because WIR registers are mutable, a promoted slot maps to a single fresh
+   register: stores become moves (with a truncate/extend normalisation for
+   narrow slots) and loads become moves from that register. *)
+
+open Wario_ir.Ir
+
+(* How [Slot s] may be used for promotion. *)
+type usage = {
+  mutable addr_loads : width list;
+  mutable addr_stores : width list;
+  mutable escapes : bool;
+}
+
+let slot_usages (f : func) : (int, usage) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  let u s =
+    match Hashtbl.find_opt tbl s with
+    | Some u -> u
+    | None ->
+        let u = { addr_loads = []; addr_stores = []; escapes = false } in
+        Hashtbl.add tbl s u;
+        u
+  in
+  let escape_value = function Slot s -> (u s).escapes <- true | _ -> () in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Load (_, w, Slot s) -> (u s).addr_loads <- w :: (u s).addr_loads
+          | Store (w, data, Slot s) ->
+              escape_value data;
+              (u s).addr_stores <- w :: (u s).addr_stores
+          | Store (_, data, addr) -> escape_value data; escape_value addr
+          | Load (_, _, addr) -> escape_value addr
+          | Bin (_, _, a, b) | Cmp (_, _, a, b) -> escape_value a; escape_value b
+          | Mov (_, v) | Print v -> escape_value v
+          | Select (_, c, a, b) -> escape_value c; escape_value a; escape_value b
+          | Call (_, _, args) -> List.iter escape_value args
+          | Checkpoint _ -> ())
+        b.insns;
+      match b.term with
+      | Cbr (c, _, _) -> escape_value c
+      | Ret (Some v) -> escape_value v
+      | _ -> ())
+    f.blocks;
+  tbl
+
+(* The canonical in-register form of a narrow value: what a store+load
+   round-trip through memory would produce. *)
+let normalise f insns_rev (load_w : width) (v : value) : value * instr list =
+  ignore insns_rev;
+  match load_w with
+  | W32 -> (v, [])
+  | W8 ->
+      let d = fresh_reg f in
+      (Reg d, [ Bin (d, And, v, Imm 0xffl) ])
+  | W16 ->
+      let d = fresh_reg f in
+      (Reg d, [ Bin (d, And, v, Imm 0xffffl) ])
+  | S8 ->
+      let a = fresh_reg f and d = fresh_reg f in
+      (Reg d, [ Bin (a, Shl, v, Imm 24l); Bin (d, Ashr, Reg a, Imm 24l) ])
+  | S16 ->
+      let a = fresh_reg f and d = fresh_reg f in
+      (Reg d, [ Bin (a, Shl, v, Imm 16l); Bin (d, Ashr, Reg a, Imm 16l) ])
+
+(** Run promotion on one function; returns the number of slots promoted. *)
+let run_func (f : func) : int =
+  let usages = slot_usages f in
+  let promotable =
+    List.filter
+      (fun s ->
+        match Hashtbl.find_opt usages s.slot_id with
+        | None -> false (* never used: dead slot, handled by DCE *)
+        | Some u ->
+            (not u.escapes)
+            && List.for_all (fun w -> bytes_of_width w = s.slot_size) u.addr_stores
+            && List.for_all (fun w -> bytes_of_width w = s.slot_size) u.addr_loads
+            && (match u.addr_loads with
+               | [] -> true
+               | w :: rest -> List.for_all (fun w' -> w' = w) rest))
+      f.slots
+  in
+  if promotable = [] then 0
+  else begin
+    (* slot id -> (register, canonical load width) *)
+    let reg_of = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        let u = Hashtbl.find usages s.slot_id in
+        let w = match u.addr_loads with w :: _ -> w | [] -> W32 in
+        Hashtbl.add reg_of s.slot_id (fresh_reg f, w))
+      promotable;
+    List.iter
+      (fun b ->
+        b.insns <-
+          List.concat_map
+            (fun i ->
+              match i with
+              | Load (d, _, Slot s) when Hashtbl.mem reg_of s ->
+                  let r, _ = Hashtbl.find reg_of s in
+                  [ Mov (d, Reg r) ]
+              | Store (_, data, Slot s) when Hashtbl.mem reg_of s ->
+                  let r, w = Hashtbl.find reg_of s in
+                  let v, extra = normalise f [] w data in
+                  extra @ [ Mov (r, v) ]
+              | i -> [ i ])
+            b.insns)
+      f.blocks;
+    let promoted_ids = List.map (fun s -> s.slot_id) promotable in
+    f.slots <- List.filter (fun s -> not (List.mem s.slot_id promoted_ids)) f.slots;
+    List.length promotable
+  end
+
+let run (p : program) : int = List.fold_left (fun n f -> n + run_func f) 0 p.funcs

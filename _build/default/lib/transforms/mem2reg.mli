@@ -1,0 +1,9 @@
+(** Promote non-escaping scalar stack slots to virtual registers (the
+    mem2reg/SROA piece of our -O3 substitute).  Without it every C local
+    would be an NVM access and the WAR analysis would drown in hazards that
+    -O3-compiled code does not have. *)
+
+val run_func : Wario_ir.Ir.func -> int
+(** Returns the number of slots promoted. *)
+
+val run : Wario_ir.Ir.program -> int

@@ -1,0 +1,22 @@
+(* The generic optimisation pipeline applied before the WARio-specific
+   transformations — our stand-in for the paper's `-O3` (§5.1.2).  The
+   ordering mirrors the classic mem2reg-then-scalar-cleanup structure. *)
+
+let run (p : Wario_ir.Ir.program) : unit =
+  ignore (Simplifycfg.run p);
+  ignore (Mem2reg.run p);
+  (* basic inlining (the paper's `opt -always-inline -inline` pre-pass) *)
+  ignore (Inline_small.run p);
+  ignore (Simplifycfg.run p);
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 8 do
+    incr rounds;
+    let a = Copyprop.run p in
+    let b = Constfold.run p in
+    let c = Dce.run p in
+    let d = Simplifycfg.run p in
+    (* mem2reg again: DCE can remove escaping uses, unlocking promotion *)
+    let e = Mem2reg.run p in
+    changed := a + b + c + d + e > 0
+  done

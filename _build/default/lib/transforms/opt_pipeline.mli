@@ -1,0 +1,5 @@
+(** The generic optimisation pipeline applied before the WARio-specific
+    transformations — our stand-in for the paper's -O3 plus its
+    [opt -always-inline -inline] pre-pass (§4.6, §5.1.2). *)
+
+val run : Wario_ir.Ir.program -> unit

@@ -1,0 +1,99 @@
+(* CFG clean-ups: remove unreachable blocks, thread trivial forwarding
+   blocks, and merge single-predecessor/single-successor block pairs.
+   Iterates to a fixpoint.  The entry block keeps its position (first in
+   [f.blocks]). *)
+
+open Wario_ir.Ir
+
+let remove_unreachable (f : func) : bool =
+  let reachable = Hashtbl.create 32 in
+  let rec dfs lbl =
+    if not (Hashtbl.mem reachable lbl) then begin
+      Hashtbl.add reachable lbl ();
+      List.iter dfs (successors (find_block f lbl))
+    end
+  in
+  dfs (entry_block f).bname;
+  let n0 = List.length f.blocks in
+  f.blocks <- List.filter (fun b -> Hashtbl.mem reachable b.bname) f.blocks;
+  List.length f.blocks <> n0
+
+(* Replace every edge to an empty forwarding block (no insns, [Br next])
+   with a direct edge, unless the block forwards to itself. *)
+let thread_forwarders (f : func) : bool =
+  let entry = (entry_block f).bname in
+  let fwd = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      match (b.insns, b.term) with
+      | [], Br next when next <> b.bname && b.bname <> entry ->
+          Hashtbl.add fwd b.bname next
+      | _ -> ())
+    f.blocks;
+  (* Resolve chains (a -> b -> c) with cycle protection. *)
+  let rec resolve seen l =
+    match Hashtbl.find_opt fwd l with
+    | Some next when not (List.mem l seen) -> resolve (l :: seen) next
+    | _ -> l
+  in
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      let retarget l =
+        let l' = resolve [] l in
+        if l' <> l then changed := true;
+        l'
+      in
+      b.term <- retarget_term retarget b.term)
+    f.blocks;
+  !changed
+
+(* Merge [a] and [b] when a's terminator is [Br b] and [b] has exactly one
+   predecessor. *)
+let merge_pairs (f : func) : bool =
+  let preds = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s with Not_found -> [] in
+          Hashtbl.replace preds s (b.bname :: cur))
+        (successors b))
+    f.blocks;
+  let entry = (entry_block f).bname in
+  let changed = ref false in
+  let merged = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      if not (Hashtbl.mem merged a.bname) then
+        match a.term with
+        | Br bl when bl <> a.bname && bl <> entry && not (Hashtbl.mem merged bl)
+          -> (
+            match Hashtbl.find_opt preds bl with
+            | Some [ _ ] ->
+                let b = find_block f bl in
+                a.insns <- a.insns @ b.insns;
+                a.term <- b.term;
+                Hashtbl.add merged bl ();
+                changed := true
+            | _ -> ())
+        | _ -> ())
+    f.blocks;
+  if !changed then
+    f.blocks <- List.filter (fun b -> not (Hashtbl.mem merged b.bname)) f.blocks;
+  !changed
+
+let run_func (f : func) : int =
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr rounds;
+    let a = remove_unreachable f in
+    let b = thread_forwarders f in
+    let c = remove_unreachable f in
+    let d = merge_pairs f in
+    changed := (a || b || c || d) && !rounds < 50
+  done;
+  !rounds - 1
+
+let run (p : program) : int = List.fold_left (fun n f -> n + run_func f) 0 p.funcs

@@ -1,0 +1,4 @@
+(** CFG clean-ups: unreachable-block removal, forwarding-block threading,
+    single-pred/single-succ block merging; iterates to a fixpoint. *)
+
+val run : Wario_ir.Ir.program -> int

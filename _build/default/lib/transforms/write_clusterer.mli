@@ -1,0 +1,9 @@
+(** Write Clusterer (paper §3.1.2): within a basic block, sink the store of
+    a WAR to sit immediately above the next WAR store when nothing in
+    between depends on it.  No runtime checks — any dependence cancels the
+    move.  Clustered stores then share checkpoint candidate windows, so the
+    inserter resolves the whole cluster with one checkpoint (Figure 1,
+    right). *)
+
+val run : Wario_ir.Ir.program -> int
+(** Returns the number of stores moved. *)

@@ -1,0 +1,179 @@
+(* Small MiniC programs used by the test suite and the examples: each is
+   fast enough to run across every software environment (and under
+   crash-everywhere power sweeps) while still exercising a distinct part of
+   the language and of the WAR-protection machinery. *)
+
+type t = { name : string; source : string; expected : int32 list }
+
+let arith = {
+  name = "arith";
+  expected = [ -2l; 2l; 2l; 2147483647l; -2147483648l; 1l; 0l; 3l; -56l; 200l ];
+  source = {|
+int main(void) {
+  print_int(5 / -2);                 /* C truncation: -2 */
+  print_int(-5 / -2);
+  print_int(5 % -3 - 0);             /* truncated: 2 */
+  print_int(2147483647);
+  print_int(-2147483647 - 1);
+  print_int((unsigned)0xFFFFFFFFu > 0u);
+  print_int(-1 > 1);                 /* signed: 0 */
+  print_int(13 >> 2);
+  print_int((char)200);              /* sign extension: -56 */
+  print_int((int)(unsigned char)200);
+  return 0;
+}
+|};
+}
+
+let rmw_loop = {
+  name = "rmw_loop";
+  expected = [ 4950l; 1275l ];
+  source = {|
+unsigned acc[100];
+int main(void) {
+  int i; int s = 0; int t = 0;
+  for (i = 0; i < 100; i++) acc[i] = (unsigned)i;
+  for (i = 0; i < 100; i++) acc[i] = acc[i] + 1;   /* WAR per iteration */
+  for (i = 0; i < 100; i++) s = s + (int)acc[i] - 1;
+  for (i = 0; i < 50; i++) t = t + (int)acc[i];
+  print_int(s);
+  print_int(t);
+  return 0;
+}
+|};
+}
+
+let fib = {
+  name = "fib";
+  expected = [ 6765l ];
+  source = {|
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main(void) { print_int(fib(20)); return 0; }
+|};
+}
+
+let struct_list = {
+  name = "struct_list";
+  expected = [ 190l; 19l ];
+  source = {|
+struct node { struct node *next; int v; };
+struct node pool[20];
+int main(void) {
+  int i;
+  struct node *head = (struct node *)0;
+  for (i = 0; i < 20; i++) { pool[i].v = i; pool[i].next = head; head = &pool[i]; }
+  int sum = 0; int len = -1;
+  struct node *p = head;
+  while (p != (struct node *)0) { sum = sum + p->v; len = len + 1; p = p->next; }
+  print_int(sum);
+  print_int(len + 1 - 1);
+  return 0;
+}
+|};
+}
+
+let sort_prog = {
+  name = "sort";
+  expected = [ 0l; 99l; 4950l ];
+  source = {|
+int a[100];
+unsigned seed = 7;
+unsigned rnd(void) { seed = seed * 1103515245u + 12345u; return seed >> 16; }
+int main(void) {
+  int i, j;
+  for (i = 0; i < 100; i++) a[i] = i;
+  /* shuffle */
+  for (i = 99; i > 0; i--) {
+    j = (int)(rnd() % (unsigned)(i + 1));
+    int t = a[i]; a[i] = a[j]; a[j] = t;
+  }
+  /* insertion sort: dense WARs on the array */
+  for (i = 1; i < 100; i++) {
+    int key = a[i];
+    j = i - 1;
+    while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j--; }
+    a[j + 1] = key;
+  }
+  int sum = 0;
+  for (i = 0; i < 100; i++) sum = sum + a[i];
+  print_int(a[0]);
+  print_int(a[99]);
+  print_int(sum);
+  return 0;
+}
+|};
+}
+
+let string_rev = {
+  name = "byte_ops";
+  expected = [ 255l; 4l ];
+  source = {|
+unsigned char buf[16];
+short counts[4];
+int main(void) {
+  int i;
+  for (i = 0; i < 16; i++) buf[i] = (unsigned char)(i * 17);
+  /* reverse in place: paired WARs */
+  for (i = 0; i < 8; i++) {
+    unsigned char t = buf[i];
+    buf[i] = buf[15 - i];
+    buf[15 - i] = t;
+  }
+  for (i = 0; i < 4; i++) counts[i] = 0;
+  for (i = 0; i < 16; i++) counts[buf[i] & 3]++;
+  print_int((int)buf[0]);
+  print_int((int)counts[1]);
+  return 0;
+}
+|};
+}
+
+let sensor = {
+  name = "sensor";
+  expected = [ 32670l; 198l; 0l ];
+  source = {|
+/* A moving-average sensor filter: the shape of an intermittent sensing app. */
+int ring[8];
+int history[256];
+int ring_pos = 0;
+unsigned seed = 99;
+int read_sensor(void) {
+  seed = seed * 1103515245u + 12345u;
+  return (int)((seed >> 20) & 0xFF);
+}
+int main(void) {
+  int i, t;
+  int n_alerts = 0;
+  for (i = 0; i < 8; i++) ring[i] = 0;
+  for (t = 0; t < 256; t++) {
+    int sample = read_sensor();
+    ring[ring_pos] = sample;
+    ring_pos = (ring_pos + 1) & 7;
+    int avg = 0;
+    for (i = 0; i < 8; i++) avg = avg + ring[i];
+    avg = avg / 8;
+    history[t] = avg;
+    if (avg > 250) n_alerts++;
+  }
+  int total = 0; int peak = 0;
+  for (t = 0; t < 256; t++) {
+    total = total + history[t];
+    if (history[t] > peak) peak = history[t];
+  }
+  print_int(total);
+  print_int(peak);
+  print_int(n_alerts);
+  return 0;
+}
+|};
+}
+
+let all = [ arith; rmw_loop; fib; struct_list; sort_prog; string_rev; sensor ]
+
+let find name =
+  match List.find_opt (fun m -> m.name = name) all with
+  | Some m -> m
+  | None -> invalid_arg ("Micro.find: unknown program " ^ name)

@@ -1,0 +1,9 @@
+(** Small MiniC programs used by the test suite and examples, each with its
+    expected output (checked against the IR interpreter). *)
+
+type t = { name : string; source : string; expected : int32 list }
+
+val all : t list
+
+val find : string -> t
+(** @raise Invalid_argument on an unknown name *)

@@ -1,0 +1,773 @@
+(* The paper's benchmark suite (§5.1.2), ported to MiniC:
+
+   - CoreMark (EEMBC): reduced port with the three original kernels — linked
+     list processing, matrix operations, CRC-folded state machine;
+   - SHA (MiBench): SHA-1 over a pseudo-random message;
+   - CRC (MiBench): bitwise CRC-32 with the per-byte function call structure
+     of the original (this is what makes it call-bound: no middle-end WARs,
+     but many function entry/exit checkpoints);
+   - Dijkstra (MiBench): all-pairs runs of single-source shortest path over
+     an adjacency matrix;
+   - Tiny AES: AES-128 ECB encrypt + decrypt round trip;
+   - picojpeg: reduced baseline-JPEG decode path — Huffman entropy decoding
+     of a synthetic stream, dequantisation and an integer 8x8 IDCT.
+
+   Input sizes are scaled so each benchmark completes in a fraction of the
+   paper's run time (see DESIGN.md §7); every program prints one final
+   checksum, which the tests compare across the IR interpreter, every
+   software environment and the emulator. *)
+
+type benchmark = {
+  name : string;
+  source : string;
+  description : string;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let crc = {
+  name = "crc";
+  description = "MiBench CRC-32, bitwise, per-byte function call";
+  source = {|
+/* CRC-32 (MiBench crc32 port): bitwise update, one call per byte read
+   through a stdio-like buffered reader (the original reads via getc). */
+unsigned lcg_state = 12345;
+
+unsigned lcg_next(void) {
+  lcg_state = lcg_state * 1664525u + 1013904223u;
+  return lcg_state >> 8;
+}
+
+/* a small "file": regenerated chunk by chunk from the LCG, like a stream */
+unsigned char io_buf[64];
+int io_pos = 0;        /* position within io_buf */
+int io_avail = 0;      /* bytes available in io_buf */
+int io_total = 0;      /* bytes delivered so far */
+int io_len = 0;        /* total stream length */
+
+/* refill the window; has a real frame and several sp adjustments, like
+   a stdio getc slow path */
+int io_refill(void) {
+  int n, i;
+  unsigned char tmp[64];
+  if (io_total >= io_len) return -1;
+  n = io_len - io_total;
+  if (n > 64) n = 64;
+  for (i = 0; i < n; i++) tmp[i] = (unsigned char)(lcg_next() & 0xFF);
+  for (i = 0; i < n; i++) io_buf[i] = tmp[i];
+  io_pos = 0;
+  io_avail = n;
+  return n;
+}
+
+int io_ungot = -1;
+int io_mode = 1;       /* 1 = text mode: CR -> LF translation */
+
+/* getc with pushback and text-mode translation: comparable in size and
+   structure to a stdio getc, and (like it) never inlined */
+int mc_getc(void) {
+  int c;
+  if (io_ungot >= 0) {
+    c = io_ungot;
+    io_ungot = -1;
+    return c;
+  }
+  if (io_pos >= io_avail) {
+    if (io_refill() < 0) return -1;
+  }
+  c = (int)io_buf[io_pos];
+  io_pos = io_pos + 1;
+  io_total = io_total + 1;
+  if (io_mode == 1 && c == 13) c = 10;
+  return c;
+}
+
+int mc_ungetc(int c) {
+  if (io_ungot >= 0) return -1;
+  io_ungot = c;
+  return c;
+}
+
+unsigned crc32_update(unsigned crc, unsigned ch) {
+  int j;
+  crc = crc ^ ch;
+  for (j = 0; j < 8; j++) {
+    if (crc & 1u) crc = (crc >> 1) ^ 0xEDB88320u;
+    else crc = crc >> 1;
+  }
+  return crc;
+}
+
+unsigned crc32_stream(unsigned crc) {
+  int c;
+  c = mc_getc();
+  while (c >= 0) {
+    /* peek at the next byte, like the original's line handling */
+    if (c == 10) {
+      int nxt = mc_getc();
+      if (nxt >= 0) mc_ungetc(nxt);
+    }
+    crc = crc32_update(crc, (unsigned)c);
+    c = mc_getc();
+  }
+  return crc;
+}
+
+int main(void) {
+  int round;
+  unsigned crc = 0xFFFFFFFFu;
+  for (round = 0; round < 6; round++) {
+    lcg_state = 12345;
+    io_pos = 0; io_avail = 0; io_total = 0; io_len = 2048; io_ungot = -1;
+    crc = crc32_stream(crc);
+  }
+  print_int((int)(crc ^ 0xFFFFFFFFu));
+  return 0;
+}
+|};
+}
+
+(* ------------------------------------------------------------------ *)
+
+let sha = {
+  name = "sha";
+  description = "MiBench SHA-1 over a pseudo-random message";
+  source = {|
+/* SHA-1 (MiBench sha port). */
+unsigned lcg_state = 99991;
+unsigned lcg_next(void) {
+  lcg_state = lcg_state * 1664525u + 1013904223u;
+  return lcg_state >> 8;
+}
+
+unsigned h0, h1, h2, h3, h4;
+unsigned w[80];
+unsigned char msg[8192];
+
+unsigned rol(unsigned x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void sha_transform(int off) {
+  int t;
+  unsigned a, b, c, d, e, f, k, temp;
+  for (t = 0; t < 16; t++) {
+    w[t] = ((unsigned)msg[off + t*4] << 24)
+         | ((unsigned)msg[off + t*4 + 1] << 16)
+         | ((unsigned)msg[off + t*4 + 2] << 8)
+         | (unsigned)msg[off + t*4 + 3];
+  }
+  /* message schedule: the loop-carried WAR pattern of Figure 3 */
+  for (t = 16; t < 80; t++) {
+    w[t] = rol(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16], 1);
+  }
+  a = h0; b = h1; c = h2; d = h3; e = h4;
+  for (t = 0; t < 80; t++) {
+    if (t < 20)      { f = (b & c) | ((~b) & d);          k = 0x5A827999u; }
+    else if (t < 40) { f = b ^ c ^ d;                     k = 0x6ED9EBA1u; }
+    else if (t < 60) { f = (b & c) | (b & d) | (c & d);   k = 0x8F1BBCDCu; }
+    else             { f = b ^ c ^ d;                     k = 0xCA62C1D6u; }
+    temp = rol(a, 5) + f + e + k + w[t];
+    e = d; d = c; c = rol(b, 30); b = a; a = temp;
+  }
+  h0 = h0 + a; h1 = h1 + b; h2 = h2 + c; h3 = h3 + d; h4 = h4 + e;
+}
+
+int main(void) {
+  int i;
+  for (i = 0; i < 8192; i++) msg[i] = (unsigned char)(lcg_next() & 0xFF);
+  h0 = 0x67452301u; h1 = 0xEFCDAB89u; h2 = 0x98BADCFEu;
+  h3 = 0x10325476u; h4 = 0xC3D2E1F0u;
+  for (i = 0; i < 8192; i = i + 64) {
+    sha_transform(i);
+  }
+  print_int((int)(h0 ^ h1 ^ h2 ^ h3 ^ h4));
+  return 0;
+}
+|};
+}
+
+(* ------------------------------------------------------------------ *)
+
+let dijkstra = {
+  name = "dijkstra";
+  description = "MiBench Dijkstra: all-sources shortest paths, 24 nodes";
+  source = {|
+/* Dijkstra (MiBench port): adjacency matrix, repeated single-source runs. */
+unsigned lcg_state = 777;
+unsigned lcg_next(void) {
+  lcg_state = lcg_state * 1664525u + 1013904223u;
+  return lcg_state >> 8;
+}
+
+int adj[576];      /* 24 x 24 */
+int dist[24];
+int visited[24];
+
+int dijkstra_from(int src) {
+  int i, step, u, best, v, nd, sum;
+  for (i = 0; i < 24; i++) { dist[i] = 1000000; visited[i] = 0; }
+  dist[src] = 0;
+  for (step = 0; step < 24; step++) {
+    u = -1; best = 1000000;
+    for (i = 0; i < 24; i++) {
+      if (!visited[i] && dist[i] < best) { best = dist[i]; u = i; }
+    }
+    if (u < 0) break;
+    visited[u] = 1;
+    for (v = 0; v < 24; v++) {
+      int wgt = adj[u*24 + v];
+      if (wgt > 0 && !visited[v]) {
+        nd = dist[u] + wgt;
+        if (nd < dist[v]) dist[v] = nd;
+      }
+    }
+  }
+  sum = 0;
+  for (i = 0; i < 24; i++) sum = sum + dist[i];
+  return sum;
+}
+
+int main(void) {
+  int i, j, s;
+  int total = 0;
+  for (i = 0; i < 24; i++) {
+    for (j = 0; j < 24; j++) {
+      unsigned r = lcg_next();
+      /* sparse-ish graph: ~60% of edges, weights 1..15 */
+      if ((r & 7u) < 5u && i != j) adj[i*24 + j] = (int)((r >> 3) & 15u) + 1;
+      else adj[i*24 + j] = 0;
+    }
+  }
+  for (s = 0; s < 24; s++) {
+    total = total + dijkstra_from(s);
+    total = total - (dijkstra_from((s * 7 + 3) % 24) >> 1);
+  }
+  print_int(total);
+  return 0;
+}
+|};
+}
+
+(* ------------------------------------------------------------------ *)
+
+let aes = {
+  name = "aes";
+  description = "Tiny AES: AES-128 ECB encrypt/decrypt round trip";
+  source = {|
+/* Tiny AES port: AES-128, ECB mode, encrypt + decrypt round trip. */
+unsigned lcg_state = 31337;
+unsigned lcg_next(void) {
+  lcg_state = lcg_state * 1664525u + 1013904223u;
+  return lcg_state >> 8;
+}
+
+unsigned char sbox[256];
+unsigned char rsbox[256];
+unsigned char round_key[176];
+unsigned char state[16];
+unsigned char buffer[512];
+unsigned char alog[256];
+unsigned char glog[256];
+
+/* GF(2^8) multiply-by-x */
+unsigned xtime(unsigned x) {
+  return ((x << 1) ^ (((x >> 7) & 1u) * 0x1Bu)) & 0xFFu;
+}
+
+unsigned gmul(unsigned x, unsigned y) {
+  unsigned p = 0;
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (y & 1u) p = p ^ x;
+    x = ((x << 1) ^ (((x >> 7) & 1u) * 0x1Bu)) & 0xFFu;
+    y = y >> 1;
+  }
+  return p & 0xFFu;
+}
+
+/* Build the S-box from the AES affine transform over GF(2^8) inverses,
+   via log/antilog tables on the generator 3 (setup code; runs once). */
+void build_sboxes(void) {
+  int i;
+  unsigned p = 1;
+  for (i = 0; i < 255; i++) {
+    alog[i] = (unsigned char)p;
+    glog[p] = (unsigned char)i;
+    p = p ^ xtime(p);        /* multiply by the generator 0x03 */
+  }
+  alog[255] = alog[0];
+  for (i = 0; i < 256; i++) {
+    unsigned inv = 0;
+    if (i != 0) inv = (unsigned)alog[255 - (int)glog[i]];
+    if (i == 1) inv = 1;
+    unsigned s = inv ^ ((inv << 1) | (inv >> 7)) ^ ((inv << 2) | (inv >> 6))
+               ^ ((inv << 3) | (inv >> 5)) ^ ((inv << 4) | (inv >> 4)) ^ 0x63u;
+    sbox[i] = (unsigned char)(s & 0xFFu);
+  }
+  for (i = 0; i < 256; i++) rsbox[sbox[i]] = (unsigned char)i;
+}
+
+void key_expansion(unsigned char *key) {
+  int i;
+  unsigned char rcon = 1;
+  for (i = 0; i < 16; i++) round_key[i] = key[i];
+  for (i = 16; i < 176; i = i + 4) {
+    unsigned char t0 = round_key[i-4];
+    unsigned char t1 = round_key[i-3];
+    unsigned char t2 = round_key[i-2];
+    unsigned char t3 = round_key[i-1];
+    if ((i & 15) == 0) {
+      unsigned char tmp = t0;
+      t0 = (unsigned char)(sbox[t1] ^ rcon);
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+      rcon = (unsigned char)xtime((unsigned)rcon);
+    }
+    round_key[i]   = (unsigned char)(round_key[i-16] ^ t0);
+    round_key[i+1] = (unsigned char)(round_key[i-15] ^ t1);
+    round_key[i+2] = (unsigned char)(round_key[i-14] ^ t2);
+    round_key[i+3] = (unsigned char)(round_key[i-13] ^ t3);
+  }
+}
+
+void add_round_key(int round) {
+  int i;
+  for (i = 0; i < 16; i++) state[i] = (unsigned char)(state[i] ^ round_key[round*16 + i]);
+}
+
+void sub_bytes(void) {
+  int i;
+  for (i = 0; i < 16; i++) state[i] = sbox[state[i]];
+}
+
+void inv_sub_bytes(void) {
+  int i;
+  for (i = 0; i < 16; i++) state[i] = rsbox[state[i]];
+}
+
+void shift_rows(void) {
+  unsigned char t;
+  t = state[1]; state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = t;
+  t = state[2]; state[2] = state[10]; state[10] = t;
+  t = state[6]; state[6] = state[14]; state[14] = t;
+  t = state[15]; state[15] = state[11]; state[11] = state[7]; state[7] = state[3]; state[3] = t;
+}
+
+void inv_shift_rows(void) {
+  unsigned char t;
+  t = state[13]; state[13] = state[9]; state[9] = state[5]; state[5] = state[1]; state[1] = t;
+  t = state[2]; state[2] = state[10]; state[10] = t;
+  t = state[6]; state[6] = state[14]; state[14] = t;
+  t = state[3]; state[3] = state[7]; state[7] = state[11]; state[11] = state[15]; state[15] = t;
+}
+
+void mix_columns(void) {
+  int c;
+  for (c = 0; c < 4; c++) {
+    unsigned a0 = state[c*4]; unsigned a1 = state[c*4+1];
+    unsigned a2 = state[c*4+2]; unsigned a3 = state[c*4+3];
+    state[c*4]   = (unsigned char)(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    state[c*4+1] = (unsigned char)(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    state[c*4+2] = (unsigned char)(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    state[c*4+3] = (unsigned char)((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+void inv_mix_columns(void) {
+  int c;
+  for (c = 0; c < 4; c++) {
+    unsigned a0 = state[c*4]; unsigned a1 = state[c*4+1];
+    unsigned a2 = state[c*4+2]; unsigned a3 = state[c*4+3];
+    state[c*4]   = (unsigned char)(gmul(a0,14) ^ gmul(a1,11) ^ gmul(a2,13) ^ gmul(a3,9));
+    state[c*4+1] = (unsigned char)(gmul(a0,9) ^ gmul(a1,14) ^ gmul(a2,11) ^ gmul(a3,13));
+    state[c*4+2] = (unsigned char)(gmul(a0,13) ^ gmul(a1,9) ^ gmul(a2,14) ^ gmul(a3,11));
+    state[c*4+3] = (unsigned char)(gmul(a0,11) ^ gmul(a1,13) ^ gmul(a2,9) ^ gmul(a3,14));
+  }
+}
+
+void cipher(void) {
+  int round;
+  add_round_key(0);
+  for (round = 1; round < 10; round++) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+void inv_cipher(void) {
+  int round;
+  add_round_key(10);
+  for (round = 9; round > 0; round--) {
+    inv_shift_rows();
+    inv_sub_bytes();
+    add_round_key(round);
+    inv_mix_columns();
+  }
+  inv_shift_rows();
+  inv_sub_bytes();
+  add_round_key(0);
+}
+
+int main(void) {
+  int i, blk;
+  unsigned char key[16];
+  build_sboxes();
+  for (i = 0; i < 16; i++) key[i] = (unsigned char)(lcg_next() & 0xFF);
+  key_expansion(key);
+  for (i = 0; i < 512; i++) buffer[i] = (unsigned char)(lcg_next() & 0xFF);
+  /* encrypt all blocks in place */
+  for (blk = 0; blk < 512; blk = blk + 16) {
+    for (i = 0; i < 16; i++) state[i] = buffer[blk + i];
+    cipher();
+    for (i = 0; i < 16; i++) buffer[blk + i] = state[i];
+  }
+  unsigned chk = 0;
+  for (i = 0; i < 512; i++) chk = chk * 31 + (unsigned)buffer[i];
+  /* decrypt and verify the round trip */
+  for (blk = 0; blk < 512; blk = blk + 16) {
+    for (i = 0; i < 16; i++) state[i] = buffer[blk + i];
+    inv_cipher();
+    for (i = 0; i < 16; i++) buffer[blk + i] = state[i];
+  }
+  lcg_state = 31337;
+  for (i = 0; i < 16; i++) lcg_next();   /* skip the key draws */
+  unsigned ok = 1;
+  for (i = 0; i < 512; i++) {
+    if ((unsigned)buffer[i] != (lcg_next() & 0xFFu)) ok = 0;
+  }
+  print_int((int)(chk ^ (ok ? 0u : 0xDEADu)));
+  print_int((int)ok);
+  return 0;
+}
+|};
+}
+
+(* ------------------------------------------------------------------ *)
+
+let coremark = {
+  name = "coremark";
+  description = "CoreMark port: list processing + matrix ops + state machine";
+  source = {|
+/* CoreMark (EEMBC) reduced port: the three kernels of the original —
+   linked-list processing, matrix operations, and a CRC-checked state
+   machine — with results folded through CRC-16 like real CoreMark. */
+unsigned lcg_state = 2021;
+unsigned lcg_next(void) {
+  lcg_state = lcg_state * 1664525u + 1013904223u;
+  return lcg_state >> 8;
+}
+
+unsigned crc16_update(unsigned crc, unsigned v) {
+  int j;
+  crc = crc ^ (v & 0xFFFFu);
+  for (j = 0; j < 16; j++) {
+    if (crc & 1u) crc = (crc >> 1) ^ 0xA001u;
+    else crc = crc >> 1;
+  }
+  return crc;
+}
+
+/* ---- kernel 1: linked list ---- */
+struct list_node { struct list_node *next; int data; };
+struct list_node pool[64];
+
+struct list_node *list_reverse(struct list_node *head) {
+  struct list_node *prev = (struct list_node *)0;
+  while (head != (struct list_node *)0) {
+    struct list_node *nxt = head->next;
+    head->next = prev;
+    prev = head;
+    head = nxt;
+  }
+  return prev;
+}
+
+/* insertion sort by data, returns new head */
+struct list_node *list_sort(struct list_node *head) {
+  struct list_node *sorted = (struct list_node *)0;
+  while (head != (struct list_node *)0) {
+    struct list_node *nxt = head->next;
+    if (sorted == (struct list_node *)0 || head->data <= sorted->data) {
+      head->next = sorted;
+      sorted = head;
+    } else {
+      struct list_node *cur = sorted;
+      while (cur->next != (struct list_node *)0 && cur->next->data < head->data)
+        cur = cur->next;
+      head->next = cur->next;
+      cur->next = head;
+    }
+    head = nxt;
+  }
+  return sorted;
+}
+
+unsigned list_bench(unsigned crc) {
+  int i;
+  struct list_node *head = (struct list_node *)0;
+  for (i = 0; i < 64; i++) {
+    pool[i].data = (int)(lcg_next() & 0x3FFu);
+    pool[i].next = head;
+    head = &pool[i];
+  }
+  head = list_reverse(head);
+  head = list_sort(head);
+  int rank = 0;
+  while (head != (struct list_node *)0) {
+    crc = crc16_update(crc, (unsigned)(head->data + rank));
+    rank++;
+    head = head->next;
+  }
+  return crc;
+}
+
+/* ---- kernel 2: matrix ---- */
+int mat_a[144];   /* 12 x 12 */
+int mat_b[144];
+int mat_c[144];
+
+unsigned matrix_bench(unsigned crc) {
+  int i, j, k;
+  for (i = 0; i < 144; i++) {
+    mat_a[i] = (int)(lcg_next() & 0xFFu) - 128;
+    mat_b[i] = (int)(lcg_next() & 0xFFu) - 128;
+  }
+  /* multiply */
+  for (i = 0; i < 12; i++) {
+    for (j = 0; j < 12; j++) {
+      int acc = 0;
+      for (k = 0; k < 12; k++) acc = acc + mat_a[i*12+k] * mat_b[k*12+j];
+      mat_c[i*12+j] = acc;
+    }
+  }
+  /* add a constant and fold in (read-modify-write WARs) */
+  for (i = 0; i < 144; i++) mat_c[i] = mat_c[i] + 7;
+  /* scale rows in place */
+  for (i = 0; i < 12; i++) {
+    for (j = 0; j < 12; j++) mat_a[i*12+j] = mat_a[i*12+j] * 3 - mat_c[i*12+j];
+  }
+  for (i = 0; i < 144; i++) crc = crc16_update(crc, (unsigned)mat_a[i]);
+  return crc;
+}
+
+/* ---- kernel 3: state machine ---- */
+unsigned char input[256];
+int state_counts[8];
+
+unsigned state_bench(unsigned crc) {
+  int i;
+  int st = 0;
+  for (i = 0; i < 8; i++) state_counts[i] = 0;
+  for (i = 0; i < 256; i++) input[i] = (unsigned char)(lcg_next() & 0x7Fu);
+  for (i = 0; i < 256; i++) {
+    int c = (int)input[i];
+    switch (st) {
+      case 0:
+        if (c < 32) st = 1; else if (c < 64) st = 2; else st = 3;
+        break;
+      case 1: st = (c & 1) ? 4 : 0; break;
+      case 2: st = (c > 96) ? 5 : 1; break;
+      case 3: st = (c == 65) ? 6 : 2; break;
+      case 4: st = (c < 100) ? 7 : 0; break;
+      case 5: st = 3; break;
+      case 6: st = (c & 2) ? 0 : 5; break;
+      default: st = 0; break;
+    }
+    state_counts[st] = state_counts[st] + 1;
+  }
+  for (i = 0; i < 8; i++) crc = crc16_update(crc, (unsigned)state_counts[i]);
+  return crc;
+}
+
+int main(void) {
+  int iter;
+  unsigned crc = 0xFFFFu;
+  for (iter = 0; iter < 12; iter++) {
+    crc = list_bench(crc);
+    crc = matrix_bench(crc);
+    crc = state_bench(crc);
+  }
+  print_int((int)crc);
+  return 0;
+}
+|};
+}
+
+(* ------------------------------------------------------------------ *)
+
+let picojpeg = {
+  name = "picojpeg";
+  description = "picojpeg-style decode: Huffman + dequant + integer IDCT";
+  source = {|
+/* picojpeg-style reduced JPEG decode path: canonical Huffman decoding of a
+   synthetic entropy stream, dequantisation, and the integer 8x8 IDCT.
+   The bitstream is pseudo-random; a complete Huffman code makes every
+   bit sequence decodable, so the decode loop is exercised exactly like a
+   real scan without shipping a binary JPEG. */
+unsigned lcg_state = 424242;
+unsigned lcg_next(void) {
+  lcg_state = lcg_state * 1664525u + 1013904223u;
+  return lcg_state >> 8;
+}
+
+/* canonical Huffman code, complete tree: 1x2-bit..., lengths table */
+int huff_maxcode[9];   /* max code value per length (exclusive), -1 = none */
+int huff_valptr[9];
+unsigned char huff_values[16];
+
+unsigned char bits_buf[4096];
+int bit_pos;
+
+void build_huffman(void) {
+  /* code lengths: 2,2,3,3,3,4,4,4,4,5,5,5,5,5,5,5 -> complete */
+  int counts[9];
+  int i, k, code;
+  for (i = 0; i < 9; i++) counts[i] = 0;
+  counts[2] = 2; counts[3] = 3; counts[4] = 4; counts[5] = 7;
+  for (i = 0; i < 16; i++) huff_values[i] = (unsigned char)((i * 7 + 3) & 15);
+  code = 0; k = 0;
+  for (i = 1; i < 9; i++) {
+    huff_valptr[i] = k;
+    if (counts[i] > 0) {
+      huff_maxcode[i] = code + counts[i];
+      code = code + counts[i];
+      k = k + counts[i];
+    } else {
+      huff_maxcode[i] = -1;
+    }
+    code = code * 2;
+  }
+}
+
+int next_bit(void) {
+  int byte = bit_pos >> 3;
+  int bit = 7 - (bit_pos & 7);
+  bit_pos = bit_pos + 1;
+  if (byte >= 4096) { bit_pos = 1; byte = 0; bit = 7; }
+  return ((int)bits_buf[byte] >> bit) & 1;
+}
+
+int huff_decode(void) {
+  int code = 0, len = 0, first = 0;
+  while (len < 8) {
+    code = code * 2 + next_bit();
+    len = len + 1;
+    first = first * 2;
+    if (huff_maxcode[len] >= 0 && code < huff_maxcode[len]) {
+      return (int)huff_values[huff_valptr[len] + (code - first)];
+    }
+    if (huff_maxcode[len] >= 0) first = huff_maxcode[len];
+  }
+  return 0;
+}
+
+int quant[64];
+int block[64];
+int pixels[64];
+
+void dequantize(void) {
+  int i;
+  for (i = 0; i < 64; i++) block[i] = block[i] * quant[i];
+}
+
+/* separable integer IDCT (scaled approximation) */
+void idct_rows(void) {
+  int r;
+  for (r = 0; r < 8; r++) {
+    int *p = &block[r * 8];
+    int x0 = p[0], x1 = p[1], x2 = p[2], x3 = p[3];
+    int x4 = p[4], x5 = p[5], x6 = p[6], x7 = p[7];
+    int e0 = x0 + x4, e1 = x0 - x4;
+    int e2 = x2 + (x6 >> 1), e3 = (x2 >> 1) - x6;
+    int o0 = x1 + (x7 >> 2), o1 = x3 + (x5 >> 1);
+    int o2 = (x3 >> 1) - x5, o3 = (x1 >> 2) - x7;
+    p[0] = e0 + e2 + o0 + o1;
+    p[1] = e1 + e3 + o2 + o3;
+    p[2] = e1 - e3 + o0 - o1;
+    p[3] = e0 - e2 + o3 - o2;
+    p[4] = e0 - e2 - o3 + o2;
+    p[5] = e1 - e3 - o0 + o1;
+    p[6] = e1 + e3 - o2 - o3;
+    p[7] = e0 + e2 - o0 - o1;
+  }
+}
+
+void idct_cols(void) {
+  int c;
+  for (c = 0; c < 8; c++) {
+    int x0 = block[c], x1 = block[c+8], x2 = block[c+16], x3 = block[c+24];
+    int x4 = block[c+32], x5 = block[c+40], x6 = block[c+48], x7 = block[c+56];
+    int e0 = x0 + x4, e1 = x0 - x4;
+    int e2 = x2 + (x6 >> 1), e3 = (x2 >> 1) - x6;
+    int o0 = x1 + (x7 >> 2), o1 = x3 + (x5 >> 1);
+    int o2 = (x3 >> 1) - x5, o3 = (x1 >> 2) - x7;
+    block[c]    = (e0 + e2 + o0 + o1) >> 3;
+    block[c+8]  = (e1 + e3 + o2 + o3) >> 3;
+    block[c+16] = (e1 - e3 + o0 - o1) >> 3;
+    block[c+24] = (e0 - e2 + o3 - o2) >> 3;
+    block[c+32] = (e0 - e2 - o3 + o2) >> 3;
+    block[c+40] = (e1 - e3 - o0 + o1) >> 3;
+    block[c+48] = (e1 + e3 - o2 - o3) >> 3;
+    block[c+56] = (e0 + e2 - o0 - o1) >> 3;
+  }
+}
+
+void clamp_pixels(void) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    int v = (block[i] >> 2) + 128;
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    pixels[i] = v;
+  }
+}
+
+int main(void) {
+  int i, mcu;
+  unsigned chk = 0;
+  build_huffman();
+  for (i = 0; i < 4096; i++) bits_buf[i] = (unsigned char)(lcg_next() & 0xFF);
+  for (i = 0; i < 64; i++) quant[i] = 1 + ((i * 5) & 15);
+  bit_pos = 0;
+  for (mcu = 0; mcu < 96; mcu++) {
+    /* entropy-decode one block: category + sign-extended diff per coeff */
+    int k = 0;
+    while (k < 64) {
+      int cat = huff_decode();
+      int run = (cat >> 2) & 3;
+      int size = cat & 7;
+      int j;
+      for (j = 0; j < run && k < 64; j++) { block[k] = 0; k++; }
+      if (k < 64) {
+        int v = 0;
+        for (j = 0; j < size; j++) v = v * 2 + next_bit();
+        if (size > 0 && v < (1 << (size - 1))) v = v - (1 << size) + 1;
+        block[k] = v;
+        k++;
+      }
+    }
+    dequantize();
+    idct_rows();
+    idct_cols();
+    clamp_pixels();
+    for (i = 0; i < 64; i++) chk = chk * 31 + (unsigned)pixels[i];
+  }
+  print_int((int)chk);
+  return 0;
+}
+|};
+}
+
+let all = [ coremark; sha; crc; aes; dijkstra; picojpeg ]
+
+let find name =
+  match List.find_opt (fun b -> b.name = name) all with
+  | Some b -> b
+  | None -> invalid_arg ("Programs.find: unknown benchmark " ^ name)

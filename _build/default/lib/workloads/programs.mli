@@ -1,0 +1,19 @@
+(** The paper's benchmark suite (§5.1.2), ported to MiniC: CoreMark (list +
+    matrix + state machine), MiBench SHA-1, MiBench CRC-32 (getc-structured),
+    MiBench Dijkstra, Tiny AES-128, and a picojpeg-style decoder.  Inputs are
+    scaled (DESIGN.md §7); every program prints one final checksum. *)
+
+type benchmark = { name : string; source : string; description : string }
+
+val coremark : benchmark
+val sha : benchmark
+val crc : benchmark
+val aes : benchmark
+val dijkstra : benchmark
+val picojpeg : benchmark
+
+val all : benchmark list
+(** In the paper's presentation order. *)
+
+val find : string -> benchmark
+(** @raise Invalid_argument on an unknown name *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Hashtbl Int List Wario_analysis Wario_ir Wario_minic Wario_support Wario_transforms

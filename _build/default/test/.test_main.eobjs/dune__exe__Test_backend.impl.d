@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest List Printf Wario Wario_backend Wario_emulator Wario_ir Wario_machine Wario_minic Wario_workloads

@@ -1,0 +1,1 @@
+test/test_emulator.ml: Alcotest Array List Printf Wario Wario_emulator Wario_machine Wario_workloads

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest List Printf Wario Wario_emulator Wario_minic Wario_transforms Wario_workloads

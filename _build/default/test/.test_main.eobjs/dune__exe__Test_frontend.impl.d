@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Wario_ir Wario_minic

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Int32 List Printf String Wario_ir

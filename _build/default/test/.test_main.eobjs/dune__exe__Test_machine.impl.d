@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest List Printf Wario_emulator Wario_machine

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest List Option String Wario Wario_backend Wario_emulator Wario_ir Wario_minic Wario_workloads

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Hashtbl List Printf Wario Wario_emulator Wario_ir Wario_minic Wario_workloads

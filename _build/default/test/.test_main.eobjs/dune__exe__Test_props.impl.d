@@ -1,0 +1,1 @@
+test/test_props.ml: Gen Hashtbl Int Int32 List Printf QCheck QCheck_alcotest String Wario Wario_analysis Wario_emulator Wario_ir Wario_minic Wario_transforms

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest List Option Printf Wario_analysis Wario_ir Wario_minic Wario_transforms Wario_workloads

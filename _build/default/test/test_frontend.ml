@@ -1,0 +1,379 @@
+(* Front-end tests: lexer, parser, typing/lowering semantics through the IR
+   interpreter (the oracle), and front-end error reporting. *)
+
+module L = Wario_minic.Lexer
+module Minic = Wario_minic.Minic
+module Interp = Wario_ir.Ir_interp
+
+let run_src ?(entry = "main") src =
+  let prog = Minic.compile src in
+  Interp.run ~entry prog
+
+(* output of a main-only program *)
+let out src = (run_src src).Interp.output
+let ret src = (run_src src).Interp.ret
+
+let check_out name src expected =
+  Alcotest.(check (list int32)) name expected (out src)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_basic () =
+  let toks = L.tokenize "int x = 42; // comment\n x += 0x1F;" in
+  let kinds = Array.to_list (Array.map fst toks) in
+  Alcotest.(check bool)
+    "token stream" true
+    (kinds
+    = [
+        L.KW_int; L.IDENT "x"; L.ASSIGN; L.INT_LIT (42l, false); L.SEMI;
+        L.IDENT "x"; L.PLUS_ASSIGN; L.INT_LIT (31l, false); L.SEMI; L.EOF;
+      ])
+
+let test_lexer_operators () =
+  let toks = L.tokenize "<<= >>= << >> <= >= == != && || ++ -- ->" in
+  let kinds = Array.to_list (Array.map fst toks) in
+  Alcotest.(check bool)
+    "longest match" true
+    (kinds
+    = [
+        L.LSHIFT_ASSIGN; L.RSHIFT_ASSIGN; L.LSHIFT; L.RSHIFT; L.LE; L.GE;
+        L.EQEQ; L.NEQ; L.ANDAND; L.OROR; L.PLUSPLUS; L.MINUSMINUS; L.ARROW;
+        L.EOF;
+      ])
+
+let test_lexer_literals () =
+  let toks = L.tokenize "0xffffffff 4294967295 255u 'a' '\\n' '\\0'" in
+  let kinds = Array.to_list (Array.map fst toks) in
+  Alcotest.(check bool)
+    "literals wrap and escape" true
+    (kinds
+    = [
+        L.INT_LIT (-1l, true); L.INT_LIT (-1l, false); L.INT_LIT (255l, true);
+        L.CHAR_LIT 'a';
+        L.CHAR_LIT '\n'; L.CHAR_LIT '\000'; L.EOF;
+      ])
+
+let test_lexer_comments () =
+  let toks = L.tokenize "a /* multi \n line */ b // till eol\nc" in
+  Alcotest.(check int) "three idents" 4 (Array.length toks)
+
+let test_lexer_error () =
+  Alcotest.check_raises "bad char" (L.Lex_error ("unexpected character '`'", { line = 1; col = 1 }))
+    (fun () -> ignore (L.tokenize "`"))
+
+(* ------------------------------------------------------------------ *)
+(* Parser errors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let expect_frontend_error name src =
+  match Minic.compile src with
+  | exception Minic.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected a front-end error" name
+
+let test_parse_errors () =
+  expect_frontend_error "missing semi" "int main(void) { return 0 }";
+  expect_frontend_error "unbalanced paren" "int main(void) { return (1; }";
+  expect_frontend_error "bad toplevel" "42;";
+  expect_frontend_error "unterminated block" "int main(void) { return 0;"
+
+let test_type_errors () =
+  expect_frontend_error "unknown variable" "int main(void) { return x; }";
+  expect_frontend_error "unknown function" "int main(void) { return f(); }";
+  expect_frontend_error "arity" "int f(int a) { return a; } int main(void) { return f(); }";
+  expect_frontend_error "deref int" "int main(void) { int x; return *x; }";
+  expect_frontend_error "member of int" "int main(void) { int x; return x.f; }";
+  expect_frontend_error "unknown field"
+    "struct s { int a; }; int main(void) { struct s v; v.a = 1; return v.b; }";
+  expect_frontend_error "break outside loop" "int main(void) { break; return 0; }";
+  expect_frontend_error "duplicate local" "int main(void) { int x; int x; return 0; }";
+  expect_frontend_error "void value" "void f(void) {} int main(void) { return f() + 1; }"
+
+(* ------------------------------------------------------------------ *)
+(* Expression semantics (C rules)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_precedence () =
+  check_out "mul before add" "int main(void){ print_int(2+3*4); return 0; }" [ 14l ];
+  check_out "shift vs add" "int main(void){ print_int(1<<2+1); return 0; }" [ 8l ];
+  check_out "bitand vs eq" "int main(void){ print_int(3 & 1 == 1); return 0; }" [ 1l ];
+  check_out "assoc sub" "int main(void){ print_int(10-4-3); return 0; }" [ 3l ];
+  check_out "unary binds" "int main(void){ print_int(-2*3); return 0; }" [ -6l ];
+  check_out "ternary right assoc"
+    "int main(void){ print_int(0 ? 1 : 0 ? 2 : 3); return 0; }" [ 3l ]
+
+let test_division_semantics () =
+  check_out "trunc div" "int main(void){ print_int(-7/2); print_int(7/-2); return 0; }"
+    [ -3l; -3l ];
+  check_out "trunc rem" "int main(void){ print_int(-7%2); print_int(7%-2); return 0; }"
+    [ -1l; 1l ];
+  check_out "unsigned div"
+    "int main(void){ print_int((int)(0xFFFFFFFEu / 2u)); return 0; }" [ 2147483647l ]
+
+let test_unsigned_compare () =
+  check_out "unsigned wraps"
+    "int main(void){ unsigned a = 0u - 1u; print_int(a > 100u); print_int(-1 > 100); return 0; }"
+    [ 1l; 0l ]
+
+let test_shift_semantics () =
+  check_out "arith vs logical shr"
+    "int main(void){ int s = -8; unsigned u = 0x80000000u; print_int(s >> 1); print_int((int)(u >> 28)); return 0; }"
+    [ -4l; 8l ]
+
+let test_narrow_types () =
+  check_out "char wraps"
+    "int main(void){ char c = (char)127; c++; print_int(c); return 0; }" [ -128l ];
+  check_out "uchar wraps"
+    "int main(void){ unsigned char c = (unsigned char)255; c++; print_int(c); return 0; }"
+    [ 0l ];
+  check_out "short store/load"
+    "int main(void){ short s = (short)0x8000; print_int(s); return 0; }" [ -32768l ];
+  check_out "ushort"
+    "int main(void){ unsigned short s = (unsigned short)0xFFFF; print_int(s); return 0; }"
+    [ 65535l ]
+
+let test_short_circuit () =
+  check_out "&& skips rhs"
+    "int z; int bomb(void){ z = 1; return 1; } int main(void){ int r = 0 && bomb(); print_int(r); print_int(z); return 0; }"
+    [ 0l; 0l ];
+  check_out "|| skips rhs"
+    "int z; int bomb(void){ z = 1; return 0; } int main(void){ int r = 1 || bomb(); print_int(r); print_int(z); return 0; }"
+    [ 1l; 0l ]
+
+let test_incdec () =
+  check_out "post vs pre"
+    "int main(void){ int i = 5; print_int(i++); print_int(i); print_int(++i); print_int(--i); print_int(i--); print_int(i); return 0; }"
+    [ 5l; 6l; 7l; 6l; 6l; 5l ]
+
+let test_pointer_arith () =
+  check_out "ptr scaling"
+    {|int a[10];
+      int main(void){
+        int *p = a; int i;
+        for (i = 0; i < 10; i++) a[i] = i * 10;
+        p = p + 3;
+        print_int(*p);
+        print_int(*(p + 2));
+        print_int(p[2]);
+        print_int((int)(&a[7] - p));
+        p--;
+        print_int(*p);
+        return 0; }|}
+    [ 30l; 50l; 50l; 4l; 20l ]
+
+let test_pointer_compare () =
+  check_out "ptr compare"
+    {|int a[4];
+      int main(void){ int *p = &a[1]; int *q = &a[3];
+        print_int(p < q); print_int(p == &a[1]); print_int(q - p); return 0; }|}
+    [ 1l; 1l; 2l ]
+
+let test_2d_arrays () =
+  check_out "2d array"
+    {|int m[3][4];
+      int main(void){
+        int i, j, s;
+        for (i = 0; i < 3; i++) for (j = 0; j < 4; j++) m[i][j] = i * 10 + j;
+        s = 0;
+        for (i = 0; i < 3; i++) s = s + m[i][i];
+        print_int(s);
+        print_int(m[2][3]);
+        return 0; }|}
+    [ 33l; 23l ]
+
+let test_structs () =
+  check_out "struct fields and layout"
+    {|struct inner { char tag; int v; };
+      struct outer { struct inner a; struct inner b; short s; };
+      struct outer g;
+      int main(void){
+        g.a.tag = (char)1; g.a.v = 100; g.b.tag = (char)2; g.b.v = 200; g.s = (short)-5;
+        struct outer *p = &g;
+        print_int(p->a.v + p->b.v);
+        print_int((int)sizeof(struct outer));
+        print_int(g.s);
+        return 0; }|}
+    [ 300l; 20l; -5l ]
+
+let test_sizeof () =
+  check_out "sizeof"
+    {|int a[10]; char c[3];
+      int main(void){
+        print_int((int)sizeof(int));
+        print_int((int)sizeof(char));
+        print_int((int)sizeof(short));
+        print_int((int)sizeof(int *));
+        print_int((int)sizeof(a));
+        print_int((int)sizeof c);
+        return 0; }|}
+    [ 4l; 1l; 2l; 4l; 40l; 3l ]
+
+let test_globals_init () =
+  check_out "global initialisers"
+    {|int x = 5 * 4 + 2;
+      unsigned tab[4] = { 1, 2, 3 };
+      short nested[2][2] = { { 1, 2 }, { 3, 4 } };
+      const int kk = -7;
+      int main(void){
+        print_int(x); print_int((int)tab[2]); print_int((int)tab[3]);
+        print_int(nested[1][0]); print_int(kk);
+        return 0; }|}
+    [ 22l; 3l; 0l; 3l; -7l ]
+
+let test_control_flow () =
+  check_out "do-while and break/continue"
+    {|int main(void){
+        int i = 0; int s = 0;
+        do { s = s + i; i++; } while (i < 5);
+        print_int(s);
+        for (i = 0; i < 100; i++) {
+          if (i == 3) continue;
+          if (i == 6) break;
+          s = s + 1;
+        }
+        print_int(s);
+        int n = 0;
+        while (1) { n++; if (n >= 4) break; }
+        print_int(n);
+        return 0; }|}
+    [ 10l; 15l; 4l ]
+
+let test_recursion () =
+  (* forward references work without prototypes: the environment is built
+     from the whole translation unit before lowering *)
+  check_out "mutual recursion"
+    {|int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+      int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+      int main(void){ print_int(is_even(10)); print_int(is_odd(7)); return 0; }|}
+    [ 1l; 1l ]
+
+let test_exit_code () =
+  Alcotest.(check int32) "main return" 42l (ret "int main(void){ return 42; }")
+
+let test_comma_globals () =
+  check_out "multi declarators"
+    {|int a = 1, b = 2, c;
+      int main(void){ int x = 3, y = 4; c = 9; print_int(a+b+c+x+y); return 0; }|}
+    [ 19l ]
+
+let test_params_by_value () =
+  check_out "params are copies"
+    {|void f(int x) { x = 99; }
+      int main(void){ int v = 7; f(v); print_int(v); return 0; }|}
+    [ 7l ]
+
+let test_address_of_local () =
+  check_out "address-taken local"
+    {|void bump(int *p) { *p = *p + 1; }
+      int main(void){ int v = 10; bump(&v); bump(&v); print_int(v); return 0; }|}
+    [ 12l ]
+
+let suite =
+  [
+    Alcotest.test_case "lexer: basic stream" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer: operators longest-match" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer: literals" `Quick test_lexer_literals;
+    Alcotest.test_case "lexer: comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer: error" `Quick test_lexer_error;
+    Alcotest.test_case "parser: syntax errors" `Quick test_parse_errors;
+    Alcotest.test_case "typing: errors" `Quick test_type_errors;
+    Alcotest.test_case "expr: precedence" `Quick test_precedence;
+    Alcotest.test_case "expr: division truncates" `Quick test_division_semantics;
+    Alcotest.test_case "expr: unsigned compare" `Quick test_unsigned_compare;
+    Alcotest.test_case "expr: shifts" `Quick test_shift_semantics;
+    Alcotest.test_case "expr: narrow integer types" `Quick test_narrow_types;
+    Alcotest.test_case "expr: short-circuit" `Quick test_short_circuit;
+    Alcotest.test_case "expr: inc/dec" `Quick test_incdec;
+    Alcotest.test_case "expr: pointer arithmetic" `Quick test_pointer_arith;
+    Alcotest.test_case "expr: pointer compare" `Quick test_pointer_compare;
+    Alcotest.test_case "arrays: 2d" `Quick test_2d_arrays;
+    Alcotest.test_case "structs: layout and access" `Quick test_structs;
+    Alcotest.test_case "sizeof" `Quick test_sizeof;
+    Alcotest.test_case "globals: initialisers" `Quick test_globals_init;
+    Alcotest.test_case "stmts: control flow" `Quick test_control_flow;
+    Alcotest.test_case "functions: recursion" `Quick test_recursion;
+    Alcotest.test_case "functions: by-value params" `Quick test_params_by_value;
+    Alcotest.test_case "functions: address-of local" `Quick test_address_of_local;
+    Alcotest.test_case "main exit code" `Quick test_exit_code;
+    Alcotest.test_case "decls: comma declarators" `Quick test_comma_globals;
+  ]
+
+(* --- switch statements ---------------------------------------------- *)
+
+let test_switch_basic () =
+  check_out "dispatch and default"
+    {|int classify(int x) {
+        switch (x) {
+          case 0: return 100;
+          case 5: return 105;
+          case -3: return 97;
+          default: return -1;
+        }
+      }
+      int main(void){
+        print_int(classify(0)); print_int(classify(5));
+        print_int(classify(-3)); print_int(classify(7));
+        return 0; }|}
+    [ 100l; 105l; 97l; -1l ]
+
+let test_switch_fallthrough () =
+  check_out "fallthrough accumulates"
+    {|int main(void){
+        int x = 2; int acc = 0;
+        switch (x) {
+          case 1: acc = acc + 1;
+          case 2: acc = acc + 10;       /* entry point */
+          case 3: acc = acc + 100;      /* falls through */
+            break;
+          case 4: acc = acc + 1000;
+        }
+        print_int(acc);
+        return 0; }|}
+    [ 110l ]
+
+let test_switch_in_loop () =
+  check_out "break binds to switch, continue to loop"
+    {|int main(void){
+        int i; int odd = 0; int zero = 0; int other = 0;
+        for (i = 0; i < 10; i++) {
+          switch (i & 3) {
+            case 0: zero++; break;
+            case 1:
+            case 3: odd++; continue;   /* continue the for loop */
+            default: other++; break;
+          }
+          other = other + 0;           /* reached unless continue'd */
+        }
+        print_int(zero); print_int(odd); print_int(other);
+        return 0; }|}
+    [ 3l; 5l; 2l ]
+
+let test_switch_char_labels () =
+  check_out "char labels"
+    {|int main(void){
+        char c = 'b';
+        switch (c) {
+          case 'a': print_int(1); break;
+          case 'b': print_int(2); break;
+          default: print_int(0);
+        }
+        return 0; }|}
+    [ 2l ]
+
+let test_switch_errors () =
+  expect_frontend_error "duplicate case"
+    "int main(void){ switch (1) { case 1: break; case 1: break; } return 0; }";
+  expect_frontend_error "two defaults"
+    "int main(void){ switch (1) { default: break; default: break; } return 0; }";
+  expect_frontend_error "non-constant case"
+    "int main(void){ int x; switch (1) { case x: break; } return 0; }"
+
+let switch_suite =
+  [
+    Alcotest.test_case "switch: dispatch/default" `Quick test_switch_basic;
+    Alcotest.test_case "switch: fallthrough" `Quick test_switch_fallthrough;
+    Alcotest.test_case "switch: in loops" `Quick test_switch_in_loop;
+    Alcotest.test_case "switch: char labels" `Quick test_switch_char_labels;
+    Alcotest.test_case "switch: errors" `Quick test_switch_errors;
+  ]

@@ -1,0 +1,301 @@
+(* IR-level tests: interpreter corner semantics, the structural verifier's
+   negative cases, printer output, program-point utilities, and the
+   IR-level WAR tracking rules. *)
+
+open Wario_ir.Ir
+module Interp = Wario_ir.Ir_interp
+module Verify = Wario_ir.Ir_verify
+module Printer = Wario_ir.Ir_printer
+
+(* A tiny hand-built program: main with one block. *)
+let mk_main ?(globals = []) insns term =
+  let f =
+    { fname = "main"; params = []; slots = []; blocks = []; next_reg = 100;
+      next_label = 0 }
+  in
+  f.blocks <- [ { bname = "entry"; insns; term } ];
+  { globals; funcs = [ f ] }
+
+let g32 name = { gname = name; gsize = 4; galign = 4; ginit = []; gconst = false }
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter semantics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_binops () =
+  let check op a b expected =
+    Alcotest.(check int32)
+      (Printf.sprintf "%s %ld %ld" (Printer.string_of_binop op) a b)
+      expected
+      (Interp.eval_binop op a b)
+  in
+  check Add 2147483647l 1l (-2147483648l);
+  check Sub 0l 1l (-1l);
+  check Mul 65536l 65536l 0l;
+  check Sdiv (-7l) 2l (-3l);
+  check Sdiv Int32.min_int (-1l) Int32.min_int;
+  check Srem Int32.min_int (-1l) 0l;
+  check Udiv (-2l) 2l 2147483647l;
+  check Urem (-1l) 10l 5l;
+  check Shl 1l 33l 2l (* shift masked to 5 bits, ARM-style *);
+  check Lshr (-1l) 28l 15l;
+  check Ashr (-16l) 2l (-4l);
+  check And 12l 10l 8l;
+  check Or 12l 10l 14l;
+  check Xor 12l 10l 6l
+
+let test_interp_cmpops () =
+  let t op a b = Alcotest.(check bool) "cmp" true (Interp.eval_cmpop op a b) in
+  let f op a b = Alcotest.(check bool) "cmp" false (Interp.eval_cmpop op a b) in
+  t Cslt (-1l) 0l;
+  f Cult (-1l) 0l;
+  t Cugt (-1l) 0l;
+  t Csge 3l 3l;
+  t Cule 3l 3l;
+  f Cne 3l 3l
+
+let test_interp_div_by_zero_traps () =
+  let p =
+    mk_main [ Bin (0, Sdiv, Imm 1l, Imm 0l) ] (Ret (Some (Reg 0)))
+  in
+  match Interp.run p with
+  | exception Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected trap"
+
+let test_interp_oob_traps () =
+  let p = mk_main [ Load (0, W32, Imm (-4l)) ] (Ret None) in
+  match Interp.run p with
+  | exception Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected trap"
+
+let test_interp_fuel () =
+  let f =
+    { fname = "main"; params = []; slots = []; blocks = []; next_reg = 1;
+      next_label = 0 }
+  in
+  f.blocks <- [ { bname = "entry"; insns = []; term = Br "entry" } ];
+  match Interp.run ~fuel:1000 { globals = []; funcs = [ f ] } with
+  | exception Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected out-of-fuel trap"
+
+let test_interp_memory_widths () =
+  let g = g32 "g" in
+  let p =
+    mk_main ~globals:[ g ]
+      [
+        Store (W32, Imm 0x80FF7F01l, Glob "g");
+        Load (0, W8, Glob "g");
+        Print (Reg 0);
+        Load (1, S8, Glob "g");
+        Print (Reg 1);
+        Bin (2, Add, Glob "g", Imm 3l);
+        Load (3, S8, Reg 2);
+        Print (Reg 3);
+        Load (4, S16, Glob "g");
+        Print (Reg 4);
+        Load (5, W16, Glob "g");
+        Print (Reg 5);
+      ]
+      (Ret None)
+  in
+  let r = Interp.run p in
+  Alcotest.(check (list int32)) "widths"
+    [ 1l; 1l; -128l; 0x7f01l; 0x7f01l ]
+    r.Interp.output
+
+let test_interp_global_init () =
+  let g =
+    { gname = "g"; gsize = 8; galign = 4;
+      ginit = [ (0, W32, 42l); (4, W16, 7l) ]; gconst = false }
+  in
+  let p =
+    mk_main ~globals:[ g ]
+      [
+        Load (0, W32, Glob "g");
+        Print (Reg 0);
+        Bin (1, Add, Glob "g", Imm 4l);
+        Load (2, W16, Reg 1);
+        Print (Reg 2);
+      ]
+      (Ret None)
+  in
+  Alcotest.(check (list int32)) "init" [ 42l; 7l ] (Interp.run p).Interp.output
+
+let test_interp_select () =
+  let p =
+    mk_main
+      [
+        Select (0, Imm 1l, Imm 10l, Imm 20l);
+        Print (Reg 0);
+        Select (1, Imm 0l, Imm 10l, Imm 20l);
+        Print (Reg 1);
+      ]
+      (Ret None)
+  in
+  Alcotest.(check (list int32)) "select" [ 10l; 20l ] (Interp.run p).Interp.output
+
+let test_interp_war_first_access_rule () =
+  (* write-then-read-then-write is safe; read-then-write is not *)
+  let g = g32 "g" and h = g32 "h" in
+  let p =
+    mk_main ~globals:[ g; h ]
+      [
+        Store (W32, Imm 1l, Glob "g"); (* first access: write *)
+        Load (0, W32, Glob "g");
+        Store (W32, Imm 2l, Glob "g"); (* fine: write-first *)
+        Load (1, W32, Glob "h"); (* first access: read *)
+        Store (W32, Imm 3l, Glob "h"); (* violation *)
+      ]
+      (Ret None)
+  in
+  let r = Interp.run ~war_check:true p in
+  Alcotest.(check int) "exactly one violation" 1
+    (List.length r.Interp.war_violations)
+
+let test_interp_checkpoint_resets_region () =
+  let h = g32 "h" in
+  let p =
+    mk_main ~globals:[ h ]
+      [
+        Load (0, W32, Glob "h");
+        Checkpoint Middle_end_war;
+        Store (W32, Imm 3l, Glob "h");
+      ]
+      (Ret None)
+  in
+  let r = Interp.run ~war_check:true p in
+  Alcotest.(check int) "checkpoint resolves" 0
+    (List.length r.Interp.war_violations);
+  Alcotest.(check int) "checkpoint counted" 1 r.Interp.checkpoints
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let expect_ill_formed name p =
+  match Verify.verify_program p with
+  | exception Verify.Ill_formed _ -> ()
+  | () -> Alcotest.failf "%s: expected Ill_formed" name
+
+let test_verify_checks () =
+  (* unknown branch target *)
+  expect_ill_formed "bad target" (mk_main [] (Br "nowhere"));
+  (* unknown global *)
+  expect_ill_formed "bad global" (mk_main [ Load (0, W32, Glob "g") ] (Ret None));
+  (* unknown slot *)
+  expect_ill_formed "bad slot" (mk_main [ Load (0, W32, Slot 3) ] (Ret None));
+  (* out-of-range register *)
+  expect_ill_formed "bad reg"
+    (mk_main [ Mov (5000, Imm 0l) ] (Ret None));
+  (* unknown callee *)
+  expect_ill_formed "bad callee" (mk_main [ Call (None, "nope", []) ] (Ret None));
+  (* arity mismatch *)
+  (let p = mk_main [ Call (None, "main", [ Imm 1l ]) ] (Ret None) in
+   expect_ill_formed "bad arity" p);
+  (* duplicate labels *)
+  (let f =
+     { fname = "main"; params = []; slots = []; blocks = []; next_reg = 0;
+       next_label = 0 }
+   in
+   f.blocks <-
+     [
+       { bname = "entry"; insns = []; term = Ret None };
+       { bname = "entry"; insns = []; term = Ret None };
+     ];
+   expect_ill_formed "dup labels" { globals = []; funcs = [ f ] });
+  (* a well-formed program passes *)
+  Verify.verify_program (mk_main [ Mov (0, Imm 1l) ] (Ret (Some (Reg 0))))
+
+(* ------------------------------------------------------------------ *)
+(* Printer and points                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_printer () =
+  Alcotest.(check string) "store"
+    "store.u8 %1, [%2]"
+    (Printer.string_of_instr (Store (W8, Reg 1, Reg 2)));
+  Alcotest.(check string) "load"
+    "%3 = load.s16 [@tab]"
+    (Printer.string_of_instr (Load (3, S16, Glob "tab")));
+  Alcotest.(check string) "checkpoint"
+    "checkpoint !middle_end_war"
+    (Printer.string_of_instr (Checkpoint Middle_end_war));
+  Alcotest.(check string) "cbr"
+    "cbr %0, a, b"
+    (Printer.string_of_term (Cbr (Reg 0, "a", "b")));
+  let p = mk_main [ Mov (0, Imm 7l) ] (Ret (Some (Reg 0))) in
+  let txt = Printer.program_to_string p in
+  Alcotest.(check bool) "program text mentions main" true
+    (String.length txt > 0
+    &&
+    let rec has i =
+      i + 4 <= String.length txt && (String.sub txt i 4 = "main" || has (i + 1))
+    in
+    has 0)
+
+let test_points () =
+  Alcotest.(check int) "point order" (-1)
+    (compare (compare_point ("a", 1) ("a", 2)) 0);
+  Alcotest.(check int) "block order" (-1)
+    (compare (compare_point ("a", 9) ("b", 0)) 0);
+  let p = mk_main [ Mov (0, Imm 1l); Mov (1, Imm 2l) ] (Ret None) in
+  let f = List.hd p.funcs in
+  insert_at f ("entry", 1) [ Mov (2, Imm 9l) ];
+  match (List.hd f.blocks).insns with
+  | [ Mov (0, _); Mov (2, _); Mov (1, _) ] -> ()
+  | _ -> Alcotest.fail "insert_at position"
+
+let test_fresh_names () =
+  let f =
+    { fname = "f"; params = []; slots = []; blocks = []; next_reg = 5;
+      next_label = 0 }
+  in
+  Alcotest.(check int) "fresh reg" 5 (fresh_reg f);
+  Alcotest.(check int) "next advances" 6 (fresh_reg f);
+  let l1 = fresh_label f "x" and l2 = fresh_label f "x" in
+  Alcotest.(check bool) "labels distinct" true (l1 <> l2);
+  let s1 = fresh_slot f 4 4 and s2 = fresh_slot f 8 4 in
+  Alcotest.(check bool) "slots distinct" true (s1.slot_id <> s2.slot_id)
+
+let test_instr_queries () =
+  Alcotest.(check (list int)) "uses of store" [ 1; 2 ]
+    (instr_uses (Store (W32, Reg 1, Reg 2)));
+  Alcotest.(check (option int)) "def of load" (Some 3)
+    (instr_def (Load (3, W32, Reg 1)));
+  Alcotest.(check (option int)) "store has no def" None
+    (instr_def (Store (W32, Imm 0l, Reg 1)));
+  Alcotest.(check bool) "call is barrier" true (is_barrier (Call (None, "f", [])));
+  Alcotest.(check bool) "load not barrier" false (is_barrier (Load (0, W32, Reg 1)));
+  Alcotest.(check bool) "load pure" false (has_side_effect (Load (0, W32, Reg 1)));
+  Alcotest.(check bool) "print effectful" true (has_side_effect (Print (Imm 0l)))
+
+let test_rename () =
+  let subst r = if r = 1 then Some 10 else None in
+  (match rename_instr subst (Bin (1, Add, Reg 1, Reg 2)) with
+  | Bin (10, Add, Reg 10, Reg 2) -> ()
+  | i -> Alcotest.failf "rename: %s" (Printer.string_of_instr i));
+  match retarget_term (fun l -> l ^ "!") (Cbr (Reg 0, "a", "b")) with
+  | Cbr (Reg 0, "a!", "b!") -> ()
+  | _ -> Alcotest.fail "retarget"
+
+let suite =
+  [
+    Alcotest.test_case "interp: binop semantics" `Quick test_interp_binops;
+    Alcotest.test_case "interp: cmpop semantics" `Quick test_interp_cmpops;
+    Alcotest.test_case "interp: div by zero traps" `Quick test_interp_div_by_zero_traps;
+    Alcotest.test_case "interp: out-of-bounds traps" `Quick test_interp_oob_traps;
+    Alcotest.test_case "interp: fuel" `Quick test_interp_fuel;
+    Alcotest.test_case "interp: memory widths" `Quick test_interp_memory_widths;
+    Alcotest.test_case "interp: global initialisers" `Quick test_interp_global_init;
+    Alcotest.test_case "interp: select" `Quick test_interp_select;
+    Alcotest.test_case "interp: WAR first-access rule" `Quick
+      test_interp_war_first_access_rule;
+    Alcotest.test_case "interp: checkpoint resets region" `Quick
+      test_interp_checkpoint_resets_region;
+    Alcotest.test_case "verify: negative cases" `Quick test_verify_checks;
+    Alcotest.test_case "printer" `Quick test_printer;
+    Alcotest.test_case "points and insert_at" `Quick test_points;
+    Alcotest.test_case "fresh names" `Quick test_fresh_names;
+    Alcotest.test_case "instruction queries" `Quick test_instr_queries;
+    Alcotest.test_case "renaming" `Quick test_rename;
+  ]

@@ -1,0 +1,170 @@
+(* Tests for the TM2 machine layer: the Thumb-2 encoding-size model, the
+   assembly printer, ISA read/write queries, and the checkpoint-atomicity
+   guarantee of the emulator's double-buffered runtime. *)
+
+module I = Wario_machine.Isa
+module Enc = Wario_machine.Encode
+module E = Wario_emulator
+
+let test_encode_narrow_forms () =
+  let check name ins expected =
+    Alcotest.(check int) name expected (Enc.size_bytes ins)
+  in
+  (* narrow (16-bit) forms *)
+  check "add low imm" (I.Alu (I.ADD, 0, 0, I.I 5l)) 2;
+  check "two-address alu" (I.Alu (I.EOR, 2, 2, I.R 3)) 2;
+  check "mov imm8" (I.Mov (1, I.I 255l)) 2;
+  check "mov reg low" (I.Mov (1, I.R 2)) 2;
+  check "ldr imm5" (I.Ldr (I.W32, 0, 1, 4l)) 2;
+  check "strb scaled" (I.Str (I.W8, 0, 1, 31l)) 2;
+  check "cmp low" (I.Cmp (3, I.I 10l)) 2;
+  check "cond branch" (I.Bc (I.NE, "l")) 2;
+  check "push low" (I.Push [ 4; 5; I.lr ]) 2;
+  (* wide (32-bit) forms *)
+  check "alu high reg" (I.Alu (I.ADD, 11, 11, I.I 4l)) 4;
+  check "three-address alu" (I.Alu (I.ADD, 1, 2, I.R 3)) 4;
+  check "mov imm too big" (I.Mov (1, I.I 300l)) 4;
+  check "ldr unscaled" (I.Ldr (I.W32, 0, 1, 5l)) 4;
+  check "ldr big offset" (I.Ldr (I.W32, 0, 1, 256l)) 4;
+  check "sdiv" (I.Alu (I.SDIV, 0, 1, I.R 2)) 4;
+  check "bl" (I.Bl "f") 4;
+  check "ckpt" (I.Ckpt (I.Function_entry, 0)) 4;
+  (* constant materialisation: movw+movt *)
+  check "movw32" (I.Movw32 (0, 0x12345678l)) 8;
+  check "adr" (I.AdrData (0, "sym", 0l)) 8
+
+let test_text_size () =
+  let mf code =
+    { I.mname = "main"; frame_words = 0;
+      mblocks = [ { I.mlabel = "main"; mcode = code } ] }
+  in
+  let p = { I.mfuncs = [ mf [ I.Mov (0, I.I 1l); I.Bl "main"; I.Bx_lr ] ];
+            mdata = [] } in
+  Alcotest.(check int) "sums sizes" (2 + 4 + 2) (Enc.text_size p)
+
+let test_isa_printer () =
+  Alcotest.(check string) "alu" "add r1, r2, #3"
+    (I.string_of_instr (I.Alu (I.ADD, 1, 2, I.I 3l)));
+  Alcotest.(check string) "ldr" "ldrb r0, [r1, #4]"
+    (I.string_of_instr (I.Ldr (I.W8, 0, 1, 4l)));
+  Alcotest.(check string) "sp name" "add sp, sp, #8"
+    (I.string_of_instr (I.Alu (I.ADD, I.sp, I.sp, I.I 8l)));
+  Alcotest.(check string) "ckpt"
+    "ckpt #function entry, mask=0xf"
+    (I.string_of_instr (I.Ckpt (I.Function_entry, 0xf)));
+  Alcotest.(check string) "movc" "it lt; movlt r0, #1"
+    (I.string_of_instr (I.Movc (I.LT, 0, I.I 1l)))
+
+let test_isa_queries () =
+  Alcotest.(check (list int)) "str reads data+base" [ 2; 1 ]
+    (I.reads (I.Str (I.W32, 2, 1, 0l)));
+  Alcotest.(check (list int)) "movc reads its dst" [ 5; 6 ]
+    (I.reads (I.Movc (I.EQ, 5, I.R 6)));
+  Alcotest.(check (option int)) "ldr writes" (Some 3)
+    (I.writes (I.Ldr (I.W32, 3, 1, 0l)));
+  Alcotest.(check (option int)) "bl writes lr" (Some I.lr) (I.writes (I.Bl "f"));
+  Alcotest.(check (option int)) "push writes sp" (Some I.sp)
+    (I.writes (I.Push [ 4 ]));
+  Alcotest.(check bool) "b is branch" true (I.is_branch (I.B "x"));
+  Alcotest.(check bool) "bl is not a diverting branch" false
+    (I.is_branch (I.Bl "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint atomicity under power failure                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_atomic_commit () =
+  (* A program whose output depends on resuming from the LAST committed
+     checkpoint; power budgets are chosen so that failures land at every
+     possible offset including inside checkpoint costs.  If a partially
+     written checkpoint were ever restored, r4 would be wrong. *)
+  let code =
+    [
+      I.Ckpt (I.Function_entry, 0);
+      I.Mov (4, I.I 0l);
+    ]
+    @ List.concat
+        (List.init 40 (fun _ ->
+             [
+               I.Alu (I.ADD, 4, 4, I.I 1l);
+               I.Ckpt (I.Middle_end_war, 1 lsl 4);
+             ]))
+    @ [ I.Mov (0, I.R 4); I.Svc 0; I.Svc 1 ]
+  in
+  let prog =
+    { I.mfuncs =
+        [ { I.mname = "main"; frame_words = 0;
+            mblocks = [ { I.mlabel = "main"; mcode = code } ] } ];
+      mdata = [] }
+  in
+  let img = E.Image.link prog in
+  let expected = (E.Emulator.run img).E.Emulator.output in
+  Alcotest.(check (list int32)) "counts to 40" [ 40l ] expected;
+  (* sweep odd budgets so failures hit every instruction phase; the floor
+     covers boot + restore + the largest region (the atomic final print) *)
+  let budget = ref 479 in
+  while !budget < 700 do
+    let r = E.Emulator.run ~supply:(E.Power.Periodic !budget) img in
+    Alcotest.(check (list int32))
+      (Printf.sprintf "budget %d" !budget)
+      expected r.E.Emulator.output;
+    budget := !budget + 7
+  done
+
+let test_restore_zeroes_dead_registers () =
+  (* registers outside the checkpoint mask are restored as zero: r5 is not
+     in either mask, so once a power failure forces a restore, the final
+     print must read 0 rather than 77.  Two burn stretches guarantee that
+     a 700-cycle budget dies after the second checkpoint. *)
+  let burn = List.concat (List.init 200 (fun _ -> [ I.Alu (I.ADD, 4, 4, I.I 1l) ])) in
+  let code =
+    [ I.Mov (5, I.I 77l); I.Ckpt (I.Function_entry, 0); I.Mov (4, I.I 0l) ]
+    @ burn
+    @ [ I.Ckpt (I.Middle_end_war, 1 lsl 4) ]
+    @ burn
+    @ [ I.Mov (0, I.R 5); I.Svc 0; I.Svc 1 ]
+  in
+  let prog =
+    { I.mfuncs =
+        [ { I.mname = "main"; frame_words = 0;
+            mblocks = [ { I.mlabel = "main"; mcode = code } ] } ];
+      mdata = [] }
+  in
+  let img = E.Image.link prog in
+  let cont = E.Emulator.run img in
+  Alcotest.(check (list int32)) "continuous keeps r5" [ 77l ]
+    cont.E.Emulator.output;
+  let r = E.Emulator.run ~supply:(E.Power.Periodic 700) img in
+  Alcotest.(check bool) "failures happened" true (r.E.Emulator.power_failures > 0);
+  Alcotest.(check (list int32)) "r5 zeroed by restore" [ 0l ] r.E.Emulator.output
+
+let test_image_symbols () =
+  let prog =
+    { I.mfuncs =
+        [ { I.mname = "main"; frame_words = 0;
+            mblocks = [ { I.mlabel = "main"; mcode = [ I.Svc 1 ] } ] } ];
+      mdata =
+        [ { I.dname = "a"; dsize = 6; dalign = 4; dinit = [] };
+          { I.dname = "b"; dsize = 4; dalign = 4; dinit = [] } ] }
+  in
+  let img = E.Image.link prog in
+  let a = E.Image.symbol img "a" and b = E.Image.symbol img "b" in
+  Alcotest.(check bool) "a placed at base" true (a >= E.Image.globals_base);
+  Alcotest.(check bool) "b after a, aligned" true (b >= a + 6 && b mod 4 = 0);
+  Alcotest.(check int) "data_bytes" (b + 4 - E.Image.globals_base)
+    img.E.Image.data_bytes;
+  Alcotest.check_raises "unknown symbol" (E.Image.Link_error "unknown symbol zz")
+    (fun () -> ignore (E.Image.symbol img "zz"))
+
+let suite =
+  [
+    Alcotest.test_case "encode: narrow/wide forms" `Quick test_encode_narrow_forms;
+    Alcotest.test_case "encode: text size" `Quick test_text_size;
+    Alcotest.test_case "isa: printer" `Quick test_isa_printer;
+    Alcotest.test_case "isa: read/write queries" `Quick test_isa_queries;
+    Alcotest.test_case "checkpoint: atomic commit" `Quick
+      test_checkpoint_atomic_commit;
+    Alcotest.test_case "checkpoint: masks zero dead regs" `Quick
+      test_restore_zeroes_dead_registers;
+    Alcotest.test_case "image: symbols and layout" `Quick test_image_symbols;
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "wario"
+    [
+      ("support", Test_support.suite);
+      ("ir", Test_ir.suite);
+      ("machine", Test_machine.suite);
+      ("misc", Test_misc.suite);
+      ("frontend", Test_frontend.suite @ Test_frontend.switch_suite);
+      ("analysis", Test_analysis.suite);
+      ("transforms", Test_transforms.suite @ Test_transforms.lwc_extra_suite);
+      ("backend", Test_backend.suite);
+      ("emulator", Test_emulator.suite @ Test_emulator.cycle_suite);
+      ("pipeline", Test_pipeline.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_props.suite @ Test_props.structural_suite);
+    ]

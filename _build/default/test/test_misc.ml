@@ -1,0 +1,113 @@
+(* Odds and ends: report formatting, multi-source compilation, AST-level
+   parser checks, IR interpreter entry points, and environment configs. *)
+
+module Report = Wario.Report
+module Minic = Wario_minic.Minic
+module Ast = Wario_minic.Ast
+module P = Wario.Pipeline
+
+let test_report_table () =
+  let t =
+    Report.table [ "name"; "x" ] [ [ "aaa"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' t in
+  (* header, separator, two rows, trailing newline *)
+  Alcotest.(check int) "five lines" 5 (List.length lines);
+  Alcotest.(check string) "header" "name   x" (List.nth lines 0);
+  Alcotest.(check string) "row 1 right-aligned" "aaa    1" (List.nth lines 2);
+  Alcotest.(check string) "row 2" "b     22" (List.nth lines 3)
+
+let test_report_table4 () =
+  let t = Report.table4 () in
+  Alcotest.(check bool) "mentions WARio and Ratchet" true
+    (let has needle =
+       let n = String.length needle and h = String.length t in
+       let rec go i = i + n <= h && (String.sub t i n = needle || go (i + 1)) in
+       go 0
+     in
+     has "WARio" && has "Ratchet" && has "Mementos")
+
+let test_report_helpers () =
+  Alcotest.(check string) "pct" "+12.5%" (Report.pct 12.5);
+  Alcotest.(check string) "pct negative" "-3.0%" (Report.pct (-3.0));
+  Alcotest.(check string) "ratio" "1.23" (Report.ratio 1.234)
+
+let test_multi_source_compile () =
+  (* the paper's gllvm merge: several source files become one unit *)
+  let lib = "int twice(int x) { return x * 2; }" in
+  let hdr = "int shared_counter;" in
+  let main =
+    "int main(void) { shared_counter = twice(21); return shared_counter; }"
+  in
+  let prog = Minic.compile ~sources:[ lib; hdr ] main in
+  let r = Wario_ir.Ir_interp.run prog in
+  Alcotest.(check int32) "linked program" 42l r.Wario_ir.Ir_interp.ret
+
+let test_parse_ast_shape () =
+  match Minic.parse "int f(int a, int b) { return a + b * 2; }" with
+  | [ Ast.Dfunc fd ] -> (
+      Alcotest.(check string) "name" "f" fd.Ast.fd_name;
+      Alcotest.(check int) "params" 2 (List.length fd.Ast.fd_params);
+      match fd.Ast.fd_body with
+      | [ { Ast.sdesc = Ast.Sreturn (Some e); _ } ] -> (
+          (* precedence: a + (b * 2) *)
+          match e.Ast.desc with
+          | Ast.Binary (Ast.Add, _, { Ast.desc = Ast.Binary (Ast.Mul, _, _); _ })
+            ->
+              ()
+          | _ -> Alcotest.fail "precedence shape")
+      | _ -> Alcotest.fail "body shape")
+  | _ -> Alcotest.fail "decl shape"
+
+let test_parse_struct_shape () =
+  match Minic.parse "struct p { int x; char c; }; struct p g;" with
+  | [ Ast.Dstruct sd; Ast.Dglobal gd ] ->
+      Alcotest.(check string) "struct name" "p" sd.Ast.sd_name;
+      Alcotest.(check int) "fields" 2 (List.length sd.Ast.sd_fields);
+      Alcotest.(check string) "global name" "g" gd.Ast.gd_name
+  | _ -> Alcotest.fail "decl shapes"
+
+let test_interp_entry_and_args () =
+  let src = "int add3(int a, int b, int c) { return a + b + c; }" in
+  let prog = Minic.compile (src ^ " int main(void) { return 0; }") in
+  let r =
+    Wario_ir.Ir_interp.run ~entry:"add3" ~args:[ 10l; 20l; 12l ] prog
+  in
+  Alcotest.(check int32) "direct function call" 42l r.Wario_ir.Ir_interp.ret
+
+let test_backend_configs () =
+  Alcotest.(check bool) "plain has no spill strategy" true
+    (Wario_backend.Backend.plain_backend.spill_strategy = None);
+  Alcotest.(check bool) "ratchet is naive" true
+    (Wario_backend.Backend.ratchet_backend.spill_strategy
+    = Some Wario_backend.Stack_ckpt.Naive);
+  Alcotest.(check bool) "wario uses the hitting set" true
+    (Wario_backend.Backend.wario_backend.spill_strategy
+    = Some Wario_backend.Stack_ckpt.Hitting_set)
+
+let test_environment_list () =
+  Alcotest.(check int) "eight environments" 8 (List.length P.all_environments);
+  Alcotest.(check (option string)) "unknown name" None
+    (Option.map P.environment_name (P.environment_of_name "nope"))
+
+let test_compile_ir_entry () =
+  (* the compile_ir entry point (used to feed hand-built IR programs) *)
+  let prog = Minic.compile (Wario_workloads.Micro.find "fib").source in
+  let c = P.compile_ir P.Ratchet prog in
+  let r = Wario_emulator.Emulator.run c.P.image in
+  Alcotest.(check (list int32)) "fib via compile_ir" [ 6765l ]
+    r.Wario_emulator.Emulator.output
+
+let suite =
+  [
+    Alcotest.test_case "report: table" `Quick test_report_table;
+    Alcotest.test_case "report: table4" `Quick test_report_table4;
+    Alcotest.test_case "report: helpers" `Quick test_report_helpers;
+    Alcotest.test_case "minic: multi-source" `Quick test_multi_source_compile;
+    Alcotest.test_case "parser: AST shapes" `Quick test_parse_ast_shape;
+    Alcotest.test_case "parser: struct shapes" `Quick test_parse_struct_shape;
+    Alcotest.test_case "interp: entry and args" `Quick test_interp_entry_and_args;
+    Alcotest.test_case "backend configs" `Quick test_backend_configs;
+    Alcotest.test_case "environment list" `Quick test_environment_list;
+    Alcotest.test_case "pipeline: compile_ir" `Quick test_compile_ir_entry;
+  ]

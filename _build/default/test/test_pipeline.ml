@@ -1,0 +1,176 @@
+(* Benchmark-level integration tests: the full paper benchmarks compiled
+   through the public pipeline API, checked for correctness (output equals
+   the IR oracle), safety (no WAR violations in any environment, under
+   power failures and interrupts) and the paper's qualitative claims
+   (checkpoint-count orderings between environments).
+
+   Only the fastest benchmark (SHA) runs across every environment; the
+   other benchmarks run through a representative pair to keep the suite
+   quick.  The full matrix lives in `bench/main.exe`. *)
+
+module P = Wario.Pipeline
+module E = Wario_emulator
+module W = Wario_workloads.Programs
+
+let oracle = Hashtbl.create 8
+
+let oracle_of (b : W.benchmark) =
+  match Hashtbl.find_opt oracle b.name with
+  | Some o -> o
+  | None ->
+      let prog = Wario_minic.Minic.compile b.source in
+      let r = Wario_ir.Ir_interp.run ~fuel:400_000_000 prog in
+      Hashtbl.replace oracle b.name r.Wario_ir.Ir_interp.output;
+      r.Wario_ir.Ir_interp.output
+
+let run_env (b : W.benchmark) env =
+  let c = P.compile env b.source in
+  (c, E.Emulator.run ~verify:(env <> P.Plain) c.P.image)
+
+let test_sha_all_envs () =
+  let b = W.find "sha" in
+  let expected = oracle_of b in
+  List.iter
+    (fun env ->
+      let _, r = run_env b env in
+      Alcotest.(check (list int32))
+        (P.environment_name env)
+        expected r.E.Emulator.output;
+      if env <> P.Plain then
+        Alcotest.(check int)
+          (P.environment_name env ^ " violations")
+          0
+          (List.length r.E.Emulator.violations))
+    P.all_environments
+
+let test_benchmarks_wario_vs_plain () =
+  List.iter
+    (fun name ->
+      let b = W.find name in
+      let expected = oracle_of b in
+      let _, plain = run_env b P.Plain in
+      let _, wario = run_env b P.Wario in
+      Alcotest.(check (list int32)) (name ^ " plain") expected plain.E.Emulator.output;
+      Alcotest.(check (list int32)) (name ^ " wario") expected wario.E.Emulator.output;
+      Alcotest.(check int) (name ^ " violations") 0
+        (List.length wario.E.Emulator.violations);
+      Alcotest.(check bool) (name ^ " instrumented is slower") true
+        (wario.E.Emulator.cycles > plain.E.Emulator.cycles))
+    [ "crc"; "dijkstra"; "picojpeg"; "coremark" ]
+
+let test_checkpoint_orderings () =
+  (* the paper's qualitative claims on SHA (its headline benchmark):
+     Ratchet > R-PDG > WARio in executed checkpoints, and the loop write
+     clusterer is where the win comes from *)
+  let b = W.find "sha" in
+  let count env = (snd (run_env b env)).E.Emulator.checkpoints_total in
+  let ratchet = count P.Ratchet in
+  let rpdg = count P.R_pdg in
+  let lwc = count P.Loop_cluster in
+  let wario = count P.Wario in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratchet (%d) > r-pdg (%d)" ratchet rpdg)
+    true (ratchet > rpdg);
+  Alcotest.(check bool)
+    (Printf.sprintf "r-pdg (%d) > loop-clusterer (%d)" rpdg lwc)
+    true (rpdg > lwc);
+  Alcotest.(check bool)
+    (Printf.sprintf "wario (%d) <= loop-clusterer (%d)" wario lwc)
+    true (wario <= lwc);
+  Alcotest.(check bool)
+    (Printf.sprintf "wario cuts most checkpoints (%d vs %d)" wario ratchet)
+    true
+    (float_of_int wario < 0.5 *. float_of_int ratchet)
+
+let test_sha_intermittent_and_irq () =
+  let b = W.find "sha" in
+  let expected = oracle_of b in
+  let c = P.compile P.Wario_expander b.source in
+  let r =
+    E.Emulator.run ~supply:(E.Power.Periodic 100_000) ~irq_period:5_000
+      c.P.image
+  in
+  Alcotest.(check (list int32)) "output under failures+irqs" expected
+    r.E.Emulator.output;
+  Alcotest.(check int) "violations" 0 (List.length r.E.Emulator.violations);
+  Alcotest.(check bool) "failures" true (r.E.Emulator.power_failures > 0);
+  Alcotest.(check bool) "irqs" true (r.E.Emulator.irqs_taken > 0)
+
+let test_crc_is_call_bound () =
+  (* paper Figure 5: CRC's checkpoints are dominated by function boundaries *)
+  let b = W.find "crc" in
+  let _, r = run_env b P.R_pdg in
+  let ck = r.E.Emulator.checkpoints in
+  let boundary = ck.E.Emulator.c_entry + ck.E.Emulator.c_exit in
+  let total = r.E.Emulator.checkpoints_total in
+  (* the per-byte getc call dominates: a large share of all executed
+     checkpoints are function boundaries (paper Figure 5, CRC) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "boundary share (%d of %d)" boundary total)
+    true
+    (3 * boundary > total)
+
+let test_epilog_helps_crc () =
+  (* paper §5.2.2: CRC benefits significantly from the Epilog Optimizer *)
+  let b = W.find "crc" in
+  let _, naive = run_env b P.R_pdg in
+  let _, opt = run_env b P.Epilog_opt in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer exit ckpts (%d < %d)"
+       opt.E.Emulator.checkpoints.E.Emulator.c_exit
+       naive.E.Emulator.checkpoints.E.Emulator.c_exit)
+    true
+    (opt.E.Emulator.checkpoints.E.Emulator.c_exit
+    < naive.E.Emulator.checkpoints.E.Emulator.c_exit)
+
+let test_dijkstra_barely_affected () =
+  (* paper §5.2.2: few WARs occur in Dijkstra *)
+  let b = W.find "dijkstra" in
+  let _, plain = run_env b P.Plain in
+  let _, ratchet = run_env b P.Ratchet in
+  let overhead =
+    float_of_int (ratchet.E.Emulator.cycles - plain.E.Emulator.cycles)
+    /. float_of_int plain.E.Emulator.cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead small (%.1f%%)" (100. *. overhead))
+    true (overhead < 0.15)
+
+let test_unroll_factor_checkpoint_monotonicity () =
+  (* paper Figure 6: N=2 already helps; N=8 helps more (on SHA's middle end) *)
+  let b = W.find "sha" in
+  let mid n =
+    let opts = { P.default_options with unroll_factor = n } in
+    let c = P.compile ~opts P.Loop_cluster b.source in
+    (E.Emulator.run c.P.image).E.Emulator.checkpoints.E.Emulator.c_middle
+  in
+  let n1 = mid 1 and n2 = mid 2 and n8 = mid 8 in
+  Alcotest.(check bool) (Printf.sprintf "N=2 (%d) < N=1 (%d)" n2 n1) true (n2 < n1);
+  Alcotest.(check bool) (Printf.sprintf "N=8 (%d) < N=2 (%d)" n8 n2) true (n8 < n2)
+
+let test_iclang_environments_resolve () =
+  List.iter
+    (fun e ->
+      match P.environment_of_name (P.environment_name e) with
+      | Some e' ->
+          Alcotest.(check string) "roundtrip" (P.environment_name e)
+            (P.environment_name e')
+      | None -> Alcotest.failf "%s does not resolve" (P.environment_name e))
+    P.all_environments
+
+let suite =
+  [
+    Alcotest.test_case "sha: all environments correct" `Slow test_sha_all_envs;
+    Alcotest.test_case "benchmarks: wario vs plain" `Slow
+      test_benchmarks_wario_vs_plain;
+    Alcotest.test_case "sha: checkpoint orderings" `Slow test_checkpoint_orderings;
+    Alcotest.test_case "sha: power failures + interrupts" `Slow
+      test_sha_intermittent_and_irq;
+    Alcotest.test_case "crc: call-bound profile" `Slow test_crc_is_call_bound;
+    Alcotest.test_case "crc: epilog optimizer helps" `Slow test_epilog_helps_crc;
+    Alcotest.test_case "dijkstra: barely affected" `Slow test_dijkstra_barely_affected;
+    Alcotest.test_case "sha: unroll factor monotone" `Slow
+      test_unroll_factor_checkpoint_monotonicity;
+    Alcotest.test_case "environment names roundtrip" `Quick
+      test_iclang_environments_resolve;
+  ]

@@ -1,0 +1,365 @@
+(* Property-based tests (qcheck): a generator of random MiniC programs
+   drives differential testing of the whole stack.
+
+   For every generated program and every software environment:
+   - the TM2 emulator's output equals the IR interpreter's (the pipeline
+     preserves semantics end to end);
+   - the WAR verifier stays silent (instrumented builds are safe);
+   - running under intermittent power reproduces the continuous output.
+
+   Generated programs use guarded arithmetic only (no division by a
+   runtime value), bounded loops, array read-modify-writes, conditionals
+   and helper-function calls — the constructs the WARio transformations
+   actually rearrange. *)
+
+module P = Wario.Pipeline
+module E = Wario_emulator
+module Interp = Wario_ir.Ir_interp
+
+(* ------------------------------------------------------------------ *)
+(* Random program generation                                            *)
+(* ------------------------------------------------------------------ *)
+
+type rexpr =
+  | Num of int
+  | Var of string
+  | Arr of string * rexpr (* index is masked in printing *)
+  | Bin of string * rexpr * rexpr
+  | Shift of string * rexpr * int
+
+type rstmt =
+  | Assign of string * rexpr
+  | Arr_store of string * rexpr * rexpr
+  | Arr_rmw of string * rexpr * string * rexpr  (* a[i] = a[i] op e *)
+  | If of rexpr * rstmt list * rstmt list
+  | For of string * int * rstmt list
+  | Call_helper of int
+
+let scalars = [ "g0"; "g1"; "g2" ]
+let arrays = [ "arr_a"; "arr_b" ]
+let loop_vars = [ "i"; "j" ]
+
+let rec pp_expr = function
+  | Num n -> string_of_int n
+  | Var v -> v
+  | Arr (a, e) -> Printf.sprintf "%s[(%s) & 15]" a (pp_expr e)
+  | Bin (op, l, r) -> Printf.sprintf "(%s %s %s)" (pp_expr l) op (pp_expr r)
+  | Shift (op, l, k) -> Printf.sprintf "(%s %s %d)" (pp_expr l) op k
+
+let rec pp_stmt indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign (v, e) -> Printf.sprintf "%s%s = %s;\n" pad v (pp_expr e)
+  | Arr_store (a, i, e) ->
+      Printf.sprintf "%s%s[(%s) & 15] = %s;\n" pad a (pp_expr i) (pp_expr e)
+  | Arr_rmw (a, i, op, e) ->
+      Printf.sprintf "%s%s[(%s) & 15] = %s[(%s) & 15] %s %s;\n" pad a
+        (pp_expr i) a (pp_expr i) op (pp_expr e)
+  | If (c, t, f) ->
+      Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}\n" pad (pp_expr c)
+        (String.concat "" (List.map (pp_stmt (indent + 2)) t))
+        pad
+        (String.concat "" (List.map (pp_stmt (indent + 2)) f))
+        pad
+  | For (v, n, body) ->
+      Printf.sprintf "%sfor (%s = 0; %s < %d; %s++) {\n%s%s}\n" pad v v n v
+        (String.concat "" (List.map (pp_stmt (indent + 2)) body))
+        pad
+  | Call_helper k -> Printf.sprintf "%shelper%d();\n" pad k
+
+let gen_expr : rexpr QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized_size (int_bound 3) (fun n ->
+      fix
+        (fun self n ->
+          if n = 0 then
+            oneof
+              [
+                map (fun i -> Num (i - 32)) (int_bound 64);
+                map (fun i -> Var (List.nth scalars (i mod 3))) (int_bound 2);
+                map (fun i -> Var (List.nth loop_vars (i mod 2))) (int_bound 1);
+              ]
+          else
+            oneof
+              [
+                (let* op = oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+                 let* l = self (n / 2) in
+                 let* r = self (n / 2) in
+                 return (Bin (op, l, r)));
+                (let* op = oneofl [ "<<"; ">>" ] in
+                 let* l = self (n - 1) in
+                 let* k = int_bound 4 in
+                 return (Shift (op, l, k)));
+                (let* a = oneofl arrays in
+                 let* i = self (n - 1) in
+                 return (Arr (a, i)));
+              ])
+        n)
+
+let rec gen_stmt ?(calls = true) depth : rstmt QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      ([
+         (let* v = oneofl scalars in
+          let* e = gen_expr in
+          return (Assign (v, e)));
+         (let* a = oneofl arrays in
+          let* i = gen_expr in
+          let* e = gen_expr in
+          return (Arr_store (a, i, e)));
+         (let* a = oneofl arrays in
+          let* i = gen_expr in
+          let* op = oneofl [ "+"; "^"; "|" ] in
+          let* e = gen_expr in
+          return (Arr_rmw (a, i, op, e)));
+       ]
+      @
+      (* helpers must not call helpers: recursion could never terminate *)
+      if calls then [ map (fun k -> Call_helper (k mod 2)) (int_bound 1) ]
+      else [])
+  in
+  if depth = 0 then leaf
+  else
+    frequency
+      [
+        (3, leaf);
+        ( 1,
+          let* c = gen_expr in
+          let* t = list_size (int_range 1 3) (gen_stmt ~calls (depth - 1)) in
+          let* f = list_size (int_range 0 2) (gen_stmt ~calls (depth - 1)) in
+          return (If (c, t, f)) );
+        ( 2,
+          let* v = oneofl loop_vars in
+          let* n = int_range 2 12 in
+          let* body =
+            list_size (int_range 1 4)
+              (gen_stmt ~calls 0 (* no nested loops sharing counters *))
+          in
+          return (For (v, n, body)) );
+      ]
+
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* body = list_size (int_range 3 8) (gen_stmt 2) in
+  let* h0 = list_size (int_range 1 3) (gen_stmt ~calls:false 1) in
+  let* h1 = list_size (int_range 1 3) (gen_stmt ~calls:false 1) in
+  let helper k stmts =
+    Printf.sprintf "void helper%d(void) {\n  int i; int j;\n  i = 0; j = 0;\n%s}\n" k
+      (String.concat "" (List.map (pp_stmt 2) stmts))
+  in
+  return
+    (Printf.sprintf
+       {|unsigned g0 = 3u; unsigned g1 = 7u; unsigned g2;
+unsigned arr_a[16]; unsigned arr_b[16];
+%s%s
+int main(void) {
+  int i; int j;
+  i = 0; j = 0;
+  for (i = 0; i < 16; i++) { arr_a[i] = (unsigned)(i * 3); arr_b[i] = (unsigned)(i ^ 9); }
+%s  {
+    unsigned chk = 0;
+    for (i = 0; i < 16; i++) chk = chk * 31u + arr_a[i] + arr_b[i];
+    print_int((int)(chk + g0 + g1 + g2));
+  }
+  return 0;
+}
+|}
+       (helper 0 h0) (helper 1 h1)
+       (String.concat "" (List.map (pp_stmt 2) body)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let arbitrary_program = QCheck.make ~print:(fun s -> s) gen_program
+
+let oracle_of src =
+  let prog = Wario_minic.Minic.compile src in
+  (Interp.run prog).Interp.output
+
+let prop_pipeline_preserves env =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "random programs: emulator = interpreter [%s]"
+         (P.environment_name env))
+    ~count:25 arbitrary_program
+    (fun src ->
+      let expected = oracle_of src in
+      let c = P.compile env src in
+      let r = E.Emulator.run ~verify:(env <> P.Plain) c.P.image in
+      if r.E.Emulator.output <> expected then
+        QCheck.Test.fail_reportf "output mismatch: got %s, expected %s"
+          (String.concat "," (List.map Int32.to_string r.E.Emulator.output))
+          (String.concat "," (List.map Int32.to_string expected))
+      else if env <> P.Plain && r.E.Emulator.violations <> [] then
+        QCheck.Test.fail_reportf "%d WAR violations"
+          (List.length r.E.Emulator.violations)
+      else true)
+
+let prop_intermittent_agrees =
+  QCheck.Test.make ~name:"random programs: intermittent = continuous [wario]"
+    ~count:12 arbitrary_program
+    (fun src ->
+      let c = P.compile P.Wario src in
+      let cont = E.Emulator.run c.P.image in
+      let max_region =
+        List.fold_left max 0 cont.E.Emulator.region_sizes
+      in
+      let budget = 400 + 64 + max_region + 97 in
+      let r = E.Emulator.run ~supply:(E.Power.Periodic budget) c.P.image in
+      if r.E.Emulator.output <> cont.E.Emulator.output then
+        QCheck.Test.fail_reportf "intermittent output diverged"
+      else if r.E.Emulator.violations <> [] then
+        QCheck.Test.fail_reportf "violations under power failures"
+      else true)
+
+let prop_interrupts_safe =
+  QCheck.Test.make
+    ~name:"random programs: adversarial interrupts are harmless [wario]"
+    ~count:10 arbitrary_program
+    (fun src ->
+      let expected = oracle_of src in
+      let c = P.compile P.Wario src in
+      (* a prime interrupt period lands ISR pushes at awkward phases *)
+      let r = E.Emulator.run ~irq_period:97 c.P.image in
+      if r.E.Emulator.output <> expected then
+        QCheck.Test.fail_reportf "output diverged under interrupts"
+      else if r.E.Emulator.violations <> [] then
+        QCheck.Test.fail_reportf "%d WAR violations under interrupts"
+          (List.length r.E.Emulator.violations)
+      else true)
+
+let prop_transforms_preserve_ir =
+  QCheck.Test.make
+    ~name:"random programs: middle-end transforms preserve IR semantics"
+    ~count:25 arbitrary_program
+    (fun src ->
+      let expected = oracle_of src in
+      let prog = Wario_minic.Minic.compile src in
+      Wario_transforms.Opt_pipeline.run prog;
+      ignore (Wario_transforms.Loop_write_clusterer.run ~unroll_factor:4 prog);
+      ignore (Wario_transforms.Write_clusterer.run prog);
+      ignore (Wario_transforms.Checkpoint_inserter.run prog);
+      Wario_ir.Ir_verify.verify_program prog;
+      let r = Interp.run ~war_check:true prog in
+      if r.Interp.output <> expected then
+        QCheck.Test.fail_reportf "transformed IR diverged"
+      else if r.Interp.war_violations <> [] then
+        QCheck.Test.fail_reportf "WAR violations after insertion"
+      else true)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    ([
+       prop_transforms_preserve_ir;
+       prop_intermittent_agrees;
+       prop_interrupts_safe;
+     ]
+    @ List.map prop_pipeline_preserves [ P.Plain; P.Ratchet; P.Wario; P.Wario_expander ])
+
+(* ------------------------------------------------------------------ *)
+(* Structural properties on random CFGs                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ir = Wario_ir.Ir
+module A = Wario_analysis
+
+(* a random function: n blocks, each ending in Br or Cbr to random targets *)
+let gen_cfg : Ir.func QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 2 12 in
+  let* terms =
+    list_repeat n
+      (oneof
+         [
+           map (fun t -> `Br t) (int_bound (n - 1));
+           map2 (fun a b -> `Cbr (a, b)) (int_bound (n - 1)) (int_bound (n - 1));
+           return `Ret;
+         ])
+  in
+  let f =
+    { Ir.fname = "f"; params = []; slots = []; blocks = []; next_reg = 1;
+      next_label = 0 }
+  in
+  let name i = Printf.sprintf "b%d" i in
+  f.Ir.blocks <-
+    List.mapi
+      (fun i t ->
+        let term =
+          match t with
+          | `Br t -> Ir.Br (name t)
+          | `Cbr (a, b) -> Ir.Cbr (Ir.Reg 0, name a, name b)
+          | `Ret -> Ir.Ret None
+        in
+        { Ir.bname = name i; insns = []; term })
+      terms;
+  return f
+
+let arbitrary_cfg = QCheck.make ~print:(fun f -> Wario_ir.Ir_printer.func_to_string f) gen_cfg
+
+(* brute force: a dominates b iff b is unreachable from the entry when
+   traversal is forbidden from passing through a *)
+let brute_dominates cfg entry a b =
+  if a = b then true
+  else if b = entry then false (* the empty path reaches the entry *)
+  else begin
+    let visited = Hashtbl.create 16 in
+    let rec go l =
+      if l = b then true
+      else if l = a || Hashtbl.mem visited l then false
+      else begin
+        Hashtbl.add visited l ();
+        List.exists go (A.Cfg.succs cfg l)
+      end
+    in
+    if entry = a then true (* the entry dominates everything reachable *)
+    else not (go entry) (* dominated iff unreachable when avoiding [a] *)
+  end
+
+let prop_dominance_matches_bruteforce =
+  QCheck.Test.make ~name:"random CFGs: dominance = brute force" ~count:100
+    arbitrary_cfg
+    (fun f ->
+      let cfg = A.Cfg.build f in
+      let dom = A.Dominance.build cfg in
+      let entry = A.Cfg.entry cfg in
+      let reachable l = l = entry || A.Cfg.reachable_from cfg entry l in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              if not (reachable a && reachable b) then true
+              else
+                let fast = A.Dominance.dominates dom a b in
+                let slow = brute_dominates cfg entry a b in
+                if fast <> slow then
+                  QCheck.Test.fail_reportf "dominates %s %s: fast=%b slow=%b"
+                    a b fast slow
+                else true)
+            (A.Cfg.labels cfg))
+        (A.Cfg.labels cfg))
+
+module Int_hs = A.Hitting_set.Make (Int)
+
+let prop_hitting_set_covers =
+  QCheck.Test.make ~name:"random instances: hitting set covers every set"
+    ~count:100
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 1 40)
+            (list_size (int_range 1 6) (int_bound 25))))
+    (fun sets ->
+      let chosen = Int_hs.solve ~cost:(fun _ -> 1.) sets in
+      List.for_all
+        (fun s ->
+          List.exists (fun e -> List.mem e chosen) s
+          ||
+          QCheck.Test.fail_reportf "set [%s] uncovered"
+            (String.concat ";" (List.map string_of_int s)))
+        sets)
+
+let structural_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dominance_matches_bruteforce; prop_hitting_set_covers ]

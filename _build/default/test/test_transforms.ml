@@ -1,0 +1,691 @@
+(* Tests for the middle-end transformations: the generic -O3 substitute
+   passes and the WARio-specific transformations.  Every transformation is
+   checked for (a) the structural effect it claims and (b) semantic
+   preservation against the IR interpreter. *)
+
+open Wario_ir.Ir
+module T = Wario_transforms
+module Minic = Wario_minic.Minic
+module Interp = Wario_ir.Ir_interp
+
+let compile src = Minic.compile src
+
+let interp ?(war_check = false) prog = Interp.run ~war_check prog
+
+(* Compile twice; apply [transform] to one; outputs must agree. *)
+let check_preserves name src transform =
+  let reference = interp (compile src) in
+  let prog = compile src in
+  transform prog;
+  Wario_ir.Ir_verify.verify_program prog;
+  let got = interp prog in
+  Alcotest.(check (list int32)) (name ^ ": output") reference.output got.output;
+  Alcotest.(check int32) (name ^ ": exit") reference.ret got.ret
+
+let count_instrs prog =
+  List.fold_left
+    (fun n f ->
+      List.fold_left (fun n b -> n + List.length b.insns) n f.blocks)
+    0 prog.funcs
+
+let count_matching pred prog =
+  List.fold_left
+    (fun n f ->
+      List.fold_left
+        (fun n b -> n + List.length (List.filter pred b.insns))
+        n f.blocks)
+    0 prog.funcs
+
+let count_checkpoints = count_matching (function Checkpoint _ -> true | _ -> false)
+let count_stores = count_matching is_store
+
+(* ------------------------------------------------------------------ *)
+(* Generic passes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let simple_src =
+  {|int g;
+    int main(void){
+      int x = 3; int y; int dead = 42;
+      y = x * 2;
+      if (0) { g = 99; }
+      g = y + x;
+      return g; }|}
+
+let test_mem2reg () =
+  let prog = compile simple_src in
+  let n = T.Mem2reg.run prog in
+  Alcotest.(check bool) "promoted several locals" true (n >= 3);
+  let main = find_func prog "main" in
+  Alcotest.(check int) "no slots left" 0 (List.length main.slots);
+  check_preserves "mem2reg" simple_src (fun p -> ignore (T.Mem2reg.run p))
+
+let test_mem2reg_no_escaped () =
+  let src =
+    {|void f(int *p) { *p = 7; }
+      int main(void){ int x = 0; f(&x); return x; }|}
+  in
+  let prog = compile src in
+  ignore (T.Mem2reg.run prog);
+  let main = find_func prog "main" in
+  Alcotest.(check int) "escaping local stays in memory" 1
+    (List.length main.slots);
+  check_preserves "mem2reg escape" src (fun p -> ignore (T.Mem2reg.run p))
+
+let test_mem2reg_narrow () =
+  let src =
+    {|int main(void){
+        char c = (char)127; c++;
+        unsigned short s = (unsigned short)65535; s++;
+        print_int(c); print_int(s); return 0; }|}
+  in
+  check_preserves "narrow promotion wraps correctly" src (fun p ->
+      ignore (T.Mem2reg.run p))
+
+let test_constfold () =
+  let src = "int main(void){ return (3 + 4) * 2 - (10 / 5); }" in
+  let prog = compile src in
+  ignore (T.Mem2reg.run prog);
+  ignore (T.Copyprop.run prog);
+  let n = T.Constfold.run prog in
+  Alcotest.(check bool) "folded something" true (n > 0);
+  check_preserves "constfold" src (fun p ->
+      ignore (T.Copyprop.run p);
+      ignore (T.Constfold.run p))
+
+let test_constfold_no_div_by_zero () =
+  (* a constant division by zero must NOT be folded away: it traps *)
+  let src = "int main(void){ int z = 0; return 10 / z; }" in
+  let prog = compile src in
+  T.Opt_pipeline.run prog;
+  match interp prog with
+  | exception Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected a division-by-zero trap to survive"
+
+let test_dce () =
+  let src =
+    {|int deaddirect;
+      int main(void){
+        int dead1 = 1; int dead2 = dead1 + 2; int live = 5;
+        int deadlocal;
+        deadlocal = 7;
+        return live; }|}
+  in
+  let prog = compile src in
+  ignore (T.Mem2reg.run prog);
+  ignore (T.Copyprop.run prog);
+  let before = count_instrs prog in
+  let removed = T.Dce.run prog in
+  Alcotest.(check bool) "removed dead code" true (removed > 0);
+  Alcotest.(check bool) "smaller" true (count_instrs prog < before);
+  let main = find_func prog "main" in
+  (* only-stored locals disappear entirely (an indexed dead array would
+     survive: its address flows through arithmetic, which DCE keeps) *)
+  Alcotest.(check int) "dead local removed" 0 (List.length main.slots);
+  check_preserves "dce" src (fun p ->
+      ignore (T.Mem2reg.run p);
+      ignore (T.Copyprop.run p);
+      ignore (T.Dce.run p))
+
+let test_dce_keeps_stores () =
+  let src = "int g; int main(void){ g = 5; return g; }" in
+  let prog = compile src in
+  T.Opt_pipeline.run prog;
+  Alcotest.(check bool) "global store survives" true (count_stores prog >= 1);
+  Alcotest.(check int32) "value" 5l (interp prog).ret
+
+let test_simplifycfg () =
+  let src =
+    {|int main(void){
+        int x = 1;
+        if (x) { x = 2; } else { x = 3; }
+        while (0) { x = 9; }
+        return x; }|}
+  in
+  let prog = compile src in
+  T.Opt_pipeline.run prog;
+  let main = find_func prog "main" in
+  Alcotest.(check bool) "collapses to few blocks" true
+    (List.length main.blocks <= 2);
+  Alcotest.(check int32) "semantics" 2l (interp prog).ret
+
+let test_inline_small () =
+  let src =
+    {|int sq(int x) { return x * x; }
+      int main(void){ int i; int s = 0; for (i=0;i<5;i++) s = s + sq(i); return s; }|}
+  in
+  let prog = compile src in
+  ignore (T.Simplifycfg.run prog);
+  ignore (T.Mem2reg.run prog);
+  let n = T.Inline_small.run prog in
+  Alcotest.(check bool) "inlined" true (n >= 1);
+  let main = find_func prog "main" in
+  let calls =
+    List.concat_map
+      (fun b -> List.filter (function Call _ -> true | _ -> false) b.insns)
+      main.blocks
+  in
+  Alcotest.(check int) "no calls left in main" 0 (List.length calls);
+  check_preserves "inline" src (fun p -> ignore (T.Inline_small.run p))
+
+let test_inline_recursive_skipped () =
+  let src =
+    {|int f(int n) { if (n <= 0) return 0; return n + f(n - 1); }
+      int main(void){ return f(5); }|}
+  in
+  let prog = compile src in
+  ignore (T.Inline_small.run prog);
+  Alcotest.(check int32) "still correct" 15l (interp prog).ret
+
+let test_opt_pipeline_preserves () =
+  List.iter
+    (fun (m : Wario_workloads.Micro.t) ->
+      check_preserves ("o3 " ^ m.name) m.source T.Opt_pipeline.run)
+    Wario_workloads.Micro.all
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint inserter                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [sep] keeps a region boundary between the init writes and the RMW loop
+   (it is too large for the -O3 inliner), so the RMW loop's reads are the
+   first accesses of their region — the WAR shape of paper Figure 1. *)
+let war_loop_src =
+  {|unsigned a[32]; unsigned b[32]; unsigned sep_acc;
+    void sep(void) {
+      int k;
+      for (k = 0; k < 4; k++)
+        sep_acc = sep_acc * 31u + (sep_acc >> 3) + (sep_acc ^ 0x55u)
+                  + ((sep_acc & 7u) << 2) + (sep_acc / 3u) + (sep_acc % 5u);
+    }
+    int main(void){
+      int i;
+      for (i = 0; i < 32; i++) { a[i] = (unsigned)i; b[i] = (unsigned)(i*2); }
+      sep();
+      for (i = 0; i < 32; i++) { a[i] = a[i] + 1; b[i] = b[i] ^ a[i]; }
+      unsigned s = 0;
+      for (i = 0; i < 32; i++) s = s + a[i] + b[i];
+      print_int((int)s);
+      return 0; }|}
+
+let test_inserter_resolves_wars () =
+  let prog = compile war_loop_src in
+  T.Opt_pipeline.run prog;
+  (* before: dynamic WAR violations exist *)
+  let before = interp ~war_check:true prog in
+  Alcotest.(check bool) "violations before" true
+    (List.length before.war_violations > 0);
+  let st = T.Checkpoint_inserter.run prog in
+  Alcotest.(check bool) "found WARs" true (st.wars > 0);
+  Alcotest.(check bool) "inserted checkpoints" true (st.checkpoints > 0);
+  Alcotest.(check bool) "hitting set is no larger than WARs" true
+    (st.checkpoints <= st.wars);
+  let after = interp ~war_check:true prog in
+  Alcotest.(check int) "no dynamic violations after" 0
+    (List.length after.war_violations);
+  Alcotest.(check (list int32)) "semantics" before.output after.output
+
+let test_inserter_idempotent_regions_all_micros () =
+  (* the inserter must remove every dynamic violation on all micro programs *)
+  List.iter
+    (fun (m : Wario_workloads.Micro.t) ->
+      let prog = compile m.source in
+      T.Opt_pipeline.run prog;
+      ignore (T.Checkpoint_inserter.run prog);
+      let r = interp ~war_check:true prog in
+      Alcotest.(check int)
+        (m.name ^ ": violations") 0
+        (List.length r.war_violations);
+      Alcotest.(check (list int32)) (m.name ^ ": output") m.expected r.output)
+    Wario_workloads.Micro.all
+
+let test_inserter_basic_mode_more_wars () =
+  let prog1 = compile war_loop_src in
+  T.Opt_pipeline.run prog1;
+  let precise = T.Checkpoint_inserter.run ~mode:Wario_analysis.Alias.Precise prog1 in
+  let prog2 = compile war_loop_src in
+  T.Opt_pipeline.run prog2;
+  let basic = T.Checkpoint_inserter.run ~mode:Wario_analysis.Alias.Basic prog2 in
+  Alcotest.(check bool) "basic AA sees at least as many WARs" true
+    (basic.wars >= precise.wars)
+
+(* ------------------------------------------------------------------ *)
+(* Write clusterer                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let independent_wars_src =
+  (* Figure 1's pattern: two independent read-modify-writes *)
+  {|unsigned a; unsigned b;
+    int main(void){
+      int i;
+      a = 4u; b = 2u;
+      for (i = 0; i < 10; i++) {
+        a = a + 1u;
+        b = b + 1u;
+      }
+      print_int((int)a); print_int((int)b);
+      return 0; }|}
+
+let test_write_clusterer_moves () =
+  let prog = compile independent_wars_src in
+  T.Opt_pipeline.run prog;
+  let moves = T.Write_clusterer.run prog in
+  Alcotest.(check bool) "clustered the independent WAR writes" true (moves >= 1);
+  Wario_ir.Ir_verify.verify_program prog;
+  check_preserves "write clusterer" independent_wars_src (fun p ->
+      T.Opt_pipeline.run p;
+      ignore (T.Write_clusterer.run p))
+
+let test_write_clusterer_fewer_ckpts () =
+  let with_wc =
+    let prog = compile independent_wars_src in
+    T.Opt_pipeline.run prog;
+    ignore (T.Write_clusterer.run prog);
+    (T.Checkpoint_inserter.run prog).checkpoints
+  in
+  let without =
+    let prog = compile independent_wars_src in
+    T.Opt_pipeline.run prog;
+    (T.Checkpoint_inserter.run prog).checkpoints
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "clustering reduces checkpoints (%d < %d)" with_wc without)
+    true (with_wc < without)
+
+let test_write_clusterer_respects_deps () =
+  (* the second WAR reads the first one's result: no clustering allowed *)
+  let src =
+    {|unsigned a; unsigned b;
+      int main(void){
+        int i;
+        a = 1u; b = 2u;
+        for (i = 0; i < 10; i++) {
+          a = a + 1u;
+          b = b + a;     /* depends on the store to a */
+        }
+        print_int((int)a); print_int((int)b);
+        return 0; }|}
+  in
+  check_preserves "dependent WARs" src (fun p ->
+      T.Opt_pipeline.run p;
+      ignore (T.Write_clusterer.run p))
+
+(* ------------------------------------------------------------------ *)
+(* Loop write clusterer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lwc_unrolls_and_preserves () =
+  List.iter
+    (fun n ->
+      let prog = compile war_loop_src in
+      T.Opt_pipeline.run prog;
+      let st = T.Loop_write_clusterer.run ~unroll_factor:n prog in
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d unrolled" n)
+        true (st.loops_unrolled >= 1);
+      Wario_ir.Ir_verify.verify_program prog;
+      let r = interp prog in
+      let reference = interp (compile war_loop_src) in
+      Alcotest.(check (list int32))
+        (Printf.sprintf "N=%d output" n)
+        reference.output r.output)
+    [ 2; 3; 4; 8 ]
+
+let test_lwc_reduces_dynamic_ckpts () =
+  let dyn_ckpts transform =
+    let prog = compile war_loop_src in
+    T.Opt_pipeline.run prog;
+    transform prog;
+    ignore (T.Checkpoint_inserter.run prog);
+    (interp prog).Interp.checkpoints
+  in
+  let plain = dyn_ckpts (fun _ -> ()) in
+  let lwc =
+    dyn_ckpts (fun p -> ignore (T.Loop_write_clusterer.run ~unroll_factor:8 p))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "LWC cuts executed checkpoints (%d < %d)" lwc plain)
+    true (lwc * 2 < plain)
+
+let test_lwc_no_violations () =
+  let prog = compile war_loop_src in
+  T.Opt_pipeline.run prog;
+  ignore (T.Loop_write_clusterer.run ~unroll_factor:8 prog);
+  ignore (T.Checkpoint_inserter.run prog);
+  let r = interp ~war_check:true prog in
+  Alcotest.(check int) "no violations after LWC+insert" 0
+    (List.length r.war_violations)
+
+let test_lwc_early_exit_semantics () =
+  (* trip counts not divisible by N exercise the early-exit write-backs *)
+  List.iter
+    (fun trip ->
+      let src =
+        Printf.sprintf
+          {|unsigned a[64];
+            int main(void){
+              int i;
+              for (i = 0; i < 64; i++) a[i] = (unsigned)i;
+              for (i = 0; i < %d; i++) a[i] = a[i] * 3u + 1u;
+              unsigned s = 0;
+              for (i = 0; i < 64; i++) s = s * 5u + a[i];
+              print_int((int)s);
+              return 0; }|}
+          trip
+      in
+      check_preserves
+        (Printf.sprintf "trip=%d" trip)
+        src
+        (fun p ->
+          T.Opt_pipeline.run p;
+          ignore (T.Loop_write_clusterer.run ~unroll_factor:8 p)))
+    [ 0; 1; 5; 7; 8; 9; 15; 16; 17; 63 ]
+
+let test_lwc_loop_carried_dependence () =
+  (* w[t] depends on w[t-3]: the dependent-read handling must forward *)
+  let src =
+    {|unsigned w[40];
+      int main(void){
+        int t;
+        for (t = 0; t < 8; t++) w[t] = (unsigned)(t + 1);
+        for (t = 8; t < 40; t++) w[t] = w[t-3] ^ w[t-8] ^ 0x9E3779B9u;
+        unsigned s = 0;
+        for (t = 0; t < 40; t++) s = s * 33u + w[t];
+        print_int((int)s);
+        return 0; }|}
+  in
+  check_preserves "loop-carried forwarding" src (fun p ->
+      T.Opt_pipeline.run p;
+      ignore (T.Loop_write_clusterer.run ~unroll_factor:8 p));
+  (* and no WAR violations once instrumented *)
+  let prog = compile src in
+  T.Opt_pipeline.run prog;
+  ignore (T.Loop_write_clusterer.run ~unroll_factor:8 prog);
+  ignore (T.Checkpoint_inserter.run prog);
+  let r = interp ~war_check:true prog in
+  Alcotest.(check int) "violations" 0 (List.length r.war_violations)
+
+let test_lwc_aliased_pointers () =
+  (* two pointer parameters that actually alias at run time: the runtime
+     address checks must forward correctly *)
+  let src =
+    {|unsigned buf[32];
+      void mix(unsigned *p, unsigned *q, int n) {
+        int i;
+        for (i = 0; i < n; i++) {
+          p[i] = p[i] + 1u;
+          q[i] = q[i] * 2u;
+        }
+      }
+      int main(void){
+        int i;
+        for (i = 0; i < 32; i++) buf[i] = (unsigned)i;
+        mix(buf, buf, 16);          /* aliasing! */
+        mix(buf, &buf[8], 8);       /* overlapping */
+        unsigned s = 0;
+        for (i = 0; i < 32; i++) s = s * 7u + buf[i];
+        print_int((int)s);
+        return 0; }|}
+  in
+  check_preserves "aliasing pointers" src (fun p ->
+      T.Opt_pipeline.run p;
+      ignore (T.Loop_write_clusterer.run ~unroll_factor:4 p))
+
+let test_lwc_skips_loops_with_calls () =
+  let src =
+    {|unsigned a[16]; int g;
+      void touch(void) { g = g + 1; }
+      int main(void){
+        int i;
+        for (i = 0; i < 16; i++) { a[i] = a[i] + 1u; touch(); }
+        print_int((int)a[3] + g);
+        return 0; }|}
+  in
+  let prog = compile src in
+  ignore (T.Simplifycfg.run prog);
+  ignore (T.Mem2reg.run prog);
+  (* note: no inlining pass here, so the call survives *)
+  let st = T.Loop_write_clusterer.run ~unroll_factor:4 prog in
+  Alcotest.(check int) "not a candidate" 0 st.loops_unrolled
+
+(* ------------------------------------------------------------------ *)
+(* Expander and inliner                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_expander () =
+  let src =
+    {|unsigned a[64];
+      void bump(unsigned *p, int i) { p[i] = p[i] + 1u; p[i] = p[i] ^ (p[i] >> 3); }
+      int main(void){
+        int r; int i;
+        for (r = 0; r < 4; r++)
+          for (i = 0; i < 64; i++)
+            bump(a, i);
+        unsigned s = 0;
+        for (i = 0; i < 64; i++) s = s + a[i];
+        print_int((int)s);
+        return 0; }|}
+  in
+  let reference = interp (compile src) in
+  let prog = compile src in
+  ignore (T.Simplifycfg.run prog);
+  ignore (T.Mem2reg.run prog);
+  let st = T.Expander.run prog in
+  Alcotest.(check bool) "bump is a candidate" true (st.candidates >= 1);
+  Alcotest.(check bool) "inlined in the inner loop" true (st.inlined >= 1);
+  Wario_ir.Ir_verify.verify_program prog;
+  Alcotest.(check (list int32)) "semantics" reference.output (interp prog).output
+
+let test_inliner_slots_and_labels () =
+  (* callee with locals and control flow; inlined twice into one caller *)
+  let src =
+    {|int work(int n) {
+        int acc[4]; int i;
+        for (i = 0; i < 4; i++) acc[i] = n + i;
+        int s = 0;
+        for (i = 0; i < 4; i++) s = s + acc[i];
+        return s; }
+      int main(void){ print_int(work(1) + work(10)); return 0; }|}
+  in
+  let reference = interp (compile src) in
+  let prog = compile src in
+  let caller = find_func prog "main" in
+  let callee = find_func prog "work" in
+  (* find both call sites and inline them *)
+  let site () =
+    List.find_map
+      (fun b ->
+        List.mapi (fun i ins -> (i, ins)) b.insns
+        |> List.find_map (fun (i, ins) ->
+               match ins with
+               | Call (_, "work", _) -> Some (b.bname, i)
+               | _ -> None))
+      caller.blocks
+  in
+  let s1 = Option.get (site ()) in
+  Alcotest.(check bool) "first inline" true (T.Inliner.inline_call caller callee s1);
+  let s2 = Option.get (site ()) in
+  Alcotest.(check bool) "second inline" true (T.Inliner.inline_call caller callee s2);
+  Wario_ir.Ir_verify.verify_program prog;
+  Alcotest.(check int) "slots were duplicated" (2 * List.length callee.slots)
+    (List.length caller.slots);
+  Alcotest.(check (list int32)) "semantics" reference.output (interp prog).output
+
+let suite =
+  [
+    Alcotest.test_case "mem2reg: promotes scalars" `Quick test_mem2reg;
+    Alcotest.test_case "mem2reg: escaping locals stay" `Quick test_mem2reg_no_escaped;
+    Alcotest.test_case "mem2reg: narrow types wrap" `Quick test_mem2reg_narrow;
+    Alcotest.test_case "constfold" `Quick test_constfold;
+    Alcotest.test_case "constfold: keeps div-by-zero" `Quick test_constfold_no_div_by_zero;
+    Alcotest.test_case "dce" `Quick test_dce;
+    Alcotest.test_case "dce: keeps observable stores" `Quick test_dce_keeps_stores;
+    Alcotest.test_case "simplifycfg" `Quick test_simplifycfg;
+    Alcotest.test_case "inline: small functions" `Quick test_inline_small;
+    Alcotest.test_case "inline: recursion skipped" `Quick test_inline_recursive_skipped;
+    Alcotest.test_case "o3: preserves all micros" `Quick test_opt_pipeline_preserves;
+    Alcotest.test_case "inserter: resolves WARs" `Quick test_inserter_resolves_wars;
+    Alcotest.test_case "inserter: all micros WAR-free" `Quick
+      test_inserter_idempotent_regions_all_micros;
+    Alcotest.test_case "inserter: basic AA sees more" `Quick
+      test_inserter_basic_mode_more_wars;
+    Alcotest.test_case "write clusterer: moves stores" `Quick test_write_clusterer_moves;
+    Alcotest.test_case "write clusterer: fewer checkpoints" `Quick
+      test_write_clusterer_fewer_ckpts;
+    Alcotest.test_case "write clusterer: respects deps" `Quick
+      test_write_clusterer_respects_deps;
+    Alcotest.test_case "lwc: unroll factors preserve semantics" `Quick
+      test_lwc_unrolls_and_preserves;
+    Alcotest.test_case "lwc: reduces executed checkpoints" `Quick
+      test_lwc_reduces_dynamic_ckpts;
+    Alcotest.test_case "lwc: no WAR violations" `Quick test_lwc_no_violations;
+    Alcotest.test_case "lwc: early exits (all trip counts)" `Quick
+      test_lwc_early_exit_semantics;
+    Alcotest.test_case "lwc: loop-carried dependence" `Quick
+      test_lwc_loop_carried_dependence;
+    Alcotest.test_case "lwc: runtime-aliased pointers" `Quick test_lwc_aliased_pointers;
+    Alcotest.test_case "lwc: loops with calls skipped" `Quick
+      test_lwc_skips_loops_with_calls;
+    Alcotest.test_case "expander" `Quick test_expander;
+    Alcotest.test_case "inliner: slots and labels" `Quick test_inliner_slots_and_labels;
+  ]
+
+(* --- Loop Write Clusterer: cancellation and control flow ------------- *)
+
+let test_lwc_conditional_store () =
+  (* a store under an if inside the loop must not be written back
+     speculatively; either it is cancelled or handled with dominance *)
+  let src =
+    {|unsigned a[64]; unsigned hits;
+      int main(void){
+        int i;
+        for (i = 0; i < 64; i++) a[i] = (unsigned)(i * 7);
+        for (i = 0; i < 50; i++) {
+          a[i] = a[i] + 1u;              /* unconditional WAR */
+          if (a[i] & 8u) {
+            hits = hits + 1u;            /* conditional WAR */
+          }
+        }
+        unsigned s = 0;
+        for (i = 0; i < 64; i++) s = s * 3u + a[i];
+        print_int((int)(s + hits));
+        return 0; }|}
+  in
+  check_preserves "conditional store in loop" src (fun p ->
+      T.Opt_pipeline.run p;
+      ignore (T.Loop_write_clusterer.run ~unroll_factor:8 p);
+      ignore (T.Checkpoint_inserter.run p));
+  (* and the result is WAR-free *)
+  let prog = compile src in
+  T.Opt_pipeline.run prog;
+  ignore (T.Loop_write_clusterer.run ~unroll_factor:8 prog);
+  ignore (T.Checkpoint_inserter.run prog);
+  let r = interp ~war_check:true prog in
+  Alcotest.(check int) "no violations" 0 (List.length r.Interp.war_violations)
+
+let test_lwc_continue_in_loop () =
+  (* continue creates a multi-block body with an internal edge to the
+     latch; semantics must survive unrolling *)
+  let src =
+    {|unsigned a[64];
+      int main(void){
+        int i;
+        for (i = 0; i < 64; i++) a[i] = (unsigned)i;
+        for (i = 0; i < 60; i++) {
+          if ((i & 3) == 1) continue;
+          a[i] = a[i] * 5u + 1u;
+        }
+        unsigned s = 0;
+        for (i = 0; i < 64; i++) s = s * 7u + a[i];
+        print_int((int)s);
+        return 0; }|}
+  in
+  check_preserves "continue in clustered loop" src (fun p ->
+      T.Opt_pipeline.run p;
+      ignore (T.Loop_write_clusterer.run ~unroll_factor:4 p);
+      ignore (T.Checkpoint_inserter.run p))
+
+let test_lwc_mixed_widths_cancel () =
+  (* a byte store aliased by a word load of a different size must cancel
+     (no select chain can forward across widths) — semantics preserved *)
+  let src =
+    {|unsigned char bytes[64];
+      int main(void){
+        int i;
+        for (i = 0; i < 64; i++) bytes[i] = (unsigned char)i;
+        unsigned *words = (unsigned *)bytes;
+        unsigned s = 0;
+        for (i = 0; i < 60; i++) {
+          bytes[i] = (unsigned char)(bytes[i] + 3);
+          s = s + words[(i >> 2) & 15];   /* word load over the bytes */
+        }
+        print_int((int)s);
+        return 0; }|}
+  in
+  check_preserves "mixed widths" src (fun p ->
+      T.Opt_pipeline.run p;
+      ignore (T.Loop_write_clusterer.run ~unroll_factor:4 p);
+      ignore (T.Checkpoint_inserter.run p))
+
+let test_lwc_break_even_refinement () =
+  (* random-index histogram: chain burden exceeds the break-even, so the
+     clusterer must back off rather than emit select chains everywhere *)
+  let src =
+    {|unsigned hist[16]; unsigned seed = 5u;
+      int main(void){
+        int t;
+        for (t = 0; t < 64; t++) {
+          seed = seed * 1664525u + 1013904223u;
+          hist[(seed >> 9) & 15u] = hist[(seed >> 9) & 15u] + 1u;
+        }
+        unsigned s = 0; int i;
+        for (i = 0; i < 16; i++) s = s * 31u + hist[i];
+        print_int((int)s);
+        return 0; }|}
+  in
+  let prog = compile src in
+  T.Opt_pipeline.run prog;
+  let st = T.Loop_write_clusterer.run ~unroll_factor:8 prog in
+  (* seed updates still cluster (must-alias forwarding); the random-index
+     histogram stores must not generate big chains *)
+  Alcotest.(check bool)
+    (Printf.sprintf "few chains (%d chained, %d forwarded)"
+       st.reads_instrumented st.reads_forwarded)
+    true
+    (st.reads_instrumented < 8);
+  Alcotest.(check bool) "forwarding used" true (st.reads_forwarded > 0);
+  check_preserves "break-even" src (fun p ->
+      T.Opt_pipeline.run p;
+      ignore (T.Loop_write_clusterer.run ~unroll_factor:8 p);
+      ignore (T.Checkpoint_inserter.run p))
+
+let test_lwc_multi_latch_rejected () =
+  (* a loop with two back edges (do/while with an internal cycle shape)
+     must not be a candidate *)
+  let src =
+    {|unsigned a[32];
+      int main(void){
+        int i = 0;
+        /* two paths jump back to the head */
+        while (i < 30) {
+          a[i] = a[i] + 1u;
+          if (a[i] & 1u) { i = i + 1; continue; }
+          i = i + 2;
+        }
+        print_int((int)a[7]);
+        return 0; }|}
+  in
+  check_preserves "irregular loop" src (fun p ->
+      T.Opt_pipeline.run p;
+      ignore (T.Loop_write_clusterer.run ~unroll_factor:4 p);
+      ignore (T.Checkpoint_inserter.run p))
+
+let lwc_extra_suite =
+  [
+    Alcotest.test_case "lwc: conditional stores" `Quick test_lwc_conditional_store;
+    Alcotest.test_case "lwc: continue" `Quick test_lwc_continue_in_loop;
+    Alcotest.test_case "lwc: mixed widths" `Quick test_lwc_mixed_widths_cancel;
+    Alcotest.test_case "lwc: break-even backoff" `Quick
+      test_lwc_break_even_refinement;
+    Alcotest.test_case "lwc: irregular loops" `Quick test_lwc_multi_latch_rejected;
+  ]
