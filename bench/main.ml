@@ -342,7 +342,7 @@ let tab3 () =
                        /. float_of_int cont);
                      string_of_int r.E.Emulator.power_failures;
                    ]
-               | exception E.Emulator.No_forward_progress ->
+               | exception E.Emulator.No_forward_progress _ ->
                    [ "stuck"; "-" ])
              benchmarks)
       supplies

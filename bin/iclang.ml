@@ -8,12 +8,15 @@
      iclang run prog.mc -e ratchet --power 50000 --stats
      iclang run --benchmark sha -e wario-expander --trace rf
      iclang list-benchmarks
+     iclang verify                          # fault-injection sweep
+     iclang verify --repro '(repro (workload rmw_loop) (env wario) ...)'
      iclang dump-ir prog.mc -e wario *)
 
 module P = Wario.Pipeline
 module R = Wario.Run
 module E = Wario_emulator
 module W = Wario_workloads.Programs
+module V = Wario_verify
 open Cmdliner
 
 let read_file path =
@@ -203,8 +206,9 @@ let do_run file benchmark env unroll max_region no_opt profile_guided power
             `Error (false, "WAR violations detected"))
       with
       | Wario_minic.Minic.Error e -> `Error (false, e)
-      | E.Emulator.No_forward_progress ->
-          `Error (false, "no forward progress under this power supply"))
+      | E.Emulator.No_forward_progress supply ->
+          `Error
+            (false, "no forward progress under power supply " ^ supply))
 
 let run_cmd =
   let power =
@@ -235,6 +239,138 @@ let run_cmd =
        $ max_region_arg $ no_opt_arg $ profile_guided_arg $ power $ trace
        $ irq $ stats $ no_verify))
 
+(* --- verify --- *)
+
+let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
+    drop_ckpt repro =
+  match repro with
+  | Some line -> (
+      match V.Repro.of_string line with
+      | Error e -> `Error (false, "bad reproducer: " ^ e)
+      | Ok r -> (
+          Printf.printf "replaying %s\n%!" (V.Repro.to_string r);
+          match V.Harness.replay r with
+          | Ok () ->
+              Printf.printf "reproducer no longer fails (fixed?)\n";
+              `Ok ()
+          | Error d -> `Error (false, "reproduced: " ^ d)))
+  | None -> (
+      let config_envs =
+        match envs with
+        | [] -> V.Harness.instrumented_environments
+        | es -> es
+      in
+      let named_workloads =
+        match workloads with
+        | [] -> Ok V.Harness.default_config.V.Harness.workloads
+        | ws ->
+            List.fold_left
+              (fun acc w ->
+                match (acc, V.Repro.source_of_workload w) with
+                | Error e, _ -> Error e
+                | _, Error e -> Error e
+                | Ok l, Ok src -> Ok (l @ [ (w, src) ]))
+              (Ok []) ws
+      in
+      match named_workloads with
+      | Error e -> `Error (false, e)
+      | Ok workloads ->
+          let config =
+            {
+              V.Harness.envs = config_envs;
+              workloads;
+              schedules_per_case = schedules;
+              exhaustive_limit;
+              max_failures_per_case = 3;
+              seed;
+              opts =
+                {
+                  P.default_options with
+                  unroll_factor = unroll;
+                  max_region;
+                  drop_middle_ckpt = drop_ckpt;
+                };
+            }
+          in
+          Printf.printf
+            "fault-injection sweep: %d environment(s) × %d workload(s), ≥%d \
+             schedules each, seed %Ld\n%!"
+            (List.length config_envs) (List.length workloads) schedules seed;
+          let reports =
+            V.Harness.sweep ~log:(fun s -> Printf.printf "  %s\n%!" s) config
+          in
+          let total =
+            List.fold_left
+              (fun acc r -> acc + r.V.Harness.c_schedules)
+              0 reports
+          in
+          let failures = V.Harness.total_failures reports in
+          Printf.printf
+            "%d case(s), %d schedule(s) injected, %d consistency failure(s)\n"
+            (List.length reports) total failures;
+          if failures = 0 then `Ok ()
+          else `Error (false, "crash-consistency violations detected"))
+
+let verify_cmd =
+  let envs =
+    Arg.(
+      value & opt_all env_conv []
+      & info [ "e"; "environment" ] ~docv:"ENV"
+          ~doc:
+            "Environment(s) to verify (repeatable; default: every            instrumented environment).")
+  in
+  let workloads =
+    Arg.(
+      value & opt_all string []
+      & info [ "workload"; "w" ] ~docv:"NAME"
+          ~doc:
+            "Workload(s) to verify: a micro program or benchmark name            (repeatable; default: all micro programs).")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "schedules" ] ~docv:"N"
+          ~doc:"Injected failure schedules per (environment, workload) case.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 1L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "PRNG seed (printed with every reproducer; the same seed            regenerates the same schedules).")
+  in
+  let exhaustive_limit =
+    Arg.(
+      value & opt int 600
+      & info [ "exhaustive-limit" ] ~docv:"N"
+          ~doc:
+            "Also cut exhaustively at every checkpoint commit ±1 when that            set has at most N schedules.")
+  in
+  let drop_ckpt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drop-ckpt" ] ~docv:"N"
+          ~doc:
+            "TEST-ONLY: sabotage the pipeline by deleting the N-th            middle-end checkpoint, to demonstrate that the harness catches            a broken schedule.")
+  in
+  let repro =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"SEXPR"
+          ~doc:
+            "Replay a shrunk counterexample emitted by a previous sweep,            e.g. '(repro (workload rmw_loop) (env wario) (unroll 8)            (cuts 413 879))'.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Adversarial fault injection: sweep power-cut schedules over            workloads × environments and check crash consistency")
+    Term.(
+      ret
+        (const do_verify $ envs $ workloads $ schedules $ seed
+       $ exhaustive_limit $ unroll_arg $ max_region_arg $ drop_ckpt $ repro))
+
 (* --- list-benchmarks --- *)
 
 let list_cmd =
@@ -251,6 +387,6 @@ let main =
   Cmd.group
     (Cmd.info "iclang" ~version:"1.0"
        ~doc:"WARio: efficient code generation for intermittent computing")
-    [ compile_cmd; run_cmd; list_cmd ]
+    [ compile_cmd; run_cmd; verify_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -114,7 +114,7 @@ let () =
             (100.
             *. float_of_int (r.E.Emulator.cycles - cont.E.Emulator.cycles)
             /. float_of_int cont.E.Emulator.cycles)
-      | exception E.Emulator.No_forward_progress ->
+      | exception E.Emulator.No_forward_progress _ ->
           Printf.printf "%-22s no forward progress\n" name)
     [
       ("20k-cycle on-periods", E.Power.Periodic 20_000);

@@ -55,6 +55,6 @@ let () =
           Printf.printf
             "  on-period %6d cycles: finished after %4d power failures\n" on
             o.R.result.E.Emulator.power_failures
-      | exception E.Emulator.No_forward_progress ->
+      | exception E.Emulator.No_forward_progress _ ->
           Printf.printf "  on-period %6d cycles: no forward progress\n" on)
     [ 2500; 12_000; 20_000; 50_000; 100_000 ]

@@ -42,7 +42,7 @@ let () =
           /. float_of_int cont.E.Emulator.cycles)
           r.E.Emulator.power_failures;
         assert (r.E.Emulator.output = cont.E.Emulator.output)
-    | exception E.Emulator.No_forward_progress ->
+    | exception E.Emulator.No_forward_progress _ ->
         Printf.printf "%-24s no forward progress\n" name
   in
   print_endline "-- fixed on-periods (paper Table 3) --";

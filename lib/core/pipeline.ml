@@ -45,6 +45,10 @@ type options = {
       (** dynamic call counts: switches the Expander to profile-guided mode *)
   max_region : int option;
       (** bound idempotent regions to ~n estimated cycles (extension, §6) *)
+  drop_middle_ckpt : int option;
+      (** TEST-ONLY sabotage hook for the fault-injection harness: delete
+          the n-th middle-end checkpoint after insertion, deliberately
+          re-opening the WAR it covered.  Never set outside tests. *)
 }
 
 let default_options =
@@ -54,6 +58,7 @@ let default_options =
     optimize = true;
     expander_profile = None;
     max_region = None;
+    drop_middle_ckpt = None;
   }
 
 type middle_stats = {
@@ -90,6 +95,48 @@ let backend_config = function
         epilog_style = B.Frame.Naive;
       }
   | Wario | Wario_expander -> B.Backend.wario_backend
+
+(* Delete the [n]-th (mod count) middle-end checkpoint of the program.
+   This deliberately breaks the checkpoint schedule: the WAR the deleted
+   checkpoint was covering becomes re-executable, which the lib/verify
+   crash-consistency oracle must detect.  Returns false when the program
+   has no middle-end checkpoints to drop. *)
+let drop_middle_checkpoint (prog : Ir.program) (n : int) : bool =
+  let is_middle = function
+    | Ir.Checkpoint Ir.Middle_end_war -> true
+    | _ -> false
+  in
+  let total =
+    List.fold_left
+      (fun acc (f : Ir.func) ->
+        List.fold_left
+          (fun acc (b : Ir.block) ->
+            acc + List.length (List.filter is_middle b.Ir.insns))
+          acc f.Ir.blocks)
+      0 prog.Ir.funcs
+  in
+  if total = 0 then false
+  else begin
+    let target = ((n mod total) + total) mod total in
+    let seen = ref 0 in
+    List.iter
+      (fun (f : Ir.func) ->
+        List.iter
+          (fun (b : Ir.block) ->
+            b.Ir.insns <-
+              List.filter
+                (fun i ->
+                  if is_middle i then begin
+                    let k = !seen in
+                    incr seen;
+                    k <> target
+                  end
+                  else true)
+                b.Ir.insns)
+          f.Ir.blocks)
+      prog.Ir.funcs;
+    true
+  end
 
 (** Run the middle end for [env] on [prog] (mutates it). *)
 let middle_end ?(opts = default_options) (env : environment)
@@ -135,6 +182,10 @@ let middle_end ?(opts = default_options) (env : environment)
   (match (env, opts.max_region) with
   | Plain, _ | _, None -> ()
   | _, Some n -> ignore (T.Region_bounder.run ~max_instrs:n prog));
+  (* test-only sabotage: break the schedule so the verifier has a target *)
+  (match (env, opts.drop_middle_ckpt) with
+  | Plain, _ | _, None -> ()
+  | _, Some n -> ignore (drop_middle_checkpoint prog n));
   { wars_found; middle_ckpts; lwc; wc_moves; expander }
 
 (** Compile MiniC source text under a software environment. *)

@@ -27,6 +27,12 @@ type options = {
       (** dynamic call counts: switches the Expander to profile-guided mode *)
   max_region : int option;
       (** bound idempotent regions to ~n estimated cycles (extension, §6) *)
+  drop_middle_ckpt : int option;
+      (** TEST-ONLY sabotage hook for the fault-injection harness
+          (lib/verify): delete the n-th (mod count) middle-end checkpoint
+          after insertion, deliberately re-opening the WAR it covered so
+          the crash-consistency oracle has a real bug to catch.  Ignored
+          for [Plain].  Never set this outside tests. *)
 }
 
 val default_options : options

@@ -33,19 +33,52 @@ let with_trace ?(irq_period = 0) ?(verify = true) ~(trace : int array)
     compiled = c;
   }
 
+(** Adversarial fault injection: cut power after each scheduled on-duration,
+    then run to completion on continuous power (see [lib/verify]). *)
+let with_schedule ?(irq_period = 0) ?(verify = true) ~(cuts : int array)
+    (c : Pipeline.compiled) : outcome =
+  {
+    result =
+      E.Emulator.run ~irq_period ~verify ~supply:(E.Power.Schedule cuts)
+        c.Pipeline.image;
+    compiled = c;
+  }
+
 (** Compile and run a source under an environment on continuous power. *)
 let compile_and_run ?(opts = Pipeline.default_options)
     (env : Pipeline.environment) (source : string) : outcome =
   continuous (Pipeline.compile ~opts env source)
 
-(** Assert the absence of WAR violations; raises [Failure] otherwise. *)
+(** Assert the absence of WAR violations; raises [Failure] otherwise,
+    reporting every violation: the total count, a per-function breakdown,
+    and each offending access. *)
 let check_no_violations (o : outcome) : unit =
   match o.result.E.Emulator.violations with
   | [] -> ()
-  | v :: _ as all ->
+  | all ->
+      let by_func = Hashtbl.create 8 in
+      List.iter
+        (fun (v : E.Emulator.violation) ->
+          Hashtbl.replace by_func v.E.Emulator.v_func
+            (1
+            + try Hashtbl.find by_func v.E.Emulator.v_func
+              with Not_found -> 0))
+        all;
+      let breakdown =
+        Hashtbl.fold (fun f n acc -> (f, n) :: acc) by_func []
+        |> List.sort compare
+        |> List.map (fun (f, n) -> Printf.sprintf "%s: %d" f n)
+        |> String.concat ", "
+      in
+      let details =
+        all
+        |> List.map (fun (v : E.Emulator.violation) ->
+               Printf.sprintf "%s at 0x%x in %s (pc=%d)" v.E.Emulator.v_instr
+                 v.E.Emulator.v_addr v.E.Emulator.v_func v.E.Emulator.v_pc)
+        |> String.concat "; "
+      in
       failwith
-        (Printf.sprintf
-           "%d WAR violation(s); first: %s at 0x%x in %s (pc=%d, [%s])"
-           (List.length all) v.E.Emulator.v_instr v.E.Emulator.v_addr
-           v.E.Emulator.v_func v.E.Emulator.v_pc
-           (Pipeline.environment_name o.compiled.Pipeline.env))
+        (Printf.sprintf "%d WAR violation(s) [%s] — per function: %s — %s"
+           (List.length all)
+           (Pipeline.environment_name o.compiled.Pipeline.env)
+           breakdown details)

@@ -13,8 +13,14 @@ val periodic :
 val with_trace :
   ?irq_period:int -> ?verify:bool -> trace:int array -> Pipeline.compiled -> outcome
 
+val with_schedule :
+  ?irq_period:int -> ?verify:bool -> cuts:int array -> Pipeline.compiled -> outcome
+(** Adversarial fault injection: cut power after each scheduled on-duration
+    (in active cycles from the corresponding power-on), then continuous. *)
+
 val compile_and_run :
   ?opts:Pipeline.options -> Pipeline.environment -> string -> outcome
 
 val check_no_violations : outcome -> unit
-(** @raise Failure describing the first WAR violation, if any *)
+(** @raise Failure describing {e every} WAR violation: total count,
+    per-function breakdown, and each offending access *)

@@ -24,8 +24,9 @@
 module I = Wario_machine.Isa
 
 exception Emu_error of string
-exception No_forward_progress
+exception No_forward_progress of string
 
+let no_forward_progress_threshold = 2000
 let boot_cycles = 400
 let halt_magic = 0x7fffffffl
 
@@ -56,6 +57,7 @@ type result = {
 
 type state = {
   img : Image.t;
+  supply_desc : string;  (** for diagnostics (No_forward_progress) *)
   mem : Bytes.t;
   regs : int32 array;
   mutable nf : bool;
@@ -324,7 +326,8 @@ let cold_start st =
 let power_on st =
   st.boots <- st.boots + 1;
   st.boots_since_commit <- st.boots_since_commit + 1;
-  if st.boots_since_commit > 2000 then raise No_forward_progress;
+  if st.boots_since_commit > no_forward_progress_threshold then
+    raise (No_forward_progress st.supply_desc);
   st.budget <- Power.next_budget st.power;
   st.primask <- false;
   st.pending_irq <- false;
@@ -517,11 +520,14 @@ let init_memory st =
       | _ -> Bytes.set_int32_le st.mem a v)
     st.img.Image.init_image
 
-let run ?(fuel = 2_000_000_000) ?(supply = Power.Continuous) ?(irq_period = 0)
-    ?(verify = true) (img : Image.t) : result =
+type t = state
+
+let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
+    ?(irq_period = 0) ?(verify = true) (img : Image.t) : t =
   let st =
     {
       img;
+      supply_desc = Power.describe supply;
       mem = Bytes.make Image.mem_size '\000';
       regs = Array.make 16 0l;
       nf = false;
@@ -557,7 +563,7 @@ let run ?(fuel = 2_000_000_000) ?(supply = Power.Continuous) ?(irq_period = 0)
     }
   in
   init_memory st;
-  (* first power-on *)
+  (* first power-on; failing inside boot/restore just burns the period *)
   let rec boot () =
     try power_on st
     with Power_failed ->
@@ -565,15 +571,76 @@ let run ?(fuel = 2_000_000_000) ?(supply = Power.Continuous) ?(irq_period = 0)
       boot ()
   in
   boot ();
-  while not st.halted do
+  st
+
+let rec reboot st =
+  try power_on st
+  with Power_failed ->
+    power_failure st;
+    reboot st
+
+type step = Stepped | Rebooted | Halted
+
+let step st : step =
+  if st.halted then Halted
+  else
     try
       maybe_irq st;
       exec_instr st st.img.Image.code.(st.pc);
-      st.instrs <- st.instrs + 1
+      st.instrs <- st.instrs + 1;
+      if st.halted then Halted else Stepped
     with Power_failed ->
       power_failure st;
-      boot ()
+      reboot st;
+      Rebooted
+
+let cut_power st =
+  if not st.halted then begin
+    st.budget <- Some 0;
+    power_failure st;
+    reboot st
+  end
+
+let clone st =
+  {
+    st with
+    mem = Bytes.copy st.mem;
+    regs = Array.copy st.regs;
+    power = Power.copy st.power;
+    epoch = Array.copy st.epoch;
+    kinds = Bytes.copy st.kinds;
+    counts =
+      {
+        c_entry = st.counts.c_entry;
+        c_exit = st.counts.c_exit;
+        c_middle = st.counts.c_middle;
+        c_backend = st.counts.c_backend;
+      };
+    calls = Hashtbl.copy st.calls;
+  }
+
+let halted st = st.halted
+let cycles st = st.cycles
+let pc st = st.pc
+let current_function st = st.img.Image.func_of_pc.(st.pc)
+let boots st = st.boots
+let memory st = Bytes.copy st.mem
+
+(* FNV-1a over every byte outside the checkpoint double buffer: the
+   non-volatile state an idempotent run must reproduce exactly.  The buffers
+   are excluded because their sequence numbers and saved register images
+   legitimately depend on how often power failed. *)
+let nv_digest st =
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to Bytes.length st.mem - 1 do
+    if not (in_ckpt_area i) then begin
+      h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get st.mem i)));
+      h := Int64.mul !h 0x100000001b3L
+    end
   done;
+  !h
+
+let result st : result =
   {
     output = List.rev st.out_rev;
     exit_code = st.exit_code;
@@ -591,3 +658,10 @@ let run ?(fuel = 2_000_000_000) ?(supply = Power.Continuous) ?(irq_period = 0)
     call_counts =
       List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) st.calls []);
   }
+
+let run ?fuel ?supply ?irq_period ?verify (img : Image.t) : result =
+  let st = create ?fuel ?supply ?irq_period ?verify img in
+  while not st.halted do
+    ignore (step st)
+  done;
+  result st

@@ -7,13 +7,25 @@
     interrupts (hardware exception entry pushes eight words at sp — the
     hazard the pop converter exists for), WAR-violation-absence
     verification on every access, and the statistics behind Figures 4-7 and
-    Table 3. *)
+    Table 3.
+
+    Besides the one-shot {!run}, a stepping API ({!create}/{!step}) exposes
+    the machine to the fault-injection harness (lib/verify): instruction
+    granularity execution, deep snapshots ({!clone}), forced power cuts at
+    chosen points ({!cut_power}) and a digest of the final non-volatile
+    state ({!nv_digest}). *)
 
 exception Emu_error of string
-exception No_forward_progress
-(** Raised when thousands of consecutive power cycles elapse without a
-    single checkpoint commit: the device can never finish under this
-    supply. *)
+
+exception No_forward_progress of string
+(** Raised when {!no_forward_progress_threshold} consecutive power cycles
+    elapse without a single checkpoint commit: the device can never finish
+    under this supply.  The payload is the offending supply's description
+    (see {!Power.describe}). *)
+
+val no_forward_progress_threshold : int
+(** Consecutive fruitless power cycles (boots with no checkpoint commit)
+    tolerated before {!No_forward_progress} is raised. *)
 
 val boot_cycles : int
 
@@ -59,3 +71,58 @@ val run :
     @param supply power model (default [Continuous])
     @param irq_period fire an interrupt every N cycles (0 = off)
     @param verify track WAR violations (default true) *)
+
+(** {1 Stepping and snapshots}
+
+    [run] is equivalent to [create] followed by [step] until [Halted] and
+    [result].  A stepping instance is mutable; [clone] takes a deep,
+    independently steppable snapshot. *)
+
+type t
+(** A booted, steppable emulator instance. *)
+
+val create :
+  ?fuel:int ->
+  ?supply:Power.supply ->
+  ?irq_period:int ->
+  ?verify:bool ->
+  Image.t ->
+  t
+(** Initialise memory and perform the first power-on (same defaults as
+    {!run}). *)
+
+type step =
+  | Stepped  (** one instruction retired *)
+  | Rebooted  (** the on-period ended: power failed, rebooted, restored *)
+  | Halted
+
+val step : t -> step
+(** Execute one instruction (plus any due interrupt); on power failure,
+    replay the boot/restore sequence.  Idempotent once halted. *)
+
+val cut_power : t -> unit
+(** Force a power failure {e now}, regardless of remaining budget, and
+    reboot: the adversarial injection primitive.  No-op once halted. *)
+
+val clone : t -> t
+(** Deep snapshot: memory, registers, power cursor, WAR-tracking state and
+    statistics are all duplicated; stepping either copy never affects the
+    other. *)
+
+val halted : t -> bool
+val cycles : t -> int  (** active cycles so far *)
+
+val pc : t -> int
+val current_function : t -> string
+val boots : t -> int
+val memory : t -> bytes  (** copy of the current memory image *)
+
+val nv_digest : t -> int64
+(** FNV-1a digest of all non-volatile memory {e excluding} the checkpoint
+    double buffer (whose sequence numbers legitimately differ across power
+    schedules).  After a halt, two idempotent executions of the same image
+    must agree on this digest — the crash-consistency oracle's memory
+    check. *)
+
+val result : t -> result
+(** Statistics so far (complete once {!halted}). *)

@@ -2,16 +2,51 @@
 
    The emulator only needs the *on-durations*: during an off period nothing
    executes and volatile state is lost, so off-time never appears in cycle
-   accounting (only in the count of power failures). *)
+   accounting (only in the count of power failures).
+
+   [Schedule] is the adversarial injection mode used by the verification
+   harness (lib/verify): a finite sequence of on-durations — i.e. chosen
+   cut points, each measured in active cycles from the corresponding
+   power-on — after which power stays on forever, so every scheduled run
+   terminates. *)
 
 type supply =
   | Continuous
   | Periodic of int  (** fixed on-period, in clock cycles *)
   | Trace of int array  (** sequence of on-durations, repeated cyclically *)
+  | Schedule of int array
+      (** finite sequence of on-durations (injected cut points); continuous
+          once exhausted *)
 
 type t = { supply : supply; mutable index : int }
 
-let create supply = { supply; index = 0 }
+let create supply =
+  (match supply with
+  | Continuous -> ()
+  | Periodic n ->
+      if n <= 0 then
+        invalid_arg
+          (Printf.sprintf "Power.create: non-positive on-period %d" n)
+  | Trace arr ->
+      if Array.length arr = 0 then invalid_arg "Power.create: empty trace";
+      Array.iter
+        (fun d ->
+          if d <= 0 then
+            invalid_arg
+              (Printf.sprintf "Power.create: non-positive trace on-duration %d"
+                 d))
+        arr
+  | Schedule arr ->
+      Array.iter
+        (fun d ->
+          if d <= 0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Power.create: non-positive scheduled on-duration %d" d))
+        arr);
+  { supply; index = 0 }
+
+let copy t = { t with index = t.index }
 
 (** Cycles of energy available in the next on-period; [None] = unlimited. *)
 let next_budget t : int option =
@@ -19,9 +54,28 @@ let next_budget t : int option =
   | Continuous -> None
   | Periodic n -> Some n
   | Trace arr ->
-      if Array.length arr = 0 then invalid_arg "Power: empty trace";
       let v = arr.(t.index mod Array.length arr) in
       t.index <- t.index + 1;
       Some v
+  | Schedule arr ->
+      if t.index >= Array.length arr then None
+      else begin
+        let v = arr.(t.index) in
+        t.index <- t.index + 1;
+        Some v
+      end
 
 let is_continuous t = t.supply = Continuous
+
+let describe = function
+  | Continuous -> "continuous"
+  | Periodic n -> Printf.sprintf "periodic(%d)" n
+  | Trace arr ->
+      let sum = Array.fold_left ( + ) 0 arr in
+      Printf.sprintf "trace(%d periods, mean %d)" (Array.length arr)
+        (sum / max 1 (Array.length arr))
+  | Schedule arr ->
+      let shown = Array.to_list (Array.sub arr 0 (min 8 (Array.length arr))) in
+      Printf.sprintf "schedule(%d cuts: %s%s)" (Array.length arr)
+        (String.concat "," (List.map string_of_int shown))
+        (if Array.length arr > 8 then ",..." else "")

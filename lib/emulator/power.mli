@@ -6,12 +6,30 @@ type supply =
   | Continuous
   | Periodic of int  (** fixed on-period, in clock cycles *)
   | Trace of int array  (** sequence of on-durations, repeated cyclically *)
+  | Schedule of int array
+      (** adversarial injection: a finite sequence of on-durations (chosen
+          cut points, in active cycles from each power-on); once the
+          schedule is exhausted power stays on forever, so every scheduled
+          run terminates.  Used by the [lib/verify] fault-injection
+          harness. *)
 
 type t
 
 val create : supply -> t
+(** @raise Invalid_argument on degenerate supplies: a non-positive
+    [Periodic] on-period, an empty [Trace], or a non-positive on-duration
+    in a [Trace] or [Schedule] (any of which would otherwise hang the
+    emulator downstream). *)
+
+val copy : t -> t
+(** An independent copy (the trace/schedule cursor is duplicated). *)
 
 val next_budget : t -> int option
 (** Energy (in cycles) of the next on-period; [None] = unlimited. *)
 
 val is_continuous : t -> bool
+
+val describe : supply -> string
+(** One-line human description, e.g. ["periodic(500)"] or
+    ["schedule(2 cuts: 413,879)"] — used in diagnostics such as
+    {!Emulator.No_forward_progress}. *)

@@ -1,0 +1,113 @@
+(* Crash-consistency oracle (paper §5.1.1, automated).
+
+   WARio's correctness claim is idempotence: replaying from the last
+   committed checkpoint after a power failure must yield the same final
+   state as continuous execution.  The oracle checks this differentially:
+   the continuous run of the same compiled image is the golden reference,
+   and an injected run diverges if any of
+
+   - the console output differs (including double-emitted values),
+   - the exit code differs,
+   - the digest of final non-volatile memory differs (checkpoint double
+     buffer excluded: its sequence numbers legitimately depend on how
+     often power failed),
+   - the WAR verifier flagged a violation, or
+   - the supply admits no forward progress
+
+   holds.  Runs are driven through the emulator's stepping API so the
+   final memory image is observable. *)
+
+module P = Wario.Pipeline
+module E = Wario_emulator
+
+type golden = {
+  g_output : int32 list;
+  g_exit : int32;
+  g_digest : int64;
+  g_result : E.Emulator.result;
+}
+
+type divergence =
+  | Output_mismatch of { got : int32 list; want : int32 list }
+  | Double_output of { got : int32 list; want : int32 list }
+      (** the golden output re-emitted in part: committed output replayed *)
+  | Exit_mismatch of { got : int32; want : int32 }
+  | Memory_mismatch of { got : int64; want : int64 }
+  | War_violations of E.Emulator.violation list
+  | No_progress of string
+
+let run_to_halt emu =
+  while not (E.Emulator.halted emu) do
+    ignore (E.Emulator.step emu)
+  done
+
+let golden (c : P.compiled) : golden =
+  let emu = E.Emulator.create c.P.image in
+  run_to_halt emu;
+  let r = E.Emulator.result emu in
+  {
+    g_output = r.E.Emulator.output;
+    g_exit = r.E.Emulator.exit_code;
+    g_digest = E.Emulator.nv_digest emu;
+    g_result = r;
+  }
+
+(* Violations of the golden run itself: a broken checkpoint schedule shows
+   up even without any injected failure. *)
+let golden_violations (g : golden) = g.g_result.E.Emulator.violations
+
+(* [want] embedded as a subsequence of a strictly longer [got]: some
+   committed output was emitted again during replay. *)
+let is_double_emission ~want ~got =
+  let rec sub w g =
+    match (w, g) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: w', y :: g' -> if x = y then sub w' g' else sub w g'
+  in
+  List.length got > List.length want && sub want got
+
+let check_schedule (g : golden) (c : P.compiled) (cuts : int array) :
+    (unit, divergence) result =
+  match
+    let emu = E.Emulator.create ~supply:(E.Power.Schedule cuts) c.P.image in
+    run_to_halt emu;
+    (E.Emulator.result emu, E.Emulator.nv_digest emu)
+  with
+  | exception E.Emulator.No_forward_progress s -> Error (No_progress s)
+  | r, digest ->
+      if r.E.Emulator.violations <> [] then
+        Error (War_violations r.E.Emulator.violations)
+      else if r.E.Emulator.output <> g.g_output then
+        if is_double_emission ~want:g.g_output ~got:r.E.Emulator.output then
+          Error (Double_output { got = r.E.Emulator.output; want = g.g_output })
+        else
+          Error
+            (Output_mismatch { got = r.E.Emulator.output; want = g.g_output })
+      else if not (Int32.equal r.E.Emulator.exit_code g.g_exit) then
+        Error (Exit_mismatch { got = r.E.Emulator.exit_code; want = g.g_exit })
+      else if not (Int64.equal digest g.g_digest) then
+        Error (Memory_mismatch { got = digest; want = g.g_digest })
+      else Ok ()
+
+let pp_outputs vs =
+  "[" ^ String.concat "," (List.map Int32.to_string vs) ^ "]"
+
+let string_of_divergence = function
+  | Output_mismatch { got; want } ->
+      Printf.sprintf "output mismatch: got %s, want %s" (pp_outputs got)
+        (pp_outputs want)
+  | Double_output { got; want } ->
+      Printf.sprintf "double-emitted output: got %s, want %s" (pp_outputs got)
+        (pp_outputs want)
+  | Exit_mismatch { got; want } ->
+      Printf.sprintf "exit code mismatch: got %ld, want %ld" got want
+  | Memory_mismatch { got; want } ->
+      Printf.sprintf "non-volatile memory digest mismatch: got %Lx, want %Lx"
+        got want
+  | War_violations vs ->
+      Printf.sprintf "%d WAR violation(s); first: %s at 0x%x in %s"
+        (List.length vs)
+        (List.hd vs).E.Emulator.v_instr (List.hd vs).E.Emulator.v_addr
+        (List.hd vs).E.Emulator.v_func
+  | No_progress s -> Printf.sprintf "no forward progress under %s" s

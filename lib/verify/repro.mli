@@ -1,0 +1,36 @@
+(** One-line S-expression reproducers for failing injection schedules,
+    e.g. [(repro (workload rmw_loop) (env wario) (unroll 8) (cuts 413 879))].
+    Replayable via [iclang verify --repro] or {!Harness.replay}. *)
+
+type t = {
+  workload : string;  (** micro-program or benchmark name *)
+  env : Wario.Pipeline.environment;
+  unroll : int;
+  max_region : int option;
+  drop_ckpt : int option;
+      (** replays the test-only sabotage hook (see {!Wario.Pipeline.options}) *)
+  cuts : int array;  (** the injection schedule *)
+  seed : int64 option;  (** sweep seed that found the failure (bookkeeping) *)
+}
+
+val make :
+  ?unroll:int ->
+  ?max_region:int ->
+  ?drop_ckpt:int ->
+  ?seed:int64 ->
+  workload:string ->
+  env:Wario.Pipeline.environment ->
+  int array ->
+  t
+
+val options_of : t -> Wario.Pipeline.options
+(** Pipeline options reconstructing the exact compile of the failure. *)
+
+val source_of_workload : string -> (string, string) result
+(** Resolve a workload name against the micro programs, then the paper
+    benchmarks. *)
+
+val to_string : t -> string
+(** One line, parseable by {!of_string}. *)
+
+val of_string : string -> (t, string) result

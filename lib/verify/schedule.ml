@@ -1,0 +1,103 @@
+(* Adversarial power-cut schedule generation.
+
+   A schedule is a finite array of on-durations handed to
+   [Power.Schedule]: cut k happens after schedule.(k) active cycles from
+   the k-th power-on, and power is continuous once the schedule is
+   exhausted, so every injected run terminates.
+
+   Two generation modes (ISSUE: the adversarial power scheduler):
+   - exhaustive: one single-cut schedule at every checkpoint-commit offset
+     of the continuous reference run, plus/minus one cycle — the exact
+     points where a commit is half done or a region has just opened;
+   - random: a seeded splittable PRNG (splitmix64, reproducible from a
+     printed seed) that mixes boot-phase cuts, near-boundary jitter and
+     uniform cuts over the whole run. *)
+
+module E = Wario_emulator
+
+(* ------------------------------------------------------------------ *)
+(* Splittable PRNG (splitmix64)                                         *)
+(* ------------------------------------------------------------------ *)
+
+type gen = { mutable s : int64 }
+
+let of_seed seed = { s = seed }
+
+let next_int64 g =
+  g.s <- Int64.add g.s 0x9e3779b97f4a7c15L;
+  let z = g.s in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A generator seeded from [g]'s stream but advanced independently:
+   drawing from the split never perturbs numbers drawn from [g]. *)
+let split g = { s = next_int64 g }
+
+let int g ~bound =
+  if bound <= 0 then invalid_arg "Schedule.int: non-positive bound";
+  Int64.to_int (next_int64 g) land max_int mod bound
+
+(* ------------------------------------------------------------------ *)
+(* Reference-run geometry                                               *)
+(* ------------------------------------------------------------------ *)
+
+type reference = {
+  total_cycles : int;  (** active cycles of the continuous run *)
+  boundaries : int array;
+      (** absolute active-cycle offset of every checkpoint commit *)
+}
+
+(* Commit offsets of a continuous run: boot plus the cumulative region
+   sizes.  The final region ends at the halt, not at a commit, so it is
+   dropped. *)
+let reference_of_result (r : E.Emulator.result) : reference =
+  let rec go acc cum = function
+    | [] | [ _ ] -> List.rev acc
+    | s :: rest ->
+        let cum = cum + s in
+        go (cum :: acc) cum rest
+  in
+  {
+    total_cycles = r.E.Emulator.cycles;
+    boundaries =
+      Array.of_list (go [] E.Emulator.boot_cycles r.E.Emulator.region_sizes);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exhaustive (ref_ : reference) : int array list =
+  Array.to_list ref_.boundaries
+  |> List.concat_map (fun b ->
+         List.filter_map
+           (fun d -> if b + d > 0 then Some [| b + d |] else None)
+           [ -1; 0; 1 ])
+
+let random_cut g (ref_ : reference) =
+  let nb = Array.length ref_.boundaries in
+  match int g ~bound:8 with
+  | 0 ->
+      (* die during boot or checkpoint restore *)
+      1 + int g ~bound:(E.Emulator.boot_cycles + 64)
+  | (1 | 2 | 3) when nb > 0 ->
+      (* jitter around a commit: the adversarial neighbourhood *)
+      let b = ref_.boundaries.(int g ~bound:nb) in
+      max 1 (b - 8 + int g ~bound:17)
+  | _ ->
+      (* anywhere in the run (plus slack past the end) *)
+      E.Emulator.boot_cycles + 1 + int g ~bound:(max 1 ref_.total_cycles)
+
+let random_schedule g (ref_ : reference) : int array =
+  let k = 1 + int g ~bound:4 in
+  Array.init k (fun _ -> random_cut g ref_)
+
+let random_schedules g (ref_ : reference) ~n : int array list =
+  List.init n (fun _ -> random_schedule g ref_)

@@ -1,0 +1,40 @@
+(* Counterexample shrinking: reduce a failing injection schedule to a
+   minimal set of failure points by delta debugging (Zeller's ddmin — the
+   binary-search generalisation: try dropping halves, then quarters, …).
+
+   [still_fails] re-runs the oracle on a candidate schedule; the result is
+   1-minimal (no single cut can be removed and still fail).  Shrinking a
+   k-cut schedule costs O(k log k) oracle runs in the typical case. *)
+
+let ddmin ~(still_fails : int array -> bool) (schedule : int array) :
+    int array =
+  let remove_chunk arr lo hi =
+    Array.append (Array.sub arr 0 lo)
+      (Array.sub arr hi (Array.length arr - hi))
+  in
+  let rec go arr n =
+    let len = Array.length arr in
+    if len <= 1 then arr
+    else begin
+      let chunk = max 1 (len / n) in
+      let rec try_from i =
+        let lo = i * chunk in
+        if lo >= len then None
+        else begin
+          let hi = min (lo + chunk) len in
+          let candidate = remove_chunk arr lo hi in
+          if Array.length candidate < len && still_fails candidate then
+            Some candidate
+          else try_from (i + 1)
+        end
+      in
+      match try_from 0 with
+      | Some smaller -> go smaller (max (n - 1) 2)
+      | None -> if chunk <= 1 then arr else go arr (min len (2 * n))
+    end
+  in
+  if Array.length schedule = 0 then schedule
+  else if still_fails [||] then
+    (* fails with no injection at all (e.g. a golden-run WAR violation) *)
+    [||]
+  else go schedule 2

@@ -1,0 +1,7 @@
+(** Counterexample shrinking for failing injection schedules. *)
+
+val ddmin : still_fails:(int array -> bool) -> int array -> int array
+(** [ddmin ~still_fails schedule] minimises a failing schedule by delta
+    debugging: the result still satisfies [still_fails] (or is [[||]] if
+    even the empty schedule fails) and is 1-minimal — removing any single
+    remaining cut makes the failure disappear. *)

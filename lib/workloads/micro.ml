@@ -173,6 +173,9 @@ int main(void) {
 
 let all = [ arith; rmw_loop; fib; struct_list; sort_prog; string_rev; sensor ]
 
+(* The three fastest programs: what tier-1 property tests sweep. *)
+let tiny = [ arith; rmw_loop; string_rev ]
+
 let find name =
   match List.find_opt (fun m -> m.name = name) all with
   | Some m -> m

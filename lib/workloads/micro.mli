@@ -5,5 +5,9 @@ type t = { name : string; source : string; expected : int32 list }
 
 val all : t list
 
+val tiny : t list
+(** The three fastest micro programs ([arith], [rmw_loop], [byte_ops]);
+    used by tier-1 property tests that sweep every environment. *)
+
 val find : string -> t
 (** @raise Invalid_argument on an unknown name *)

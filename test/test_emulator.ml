@@ -251,7 +251,10 @@ let test_crash_everywhere () =
 let test_no_forward_progress_detected () =
   let c = P.compile P.Wario counting_loop_src in
   match E.Emulator.run ~supply:(E.Power.Periodic 420) c.P.image with
-  | exception E.Emulator.No_forward_progress -> ()
+  | exception E.Emulator.No_forward_progress supply ->
+      (* the exception names the offending supply *)
+      Alcotest.(check string) "carries supply description" "periodic(420)"
+        supply
   | _ -> Alcotest.fail "a 420-cycle budget cannot make progress (boot is 400)"
 
 let test_checkpoint_double_buffering () =
@@ -324,7 +327,33 @@ let test_power_models () =
   Alcotest.(check (option int)) "trace 2" (Some 6) (E.Power.next_budget t);
   Alcotest.(check (option int)) "trace wraps" (Some 5) (E.Power.next_budget t);
   let c = E.Power.create E.Power.Continuous in
-  Alcotest.(check (option int)) "continuous" None (E.Power.next_budget c)
+  Alcotest.(check (option int)) "continuous" None (E.Power.next_budget c);
+  let s = E.Power.create (E.Power.Schedule [| 9; 4 |]) in
+  Alcotest.(check (option int)) "schedule 1" (Some 9) (E.Power.next_budget s);
+  Alcotest.(check (option int)) "schedule 2" (Some 4) (E.Power.next_budget s);
+  Alcotest.(check (option int)) "schedule then continuous" None
+    (E.Power.next_budget s)
+
+let test_power_degenerate_supplies () =
+  Alcotest.check_raises "zero on-period"
+    (Invalid_argument "Power.create: non-positive on-period 0") (fun () ->
+      ignore (E.Power.create (E.Power.Periodic 0)));
+  Alcotest.check_raises "negative on-period"
+    (Invalid_argument "Power.create: non-positive on-period -7") (fun () ->
+      ignore (E.Power.create (E.Power.Periodic (-7))));
+  Alcotest.check_raises "empty trace"
+    (Invalid_argument "Power.create: empty trace") (fun () ->
+      ignore (E.Power.create (E.Power.Trace [||])));
+  Alcotest.check_raises "non-positive trace entry"
+    (Invalid_argument "Power.create: non-positive trace on-duration 0")
+    (fun () -> ignore (E.Power.create (E.Power.Trace [| 5; 0; 6 |])));
+  Alcotest.check_raises "non-positive scheduled cut"
+    (Invalid_argument "Power.create: non-positive scheduled on-duration -1")
+    (fun () -> ignore (E.Power.create (E.Power.Schedule [| 3; -1 |])));
+  (* an empty schedule is legal: no cuts, continuous throughout *)
+  let p = E.Power.create (E.Power.Schedule [||]) in
+  Alcotest.(check (option int)) "empty schedule = continuous" None
+    (E.Power.next_budget p)
 
 let test_traces_deterministic () =
   let a = E.Traces.rf_trace () and b = E.Traces.rf_trace () in
@@ -384,6 +413,8 @@ let suite =
       test_interrupt_unprotected_violates;
     Alcotest.test_case "interrupts: cpsid defers" `Quick test_cpsid_defers;
     Alcotest.test_case "power models" `Quick test_power_models;
+    Alcotest.test_case "power: degenerate supplies rejected" `Quick
+      test_power_degenerate_supplies;
     Alcotest.test_case "traces: determinism and regimes" `Quick
       test_traces_deterministic;
     Alcotest.test_case "trace-driven run" `Quick test_trace_run;

@@ -12,5 +12,6 @@ let () =
       ("emulator", Test_emulator.suite @ Test_emulator.cycle_suite);
       ("pipeline", Test_pipeline.suite);
       ("extensions", Test_extensions.suite);
+      ("verify", Test_verify.suite);
       ("properties", Test_props.suite @ Test_props.structural_suite);
     ]

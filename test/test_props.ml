@@ -249,6 +249,37 @@ let prop_transforms_preserve_ir =
         QCheck.Test.fail_reportf "WAR violations after insertion"
       else true)
 
+(* Mini crash-consistency oracle: for EVERY instrumented environment and
+   each tiny micro workload, a run under periodic power (budget just above
+   the largest region) emits exactly the continuous-run output with no
+   WAR violations.  Deterministic and fast enough for tier 1; the full
+   adversarial sweep lives in [iclang verify] / test_verify.ml. *)
+let test_micro_oracle_all_envs () =
+  List.iter
+    (fun (m : Wario_workloads.Micro.t) ->
+      List.iter
+        (fun env ->
+          let c = P.compile env m.Wario_workloads.Micro.source in
+          let cont = E.Emulator.run c.P.image in
+          let max_region =
+            List.fold_left max 0 cont.E.Emulator.region_sizes
+          in
+          let budget = 400 + 64 + max_region + 97 in
+          let r = E.Emulator.run ~supply:(E.Power.Periodic budget) c.P.image in
+          let tag fmt =
+            Printf.sprintf "%s [%s × %s]" fmt m.Wario_workloads.Micro.name
+              (P.environment_name env)
+          in
+          Alcotest.(check (list int32))
+            (tag "periodic output = continuous")
+            cont.E.Emulator.output r.E.Emulator.output;
+          Alcotest.(check int)
+            (tag "no violations under periodic power")
+            0
+            (List.length r.E.Emulator.violations))
+        Wario_verify.Harness.instrumented_environments)
+    Wario_workloads.Micro.tiny
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     ([
@@ -257,6 +288,10 @@ let suite =
        prop_interrupts_safe;
      ]
     @ List.map prop_pipeline_preserves [ P.Plain; P.Ratchet; P.Wario; P.Wario_expander ])
+  @ [
+      Alcotest.test_case "micro oracle: periodic = continuous, all envs"
+        `Quick test_micro_oracle_all_envs;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Structural properties on random CFGs                                 *)
