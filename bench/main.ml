@@ -419,6 +419,39 @@ let ext () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Certifier cost: static WAR-freedom check wall-time                   *)
+(* ------------------------------------------------------------------ *)
+
+let cert () =
+  print_endline
+    "\n=== Certifier: static WAR-freedom check wall-time per benchmark × \
+     environment ===\n";
+  let header = "benchmark" :: List.map P.environment_name instrumented_envs in
+  let rows =
+    List.map
+      (fun b ->
+        b.W.name
+        :: List.map
+             (fun env ->
+               let e = get b env in
+               let t0 = Unix.gettimeofday () in
+               let v = P.certify e.compiled in
+               let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+               match v with
+               | Wario_certify.Certify.Certified st ->
+                   Printf.sprintf "%.1f ms (%d pairs)" dt
+                     st.Wario_certify.Certify.s_pairs
+               | Wario_certify.Certify.Rejected _ ->
+                   Printf.sprintf "%.1f ms REJECTED" dt)
+             instrumented_envs)
+      benchmarks
+  in
+  print_string (Report.table header rows);
+  print_endline
+    "\n(compile-time cost of [iclang certify]; every cell should certify —\n\
+    \ a REJECTED here is a pipeline bug, see lib/certify)"
+
+(* ------------------------------------------------------------------ *)
 (* Table 4                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -494,7 +527,7 @@ let artefacts =
   [
     ("fig4", fig4); ("fig5", fig5); ("tab1", tab1); ("tab2", tab2);
     ("fig6", fig6); ("fig7", fig7); ("tab3", tab3); ("tab4", tab4);
-    ("ext", ext); ("bechamel", bechamel);
+    ("ext", ext); ("cert", cert); ("bechamel", bechamel);
   ]
 
 let () =

@@ -293,6 +293,16 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
             }
           in
           Printf.printf
+            "static pre-check: certifying %d environment(s) × %d workload(s)\n%!"
+            (List.length config_envs) (List.length workloads);
+          let rejected =
+            V.Harness.static_precheck
+              ~log:(fun s -> Printf.printf "  %s\n%!" s)
+              config
+          in
+          Printf.printf "static pre-check: %d rejection(s)\n%!"
+            (List.length rejected);
+          Printf.printf
             "fault-injection sweep: %d environment(s) × %d workload(s), ≥%d \
              schedules each, seed %Ld\n%!"
             (List.length config_envs) (List.length workloads) schedules seed;
@@ -306,9 +316,12 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
           in
           let failures = V.Harness.total_failures reports in
           Printf.printf
-            "%d case(s), %d schedule(s) injected, %d consistency failure(s)\n"
-            (List.length reports) total failures;
-          if failures = 0 then `Ok ()
+            "%d case(s), %d schedule(s) injected, %d consistency failure(s), \
+             %d static rejection(s)\n"
+            (List.length reports) total failures (List.length rejected);
+          if failures = 0 && rejected = [] then `Ok ()
+          else if failures = 0 then
+            `Error (false, "static certifier rejected some builds")
           else `Error (false, "crash-consistency violations detected"))
 
 let verify_cmd =
@@ -371,6 +384,98 @@ let verify_cmd =
         (const do_verify $ envs $ workloads $ schedules $ seed
        $ exhaustive_limit $ unroll_arg $ max_region_arg $ drop_ckpt $ repro))
 
+(* --- certify --- *)
+
+let do_certify file benchmark envs unroll max_region no_opt drop_ckpt verbose =
+  let sources =
+    match (file, benchmark) with
+    | None, None ->
+        (* default: every built-in benchmark *)
+        Ok (List.map (fun (b : W.benchmark) -> (b.name, b.source)) W.all)
+    | _ -> (
+        match load_source file benchmark with
+        | Error e -> Error e
+        | Ok src ->
+            let name =
+              match (benchmark, file) with
+              | Some b, _ -> b
+              | None, Some f -> f
+              | None, None -> assert false
+            in
+            Ok [ (name, src) ])
+  in
+  match sources with
+  | Error e -> `Error (false, e)
+  | Ok sources ->
+      let envs =
+        match envs with
+        | [] -> V.Harness.instrumented_environments
+        | es -> es
+      in
+      let opts =
+        {
+          (opts_of ?max_region ~no_opt unroll) with
+          P.drop_middle_ckpt = drop_ckpt;
+        }
+      in
+      let rejected = ref 0 in
+      List.iter
+        (fun (name, src) ->
+          List.iter
+            (fun env ->
+              try
+                let c = P.compile ~opts env src in
+                match P.certify c with
+                | Wario_certify.Certify.Certified s as v ->
+                    Printf.printf
+                      "certify %-10s [%-14s]: CERTIFIED  (%d pairs discharged, \
+                       %d barriers, %d loads/%d stores)\n"
+                      name (P.environment_name env) s.s_pairs s.s_barriers
+                      s.s_loads s.s_stores;
+                    if verbose then print_string (P.certify_report c v)
+                | Wario_certify.Certify.Rejected (rs, _) as v ->
+                    incr rejected;
+                    Printf.printf "certify %-10s [%-14s]: REJECTED  (%d problem(s))\n"
+                      name (P.environment_name env) (List.length rs);
+                    print_string (P.certify_report c v)
+              with Wario_minic.Minic.Error e ->
+                incr rejected;
+                Printf.printf "certify %-10s: front-end error: %s\n" name e)
+            envs)
+        sources;
+      if !rejected = 0 then `Ok ()
+      else `Error (false, Printf.sprintf "%d build(s) rejected" !rejected)
+
+let certify_cmd =
+  let envs =
+    Arg.(
+      value & opt_all env_conv []
+      & info [ "e"; "environment" ] ~docv:"ENV"
+          ~doc:
+            "Environment(s) to certify (repeatable; default: every            instrumented environment).")
+  in
+  let drop_ckpt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drop-ckpt" ] ~docv:"N"
+          ~doc:
+            "TEST-ONLY: sabotage the pipeline by deleting the N-th            middle-end checkpoint; the certifier must reject the build            with a path witness.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print the full certificate, not a summary.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Statically certify the linked image WAR-free (translation            validation of the pipeline), or print a path witness")
+    Term.(
+      ret
+        (const do_certify $ file_arg $ benchmark_arg $ envs $ unroll_arg
+       $ max_region_arg $ no_opt_arg $ drop_ckpt $ verbose))
+
 (* --- list-benchmarks --- *)
 
 let list_cmd =
@@ -387,6 +492,6 @@ let main =
   Cmd.group
     (Cmd.info "iclang" ~version:"1.0"
        ~doc:"WARio: efficient code generation for intermittent computing")
-    [ compile_cmd; run_cmd; verify_cmd; list_cmd ]
+    [ compile_cmd; run_cmd; verify_cmd; certify_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

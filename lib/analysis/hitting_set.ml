@@ -13,20 +13,16 @@
    counters decremented, so total work is proportional to the sum of set
    sizes plus (#elements x #chosen). *)
 
+type error = Empty_set of int  (** index of the offending input set *)
+
 module Make (Elt : sig
   type t
 
   val compare : t -> t -> int
 end) =
 struct
-  (** [solve ~cost sets] returns chosen elements; raises [Invalid_argument]
-      if a set is empty (an unhittable WAR). *)
-  let solve ~(cost : Elt.t -> float) (sets : Elt.t list list) : Elt.t list =
-    List.iteri
-      (fun i s ->
-        if s = [] then
-          invalid_arg (Printf.sprintf "Hitting_set.solve: set %d is empty" i))
-      sets;
+  let solve_nonempty ~(cost : Elt.t -> float) (sets : Elt.t list list) :
+      Elt.t list =
     (* intern elements (hashed: candidate families can hold millions) *)
     let id_of : (Elt.t, int) Hashtbl.t = Hashtbl.create 4096 in
     let elems = ref [] in
@@ -90,4 +86,22 @@ struct
       end
     done;
     List.rev !chosen
+
+  (** [solve ~cost sets] returns [Ok chosen] such that every input set
+      contains a chosen element, or [Error (Empty_set i)] when set [i] is
+      empty — an empty set is unhittable, so no cover exists.  Callers must
+      not drop such a set silently: either guarantee non-emptiness by
+      construction (every in-tree candidate set contains the point before
+      its WAR's store), or fall back to a placement that needs no cover,
+      such as a checkpoint directly before each WAR store. *)
+  let solve ~(cost : Elt.t -> float) (sets : Elt.t list list) :
+      (Elt.t list, error) result =
+    let rec first_empty i = function
+      | [] -> None
+      | [] :: _ -> Some i
+      | _ :: tl -> first_empty (i + 1) tl
+    in
+    match first_empty 0 sets with
+    | Some i -> Error (Empty_set i)
+    | None -> Ok (solve_nonempty ~cost sets)
 end

@@ -2,13 +2,22 @@
     both Ratchet and WARio use to pick checkpoint locations.  Incremental
     counters make it linear-ish in the sum of set sizes. *)
 
+type error = Empty_set of int
+(** [Empty_set i]: input set [i] is empty, so no hitting set exists. *)
+
 module Make (Elt : sig
   type t
 
   val compare : t -> t -> int
 end) : sig
-  val solve : cost:(Elt.t -> float) -> Elt.t list list -> Elt.t list
-  (** [solve ~cost sets] returns elements such that every set contains at
-      least one of them, greedily maximising (sets hit)/cost per pick.
-      @raise Invalid_argument on an empty set (an unhittable WAR). *)
+  val solve :
+    cost:(Elt.t -> float) -> Elt.t list list -> (Elt.t list, error) result
+  (** [solve ~cost sets] returns [Ok chosen] such that every set contains at
+      least one chosen element, greedily maximising (sets hit)/cost per
+      pick, or [Error (Empty_set i)] when set [i] is empty (an unhittable
+      WAR — no cover exists).  On [Error], callers must not drop the
+      offending set silently: either guarantee non-emptiness by construction
+      (candidate sets built by the checkpoint inserters always contain the
+      point before the WAR's store), or fall back to a placement that needs
+      no cover, such as a checkpoint directly before each WAR store. *)
 end

@@ -53,8 +53,16 @@ let run ~(config : config) (p : Ir.program) : I.mprog * stats =
           | Some strategy -> Stack_ckpt.run ~strategy ra.mfunc
           | None -> { Stack_ckpt.spill_wars = 0; spill_ckpts = 0 }
         in
+        let returns =
+          List.exists
+            (fun (b : Ir.block) ->
+              match b.term with Ir.Ret (Some _) -> true | _ -> false)
+            f.blocks
+        in
         Frame.run ~style:config.epilog_style ~slots:f.slots
-          ~spill_slots:ra.spill_slots ra.mfunc;
+          ~spill_slots:ra.spill_slots
+          ~params:(List.length f.params)
+          ~returns ra.mfunc;
         Mliveness.set_ckpt_masks ra.mfunc;
         stats :=
           {

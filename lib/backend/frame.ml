@@ -49,9 +49,11 @@ let calls_out (mf : I.mfunc) =
 
 (** Lower frames for one function.
     @param slots the IR stack slots of the source function
-    @param spill_slots number of register-allocator spill slots *)
+    @param spill_slots number of register-allocator spill slots
+    @param params number of IR parameters (live in r0.. at entry)
+    @param returns whether the function returns a value in r0 *)
 let run ~(style : epilog_style) ~(slots : Ir.slot list) ~(spill_slots : int)
-    (mf : I.mfunc) : unit =
+    ~(params : int) ~(returns : bool) (mf : I.mfunc) : unit =
   (* layout: spills first, then IR slots *)
   let spill_off n = 4 * n in
   let slot_area_base = Util.align_up (4 * spill_slots) 8 in
@@ -73,6 +75,20 @@ let run ~(style : epilog_style) ~(slots : Ir.slot list) ~(spill_slots : int)
   let push_list = saved @ if need_lr then [ I.lr ] else [] in
   let writes_stack = frame_bytes > 0 || push_list <> [] in
   mf.I.frame_words <- frame_bytes / 4;
+  mf.I.mframe <-
+    Some
+      {
+        I.fm_frame_bytes = frame_bytes;
+        fm_spill_bytes = 4 * spill_slots;
+        fm_slots =
+          List.map
+            (fun (s : Ir.slot) ->
+              (s.slot_id, Util.Int_map.find s.slot_id slot_off, s.slot_size))
+            slots;
+        fm_saved = push_list;
+        fm_params = params;
+        fm_returns = returns;
+      };
   (* --- eliminate pseudos --- *)
   List.iter
     (fun b ->

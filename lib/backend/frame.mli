@@ -14,8 +14,12 @@ val run :
   style:epilog_style ->
   slots:Wario_ir.Ir.slot list ->
   spill_slots:int ->
+  params:int ->
+  returns:bool ->
   Wario_machine.Isa.mfunc ->
   unit
 (** Lower frames in place: resolve slot/spill pseudos to sp-relative
     accesses, add the prolog (entry checkpoint, pushes, frame allocation)
-    and the epilog in the chosen style. *)
+    and the epilog in the chosen style.  Records the layout (plus
+    [params]/[returns] calling-convention facts) in the function's
+    [frame_meta] for the static certifier. *)

@@ -206,4 +206,4 @@ let select_func (f : func) : I.mfunc * int =
   ctx.code_rev <- [];
   List.iteri (fun i p -> emit ctx (I.Mov (vreg p, I.R i))) f.params;
   let stub = { I.mlabel = f.fname; mcode = List.rev ctx.code_rev } in
-  ({ I.mname = f.fname; mblocks = stub :: body; frame_words = 0 }, ctx.next_vreg)
+  ({ I.mname = f.fname; mblocks = stub :: body; frame_words = 0; mframe = None }, ctx.next_vreg)

@@ -189,7 +189,12 @@ let run ~(strategy : strategy) (mf : I.mfunc) : stats =
                 !pts)
               wars
           in
-          Point_hs.solve ~cost:(fun _ -> 1.) sets
+          (match Point_hs.solve ~cost:(fun _ -> 1.) sets with
+          | Ok chosen -> chosen
+          | Error (Wario_analysis.Hitting_set.Empty_set _) ->
+              (* unreachable — each set contains its WAR's store point —
+                 but fall back to the Naive placement as documented *)
+              Wario_support.Util.dedup_stable (List.map snd wars))
     in
     (* insert checkpoints, per block in descending index order *)
     let by_block = Hashtbl.create 8 in

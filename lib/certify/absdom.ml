@@ -1,0 +1,247 @@
+(* Abstract value domain for the machine-level WAR certifier.
+
+   Two layers, mirroring the middle end's [Affine] and [Alias] lattices at
+   TM2 level:
+
+   - [expr]: an affine form  const + sum coeff*base  over the symbolic bases
+     {address of global g, the function's entry-time sp}.  Only values the
+     analysis can pin down exactly live here: materialised constants,
+     [AdrData] results, sp arithmetic.  Loads and incoming parameters are
+     *not* given fresh symbols — two opaque symbols would otherwise cancel
+     in a difference and "prove" disjointness of addresses we know nothing
+     about.
+
+   - [prov]: provenance, the machine analogue of [Alias.aval] — a set of
+     (object, byte-offset option) targets plus a stack flag ("somewhere in
+     the current function's frame") and an unknown flag ("any escaped
+     object").  Every [expr] degrades to a [prov]; joins of unequal exprs
+     land here.
+
+   Precision argument: the middle-end checkpoint inserter cut every pair its
+   [Alias] analysis could not prove disjoint, so any load/store pair still
+   sharing a region was proven disjoint by base+offset reasoning over
+   globals/slots with whole-program escape.  The domain above can re-prove
+   exactly those facts on the machine code, so a healthy build certifies. *)
+
+module I = Wario_machine.Isa
+
+type base =
+  | Glob of string  (** address of data symbol *)
+  | Sp  (** the analysed function's sp at entry *)
+
+module Bmap = Map.Make (struct
+  type t = base
+
+  let compare = compare
+end)
+
+type expr = { terms : int Bmap.t; const : int }
+
+let const n = { terms = Bmap.empty; const = n }
+
+let of_base b = { terms = Bmap.singleton b 1; const = 0 }
+
+let add_expr e1 e2 =
+  {
+    terms =
+      Bmap.union
+        (fun _ a b ->
+          let s = a + b in
+          if s = 0 then None else Some s)
+        e1.terms e2.terms;
+    const = e1.const + e2.const;
+  }
+
+let neg_expr e = { terms = Bmap.map (fun c -> -c) e.terms; const = -e.const }
+
+let add_const e k = { e with const = e.const + k }
+
+let mul_const e k =
+  if k = 0 then const 0
+  else { terms = Bmap.map (fun c -> c * k) e.terms; const = e.const * k }
+
+let is_const e = if Bmap.is_empty e.terms then Some e.const else None
+
+let equal_expr e1 e2 = e1.const = e2.const && Bmap.equal ( = ) e1.terms e2.terms
+
+(** What an exact expression denotes as an address. *)
+type place =
+  | P_glob of string * int  (** global + byte offset *)
+  | P_stack of int  (** byte offset relative to the entry-time sp *)
+  | P_abs of int  (** absolute constant *)
+  | P_messy  (** multi-base arithmetic *)
+
+let place_of e =
+  match Bmap.bindings e.terms with
+  | [] -> P_abs e.const
+  | [ (Glob g, 1) ] -> P_glob (g, e.const)
+  | [ (Sp, 1) ] -> P_stack e.const
+  | _ -> P_messy
+
+let string_of_expr e =
+  let terms =
+    Bmap.bindings e.terms
+    |> List.map (fun (b, c) ->
+           let name = match b with Glob g -> "&" ^ g | Sp -> "sp0" in
+           if c = 1 then name else Printf.sprintf "%d*%s" c name)
+  in
+  let parts = terms @ if e.const <> 0 || terms = [] then [ string_of_int e.const ] else [] in
+  String.concat "+" parts
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** A provenance target: a whole object, optionally narrowed to a byte
+    offset within it.  Slots are identified by IR slot id *within the
+    function under analysis*; cross-function comparisons treat frames of
+    distinct functions as disjoint. *)
+type tgt = T_glob of string | T_slot of int
+
+module Tset = Set.Make (struct
+  type t = tgt * int option
+
+  let compare = compare
+end)
+
+type prov = {
+  targets : Tset.t;
+  stack : bool;  (** may point anywhere into the current frame *)
+  unknown : bool;  (** may point to any escaped object *)
+}
+
+let bot_prov = { targets = Tset.empty; stack = false; unknown = false }
+
+let unknown_prov = { targets = Tset.empty; stack = false; unknown = true }
+
+let is_bot_prov p = Tset.is_empty p.targets && (not p.stack) && not p.unknown
+
+(* Widening bound: beyond this many (target, offset) pairs the offsets are
+   blurred to whole objects, keeping fixpoints finite even for pointer
+   induction variables (p = p + 4 in a loop). *)
+let max_targets = 32
+
+let blur_offsets p =
+  {
+    p with
+    targets = Tset.map (fun (t, _) -> (t, None)) p.targets;
+  }
+
+let norm_prov p =
+  if Tset.cardinal p.targets > max_targets then blur_offsets p else p
+
+let join_prov p q =
+  norm_prov
+    {
+      targets = Tset.union p.targets q.targets;
+      stack = p.stack || q.stack;
+      unknown = p.unknown || q.unknown;
+    }
+
+let shift_prov p k =
+  if k = 0 then p
+  else
+    {
+      p with
+      targets = Tset.map (fun (t, o) -> (t, Option.map (( + ) k) o)) p.targets;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Abstract values                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type aval = Exact of expr | Ptr of prov
+
+let unknown = Ptr unknown_prov
+
+let bot = Ptr bot_prov
+
+(** Degrade an exact expression to provenance.  [slot_of_off] maps an
+    entry-sp-relative byte offset to the IR slot containing it (id, offset
+    within slot); offsets in the frame but outside every slot (spill and
+    saved-register cells) yield the bare [stack] flag. *)
+let prov_of_expr ~(slot_of_off : int -> (int * int) option) e : prov =
+  match place_of e with
+  | P_glob (g, k) ->
+      { targets = Tset.singleton (T_glob g, Some k); stack = false; unknown = false }
+  | P_stack o -> (
+      match slot_of_off o with
+      | Some (s, k) ->
+          { targets = Tset.singleton (T_slot s, Some k); stack = false; unknown = false }
+      | None -> { bot_prov with stack = true })
+  | P_abs _ -> bot_prov (* a plain integer is not a pointer *)
+  | P_messy ->
+      (* collect whatever bases appear, with offsets lost *)
+      Bmap.fold
+        (fun b _ acc ->
+          match b with
+          | Glob g -> { acc with targets = Tset.add (T_glob g, None) acc.targets }
+          | Sp -> { acc with stack = true })
+        e.terms bot_prov
+
+let prov_of ~slot_of_off = function
+  | Exact e -> prov_of_expr ~slot_of_off e
+  | Ptr p -> p
+
+let join_aval ~slot_of_off a b =
+  match (a, b) with
+  | Exact e1, Exact e2 when equal_expr e1 e2 -> a
+  | _ ->
+      let p = join_prov (prov_of ~slot_of_off a) (prov_of ~slot_of_off b) in
+      Ptr p
+
+let equal_aval a b =
+  match (a, b) with
+  | Exact e1, Exact e2 -> equal_expr e1 e2
+  | Ptr p, Ptr q -> p.stack = q.stack && p.unknown = q.unknown && Tset.equal p.targets q.targets
+  | _ -> false
+
+(** Pointer addition: exact+exact stays exact; adding a known constant to a
+    provenance shifts its offsets (the [Alias] Add rule); anything else
+    unions the provenances with offsets blurred. *)
+let av_add ~slot_of_off a b =
+  match (a, b) with
+  | Exact e1, Exact e2 -> Exact (add_expr e1 e2)
+  | Ptr p, Exact e | Exact e, Ptr p -> (
+      match is_const e with
+      | Some k -> Ptr (shift_prov p k)
+      | None ->
+          Ptr (join_prov (blur_offsets p) (blur_offsets (prov_of_expr ~slot_of_off e))))
+  | Ptr p, Ptr q -> Ptr (join_prov (blur_offsets p) (blur_offsets q))
+
+(** Pointer subtraction, [a - b]: the subtrahend's provenance is dropped
+    (the [Alias] Sub rule — under the C model a pointer difference or
+    [ptr - int] can only denote [a]'s object). *)
+let av_sub ~slot_of_off a b =
+  match (a, b) with
+  | Exact e1, Exact e2 -> Exact (add_expr e1 (neg_expr e2))
+  | _, Exact e -> (
+      let p = prov_of ~slot_of_off a in
+      match is_const e with
+      | Some k -> Ptr (shift_prov p (-k))
+      | None -> Ptr (blur_offsets p))
+  | _, Ptr _ -> Ptr (blur_offsets (prov_of ~slot_of_off a))
+
+(** Catch-all for arithmetic that destroys offset structure but keeps the
+    operands' objects reachable (mul, shifts, masks over pointers...). *)
+let av_blur ~slot_of_off a b =
+  Ptr
+    (join_prov
+       (blur_offsets (prov_of ~slot_of_off a))
+       (blur_offsets (prov_of ~slot_of_off b)))
+
+let string_of_aval = function
+  | Exact e -> "=" ^ string_of_expr e
+  | Ptr p ->
+      if is_bot_prov p then "int"
+      else
+        let ts =
+          Tset.elements p.targets
+          |> List.map (fun (t, o) ->
+                 let name = match t with T_glob g -> g | T_slot s -> Printf.sprintf "$%d" s in
+                 match o with Some k -> Printf.sprintf "%s+%d" name k | None -> name)
+        in
+        let flags =
+          (if p.stack then [ "frame" ] else []) @ if p.unknown then [ "?" ] else []
+        in
+        "{" ^ String.concat "," (ts @ flags) ^ "}"

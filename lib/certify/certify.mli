@@ -1,0 +1,51 @@
+(** Static idempotence certifier: translation validation of WAR-freedom
+    over the linked TM2 image.
+
+    Independently of the compiler passes, reconstructs the machine-level
+    CFG from the {!Wario_emulator.Image}, abstract-interprets every
+    function over the {!Absdom} value domain (sp-relative offsets,
+    register copies, base+offset NVM addresses), and judges every
+    barrier-free load-to-store pair for address disjointness — the same
+    WAR definition the middle end's [Pdg.wars] uses, applied to the final
+    binary.  The result is either a certificate (all pairs discharged,
+    with per-rule statistics and the structural obligations checked) or a
+    rejection with concrete barrier-free path witnesses. *)
+
+type obligation = { ob_name : string; ob_sites : int }
+
+type stats = {
+  s_functions : int;
+  s_instrs : int;
+  s_loads : int;
+  s_stores : int;
+  s_barriers : int;
+  s_pairs : int;  (** barrier-free load->store pairs judged *)
+  s_rules : (string * int) list;  (** disjointness rule -> times used *)
+  s_obligations : obligation list;
+}
+
+type pair_witness = {
+  w_load_pc : int;
+  w_load_func : string;
+  w_store_pc : int;
+  w_store_func : string;
+  w_path : int list;  (** barrier-free pc trace, load first, store last *)
+  w_reason : string;
+}
+
+type reject_reason =
+  | War_pair of pair_witness
+  | Obligation_failed of { ob_name : string; ob_pc : int option; ob_msg : string }
+
+type verdict = Certified of stats | Rejected of reject_reason list * stats
+
+val certify : Wario_emulator.Image.t -> verdict
+(** Prove every idempotent region of the image WAR-free, or produce
+    witnesses.  Only instrumented builds can certify: the uninstrumented
+    baseline fails the pop-conversion obligation by construction. *)
+
+val pp_witness : Wario_emulator.Image.t -> pair_witness -> string
+(** Render a witness as an assembly trace via [Isa]'s printer. *)
+
+val report : Wario_emulator.Image.t -> verdict -> string
+(** Human-readable certificate or rejection report. *)

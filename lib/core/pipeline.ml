@@ -222,3 +222,11 @@ let compile_ir ?(opts = default_options) (env : environment)
     backend;
     text_bytes = image.Wario_emulator.Image.text_bytes;
   }
+
+(** Static WAR-freedom certification of the linked image (lib/certify):
+    translation validation of the whole pipeline above. *)
+let certify (c : compiled) : Wario_certify.Certify.verdict =
+  Wario_certify.Certify.certify c.image
+
+let certify_report (c : compiled) (v : Wario_certify.Certify.verdict) : string =
+  Wario_certify.Certify.report c.image v

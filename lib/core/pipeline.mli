@@ -65,3 +65,9 @@ val compile : ?opts:options -> environment -> string -> compiled
 
 val compile_ir : ?opts:options -> environment -> Wario_ir.Ir.program -> compiled
 (** Compile an already-lowered IR program (mutates it). *)
+
+val certify : compiled -> Wario_certify.Certify.verdict
+(** Statically certify the linked image WAR-free (translation validation
+    of the whole pipeline; see lib/certify). *)
+
+val certify_report : compiled -> Wario_certify.Certify.verdict -> string

@@ -77,8 +77,46 @@ let check_no_violations (o : outcome) : unit =
                  v.E.Emulator.v_addr v.E.Emulator.v_func v.E.Emulator.v_pc)
         |> String.concat "; "
       in
+      (* For each violating function, point at the barrier-free IR paths of
+         the WARs the middle end left open (Reach.reaches_witness), so the
+         failure names a concrete load→store path instead of a bare count. *)
+      let module A = Wario_analysis in
+      let paths =
+        let prog = o.compiled.Pipeline.ir in
+        let escapes = A.Alias.escapes_of_program prog in
+        Hashtbl.fold (fun f _ acc -> f :: acc) by_func []
+        |> List.sort compare
+        |> List.concat_map (fun fname ->
+               match
+                 List.find_opt
+                   (fun (f : Wario_ir.Ir.func) -> f.Wario_ir.Ir.fname = fname)
+                   prog.Wario_ir.Ir.funcs
+               with
+               | None -> []
+               | Some f ->
+                   let cfg = A.Cfg.build f in
+                   let alias = A.Alias.build ~escapes f in
+                   let pdg = A.Pdg.build alias cfg f in
+                   A.Pdg.wars pdg
+                   |> List.filter_map (fun (w : A.Pdg.war) ->
+                          A.Reach.reaches_witness pdg.A.Pdg.reach
+                            w.A.Pdg.war_load.A.Pdg.mo_point
+                            w.A.Pdg.war_store.A.Pdg.mo_point
+                          |> Option.map (fun path ->
+                                 Printf.sprintf "%s: %s" fname
+                                   (String.concat " -> "
+                                      (List.map
+                                         (fun (b, i) ->
+                                           Printf.sprintf "%s.%d" b i)
+                                         path)))))
+      in
+      let path_note =
+        match paths with
+        | [] -> ""
+        | ps -> " — open IR WAR paths: " ^ String.concat "; " ps
+      in
       failwith
-        (Printf.sprintf "%d WAR violation(s) [%s] — per function: %s — %s"
+        (Printf.sprintf "%d WAR violation(s) [%s] — per function: %s — %s%s"
            (List.length all)
            (Pipeline.environment_name o.compiled.Pipeline.env)
-           breakdown details)
+           breakdown details path_note)

@@ -32,6 +32,10 @@ type t = {
   init_image : (int * int * int32) list;  (** (addr, bytes, value) *)
   text_bytes : int;
   data_bytes : int;
+  frame_meta : (string * I.frame_meta) list;
+      (** per-function frame layout recorded by frame lowering, carried
+          through the link for the static certifier *)
+  symbol_sizes : (string * int) list;  (** data symbol -> object size *)
 }
 
 let link (p : I.mprog) : t =
@@ -112,6 +116,12 @@ let link (p : I.mprog) : t =
     text_bytes =
       Array.fold_left (fun a i -> a + Wario_machine.Encode.size_bytes i) 0 code;
     data_bytes;
+    frame_meta =
+      List.filter_map
+        (fun (f : I.mfunc) ->
+          match f.I.mframe with Some m -> Some (f.I.mname, m) | None -> None)
+        p.mfuncs;
+    symbol_sizes = List.map (fun (d : I.data) -> (d.dname, d.dsize)) p.mdata;
   }
 
 (** Address of a data symbol (for tests and examples). *)
@@ -119,3 +129,53 @@ let symbol t name =
   match List.assoc_opt name t.symbols with
   | Some a -> a
   | None -> raise (Link_error ("unknown symbol " ^ name))
+
+(* ------------------------------------------------------------------ *)
+(* Machine-CFG recovery (for the static certifier)                      *)
+(* ------------------------------------------------------------------ *)
+
+let instr_count t = Array.length t.code
+
+(** Intra-procedural control successors of [pc]: fall-through and resolved
+    branch targets.  [Bl] falls through to the return continuation (the
+    call edge is [target.(pc)], the return edges come from [return_sites]);
+    [Bx_lr] and halting [Svc]s have none. *)
+let succs t pc : int list =
+  let n = Array.length t.code in
+  let next = if pc + 1 < n then [ pc + 1 ] else [] in
+  match t.code.(pc) with
+  | I.B _ -> [ t.target.(pc) ]
+  | I.Bc _ -> t.target.(pc) :: next
+  | I.Bl _ -> next
+  | I.Bx_lr -> []
+  | I.Svc 0 -> next
+  | I.Svc _ -> []
+  | _ -> next
+
+(** The pc of the first instruction of [fname]. *)
+let function_entry t fname : int =
+  let rec go i =
+    if i >= Array.length t.func_of_pc then
+      raise (Link_error ("no function " ^ fname))
+    else if t.func_of_pc.(i) = fname then i
+    else go (i + 1)
+  in
+  go 0
+
+(** Return continuations of [fname]: the pc after every [Bl] that targets
+    it.  [main] has none (its return halts the machine). *)
+let return_sites t fname : int list =
+  let acc = ref [] in
+  Array.iteri
+    (fun pc ins ->
+      match ins with
+      | I.Bl _
+        when t.func_of_pc.(t.target.(pc)) = fname
+             && pc + 1 < Array.length t.code ->
+          acc := (pc + 1) :: !acc
+      | _ -> ())
+    t.code;
+  List.rev !acc
+
+let frame_meta_of t fname : I.frame_meta option =
+  List.assoc_opt fname t.frame_meta

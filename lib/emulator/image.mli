@@ -22,9 +22,34 @@ type t = {
   init_image : (int * int * int32) list;  (** (addr, bytes, value) *)
   text_bytes : int;
   data_bytes : int;
+  frame_meta : (string * Wario_machine.Isa.frame_meta) list;
+      (** per-function frame layout recorded by frame lowering, carried
+          through the link for the static certifier *)
+  symbol_sizes : (string * int) list;  (** data symbol -> object size *)
 }
 
 val link : Wario_machine.Isa.mprog -> t
 
 val symbol : t -> string -> int
 (** Address of a data symbol (tests and examples). *)
+
+(** {2 Machine-CFG recovery}
+
+    The certifier (lib/certify) reconstructs the machine-level control-flow
+    graph of the linked image from these accessors. *)
+
+val instr_count : t -> int
+
+val succs : t -> int -> int list
+(** Intra-procedural control successors of a pc: fall-through and resolved
+    branch targets.  [Bl] falls through to its return continuation (the
+    call edge is [target.(pc)]); [Bx_lr] and halting [Svc]s have none. *)
+
+val function_entry : t -> string -> int
+(** Pc of the first instruction of a function. *)
+
+val return_sites : t -> string -> int list
+(** Return continuations of a function: the pc after every [Bl] targeting
+    it.  Empty for [main] (its return halts the machine). *)
+
+val frame_meta_of : t -> string -> Wario_machine.Isa.frame_meta option

@@ -71,10 +71,26 @@ type instr =
     layout order. *)
 type mblock = { mlabel : string; mutable mcode : instr list }
 
+(** Frame layout facts recorded by frame lowering and carried through the
+    [Image] into the static certifier (lib/certify).  All offsets are byte
+    offsets relative to the *body-time* stack pointer (after the prolog's
+    push and allocation). *)
+type frame_meta = {
+  fm_frame_bytes : int;  (** the prolog's [sub sp] amount (spill + slot area) *)
+  fm_spill_bytes : int;  (** register-allocator spills live in [0, fm_spill_bytes) *)
+  fm_slots : (int * int * int) list;  (** IR slot id, offset, size *)
+  fm_saved : mreg list;
+      (** push list, lowest address first; saved registers (and lr) occupy
+          [fm_frame_bytes, fm_frame_bytes + 4*|fm_saved|) *)
+  fm_params : int;  (** parameter count (r0..r{n-1} are live at entry) *)
+  fm_returns : bool;  (** r0 carries a value back to the caller *)
+}
+
 type mfunc = {
   mname : string;
   mutable mblocks : mblock list;
   mutable frame_words : int;  (** spill + slot area, in words (after RA) *)
+  mutable mframe : frame_meta option;  (** set by frame lowering *)
 }
 
 (** Initialised data image of a global symbol. *)

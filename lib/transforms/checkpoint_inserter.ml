@@ -144,7 +144,17 @@ let run_func ~(mode : Analysis.Alias.mode) ~escapes (f : func) : int * int =
       10. ** float_of_int (loops.Analysis.Loops.depth_of lbl)
     in
     let t4 = now () in
-    let chosen = Point_hs.solve ~cost sets in
+    let chosen =
+      match Point_hs.solve ~cost sets with
+      | Ok chosen -> chosen
+      | Error (Analysis.Hitting_set.Empty_set _) ->
+          (* unreachable here — [candidates] always includes the point
+             before the store — but fall back to the Naive placement
+             (checkpoint directly before every WAR store) as documented *)
+          List.map
+            (fun (w : Analysis.Pdg.war) -> w.war_store.mo_point)
+            reduced
+    in
     let t5 = now () in
     insert_checkpoints f chosen Middle_end_war;
     if dbg && t5 -. t3 > 0.2 then

@@ -147,6 +147,34 @@ let run_case ?(log = fun _ -> ()) config ~(workload : string * string)
         c_failures = List.rev !failures;
       }
 
+(* Static pre-check: run the idempotence certifier (lib/certify) on each
+   case's build before injecting any power failure.  A certified image
+   cannot trip the dynamic WAR verifier, so a rejection pinpoints a pipeline
+   bug — with a concrete load→store witness — without spending a single
+   schedule. *)
+type precheck = {
+  p_workload : string;
+  p_env : P.environment;
+  p_report : string;  (** rendered rejection (witness paths included) *)
+}
+
+let static_precheck ?(log = fun _ -> ()) (config : config) : precheck list =
+  List.concat_map
+    (fun (name, source) ->
+      List.filter_map
+        (fun env ->
+          let c = P.compile ~opts:config.opts env source in
+          match P.certify c with
+          | Wario_certify.Certify.Certified _ -> None
+          | Wario_certify.Certify.Rejected _ as v ->
+              let report = P.certify_report c v in
+              log
+                (Printf.sprintf "%s × %s: static certifier REJECTED\n%s" name
+                   (P.environment_name env) report);
+              Some { p_workload = name; p_env = env; p_report = report })
+        config.envs)
+    config.workloads
+
 let sweep ?(log = fun _ -> ()) (config : config) : case_report list =
   List.concat_map
     (fun workload ->

@@ -45,6 +45,18 @@ val run_case :
     run that itself violates the WAR verifier is reported as a zero-cut
     failure. *)
 
+type precheck = {
+  p_workload : string;
+  p_env : Wario.Pipeline.environment;
+  p_report : string;  (** rendered rejection, witness paths included *)
+}
+
+val static_precheck : ?log:(string -> unit) -> config -> precheck list
+(** Run the static idempotence certifier (lib/certify) on every case's
+    build; returns the rejected cases.  A certified image cannot trip the
+    dynamic WAR verifier, so rejections pinpoint pipeline bugs before any
+    schedule is injected. *)
+
 val sweep : ?log:(string -> unit) -> config -> case_report list
 
 val total_failures : case_report list -> int

@@ -352,29 +352,35 @@ let test_affine_spine () =
 
 module Hs = A.Hitting_set.Make (Int)
 
+let solve_ok ~cost sets =
+  match Hs.solve ~cost sets with
+  | Ok r -> r
+  | Error (A.Hitting_set.Empty_set i) -> Alcotest.failf "set %d empty" i
+
 let test_hitting_set_shared () =
   (* {1,2} {2,3} {2,9}: 2 hits everything *)
-  let r = Hs.solve ~cost:(fun _ -> 1.) [ [ 1; 2 ]; [ 2; 3 ]; [ 2; 9 ] ] in
+  let r = solve_ok ~cost:(fun _ -> 1.) [ [ 1; 2 ]; [ 2; 3 ]; [ 2; 9 ] ] in
   Alcotest.(check (list int)) "picks the shared element" [ 2 ] r
 
 let test_hitting_set_disjoint () =
-  let r = Hs.solve ~cost:(fun _ -> 1.) [ [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let r = solve_ok ~cost:(fun _ -> 1.) [ [ 1 ]; [ 2 ]; [ 3 ] ] in
   Alcotest.(check int) "three needed" 3 (List.length r)
 
 let test_hitting_set_cost () =
   (* element 5 hits both sets but is expensive; 1 and 2 are cheap *)
   let cost = function 5 -> 10. | _ -> 1. in
-  let r = Hs.solve ~cost [ [ 1; 5 ]; [ 2; 5 ] ] in
+  let r = solve_ok ~cost [ [ 1; 5 ]; [ 2; 5 ] ] in
   Alcotest.(check int) "prefers two cheap" 2 (List.length r);
   (* now make 5 cheap enough to win *)
   let cost = function 5 -> 1.5 | _ -> 1. in
-  let r = Hs.solve ~cost [ [ 1; 5 ]; [ 2; 5 ] ] in
+  let r = solve_ok ~cost [ [ 1; 5 ]; [ 2; 5 ] ] in
   Alcotest.(check (list int)) "prefers one shared" [ 5 ] r
 
 let test_hitting_set_empty_set () =
-  Alcotest.check_raises "empty set rejected"
-    (Invalid_argument "Hitting_set.solve: set 1 is empty") (fun () ->
-      ignore (Hs.solve ~cost:(fun _ -> 1.) [ [ 1 ]; [] ]))
+  match Hs.solve ~cost:(fun _ -> 1.) [ [ 1 ]; []; [ 2 ] ] with
+  | Ok _ -> Alcotest.fail "empty set accepted"
+  | Error (A.Hitting_set.Empty_set i) ->
+      Alcotest.(check int) "names the offending set" 1 i
 
 let test_hitting_set_covers () =
   (* random-ish instance: verify the cover property *)
@@ -385,7 +391,7 @@ let test_hitting_set_covers () =
           (1 + Wario_support.Util.Lcg.int rng 5)
           (fun _ -> Wario_support.Util.Lcg.int rng 30))
   in
-  let r = Hs.solve ~cost:(fun _ -> 1.) sets in
+  let r = solve_ok ~cost:(fun _ -> 1.) sets in
   List.iter
     (fun s ->
       Alcotest.(check bool) "covered" true (List.exists (fun e -> List.mem e r) s))

@@ -78,7 +78,7 @@ let test_webs_split () =
   let mf =
     {
       I.mname = "w";
-      frame_words = 0;
+      frame_words = 0; mframe = None;
       mblocks =
         [
           {
@@ -111,7 +111,7 @@ let test_webs_join_at_merge () =
   let mf =
     {
       I.mname = "w";
-      frame_words = 0;
+      frame_words = 0; mframe = None;
       mblocks =
         [
           { I.mlabel = "w";

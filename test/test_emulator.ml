@@ -11,7 +11,7 @@ module P = Wario.Pipeline
 let mprog_of code : I.mprog =
   {
     I.mfuncs =
-      [ { I.mname = "main"; frame_words = 0;
+      [ { I.mname = "main"; frame_words = 0; mframe = None;
           mblocks = [ { I.mlabel = "main"; mcode = code } ] } ];
     mdata = [];
   }
@@ -98,7 +98,7 @@ let test_push_and_calls () =
         [
           {
             I.mname = "main";
-            frame_words = 0;
+            frame_words = 0; mframe = None;
             mblocks =
               [
                 {
@@ -120,7 +120,7 @@ let test_push_and_calls () =
           };
           {
             I.mname = "double_it";
-            frame_words = 0;
+            frame_words = 0; mframe = None;
             mblocks =
               [
                 {
@@ -148,7 +148,7 @@ let test_link_errors () =
   | exception E.Image.Link_error _ -> ()
   | _ -> Alcotest.fail "undefined label accepted");
   let no_main : I.mprog =
-    { I.mfuncs = [ { I.mname = "f"; frame_words = 0;
+    { I.mfuncs = [ { I.mname = "f"; frame_words = 0; mframe = None;
                      mblocks = [ { I.mlabel = "f"; mcode = [ I.Bx_lr ] } ] } ];
       mdata = [] }
   in
@@ -161,7 +161,7 @@ let test_data_init () =
     {
       I.mfuncs =
         [
-          { I.mname = "main"; frame_words = 0;
+          { I.mname = "main"; frame_words = 0; mframe = None;
             mblocks =
               [ { I.mlabel = "main";
                   mcode =
@@ -442,7 +442,7 @@ let test_cycle_model () =
   (* taken unconditional branch: 3 cycles; branch to a final halt block *)
   let prog =
     { I.mfuncs =
-        [ { I.mname = "main"; frame_words = 0;
+        [ { I.mname = "main"; frame_words = 0; mframe = None;
             mblocks =
               [ { I.mlabel = "main"; mcode = [ I.B "done_" ] };
                 { I.mlabel = "skip"; mcode = [ I.Alu (I.ADD, 0, 0, I.I 1l) ] };

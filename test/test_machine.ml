@@ -35,7 +35,7 @@ let test_encode_narrow_forms () =
 
 let test_text_size () =
   let mf code =
-    { I.mname = "main"; frame_words = 0;
+    { I.mname = "main"; frame_words = 0; mframe = None;
       mblocks = [ { I.mlabel = "main"; mcode = code } ] }
   in
   let p = { I.mfuncs = [ mf [ I.Mov (0, I.I 1l); I.Bl "main"; I.Bx_lr ] ];
@@ -93,7 +93,7 @@ let test_checkpoint_atomic_commit () =
   in
   let prog =
     { I.mfuncs =
-        [ { I.mname = "main"; frame_words = 0;
+        [ { I.mname = "main"; frame_words = 0; mframe = None;
             mblocks = [ { I.mlabel = "main"; mcode = code } ] } ];
       mdata = [] }
   in
@@ -126,7 +126,7 @@ let test_restore_zeroes_dead_registers () =
   in
   let prog =
     { I.mfuncs =
-        [ { I.mname = "main"; frame_words = 0;
+        [ { I.mname = "main"; frame_words = 0; mframe = None;
             mblocks = [ { I.mlabel = "main"; mcode = code } ] } ];
       mdata = [] }
   in
@@ -141,7 +141,7 @@ let test_restore_zeroes_dead_registers () =
 let test_image_symbols () =
   let prog =
     { I.mfuncs =
-        [ { I.mname = "main"; frame_words = 0;
+        [ { I.mname = "main"; frame_words = 0; mframe = None;
             mblocks = [ { I.mlabel = "main"; mcode = [ I.Svc 1 ] } ] } ];
       mdata =
         [ { I.dname = "a"; dsize = 6; dalign = 4; dinit = [] };

@@ -13,5 +13,6 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("extensions", Test_extensions.suite);
       ("verify", Test_verify.suite);
+      ("certify", Test_certify.suite);
       ("properties", Test_props.suite @ Test_props.structural_suite);
     ]
