@@ -2,16 +2,20 @@
    evaluation (§5) on the TM2 emulator, plus Bechamel micro-benchmarks of
    the compiler itself (one Test.make per table/figure family).
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe fig4       # one artefact
-     dune exec bench/main.exe fig4 tab3  # several
+     dune exec bench/main.exe                     # everything
+     dune exec bench/main.exe fig4                # one artefact
+     dune exec bench/main.exe fig4 tab3           # several
+     dune exec bench/main.exe -- --list           # artefact names
+     dune exec bench/main.exe -- --out-dir d fig4 # write d/fig4.txt
 
-   Artefacts: fig4 fig5 tab1 tab2 fig6 fig7 tab3 tab4 bechamel.
-   Absolute numbers differ from the paper (different substrate, scaled
-   inputs — see DESIGN.md §7); the comparisons and shapes are the result. *)
+   Artefacts: fig4 fig5 tab1 tab2 fig6 fig7 tab3 tab4 ext cert profile
+   bechamel.  Absolute numbers differ from the paper (different substrate,
+   scaled inputs — see DESIGN.md §7); the comparisons and shapes are the
+   result. *)
 
 module P = Wario.Pipeline
 module E = Wario_emulator
+module O = Wario_obs
 module Report = Wario.Report
 module W = Wario_workloads.Programs
 
@@ -91,7 +95,45 @@ let fig4 () =
     "WARio+Expander vs Ratchet: %.1f%% lower (paper: 58.1%%); vs R-PDG: %.1f%% \
      (paper: 44.3%%)\n"
     (reduction P.Ratchet P.Wario_expander)
-    (reduction P.R_pdg P.Wario_expander)
+    (reduction P.R_pdg P.Wario_expander);
+  (* decompose the overhead: which cycles are first-execution work and
+     which are the intermittent tax (boot, restore replay, re-execution)?
+     Under continuous power only the initial boot is overhead, so the
+     interesting split needs an intermittent supply. *)
+  print_endline
+    "\n-- wasted-cycle decomposition (wario-expander, periodic 100k-cycle \
+     on-period) --";
+  let rows =
+    List.map
+      (fun b ->
+        match
+          E.Emulator.run
+            ~supply:(E.Power.Periodic 100_000)
+            ~verify:false
+            (get b P.Wario_expander).compiled.P.image
+        with
+        | r ->
+            let w = r.E.Emulator.waste in
+            let pct n =
+              Printf.sprintf "%.2f%%"
+                (100. *. float_of_int n /. float_of_int r.E.Emulator.cycles)
+            in
+            [
+              b.W.name;
+              string_of_int r.E.Emulator.cycles;
+              pct w.E.Emulator.w_useful;
+              pct w.E.Emulator.w_boot;
+              pct w.E.Emulator.w_restore;
+              pct w.E.Emulator.w_reexec;
+            ]
+        | exception E.Emulator.No_forward_progress _ ->
+            [ b.W.name; "stuck"; "-"; "-"; "-"; "-" ])
+      benchmarks
+  in
+  print_string
+    (Report.table
+       [ "benchmark"; "cycles"; "useful"; "boot"; "restore"; "re-executed" ]
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5: checkpoint causes, relative to R-PDG                       *)
@@ -452,6 +494,66 @@ let cert () =
     \ a REJECTED here is a pipeline bug, see lib/certify)"
 
 (* ------------------------------------------------------------------ *)
+(* Profile: traced per-function attribution (lib/obs)                   *)
+(* ------------------------------------------------------------------ *)
+
+let profile () =
+  print_endline
+    "\n=== Profile: traced per-function cycle attribution (lib/obs) ===\n";
+  List.iter
+    (fun b ->
+      Printf.printf "%s:\n" b.W.name;
+      let traced env =
+        let compiled = (get b env).compiled in
+        let sink = O.Trace.ring () in
+        let r = E.Emulator.run ~verify:false ~tracer:sink compiled.P.image in
+        (r, O.Profile.of_events (O.Trace.events sink))
+      in
+      let rows =
+        List.map
+          (fun env ->
+            let r, p = traced env in
+            let total = max 1 p.O.Profile.total_cycles in
+            let ckpt_cycles =
+              List.fold_left
+                (fun a (fr : O.Profile.fn_row) -> a + fr.O.Profile.fn_ckpt_cycles)
+                0 p.O.Profile.rows
+            in
+            let hottest =
+              match p.O.Profile.rows with
+              | [] -> "-"
+              | fr :: _ ->
+                  Printf.sprintf "%s (%.1f%%)" fr.O.Profile.fn_name
+                    (100.
+                    *. float_of_int fr.O.Profile.fn_cycles
+                    /. float_of_int total)
+            in
+            [
+              P.environment_name env;
+              string_of_int r.E.Emulator.cycles;
+              string_of_int r.E.Emulator.checkpoints_total;
+              Printf.sprintf "%.1f%%"
+                (100. *. float_of_int ckpt_cycles /. float_of_int total);
+              hottest;
+            ])
+          instrumented_envs
+      in
+      print_string
+        (Report.table
+           [ "environment"; "cycles"; "ckpts"; "commit %"; "hottest function" ]
+           rows);
+      (* detailed per-function breakdown for the flagship environment *)
+      let _, p = traced P.Wario_expander in
+      Printf.printf "\n%s, wario-expander, per function:\n" b.W.name;
+      print_string (Report.profile_table ~top:6 p);
+      print_newline ())
+    benchmarks;
+  print_endline
+    "(self cycles per function from the event trace; commit %% is the share\n\
+    \ of cycles spent inside checkpoint commits.  [iclang trace] emits the\n\
+    \ same data as Chrome JSON for Perfetto.)"
+
+(* ------------------------------------------------------------------ *)
 (* Table 4                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -527,23 +629,60 @@ let artefacts =
   [
     ("fig4", fig4); ("fig5", fig5); ("tab1", tab1); ("tab2", tab2);
     ("fig6", fig6); ("fig7", fig7); ("tab3", tab3); ("tab4", tab4);
-    ("ext", ext); ("cert", cert); ("bechamel", bechamel);
+    ("ext", ext); ("cert", cert); ("profile", profile); ("bechamel", bechamel);
   ]
 
+(* Redirect stdout to [path] for the duration of [f] (artefact functions
+   print; --out-dir captures that into per-artefact files). *)
+let with_stdout_to path f =
+  flush stdout;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst artefacts
+  let rec parse out_dir names = function
+    | [] -> (out_dir, List.rev names)
+    | "--list" :: _ ->
+        List.iter (fun (n, _) -> print_endline n) artefacts;
+        exit 0
+    | "--out-dir" :: dir :: rest -> parse (Some dir) names rest
+    | [ "--out-dir" ] ->
+        prerr_endline "bench: --out-dir requires a directory argument";
+        exit 1
+    | name :: rest -> parse out_dir (name :: names) rest
   in
+  let out_dir, requested = parse None [] (List.tl (Array.to_list Sys.argv)) in
+  let requested =
+    match requested with [] -> List.map fst artefacts | names -> names
+  in
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name artefacts) then begin
+        Printf.eprintf "unknown artefact %s (have: %s)\n" name
+          (String.concat " " (List.map fst artefacts));
+        exit 1
+      end)
+    requested;
+  (match out_dir with
+  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+  | _ -> ());
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
-      match List.assoc_opt name artefacts with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown artefact %s (have: %s)\n" name
-            (String.concat " " (List.map fst artefacts));
-          exit 1)
+      let f = List.assoc name artefacts in
+      match out_dir with
+      | None -> f ()
+      | Some d ->
+          let path = Filename.concat d (name ^ ".txt") in
+          Printf.eprintf "[bench] %s -> %s\n%!" name path;
+          with_stdout_to path f)
     requested;
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -7,6 +7,7 @@
      iclang compile prog.mc -e wario --dump-asm
      iclang run prog.mc -e ratchet --power 50000 --stats
      iclang run --benchmark sha -e wario-expander --trace rf
+     iclang trace -e wario -b crc --out t.json --metrics m.jsonl --profile
      iclang list-benchmarks
      iclang verify                          # fault-injection sweep
      iclang verify --repro '(repro (workload rmw_loop) (env wario) ...)'
@@ -17,6 +18,7 @@ module R = Wario.Run
 module E = Wario_emulator
 module W = Wario_workloads.Programs
 module V = Wario_verify
+module O = Wario_obs
 open Cmdliner
 
 let read_file path =
@@ -105,6 +107,14 @@ let opts_of ?max_region ?profile ~no_opt unroll =
     optimize = not no_opt;
   }
 
+let supply_of power trace =
+  match (power, trace) with
+  | Some p, _ -> Ok (E.Power.Periodic p)
+  | None, Some "rf" -> Ok (E.Power.Trace (E.Traces.rf_trace ()))
+  | None, Some "solar" -> Ok (E.Power.Trace (E.Traces.solar_trace ()))
+  | None, Some t -> Error ("unknown trace " ^ t ^ " (rf|solar)")
+  | None, None -> Ok E.Power.Continuous
+
 (* --- compile --- *)
 
 let do_compile file benchmark env unroll max_region no_opt dump_ir dump_asm =
@@ -167,12 +177,9 @@ let do_run file benchmark env unroll max_region no_opt profile_guided power
           end
         in
         let supply =
-          match (power, trace) with
-          | Some p, _ -> E.Power.Periodic p
-          | None, Some "rf" -> E.Power.Trace (E.Traces.rf_trace ())
-          | None, Some "solar" -> E.Power.Trace (E.Traces.solar_trace ())
-          | None, Some t -> failwith ("unknown trace " ^ t ^ " (rf|solar)")
-          | None, None -> E.Power.Continuous
+          match supply_of power trace with
+          | Ok s -> s
+          | Error e -> failwith e
         in
         let r =
           E.Emulator.run ~supply ~irq_period:irq ~verify:(not no_verify)
@@ -238,6 +245,183 @@ let run_cmd =
         (const do_run $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
        $ max_region_arg $ no_opt_arg $ profile_guided_arg $ power $ trace
        $ irq $ stats $ no_verify))
+
+(* --- trace --- *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let do_trace file benchmark env unroll max_region no_opt power trace irq out
+    metrics_out folded_out show_profile ring_cap =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok src -> (
+      try
+        let metrics = O.Metrics.create () in
+        let c =
+          P.compile ~opts:(opts_of ?max_region ~no_opt unroll) ~metrics env src
+        in
+        let supply =
+          match supply_of power trace with Ok s -> s | Error e -> failwith e
+        in
+        let sink = O.Trace.ring ~capacity:ring_cap () in
+        let r =
+          E.Emulator.run ~supply ~irq_period:irq ~tracer:sink c.P.image
+        in
+        O.Metrics.set metrics "run.cycles" r.E.Emulator.cycles;
+        O.Metrics.set metrics "run.instrs" r.E.Emulator.instrs;
+        O.Metrics.set metrics "run.checkpoints_total"
+          r.E.Emulator.checkpoints_total;
+        O.Metrics.set metrics "run.power_failures" r.E.Emulator.power_failures;
+        O.Metrics.set metrics "run.boots" r.E.Emulator.boots;
+        O.Metrics.set metrics "run.irqs_taken" r.E.Emulator.irqs_taken;
+        let w = r.E.Emulator.waste in
+        O.Metrics.set metrics "run.useful_cycles" w.E.Emulator.w_useful;
+        O.Metrics.set metrics "run.boot_cycles" w.E.Emulator.w_boot;
+        O.Metrics.set metrics "run.restore_cycles" w.E.Emulator.w_restore;
+        O.Metrics.set metrics "run.reexec_cycles" w.E.Emulator.w_reexec;
+        O.Metrics.set metrics "trace.events" (O.Trace.length sink);
+        O.Metrics.set metrics "trace.dropped" (O.Trace.dropped sink);
+        let evs = O.Trace.events sink in
+        let name =
+          match (benchmark, file) with
+          | Some b, _ -> b
+          | None, Some f -> Filename.basename f
+          | None, None -> "?"
+        in
+        (match out with
+        | Some path ->
+            write_file path
+              (O.Trace.to_chrome_json
+                 ~process_name:(name ^ " [" ^ P.environment_name env ^ "]")
+                 evs);
+            Printf.printf "trace: wrote %d events to %s%s\n"
+              (O.Trace.length sink) path
+              (match O.Trace.dropped sink with
+              | 0 -> ""
+              | n -> Printf.sprintf " (%d dropped by the ring)" n)
+        | None -> ());
+        (match metrics_out with
+        | Some path ->
+            write_file path (O.Metrics.to_jsonl metrics);
+            Printf.printf "metrics: wrote %d entries to %s\n"
+              (List.length (O.Metrics.items metrics))
+              path
+        | None -> ());
+        let prof = O.Profile.of_events evs in
+        (match folded_out with
+        | Some path ->
+            write_file path (O.Profile.folded prof);
+            Printf.printf "folded stacks: %s\n" path
+        | None -> ());
+        if show_profile then begin
+          print_newline ();
+          print_string (Wario.Report.waste_table w);
+          print_newline ();
+          print_string (Wario.Report.profile_table prof);
+          print_newline ();
+          print_string (Wario.Report.regions_table ~top:10 prof);
+          print_newline ()
+        end;
+        Printf.printf
+          "run: %d cycles (%d useful, %d boot, %d restore, %d re-executed), \
+           %d checkpoints, %d power failures\n"
+          r.E.Emulator.cycles w.E.Emulator.w_useful w.E.Emulator.w_boot
+          w.E.Emulator.w_restore w.E.Emulator.w_reexec
+          r.E.Emulator.checkpoints_total r.E.Emulator.power_failures;
+        (* self-check: trace contents must agree with the statistics
+           (checkpoint commits and — with a complete trace — the
+           per-function cycle attribution) *)
+        let module Pr = O.Profile in
+        if O.Trace.dropped sink = 0 then begin
+          if prof.Pr.checkpoints <> r.E.Emulator.checkpoints_total then
+            failwith
+              (Printf.sprintf
+                 "trace inconsistency: %d checkpoint events vs %d in stats"
+                 prof.Pr.checkpoints r.E.Emulator.checkpoints_total);
+          let attributed =
+            List.fold_left
+              (fun acc (row : Pr.fn_row) -> acc + row.Pr.fn_cycles)
+              0 prof.Pr.rows
+          in
+          if attributed <> r.E.Emulator.cycles then
+            failwith
+              (Printf.sprintf
+                 "trace inconsistency: %d attributed cycles vs %d total"
+                 attributed r.E.Emulator.cycles)
+        end;
+        `Ok ()
+      with
+      | Wario_minic.Minic.Error e -> `Error (false, e)
+      | Failure e -> `Error (false, e)
+      | E.Emulator.No_forward_progress supply ->
+          `Error (false, "no forward progress under power supply " ^ supply))
+
+let trace_cmd =
+  let power =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "power" ] ~docv:"CYCLES" ~doc:"Intermittent power: fixed on-period.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"NAME" ~doc:"Harvester trace: rf or solar.")
+  in
+  let irq =
+    Arg.(
+      value & opt int 0
+      & info [ "irq" ] ~docv:"CYCLES" ~doc:"Fire an interrupt every N cycles.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the Chrome trace-event JSON here (load in Perfetto or            chrome://tracing).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write compile-time metrics as JSONL here.")
+  in
+  let folded_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:"Write flamegraph folded-stack lines here.")
+  in
+  let show_profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print the per-function and per-region profile tables and the            wasted-cycle decomposition.")
+  in
+  let ring_cap =
+    Arg.(
+      value & opt int 0
+      & info [ "ring" ] ~docv:"N"
+          ~doc:
+            "Keep only the newest N events (0 = unbounded).  A capped ring            disables the profile's completeness self-checks.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Compile, run on the emulator with the execution tracer, and emit            Chrome trace JSON / metrics JSONL / profile tables")
+    Term.(
+      ret
+        (const do_trace $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
+       $ max_region_arg $ no_opt_arg $ power $ trace $ irq $ out $ metrics_out
+       $ folded_out $ show_profile $ ring_cap))
 
 (* --- verify --- *)
 
@@ -492,6 +676,6 @@ let main =
   Cmd.group
     (Cmd.info "iclang" ~version:"1.0"
        ~doc:"WARio: efficient code generation for intermittent computing")
-    [ compile_cmd; run_cmd; verify_cmd; certify_cmd; list_cmd ]
+    [ compile_cmd; run_cmd; trace_cmd; verify_cmd; certify_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -39,18 +39,27 @@ let mdata_of_global (g : Ir.global) : I.data =
         g.ginit;
   }
 
-(** Compile a WIR program to machine code. *)
-let run ~(config : config) (p : Ir.program) : I.mprog * stats =
+(** Compile a WIR program to machine code.  With a live [metrics]
+    registry, per-pass wall times accumulate across functions under
+    [backend.<pass>.ms] and the spill deltas are recorded as counters. *)
+let run ?(metrics = Wario_obs.Metrics.disabled) ~(config : config)
+    (p : Ir.program) : I.mprog * stats =
+  let module M = Wario_obs.Metrics in
   let stats = ref { spill_wars = 0; spill_ckpts = 0; spill_slots = 0 } in
   let mfuncs =
     List.map
       (fun (f : Ir.func) ->
-        let mf, next_vreg = Isel.select_func f in
-        ignore (Webs.run mf ~next_vreg);
-        let ra = Regalloc.run mf in
+        let mf, next_vreg =
+          M.time metrics "backend.isel.ms" (fun () -> Isel.select_func f)
+        in
+        M.time metrics "backend.webs.ms" (fun () ->
+            ignore (Webs.run mf ~next_vreg));
+        let ra = M.time metrics "backend.regalloc.ms" (fun () -> Regalloc.run mf) in
         let sc =
           match config.spill_strategy with
-          | Some strategy -> Stack_ckpt.run ~strategy ra.mfunc
+          | Some strategy ->
+              M.time metrics "backend.stack_ckpt.ms" (fun () ->
+                  Stack_ckpt.run ~strategy ra.mfunc)
           | None -> { Stack_ckpt.spill_wars = 0; spill_ckpts = 0 }
         in
         let returns =
@@ -59,11 +68,13 @@ let run ~(config : config) (p : Ir.program) : I.mprog * stats =
               match b.term with Ir.Ret (Some _) -> true | _ -> false)
             f.blocks
         in
-        Frame.run ~style:config.epilog_style ~slots:f.slots
-          ~spill_slots:ra.spill_slots
-          ~params:(List.length f.params)
-          ~returns ra.mfunc;
-        Mliveness.set_ckpt_masks ra.mfunc;
+        M.time metrics "backend.frame.ms" (fun () ->
+            Frame.run ~style:config.epilog_style ~slots:f.slots
+              ~spill_slots:ra.spill_slots
+              ~params:(List.length f.params)
+              ~returns ra.mfunc);
+        M.time metrics "backend.mliveness.ms" (fun () ->
+            Mliveness.set_ckpt_masks ra.mfunc);
         stats :=
           {
             spill_wars = !stats.spill_wars + sc.spill_wars;
@@ -73,4 +84,8 @@ let run ~(config : config) (p : Ir.program) : I.mprog * stats =
         ra.mfunc)
       p.funcs
   in
+  M.set metrics "backend.functions" (List.length p.funcs);
+  M.set metrics "backend.spill_wars" !stats.spill_wars;
+  M.set metrics "backend.spill_ckpts" !stats.spill_ckpts;
+  M.set metrics "backend.spill_slots" !stats.spill_slots;
   ({ I.mfuncs; mdata = List.map mdata_of_global p.globals }, !stats)

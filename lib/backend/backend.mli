@@ -19,4 +19,11 @@ val wario_backend : config
 
 type stats = { spill_wars : int; spill_ckpts : int; spill_slots : int }
 
-val run : config:config -> Wario_ir.Ir.program -> Wario_machine.Isa.mprog * stats
+val run :
+  ?metrics:Wario_obs.Metrics.t ->
+  config:config ->
+  Wario_ir.Ir.program ->
+  Wario_machine.Isa.mprog * stats
+(** [metrics] (default {!Wario_obs.Metrics.disabled}) accumulates per-pass
+    wall time under [backend.<pass>.ms] and records the spill-slot /
+    spill-checkpoint deltas as counters. *)

@@ -9,6 +9,7 @@ module Ir = Wario_ir.Ir
 module T = Wario_transforms
 module A = Wario_analysis
 module B = Wario_backend
+module M = Wario_obs.Metrics
 
 type environment =
   | Plain  (** uninstrumented C; continuous power only *)
@@ -138,64 +139,103 @@ let drop_middle_checkpoint (prog : Ir.program) (n : int) : bool =
     true
   end
 
-(** Run the middle end for [env] on [prog] (mutates it). *)
-let middle_end ?(opts = default_options) (env : environment)
-    (prog : Ir.program) : middle_stats =
-  if opts.optimize then T.Opt_pipeline.run prog;
+(** Run the middle end for [env] on [prog] (mutates it).  A live
+    [metrics] registry records per-pass wall time ([middle.<pass>.ms]) and
+    the headline deltas of each pass as counters. *)
+let middle_end ?(opts = default_options) ?(metrics = M.disabled)
+    (env : environment) (prog : Ir.program) : middle_stats =
+  if opts.optimize then
+    M.time metrics "middle.opt_pipeline.ms" (fun () -> T.Opt_pipeline.run prog);
   let lwc =
     match env with
     | Loop_cluster | Wario | Wario_expander ->
         let st =
-          T.Loop_write_clusterer.run ~unroll_factor:opts.unroll_factor prog
+          M.time metrics "middle.loop_write_clusterer.ms" (fun () ->
+              T.Loop_write_clusterer.run ~unroll_factor:opts.unroll_factor prog)
         in
         (* clean up moves and dead snapshots left behind by the clustering
            (copy propagation and DCE never reorder memory operations) *)
-        ignore (T.Copyprop.run prog);
-        ignore (T.Dce.run prog);
+        M.time metrics "middle.lwc_cleanup.ms" (fun () ->
+            ignore (T.Copyprop.run prog);
+            ignore (T.Dce.run prog));
+        M.set metrics "middle.loop_write_clusterer.loops_unrolled"
+          st.T.Loop_write_clusterer.loops_unrolled;
+        M.set metrics "middle.loop_write_clusterer.stores_postponed"
+          st.T.Loop_write_clusterer.stores_postponed;
+        M.set metrics "middle.loop_write_clusterer.reads_instrumented"
+          st.T.Loop_write_clusterer.reads_instrumented;
+        M.set metrics "middle.loop_write_clusterer.reads_forwarded"
+          st.T.Loop_write_clusterer.reads_forwarded;
         Some st
     | _ -> None
   in
   let expander =
     match env with
     | Wario_expander ->
-        Some
-          (T.Expander.run ~size_limit:opts.expander_size_limit
-             ?profile:opts.expander_profile prog)
+        let st =
+          M.time metrics "middle.expander.ms" (fun () ->
+              T.Expander.run ~size_limit:opts.expander_size_limit
+                ?profile:opts.expander_profile prog)
+        in
+        M.set metrics "middle.expander.candidates" st.T.Expander.candidates;
+        M.set metrics "middle.expander.inlined" st.T.Expander.inlined;
+        Some st
     | _ -> None
   in
   let wc_moves =
     match env with
-    | Write_cluster | Wario | Wario_expander -> T.Write_clusterer.run prog
+    | Write_cluster | Wario | Wario_expander ->
+        let n =
+          M.time metrics "middle.write_clusterer.ms" (fun () ->
+              T.Write_clusterer.run prog)
+        in
+        M.set metrics "middle.write_clusterer.stores_moved" n;
+        n
     | _ -> 0
   in
   let wars_found, middle_ckpts =
     match env with
     | Plain -> (0, 0)
-    | Ratchet ->
-        let st = T.Checkpoint_inserter.run ~mode:A.Alias.Basic prog in
-        (st.wars, st.checkpoints)
     | _ ->
-        let st = T.Checkpoint_inserter.run ~mode:A.Alias.Precise prog in
+        let mode =
+          match env with Ratchet -> A.Alias.Basic | _ -> A.Alias.Precise
+        in
+        let st =
+          M.time metrics "middle.checkpoint_inserter.ms" (fun () ->
+              T.Checkpoint_inserter.run ~mode prog)
+        in
+        M.set metrics "middle.checkpoint_inserter.wars" st.T.Checkpoint_inserter.wars;
+        M.set metrics "middle.checkpoint_inserter.checkpoints"
+          st.T.Checkpoint_inserter.checkpoints;
         (st.wars, st.checkpoints)
   in
   (* optional extension: bound region sizes for tiny storage capacitors *)
   (match (env, opts.max_region) with
   | Plain, _ | _, None -> ()
-  | _, Some n -> ignore (T.Region_bounder.run ~max_instrs:n prog));
+  | _, Some n ->
+      M.time metrics "middle.region_bounder.ms" (fun () ->
+          ignore (T.Region_bounder.run ~max_instrs:n prog)));
   (* test-only sabotage: break the schedule so the verifier has a target *)
   (match (env, opts.drop_middle_ckpt) with
   | Plain, _ | _, None -> ()
   | _, Some n -> ignore (drop_middle_checkpoint prog n));
   { wars_found; middle_ckpts; lwc; wc_moves; expander }
 
-(** Compile MiniC source text under a software environment. *)
-let compile ?(opts = default_options) (env : environment) (source : string) :
-    compiled =
-  let prog = Wario_minic.Minic.compile source in
-  let middle = middle_end ~opts env prog in
-  Wario_ir.Ir_verify.verify_program prog;
-  let mprog, backend = B.Backend.run ~config:(backend_config env) prog in
-  let image = Wario_emulator.Image.link mprog in
+(** Compile an already-lowered IR program (used by tests and by
+    {!compile} after the front end). *)
+let compile_ir ?(opts = default_options) ?(metrics = M.disabled)
+    (env : environment) (prog : Ir.program) : compiled =
+  let middle = middle_end ~opts ~metrics env prog in
+  M.time metrics "middle.ir_verify.ms" (fun () ->
+      Wario_ir.Ir_verify.verify_program prog);
+  let mprog, backend =
+    B.Backend.run ~metrics ~config:(backend_config env) prog
+  in
+  let image =
+    M.time metrics "link.ms" (fun () -> Wario_emulator.Image.link mprog)
+  in
+  M.set metrics "link.text_bytes" image.Wario_emulator.Image.text_bytes;
+  M.set metrics "link.data_bytes" image.Wario_emulator.Image.data_bytes;
   {
     env;
     ir = prog;
@@ -206,22 +246,13 @@ let compile ?(opts = default_options) (env : environment) (source : string) :
     text_bytes = image.Wario_emulator.Image.text_bytes;
   }
 
-(** Compile an already-lowered IR program (used by tests). *)
-let compile_ir ?(opts = default_options) (env : environment)
-    (prog : Ir.program) : compiled =
-  let middle = middle_end ~opts env prog in
-  Wario_ir.Ir_verify.verify_program prog;
-  let mprog, backend = B.Backend.run ~config:(backend_config env) prog in
-  let image = Wario_emulator.Image.link mprog in
-  {
-    env;
-    ir = prog;
-    mprog;
-    image;
-    middle;
-    backend;
-    text_bytes = image.Wario_emulator.Image.text_bytes;
-  }
+(** Compile MiniC source text under a software environment. *)
+let compile ?(opts = default_options) ?(metrics = M.disabled)
+    (env : environment) (source : string) : compiled =
+  let prog =
+    M.time metrics "frontend.ms" (fun () -> Wario_minic.Minic.compile source)
+  in
+  compile_ir ~opts ~metrics env prog
 
 (** Static WAR-freedom certification of the linked image (lib/certify):
     translation validation of the whole pipeline above. *)

@@ -56,14 +56,32 @@ type compiled = {
 }
 
 val middle_end :
-  ?opts:options -> environment -> Wario_ir.Ir.program -> middle_stats
-(** Run just the middle end (mutates the program). *)
+  ?opts:options ->
+  ?metrics:Wario_obs.Metrics.t ->
+  environment ->
+  Wario_ir.Ir.program ->
+  middle_stats
+(** Run just the middle end (mutates the program).  A live [metrics]
+    registry (default {!Wario_obs.Metrics.disabled}) records per-pass wall
+    time under [middle.<pass>.ms] plus each pass's headline deltas (WARs
+    found, checkpoints inserted, stores postponed/moved, inlines). *)
 
-val compile : ?opts:options -> environment -> string -> compiled
-(** Compile MiniC source text.
+val compile :
+  ?opts:options ->
+  ?metrics:Wario_obs.Metrics.t ->
+  environment ->
+  string ->
+  compiled
+(** Compile MiniC source text.  [metrics] additionally captures front-end,
+    IR-verify, back-end per-pass and link timings/sizes.
     @raise Wario_minic.Minic.Error on front-end errors *)
 
-val compile_ir : ?opts:options -> environment -> Wario_ir.Ir.program -> compiled
+val compile_ir :
+  ?opts:options ->
+  ?metrics:Wario_obs.Metrics.t ->
+  environment ->
+  Wario_ir.Ir.program ->
+  compiled
 (** Compile an already-lowered IR program (mutates it). *)
 
 val certify : compiled -> Wario_certify.Certify.verdict

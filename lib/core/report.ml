@@ -75,6 +75,70 @@ type region_summary = {
   rs_count : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Observability rendering (lib/obs)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Wasted-cycle decomposition of an emulator result as a one-row table. *)
+let waste_table (w : Wario_emulator.Emulator.waste) : string =
+  let total = w.w_useful + w.w_boot + w.w_restore + w.w_reexec in
+  let cell n =
+    Printf.sprintf "%d (%.1f%%)" n
+      (100. *. float_of_int n /. float_of_int (max 1 total))
+  in
+  table
+    [ "total cycles"; "useful"; "boot"; "restore"; "re-executed" ]
+    [
+      [ string_of_int total; cell w.w_useful; cell w.w_boot; cell w.w_restore;
+        cell w.w_reexec ];
+    ]
+
+(** Per-function profile table (self cycles, checkpoint commits, commit
+    cycles, irqs), top [top] rows by self cycles. *)
+let profile_table ?(top = 0) (p : Wario_obs.Profile.t) : string =
+  let module Pr = Wario_obs.Profile in
+  let rows =
+    List.filter (fun (r : Pr.fn_row) -> r.Pr.fn_cycles > 0) p.Pr.rows
+  in
+  let rows = if top > 0 then Wario_support.Util.take top rows else rows in
+  table
+    [ "function"; "self cycles"; "%"; "ckpts"; "ckpt cycles"; "irqs" ]
+    (List.map
+       (fun (r : Pr.fn_row) ->
+         [
+           r.Pr.fn_name;
+           string_of_int r.Pr.fn_cycles;
+           Printf.sprintf "%.1f"
+             (100.
+             *. float_of_int r.Pr.fn_cycles
+             /. float_of_int (max 1 p.Pr.total_cycles));
+           string_of_int r.Pr.fn_ckpts;
+           string_of_int r.Pr.fn_ckpt_cycles;
+           string_of_int r.Pr.fn_irqs;
+         ])
+       rows)
+
+(** The [top] longest idempotent regions of a trace profile. *)
+let regions_table ?(top = 10) (p : Wario_obs.Profile.t) : string =
+  let module Pr = Wario_obs.Profile in
+  let rs =
+    List.sort
+      (fun (a : Pr.region) b -> compare b.Pr.rg_cycles a.Pr.rg_cycles)
+      p.Pr.regions
+  in
+  let rs = Wario_support.Util.take top rs in
+  table
+    [ "start @cycle"; "cycles"; "function"; "closed by" ]
+    (List.map
+       (fun (r : Pr.region) ->
+         [
+           string_of_int r.Pr.rg_start;
+           string_of_int r.Pr.rg_cycles;
+           r.Pr.rg_func;
+           r.Pr.rg_closed_by;
+         ])
+       rs)
+
 let summarize_regions (sizes : int list) : region_summary =
   match sizes with
   | [] -> { rs_p25 = 0; rs_median = 0; rs_p75 = 0; rs_mean = 0.; rs_max = 0; rs_count = 0 }

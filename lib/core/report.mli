@@ -20,3 +20,16 @@ type region_summary = {
 }
 
 val summarize_regions : int list -> region_summary
+
+(** {1 Observability rendering (lib/obs)} *)
+
+val waste_table : Wario_emulator.Emulator.waste -> string
+(** One-row table decomposing total cycles into useful / boot / restore /
+    re-executed, with percentages. *)
+
+val profile_table : ?top:int -> Wario_obs.Profile.t -> string
+(** Per-function profile (self cycles, commit counts/cycles, irqs), top
+    [top] rows by self cycles (0 = all, the default). *)
+
+val regions_table : ?top:int -> Wario_obs.Profile.t -> string
+(** The [top] (default 10) longest idempotent regions of a trace. *)

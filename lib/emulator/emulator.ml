@@ -22,6 +22,7 @@
      cycles, power failures, cycle/instruction totals. *)
 
 module I = Wario_machine.Isa
+module Tr = Wario_obs.Trace
 
 exception Emu_error of string
 exception No_forward_progress of string
@@ -39,6 +40,13 @@ type cause_counts = {
   mutable c_backend : int;
 }
 
+type waste = {
+  w_useful : int;  (** first-execution work that survived to a commit/halt *)
+  w_boot : int;  (** boot sequences (400 cycles each) *)
+  w_restore : int;  (** checkpoint restore replays *)
+  w_reexec : int;  (** work discarded by power failures, later redone *)
+}
+
 type result = {
   output : int32 list;
   exit_code : int32;
@@ -53,6 +61,8 @@ type result = {
   irqs_taken : int;
   call_counts : (string * int) list;
       (** dynamic calls per callee (a profile for the Expander) *)
+  waste : waste;
+      (** decomposition of [cycles]: useful + boot + restore + re-executed *)
 }
 
 type state = {
@@ -94,7 +104,21 @@ type state = {
   mutable boots_since_commit : int;
   mutable out_rev : int32 list;
   calls : (string, int) Hashtbl.t;
+  (* observability *)
+  tracer : Tr.sink;
+  trace_on : bool;
+  mutable trace_func : string;  (** last function attributed on the tracer *)
+  mutable acc_boot : int;  (** cycles spent in boot sequences *)
+  mutable acc_restore : int;  (** cycles spent replaying restores *)
+  mutable acc_reexec : int;  (** work cycles discarded by power failures *)
+  mutable work_at_commit : int;  (** work-cycle counter at the last commit *)
 }
+
+(* Work cycles: everything except boot and restore replay.  Work done since
+   the last commit is provisionally useful; a power failure discards it
+   (it will re-execute), which is the wasted-cycle accounting behind
+   [result.waste]. *)
+let work_total st = st.cycles - st.acc_boot - st.acc_restore
 
 (* ------------------------------------------------------------------ *)
 (* Memory with WAR tracking                                             *)
@@ -252,7 +276,17 @@ let active_buffer st =
   else if Int32.unsigned_compare s0 s1 >= 0 then Some 0
   else Some 1
 
-let commit_checkpoint st mask resume_pc =
+let obs_cause : I.ckpt_cause -> Tr.cause = function
+  | I.Function_entry -> Tr.Entry
+  | I.Function_exit -> Tr.Exit
+  | I.Middle_end_war -> Tr.Middle
+  | I.Back_end_war -> Tr.Backend
+
+(* Bytes a commit writes into its buffer: seq, mask, pc, sp, flags + the
+   masked registers. *)
+let ckpt_bytes mask = 4 * (popcount mask + 5)
+
+let commit_checkpoint st ~(cause : Tr.cause) mask resume_pc =
   let target =
     match active_buffer st with Some 0 -> 1 | Some _ -> 0 | None -> 0
   in
@@ -274,11 +308,25 @@ let commit_checkpoint st mask resume_pc =
   in
   raw_store32 st base seq;
   st.boots_since_commit <- 0;
+  st.work_at_commit <- work_total st;
+  if st.trace_on then
+    Tr.emit st.tracer st.cycles
+      (Tr.Checkpoint
+         {
+           cause;
+           pc = st.pc;
+           func = st.img.Image.func_of_pc.(st.pc);
+           mask;
+           bytes = ckpt_bytes mask;
+           cost = ckpt_cost mask;
+         });
   region_boundary st
 
-let restore_checkpoint st : bool =
+(* Returns the replay cost in cycles, or [None] when there is no committed
+   checkpoint to restore (cold start). *)
+let restore_checkpoint st : int option =
   match active_buffer st with
-  | None -> false
+  | None -> None
   | Some i ->
       let base = buf_addr i in
       let mask = Int32.to_int (raw_load32 st (base + 4)) in
@@ -291,8 +339,9 @@ let restore_checkpoint st : bool =
             (if mask land (1 lsl r) <> 0 then raw_load32 st (base + 20 + (4 * r))
              else 0l)
       done;
-      st.cycles <- st.cycles + restore_cost mask;
-      true
+      let cost = restore_cost mask in
+      st.cycles <- st.cycles + cost;
+      Some cost
 
 (* ------------------------------------------------------------------ *)
 (* Power                                                                *)
@@ -333,10 +382,32 @@ let power_on st =
   st.pending_irq <- false;
   (* boot + restore; failing inside these just burns the period *)
   spend st boot_cycles;
-  if not (restore_checkpoint st) then cold_start st;
+  st.acc_boot <- st.acc_boot + boot_cycles;
+  let restored =
+    match restore_checkpoint st with
+    | Some cost ->
+        st.acc_restore <- st.acc_restore + cost;
+        Some cost
+    | None ->
+        cold_start st;
+        None
+  in
   if Sys.getenv_opt "WARIO_DEBUG_EMU" <> None && (st.boots < 50 || st.boots mod 10000 = 0) then
     Printf.eprintf "boot %d: pc=%d (%s) cycles=%d\n%!" st.boots st.pc
       st.img.Image.func_of_pc.(st.pc) st.cycles;
+  if st.trace_on then begin
+    let func = st.img.Image.func_of_pc.(st.pc) in
+    Tr.emit st.tracer st.cycles
+      (Tr.Boot
+         {
+           seq = st.boots;
+           restored = restored <> None;
+           boot_cost = boot_cycles;
+           restore_cost = Option.value restored ~default:0;
+           func;
+         });
+    st.trace_func <- func
+  end;
   st.cur_epoch <- st.cur_epoch + 1;
   st.region_start <- st.cycles;
   (* the interrupt timer starts once the application code resumes *)
@@ -344,6 +415,12 @@ let power_on st =
 
 let power_failure st =
   st.failures <- st.failures + 1;
+  (* work since the last commit is discarded: it will be re-executed *)
+  let lost = work_total st - st.work_at_commit in
+  st.acc_reexec <- st.acc_reexec + lost;
+  st.work_at_commit <- work_total st;
+  if st.trace_on then
+    Tr.emit st.tracer st.cycles (Tr.Power_failure { lost_cycles = lost });
   Array.fill st.regs 0 16 0l
 
 (* ------------------------------------------------------------------ *)
@@ -374,7 +451,10 @@ let take_irq st =
     track_read st (frame + (4 * i)) 4;
     ignore (raw_load32 st (frame + (4 * i)))
   done;
-  st.irqs_taken <- st.irqs_taken + 1
+  st.irqs_taken <- st.irqs_taken + 1;
+  if st.trace_on then
+    Tr.emit st.tracer st.cycles
+      (Tr.Irq { pc = st.pc; func = st.img.Image.func_of_pc.(st.pc) })
 
 let maybe_irq st =
   if st.irq_period > 0 && st.cycles >= st.next_irq_at then begin
@@ -470,13 +550,15 @@ let exec_instr st (ins : I.instr) =
       spend st 3;
       if Int32.equal st.regs.(I.lr) halt_magic then begin
         st.halted <- true;
-        st.exit_code <- st.regs.(0)
+        st.exit_code <- st.regs.(0);
+        if st.trace_on then
+          Tr.emit st.tracer st.cycles (Tr.Halt { exit_code = st.exit_code })
       end
       else st.pc <- Int32.to_int st.regs.(I.lr)
   | I.Ckpt (cause, mask) ->
       let mask = if Sys.getenv_opt "WARIO_SAVE_ALL" <> None then 0x7fff else mask in
       spend st (ckpt_cost mask);
-      commit_checkpoint st mask next;
+      commit_checkpoint st ~cause:(obs_cause cause) mask next;
       (match cause with
       | I.Function_entry -> st.counts.c_entry <- st.counts.c_entry + 1
       | I.Function_exit -> st.counts.c_exit <- st.counts.c_exit + 1
@@ -498,12 +580,14 @@ let exec_instr st (ins : I.instr) =
       let mask = 0x5fff in
       spend st (2 + ckpt_cost mask);
       st.out_rev <- st.regs.(0) :: st.out_rev;
-      commit_checkpoint st mask next;
+      commit_checkpoint st ~cause:Tr.Console mask next;
       st.pc <- next
   | I.Svc _ ->
       spend st 1;
       st.halted <- true;
-      st.exit_code <- st.regs.(0)
+      st.exit_code <- st.regs.(0);
+      if st.trace_on then
+        Tr.emit st.tracer st.cycles (Tr.Halt { exit_code = st.exit_code })
   | I.FrameAddr _ | I.SpillLd _ | I.SpillSt _ ->
       raise (Emu_error ("pseudo instruction in linked code: " ^ I.string_of_instr ins))
 
@@ -523,7 +607,8 @@ let init_memory st =
 type t = state
 
 let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
-    ?(irq_period = 0) ?(verify = true) (img : Image.t) : t =
+    ?(irq_period = 0) ?(verify = true) ?(tracer = Tr.null) (img : Image.t) : t
+    =
   let st =
     {
       img;
@@ -560,6 +645,13 @@ let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
       boots_since_commit = 0;
       out_rev = [];
       calls = Hashtbl.create 16;
+      tracer;
+      trace_on = Tr.enabled tracer;
+      trace_func = "";
+      acc_boot = 0;
+      acc_restore = 0;
+      acc_reexec = 0;
+      work_at_commit = 0;
     }
   in
   init_memory st;
@@ -588,7 +680,18 @@ let step st : step =
       maybe_irq st;
       exec_instr st st.img.Image.code.(st.pc);
       st.instrs <- st.instrs + 1;
-      if st.halted then Halted else Stepped
+      if st.halted then Halted
+      else begin
+        if st.trace_on then begin
+          let f = st.img.Image.func_of_pc.(st.pc) in
+          if f != st.trace_func && f <> st.trace_func then begin
+            Tr.emit st.tracer st.cycles
+              (Tr.Func_transition { from_func = st.trace_func; to_func = f });
+            st.trace_func <- f
+          end
+        end;
+        Stepped
+      end
     with Power_failed ->
       power_failure st;
       reboot st;
@@ -657,10 +760,17 @@ let result st : result =
     irqs_taken = st.irqs_taken;
     call_counts =
       List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) st.calls []);
+    waste =
+      {
+        w_useful = st.cycles - st.acc_boot - st.acc_restore - st.acc_reexec;
+        w_boot = st.acc_boot;
+        w_restore = st.acc_restore;
+        w_reexec = st.acc_reexec;
+      };
   }
 
-let run ?fuel ?supply ?irq_period ?verify (img : Image.t) : result =
-  let st = create ?fuel ?supply ?irq_period ?verify img in
+let run ?fuel ?supply ?irq_period ?verify ?tracer (img : Image.t) : result =
+  let st = create ?fuel ?supply ?irq_period ?verify ?tracer img in
   while not st.halted do
     ignore (step st)
   done;

@@ -38,6 +38,18 @@ type cause_counts = {
   mutable c_backend : int;
 }
 
+(** Decomposition of total active cycles (the invariant
+    [w_useful + w_boot + w_restore + w_reexec = cycles] always holds):
+    boot sequences, checkpoint restore replays, work discarded by power
+    failures (it re-executes after the restore), and the first-execution
+    work that survived to a commit or the final halt. *)
+type waste = {
+  w_useful : int;
+  w_boot : int;
+  w_restore : int;
+  w_reexec : int;
+}
+
 type result = {
   output : int32 list;
   exit_code : int32;
@@ -52,6 +64,8 @@ type result = {
   irqs_taken : int;
   call_counts : (string * int) list;
       (** dynamic calls per callee (a profile for the Expander) *)
+  waste : waste;
+      (** decomposition of [cycles]: useful + boot + restore + re-executed *)
 }
 
 val ckpt_cost : int -> int
@@ -59,18 +73,28 @@ val ckpt_cost : int -> int
 
 val restore_cost : int -> int
 
+val ckpt_bytes : int -> int
+(** Bytes a commit writes into its buffer for a given live mask. *)
+
 val run :
   ?fuel:int ->
   ?supply:Power.supply ->
   ?irq_period:int ->
   ?verify:bool ->
+  ?tracer:Wario_obs.Trace.sink ->
   Image.t ->
   result
 (** Execute an image until it halts.
     @param fuel total active-cycle budget (default 2G)
     @param supply power model (default [Continuous])
     @param irq_period fire an interrupt every N cycles (0 = off)
-    @param verify track WAR violations (default true) *)
+    @param verify track WAR violations (default true)
+    @param tracer event sink for the execution tracer (default
+    {!Wario_obs.Trace.null}, whose emissions are single tag tests — no
+    measurable slowdown).  Pass an unbounded {!Wario_obs.Trace.ring} to
+    record every checkpoint commit, power failure, boot/restore,
+    interrupt, function transition and the final halt, with active-cycle
+    timestamps. *)
 
 (** {1 Stepping and snapshots}
 
@@ -86,10 +110,13 @@ val create :
   ?supply:Power.supply ->
   ?irq_period:int ->
   ?verify:bool ->
+  ?tracer:Wario_obs.Trace.sink ->
   Image.t ->
   t
 (** Initialise memory and perform the first power-on (same defaults as
-    {!run}). *)
+    {!run}).  Note that {!clone} shares the tracer sink with the original:
+    stepping both copies interleaves their events, so snapshot-heavy users
+    (lib/verify) should trace at most one instance. *)
 
 type step =
   | Stepped  (** one instruction retired *)

@@ -1,0 +1,90 @@
+(* Compile-time metrics registry.  See metrics.mli. *)
+
+type value = Count of int | Time_ms of float
+
+type t = {
+  live : bool;
+  tbl : (string, value) Hashtbl.t;
+  mutable order_rev : string list;  (* first-recording order, reversed *)
+}
+
+let create () = { live = true; tbl = Hashtbl.create 32; order_rev = [] }
+let disabled = { live = false; tbl = Hashtbl.create 0; order_rev = [] }
+let is_enabled t = t.live
+
+let record t name v =
+  if t.live then begin
+    if not (Hashtbl.mem t.tbl name) then t.order_rev <- name :: t.order_rev;
+    Hashtbl.replace t.tbl name v
+  end
+
+let incr ?(by = 1) t name =
+  if t.live then
+    let cur =
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Count n) -> n
+      | Some (Time_ms _) -> invalid_arg ("Metrics.incr on timer " ^ name)
+      | None -> 0
+    in
+    record t name (Count (cur + by))
+
+let set t name v = record t name (Count v)
+
+let add_ms t name ms =
+  if t.live then
+    let cur =
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Time_ms x) -> x
+      | Some (Count _) -> invalid_arg ("Metrics.add_ms on counter " ^ name)
+      | None -> 0.
+    in
+    record t name (Time_ms (cur +. ms))
+
+let time t name f =
+  if not t.live then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finish () = add_ms t name ((Unix.gettimeofday () -. t0) *. 1000.) in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let items t =
+  List.rev_map
+    (fun name -> (name, Hashtbl.find t.tbl name))
+    t.order_rev
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let kind, value =
+        match v with
+        | Count n -> ("count", string_of_int n)
+        | Time_ms x -> ("time_ms", Printf.sprintf "%.3f" x)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"%s\",\"value\":%s}\n"
+           (escape name) kind value))
+    (items t);
+  Buffer.contents b

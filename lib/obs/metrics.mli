@@ -1,0 +1,42 @@
+(** Compile-time metrics: a named counter/timer registry threaded through
+    the middle-end and back-end passes, serialized as JSONL (one JSON
+    object per line — trivially greppable and appendable across runs).
+
+    A registry is either live ({!create}) or the shared {!disabled}
+    singleton, which turns every operation into a no-op so passes can be
+    instrumented unconditionally. *)
+
+type t
+
+val create : unit -> t
+
+val disabled : t
+(** The no-op registry (the default everywhere a [?metrics] parameter is
+    omitted).  Recording into it does nothing; [to_jsonl] is empty. *)
+
+val is_enabled : t -> bool
+
+val incr : ?by:int -> t -> string -> unit
+(** Add [by] (default 1) to a counter, creating it at 0. *)
+
+val set : t -> string -> int -> unit
+(** Overwrite a counter. *)
+
+val add_ms : t -> string -> float -> unit
+(** Accumulate wall-clock milliseconds into a timer. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run a thunk, accumulating its wall time into the [name] timer.  With
+    {!disabled}, calls the thunk without reading the clock. *)
+
+type value = Count of int | Time_ms of float
+
+val items : t -> (string * value) list
+(** All metrics in first-recording order. *)
+
+val find : t -> string -> value option
+
+val to_jsonl : t -> string
+(** One line per metric:
+    [{"metric":"middle.checkpoint_inserter.wars","kind":"count","value":12}]
+    [{"metric":"backend.regalloc.ms","kind":"time_ms","value":0.734}] *)

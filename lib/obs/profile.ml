@@ -1,0 +1,140 @@
+(* Attribution of a trace-event stream to functions and idempotent
+   regions.  See profile.mli. *)
+
+type fn_row = {
+  fn_name : string;
+  fn_cycles : int;
+  fn_ckpts : int;
+  fn_ckpt_cycles : int;
+  fn_irqs : int;
+}
+
+let boot_pseudo = "(boot)"
+let restore_pseudo = "(restore)"
+
+type region = {
+  rg_start : int;
+  rg_cycles : int;
+  rg_func : string;
+  rg_closed_by : string;
+}
+
+type t = {
+  rows : fn_row list;
+  regions : region list;
+  total_cycles : int;
+  checkpoints : int;
+  power_failures : int;
+  boots : int;
+}
+
+type acc = {
+  mutable a_cycles : int;
+  mutable a_ckpts : int;
+  mutable a_ckpt_cycles : int;
+  mutable a_irqs : int;
+}
+
+let of_events (evs : Trace.timed list) : t =
+  let tbl : (string, acc) Hashtbl.t = Hashtbl.create 32 in
+  let get name =
+    match Hashtbl.find_opt tbl name with
+    | Some a -> a
+    | None ->
+        let a = { a_cycles = 0; a_ckpts = 0; a_ckpt_cycles = 0; a_irqs = 0 } in
+        Hashtbl.add tbl name a;
+        a
+  in
+  let charge name c = if c > 0 then (get name).a_cycles <- (get name).a_cycles + c in
+  let cur = ref boot_pseudo in
+  let last = ref 0 in
+  let checkpoints = ref 0 in
+  let power_failures = ref 0 in
+  let boots = ref 0 in
+  let regions_rev = ref [] in
+  (* [None] before the first boot and between a power failure and the next
+     boot (mirroring the emulator, which only records regions that reach a
+     commit or the final halt) *)
+  let open_region : (int * string) option ref = ref None in
+  let close_region at closed_by =
+    match !open_region with
+    | None -> ()
+    | Some (start, func) ->
+        regions_rev :=
+          { rg_start = start; rg_cycles = at - start; rg_func = func;
+            rg_closed_by = closed_by }
+          :: !regions_rev
+  in
+  List.iter
+    (fun { Trace.at; ev } ->
+      let seg = at - !last in
+      (match ev with
+      | Trace.Boot { restore_cost; func; _ } ->
+          (* the whole segment is boot + restore spend *)
+          let rc = min restore_cost seg in
+          charge boot_pseudo (seg - rc);
+          charge restore_pseudo rc;
+          incr boots;
+          cur := func;
+          open_region := Some (at, func)
+      | Trace.Func_transition { to_func; _ } ->
+          charge !cur seg;
+          cur := to_func
+      | Trace.Checkpoint { cause; func; cost; _ } ->
+          charge !cur seg;
+          let a = get func in
+          if Trace.counted_cause cause then begin
+            a.a_ckpts <- a.a_ckpts + 1;
+            incr checkpoints
+          end;
+          a.a_ckpt_cycles <- a.a_ckpt_cycles + cost;
+          close_region at (Trace.string_of_cause cause);
+          open_region := Some (at, !cur)
+      | Trace.Power_failure _ ->
+          charge !cur seg;
+          incr power_failures;
+          cur := boot_pseudo;
+          open_region := None
+      | Trace.Irq { func = _; _ } ->
+          charge !cur seg;
+          (get !cur).a_irqs <- (get !cur).a_irqs + 1
+      | Trace.Halt _ ->
+          charge !cur seg;
+          close_region at "halt";
+          open_region := None);
+      last := at)
+    evs;
+  let rows =
+    Hashtbl.fold
+      (fun name a acc ->
+        {
+          fn_name = name;
+          fn_cycles = a.a_cycles;
+          fn_ckpts = a.a_ckpts;
+          fn_ckpt_cycles = a.a_ckpt_cycles;
+          fn_irqs = a.a_irqs;
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun x y ->
+           match compare y.fn_cycles x.fn_cycles with
+           | 0 -> compare x.fn_name y.fn_name
+           | c -> c)
+  in
+  {
+    rows;
+    regions = List.rev !regions_rev;
+    total_cycles = !last;
+    checkpoints = !checkpoints;
+    power_failures = !power_failures;
+    boots = !boots;
+  }
+
+let folded (t : t) : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      if r.fn_cycles > 0 then
+        Buffer.add_string b (Printf.sprintf "%s %d\n" r.fn_name r.fn_cycles))
+    t.rows;
+  Buffer.contents b

@@ -1,0 +1,42 @@
+(** Attribution: fold a recorded event stream ({!Trace.events}) into
+    per-function and per-idempotent-region profiles.
+
+    Self cycles are integrated between function-transition timestamps, so
+    the per-function attribution (including the [(boot)]/[(restore)]
+    pseudo-functions) sums exactly to the trace's total active cycles —
+    provided the sink did not drop events (unbounded {!Trace.ring}). *)
+
+type fn_row = {
+  fn_name : string;
+  fn_cycles : int;  (** self cycles, incl. checkpoint commits executed here *)
+  fn_ckpts : int;  (** counted checkpoint commits (console excluded) *)
+  fn_ckpt_cycles : int;  (** cycles of all commits, console included *)
+  fn_irqs : int;
+}
+
+val boot_pseudo : string  (** ["(boot)"] *)
+
+val restore_pseudo : string  (** ["(restore)"] *)
+
+type region = {
+  rg_start : int;  (** active-cycle timestamp of the opening boundary *)
+  rg_cycles : int;
+  rg_func : string;  (** function executing when the region opened *)
+  rg_closed_by : string;  (** cause of the closing boundary *)
+}
+
+type t = {
+  rows : fn_row list;  (** sorted by self cycles, descending *)
+  regions : region list;  (** in execution order *)
+  total_cycles : int;  (** timestamp of the last event *)
+  checkpoints : int;  (** counted commits over the whole trace *)
+  power_failures : int;
+  boots : int;
+}
+
+val of_events : Trace.timed list -> t
+
+val folded : t -> string
+(** Flamegraph folded-stack lines ([name cycles], one per function; the
+    profile is flat, so each stack has depth one).  Feed to
+    [flamegraph.pl] or speedscope. *)

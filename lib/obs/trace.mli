@@ -1,0 +1,80 @@
+(** Emulator execution tracing: typed events with active-cycle timestamps,
+    a no-op / ring sink pair, and renderers (Chrome trace-event JSON for
+    Perfetto, plus raw accessors for {!Profile}).
+
+    The emulator emits one event per checkpoint commit, power failure,
+    boot/restore, interrupt, halt and function transition.  With the
+    {!null} sink every emission is a single tag test — tracing disabled
+    costs no measurable emulator slowdown. *)
+
+(** Checkpoint cause, mirroring {!Wario_machine.Isa.ckpt_cause} plus the
+    implicit console-output commit (which the emulator's cause statistics
+    deliberately exclude — see {!counted_cause}). *)
+type cause = Entry | Exit | Middle | Backend | Console
+
+val string_of_cause : cause -> string
+
+val counted_cause : cause -> bool
+(** [false] only for [Console]: console commits do not appear in
+    [Emulator.result.checkpoints], so well-formedness checks comparing
+    trace contents against [checkpoints_total] must skip them. *)
+
+type event =
+  | Boot of {
+      seq : int;  (** boot ordinal, 1-based *)
+      restored : bool;  (** false = cold start *)
+      boot_cost : int;
+      restore_cost : int;
+      func : string;  (** function execution resumes in *)
+    }
+  | Checkpoint of {
+      cause : cause;
+      pc : int;
+      func : string;
+      mask : int;  (** live-register mask *)
+      bytes : int;  (** bytes written to the checkpoint buffer *)
+      cost : int;  (** commit cost in cycles *)
+    }
+  | Power_failure of {
+      lost_cycles : int;
+          (** work since the last commit, now discarded (will re-execute) *)
+    }
+  | Irq of { pc : int; func : string }
+  | Func_transition of { from_func : string; to_func : string }
+  | Halt of { exit_code : int32 }
+
+type timed = { at : int; ev : event }
+(** [at] is the emulator's active-cycle counter when the event completed.
+    Active cycles never reset across power failures, so timestamps are
+    monotone over the whole trace (and in particular within each power
+    cycle). *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val null : sink
+(** Discards every emission (the default everywhere). *)
+
+val ring : ?capacity:int -> unit -> sink
+(** A recording sink.  [capacity] = 0 (the default) grows without bound;
+    a positive capacity keeps only the newest [capacity] events (a ring),
+    counting the rest in {!dropped}. *)
+
+val enabled : sink -> bool
+val emit : sink -> int -> event -> unit
+
+val events : sink -> timed list
+(** Recorded events, oldest first.  Empty for {!null}. *)
+
+val length : sink -> int
+val dropped : sink -> int
+
+(** {1 Rendering} *)
+
+val to_chrome_json : ?process_name:string -> timed list -> string
+(** The trace as a Chrome trace-event JSON array (load in Perfetto or
+    [chrome://tracing]).  Timestamps are cycles presented as microseconds.
+    Checkpoints and boots become duration ("X") slices, power failures /
+    irqs / halt become instant events, and function transitions are folded
+    into per-function slices on their own track. *)

@@ -11,6 +11,7 @@ let () =
       ("backend", Test_backend.suite);
       ("emulator", Test_emulator.suite @ Test_emulator.cycle_suite);
       ("pipeline", Test_pipeline.suite);
+      ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
       ("verify", Test_verify.suite);
       ("certify", Test_certify.suite);

@@ -17,6 +17,41 @@ let test_report_table () =
   Alcotest.(check string) "row 1 right-aligned" "aaa    1" (List.nth lines 2);
   Alcotest.(check string) "row 2" "b     22" (List.nth lines 3)
 
+let test_report_table_wide_cells () =
+  (* a cell wider than its header must widen the whole column *)
+  let t = Report.table [ "h"; "v" ] [ [ "wide-cell"; "1" ] ] in
+  let lines = String.split_on_char '\n' t in
+  Alcotest.(check string) "header padded to cell width" "h          v"
+    (List.nth lines 0);
+  Alcotest.(check string) "separator spans both columns"
+    (String.make 12 '-') (List.nth lines 1);
+  Alcotest.(check string) "row" "wide-cell  1" (List.nth lines 2)
+
+let test_report_table_empty () =
+  (* header but no data rows: still renders header + separator *)
+  let t = Report.table [ "a"; "bb" ] [] in
+  let lines = String.split_on_char '\n' t in
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  Alcotest.(check string) "header" "a  bb" (List.nth lines 0)
+
+let test_summarize_regions_edges () =
+  let empty = Report.summarize_regions [] in
+  Alcotest.(check int) "empty count" 0 empty.Report.rs_count;
+  Alcotest.(check int) "empty max" 0 empty.Report.rs_max;
+  let single = Report.summarize_regions [ 7 ] in
+  Alcotest.(check int) "singleton p25" 7 single.Report.rs_p25;
+  Alcotest.(check int) "singleton median" 7 single.Report.rs_median;
+  Alcotest.(check int) "singleton p75" 7 single.Report.rs_p75;
+  Alcotest.(check int) "singleton max" 7 single.Report.rs_max;
+  Alcotest.(check (float 1e-9)) "singleton mean" 7.0 single.Report.rs_mean;
+  let flat = Report.summarize_regions [ 5; 5; 5; 5 ] in
+  Alcotest.(check int) "all-equal p25 = median = p75" flat.Report.rs_p25
+    flat.Report.rs_median;
+  Alcotest.(check int) "all-equal p75" flat.Report.rs_median flat.Report.rs_p75;
+  Alcotest.(check int) "all-equal value" 5 flat.Report.rs_median;
+  Alcotest.(check (float 1e-9)) "all-equal mean" 5.0 flat.Report.rs_mean;
+  Alcotest.(check int) "all-equal count" 4 flat.Report.rs_count
+
 let test_report_table4 () =
   let t = Report.table4 () in
   Alcotest.(check bool) "mentions WARio and Ratchet" true
@@ -101,6 +136,10 @@ let test_compile_ir_entry () =
 let suite =
   [
     Alcotest.test_case "report: table" `Quick test_report_table;
+    Alcotest.test_case "report: wide cells" `Quick test_report_table_wide_cells;
+    Alcotest.test_case "report: empty table" `Quick test_report_table_empty;
+    Alcotest.test_case "report: region summary edges" `Quick
+      test_summarize_regions_edges;
     Alcotest.test_case "report: table4" `Quick test_report_table4;
     Alcotest.test_case "report: helpers" `Quick test_report_helpers;
     Alcotest.test_case "minic: multi-source" `Quick test_multi_source_compile;

@@ -1,0 +1,451 @@
+(* Observability (lib/obs): trace sinks and event-stream invariants,
+   per-function attribution, Chrome trace-event JSON well-formedness, and
+   the compile-time metrics registry.  The JSON assertions use a small
+   local parser rather than string matching. *)
+
+module P = Wario.Pipeline
+module E = Wario_emulator
+module W = Wario_workloads.Programs
+module T = Wario_obs.Trace
+module Pr = Wario_obs.Profile
+module M = Wario_obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON parser (enough for Chrome traces and metric lines)    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          incr pos;
+          Buffer.contents b
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "truncated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              Buffer.add_char b (Char.chr (code land 0xff));
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape '%c'" c));
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> lit "true" (J_bool true)
+    | Some 'f' -> lit "false" (J_bool false)
+    | Some 'n' -> lit "null" J_null
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a value"
+  and lit w v =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then begin
+      pos := !pos + l;
+      v
+    end
+    else fail w
+  and number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> J_num f
+    | None -> fail "bad number"
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      J_arr []
+    end
+    else
+      let rec go acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            go (v :: acc)
+        | Some ']' ->
+            incr pos;
+            J_arr (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      go []
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      J_obj []
+    end
+    else
+      let member () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        (k, value ())
+      in
+      let rec go acc =
+        let kv = member () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            go (kv :: acc)
+        | Some '}' ->
+            incr pos;
+            J_obj (List.rev (kv :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      go []
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field k = function J_obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let str_field k o =
+  match field k o with Some (J_str s) -> Some s | _ -> None
+
+let num_field k o =
+  match field k o with Some (J_num f) -> Some f | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Shared traced runs (one compile, reused across cases)                *)
+(* ------------------------------------------------------------------ *)
+
+let sha_image =
+  lazy ((P.compile P.Wario (W.find "sha").W.source).P.image)
+
+let traced ?supply () =
+  let sink = T.ring () in
+  let r = E.Emulator.run ?supply ~verify:false ~tracer:sink (Lazy.force sha_image) in
+  (r, T.events sink)
+
+let continuous = lazy (traced ())
+let intermittent = lazy (traced ~supply:(E.Power.Periodic 50_000) ())
+
+let counted_ckpt_events evs =
+  List.length
+    (List.filter
+       (fun (t : T.timed) ->
+         match t.T.ev with
+         | T.Checkpoint { cause; _ } -> T.counted_cause cause
+         | _ -> false)
+       evs)
+
+let waste_sum (w : E.Emulator.waste) =
+  w.E.Emulator.w_useful + w.E.Emulator.w_boot + w.E.Emulator.w_restore
+  + w.E.Emulator.w_reexec
+
+let attributed_cycles (p : Pr.t) =
+  List.fold_left (fun a (r : Pr.fn_row) -> a + r.Pr.fn_cycles) 0 p.Pr.rows
+
+(* ------------------------------------------------------------------ *)
+(* Trace invariants                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_continuous () =
+  let r, evs = Lazy.force continuous in
+  Alcotest.(check bool) "non-empty trace" true (evs <> []);
+  let rec mono = function
+    | (a : T.timed) :: (b :: _ as rest) -> a.T.at <= b.T.at && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone" true (mono evs);
+  Alcotest.(check int) "counted checkpoint events = stats"
+    r.E.Emulator.checkpoints_total (counted_ckpt_events evs);
+  (match List.rev evs with
+  | { T.ev = T.Halt _; _ } :: _ -> ()
+  | _ -> Alcotest.fail "last event is not Halt");
+  Alcotest.(check int) "waste decomposition sums to cycles"
+    r.E.Emulator.cycles (waste_sum r.E.Emulator.waste);
+  let p = Pr.of_events evs in
+  Alcotest.(check int) "attribution sums to cycles" r.E.Emulator.cycles
+    (attributed_cycles p);
+  Alcotest.(check int) "profile checkpoints = stats"
+    r.E.Emulator.checkpoints_total p.Pr.checkpoints;
+  Alcotest.(check int) "one boot" 1 p.Pr.boots;
+  Alcotest.(check int) "no power failures" 0 p.Pr.power_failures
+
+let test_trace_intermittent () =
+  let rc, _ = Lazy.force continuous in
+  let r, evs = Lazy.force intermittent in
+  Alcotest.(check bool) "the supply actually failed" true
+    (r.E.Emulator.power_failures > 0);
+  Alcotest.(check int) "waste decomposition sums to cycles"
+    r.E.Emulator.cycles (waste_sum r.E.Emulator.waste);
+  Alcotest.(check bool) "re-executed cycles observed" true
+    (r.E.Emulator.waste.E.Emulator.w_reexec > 0);
+  (* re-execution and boots inflate total cycles but never useful ones *)
+  Alcotest.(check int) "useful cycles match the continuous run"
+    rc.E.Emulator.waste.E.Emulator.w_useful
+    r.E.Emulator.waste.E.Emulator.w_useful;
+  let p = Pr.of_events evs in
+  Alcotest.(check int) "profile power failures = stats"
+    r.E.Emulator.power_failures p.Pr.power_failures;
+  Alcotest.(check int) "one boot per power cycle"
+    (r.E.Emulator.power_failures + 1)
+    p.Pr.boots;
+  Alcotest.(check int) "attribution sums to cycles" r.E.Emulator.cycles
+    (attributed_cycles p)
+
+let test_null_sink () =
+  let r_null = E.Emulator.run ~verify:false (Lazy.force sha_image) in
+  let r_rec, _ = Lazy.force continuous in
+  Alcotest.(check int) "tracing does not change cycles"
+    r_null.E.Emulator.cycles r_rec.E.Emulator.cycles;
+  Alcotest.(check int) "tracing does not change checkpoints"
+    r_null.E.Emulator.checkpoints_total r_rec.E.Emulator.checkpoints_total;
+  Alcotest.(check bool) "null sink is disabled" false (T.enabled T.null);
+  Alcotest.(check int) "null sink records nothing" 0 (T.length T.null);
+  Alcotest.(check bool) "null sink has no events" true (T.events T.null = [])
+
+let test_ring_capacity () =
+  let s = T.ring ~capacity:4 () in
+  for i = 1 to 10 do
+    T.emit s i (T.Irq { pc = i; func = "f" })
+  done;
+  Alcotest.(check int) "length capped" 4 (T.length s);
+  Alcotest.(check int) "dropped counts the rest" 6 (T.dropped s);
+  Alcotest.(check (list int)) "newest events kept, oldest first"
+    [ 7; 8; 9; 10 ]
+    (List.map (fun (t : T.timed) -> t.T.at) (T.events s))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_json () =
+  let r, evs = Lazy.force intermittent in
+  let items =
+    match parse_json (T.to_chrome_json evs) with
+    | J_arr items -> items
+    | _ -> Alcotest.fail "top level is not an array"
+  in
+  Alcotest.(check bool) "non-empty" true (items <> []);
+  List.iter
+    (fun it ->
+      (match str_field "ph" it with
+      | Some ("X" | "i" | "M") -> ()
+      | Some ph -> Alcotest.fail ("unexpected phase " ^ ph)
+      | None -> Alcotest.fail "event without ph");
+      match str_field "ph" it with
+      | Some "M" -> ()
+      | _ -> (
+          (match num_field "ts" it with
+          | Some ts when ts >= 0. -> ()
+          | _ -> Alcotest.fail "event without non-negative ts");
+          match str_field "ph" it with
+          | Some "X" -> (
+              match num_field "dur" it with
+              | Some d when d >= 0. -> ()
+              | _ -> Alcotest.fail "X slice without non-negative dur")
+          | _ -> ()))
+    items;
+  let counted_json =
+    List.length
+      (List.filter
+         (fun it ->
+           str_field "name" it = Some "checkpoint"
+           &&
+           match field "args" it with
+           | Some args -> str_field "cause" args <> Some "console"
+           | None -> false)
+         items)
+  in
+  Alcotest.(check int) "checkpoint slices = stats"
+    r.E.Emulator.checkpoints_total counted_json;
+  let failures =
+    List.length
+      (List.filter (fun it -> str_field "name" it = Some "power-failure") items)
+  in
+  Alcotest.(check int) "power-failure instants = stats"
+    r.E.Emulator.power_failures failures
+
+let test_folded () =
+  let _, evs = Lazy.force continuous in
+  let p = Pr.of_events evs in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Pr.folded p))
+  in
+  Alcotest.(check bool) "one line per hot function" true (lines <> []);
+  let parsed =
+    List.map
+      (fun l ->
+        match String.rindex_opt l ' ' with
+        | Some i ->
+            ( String.sub l 0 i,
+              int_of_string (String.sub l (i + 1) (String.length l - i - 1)) )
+        | None -> Alcotest.fail ("bad folded line: " ^ l))
+      lines
+  in
+  Alcotest.(check bool) "mentions the hot loop" true
+    (List.mem_assoc "sha_transform" parsed);
+  Alcotest.(check int) "folded cycles sum to attribution"
+    (attributed_cycles p)
+    (List.fold_left (fun a (_, c) -> a + c) 0 parsed)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let m = M.create () in
+  M.incr m "a";
+  M.incr m "a";
+  M.incr ~by:3 m "a";
+  M.set m "b" 42;
+  M.add_ms m "t" 1.5;
+  let v = M.time m "t" (fun () -> 7) in
+  Alcotest.(check int) "time returns the thunk value" 7 v;
+  Alcotest.(check bool) "live registry" true (M.is_enabled m);
+  (match M.find m "a" with
+  | Some (M.Count 5) -> ()
+  | _ -> Alcotest.fail "counter a");
+  (match M.find m "b" with
+  | Some (M.Count 42) -> ()
+  | _ -> Alcotest.fail "counter b");
+  (match M.find m "t" with
+  | Some (M.Time_ms x) when x >= 1.5 -> ()
+  | _ -> Alcotest.fail "timer t accumulates");
+  Alcotest.(check (list string)) "first-recording order" [ "a"; "b"; "t" ]
+    (List.map fst (M.items m));
+  (* a raising thunk still records its time, then re-raises *)
+  (match M.time m "boom" (fun () -> raise Exit) with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Exit -> ());
+  Alcotest.(check bool) "raising thunk recorded" true (M.find m "boom" <> None)
+
+let test_metrics_jsonl () =
+  let m = M.create () in
+  M.incr ~by:12 m "middle.checkpoint_inserter.wars";
+  M.add_ms m "backend.regalloc.ms" 0.734;
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (M.to_jsonl m))
+  in
+  Alcotest.(check int) "one line per metric" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      let o = parse_json line in
+      (match str_field "metric" o with
+      | Some _ -> ()
+      | None -> Alcotest.fail "line without metric name");
+      (match str_field "kind" o with
+      | Some ("count" | "time_ms") -> ()
+      | _ -> Alcotest.fail "line with bad kind");
+      match num_field "value" o with
+      | Some _ -> ()
+      | None -> Alcotest.fail "line without numeric value")
+    lines;
+  (match parse_json (List.nth lines 0) with
+  | o when str_field "metric" o = Some "middle.checkpoint_inserter.wars" ->
+      Alcotest.(check (option string)) "count kind" (Some "count")
+        (str_field "kind" o)
+  | _ -> Alcotest.fail "first line is not the counter");
+  (* the disabled singleton is inert *)
+  Alcotest.(check bool) "disabled" false (M.is_enabled M.disabled);
+  M.incr M.disabled "x";
+  M.set M.disabled "x" 1;
+  M.add_ms M.disabled "x" 1.0;
+  Alcotest.(check int) "disabled time still runs the thunk" 9
+    (M.time M.disabled "x" (fun () -> 9));
+  Alcotest.(check bool) "disabled records nothing" true (M.items M.disabled = []);
+  Alcotest.(check string) "disabled jsonl empty" "" (M.to_jsonl M.disabled)
+
+(* ------------------------------------------------------------------ *)
+(* Compile pipeline fills the registry                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_metrics () =
+  let metrics = M.create () in
+  let c = P.compile ~metrics P.Wario (W.find "crc").W.source in
+  ignore c;
+  let has name =
+    match M.find metrics name with Some _ -> true | None -> false
+  in
+  Alcotest.(check bool) "frontend timed" true (has "frontend.ms");
+  Alcotest.(check bool) "middle-end WARs counted" true
+    (has "middle.checkpoint_inserter.wars");
+  Alcotest.(check bool) "backend functions counted" true
+    (has "backend.functions");
+  Alcotest.(check bool) "link size recorded" true (has "link.text_bytes");
+  (match M.find metrics "link.text_bytes" with
+  | Some (M.Count n) when n > 0 -> ()
+  | _ -> Alcotest.fail "text_bytes positive")
+
+let suite =
+  [
+    Alcotest.test_case "trace: continuous invariants" `Quick
+      test_trace_continuous;
+    Alcotest.test_case "trace: intermittent invariants" `Quick
+      test_trace_intermittent;
+    Alcotest.test_case "trace: null sink" `Quick test_null_sink;
+    Alcotest.test_case "trace: ring capacity" `Quick test_ring_capacity;
+    Alcotest.test_case "trace: chrome JSON" `Quick test_chrome_json;
+    Alcotest.test_case "profile: folded lines" `Quick test_folded;
+    Alcotest.test_case "metrics: registry" `Quick test_metrics_registry;
+    Alcotest.test_case "metrics: jsonl and disabled" `Quick test_metrics_jsonl;
+    Alcotest.test_case "metrics: pipeline fills registry" `Quick
+      test_pipeline_metrics;
+  ]
