@@ -7,9 +7,13 @@
      dune exec bench/main.exe fig4 tab3           # several
      dune exec bench/main.exe -- --list           # artefact names
      dune exec bench/main.exe -- --out-dir d fig4 # write d/fig4.txt
+     dune exec bench/main.exe -- --jobs 8 perf    # perf + BENCH_4.json
+     dune exec bench/main.exe -- --small --artefact perf   # CI smoke
 
    Artefacts: fig4 fig5 tab1 tab2 fig6 fig7 tab3 tab4 ext cert profile
-   bechamel.  Absolute numbers differ from the paper (different substrate,
+   bechamel perf.  The compile+run cache is prefilled on --jobs domains
+   (default: the host's domain count; results are identical for any value).
+   Absolute numbers differ from the paper (different substrate,
    scaled inputs — see DESIGN.md §7); the comparisons and shapes are the
    result. *)
 
@@ -18,6 +22,7 @@ module E = Wario_emulator
 module O = Wario_obs
 module Report = Wario.Report
 module W = Wario_workloads.Programs
+module X = Wario_exec.Exec
 
 let benchmarks = W.all
 
@@ -33,23 +38,47 @@ type entry = { compiled : P.compiled; run : E.Emulator.result }
 
 let cache : (string * string, entry) Hashtbl.t = Hashtbl.create 64
 
+let key_of ~unroll (b : W.benchmark) env =
+  (b.W.name, P.environment_name env ^ "@" ^ string_of_int unroll)
+
+let compute ~unroll (b : W.benchmark) (env : P.environment) : entry =
+  let opts = { P.default_options with unroll_factor = unroll } in
+  let compiled = P.compile ~opts env b.source in
+  let run = E.Emulator.run ~verify:(env <> P.Plain) compiled.P.image in
+  { compiled; run }
+
+let warn_violations (b : W.benchmark) env e =
+  match e.run.E.Emulator.violations with
+  | _ :: _ when env <> P.Plain ->
+      Printf.eprintf "*** %s [%s]: %d WAR violations!\n" b.name
+        (P.environment_name env)
+        (List.length e.run.E.Emulator.violations)
+  | _ -> ()
+
 let get ?(unroll = 8) (b : W.benchmark) (env : P.environment) : entry =
-  let key = (b.name, P.environment_name env ^ "@" ^ string_of_int unroll) in
+  let key = key_of ~unroll b env in
   match Hashtbl.find_opt cache key with
   | Some e -> e
   | None ->
-      let opts = { P.default_options with unroll_factor = unroll } in
-      let compiled = P.compile ~opts env b.source in
-      let run = E.Emulator.run ~verify:(env <> P.Plain) compiled.P.image in
-      (match run.E.Emulator.violations with
-      | _ :: _ when env <> P.Plain ->
-          Printf.eprintf "*** %s [%s]: %d WAR violations!\n" b.name
-            (P.environment_name env)
-            (List.length run.E.Emulator.violations)
-      | _ -> ());
-      let e = { compiled; run } in
+      let e = compute ~unroll b env in
+      warn_violations b env e;
       Hashtbl.replace cache key e;
       e
+
+(* Warm the cache for a grid of cases on [jobs] domains.  The Hashtbl is
+   not domain-safe, so the jobs only compile and run (each builds its own
+   program and emulator); the fill — and the violation warnings — happen
+   here, sequentially, in input order. *)
+let prefill ~jobs ?(unroll = 8) (grid : (W.benchmark * P.environment) list) =
+  let missing =
+    List.filter (fun (b, env) -> not (Hashtbl.mem cache (key_of ~unroll b env))) grid
+  in
+  X.map ~jobs (fun (b, env) -> compute ~unroll b env) missing
+  |> List.iter2
+       (fun (b, env) e ->
+         warn_violations b env e;
+         Hashtbl.replace cache (key_of ~unroll b env) e)
+       missing
 
 let norm_time b env =
   let plain = (get b P.Plain).run.E.Emulator.cycles in
@@ -622,6 +651,178 @@ let bechamel () =
   print_string (Report.table [ "pass"; "time" ] (List.sort compare !rows))
 
 (* ------------------------------------------------------------------ *)
+(* Perf: emulator throughput and harness wall-clock (BENCH_4.json)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by the driver before artefacts run. *)
+let opt_jobs = ref 0 (* 0 = not set: use X.default_jobs () *)
+let opt_small = ref false
+let opt_out_dir : string option ref = ref None
+
+let resolved_jobs () = if !opt_jobs >= 1 then !opt_jobs else X.default_jobs ()
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* best-of-N wall-clock (min, the standard throughput estimator) *)
+let best_of reps f =
+  let r, t0 = time_of f in
+  let best = ref t0 in
+  for _ = 2 to reps do
+    let _, t = time_of f in
+    if t < !best then best := t
+  done;
+  (r, !best)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let perf () =
+  print_endline
+    "\n=== Perf: emulator fast-path throughput and parallel harness \
+     wall-clock ===\n";
+  let reps = if !opt_small then 2 else 3 in
+  (* -- emulator throughput: largest benchmark (by executed instructions,
+        wario environment), continuous supply -- *)
+  let largest =
+    List.fold_left
+      (fun acc b ->
+        let n = (get b P.Wario).run.E.Emulator.instrs in
+        match acc with
+        | Some (_, best) when best >= n -> acc
+        | _ -> Some (b, n))
+      None benchmarks
+    |> Option.get |> fst
+  in
+  let image = (get largest P.Wario).compiled.P.image in
+  let run_path ~verify path () =
+    E.Emulator.run ~verify ~path image
+  in
+  let r_ref_verify, t_ref_verify =
+    best_of reps (run_path ~verify:true E.Emulator.Reference)
+  in
+  let r_ref, t_ref = best_of reps (run_path ~verify:false E.Emulator.Reference) in
+  let r_fast, t_fast = best_of reps (run_path ~verify:false E.Emulator.Fast) in
+  let fast_eq = r_fast = r_ref in
+  let fast_eq_verify =
+    (* verify-on differs only in that it can report violations *)
+    r_fast = { r_ref_verify with E.Emulator.violations = [] }
+    && r_ref_verify.E.Emulator.violations = []
+  in
+  if not (fast_eq && fast_eq_verify) then
+    failwith "perf: fast path diverged from the reference path";
+  let ips t = float_of_int r_fast.E.Emulator.instrs /. t in
+  let rows =
+    [
+      [ "reference, verify on"; Printf.sprintf "%.3f s" t_ref_verify;
+        Printf.sprintf "%.2fM instr/s" (ips t_ref_verify /. 1e6); "1.00" ];
+      [ "reference, verify off"; Printf.sprintf "%.3f s" t_ref;
+        Printf.sprintf "%.2fM instr/s" (ips t_ref /. 1e6);
+        Printf.sprintf "%.2f" (t_ref_verify /. t_ref) ];
+      [ "fast"; Printf.sprintf "%.3f s" t_fast;
+        Printf.sprintf "%.2fM instr/s" (ips t_fast /. 1e6);
+        Printf.sprintf "%.2f" (t_ref_verify /. t_fast) ];
+    ]
+  in
+  Printf.printf "emulator throughput: %s, %d instrs, continuous supply, \
+                 best of %d\n"
+    largest.W.name r_fast.E.Emulator.instrs reps;
+  print_string
+    (Report.table [ "path"; "wall"; "throughput"; "speedup" ] rows);
+  Printf.printf
+    "fast = reference (verify off): %b; = reference (verify on, modulo \
+     violations=[]): %b\n"
+    fast_eq fast_eq_verify;
+  (* -- harness wall-clock: schedule fan-out at jobs=1 vs jobs=N -- *)
+  let module H = Wario_verify.Harness in
+  let par_jobs = max 2 (resolved_jobs ()) in
+  let config jobs =
+    {
+      H.default_config with
+      H.workloads =
+        List.filter
+          (fun (n, _) -> List.mem n [ "rmw_loop"; "byte_ops" ])
+          H.default_config.H.workloads;
+      envs = [ P.Wario; P.Wario_expander ];
+      schedules_per_case = (if !opt_small then 24 else 100);
+      exhaustive_limit = (if !opt_small then 24 else 100);
+      jobs;
+    }
+  in
+  let sweep jobs () = H.sweep (config jobs) in
+  let reports_seq, t_seq = best_of reps (sweep 1) in
+  let reports_par, t_par = best_of reps (sweep par_jobs) in
+  let identical = reports_seq = reports_par in
+  if not identical then
+    failwith "perf: parallel harness reports differ from sequential";
+  let schedules =
+    List.fold_left (fun a r -> a + r.H.c_schedules) 0 reports_seq
+  in
+  Printf.printf
+    "\nharness fan-out: %d schedules, %d case(s), best of %d\n" schedules
+    (List.length reports_seq) reps;
+  print_string
+    (Report.table
+       [ "jobs"; "wall"; "speedup" ]
+       [
+         [ "1"; Printf.sprintf "%.3f s" t_seq; "1.00" ];
+         [ string_of_int par_jobs; Printf.sprintf "%.3f s" t_par;
+           Printf.sprintf "%.2f" (t_seq /. t_par) ];
+       ]);
+  Printf.printf "parallel report identical to sequential: %b\n" identical;
+  (* -- BENCH_4.json -- *)
+  let json =
+    String.concat ""
+      [
+        "{\n";
+        "  \"bench\": \"perf\",\n";
+        Printf.sprintf "  \"host\": {\"recommended_domains\": %d},\n"
+          (X.default_jobs ());
+        Printf.sprintf "  \"small\": %b,\n" !opt_small;
+        "  \"emulator\": {\n";
+        Printf.sprintf "    \"benchmark\": \"%s\",\n"
+          (json_escape largest.W.name);
+        Printf.sprintf "    \"instrs\": %d,\n" r_fast.E.Emulator.instrs;
+        Printf.sprintf "    \"reference_verify_on_s\": %.6f,\n" t_ref_verify;
+        Printf.sprintf "    \"reference_verify_off_s\": %.6f,\n" t_ref;
+        Printf.sprintf "    \"fast_s\": %.6f,\n" t_fast;
+        Printf.sprintf "    \"fast_instr_per_s\": %.0f,\n" (ips t_fast);
+        Printf.sprintf "    \"speedup_vs_reference_verify_on\": %.3f,\n"
+          (t_ref_verify /. t_fast);
+        Printf.sprintf "    \"speedup_vs_reference_verify_off\": %.3f,\n"
+          (t_ref /. t_fast);
+        Printf.sprintf "    \"fast_equals_reference\": %b\n"
+          (fast_eq && fast_eq_verify);
+        "  },\n";
+        "  \"harness\": {\n";
+        Printf.sprintf "    \"schedules\": %d,\n" schedules;
+        Printf.sprintf "    \"jobs\": %d,\n" par_jobs;
+        Printf.sprintf "    \"sequential_s\": %.6f,\n" t_seq;
+        Printf.sprintf "    \"parallel_s\": %.6f,\n" t_par;
+        Printf.sprintf "    \"speedup\": %.3f,\n" (t_seq /. t_par);
+        Printf.sprintf "    \"identical_reports\": %b\n" identical;
+        "  }\n";
+        "}\n";
+      ]
+  in
+  let dir = match !opt_out_dir with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_4.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -630,6 +831,7 @@ let artefacts =
     ("fig4", fig4); ("fig5", fig5); ("tab1", tab1); ("tab2", tab2);
     ("fig6", fig6); ("fig7", fig7); ("tab3", tab3); ("tab4", tab4);
     ("ext", ext); ("cert", cert); ("profile", profile); ("bechamel", bechamel);
+    ("perf", perf);
   ]
 
 (* Redirect stdout to [path] for the duration of [f] (artefact functions
@@ -657,9 +859,28 @@ let () =
     | [ "--out-dir" ] ->
         prerr_endline "bench: --out-dir requires a directory argument";
         exit 1
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            opt_jobs := j;
+            parse out_dir names rest
+        | _ ->
+            prerr_endline "bench: --jobs requires an integer >= 1";
+            exit 1)
+    | [ "--jobs" ] ->
+        prerr_endline "bench: --jobs requires an integer >= 1";
+        exit 1
+    | "--small" :: rest ->
+        opt_small := true;
+        parse out_dir names rest
+    | "--artefact" :: name :: rest -> parse out_dir (name :: names) rest
+    | [ "--artefact" ] ->
+        prerr_endline "bench: --artefact requires an artefact name";
+        exit 1
     | name :: rest -> parse out_dir (name :: names) rest
   in
   let out_dir, requested = parse None [] (List.tl (Array.to_list Sys.argv)) in
+  opt_out_dir := out_dir;
   let requested =
     match requested with [] -> List.map fst artefacts | names -> names
   in
@@ -675,6 +896,12 @@ let () =
   | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
   | _ -> ());
   let t0 = Unix.gettimeofday () in
+  (* warm the compile+run cache for the unroll-8 grid on all domains:
+     every artefact after this hits the cache instead of recompiling *)
+  prefill ~jobs:(resolved_jobs ())
+    (List.concat_map
+       (fun b -> List.map (fun env -> (b, env)) (P.Plain :: instrumented_envs))
+       benchmarks);
   List.iter
     (fun name ->
       let f = List.assoc name artefacts in

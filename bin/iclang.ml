@@ -19,6 +19,7 @@ module E = Wario_emulator
 module W = Wario_workloads.Programs
 module V = Wario_verify
 module O = Wario_obs
+module X = Wario_exec.Exec
 open Cmdliner
 
 let read_file path =
@@ -97,6 +98,20 @@ let no_opt_arg =
     & info [ "O0"; "no-opt" ]
         ~doc:
           "Skip the generic -O3 substitute (mem2reg/inlining/folding) before            the WARio transformations.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel work (default: the host's            recommended domain count; 1 = sequential).  Results and output            ordering are identical for every N.")
+
+(* default = domain count; anything below 1 is a usage error *)
+let resolve_jobs = function
+  | None -> Ok (X.default_jobs ())
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "--jobs must be >= 1 (got %d)" n)
 
 let opts_of ?max_region ?profile ~no_opt unroll =
   {
@@ -254,7 +269,10 @@ let write_file path s =
   close_out oc
 
 let do_trace file benchmark env unroll max_region no_opt power trace irq out
-    metrics_out folded_out show_profile ring_cap =
+    metrics_out folded_out show_profile ring_cap jobs =
+  match resolve_jobs jobs with
+  | Error e -> `Error (true, e)
+  | Ok jobs -> (
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok src -> (
@@ -291,31 +309,50 @@ let do_trace file benchmark env unroll max_region no_opt power trace irq out
           | None, Some f -> Filename.basename f
           | None, None -> "?"
         in
-        (match out with
-        | Some path ->
-            write_file path
-              (O.Trace.to_chrome_json
-                 ~process_name:(name ^ " [" ^ P.environment_name env ^ "]")
-                 evs);
-            Printf.printf "trace: wrote %d events to %s%s\n"
-              (O.Trace.length sink) path
-              (match O.Trace.dropped sink with
-              | 0 -> ""
-              | n -> Printf.sprintf " (%d dropped by the ring)" n)
-        | None -> ());
-        (match metrics_out with
-        | Some path ->
-            write_file path (O.Metrics.to_jsonl metrics);
-            Printf.printf "metrics: wrote %d entries to %s\n"
-              (List.length (O.Metrics.items metrics))
-              path
-        | None -> ());
         let prof = O.Profile.of_events evs in
-        (match folded_out with
-        | Some path ->
-            write_file path (O.Profile.folded prof);
-            Printf.printf "folded stacks: %s\n" path
-        | None -> ());
+        (* render the requested artefacts on parallel domains — each is a
+           pure function of the already-collected run data — then write and
+           report from here, in input order, so output never interleaves *)
+        let requested =
+          List.filter_map Fun.id
+            [
+              Option.map (fun p -> (`Chrome, p)) out;
+              Option.map (fun p -> (`Metrics, p)) metrics_out;
+              Option.map (fun p -> (`Folded, p)) folded_out;
+            ]
+        in
+        let rendered =
+          X.map ~jobs
+            (fun (kind, path) ->
+              let body =
+                match kind with
+                | `Chrome ->
+                    O.Trace.to_chrome_json
+                      ~process_name:
+                        (name ^ " [" ^ P.environment_name env ^ "]")
+                      evs
+                | `Metrics -> O.Metrics.to_jsonl metrics
+                | `Folded -> O.Profile.folded prof
+              in
+              (kind, path, body))
+            requested
+        in
+        List.iter
+          (fun (kind, path, body) ->
+            write_file path body;
+            match kind with
+            | `Chrome ->
+                Printf.printf "trace: wrote %d events to %s%s\n"
+                  (O.Trace.length sink) path
+                  (match O.Trace.dropped sink with
+                  | 0 -> ""
+                  | n -> Printf.sprintf " (%d dropped by the ring)" n)
+            | `Metrics ->
+                Printf.printf "metrics: wrote %d entries to %s\n"
+                  (List.length (O.Metrics.items metrics))
+                  path
+            | `Folded -> Printf.printf "folded stacks: %s\n" path)
+          rendered;
         if show_profile then begin
           print_newline ();
           print_string (Wario.Report.waste_table w);
@@ -357,7 +394,7 @@ let do_trace file benchmark env unroll max_region no_opt power trace irq out
       | Wario_minic.Minic.Error e -> `Error (false, e)
       | Failure e -> `Error (false, e)
       | E.Emulator.No_forward_progress supply ->
-          `Error (false, "no forward progress under power supply " ^ supply))
+          `Error (false, "no forward progress under power supply " ^ supply)))
 
 let trace_cmd =
   let power =
@@ -421,12 +458,15 @@ let trace_cmd =
       ret
         (const do_trace $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
        $ max_region_arg $ no_opt_arg $ power $ trace $ irq $ out $ metrics_out
-       $ folded_out $ show_profile $ ring_cap))
+       $ folded_out $ show_profile $ ring_cap $ jobs_arg))
 
 (* --- verify --- *)
 
 let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
-    drop_ckpt repro =
+    drop_ckpt jobs repro =
+  match resolve_jobs jobs with
+  | Error e -> `Error (true, e)
+  | Ok jobs -> (
   match repro with
   | Some line -> (
       match V.Repro.of_string line with
@@ -474,25 +514,24 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
                   max_region;
                   drop_middle_ckpt = drop_ckpt;
                 };
+              jobs;
             }
           in
+          (* progress lines may be emitted while worker domains are live:
+             funnel them through one mutex so lines never interleave *)
+          let log = X.serialized (fun s -> Printf.printf "  %s\n%!" s) in
           Printf.printf
             "static pre-check: certifying %d environment(s) × %d workload(s)\n%!"
             (List.length config_envs) (List.length workloads);
-          let rejected =
-            V.Harness.static_precheck
-              ~log:(fun s -> Printf.printf "  %s\n%!" s)
-              config
-          in
+          let rejected = V.Harness.static_precheck ~log config in
           Printf.printf "static pre-check: %d rejection(s)\n%!"
             (List.length rejected);
           Printf.printf
             "fault-injection sweep: %d environment(s) × %d workload(s), ≥%d \
-             schedules each, seed %Ld\n%!"
-            (List.length config_envs) (List.length workloads) schedules seed;
-          let reports =
-            V.Harness.sweep ~log:(fun s -> Printf.printf "  %s\n%!" s) config
-          in
+             schedules each, seed %Ld, %d job(s)\n%!"
+            (List.length config_envs) (List.length workloads) schedules seed
+            jobs;
+          let reports = V.Harness.sweep ~log config in
           let total =
             List.fold_left
               (fun acc r -> acc + r.V.Harness.c_schedules)
@@ -506,7 +545,7 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
           if failures = 0 && rejected = [] then `Ok ()
           else if failures = 0 then
             `Error (false, "static certifier rejected some builds")
-          else `Error (false, "crash-consistency violations detected"))
+          else `Error (false, "crash-consistency violations detected")))
 
 let verify_cmd =
   let envs =
@@ -566,11 +605,16 @@ let verify_cmd =
     Term.(
       ret
         (const do_verify $ envs $ workloads $ schedules $ seed
-       $ exhaustive_limit $ unroll_arg $ max_region_arg $ drop_ckpt $ repro))
+       $ exhaustive_limit $ unroll_arg $ max_region_arg $ drop_ckpt $ jobs_arg
+       $ repro))
 
 (* --- certify --- *)
 
-let do_certify file benchmark envs unroll max_region no_opt drop_ckpt verbose =
+let do_certify file benchmark envs unroll max_region no_opt drop_ckpt verbose
+    jobs =
+  match resolve_jobs jobs with
+  | Error e -> `Error (true, e)
+  | Ok jobs -> (
   let sources =
     match (file, benchmark) with
     | None, None ->
@@ -602,33 +646,44 @@ let do_certify file benchmark envs unroll max_region no_opt drop_ckpt verbose =
           P.drop_middle_ckpt = drop_ckpt;
         }
       in
-      let rejected = ref 0 in
-      List.iter
-        (fun (name, src) ->
-          List.iter
-            (fun env ->
-              try
-                let c = P.compile ~opts env src in
-                match P.certify c with
-                | Wario_certify.Certify.Certified s as v ->
-                    Printf.printf
+      let tasks =
+        List.concat_map
+          (fun (name, src) -> List.map (fun env -> (name, src, env)) envs)
+          sources
+      in
+      (* each job compiles and certifies its own build (nothing shared);
+         the rendered verdicts come back in input order and are printed
+         from here, so output is byte-identical for any --jobs *)
+      let verdicts =
+        X.map ~jobs
+          (fun (name, src, env) ->
+            try
+              let c = P.compile ~opts env src in
+              match P.certify c with
+              | Wario_certify.Certify.Certified s as v ->
+                  ( false,
+                    Printf.sprintf
                       "certify %-10s [%-14s]: CERTIFIED  (%d pairs discharged, \
                        %d barriers, %d loads/%d stores)\n"
                       name (P.environment_name env) s.s_pairs s.s_barriers
-                      s.s_loads s.s_stores;
-                    if verbose then print_string (P.certify_report c v)
-                | Wario_certify.Certify.Rejected (rs, _) as v ->
-                    incr rejected;
-                    Printf.printf "certify %-10s [%-14s]: REJECTED  (%d problem(s))\n"
-                      name (P.environment_name env) (List.length rs);
-                    print_string (P.certify_report c v)
-              with Wario_minic.Minic.Error e ->
-                incr rejected;
-                Printf.printf "certify %-10s: front-end error: %s\n" name e)
-            envs)
-        sources;
-      if !rejected = 0 then `Ok ()
-      else `Error (false, Printf.sprintf "%d build(s) rejected" !rejected)
+                      s.s_loads s.s_stores
+                    ^ if verbose then P.certify_report c v else "" )
+              | Wario_certify.Certify.Rejected (rs, _) as v ->
+                  ( true,
+                    Printf.sprintf
+                      "certify %-10s [%-14s]: REJECTED  (%d problem(s))\n" name
+                      (P.environment_name env) (List.length rs)
+                    ^ P.certify_report c v )
+            with Wario_minic.Minic.Error e ->
+              (true, Printf.sprintf "certify %-10s: front-end error: %s\n" name e))
+          tasks
+      in
+      List.iter (fun (_, s) -> print_string s) verdicts;
+      let rejected =
+        List.length (List.filter (fun (bad, _) -> bad) verdicts)
+      in
+      if rejected = 0 then `Ok ()
+      else `Error (false, Printf.sprintf "%d build(s) rejected" rejected))
 
 let certify_cmd =
   let envs =
@@ -658,7 +713,7 @@ let certify_cmd =
     Term.(
       ret
         (const do_certify $ file_arg $ benchmark_arg $ envs $ unroll_arg
-       $ max_region_arg $ no_opt_arg $ drop_ckpt $ verbose))
+       $ max_region_arg $ no_opt_arg $ drop_ckpt $ verbose $ jobs_arg))
 
 (* --- list-benchmarks --- *)
 

@@ -144,11 +144,16 @@ let summarize_regions (sizes : int list) : region_summary =
   | [] -> { rs_p25 = 0; rs_median = 0; rs_p75 = 0; rs_mean = 0.; rs_max = 0; rs_count = 0 }
   | _ ->
       let module U = Wario_support.Util in
+      (* one sort serves all three percentiles, the mean, the max and the
+         count (region lists reach one entry per checkpoint commit) *)
+      let sorted = Array.of_list sizes in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
       {
-        rs_p25 = U.percentile 25. sizes;
-        rs_median = U.percentile 50. sizes;
-        rs_p75 = U.percentile 75. sizes;
-        rs_mean = U.mean sizes;
-        rs_max = List.fold_left max 0 sizes;
-        rs_count = List.length sizes;
+        rs_p25 = U.percentile_sorted 25. sorted;
+        rs_median = U.percentile_sorted 50. sorted;
+        rs_p75 = U.percentile_sorted 75. sorted;
+        rs_mean = float_of_int (Array.fold_left ( + ) 0 sorted) /. float_of_int n;
+        rs_max = sorted.(n - 1);
+        rs_count = n;
       }

@@ -65,6 +65,42 @@ type result = {
       (** decomposition of [cycles]: useful + boot + restore + re-executed *)
 }
 
+(* [budget]: remaining cycles in the current on-period; [unlimited_budget]
+   encodes a continuous supply.  An int (not [int option]) so the
+   per-instruction spend never allocates. *)
+let unlimited_budget = max_int
+
+(* Predecoded micro-ops for the fast path.  Every static decode decision —
+   operand shape (register vs immediate), access width, ALU operator — is
+   folded into one constant constructor at [create], so the interpreter
+   loop dispatches through a single jump table over an immediate array
+   instead of re-matching nested variants (and re-unboxing [int32]
+   immediates) on every execution of the same pc. *)
+type uop =
+  (* ALU, register / immediate second operand *)
+  | U_add_r | U_sub_r | U_rsb_r | U_mul_r | U_sdiv_r | U_udiv_r
+  | U_and_r | U_orr_r | U_eor_r | U_lsl_r | U_lsr_r | U_asr_r
+  | U_add_i | U_sub_i | U_rsb_i | U_mul_i | U_sdiv_i | U_udiv_i
+  | U_and_i | U_orr_i | U_eor_i | U_lsl_i | U_lsr_i | U_asr_i
+  (* moves and compares *)
+  | U_mov_r | U_mov_i | U_movw
+  | U_movc_r | U_movc_i
+  | U_cmp_r | U_cmp_i
+  (* loads: immediate offset / register offset, by width *)
+  | U_ldr8 | U_ldr8s | U_ldr16 | U_ldr16s | U_ldr32
+  | U_ldrr8 | U_ldrr8s | U_ldrr16 | U_ldrr16s | U_ldrr32
+  (* stores (sign-extending widths store identically to their unsigned
+     twins, so S8/S16 fold into W8/W16 at predecode) *)
+  | U_str8 | U_str16 | U_str32
+  | U_strr8 | U_strr16 | U_strr32
+  | U_push
+  (* control *)
+  | U_b | U_bc | U_bl | U_bx_lr
+  (* intermittence support *)
+  | U_ckpt | U_cpsid | U_cpsie
+  | U_svc_print | U_svc_halt
+  | U_pseudo
+
 type state = {
   img : Image.t;
   supply_desc : string;  (** for diagnostics (No_forward_progress) *)
@@ -81,7 +117,7 @@ type state = {
   mutable exit_code : int32;
   (* power *)
   power : Power.t;
-  mutable budget : int option;
+  mutable budget : int;  (** [unlimited_budget] = continuous *)
   mutable cycles : int;
   mutable instrs : int;
   fuel : int;
@@ -103,7 +139,35 @@ type state = {
   mutable boots : int;
   mutable boots_since_commit : int;
   mutable out_rev : int32 list;
-  calls : (string, int) Hashtbl.t;
+  (* dense per-function dynamic call counters (the Expander profile);
+     indexed by the function's slot in [fn_names] *)
+  fn_names : string array;
+  fn_calls : int array;
+  (* fast-path register file: [regs] holds boxed [int32]s, so every
+     register write through it allocates; the fast path runs over this
+     unboxed mirror (same values, sign-extended to native ints) and syncs
+     with [regs] at batch boundaries and checkpoint commits *)
+  fregs : int array;
+  (* per-pc tables precomputed by [create] — every per-instruction cost
+     that is static (which is all of them except a not-taken [Bc]) is
+     paid for once here instead of per step: *)
+  save_all : bool;  (** WARIO_SAVE_ALL, read once at [create] *)
+  cost : int array;  (** static spend per pc ([Bc]: the taken cost, 3) *)
+  eff_mask : int array;
+      (** effective checkpoint mask per pc ([Ckpt]/[Svc 0]); -1 elsewhere *)
+  push_n : int array;  (** registers pushed per pc ([Push]); 0 elsewhere *)
+  call_fn : int array;  (** callee's [fn_names] slot per pc ([Bl]); -1 *)
+  max_step_cost : int;  (** max of [cost]: batch-headroom unit *)
+  (* predecoded program (fast path): micro-op plus up to three int
+     operands per pc.  Operand meaning is per-[uop]: register numbers,
+     sign-extended immediates/offsets, branch targets, callee slots.
+     [fcond] carries the condition for [U_bc]/[U_movc_*] pcs ([AL]
+     elsewhere).  All five are immediate arrays — reads never allocate. *)
+  fop : uop array;
+  fa : int array;
+  fb : int array;
+  fc : int array;
+  fcond : I.cond array;
   (* observability *)
   tracer : Tr.sink;
   trace_on : bool;
@@ -350,14 +414,15 @@ let restore_checkpoint st : int option =
 exception Power_failed
 
 (* Spend [c] cycles atomically; raises [Power_failed] if the budget cannot
-   cover them (the action does not take place). *)
+   cover them (the action does not take place).  An unlimited budget is
+   [unlimited_budget] cycles: far above any reachable spend (fuel caps the
+   total), so the same two branch-free int operations serve both cases. *)
 let spend st c =
-  (match st.budget with
-  | Some b when b < c ->
-      st.budget <- Some 0;
-      raise Power_failed
-  | Some b -> st.budget <- Some (b - c)
-  | None -> ());
+  if st.budget < c then begin
+    st.budget <- 0;
+    raise Power_failed
+  end;
+  st.budget <- st.budget - c;
   st.cycles <- st.cycles + c;
   if st.cycles > st.fuel then
     raise (Emu_error "cycle budget exhausted (no termination?)")
@@ -377,7 +442,10 @@ let power_on st =
   st.boots_since_commit <- st.boots_since_commit + 1;
   if st.boots_since_commit > no_forward_progress_threshold then
     raise (No_forward_progress st.supply_desc);
-  st.budget <- Power.next_budget st.power;
+  st.budget <-
+    (match Power.next_budget st.power with
+    | Some b -> b
+    | None -> unlimited_budget);
   st.primask <- false;
   st.pending_irq <- false;
   (* boot + restore; failing inside these just burns the period *)
@@ -516,8 +584,8 @@ let exec_instr st (ins : I.instr) =
       st.regs.(rd) <- st.img.Image.adr.(st.pc);
       st.pc <- next
   | I.Push rs ->
-      spend st (1 + List.length rs);
-      let n = List.length rs in
+      spend st st.cost.(st.pc);
+      let n = st.push_n.(st.pc) in
       let sp = Int32.to_int st.regs.(I.sp) - (4 * n) in
       check_addr st sp (4 * n);
       List.iteri
@@ -541,9 +609,8 @@ let exec_instr st (ins : I.instr) =
       end
   | I.Bl _ ->
       spend st 4;
-      let callee = st.img.Image.func_of_pc.(st.img.Image.target.(st.pc)) in
-      Hashtbl.replace st.calls callee
-        (1 + try Hashtbl.find st.calls callee with Not_found -> 0);
+      let idx = st.call_fn.(st.pc) in
+      st.fn_calls.(idx) <- st.fn_calls.(idx) + 1;
       st.regs.(I.lr) <- Int32.of_int next;
       st.pc <- st.img.Image.target.(st.pc)
   | I.Bx_lr ->
@@ -555,9 +622,11 @@ let exec_instr st (ins : I.instr) =
           Tr.emit st.tracer st.cycles (Tr.Halt { exit_code = st.exit_code })
       end
       else st.pc <- Int32.to_int st.regs.(I.lr)
-  | I.Ckpt (cause, mask) ->
-      let mask = if Sys.getenv_opt "WARIO_SAVE_ALL" <> None then 0x7fff else mask in
-      spend st (ckpt_cost mask);
+  | I.Ckpt (cause, _) ->
+      (* effective mask (WARIO_SAVE_ALL folded in) and its cost are
+         precomputed per pc by [create] *)
+      let mask = st.eff_mask.(st.pc) in
+      spend st st.cost.(st.pc);
       commit_checkpoint st ~cause:(obs_cause cause) mask next;
       (match cause with
       | I.Function_entry -> st.counts.c_entry <- st.counts.c_entry + 1
@@ -577,8 +646,8 @@ let exec_instr st (ins : I.instr) =
       (* console output, made atomic with an implicit checkpoint (the
          standard treatment of peripheral output; not counted in the cause
          statistics) *)
-      let mask = 0x5fff in
-      spend st (2 + ckpt_cost mask);
+      let mask = st.eff_mask.(st.pc) in
+      spend st st.cost.(st.pc);
       st.out_rev <- st.regs.(0) :: st.out_rev;
       commit_checkpoint st ~cause:Tr.Console mask next;
       st.pc <- next
@@ -606,9 +675,195 @@ let init_memory st =
 
 type t = state
 
+(* Per-pc cost/mask/callee tables, computed once per instance.  They fold
+   every static per-instruction decision — ALU cost class, checkpoint mask
+   (incl. the WARIO_SAVE_ALL override) and its popcount-derived cost, push
+   width, callee identity — out of the interpreter loop. *)
+let build_tables ~save_all (img : Image.t) =
+  let n = Array.length img.Image.code in
+  let cost = Array.make n 1
+  and eff_mask = Array.make n (-1)
+  and push_n = Array.make n 0
+  and call_fn = Array.make n (-1)
+  and fop = Array.make n U_pseudo
+  and fa = Array.make n 0
+  and fb = Array.make n 0
+  and fc = Array.make n 0
+  and fcond = Array.make n I.AL in
+  (* dense function indexing, in func_of_pc order (deterministic) *)
+  let index = Hashtbl.create 16 in
+  let names_rev = ref [] in
+  let fn_index name =
+    match Hashtbl.find_opt index name with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length index in
+        Hashtbl.add index name i;
+        names_rev := name :: !names_rev;
+        i
+  in
+  Array.iter (fun f -> ignore (fn_index f)) img.Image.func_of_pc;
+  for pc = 0 to n - 1 do
+    cost.(pc) <-
+      (match img.Image.code.(pc) with
+      | I.Alu (op, _, _, _) -> (
+          match op with I.SDIV | I.UDIV -> 6 | _ -> 1)
+      | I.Mov _ | I.Movc _ | I.Cmp _ | I.Cpsid | I.Cpsie -> 1
+      | I.Movw32 _ | I.Ldr _ | I.LdrR _ | I.Str _ | I.StrR _ | I.AdrData _ ->
+          2
+      | I.Push rs ->
+          push_n.(pc) <- List.length rs;
+          1 + List.length rs
+      | I.B _ | I.Bx_lr -> 3
+      | I.Bc _ -> 3 (* taken; not-taken costs 1 *)
+      | I.Bl _ ->
+          call_fn.(pc) <-
+            fn_index img.Image.func_of_pc.(img.Image.target.(pc));
+          4
+      | I.Ckpt (_, mask) ->
+          let m = if save_all then 0x7fff else mask in
+          eff_mask.(pc) <- m;
+          ckpt_cost m
+      | I.Svc 0 ->
+          eff_mask.(pc) <- 0x5fff;
+          2 + ckpt_cost 0x5fff
+      | I.Svc _ -> 1
+      | I.FrameAddr _ | I.SpillLd _ | I.SpillSt _ -> 1 (* raises on execute *));
+    (* predecode (reads [call_fn] for Bl, so it runs after the cost pass
+       above has filled this pc's slot) *)
+    (match img.Image.code.(pc) with
+    | I.Alu (op, rd, rn, o) ->
+        fa.(pc) <- rd;
+        fb.(pc) <- rn;
+        fop.(pc) <-
+          (match (op, o) with
+          | I.ADD, I.R _ -> U_add_r | I.SUB, I.R _ -> U_sub_r
+          | I.RSB, I.R _ -> U_rsb_r | I.MUL, I.R _ -> U_mul_r
+          | I.SDIV, I.R _ -> U_sdiv_r | I.UDIV, I.R _ -> U_udiv_r
+          | I.AND, I.R _ -> U_and_r | I.ORR, I.R _ -> U_orr_r
+          | I.EOR, I.R _ -> U_eor_r | I.LSL, I.R _ -> U_lsl_r
+          | I.LSR, I.R _ -> U_lsr_r | I.ASR, I.R _ -> U_asr_r
+          | I.ADD, I.I _ -> U_add_i | I.SUB, I.I _ -> U_sub_i
+          | I.RSB, I.I _ -> U_rsb_i | I.MUL, I.I _ -> U_mul_i
+          | I.SDIV, I.I _ -> U_sdiv_i | I.UDIV, I.I _ -> U_udiv_i
+          | I.AND, I.I _ -> U_and_i | I.ORR, I.I _ -> U_orr_i
+          | I.EOR, I.I _ -> U_eor_i | I.LSL, I.I _ -> U_lsl_i
+          | I.LSR, I.I _ -> U_lsr_i | I.ASR, I.I _ -> U_asr_i);
+        fc.(pc) <- (match o with I.R rm -> rm | I.I i -> Int32.to_int i)
+    | I.Mov (rd, o) ->
+        fa.(pc) <- rd;
+        (match o with
+        | I.R rm ->
+            fop.(pc) <- U_mov_r;
+            fc.(pc) <- rm
+        | I.I i ->
+            fop.(pc) <- U_mov_i;
+            fc.(pc) <- Int32.to_int i)
+    | I.Movw32 (rd, v) ->
+        fop.(pc) <- U_movw;
+        fa.(pc) <- rd;
+        fc.(pc) <- Int32.to_int v
+    | I.AdrData (rd, _, _) ->
+        (* the link-resolved constant: same "load constant" micro-op *)
+        fop.(pc) <- U_movw;
+        fa.(pc) <- rd;
+        fc.(pc) <- Int32.to_int img.Image.adr.(pc)
+    | I.Movc (c, rd, o) ->
+        fa.(pc) <- rd;
+        fcond.(pc) <- c;
+        (match o with
+        | I.R rm ->
+            fop.(pc) <- U_movc_r;
+            fc.(pc) <- rm
+        | I.I i ->
+            fop.(pc) <- U_movc_i;
+            fc.(pc) <- Int32.to_int i)
+    | I.Cmp (rn, o) ->
+        fa.(pc) <- rn;
+        (match o with
+        | I.R rm ->
+            fop.(pc) <- U_cmp_r;
+            fc.(pc) <- rm
+        | I.I i ->
+            fop.(pc) <- U_cmp_i;
+            fc.(pc) <- Int32.to_int i)
+    | I.Ldr (w, rd, rn, off) ->
+        fa.(pc) <- rd;
+        fb.(pc) <- rn;
+        fc.(pc) <- Int32.to_int off;
+        fop.(pc) <-
+          (match w with
+          | I.W8 -> U_ldr8 | I.S8 -> U_ldr8s
+          | I.W16 -> U_ldr16 | I.S16 -> U_ldr16s
+          | I.W32 -> U_ldr32)
+    | I.LdrR (w, rd, rn, rm) ->
+        fa.(pc) <- rd;
+        fb.(pc) <- rn;
+        fc.(pc) <- rm;
+        fop.(pc) <-
+          (match w with
+          | I.W8 -> U_ldrr8 | I.S8 -> U_ldrr8s
+          | I.W16 -> U_ldrr16 | I.S16 -> U_ldrr16s
+          | I.W32 -> U_ldrr32)
+    | I.Str (w, rd, rn, off) ->
+        fa.(pc) <- rd;
+        fb.(pc) <- rn;
+        fc.(pc) <- Int32.to_int off;
+        fop.(pc) <-
+          (match w with
+          | I.W8 | I.S8 -> U_str8
+          | I.W16 | I.S16 -> U_str16
+          | I.W32 -> U_str32)
+    | I.StrR (w, rd, rn, rm) ->
+        fa.(pc) <- rd;
+        fb.(pc) <- rn;
+        fc.(pc) <- rm;
+        fop.(pc) <-
+          (match w with
+          | I.W8 | I.S8 -> U_strr8
+          | I.W16 | I.S16 -> U_strr16
+          | I.W32 -> U_strr32)
+    | I.Push _ ->
+        (* the register list itself is re-read from [code] on execution *)
+        fop.(pc) <- U_push;
+        fa.(pc) <- push_n.(pc)
+    | I.B _ ->
+        fop.(pc) <- U_b;
+        fc.(pc) <- img.Image.target.(pc)
+    | I.Bc (c, _) ->
+        fop.(pc) <- U_bc;
+        fcond.(pc) <- c;
+        fc.(pc) <- img.Image.target.(pc)
+    | I.Bl _ ->
+        fop.(pc) <- U_bl;
+        fa.(pc) <- call_fn.(pc);
+        fc.(pc) <- img.Image.target.(pc)
+    | I.Bx_lr -> fop.(pc) <- U_bx_lr
+    | I.Ckpt _ -> fop.(pc) <- U_ckpt
+    | I.Cpsid -> fop.(pc) <- U_cpsid
+    | I.Cpsie -> fop.(pc) <- U_cpsie
+    | I.Svc 0 -> fop.(pc) <- U_svc_print
+    | I.Svc _ -> fop.(pc) <- U_svc_halt
+    | I.FrameAddr _ | I.SpillLd _ | I.SpillSt _ -> fop.(pc) <- U_pseudo)
+  done;
+  let fn_names = Array.of_list (List.rev !names_rev) in
+  ( cost, eff_mask, push_n, call_fn, fn_names,
+    Array.fold_left max 1 cost, fop, fa, fb, fc, fcond )
+
 let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
     ?(irq_period = 0) ?(verify = true) ?(tracer = Tr.null) (img : Image.t) : t
     =
+  (* sampled exactly once, here; "" and "0" mean off so tests (and
+     shells) can clear it without [unsetenv] *)
+  let save_all =
+    match Sys.getenv_opt "WARIO_SAVE_ALL" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  let cost, eff_mask, push_n, call_fn, fn_names, max_step_cost, fop, fa, fb,
+      fc, fcond =
+    build_tables ~save_all img
+  in
   let st =
     {
       img;
@@ -625,7 +880,7 @@ let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
       halted = false;
       exit_code = 0l;
       power = Power.create supply;
-      budget = None;
+      budget = unlimited_budget;
       cycles = 0;
       instrs = 0;
       fuel;
@@ -644,7 +899,20 @@ let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
       boots = 0;
       boots_since_commit = 0;
       out_rev = [];
-      calls = Hashtbl.create 16;
+      fn_names;
+      fn_calls = Array.make (Array.length fn_names) 0;
+      fregs = Array.make 16 0;
+      save_all;
+      cost;
+      eff_mask;
+      push_n;
+      call_fn;
+      max_step_cost;
+      fop;
+      fa;
+      fb;
+      fc;
+      fcond;
       tracer;
       trace_on = Tr.enabled tracer;
       trace_func = "";
@@ -699,9 +967,481 @@ let step st : step =
 
 let cut_power st =
   if not st.halted then begin
-    st.budget <- Some 0;
+    st.budget <- 0;
     power_failure st;
     reboot st
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fast path                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The branch-light twin of [step]/[exec_instr], for the bench
+   configuration: WAR verification off, tracer off, periodic interrupts
+   off.  It must stay observably byte-for-byte equivalent to the reference
+   path — the qcheck property in test/test_props.ml ("fast path =
+   reference path") and the perf artefact's self-check hold the two
+   together; [exec_instr] remains the oracle.
+
+   What it drops relative to the reference path:
+   - boxed [int32] register traffic: it executes over [fregs], an unboxed
+     [int array] mirror of [regs] (values sign-extended to native ints),
+     so the steady state allocates nothing — the reference path allocates
+     a fresh [int32] block on nearly every instruction;
+   - [track_read]/[track_write] calls (no-ops with verify off, but still a
+     call + branch per accessed byte-range on the reference path);
+   - tracer tag tests and the per-step function-transition check;
+   - [maybe_irq] polling (sound: with [irq_period = 0] the reference
+     [maybe_irq] can never fire or set [pending_irq]);
+   - with [~unchecked:true], the per-instruction power/fuel comparisons —
+     [run_batch] only selects unchecked execution for stretches it has
+     proven cannot exhaust either (headroom ≥ [max_step_cost] per
+     instruction), so omitting the checks is exact, not approximate. *)
+
+(* canonical representation: [Int32.to_int v], i.e. sign-extended *)
+let[@inline] sext32 v = ((v land 0xffffffff) lxor 0x80000000) - 0x80000000
+
+let sync_to_fast st =
+  for i = 0 to 15 do
+    st.fregs.(i) <- Int32.to_int st.regs.(i)
+  done
+
+let sync_from_fast st =
+  for i = 0 to 15 do
+    st.regs.(i) <- Int32.of_int st.fregs.(i)
+  done
+
+let halt_magic_i = Int32.to_int halt_magic
+
+(* [set_flags] over canonical native ints; must agree with it
+   bit-for-bit (the qcheck equivalence property exercises it) *)
+let[@inline] set_flags_fast st a b =
+  let d = sext32 (a - b) in
+  st.nf <- d < 0;
+  st.zf <- d = 0;
+  st.cf <- a land 0xffffffff >= b land 0xffffffff;
+  st.vf <- (a < 0 && b >= 0 && d >= 0) || (a >= 0 && b < 0 && d < 0)
+
+(* One fast-path stretch: execute up to [k] instructions over the
+   predecoded program.  Returns the number actually executed (short only
+   on halt).
+
+   The loop keeps pc and the cycle/instruction counters in parameters of
+   a tail-recursive function — registers, not [state] fields — and only
+   publishes them ("flush") where some observer can look: checkpoint
+   commits (whose region accounting reads [st.cycles]), memory faults and
+   pseudo-instruction errors (whose messages and post-mortem state must
+   match the reference path), halt, and stretch exit.  [cyc]/[pend] are
+   the deltas accumulated since the last flush.
+
+   With [~unchecked:false] every instruction additionally publishes state
+   up front and pays through [spend], so [Power_failed] and fuel
+   exhaustion are raised with exactly the reference path's state; the
+   accumulators then stay at zero.  [run_batch] only selects
+   [~unchecked:true] for stretches it has proven cannot exhaust the power
+   budget or the fuel (headroom >= [max_step_cost] per instruction), so
+   omitting the per-instruction comparisons there is exact, not
+   approximate. *)
+let exec_batch st ~unchecked k : int =
+  let fregs = st.fregs in
+  let fop = st.fop and fa = st.fa and fb = st.fb and fc = st.fc in
+  let fcond = st.fcond and cost = st.cost in
+  let code = st.img.Image.code in
+  let mem = st.mem in
+  let ncode = Array.length fop in
+  let flush pc cyc pend =
+    st.pc <- pc;
+    st.cycles <- st.cycles + cyc;
+    st.budget <- st.budget - cyc;
+    st.instrs <- st.instrs + pend
+  in
+  (* out-of-range access: publish state exactly as the reference path
+     would have it at the raise, then fail through [check_addr] *)
+  let fault pc cyc pend addr n =
+    flush pc cyc pend;
+    sync_from_fast st;
+    check_addr st addr n;
+    assert false
+  in
+  (* unboxed little-endian halfword accessors (bounds already checked) *)
+  let ld16 a =
+    Char.code (Bytes.unsafe_get mem a)
+    lor (Char.code (Bytes.unsafe_get mem (a + 1)) lsl 8)
+  in
+  let st16 a v =
+    Bytes.unsafe_set mem a (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set mem (a + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+  in
+  let rec go pc cyc pend done_ =
+    if done_ = k then begin
+      flush pc cyc pend;
+      done_
+    end
+    else if pc < 0 || pc >= ncode then begin
+      (* wild pc: fail exactly like the reference fetch *)
+      flush pc cyc pend;
+      sync_from_fast st;
+      ignore (Array.get code pc : I.instr);
+      assert false
+    end
+    else begin
+      let a = Array.unsafe_get fa pc in
+      let b = Array.unsafe_get fb pc in
+      let c = Array.unsafe_get fc pc in
+      let op = Array.unsafe_get fop pc in
+      let cst =
+        match op with
+        | U_bc -> if cond_holds st (Array.unsafe_get fcond pc) then 3 else 1
+        | _ -> Array.unsafe_get cost pc
+      in
+      if not unchecked then begin
+        flush pc cyc pend;
+        spend st cst
+      end;
+      let eff = if unchecked then cst else 0 in
+      let cyc = if unchecked then cyc else 0 in
+      let pend = if unchecked then pend else 0 in
+      match op with
+      | U_add_r ->
+          Array.unsafe_set fregs a
+            (sext32 (Array.unsafe_get fregs b + Array.unsafe_get fregs c));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_add_i ->
+          Array.unsafe_set fregs a (sext32 (Array.unsafe_get fregs b + c));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_sub_r ->
+          Array.unsafe_set fregs a
+            (sext32 (Array.unsafe_get fregs b - Array.unsafe_get fregs c));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_sub_i ->
+          Array.unsafe_set fregs a (sext32 (Array.unsafe_get fregs b - c));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_rsb_r ->
+          Array.unsafe_set fregs a
+            (sext32 (Array.unsafe_get fregs c - Array.unsafe_get fregs b));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_rsb_i ->
+          Array.unsafe_set fregs a (sext32 (c - Array.unsafe_get fregs b));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_mul_r ->
+          Array.unsafe_set fregs a
+            (sext32 (Array.unsafe_get fregs b * Array.unsafe_get fregs c));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_mul_i ->
+          Array.unsafe_set fregs a (sext32 (Array.unsafe_get fregs b * c));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_sdiv_r | U_sdiv_i ->
+          let x = Array.unsafe_get fregs b in
+          let y = if op = U_sdiv_r then Array.unsafe_get fregs c else c in
+          Array.unsafe_set fregs a
+            (* Cortex-M semantics: division by zero yields 0 *)
+            (if y = 0 then 0
+             else if x = -0x80000000 && y = -1 then -0x80000000
+             else x / y);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_udiv_r | U_udiv_i ->
+          let x = Array.unsafe_get fregs b land 0xffffffff in
+          let y =
+            (if op = U_udiv_r then Array.unsafe_get fregs c else c)
+            land 0xffffffff
+          in
+          Array.unsafe_set fregs a (if y = 0 then 0 else sext32 (x / y));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_and_r ->
+          Array.unsafe_set fregs a
+            (Array.unsafe_get fregs b land Array.unsafe_get fregs c);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_and_i ->
+          Array.unsafe_set fregs a (Array.unsafe_get fregs b land c);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_orr_r ->
+          Array.unsafe_set fregs a
+            (Array.unsafe_get fregs b lor Array.unsafe_get fregs c);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_orr_i ->
+          Array.unsafe_set fregs a (Array.unsafe_get fregs b lor c);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_eor_r ->
+          Array.unsafe_set fregs a
+            (Array.unsafe_get fregs b lxor Array.unsafe_get fregs c);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_eor_i ->
+          Array.unsafe_set fregs a (Array.unsafe_get fregs b lxor c);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_lsl_r | U_lsl_i ->
+          let sh =
+            (if op = U_lsl_r then Array.unsafe_get fregs c else c) land 255
+          in
+          Array.unsafe_set fregs a
+            (if sh >= 32 then 0
+             else sext32 (Array.unsafe_get fregs b lsl sh));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_lsr_r | U_lsr_i ->
+          let sh =
+            (if op = U_lsr_r then Array.unsafe_get fregs c else c) land 255
+          in
+          Array.unsafe_set fregs a
+            (if sh >= 32 then 0
+             else sext32 ((Array.unsafe_get fregs b land 0xffffffff) lsr sh));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_asr_r | U_asr_i ->
+          let sh =
+            (if op = U_asr_r then Array.unsafe_get fregs c else c) land 255
+          in
+          Array.unsafe_set fregs a
+            (if sh >= 32 then Array.unsafe_get fregs b asr 31
+             else Array.unsafe_get fregs b asr sh);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_mov_r ->
+          Array.unsafe_set fregs a (Array.unsafe_get fregs c);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_mov_i | U_movw ->
+          Array.unsafe_set fregs a c;
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_movc_r ->
+          if cond_holds st (Array.unsafe_get fcond pc) then
+            Array.unsafe_set fregs a (Array.unsafe_get fregs c);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_movc_i ->
+          if cond_holds st (Array.unsafe_get fcond pc) then
+            Array.unsafe_set fregs a c;
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_cmp_r ->
+          set_flags_fast st (Array.unsafe_get fregs a)
+            (Array.unsafe_get fregs c);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_cmp_i ->
+          set_flags_fast st (Array.unsafe_get fregs a) c;
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_ldr8 | U_ldrr8 ->
+          let ad =
+            (Array.unsafe_get fregs b
+            + (if op = U_ldrr8 then Array.unsafe_get fregs c else c))
+            land 0xffffffff
+          in
+          if ad < 0x40 || ad + 1 > Image.mem_size then
+            fault pc (cyc + eff) pend ad 1;
+          Array.unsafe_set fregs a (Char.code (Bytes.unsafe_get mem ad));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_ldr8s | U_ldrr8s ->
+          let ad =
+            (Array.unsafe_get fregs b
+            + (if op = U_ldrr8s then Array.unsafe_get fregs c else c))
+            land 0xffffffff
+          in
+          if ad < 0x40 || ad + 1 > Image.mem_size then
+            fault pc (cyc + eff) pend ad 1;
+          Array.unsafe_set fregs a
+            ((Char.code (Bytes.unsafe_get mem ad) lxor 0x80) - 0x80);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_ldr16 | U_ldrr16 ->
+          let ad =
+            (Array.unsafe_get fregs b
+            + (if op = U_ldrr16 then Array.unsafe_get fregs c else c))
+            land 0xffffffff
+          in
+          if ad < 0x40 || ad + 2 > Image.mem_size then
+            fault pc (cyc + eff) pend ad 2;
+          Array.unsafe_set fregs a (ld16 ad);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_ldr16s | U_ldrr16s ->
+          let ad =
+            (Array.unsafe_get fregs b
+            + (if op = U_ldrr16s then Array.unsafe_get fregs c else c))
+            land 0xffffffff
+          in
+          if ad < 0x40 || ad + 2 > Image.mem_size then
+            fault pc (cyc + eff) pend ad 2;
+          Array.unsafe_set fregs a ((ld16 ad lxor 0x8000) - 0x8000);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_ldr32 | U_ldrr32 ->
+          let ad =
+            (Array.unsafe_get fregs b
+            + (if op = U_ldrr32 then Array.unsafe_get fregs c else c))
+            land 0xffffffff
+          in
+          if ad < 0x40 || ad + 4 > Image.mem_size then
+            fault pc (cyc + eff) pend ad 4;
+          Array.unsafe_set fregs a
+            (sext32 (ld16 ad lor (ld16 (ad + 2) lsl 16)));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_str8 | U_strr8 ->
+          let ad =
+            (Array.unsafe_get fregs b
+            + (if op = U_strr8 then Array.unsafe_get fregs c else c))
+            land 0xffffffff
+          in
+          if ad < 0x40 || ad + 1 > Image.mem_size then
+            fault pc (cyc + eff) pend ad 1;
+          Bytes.unsafe_set mem ad
+            (Char.unsafe_chr (Array.unsafe_get fregs a land 0xff));
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_str16 | U_strr16 ->
+          let ad =
+            (Array.unsafe_get fregs b
+            + (if op = U_strr16 then Array.unsafe_get fregs c else c))
+            land 0xffffffff
+          in
+          if ad < 0x40 || ad + 2 > Image.mem_size then
+            fault pc (cyc + eff) pend ad 2;
+          st16 ad (Array.unsafe_get fregs a);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_str32 | U_strr32 ->
+          let ad =
+            (Array.unsafe_get fregs b
+            + (if op = U_strr32 then Array.unsafe_get fregs c else c))
+            land 0xffffffff
+          in
+          if ad < 0x40 || ad + 4 > Image.mem_size then
+            fault pc (cyc + eff) pend ad 4;
+          let v = Array.unsafe_get fregs a in
+          st16 ad v;
+          st16 (ad + 2) (v lsr 16);
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_push ->
+          let n = a in
+          (* signed sp, as the reference path computes it (the fault
+             message for an out-of-range sp must match) *)
+          let sp = Array.unsafe_get fregs 13 - (4 * n) in
+          if sp < 0x40 || sp + (4 * n) > Image.mem_size then
+            fault pc (cyc + eff) pend sp (4 * n);
+          (match Array.unsafe_get code pc with
+          | I.Push rs ->
+              List.iteri
+                (fun i r ->
+                  let ad = sp + (4 * i) in
+                  let v = Array.unsafe_get fregs r in
+                  st16 ad v;
+                  st16 (ad + 2) (v lsr 16))
+                rs
+          | _ -> assert false);
+          Array.unsafe_set fregs 13 sp;
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_b -> go c (cyc + eff) (pend + 1) (done_ + 1)
+      | U_bc ->
+          go
+            (if cond_holds st (Array.unsafe_get fcond pc) then c else pc + 1)
+            (cyc + eff) (pend + 1) (done_ + 1)
+      | U_bl ->
+          Array.unsafe_set st.fn_calls a (Array.unsafe_get st.fn_calls a + 1);
+          Array.unsafe_set fregs 14 (pc + 1);
+          go c (cyc + eff) (pend + 1) (done_ + 1)
+      | U_bx_lr ->
+          let l = Array.unsafe_get fregs 14 in
+          if l = halt_magic_i then begin
+            flush pc (cyc + eff) (pend + 1);
+            st.halted <- true;
+            st.exit_code <- Int32.of_int (Array.unsafe_get fregs 0);
+            done_ + 1
+          end
+          else go l (cyc + eff) (pend + 1) (done_ + 1)
+      | U_ckpt ->
+          (* the commit's region accounting reads [st.cycles] and its
+             snapshot reads [st.regs]: publish both first *)
+          flush pc (cyc + eff) pend;
+          sync_from_fast st;
+          let cause =
+            match Array.unsafe_get code pc with
+            | I.Ckpt (cause, _) -> cause
+            | _ -> assert false
+          in
+          commit_checkpoint st ~cause:(obs_cause cause)
+            (Array.unsafe_get st.eff_mask pc)
+            (pc + 1);
+          (match cause with
+          | I.Function_entry -> st.counts.c_entry <- st.counts.c_entry + 1
+          | I.Function_exit -> st.counts.c_exit <- st.counts.c_exit + 1
+          | I.Middle_end_war -> st.counts.c_middle <- st.counts.c_middle + 1
+          | I.Back_end_war -> st.counts.c_backend <- st.counts.c_backend + 1);
+          go (pc + 1) 0 1 (done_ + 1)
+      | U_cpsid ->
+          st.primask <- true;
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_cpsie ->
+          st.primask <- false;
+          go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
+      | U_svc_print ->
+          flush pc (cyc + eff) pend;
+          st.out_rev <- Int32.of_int (Array.unsafe_get fregs 0) :: st.out_rev;
+          sync_from_fast st;
+          commit_checkpoint st ~cause:Tr.Console
+            (Array.unsafe_get st.eff_mask pc)
+            (pc + 1);
+          go (pc + 1) 0 1 (done_ + 1)
+      | U_svc_halt ->
+          flush pc (cyc + eff) (pend + 1);
+          st.halted <- true;
+          st.exit_code <- Int32.of_int (Array.unsafe_get fregs 0);
+          done_ + 1
+      | U_pseudo ->
+          flush pc (cyc + eff) pend;
+          sync_from_fast st;
+          raise
+            (Emu_error
+               ("pseudo instruction in linked code: "
+               ^ I.string_of_instr (Array.unsafe_get code pc)))
+    end
+  in
+  go st.pc 0 0 0
+
+(* The fast path is only sound when nothing per-step is observable beyond
+   the architectural state: no WAR tracking, no tracer, no interrupt
+   timer.  ([pending_irq] is included for completeness: it can only be set
+   while [irq_period > 0].) *)
+let fast_eligible st =
+  (not st.verify) && (not st.trace_on) && st.irq_period = 0
+  && not st.pending_irq
+
+let run_batch st n : step =
+  if st.halted then Halted
+  else if n <= 0 then invalid_arg "Emulator.run_batch: non-positive batch size"
+  else if not (fast_eligible st) then begin
+    (* fall back to the fully instrumented reference path *)
+    let rec go left =
+      if left = 0 then Stepped
+      else match step st with Stepped -> go (left - 1) | s -> s
+    in
+    go n
+  end
+  else begin
+    sync_to_fast st;
+    match
+      let left = ref n in
+      while !left > 0 && not st.halted do
+        (* instructions that provably cannot exhaust the power budget or
+           the fuel; both checks hoist out of the inner loop for that
+           stretch *)
+        let headroom =
+          min
+            (st.budget / st.max_step_cost)
+            ((st.fuel - st.cycles) / st.max_step_cost)
+        in
+        let k = min !left headroom in
+        if k > 0 then left := !left - exec_batch st ~unchecked:true k
+        else begin
+          (* within [max_step_cost] of a budget or fuel edge: exact
+             per-instruction checks until the edge resolves *)
+          ignore (exec_batch st ~unchecked:false 1 : int);
+          decr left
+        end
+      done
+    with
+    | () ->
+        sync_from_fast st;
+        if st.halted then Halted else Stepped
+    | exception Power_failed ->
+        (* publish the registers as of the failing instruction before the
+           power-failure bookkeeping and reboot *)
+        sync_from_fast st;
+        power_failure st;
+        reboot st;
+        Rebooted
+    | exception e ->
+        (* memory faults and pseudo-instruction errors have already
+           published exact state; fuel exhaustion from a checked [spend]
+           has not — syncing twice is harmless, never syncing is not *)
+        sync_from_fast st;
+        raise e
   end
 
 let clone st =
@@ -719,7 +1459,9 @@ let clone st =
         c_middle = st.counts.c_middle;
         c_backend = st.counts.c_backend;
       };
-    calls = Hashtbl.copy st.calls;
+    fn_calls = Array.copy st.fn_calls;
+    fregs = Array.copy st.fregs;
+    (* cost/eff_mask/push_n/call_fn/fn_names are immutable: shared *)
   }
 
 let halted st = st.halted
@@ -759,7 +1501,12 @@ let result st : result =
     violations = List.rev st.violations;
     irqs_taken = st.irqs_taken;
     call_counts =
-      List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) st.calls []);
+      (let acc = ref [] in
+       for i = Array.length st.fn_calls - 1 downto 0 do
+         if st.fn_calls.(i) > 0 then
+           acc := (st.fn_names.(i), st.fn_calls.(i)) :: !acc
+       done;
+       List.sort compare !acc);
     waste =
       {
         w_useful = st.cycles - st.acc_boot - st.acc_restore - st.acc_reexec;
@@ -769,9 +1516,25 @@ let result st : result =
       };
   }
 
-let run ?fuel ?supply ?irq_period ?verify ?tracer (img : Image.t) : result =
+let output st = List.rev st.out_rev
+
+type path = Auto | Fast | Reference
+
+let batch_size = 4096
+
+let run ?fuel ?supply ?irq_period ?verify ?tracer ?(path = Auto)
+    (img : Image.t) : result =
   let st = create ?fuel ?supply ?irq_period ?verify ?tracer img in
-  while not st.halted do
-    ignore (step st)
-  done;
+  (match path with
+  | Reference ->
+      while not st.halted do
+        ignore (step st)
+      done
+  | Auto | Fast ->
+      (* [run_batch] falls back to the reference path per batch whenever the
+         configuration makes the fast path ineligible (verify/trace/irq), so
+         Auto and Fast share one loop *)
+      while not st.halted do
+        ignore (run_batch st batch_size)
+      done);
   result st

@@ -76,12 +76,26 @@ val restore_cost : int -> int
 val ckpt_bytes : int -> int
 (** Bytes a commit writes into its buffer for a given live mask. *)
 
+type path =
+  | Auto  (** fast path when eligible, reference path otherwise (default) *)
+  | Fast  (** same as [Auto] — the fast path self-selects per batch *)
+  | Reference  (** force the fully instrumented per-step reference path *)
+(** Which interpreter loop {!run} drives.  The fast path is a branch-light
+    twin of the reference path for the measurement configuration
+    ([verify:false], no tracer, [irq_period = 0]); it executes in
+    macro-steps that hoist the power/fuel checks out of the inner loop
+    (exactly — batches are sized so no check can trip inside them).  Both
+    paths produce byte-for-byte identical {!result} records; the reference
+    path is the oracle (qcheck property "fast path = reference path" in
+    test/test_props.ml). *)
+
 val run :
   ?fuel:int ->
   ?supply:Power.supply ->
   ?irq_period:int ->
   ?verify:bool ->
   ?tracer:Wario_obs.Trace.sink ->
+  ?path:path ->
   Image.t ->
   result
 (** Execute an image until it halts.
@@ -94,7 +108,14 @@ val run :
     measurable slowdown).  Pass an unbounded {!Wario_obs.Trace.ring} to
     record every checkpoint commit, power failure, boot/restore,
     interrupt, function transition and the final halt, with active-cycle
-    timestamps. *)
+    timestamps.
+    @param path interpreter loop selection (default [Auto]).
+
+    The runtime's save-all escape hatch is sampled {e once}, at instance
+    creation: setting the [WARIO_SAVE_ALL] environment variable (to
+    anything other than [""] or ["0"]) makes every checkpoint save the
+    full register file regardless of its live mask (changing the variable
+    mid-run has no effect). *)
 
 (** {1 Stepping and snapshots}
 
@@ -126,6 +147,21 @@ type step =
 val step : t -> step
 (** Execute one instruction (plus any due interrupt); on power failure,
     replay the boot/restore sequence.  Idempotent once halted. *)
+
+val run_batch : t -> int -> step
+(** [run_batch st n] executes up to [n] instructions as one macro-step.
+    When the instance is fast-path eligible (verify off, no tracer,
+    interrupts off) the power/fuel budget checks are hoisted out of the
+    inner loop for provably safe stretches; otherwise it is exactly [n]
+    {!step}s.  Returns [Stepped] after [n] instructions, or earlier
+    [Rebooted]/[Halted] the moment either occurs.  Observable behaviour is
+    identical to stepping.
+    @raise Invalid_argument when [n < 1]. *)
+
+val output : t -> int32 list
+(** Console output so far, oldest first.  Reverses the internal O(1)-append
+    event list once per call — call it at inspection points, not per
+    step. *)
 
 val cut_power : t -> unit
 (** Force a power failure {e now}, regardless of remaining budget, and

@@ -1,0 +1,57 @@
+(* Deterministic parallel map over a pool of OCaml 5 domains.
+
+   Work distribution is a single atomic cursor over an array of the input
+   items: domains race to fetch-and-add the next index, so scheduling is
+   dynamic (long items do not convoy short ones behind a static split),
+   but every result lands in its input slot and the caller observes input
+   order only.  Exceptions are captured per item and the lowest-indexed
+   one is re-raised after the pool drains, which keeps failure behaviour
+   independent of domain timing. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (items : 'a list) : 'b list =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Exec.map: jobs must be >= 1 (got %d)" jobs);
+  match items with
+  | [] -> []
+  | _ when jobs = 1 -> List.map f items
+  | _ ->
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let cursor = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            let r =
+              try Ok (f arr.(i))
+              with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            results.(i) <- Some r;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+      (* the calling domain is a full pool member, not a passive joiner *)
+      worker ();
+      List.iter Domain.join spawned;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | None ->
+                 (* unreachable: the cursor hands every index to exactly one
+                    worker, and joins above guarantee completion *)
+                 assert false)
+           results)
+
+let serialized (sink : 'a -> unit) : 'a -> unit =
+  let m = Mutex.create () in
+  fun x ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> sink x)

@@ -49,15 +49,26 @@ let dedup_stable (type a) (xs : a list) : a list =
 (** Round [n] up to the next multiple of [align] (a power of two or not). *)
 let align_up n align = if align <= 1 then n else (n + align - 1) / align * align
 
-(** Simple percentile over a non-empty list (nearest-rank). *)
+(** Nearest-rank percentile over an already-sorted non-empty array: the
+    sort-once companion to {!percentile} for callers taking several
+    percentiles of one sample. *)
+let percentile_sorted p (sorted : int array) =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Util.percentile_sorted: empty";
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  let rank = max 1 (min n rank) in
+  sorted.(rank - 1)
+
+(** Simple percentile over a non-empty list (nearest-rank).  Sorts per
+    call; use {!percentile_sorted} when taking several percentiles of the
+    same sample. *)
 let percentile p xs =
-  match List.sort compare xs with
+  match xs with
   | [] -> invalid_arg "Util.percentile: empty"
-  | sorted ->
-      let n = List.length sorted in
-      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-      let rank = max 1 (min n rank) in
-      List.nth sorted (rank - 1)
+  | _ ->
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      percentile_sorted p sorted
 
 let mean xs =
   match xs with

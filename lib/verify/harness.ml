@@ -12,6 +12,7 @@
       reproducer (Repro.to_string) replayable by [iclang verify --repro]. *)
 
 module P = Wario.Pipeline
+module Exec = Wario_exec.Exec
 
 type failure = {
   f_schedule : int array;  (** as found *)
@@ -37,6 +38,7 @@ type config = {
   max_failures_per_case : int;  (** stop a case after this many failures *)
   seed : int64;
   opts : P.options;
+  jobs : int;  (** domains for the schedule fan-out (1 = sequential) *)
 }
 
 let instrumented_environments =
@@ -55,6 +57,7 @@ let default_config =
     max_failures_per_case = 3;
     seed = 1L;
     opts = P.default_options;
+    jobs = 1;
   }
 
 (* Per-case generator: derived from the sweep seed and the case identity,
@@ -106,39 +109,68 @@ let run_case ?(log = fun _ -> ()) config ~(workload : string * string)
       let still_fails cuts =
         Result.is_error (Oracle.check_schedule g c cuts)
       in
+      (* The oracle fan-out runs schedules in fixed-size chunks:
+         [Exec.map] evaluates a whole chunk (on [config.jobs] domains —
+         each [check_schedule] builds its own emulator; [g]/[c] are only
+         read), then the verdicts are consumed sequentially, in input
+         order, in the calling domain.  Shrinking, logging and the
+         failure cap therefore see schedules in exactly the sequential
+         order, and the chunk size is fixed (not derived from [jobs]), so
+         reports are byte-identical for every [jobs] value. *)
+      let chunk_size = 32 in
+      let rec chunks = function
+        | [] -> []
+        | l ->
+            let rec take n acc = function
+              | rest when n = 0 -> (List.rev acc, rest)
+              | [] -> (List.rev acc, [])
+              | x :: rest -> take (n - 1) (x :: acc) rest
+            in
+            let c, rest = take chunk_size [] l in
+            c :: chunks rest
+      in
       let tried = ref 0 and failures = ref [] in
       (try
          List.iter
-           (fun cuts ->
-             incr tried;
-             match Oracle.check_schedule g c cuts with
-             | Ok () -> ()
-             | Error _ ->
-                 let shrunk = Shrink.ddmin ~still_fails cuts in
-                 let divergence =
-                   match Oracle.check_schedule g c shrunk with
-                   | Error d -> d
-                   | Ok () ->
-                       (* cannot happen: ddmin preserves failure *)
-                       assert false
-                 in
-                 let f =
-                   {
-                     f_schedule = cuts;
-                     f_shrunk = shrunk;
-                     f_divergence = divergence;
-                     f_repro = repro_of config ~workload:name ~env shrunk;
-                   }
-                 in
-                 log
-                   (Printf.sprintf "%s × %s: FAILED — %s\n  repro: %s" name
-                      (P.environment_name env)
-                      (Oracle.string_of_divergence divergence)
-                      (Repro.to_string f.f_repro));
-                 failures := f :: !failures;
-                 if List.length !failures >= config.max_failures_per_case then
-                   raise Exit)
-           schedules
+           (fun chunk ->
+             let verdicts =
+               Exec.map ~jobs:config.jobs
+                 (fun cuts -> (cuts, Oracle.check_schedule g c cuts))
+                 chunk
+             in
+             List.iter
+               (fun (cuts, verdict) ->
+                 incr tried;
+                 match verdict with
+                 | Ok () -> ()
+                 | Error _ ->
+                     let shrunk = Shrink.ddmin ~still_fails cuts in
+                     let divergence =
+                       match Oracle.check_schedule g c shrunk with
+                       | Error d -> d
+                       | Ok () ->
+                           (* cannot happen: ddmin preserves failure *)
+                           assert false
+                     in
+                     let f =
+                       {
+                         f_schedule = cuts;
+                         f_shrunk = shrunk;
+                         f_divergence = divergence;
+                         f_repro = repro_of config ~workload:name ~env shrunk;
+                       }
+                     in
+                     log
+                       (Printf.sprintf "%s × %s: FAILED — %s\n  repro: %s" name
+                          (P.environment_name env)
+                          (Oracle.string_of_divergence divergence)
+                          (Repro.to_string f.f_repro));
+                     failures := f :: !failures;
+                     if
+                       List.length !failures >= config.max_failures_per_case
+                     then raise Exit)
+               verdicts)
+           (chunks schedules)
        with Exit -> ());
       {
         c_workload = name;

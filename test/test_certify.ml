@@ -126,4 +126,4 @@ let suite =
     Alcotest.test_case "sabotage: drop-ckpt rejected with witness" `Quick
       test_sabotaged_rejected;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_certifier_agrees_with_dynamic ]
+  @ List.map Test_props.to_alcotest [ prop_certifier_agrees_with_dynamic ]

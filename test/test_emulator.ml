@@ -389,6 +389,87 @@ let test_region_stats () =
     (float_of_int summary.rs_median <= summary.rs_mean +. 1.);
   Alcotest.(check bool) "max >= median" true (summary.rs_max >= summary.rs_median)
 
+(* --- macro-stepping and the fast path -------------------------------- *)
+
+let drive_step st =
+  let rec go () =
+    match E.Emulator.step st with E.Emulator.Halted -> () | _ -> go ()
+  in
+  go ();
+  E.Emulator.result st
+
+let drive_batch st n =
+  let rec go () =
+    match E.Emulator.run_batch st n with E.Emulator.Halted -> () | _ -> go ()
+  in
+  go ();
+  E.Emulator.result st
+
+(* [run_batch] on a fast-path-eligible instance must reproduce per-[step]
+   execution exactly — result record and non-volatile digest — both on
+   continuous power and across reboots under a tight periodic supply. *)
+let test_run_batch_matches_step () =
+  let m = Wario_workloads.Micro.find "rmw_loop" in
+  let c = P.compile P.Wario m.Wario_workloads.Micro.source in
+  let cont = E.Emulator.run ~verify:false c.P.image in
+  let budget =
+    400 + 64 + List.fold_left max 0 cont.E.Emulator.region_sizes + 97
+  in
+  List.iter
+    (fun supply ->
+      let a = E.Emulator.create ~verify:false ~supply c.P.image in
+      let b = E.Emulator.create ~verify:false ~supply c.P.image in
+      let ra = drive_step a in
+      let rb = drive_batch b 1024 in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch = step [%s]" (E.Power.describe supply))
+        true (ra = rb);
+      Alcotest.(check int64)
+        (Printf.sprintf "nv digest agrees [%s]" (E.Power.describe supply))
+        (E.Emulator.nv_digest a) (E.Emulator.nv_digest b))
+    [ E.Power.Continuous; E.Power.Periodic budget ]
+
+let test_run_batch_rejects_nonpositive () =
+  let m = Wario_workloads.Micro.find "arith" in
+  let c = P.compile P.Wario m.Wario_workloads.Micro.source in
+  let st = E.Emulator.create ~verify:false c.P.image in
+  List.iter
+    (fun n ->
+      Alcotest.check_raises
+        (Printf.sprintf "n=%d rejected" n)
+        (Invalid_argument "Emulator.run_batch: non-positive batch size")
+        (fun () -> ignore (E.Emulator.run_batch st n)))
+    [ 0; -1 ]
+
+(* WARIO_SAVE_ALL is sampled exactly once, at [create]: an instance created
+   while the flag is clear must behave as save-all-off even if the flag is
+   set before it runs; and the flag genuinely changes behaviour (save-all
+   checkpoints cost more cycles).  ""/"0" mean off, so the test can clear
+   the variable without unsetenv. *)
+let test_save_all_sampled_at_create () =
+  let m = Wario_workloads.Micro.find "rmw_loop" in
+  let c = P.compile P.Wario m.Wario_workloads.Micro.source in
+  Unix.putenv "WARIO_SAVE_ALL" "";
+  let off = E.Emulator.run ~verify:false c.P.image in
+  let inst = E.Emulator.create ~verify:false c.P.image in
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "WARIO_SAVE_ALL" "")
+    (fun () ->
+      Unix.putenv "WARIO_SAVE_ALL" "1";
+      let on = E.Emulator.run ~verify:false c.P.image in
+      let inst_r = drive_step inst in
+      Alcotest.(check bool)
+        "instance created before the flip stays save-all-off" true
+        (inst_r = off);
+      Alcotest.(check (list int32))
+        "save-all does not change output" off.E.Emulator.output
+        on.E.Emulator.output;
+      Alcotest.(check bool) "save-all checkpoints cost more cycles" true
+        (on.E.Emulator.cycles > off.E.Emulator.cycles);
+      Unix.putenv "WARIO_SAVE_ALL" "0";
+      let zero = E.Emulator.run ~verify:false c.P.image in
+      Alcotest.(check bool) "\"0\" means off" true (zero = off))
+
 let suite =
   [
     Alcotest.test_case "alu" `Quick test_alu;
@@ -419,6 +500,11 @@ let suite =
       test_traces_deterministic;
     Alcotest.test_case "trace-driven run" `Quick test_trace_run;
     Alcotest.test_case "region statistics" `Quick test_region_stats;
+    Alcotest.test_case "run_batch = step" `Quick test_run_batch_matches_step;
+    Alcotest.test_case "run_batch rejects n < 1" `Quick
+      test_run_batch_rejects_nonpositive;
+    Alcotest.test_case "WARIO_SAVE_ALL sampled at create" `Quick
+      test_save_all_sampled_at_create;
   ]
 
 (* --- cycle model ----------------------------------------------------- *)

@@ -13,6 +13,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
+      ("exec", Test_exec.suite);
       ("verify", Test_verify.suite);
       ("certify", Test_certify.suite);
       ("properties", Test_props.suite @ Test_props.structural_suite);
