@@ -8,6 +8,7 @@
      iclang run prog.mc -e ratchet --power 50000 --stats
      iclang run --benchmark sha -e wario-expander --trace rf
      iclang trace -e wario -b crc --out t.json --metrics m.jsonl --profile
+     iclang pgo -b dijkstra -e wario --stats
      iclang list-benchmarks
      iclang verify                          # fault-injection sweep
      iclang verify --repro '(repro (workload rmw_loop) (env wario) ...)'
@@ -105,13 +106,13 @@ let jobs_arg =
     & opt (some int) None
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
-          "Worker domains for parallel work (default: the host's            recommended domain count; 1 = sequential).  Results and output            ordering are identical for every N.")
+          "Worker domains for parallel work (default and 0: auto — the            host's recommended domain count, which on a single-core host is            the sequential path; 1 = sequential).  Results and output            ordering are identical for every N.")
 
-(* default = domain count; anything below 1 is a usage error *)
+(* default and 0 = auto (host-sized); anything below 0 is a usage error *)
 let resolve_jobs = function
-  | None -> Ok (X.default_jobs ())
+  | None | Some 0 -> Ok (X.default_jobs ())
   | Some n when n >= 1 -> Ok n
-  | Some n -> Error (Printf.sprintf "--jobs must be >= 1 (got %d)" n)
+  | Some n -> Error (Printf.sprintf "--jobs must be >= 0 (got %d; 0 = auto)" n)
 
 let opts_of ?max_region ?profile ~no_opt unroll =
   {
@@ -715,6 +716,112 @@ let certify_cmd =
         (const do_certify $ file_arg $ benchmark_arg $ envs $ unroll_arg
        $ max_region_arg $ no_opt_arg $ drop_ckpt $ verbose $ jobs_arg))
 
+(* --- pgo --- *)
+
+let do_pgo file benchmark env unroll max_region no_opt power trace stats =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok src -> (
+      try
+        if env = P.Plain then
+          failwith
+            "pgo needs an instrumented environment (plain-c places no \
+             checkpoints)";
+        let opts =
+          { (opts_of ?max_region ~no_opt unroll) with P.elide = true }
+        in
+        let cs = Wario.Pgo.compile_candidates ~opts env src in
+        let pilot = cs.Wario.Pgo.pilot in
+        Printf.printf "pilot: %d cycles under continuous power\n"
+          pilot.Wario.Pgo.pilot_cycles;
+        let rejected = ref 0 in
+        List.iter
+          (fun v ->
+            let c = Wario.Pgo.compiled_of cs v in
+            let cert =
+              match P.certify c with
+              | Wario_certify.Certify.Certified _ -> "CERTIFIED"
+              | Wario_certify.Certify.Rejected _ ->
+                  incr rejected;
+                  "REJECTED"
+            in
+            let elided =
+              match c.P.elision with
+              | Some s -> s.Wario.Elide.elided
+              | None -> 0
+            in
+            Printf.printf
+              "%-16s %6s dynamic checkpoints on the pilot input, %d elided, \
+               %s%s\n"
+              (Wario.Pgo.variant_name v)
+              (match List.assoc_opt v pilot.Wario.Pgo.measured with
+              | Some k -> string_of_int k
+              | None -> "?")
+              elided cert
+              (if v = pilot.Wario.Pgo.selected then "  <- selected" else ""))
+          [ Wario.Pgo.Greedy; Wario.Pgo.Static; Wario.Pgo.Profile ];
+        let supply =
+          match supply_of power trace with Ok s -> s | Error e -> failwith e
+        in
+        let best = Wario.Pgo.compiled_of cs pilot.Wario.Pgo.selected in
+        let r = E.Emulator.run ~supply best.P.image in
+        List.iter (fun v -> Printf.printf "%ld\n" v) r.E.Emulator.output;
+        Printf.printf "exit=%ld\n" r.E.Emulator.exit_code;
+        if stats then begin
+          let ck = r.E.Emulator.checkpoints in
+          Printf.printf
+            "cycles=%d instrs=%d checkpoints=%d (entry=%d exit=%d \
+             middle-end=%d back-end=%d) power-failures=%d boots=%d\n"
+            r.E.Emulator.cycles r.E.Emulator.instrs
+            r.E.Emulator.checkpoints_total ck.c_entry ck.c_exit ck.c_middle
+            ck.c_backend r.E.Emulator.power_failures r.E.Emulator.boots;
+          print_newline ();
+          print_string (Wario.Report.profile_table pilot.Wario.Pgo.summary)
+        end;
+        (match r.E.Emulator.violations with
+        | _ :: _ as v ->
+            Printf.printf "*** %d WAR violations detected!\n" (List.length v)
+        | [] -> ());
+        if !rejected > 0 then
+          `Error (false, "static certifier rejected a candidate build")
+        else if r.E.Emulator.violations <> [] then
+          `Error (false, "WAR violations detected")
+        else `Ok ()
+      with
+      | Wario_minic.Minic.Error e -> `Error (false, e)
+      | Failure e -> `Error (false, e)
+      | E.Emulator.No_forward_progress supply ->
+          `Error (false, "no forward progress under power supply " ^ supply))
+
+let pgo_cmd =
+  let power =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "power" ] ~docv:"CYCLES"
+          ~doc:"Intermittent power for the final run: fixed on-period.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"NAME" ~doc:"Harvester trace: rf or solar.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print run statistics and the pilot's profile table.")
+  in
+  Cmd.v
+    (Cmd.info "pgo"
+       ~doc:
+         "Profile-guided checkpoint placement: compile with the static cost            model, measure one pilot run, recompile with measured block            weights, certify every candidate, keep the measured-best binary            and run it")
+    Term.(
+      ret
+        (const do_pgo $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
+       $ max_region_arg $ no_opt_arg $ power $ trace $ stats))
+
 (* --- list-benchmarks --- *)
 
 let list_cmd =
@@ -731,6 +838,6 @@ let main =
   Cmd.group
     (Cmd.info "iclang" ~version:"1.0"
        ~doc:"WARio: efficient code generation for intermittent computing")
-    [ compile_cmd; run_cmd; trace_cmd; verify_cmd; certify_cmd; list_cmd ]
+    [ compile_cmd; run_cmd; trace_cmd; verify_cmd; certify_cmd; pgo_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

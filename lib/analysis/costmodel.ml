@@ -1,0 +1,134 @@
+(* Static + profile-guided block-frequency cost model for checkpoint
+   placement.
+
+   The weight of a block approximates how many times it executes per
+   function invocation; with the weighted hitting set minimising the sum of
+   chosen weights, the placement minimises the *expected number of
+   dynamically executed checkpoints*.
+
+   Static estimate, two factors multiplied together:
+   - branch structure: one unit of mass enters at the entry block and is
+     propagated acyclically in reverse postorder.  At a branch the mass is
+     split equally among the successors that stay at the block's loop
+     depth, while a loop-EXITING successor (shallower depth) receives the
+     block's full mass — the Ball-Larus loop-branch heuristic: the
+     continuation after a loop is as frequent as the loop's entry, and an
+     exit test must not halve the frequency of the path that stays inside
+     (see the comment at the split below).  Mass is only delivered along
+     forward edges (RPO index increasing); retreating edges drop theirs —
+     loop iteration is accounted for by the second factor, not by solving
+     the cyclic flow.  A chain of conditionals thus halves the frequency at
+     every split, making straight-line dominators cheaper than branchy
+     interiors.
+   - loop nesting: the acyclic mass is multiplied by trip_guess^depth
+     (trip_guess = 10, the same guess the unweighted inserter used), so a
+     block two loops deep is 100x as expensive as its preheader.
+
+   Profile-guided mode replaces the estimate with measured per-block entry
+   counts from a pilot emulator run (keyed by mangled machine labels,
+   [mangle fname bname]); blocks the profile does not mention fall back to
+   the static estimate, and a profile too stale to cover the current label
+   set is rejected by [validate_profile] upstream. *)
+
+module Ir = Wario_ir.Ir
+
+type profile = (string * int) list
+
+let trip_guess = 10.
+
+(* Weights must stay strictly positive: the greedy solver's score divides
+   by cost, and a zero-cost block would make every cover "free". *)
+let min_weight = 1e-6
+
+(* Must agree with Isel.mangle (lib/backend): machine block labels are
+   [fname ^ "$" ^ bname], with the function's prolog stub labelled bare
+   [fname].  The back end cannot depend on this module's callers, so the
+   convention is duplicated here and pinned by a unit test. *)
+let mangle fname bname = fname ^ "$" ^ bname
+
+let static_weights (cfg : Cfg.t) (loops : Loops.t) : Ir.label -> float =
+  let n = Array.length cfg.Cfg.order in
+  let mass : (Ir.label, float) Hashtbl.t = Hashtbl.create (max 16 n) in
+  Array.iter (fun l -> Hashtbl.replace mass l 0.) cfg.Cfg.order;
+  if n > 0 then Hashtbl.replace mass cfg.Cfg.order.(0) 1.0;
+  Array.iteri
+    (fun i lbl ->
+      let m = try Hashtbl.find mass lbl with Not_found -> 0. in
+      let succs = Cfg.succs cfg lbl in
+      if succs <> [] && m > 0. then begin
+        (* Ball-Larus loop-branch heuristic, folded into the per-entry
+           mass convention.  A loop-exit test's exiting edge (successor at
+           a shallower depth) carries the block's FULL mass — the loop
+           completes once per entry, so the continuation is as frequent as
+           the loop's entry — and must not halve the mass of the path that
+           stays inside the loop.  Only the staying successors split the
+           mass among themselves.  Without this, an unrolled loop (a chain
+           of k copies, each with its own exit test) decays to 2^-k of its
+           true frequency and the weighted solver floods the "cold" late
+           copies with checkpoints. *)
+        let d = loops.Loops.depth_of lbl in
+        let k_stay =
+          List.length
+            (List.filter (fun s -> loops.Loops.depth_of s >= d) succs)
+        in
+        let share = m /. float_of_int (max 1 k_stay) in
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt cfg.Cfg.index s with
+            | Some j when j > i ->
+                let delivered =
+                  if loops.Loops.depth_of s < d then m else share
+                in
+                Hashtbl.replace mass s
+                  ((try Hashtbl.find mass s with Not_found -> 0.)
+                  +. delivered)
+            | _ -> () (* retreating edge: depth factor accounts for it *))
+          succs
+      end)
+    cfg.Cfg.order;
+  let weights : (Ir.label, float) Hashtbl.t = Hashtbl.create (max 16 n) in
+  Array.iter
+    (fun lbl ->
+      let m = try Hashtbl.find mass lbl with Not_found -> 0. in
+      let d = loops.Loops.depth_of lbl in
+      let w = max m min_weight *. (trip_guess ** float_of_int d) in
+      Hashtbl.replace weights lbl w)
+    cfg.Cfg.order;
+  fun lbl -> try Hashtbl.find weights lbl with Not_found -> min_weight
+
+(* A usable profile must mention (nearly) every label the program about to
+   be compiled will emit; a shortfall means the profile was taken from a
+   different program or options and its counts would misguide placement. *)
+let coverage_threshold = 0.9
+
+let validate_profile (p : profile) ~(expected_labels : string list) :
+    (int, string) result =
+  if p = [] then Error "profile is empty"
+  else begin
+    let keys = Hashtbl.create (List.length p) in
+    List.iter (fun (l, _) -> Hashtbl.replace keys l ()) p;
+    let expected = List.length expected_labels in
+    let matched =
+      List.fold_left
+        (fun acc l -> if Hashtbl.mem keys l then acc + 1 else acc)
+        0 expected_labels
+    in
+    if expected = 0 then Ok 0
+    else if float_of_int matched >= coverage_threshold *. float_of_int expected
+    then Ok matched
+    else
+      Error
+        (Printf.sprintf
+           "stale profile: covers %d of %d current block labels (< %.0f%%)"
+           matched expected
+           (coverage_threshold *. 100.))
+  end
+
+let profile_weights (p : profile) ~(fname : string)
+    ~(fallback : Ir.label -> float) : Ir.label -> float =
+  let counts = Hashtbl.create (List.length p) in
+  List.iter (fun (l, c) -> Hashtbl.replace counts l c) p;
+  fun lbl ->
+    match Hashtbl.find_opt counts (mangle fname lbl) with
+    | Some c -> max (float_of_int c) min_weight
+    | None -> fallback lbl

@@ -1,0 +1,44 @@
+(** Block-frequency cost model for checkpoint placement.
+
+    Weights approximate per-invocation execution counts; minimising the sum
+    of chosen weights in the hitting set minimises the expected number of
+    dynamically executed checkpoints.  Static weights combine acyclic
+    branch-mass propagation (entry mass 1, split equally at branches,
+    delivered along forward RPO edges only) with a [trip_guess]^depth loop
+    factor; profile-guided weights substitute measured per-block entry
+    counts from a pilot run. *)
+
+type profile = (string * int) list
+(** Measured entry counts keyed by {e mangled} machine block label
+    ([mangle fname bname]; the prolog stub is bare [fname]). *)
+
+val trip_guess : float
+(** Assumed iterations per loop level in the static model (10). *)
+
+val min_weight : float
+(** Strictly positive floor applied to every weight. *)
+
+val mangle : string -> string -> string
+(** [mangle fname bname] — must agree with the back end's label mangling
+    (pinned by a unit test). *)
+
+val static_weights : Cfg.t -> Loops.t -> Wario_ir.Ir.label -> float
+(** Static estimated execution frequency of each block of the function the
+    [Cfg.t] was built from.  Unknown labels map to {!min_weight}. *)
+
+val validate_profile :
+  profile -> expected_labels:string list -> (int, string) result
+(** [Ok matched] when the profile mentions at least 90% of
+    [expected_labels] (the mangled labels the current compilation will
+    emit); [Error reason] for empty or stale profiles.  Callers should warn
+    and fall back to the static model on [Error], never crash. *)
+
+val profile_weights :
+  profile ->
+  fname:string ->
+  fallback:(Wario_ir.Ir.label -> float) ->
+  Wario_ir.Ir.label ->
+  float
+(** Weight function for one function's blocks: the measured entry count of
+    [mangle fname lbl] when present (floored at {!min_weight}), [fallback
+    lbl] otherwise. *)

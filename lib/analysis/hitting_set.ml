@@ -1,19 +1,37 @@
-(* Greedy minimal hitting set (de Kruijf et al., §4.2.1 — the algorithm both
-   Ratchet and WARio use to pick checkpoint locations).
+(* Minimal hitting set (de Kruijf et al., §4.2.1 — the algorithm both
+   Ratchet and WARio use to pick checkpoint locations), in two flavours:
 
-   Input: a family of non-empty candidate sets (one per WAR violation) and a
-   cost per candidate.  Output: a set of candidates such that every input
-   set contains at least one chosen candidate.  The greedy rule picks, at
-   each step, the candidate maximising (number of uncovered sets hit) / cost,
-   breaking ties toward lower cost and then lower element order for
-   determinism.
+   - [solve]: the classic greedy, picking at each step the candidate
+     maximising (number of uncovered sets hit) / cost.  Kept as the
+     baseline placement and as the upper bound seeding the exact solver.
+   - [solve_weighted]: cost-guided placement.  The objective is the *sum of
+     the chosen candidates' costs* (with costs = estimated execution
+     frequencies, that sum is the expected number of dynamically executed
+     checkpoints), solved exactly by branch and bound with memoized lower
+     bounds under a node budget, falling back to the weighted greedy when
+     the instance is too large or the budget runs out.  The returned
+     [solution] records which of the two produced it.
 
-   The implementation is the standard incremental-count greedy: when an
-   element is chosen, only the sets it covers have their other elements'
+   The greedy implementation is the standard incremental-count greedy: when
+   an element is chosen, only the sets it covers have their other elements'
    counters decremented, so total work is proportional to the sum of set
    sizes plus (#elements x #chosen). *)
 
 type error = Empty_set of int  (** index of the offending input set *)
+
+type optimality =
+  | Exact  (** branch and bound completed: no cheaper cover exists *)
+  | Greedy_fallback  (** instance too large or node budget exhausted *)
+
+let default_node_budget = 20_000
+
+(* Exact search is only attempted when the (reduced) family fits in an
+   OCaml int bitmask and its candidate lists are modest — each node costs
+   O(sets x set size) in the lower bound, so giant dominator-sandwich
+   windows would spend the whole budget learning nothing.  Beyond either
+   gate the greedy bound is the answer. *)
+let max_exact_sets = 62
+let max_exact_elems = 2_000  (* sum of reduced set sizes *)
 
 module Make (Elt : sig
   type t
@@ -21,9 +39,14 @@ module Make (Elt : sig
   val compare : t -> t -> int
 end) =
 struct
-  let solve_nonempty ~(cost : Elt.t -> float) (sets : Elt.t list list) :
-      Elt.t list =
-    (* intern elements (hashed: candidate families can hold millions) *)
+  type solution = {
+    chosen : Elt.t list;  (** sorted by [Elt.compare] *)
+    total_cost : float;
+    optimality : optimality;
+  }
+
+  (* intern elements (hashed: candidate families can hold millions) *)
+  let intern_sets (sets : Elt.t list list) =
     let id_of : (Elt.t, int) Hashtbl.t = Hashtbl.create 4096 in
     let elems = ref [] in
     let n_elems = ref 0 in
@@ -44,7 +67,11 @@ struct
              Array.of_list (List.map intern (List.sort_uniq Elt.compare s)))
            sets)
     in
-    let elems = Array.of_list (List.rev !elems) in
+    (sets, Array.of_list (List.rev !elems))
+
+  let solve_nonempty ~(cost : Elt.t -> float) (sets : Elt.t list list) :
+      Elt.t list =
+    let sets, elems = intern_sets sets in
     let ne = Array.length elems in
     let costs = Array.map cost elems in
     (* element -> indices of sets containing it *)
@@ -104,4 +131,244 @@ struct
     match first_empty 0 sets with
     | Some i -> Error (Empty_set i)
     | None -> Ok (solve_nonempty ~cost sets)
+
+  (* Redundancy elimination for greedy covers: a greedy choice can become
+     superfluous once later choices cover all its sets, so try dropping the
+     chosen elements in decreasing cost order (most expensive first) and
+     keep the cover property.  Never increases total cost; the result is a
+     *minimal* (though not necessarily minimum) cover. *)
+  let prune_cover ~(cost : Elt.t -> float) (sets : Elt.t list list)
+      (chosen : Elt.t list) : Elt.t list =
+    let isets, elems = intern_sets sets in
+    let ne = Array.length elems in
+    let id_of = Hashtbl.create (2 * ne) in
+    Array.iteri (fun i e -> Hashtbl.replace id_of e i) elems;
+    let kept = Array.make ne false in
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt id_of e with
+        | Some i -> kept.(i) <- true
+        | None -> () (* not a set member: vacuously redundant, dropped *))
+      chosen;
+    (* per set, how many kept elements hit it *)
+    let hits = Array.map (fun s -> Array.fold_left (fun a e -> a + if kept.(e) then 1 else 0) 0 s) isets in
+    let containing = Array.make ne [] in
+    Array.iteri
+      (fun si s -> Array.iter (fun e -> containing.(e) <- si :: containing.(e)) s)
+      isets;
+    let costs = Array.map cost elems in
+    let order =
+      List.init ne (fun i -> i)
+      |> List.filter (fun i -> kept.(i))
+      |> List.sort (fun a b ->
+             match compare costs.(b) costs.(a) with
+             | 0 -> compare a b
+             | c -> c)
+    in
+    List.iter
+      (fun e ->
+        if kept.(e) && List.for_all (fun si -> hits.(si) >= 2) containing.(e)
+        then begin
+          kept.(e) <- false;
+          List.iter (fun si -> hits.(si) <- hits.(si) - 1) containing.(e)
+        end)
+      order;
+    List.init ne (fun i -> i)
+    |> List.filter (fun i -> kept.(i))
+    |> List.map (fun i -> elems.(i))
+
+  (* ---------------- weighted exact solver ---------------- *)
+
+  exception Budget_exhausted
+
+  (* Branch and bound over the reduced family.  [sets] are interned int
+     arrays; [costs] per element.  Search state is the bitmask of covered
+     sets.  Lower bound: greedily collect element-disjoint uncovered sets —
+     any cover must pay at least the cheapest element of each — memoized
+     per covered-mask.  Returns the cheapest cover as element ids. *)
+  let branch_and_bound ~budget sets costs incumbent incumbent_cost =
+    let ns = Array.length sets in
+    let ne = Array.length costs in
+    let full = (1 lsl ns) - 1 in
+    (* element -> bitmask of sets containing it *)
+    let hits = Array.make ne 0 in
+    Array.iteri
+      (fun si s -> Array.iter (fun e -> hits.(e) <- hits.(e) lor (1 lsl si)) s)
+      sets;
+    let min_cost_of_set =
+      Array.map
+        (fun s -> Array.fold_left (fun a e -> min a costs.(e)) infinity s)
+        sets
+    in
+    let lb_memo : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+    let used = Array.make ne false in
+    let lower_bound covered =
+      match Hashtbl.find_opt lb_memo covered with
+      | Some lb -> lb
+      | None ->
+          Array.fill used 0 ne false;
+          let lb = ref 0. in
+          for si = 0 to ns - 1 do
+            if covered land (1 lsl si) = 0 then begin
+              let disjoint =
+                Array.for_all (fun e -> not used.(e)) sets.(si)
+              in
+              if disjoint then begin
+                lb := !lb +. min_cost_of_set.(si);
+                Array.iter (fun e -> used.(e) <- true) sets.(si)
+              end
+            end
+          done;
+          Hashtbl.replace lb_memo covered !lb;
+          !lb
+    in
+    let best = ref incumbent and best_cost = ref incumbent_cost in
+    let nodes = ref 0 in
+    let rec go covered acc acc_cost =
+      incr nodes;
+      if !nodes > budget then raise Budget_exhausted;
+      if covered = full then begin
+        if acc_cost < !best_cost -. 1e-12 then begin
+          best := acc;
+          best_cost := acc_cost
+        end
+      end
+      else if acc_cost +. lower_bound covered < !best_cost -. 1e-12 then begin
+        (* branch on the most constrained uncovered set (fewest remaining
+           candidates); deterministic tie-break toward the lowest index *)
+        let pick = ref (-1) and pick_n = ref max_int in
+        for si = 0 to ns - 1 do
+          if covered land (1 lsl si) = 0 then begin
+            let n = Array.length sets.(si) in
+            if n < !pick_n then begin
+              pick := si;
+              pick_n := n
+            end
+          end
+        done;
+        (* cheapest elements first: good incumbents early, better pruning *)
+        let cands = Array.copy sets.(!pick) in
+        Array.sort
+          (fun a b ->
+            match compare costs.(a) costs.(b) with 0 -> compare a b | c -> c)
+          cands;
+        Array.iter
+          (fun e -> go (covered lor hits.(e)) (e :: acc) (acc_cost +. costs.(e)))
+          cands
+      end
+    in
+    go 0 [] 0.;
+    (!best, !best_cost)
+
+  (* Drop duplicate and superset sets: hitting a subset hits every superset,
+     so only the minimal sets constrain the cover.  Keeps exact instances
+     small (the bitmask gate is on the *reduced* family).  The
+     superset-minimality pass is quadratic with a linear subset test, so it
+     only runs on families small enough to possibly pass the bitmask gate
+     afterwards — larger ones are greedy-fallback territory anyway. *)
+  let max_minimality_sets = 2 * max_exact_sets
+
+  let reduce_family (sets : int array array) : int array array =
+    let keyed =
+      Array.map (fun s -> (Array.to_list (Array.copy s) |> List.sort compare, s)) sets
+    in
+    let seen = Hashtbl.create 64 in
+    let uniq =
+      Array.to_list keyed
+      |> List.filter (fun (k, _) ->
+             if Hashtbl.mem seen k then false
+             else begin
+               Hashtbl.replace seen k ();
+               true
+             end)
+    in
+    let subset a b =
+      (* a ⊆ b over sorted lists *)
+      let rec go a b =
+        match (a, b) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: a', y :: b' ->
+            if x = y then go a' b' else if x > y then go a b' else false
+      in
+      go a b
+    in
+    let minimal =
+      if List.length uniq > max_minimality_sets then uniq
+      else
+        List.filter
+          (fun (k, _) ->
+            not
+              (List.exists
+                 (fun (k', _) -> k' != k && List.length k' <= List.length k
+                                 && k' <> k && subset k' k)
+                 uniq))
+          uniq
+    in
+    Array.of_list (List.map snd minimal)
+
+  (** [solve_weighted ~cost sets] returns the cover minimising the sum of
+      chosen costs when the exact search completes within [node_budget]
+      branch-and-bound nodes (and the reduced family fits in a bitmask),
+      and the weighted-greedy cover otherwise; [solution.optimality] says
+      which.  [node_budget = 0] forces the greedy path (the baseline the
+      property tests compare against).  Same [Empty_set] contract as
+      {!solve}. *)
+  let solve_weighted ?(node_budget = default_node_budget)
+      ~(cost : Elt.t -> float) (sets : Elt.t list list) :
+      (solution, error) result =
+    let rec first_empty i = function
+      | [] -> None
+      | [] :: _ -> Some i
+      | _ :: tl -> first_empty (i + 1) tl
+    in
+    match first_empty 0 sets with
+    | Some i -> Error (Empty_set i)
+    | None when sets = [] ->
+        Ok { chosen = []; total_cost = 0.; optimality = Exact }
+    | None ->
+        let isets, elems = intern_sets sets in
+        let costs = Array.map cost elems in
+        let greedy = prune_cover ~cost sets (solve_nonempty ~cost sets) in
+        let greedy_cost =
+          List.fold_left (fun a e -> a +. cost e) 0. greedy
+        in
+        let finish optimality chosen total_cost =
+          Ok
+            {
+              chosen = List.sort_uniq Elt.compare chosen;
+              total_cost;
+              optimality;
+            }
+        in
+        let reduced = reduce_family isets in
+        let reduced_elems =
+          Array.fold_left (fun a s -> a + Array.length s) 0 reduced
+        in
+        if
+          node_budget <= 0
+          || Array.length reduced > max_exact_sets
+          || reduced_elems > max_exact_elems
+        then finish Greedy_fallback greedy greedy_cost
+        else begin
+          (* seed the search with the greedy cover as the incumbent *)
+          let greedy_ids =
+            let id_of = Hashtbl.create 64 in
+            Array.iteri (fun i e -> Hashtbl.replace id_of e i) elems;
+            List.map
+              (fun e ->
+                match Hashtbl.find_opt id_of e with
+                | Some i -> i
+                | None -> assert false (* greedy only picks set members *))
+              greedy
+          in
+          match
+            branch_and_bound ~budget:node_budget reduced costs greedy_ids
+              greedy_cost
+          with
+          | ids, total ->
+              finish Exact (List.map (fun i -> elems.(i)) ids) total
+          | exception Budget_exhausted ->
+              finish Greedy_fallback greedy greedy_cost
+        end
 end

@@ -1,15 +1,34 @@
-(** Greedy minimal hitting set (de Kruijf et al. §4.2.1) — the algorithm
-    both Ratchet and WARio use to pick checkpoint locations.  Incremental
-    counters make it linear-ish in the sum of set sizes. *)
+(** Minimal hitting set (de Kruijf et al. §4.2.1) — the algorithm both
+    Ratchet and WARio use to pick checkpoint locations.
+
+    Two solvers: the classic incremental-count greedy ({!Make.solve}, the
+    baseline placement) and a weighted solver ({!Make.solve_weighted}) that
+    minimises the {e sum of chosen costs} — with costs set to estimated
+    block execution frequencies, that sum is the expected number of
+    dynamically executed checkpoints — exactly by branch and bound when the
+    instance is small enough, falling back to weighted greedy otherwise. *)
 
 type error = Empty_set of int
 (** [Empty_set i]: input set [i] is empty, so no hitting set exists. *)
+
+type optimality =
+  | Exact  (** branch and bound completed: no cheaper cover exists *)
+  | Greedy_fallback  (** instance too large or node budget exhausted *)
+
+val default_node_budget : int
+(** Branch-and-bound node budget used when [?node_budget] is omitted. *)
 
 module Make (Elt : sig
   type t
 
   val compare : t -> t -> int
 end) : sig
+  type solution = {
+    chosen : Elt.t list;  (** sorted by [Elt.compare], duplicate-free *)
+    total_cost : float;  (** sum of [cost] over [chosen] *)
+    optimality : optimality;
+  }
+
   val solve :
     cost:(Elt.t -> float) -> Elt.t list list -> (Elt.t list, error) result
   (** [solve ~cost sets] returns [Ok chosen] such that every set contains at
@@ -20,4 +39,17 @@ end) : sig
       (candidate sets built by the checkpoint inserters always contain the
       point before the WAR's store), or fall back to a placement that needs
       no cover, such as a checkpoint directly before each WAR store. *)
+
+  val solve_weighted :
+    ?node_budget:int ->
+    cost:(Elt.t -> float) ->
+    Elt.t list list ->
+    (solution, error) result
+  (** [solve_weighted ~cost sets] returns the cover minimising
+      [total_cost]: exact (branch and bound with memoized lower bounds,
+      seeded with the greedy cover as incumbent) when the reduced family
+      has at most 62 sets and the search finishes within [node_budget]
+      nodes, the weighted-greedy cover otherwise — [solution.optimality]
+      records which.  [node_budget = 0] forces the greedy path.  Costs must
+      be non-negative.  Same [Empty_set] contract as {!solve}. *)
 end

@@ -41,8 +41,11 @@ let mdata_of_global (g : Ir.global) : I.data =
 
 (** Compile a WIR program to machine code.  With a live [metrics]
     registry, per-pass wall times accumulate across functions under
-    [backend.<pass>.ms] and the spill deltas are recorded as counters. *)
-let run ?(metrics = Wario_obs.Metrics.disabled) ~(config : config)
+    [backend.<pass>.ms] and the spill deltas are recorded as counters.
+    [block_weights] (mangled machine label -> estimated execution
+    frequency) makes the stack-spill checkpoint inserter cost-guided. *)
+let run ?(metrics = Wario_obs.Metrics.disabled)
+    ?(block_weights : (string -> float) option) ~(config : config)
     (p : Ir.program) : I.mprog * stats =
   let module M = Wario_obs.Metrics in
   let stats = ref { spill_wars = 0; spill_ckpts = 0; spill_slots = 0 } in
@@ -59,7 +62,7 @@ let run ?(metrics = Wario_obs.Metrics.disabled) ~(config : config)
           match config.spill_strategy with
           | Some strategy ->
               M.time metrics "backend.stack_ckpt.ms" (fun () ->
-                  Stack_ckpt.run ~strategy ra.mfunc)
+                  Stack_ckpt.run ?weight:block_weights ~strategy ra.mfunc)
           | None -> { Stack_ckpt.spill_wars = 0; spill_ckpts = 0 }
         in
         let returns =

@@ -21,9 +21,13 @@ type stats = { spill_wars : int; spill_ckpts : int; spill_slots : int }
 
 val run :
   ?metrics:Wario_obs.Metrics.t ->
+  ?block_weights:(string -> float) ->
   config:config ->
   Wario_ir.Ir.program ->
   Wario_machine.Isa.mprog * stats
 (** [metrics] (default {!Wario_obs.Metrics.disabled}) accumulates per-pass
     wall time under [backend.<pass>.ms] and records the spill-slot /
-    spill-checkpoint deltas as counters. *)
+    spill-checkpoint deltas as counters.  [block_weights] (mangled machine
+    label -> estimated execution frequency, from
+    {!Wario_analysis.Costmodel}) makes the stack-spill checkpoint inserter
+    cost-guided. *)

@@ -29,7 +29,14 @@ type stats = { spill_wars : int; spill_ckpts : int }
 
 let is_barrier = function I.Ckpt _ | I.Bl _ -> true | _ -> false
 
-let run ~(strategy : strategy) (mf : I.mfunc) : stats =
+(* [weight], when given, maps a machine block label to its estimated
+   execution frequency (Wario_analysis.Costmodel, static or
+   profile-guided); the Hitting_set strategy then minimises the summed
+   frequency of chosen points — the expected number of dynamically executed
+   spill checkpoints — via the weighted solver.  Without it the historical
+   unweighted greedy (every point cost 1) is used. *)
+let run ?(weight : (string -> float) option) ~(strategy : strategy)
+    (mf : I.mfunc) : stats =
   let blocks = Array.of_list mf.I.mblocks in
   let n = Array.length blocks in
   let label_index = Hashtbl.create 16 in
@@ -189,12 +196,19 @@ let run ~(strategy : strategy) (mf : I.mfunc) : stats =
                 !pts)
               wars
           in
-          (match Point_hs.solve ~cost:(fun _ -> 1.) sets with
-          | Ok chosen -> chosen
-          | Error (Wario_analysis.Hitting_set.Empty_set _) ->
-              (* unreachable — each set contains its WAR's store point —
-                 but fall back to the Naive placement as documented *)
-              Wario_support.Util.dedup_stable (List.map snd wars))
+          let naive () = Wario_support.Util.dedup_stable (List.map snd wars) in
+          (* unreachable Error — each set contains its WAR's store point —
+             but fall back to the Naive placement as documented *)
+          (match weight with
+          | None -> (
+              match Point_hs.solve ~cost:(fun _ -> 1.) sets with
+              | Ok chosen -> chosen
+              | Error (Wario_analysis.Hitting_set.Empty_set _) -> naive ())
+          | Some w -> (
+              let cost (b, _) = w blocks.(b).I.mlabel in
+              match Point_hs.solve_weighted ~cost sets with
+              | Ok sol -> sol.Point_hs.chosen
+              | Error (Wario_analysis.Hitting_set.Empty_set _) -> naive ()))
     in
     (* insert checkpoints, per block in descending index order *)
     let by_block = Hashtbl.create 8 in

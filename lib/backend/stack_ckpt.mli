@@ -6,8 +6,14 @@
 
 type strategy =
   | Naive  (** Ratchet: a checkpoint before every WAR-completing store *)
-  | Hitting_set  (** WARio: greedy hitting set over candidate windows *)
+  | Hitting_set  (** WARio: hitting set over candidate windows *)
 
 type stats = { spill_wars : int; spill_ckpts : int }
 
-val run : strategy:strategy -> Wario_machine.Isa.mfunc -> stats
+val run :
+  ?weight:(string -> float) -> strategy:strategy -> Wario_machine.Isa.mfunc -> stats
+(** [weight], when given, maps a machine block label ([Isel.mangle]d) to
+    its estimated execution frequency; the [Hitting_set] strategy then
+    runs the weighted solver minimising the summed frequency of chosen
+    points — the expected number of dynamically executed spill
+    checkpoints.  Without it, the historical unweighted greedy. *)

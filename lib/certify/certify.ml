@@ -801,12 +801,35 @@ let rebase ~(ctxs : fctx) (t : int option) (v : D.aval) : side =
 
 let max_witnesses = 50
 
-let certify (img : Img.t) : verdict =
+(** Judge every barrier-free pair whose load is [pc_l]: walk the region,
+    and per store event call [on_judged pc_s jo visits] — [jo] is [None]
+    when the store's access is untracked (counted but not judged). *)
+let sweep_load (img : Img.t) (ctx_of : int -> fctx)
+    (ctx_by_name : string -> fctx) (esc : esc) (inp : st option array)
+    ~on_judged (pc_l : int) : unit =
+  let ctxl = ctx_of pc_l in
+  match access_of img ctxl inp pc_l with
+  | None -> ()
+  | Some (al, nl) ->
+      let sl = normalise ~ctx:ctxl al in
+      walk_region img ctx_of inp ~pc_l ~on_store:(fun pc_s t cr visits ->
+          let ctxs_ = ctx_of pc_s in
+          match access_of img ctxs_ inp pc_s with
+          | None -> on_judged pc_s None visits
+          | Some (as_, ns) ->
+              let ss = rebase ~ctxs:ctxs_ t as_ in
+              let j =
+                judge img ctx_by_name esc ~ctxl ~crossed_return:cr sl nl ss ns
+              in
+              on_judged pc_s (Some j) visits)
+
+(* The judging tail of [certify]: escape sweep, structural obligations,
+   and the load->store pair sweep, over an already-completed abstract
+   interpretation [inp]. *)
+let judge_image (img : Img.t) (ctxs : fctx list)
+    (ctx_of : int -> fctx) (inp : st option array) : verdict =
   let n = Img.instr_count img in
-  let ctxs, ctx_of = build_fctxs img in
   let ctx_by_name f = List.find (fun c -> c.fname = f) ctxs in
-  let inp : st option array = Array.make (max n 1) None in
-  List.iter (fun c -> analyse_function img c inp) ctxs;
   let esc = sweep_escapes img ctx_of inp in
   let ob_fails, obligations = check_obligations img ctx_of inp in
   let meta_fails =
@@ -836,42 +859,32 @@ let certify (img : Img.t) : verdict =
       if is_barrier ins then incr barriers)
     img.Img.code;
   for pc_l = 0 to n - 1 do
-    if is_load img.Img.code.(pc_l) then begin
-      let ctxl = ctx_of pc_l in
-      match access_of img ctxl inp pc_l with
-      | None -> ()
-      | Some (al, nl) ->
-          let sl = normalise ~ctx:ctxl al in
-          walk_region img ctx_of inp ~pc_l ~on_store:(fun pc_s t cr visits ->
-              incr pairs;
-              let ctxs_ = ctx_of pc_s in
-              match access_of img ctxs_ inp pc_s with
-              | None -> ()
-              | Some (as_, ns) ->
-                  let ss = rebase ~ctxs:ctxs_ t as_ in
-                  let j =
-                    judge img ctx_by_name esc ~ctxl ~crossed_return:cr sl nl ss ns
-                  in
-                  if j.j_overlap then begin
-                    if
-                      (not (Hashtbl.mem reported (pc_l, pc_s)))
-                      && List.length !witnesses < max_witnesses
-                    then begin
-                      Hashtbl.replace reported (pc_l, pc_s) ();
-                      witnesses :=
-                        {
-                          w_load_pc = pc_l;
-                          w_load_func = ctxl.fname;
-                          w_store_pc = pc_s;
-                          w_store_func = ctxs_.fname;
-                          w_path = witness_path visits ~pc_l ~pc_s;
-                          w_reason = j.j_rule;
-                        }
-                        :: !witnesses
-                    end
-                  end
-                  else count_rule j.j_rule)
-    end
+    if is_load img.Img.code.(pc_l) then
+      sweep_load img ctx_of ctx_by_name esc inp pc_l
+        ~on_judged:(fun pc_s jo visits ->
+          incr pairs;
+          match jo with
+          | None -> ()
+          | Some j ->
+              if j.j_overlap then begin
+                if
+                  (not (Hashtbl.mem reported (pc_l, pc_s)))
+                  && List.length !witnesses < max_witnesses
+                then begin
+                  Hashtbl.replace reported (pc_l, pc_s) ();
+                  witnesses :=
+                    {
+                      w_load_pc = pc_l;
+                      w_load_func = (ctx_of pc_l).fname;
+                      w_store_pc = pc_s;
+                      w_store_func = (ctx_of pc_s).fname;
+                      w_path = witness_path visits ~pc_l ~pc_s;
+                      w_reason = j.j_rule;
+                    }
+                    :: !witnesses
+                end
+              end
+              else count_rule j.j_rule)
   done;
   let stats =
     {
@@ -891,6 +904,154 @@ let certify (img : Img.t) : verdict =
     meta_fails @ ob_fails @ List.rev_map (fun w -> War_pair w) !witnesses
   in
   if rejects = [] then Certified stats else Rejected (rejects, stats)
+
+let certify (img : Img.t) : verdict =
+  let n = Img.instr_count img in
+  let ctxs, ctx_of = build_fctxs img in
+  let inp : st option array = Array.make (max n 1) None in
+  List.iter (fun c -> analyse_function img c inp) ctxs;
+  judge_image img ctxs ctx_of inp
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-certification session                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type certify_session = {
+    ses_img : Img.t;
+    ses_ctxs : fctx list;
+    ses_ctx_of : int -> fctx;
+    ses_inp : st option array;
+    ses_esc : esc;
+    ses_preds : int list array;
+        (* reverse edges of [walk_region]'s walk relation: p is in
+           [ses_preds.(q)] iff the walk at p can push q.  Built from the
+           branch structure only, which Ckpt<->Mov substitutions never
+           change, so it stays valid for the whole session. *)
+  }
+
+  type t = certify_session
+
+  let create (img : Img.t) : t =
+    let n = Img.instr_count img in
+    let ctxs, ctx_of = build_fctxs img in
+    let inp : st option array = Array.make (max n 1) None in
+    List.iter (fun c -> analyse_function img c inp) ctxs;
+    let preds = Array.make (max n 1) [] in
+    Array.iteri
+      (fun q ins ->
+        let outs =
+          match ins with
+          | I.Bl _ -> [ img.Img.target.(q) ]
+          | I.Bx_lr -> Img.return_sites img (ctx_of q).fname
+          | _ -> Img.succs img q
+        in
+        List.iter
+          (fun p -> if p >= 0 && p < n then preds.(p) <- q :: preds.(p))
+          outs)
+      img.Img.code;
+    {
+      ses_img = img;
+      ses_ctxs = ctxs;
+      ses_ctx_of = ctx_of;
+      ses_inp = inp;
+      (* the escape sweep reads only the cached states and the call/store/
+         return instructions, none of which a Ckpt<->Mov substitution
+         touches: compute it once *)
+      ses_esc = sweep_escapes img ctx_of inp;
+      ses_preds = preds;
+    }
+
+  (* Pair-free stats: [recheck_removal] verdicts answer one question
+     (does the image still certify?), not the full census. *)
+  let null_stats =
+    {
+      s_functions = 0;
+      s_instrs = 0;
+      s_loads = 0;
+      s_stores = 0;
+      s_barriers = 0;
+      s_pairs = 0;
+      s_rules = [];
+      s_obligations = [];
+    }
+
+  let recheck_removal (s : t) (pc : int) : verdict =
+    let img = s.ses_img in
+    let n = Img.instr_count img in
+    (* The one barrier-dependent structural obligation: a stack-pointer
+       increase must sit immediately after a checkpoint (pop conversion).
+       The removed barrier may have been exactly that checkpoint. *)
+    let pop_broken =
+      pc + 1 < n
+      &&
+      match img.Img.code.(pc + 1) with
+      | I.Alu (I.ADD, rd, rn, I.I _) -> rd = I.sp && rn = I.sp
+      | _ -> false
+    in
+    if pop_broken then
+      Rejected
+        ( [
+            Obligation_failed
+              {
+                ob_name = "sp-discipline";
+                ob_pc = Some (pc + 1);
+                ob_msg =
+                  "stack-pointer increase not immediately preceded by a \
+                   checkpoint (pop conversion)";
+              };
+          ],
+          null_stats )
+    else begin
+      (* Un-barriering [pc] only adds barrier-free paths, and every added
+         path passes through [pc]; the abstract states are untouched (the
+         [Mov (r0, R r0)] substitute has the identity transfer, like
+         [Ckpt]), so every previously judged pair keeps its verdict.  The
+         loads whose pair sets can have grown — or whose walk states can
+         have weakened — are exactly those reaching [pc] barrier-free:
+         find them by reverse BFS and re-sweep only them. *)
+      let seen = Hashtbl.create 64 in
+      let cands = ref [] in
+      let queue = Queue.create () in
+      Queue.add pc queue;
+      Hashtbl.replace seen pc ();
+      while not (Queue.is_empty queue) do
+        let p = Queue.pop queue in
+        List.iter
+          (fun q ->
+            if not (Hashtbl.mem seen q) then begin
+              Hashtbl.replace seen q ();
+              if is_load img.Img.code.(q) then cands := q :: !cands;
+              if not (is_barrier img.Img.code.(q)) then Queue.add q queue
+            end)
+          s.ses_preds.(p)
+      done;
+      let ctx_by_name f = List.find (fun c -> c.fname = f) s.ses_ctxs in
+      let bad = ref [] in
+      List.iter
+        (fun pc_l ->
+          if !bad = [] then
+            sweep_load img s.ses_ctx_of ctx_by_name s.ses_esc s.ses_inp pc_l
+              ~on_judged:(fun pc_s jo visits ->
+                match jo with
+                | Some j when j.j_overlap && !bad = [] ->
+                    bad :=
+                      [
+                        War_pair
+                          {
+                            w_load_pc = pc_l;
+                            w_load_func = (s.ses_ctx_of pc_l).fname;
+                            w_store_pc = pc_s;
+                            w_store_func = (s.ses_ctx_of pc_s).fname;
+                            w_path = witness_path visits ~pc_l ~pc_s;
+                            w_reason = j.j_rule;
+                          };
+                      ]
+                | _ -> ()))
+        !cands;
+      if !bad = [] then Certified null_stats else Rejected (!bad, null_stats)
+    end
+end
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                            *)

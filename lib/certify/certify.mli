@@ -44,6 +44,33 @@ val certify : Wario_emulator.Image.t -> verdict
     witnesses.  Only instrumented builds can certify: the uninstrumented
     baseline fails the pop-conversion obligation by construction. *)
 
+(** Incremental re-certification for search loops that repeatedly remove
+    one checkpoint from an already-certified image and re-validate (the
+    checkpoint elision pass, {!Wario.Elide}).  The session caches the
+    abstract interpretation of every function keyed by pc, so edits must
+    keep pcs stable: overwrite the checkpoint in the image's code array
+    with [Mov (r0, R r0)] — the certifier models [Ckpt] as a state
+    no-op whose only effect is barrierhood, and that [Mov] has the same
+    identity transfer, so the cached states stay exact — then call
+    [recheck_removal] on that pc.  Reverting a rejected removal (writing
+    the [Ckpt] back) needs no session maintenance for the same reason. *)
+module Session : sig
+  type t
+
+  val create : Wario_emulator.Image.t -> t
+  (** Full abstract interpretation of every function, plus the escape
+      sweep and the reverse walk relation; the pair sweep is deferred. *)
+
+  val recheck_removal : t -> int -> verdict
+  (** Re-validate after the barrier at [pc] was substituted away.  Every
+      barrier-free path the removal adds passes through [pc], so only
+      loads reaching [pc] barrier-free (by reverse BFS) are re-swept, and
+      the one barrier-dependent structural obligation (pop conversion at
+      [pc+1]) is re-checked; all other pairs and obligations keep their
+      verdicts.  The verdict's [stats] are zeroed — this answers
+      "does the image still certify?", not the full census. *)
+end
+
 val pp_witness : Wario_emulator.Image.t -> pair_witness -> string
 (** Render a witness as an assembly trace via [Isa]'s printer. *)
 

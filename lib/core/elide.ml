@@ -1,0 +1,101 @@
+(* Certifier-validated checkpoint elision (coalescing).
+
+   Cost-guided placement solves the middle end and the back end
+   *independently*, so a hot block can end up with both a middle-end WAR
+   checkpoint and one or more back-end spill checkpoints a few
+   instructions apart — each pass proves its own WARs covered without
+   seeing the barriers the other pass inserted.  Any one of those
+   checkpoints often suffices as the barrier for every WAR crossing the
+   block.
+
+   Rather than teach each pass about the other's obligations, this pass
+   removes candidate checkpoints *tentatively* and lets the static
+   idempotence certifier (lib/certify, PR 2) arbitrate: a removal is kept
+   only if the image still certifies WAR-free.  The certifier is the same
+   translation validator the test suite and `iclang certify` apply to
+   every build, so an elision can never ship a WAR the pipeline's own
+   acceptance oracle would catch — the pass is safe by construction: its
+   output is a subset of an already-certified instruction stream.
+
+   The search runs on one linked image through an incremental
+   {!Wario_certify.Certify.Session}: a trial replaces the checkpoint with
+   [Mov (r0, R r0)] in place (the certifier models [Ckpt] as a
+   state-transfer no-op whose only effect is barrierhood, so the
+   substitution is deletion's exact analysis equivalent while keeping
+   every pc stable and every cached abstract state exact), then re-judges
+   only what the removal can change: the pop-conversion obligation at the
+   next pc and the pairs of loads reaching the removed barrier
+   barrier-free.  Kept removals are then really deleted from the machine
+   program, and the caller relinks.
+
+   Candidates are deliberately narrow: only Middle_end_war/Back_end_war
+   checkpoints in blocks carrying at least two of them (the redundancy
+   pattern above).  Function entry/exit checkpoints implement the calling
+   convention and are never touched.  Everything iterates in program
+   order, one trial per candidate (a rejected removal can never succeed
+   after later removals — those only delete barriers, strictly hardening
+   the obligation), so the result is deterministic. *)
+
+module I = Wario_machine.Isa
+module C = Wario_certify.Certify
+module E = Wario_emulator
+
+type stats = { candidates : int; tried : int; elided : int }
+
+let is_war_ckpt = function
+  | I.Ckpt ((I.Middle_end_war | I.Back_end_war), _) -> true
+  | _ -> false
+
+let nop = I.Mov (0, I.R 0)
+
+let run (p : I.mprog) : stats =
+  let img = E.Image.link p in
+  (* An image that does not certify as-is gives the pass no oracle to
+     preserve: leave such builds untouched. *)
+  match C.certify img with
+  | C.Rejected _ -> { candidates = 0; tried = 0; elided = 0 }
+  | C.Certified _ ->
+      let ses = C.Session.create img in
+      let start_of =
+        let tbl = Hashtbl.create 64 in
+        List.iter (fun (l, pc) -> Hashtbl.replace tbl l pc) (E.Image.block_starts img);
+        fun l -> Hashtbl.find tbl l
+      in
+      let candidates = ref 0 and tried = ref 0 and elided = ref 0 in
+      List.iter
+        (fun (mf : I.mfunc) ->
+          List.iter
+            (fun (b : I.mblock) ->
+              let code = Array.of_list b.I.mcode in
+              let n_war =
+                Array.fold_left
+                  (fun a ins -> a + if is_war_ckpt ins then 1 else 0)
+                  0 code
+              in
+              if n_war >= 2 then begin
+                incr candidates;
+                let base = start_of b.I.mlabel in
+                let gone = ref [] in
+                (* single pass: a rejected removal can never succeed later
+                   (further removals only delete barriers, making the
+                   obligation strictly harder), so no retry loop *)
+                Array.iteri
+                  (fun k ins ->
+                    if is_war_ckpt ins then begin
+                      incr tried;
+                      let pc = base + k in
+                      img.E.Image.code.(pc) <- nop;
+                      match C.Session.recheck_removal ses pc with
+                      | C.Certified _ ->
+                          incr elided;
+                          gone := k :: !gone
+                      | C.Rejected _ -> img.E.Image.code.(pc) <- ins
+                    end)
+                  code;
+                if !gone <> [] then
+                  b.I.mcode <-
+                    List.filteri (fun k _ -> not (List.mem k !gone)) b.I.mcode
+              end)
+            mf.I.mblocks)
+        p.I.mfuncs;
+      { candidates = !candidates; tried = !tried; elided = !elided }

@@ -1,0 +1,21 @@
+(** Certifier-validated checkpoint elision.
+
+    Cost-guided placement solves the middle end and the back end
+    independently, so a hot block can carry both a middle-end WAR
+    checkpoint and back-end spill checkpoints, each redundant given the
+    other.  [run] tentatively removes such checkpoints and keeps each
+    removal only if the static idempotence certifier (lib/certify) still
+    proves the relinked image WAR-free — safe by construction, since the
+    output is a subset of an already-certified instruction stream, judged
+    by the same oracle `iclang certify` applies.
+
+    Only [Middle_end_war]/[Back_end_war] checkpoints in blocks holding at
+    least two of them are candidates; function entry/exit checkpoints are
+    never touched.  Deterministic; images that do not certify beforehand
+    are left untouched. *)
+
+type stats = { candidates : int; tried : int; elided : int }
+
+val run : Wario_machine.Isa.mprog -> stats
+(** Mutates the program in place.  [candidates] counts blocks examined,
+    [tried] individual removal attempts, [elided] removals kept. *)

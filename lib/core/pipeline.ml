@@ -50,6 +50,19 @@ type options = {
       (** TEST-ONLY sabotage hook for the fault-injection harness: delete
           the n-th middle-end checkpoint after insertion, deliberately
           re-opening the WAR it covered.  Never set outside tests. *)
+  placement : T.Checkpoint_inserter.placement;
+      (** checkpoint placement policy for both the middle-end inserter and
+          the back end's stack-spill inserter (default [Cost_guided]) *)
+  block_profile : A.Costmodel.profile option;
+      (** measured per-block entry counts from a PGO pilot run; validated
+          against the current label set and ignored (with a warning) when
+          empty or stale.  Only consulted under [Cost_guided]. *)
+  elide : bool;
+      (** run the certifier-validated checkpoint elision pass ({!Elide})
+          after the back end, coalescing redundant middle-end/back-end
+          checkpoint pairs.  Off by default (it re-certifies per
+          candidate); `iclang pgo` and the placement benchmarks turn it
+          on.  Only applies under [Cost_guided]. *)
 }
 
 let default_options =
@@ -60,7 +73,18 @@ let default_options =
     expander_profile = None;
     max_region = None;
     drop_middle_ckpt = None;
+    placement = T.Checkpoint_inserter.Cost_guided;
+    block_profile = None;
+    elide = false;
   }
+
+(** What became of [options.block_profile] during placement. *)
+type profile_status =
+  | No_profile  (** none supplied: static cost model *)
+  | Applied of int  (** profile used; [n] current labels matched *)
+  | Fell_back of string
+      (** profile rejected (empty/stale): static cost model, with a
+          warning on stderr carrying this reason *)
 
 type middle_stats = {
   wars_found : int;
@@ -68,6 +92,11 @@ type middle_stats = {
   lwc : T.Loop_write_clusterer.stats option;
   wc_moves : int;
   expander : T.Expander.stats option;
+  placement_exact : int;
+      (** functions whose weighted cover was proven optimal *)
+  placement_fallback : int;
+      (** functions placed by the weighted-greedy fallback *)
+  profile_status : profile_status;
 }
 
 type compiled = {
@@ -77,6 +106,7 @@ type compiled = {
   image : Wario_emulator.Image.t;
   middle : middle_stats;
   backend : B.Backend.stats;
+  elision : Elide.stats option;  (** [Some] when [options.elide] ran *)
   text_bytes : int;
 }
 
@@ -193,21 +223,53 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
         n
     | _ -> 0
   in
-  let wars_found, middle_ckpts =
+  (* Validate the PGO profile here — after every label-creating transform
+     (unrolling, clustering, inlining) has run, so the label set the
+     profile is checked against is the one placement will actually see. *)
+  let profile_status, profile =
+    match (opts.block_profile, opts.placement) with
+    | None, _ | _, T.Checkpoint_inserter.Greedy -> (No_profile, None)
+    | Some p, T.Checkpoint_inserter.Cost_guided -> (
+        let expected_labels =
+          List.concat_map
+            (fun (f : Ir.func) ->
+              f.Ir.fname
+              :: List.map
+                   (fun (b : Ir.block) ->
+                     A.Costmodel.mangle f.Ir.fname b.Ir.bname)
+                   f.Ir.blocks)
+            prog.Ir.funcs
+        in
+        match A.Costmodel.validate_profile p ~expected_labels with
+        | Ok n -> (Applied n, Some p)
+        | Error reason ->
+            Printf.eprintf
+              "warning: ignoring block profile (%s); falling back to the \
+               static cost model\n\
+               %!"
+              reason;
+            (Fell_back reason, None))
+  in
+  let wars_found, middle_ckpts, placement_exact, placement_fallback =
     match env with
-    | Plain -> (0, 0)
+    | Plain -> (0, 0, 0, 0)
     | _ ->
         let mode =
           match env with Ratchet -> A.Alias.Basic | _ -> A.Alias.Precise
         in
         let st =
           M.time metrics "middle.checkpoint_inserter.ms" (fun () ->
-              T.Checkpoint_inserter.run ~mode prog)
+              T.Checkpoint_inserter.run ~mode ~placement:opts.placement
+                ?profile prog)
         in
         M.set metrics "middle.checkpoint_inserter.wars" st.T.Checkpoint_inserter.wars;
         M.set metrics "middle.checkpoint_inserter.checkpoints"
           st.T.Checkpoint_inserter.checkpoints;
-        (st.wars, st.checkpoints)
+        M.set metrics "middle.checkpoint_inserter.exact"
+          st.T.Checkpoint_inserter.exact;
+        M.set metrics "middle.checkpoint_inserter.fallback"
+          st.T.Checkpoint_inserter.fallback;
+        (st.wars, st.checkpoints, st.exact, st.fallback)
   in
   (* optional extension: bound region sizes for tiny storage capacitors *)
   (match (env, opts.max_region) with
@@ -219,17 +281,89 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
   (match (env, opts.drop_middle_ckpt) with
   | Plain, _ | _, None -> ()
   | _, Some n -> ignore (drop_middle_checkpoint prog n));
-  { wars_found; middle_ckpts; lwc; wc_moves; expander }
+  {
+    wars_found;
+    middle_ckpts;
+    lwc;
+    wc_moves;
+    expander;
+    placement_exact;
+    placement_fallback;
+    profile_status;
+  }
 
 (** Compile an already-lowered IR program (used by tests and by
     {!compile} after the front end). *)
+(* Weight table for the back end's stack-spill inserter, keyed by mangled
+   machine labels (Isel's 1:1 block mapping plus the bare-[fname] prolog
+   stub).  Built on the post-middle-end IR, whose block structure the back
+   end preserves; uses the validated profile when one was applied. *)
+let backend_block_weights (middle : middle_stats) (opts : options)
+    (prog : Ir.program) : (string -> float) option =
+  match opts.placement with
+  | T.Checkpoint_inserter.Greedy -> None
+  | T.Checkpoint_inserter.Cost_guided ->
+      let profile =
+        match middle.profile_status with
+        | Applied _ -> opts.block_profile
+        | No_profile | Fell_back _ -> None
+      in
+      let tbl : (string, float) Hashtbl.t = Hashtbl.create 256 in
+      List.iter
+        (fun (f : Ir.func) ->
+          let cfg = A.Cfg.build f in
+          let dom = A.Dominance.build cfg in
+          let loops = A.Loops.build cfg dom in
+          let static = A.Costmodel.static_weights cfg loops in
+          let weigh =
+            match profile with
+            | None -> static
+            | Some p ->
+                A.Costmodel.profile_weights p ~fname:f.Ir.fname
+                  ~fallback:static
+          in
+          List.iter
+            (fun (b : Ir.block) ->
+              Hashtbl.replace tbl
+                (A.Costmodel.mangle f.Ir.fname b.Ir.bname)
+                (weigh b.Ir.bname))
+            f.Ir.blocks;
+          (* the prolog stub runs once per invocation, like the entry *)
+          let stub_weight =
+            match profile with
+            | Some p -> (
+                match List.assoc_opt f.Ir.fname p with
+                | Some c -> max (float_of_int c) A.Costmodel.min_weight
+                | None -> weigh (A.Cfg.entry cfg))
+            | None -> weigh (A.Cfg.entry cfg)
+          in
+          Hashtbl.replace tbl f.Ir.fname stub_weight)
+        prog.Ir.funcs;
+      Some
+        (fun lbl ->
+          match Hashtbl.find_opt tbl lbl with
+          | Some w -> w
+          | None -> A.Costmodel.min_weight)
+
 let compile_ir ?(opts = default_options) ?(metrics = M.disabled)
     (env : environment) (prog : Ir.program) : compiled =
   let middle = middle_end ~opts ~metrics env prog in
   M.time metrics "middle.ir_verify.ms" (fun () ->
       Wario_ir.Ir_verify.verify_program prog);
+  let block_weights = backend_block_weights middle opts prog in
   let mprog, backend =
-    B.Backend.run ~metrics ~config:(backend_config env) prog
+    B.Backend.run ~metrics ?block_weights ~config:(backend_config env) prog
+  in
+  let elision =
+    if
+      opts.elide && env <> Plain
+      && opts.placement = T.Checkpoint_inserter.Cost_guided
+    then begin
+      let s = M.time metrics "backend.elide.ms" (fun () -> Elide.run mprog) in
+      M.set metrics "backend.elide.count" s.Elide.elided;
+      Some s
+    end
+    else None
   in
   let image =
     M.time metrics "link.ms" (fun () -> Wario_emulator.Image.link mprog)
@@ -243,6 +377,7 @@ let compile_ir ?(opts = default_options) ?(metrics = M.disabled)
     image;
     middle;
     backend;
+    elision;
     text_bytes = image.Wario_emulator.Image.text_bytes;
   }
 

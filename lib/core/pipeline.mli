@@ -33,9 +33,28 @@ type options = {
           after insertion, deliberately re-opening the WAR it covered so
           the crash-consistency oracle has a real bug to catch.  Ignored
           for [Plain].  Never set this outside tests. *)
+  placement : Wario_transforms.Checkpoint_inserter.placement;
+      (** checkpoint placement policy for both the middle-end inserter and
+          the back end's stack-spill inserter (default [Cost_guided]) *)
+  block_profile : Wario_analysis.Costmodel.profile option;
+      (** measured per-block entry counts from a PGO pilot run (see
+          {!Pgo}); validated against the current label set and ignored
+          (with a warning on stderr) when empty or stale.  Only consulted
+          under [Cost_guided]. *)
+  elide : bool;
+      (** run the certifier-validated checkpoint elision pass ({!Elide})
+          after the back end (default false; only under [Cost_guided]) *)
 }
 
 val default_options : options
+
+(** What became of [options.block_profile] during placement. *)
+type profile_status =
+  | No_profile  (** none supplied: static cost model *)
+  | Applied of int  (** profile used; [n] current labels matched *)
+  | Fell_back of string
+      (** profile rejected (empty/stale): static cost model, with a
+          warning on stderr carrying this reason *)
 
 type middle_stats = {
   wars_found : int;
@@ -43,6 +62,11 @@ type middle_stats = {
   lwc : Wario_transforms.Loop_write_clusterer.stats option;
   wc_moves : int;
   expander : Wario_transforms.Expander.stats option;
+  placement_exact : int;
+      (** functions whose weighted cover was proven optimal *)
+  placement_fallback : int;
+      (** functions placed by the weighted-greedy fallback *)
+  profile_status : profile_status;
 }
 
 type compiled = {
@@ -52,6 +76,7 @@ type compiled = {
   image : Wario_emulator.Image.t;
   middle : middle_stats;
   backend : Wario_backend.Backend.stats;
+  elision : Elide.stats option;  (** [Some] when [options.elide] ran *)
   text_bytes : int;
 }
 

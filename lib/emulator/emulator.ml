@@ -168,6 +168,10 @@ type state = {
   fb : int array;
   fc : int array;
   fcond : I.cond array;
+  (* profiling: per-pc execution counts for the PGO pilot run ([None] =
+     off).  Counting forces the reference path ([fast_eligible] checks it):
+     the fast path's batches never touch per-pc state. *)
+  pc_counts : int array option;
   (* observability *)
   tracer : Tr.sink;
   trace_on : bool;
@@ -851,8 +855,8 @@ let build_tables ~save_all (img : Image.t) =
     Array.fold_left max 1 cost, fop, fa, fb, fc, fcond )
 
 let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
-    ?(irq_period = 0) ?(verify = true) ?(tracer = Tr.null) (img : Image.t) : t
-    =
+    ?(irq_period = 0) ?(verify = true) ?(tracer = Tr.null)
+    ?(count_pcs = false) (img : Image.t) : t =
   (* sampled exactly once, here; "" and "0" mean off so tests (and
      shells) can clear it without [unsetenv] *)
   let save_all =
@@ -913,6 +917,9 @@ let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
       fb;
       fc;
       fcond;
+      pc_counts =
+        (if count_pcs then Some (Array.make (Array.length img.Image.code) 0)
+         else None);
       tracer;
       trace_on = Tr.enabled tracer;
       trace_func = "";
@@ -946,6 +953,9 @@ let step st : step =
   else
     try
       maybe_irq st;
+      (match st.pc_counts with
+      | Some c -> c.(st.pc) <- c.(st.pc) + 1
+      | None -> ());
       exec_instr st st.img.Image.code.(st.pc);
       st.instrs <- st.instrs + 1;
       if st.halted then Halted
@@ -1390,7 +1400,8 @@ let exec_batch st ~unchecked k : int =
    while [irq_period > 0].) *)
 let fast_eligible st =
   (not st.verify) && (not st.trace_on) && st.irq_period = 0
-  && not st.pending_irq
+  && (not st.pending_irq)
+  && st.pc_counts = None
 
 let run_batch st n : step =
   if st.halted then Halted
@@ -1461,8 +1472,21 @@ let clone st =
       };
     fn_calls = Array.copy st.fn_calls;
     fregs = Array.copy st.fregs;
+    pc_counts = Option.map Array.copy st.pc_counts;
     (* cost/eff_mask/push_n/call_fn/fn_names are immutable: shared *)
   }
+
+(* Fold the per-pc counts to per-block entry counts: the count of a block's
+   first pc is the number of times execution entered it (jumps always
+   target block starts; a fall-through enters at the start too).  This is
+   exactly the [Wario_analysis.Costmodel.profile] shape. *)
+let block_counts st : (string * int) list option =
+  Option.map
+    (fun counts ->
+      List.map
+        (fun (lbl, pc) -> (lbl, counts.(pc)))
+        (Image.block_starts st.img))
+    st.pc_counts
 
 let halted st = st.halted
 let cycles st = st.cycles

@@ -132,12 +132,18 @@ val create :
   ?irq_period:int ->
   ?verify:bool ->
   ?tracer:Wario_obs.Trace.sink ->
+  ?count_pcs:bool ->
   Image.t ->
   t
 (** Initialise memory and perform the first power-on (same defaults as
     {!run}).  Note that {!clone} shares the tracer sink with the original:
     stepping both copies interleaves their events, so snapshot-heavy users
-    (lib/verify) should trace at most one instance. *)
+    (lib/verify) should trace at most one instance.
+
+    [count_pcs] (default false) records how many times each pc executes —
+    the PGO pilot's profile, read back with {!block_counts}.  Counting
+    keeps the instance on the reference path (the fast path's macro-steps
+    never touch per-pc state), so leave it off for measurement runs. *)
 
 type step =
   | Stepped  (** one instruction retired *)
@@ -171,6 +177,13 @@ val clone : t -> t
 (** Deep snapshot: memory, registers, power cursor, WAR-tracking state and
     statistics are all duplicated; stepping either copy never affects the
     other. *)
+
+val block_counts : t -> (string * int) list option
+(** Per-machine-block entry counts folded from the per-pc execution counts
+    ([None] unless the instance was created with [count_pcs:true]).  Keys
+    are mangled block labels in layout order — the
+    {!Wario_analysis.Costmodel.profile} shape consumed by profile-guided
+    checkpoint placement. *)
 
 val halted : t -> bool
 val cycles : t -> int  (** active cycles so far *)

@@ -29,6 +29,7 @@ type t = {
   entry : int;  (** pc of [main] *)
   symbols : (string * int) list;  (** data symbol -> address *)
   func_of_pc : string array;  (** enclosing function name per pc *)
+  label_of_pc : string array;  (** enclosing machine block label per pc *)
   init_image : (int * int * int32) list;  (** (addr, bytes, value) *)
   text_bytes : int;
   data_bytes : int;
@@ -70,14 +71,15 @@ let link (p : I.mprog) : t =
           Hashtbl.replace labels b.I.mlabel !counter;
           List.iter
             (fun ins ->
-              instrs := (ins, f.I.mname) :: !instrs;
+              instrs := (ins, f.I.mname, b.I.mlabel) :: !instrs;
               incr counter)
             b.I.mcode)
         f.I.mblocks)
     p.mfuncs;
-  let pairs = Array.of_list (List.rev !instrs) in
-  let code = Array.map fst pairs in
-  let func_of_pc = Array.map snd pairs in
+  let triples = Array.of_list (List.rev !instrs) in
+  let code = Array.map (fun (i, _, _) -> i) triples in
+  let func_of_pc = Array.map (fun (_, f, _) -> f) triples in
+  let label_of_pc = Array.map (fun (_, _, l) -> l) triples in
   let resolve l =
     match Hashtbl.find_opt labels l with
     | Some i -> i
@@ -112,6 +114,7 @@ let link (p : I.mprog) : t =
     entry;
     symbols;
     func_of_pc;
+    label_of_pc;
     init_image;
     text_bytes =
       Array.fold_left (fun a i -> a + Wario_machine.Encode.size_bytes i) 0 code;
@@ -179,3 +182,15 @@ let return_sites t fname : int list =
 
 let frame_meta_of t fname : I.frame_meta option =
   List.assoc_opt fname t.frame_meta
+
+(** Machine block labels in layout order with their start pcs (labels of
+    empty blocks own no pc and are omitted).  This is the key set of the
+    profiles the cost model consumes: a pilot run's per-pc execution counts
+    fold to per-block entry counts by sampling each start pc. *)
+let block_starts t : (string * int) list =
+  let acc = ref [] in
+  Array.iteri
+    (fun pc l ->
+      if pc = 0 || t.label_of_pc.(pc - 1) <> l then acc := (l, pc) :: !acc)
+    t.label_of_pc;
+  List.rev !acc

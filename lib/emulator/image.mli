@@ -19,6 +19,7 @@ type t = {
   entry : int;  (** pc of [main] *)
   symbols : (string * int) list;
   func_of_pc : string array;
+  label_of_pc : string array;  (** enclosing machine block label per pc *)
   init_image : (int * int * int32) list;  (** (addr, bytes, value) *)
   text_bytes : int;
   data_bytes : int;
@@ -53,3 +54,8 @@ val return_sites : t -> string -> int list
     it.  Empty for [main] (its return halts the machine). *)
 
 val frame_meta_of : t -> string -> Wario_machine.Isa.frame_meta option
+
+val block_starts : t -> (string * int) list
+(** Machine block labels in layout order with their start pcs (labels of
+    empty blocks own no pc and are omitted) — the key set of the profiles
+    {!Wario_analysis.Costmodel} consumes. *)

@@ -10,9 +10,14 @@
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (items : 'a list) : 'b list =
-  if jobs < 1 then
-    invalid_arg (Printf.sprintf "Exec.map: jobs must be >= 1 (got %d)" jobs);
+let map ?(jobs = 0) (f : 'a -> 'b) (items : 'a list) : 'b list =
+  if jobs < 0 then
+    invalid_arg (Printf.sprintf "Exec.map: jobs must be >= 0 (got %d)" jobs);
+  (* jobs = 0: size the pool to the host.  On a single-core host this
+     resolves to 1, i.e. the plain sequential path — a domain pool with
+     no parallelism to buy only adds spawn/join overhead (BENCH_4's
+     parallel run clocked 0.87x on one CPU). *)
+  let jobs = if jobs = 0 then default_jobs () else jobs in
   match items with
   | [] -> []
   | _ when jobs = 1 -> List.map f items

@@ -36,8 +36,11 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     (the calling domain participates, so at most [jobs - 1] are spawned)
     and returns the results in input order.
 
-    @param jobs pool width; defaults to {!default_jobs}.
-    @raise Invalid_argument when [jobs < 1]. *)
+    @param jobs pool width; [0] (the default) means auto: size the pool
+      to {!default_jobs}.  On a single-core host auto resolves to the
+      sequential path — a pool with no parallelism to buy only adds
+      spawn/join overhead.
+    @raise Invalid_argument when [jobs < 0]. *)
 
 val serialized : ('a -> unit) -> 'a -> unit
 (** [serialized sink] is [sink] behind a mutex: a single-writer funnel for

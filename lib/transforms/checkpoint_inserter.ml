@@ -25,7 +25,18 @@ module Point_hs = Analysis.Hitting_set.Make (struct
   let compare = compare_point
 end)
 
-type stats = { functions : int; wars : int; checkpoints : int }
+type placement =
+  | Greedy  (** unweighted greedy hitting set costed by loop depth only *)
+  | Cost_guided
+      (** weighted solver minimising estimated dynamic checkpoint count *)
+
+type stats = {
+  functions : int;
+  wars : int;
+  checkpoints : int;
+  exact : int;  (** functions whose weighted cover was proven optimal *)
+  fallback : int;  (** functions placed by the weighted-greedy fallback *)
+}
 
 (* Candidate checkpoint points resolving one WAR.  [block_len] must be an
    O(1) lookup: this runs once per WAR and WAR counts grow quadratically on
@@ -83,7 +94,9 @@ let insert_checkpoints f (points : point list) (cause : ckpt_cause) =
         (List.sort (fun a b -> compare b a) idxs))
     by_block
 
-let run_func ~(mode : Analysis.Alias.mode) ~escapes (f : func) : int * int =
+let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
+    ~(profile : Analysis.Costmodel.profile option) ~escapes (f : func) :
+    int * int * Analysis.Hitting_set.optimality option =
   let dbg = Sys.getenv_opt "WARIO_DEBUG_CPI" <> None in
   let now () = if dbg then Unix.gettimeofday () else 0. in
   let t0 = now () in
@@ -100,7 +113,7 @@ let run_func ~(mode : Analysis.Alias.mode) ~escapes (f : func) : int * int =
     Printf.eprintf "cpi %-14s cfg=%.1f alias=%.1f wars=%.1f (#wars=%d)
 %!"
       f.fname (t1 -. t0) (t2 -. t1) (t3 -. t2) (List.length wars);
-  if wars = [] then (0, 0)
+  if wars = [] then (0, 0, None)
   else begin
     (* Subsumption: for a fixed store and load block, the pair with the
        latest load has the smallest candidate set, and that set is a subset
@@ -139,21 +152,40 @@ let run_func ~(mode : Analysis.Alias.mode) ~escapes (f : func) : int * int =
       f.blocks;
     let block_len lbl = try Hashtbl.find lens lbl with Not_found -> 0 in
     let sets = List.map (candidates ~block_len dom) reduced in
-    let cost (lbl, _) =
-      (* prefer shallow loop nesting; 10x per level like a trip-count guess *)
-      10. ** float_of_int (loops.Analysis.Loops.depth_of lbl)
+    let naive_placement () =
+      (* unreachable via Error — [candidates] always includes the point
+         before the store — but documented as the Empty_set fallback:
+         checkpoint directly before every WAR store *)
+      List.map (fun (w : Analysis.Pdg.war) -> w.war_store.mo_point) reduced
     in
     let t4 = now () in
-    let chosen =
-      match Point_hs.solve ~cost sets with
-      | Ok chosen -> chosen
-      | Error (Analysis.Hitting_set.Empty_set _) ->
-          (* unreachable here — [candidates] always includes the point
-             before the store — but fall back to the Naive placement
-             (checkpoint directly before every WAR store) as documented *)
-          List.map
-            (fun (w : Analysis.Pdg.war) -> w.war_store.mo_point)
-            reduced
+    let chosen, opt =
+      match placement with
+      | Greedy ->
+          let cost (lbl, _) =
+            (* prefer shallow loop nesting; 10x per level, a trip-count
+               guess *)
+            10. ** float_of_int (loops.Analysis.Loops.depth_of lbl)
+          in
+          ( (match Point_hs.solve ~cost sets with
+            | Ok chosen -> chosen
+            | Error (Analysis.Hitting_set.Empty_set _) -> naive_placement ()),
+            None )
+      | Cost_guided ->
+          let static = Analysis.Costmodel.static_weights cfg loops in
+          let weights =
+            match profile with
+            | None -> static
+            | Some p ->
+                Analysis.Costmodel.profile_weights p ~fname:f.fname
+                  ~fallback:static
+          in
+          let cost (lbl, _) = weights lbl in
+          (match Point_hs.solve_weighted ~cost sets with
+          | Ok sol ->
+              (sol.Point_hs.chosen, Some sol.Point_hs.optimality)
+          | Error (Analysis.Hitting_set.Empty_set _) ->
+              (naive_placement (), None))
     in
     let t5 = now () in
     insert_checkpoints f chosen Middle_end_war;
@@ -163,19 +195,29 @@ let run_func ~(mode : Analysis.Alias.mode) ~escapes (f : func) : int * int =
         f.fname (t4 -. t3) (t5 -. t4)
         (now () -. t5)
         (List.length chosen);
-    (List.length wars, List.length chosen)
+    (List.length wars, List.length chosen, opt)
   end
 
 (** Insert middle-end checkpoints for the whole program; returns statistics. *)
-let run ?(mode = Analysis.Alias.Precise) (p : program) : stats =
+let run ?(mode = Analysis.Alias.Precise) ?(placement = Cost_guided) ?profile
+    (p : program) : stats =
   let escapes = Analysis.Alias.escapes_of_program p in
   List.fold_left
     (fun acc f ->
-      let wars, cps = run_func ~mode ~escapes f in
+      let wars, cps, opt = run_func ~mode ~placement ~profile ~escapes f in
       {
         functions = acc.functions + 1;
         wars = acc.wars + wars;
         checkpoints = acc.checkpoints + cps;
+        exact =
+          (acc.exact
+          + match opt with Some Analysis.Hitting_set.Exact -> 1 | _ -> 0);
+        fallback =
+          (acc.fallback
+          +
+          match opt with
+          | Some Analysis.Hitting_set.Greedy_fallback -> 1
+          | _ -> 0);
       })
-    { functions = 0; wars = 0; checkpoints = 0 }
+    { functions = 0; wars = 0; checkpoints = 0; exact = 0; fallback = 0 }
     p.funcs

@@ -1,9 +1,34 @@
 (** PDG Checkpoint Inserter (paper §3.1.2): convert every remaining WAR
     violation into its set of resolving program points and pick checkpoint
-    locations with the greedy minimal hitting set, costed by loop depth. *)
+    locations with a minimal hitting set.
 
-type stats = { functions : int; wars : int; checkpoints : int }
+    Placement is cost-guided by default: candidate points are weighted by
+    the {!Wario_analysis.Costmodel} block-frequency estimate (optionally
+    refined by a measured profile) and the weighted solver minimises the
+    expected number of dynamically executed checkpoints, proving optimality
+    when the instance is small enough.  [Greedy] retains the original
+    unweighted greedy costed by loop depth, as the comparison baseline. *)
 
-val run : ?mode:Wario_analysis.Alias.mode -> Wario_ir.Ir.program -> stats
+type placement =
+  | Greedy  (** unweighted greedy hitting set costed by loop depth only *)
+  | Cost_guided
+      (** weighted solver minimising estimated dynamic checkpoint count *)
+
+type stats = {
+  functions : int;
+  wars : int;
+  checkpoints : int;
+  exact : int;  (** functions whose weighted cover was proven optimal *)
+  fallback : int;  (** functions placed by the weighted-greedy fallback *)
+}
+
+val run :
+  ?mode:Wario_analysis.Alias.mode ->
+  ?placement:placement ->
+  ?profile:Wario_analysis.Costmodel.profile ->
+  Wario_ir.Ir.program ->
+  stats
 (** [mode] selects the alias precision: [Basic] reproduces Ratchet,
-    [Precise] (default) reproduces R-PDG / WARio. *)
+    [Precise] (default) reproduces R-PDG / WARio.  [placement] defaults to
+    [Cost_guided]; [profile] (measured per-block entry counts, validated by
+    the caller) is only consulted under [Cost_guided]. *)

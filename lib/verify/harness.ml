@@ -38,7 +38,8 @@ type config = {
   max_failures_per_case : int;  (** stop a case after this many failures *)
   seed : int64;
   opts : P.options;
-  jobs : int;  (** domains for the schedule fan-out (1 = sequential) *)
+  jobs : int;
+      (** domains for the schedule fan-out (1 = sequential, 0 = auto) *)
 }
 
 let instrumented_environments =

@@ -26,11 +26,12 @@ type config = {
   seed : int64;  (** printed with every reproducer; replays the sweep *)
   opts : Wario.Pipeline.options;
   jobs : int;
-      (** domains for the per-case schedule fan-out (1 = sequential).
-          Schedules are evaluated in fixed-size chunks whose verdicts are
-          consumed in input order, so every report — including
-          [c_schedules] under the failure cap — is byte-identical for any
-          [jobs] value. *)
+      (** domains for the per-case schedule fan-out (1 = sequential,
+          0 = auto: sized to the host by {!Wario_exec.Exec.map}, which on
+          a single-core host is the sequential path).  Schedules are
+          evaluated in fixed-size chunks whose verdicts are consumed in
+          input order, so every report — including [c_schedules] under
+          the failure cap — is byte-identical for any [jobs] value. *)
 }
 
 val instrumented_environments : Wario.Pipeline.environment list

@@ -53,9 +53,18 @@ let test_map_invalid_jobs () =
       Alcotest.check_raises
         (Printf.sprintf "jobs=%d rejected" jobs)
         (Invalid_argument
-           (Printf.sprintf "Exec.map: jobs must be >= 1 (got %d)" jobs))
+           (Printf.sprintf "Exec.map: jobs must be >= 0 (got %d)" jobs))
         (fun () -> ignore (X.map ~jobs Fun.id [ 1 ])))
-    [ 0; -1 ]
+    [ -1; -8 ]
+
+let test_map_jobs_zero_auto () =
+  (* jobs = 0 sizes the pool to the host (sequential on a single-core
+     host) and must agree with the sequential results either way *)
+  let items = List.init 50 Fun.id in
+  Alcotest.(check (list int))
+    "jobs=0 equals jobs=1"
+    (X.map ~jobs:1 (fun i -> i * 3) items)
+    (X.map ~jobs:0 (fun i -> i * 3) items)
 
 let test_map_lowest_failure_wins () =
   (* items 3 and 7 both fail; whatever the domain timing, the caller must
@@ -125,6 +134,7 @@ let suite =
     Alcotest.test_case "map: more jobs than items" `Quick
       test_map_more_jobs_than_items;
     Alcotest.test_case "map: empty input" `Quick test_map_empty;
+    Alcotest.test_case "map: jobs=0 is auto" `Quick test_map_jobs_zero_auto;
     Alcotest.test_case "map: invalid jobs rejected" `Quick
       test_map_invalid_jobs;
     Alcotest.test_case "map: lowest-indexed failure wins" `Quick

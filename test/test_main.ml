@@ -16,5 +16,6 @@ let () =
       ("exec", Test_exec.suite);
       ("verify", Test_verify.suite);
       ("certify", Test_certify.suite);
+      ("place", Test_place.suite);
       ("properties", Test_props.suite @ Test_props.structural_suite);
     ]

@@ -1,0 +1,195 @@
+(* Tests for cost-guided checkpoint placement: the profile round trip
+   (pilot -> weights -> recompile), its failure modes (empty / stale
+   profiles fall back to the static model instead of crashing), the
+   measured guard (`Pgo.compile` never ships a binary executing more
+   checkpoints than the greedy baseline on the pilot input), and the
+   certifier-validated elision pass. *)
+
+module P = Wario.Pipeline
+module E = Wario_emulator
+module A = Wario_analysis
+module T = Wario_transforms.Checkpoint_inserter
+
+let micro name = (Wario_workloads.Micro.find name).Wario_workloads.Micro.source
+
+let bench name =
+  (Wario_workloads.Programs.find name).Wario_workloads.Programs.source
+
+let dyn image =
+  (E.Emulator.run ~verify:false image).E.Emulator.checkpoints_total
+
+(* -- label mangling ------------------------------------------------- *)
+
+let test_mangle_agrees_with_isel () =
+  Alcotest.(check string)
+    "mangle scheme" "f$entry"
+    (A.Costmodel.mangle "f" "entry");
+  Alcotest.(check string)
+    "agrees with Isel.mangle"
+    (Wario_backend.Isel.mangle "f" "entry")
+    (A.Costmodel.mangle "f" "entry");
+  (* the pilot's per-block counts are keyed by the back end's mangled
+     labels; if the schemes diverged, validation would report staleness *)
+  let c = P.compile P.Wario (micro "rmw_loop") in
+  let pilot = Wario.Pgo.collect c.P.image in
+  let expected =
+    List.concat_map
+      (fun (mf : Wario_machine.Isa.mfunc) ->
+        List.map
+          (fun (b : Wario_machine.Isa.mblock) -> b.Wario_machine.Isa.mlabel)
+          mf.Wario_machine.Isa.mblocks)
+      c.P.mprog.Wario_machine.Isa.mfuncs
+  in
+  match
+    A.Costmodel.validate_profile pilot.Wario.Pgo.profile
+      ~expected_labels:expected
+  with
+  | Ok matched ->
+      Alcotest.(check bool) "some labels matched" true (matched > 0)
+  | Error e -> Alcotest.failf "pilot profile stale against own labels: %s" e
+
+(* -- profile round trip --------------------------------------------- *)
+
+let test_profile_applied () =
+  let src = micro "sort" in
+  let c = P.compile P.Wario src in
+  let pilot = Wario.Pgo.collect c.P.image in
+  let c2 =
+    P.compile
+      ~opts:{ P.default_options with P.block_profile = Some pilot.Wario.Pgo.profile }
+      P.Wario src
+  in
+  (match c2.P.middle.P.profile_status with
+  | P.Applied n -> Alcotest.(check bool) "labels matched" true (n > 0)
+  | P.No_profile -> Alcotest.fail "profile ignored"
+  | P.Fell_back r -> Alcotest.failf "profile rejected: %s" r);
+  (* same program, same outputs *)
+  let r1 = E.Emulator.run c.P.image and r2 = E.Emulator.run c2.P.image in
+  Alcotest.(check (list int32)) "outputs agree" r1.E.Emulator.output
+    r2.E.Emulator.output
+
+let test_pgo_deterministic () =
+  let src = micro "sort" in
+  let one () = Wario.Pgo.compile_candidates P.Wario src in
+  let a = one () and b = one () in
+  Alcotest.(check bool)
+    "pilot profiles equal" true
+    (a.Wario.Pgo.pilot.Wario.Pgo.profile = b.Wario.Pgo.pilot.Wario.Pgo.profile);
+  Alcotest.(check bool)
+    "measured guard picks the same variant" true
+    (a.Wario.Pgo.pilot.Wario.Pgo.selected = b.Wario.Pgo.pilot.Wario.Pgo.selected);
+  Alcotest.(check bool)
+    "selected images identical" true
+    ((Wario.Pgo.compiled_of a a.Wario.Pgo.pilot.Wario.Pgo.selected).P.image
+       .E.Image.code
+    = (Wario.Pgo.compiled_of b b.Wario.Pgo.pilot.Wario.Pgo.selected).P.image
+        .E.Image.code)
+
+let test_empty_profile_falls_back () =
+  let c =
+    P.compile
+      ~opts:{ P.default_options with P.block_profile = Some [] }
+      P.Wario (micro "rmw_loop")
+  in
+  match c.P.middle.P.profile_status with
+  | P.Fell_back _ -> ()
+  | P.Applied n -> Alcotest.failf "empty profile applied (%d labels?)" n
+  | P.No_profile -> Alcotest.fail "empty profile silently dropped"
+
+let test_stale_profile_falls_back () =
+  (* a pilot of a different program: labels cannot match *)
+  let other = P.compile P.Wario (micro "byte_ops") in
+  let stale = (Wario.Pgo.collect other.P.image).Wario.Pgo.profile in
+  let c =
+    P.compile
+      ~opts:{ P.default_options with P.block_profile = Some stale }
+      P.Wario (micro "sort")
+  in
+  (match c.P.middle.P.profile_status with
+  | P.Fell_back _ -> ()
+  | P.Applied n -> Alcotest.failf "stale profile applied (%d labels)" n
+  | P.No_profile -> Alcotest.fail "stale profile silently dropped");
+  (* the fallback is the static model: same placement as no profile *)
+  let plain = P.compile P.Wario (micro "sort") in
+  Alcotest.(check bool)
+    "fell back to the static placement" true
+    (c.P.image.E.Image.code = plain.P.image.E.Image.code)
+
+(* -- measured guard ------------------------------------------------- *)
+
+let test_guard_never_worse_than_greedy () =
+  List.iter
+    (fun name ->
+      let src = micro name in
+      let greedy =
+        P.compile ~opts:{ P.default_options with P.placement = T.Greedy }
+          P.Wario src
+      in
+      let best, pilot = Wario.Pgo.compile P.Wario src in
+      Alcotest.(check bool)
+        (name ^ ": guard measured every candidate")
+        true
+        (List.length pilot.Wario.Pgo.measured = 3);
+      Alcotest.(check bool)
+        (name ^ ": selected never executes more checkpoints than greedy")
+        true
+        (dyn best.P.image <= dyn greedy.P.image))
+    [ "rmw_loop"; "sort"; "byte_ops" ]
+
+(* -- certifier-validated elision ------------------------------------ *)
+
+let test_elision_certified_and_no_worse () =
+  let src = bench "sha" in
+  let base = P.compile P.Wario src in
+  let elided = P.compile ~opts:{ P.default_options with P.elide = true } P.Wario src in
+  let stats =
+    match elided.P.elision with
+    | Some s -> s
+    | None -> Alcotest.fail "elide=true produced no elision stats"
+  in
+  Alcotest.(check bool) "tried every candidate it counted" true
+    (stats.Wario.Elide.tried >= stats.Wario.Elide.elided);
+  (* the pass only ever removes checkpoints *)
+  Alcotest.(check bool) "never adds checkpoints" true
+    (dyn elided.P.image <= dyn base.P.image);
+  (* and the result still certifies and computes the same thing *)
+  (match P.certify elided with
+  | Wario_certify.Certify.Certified _ -> ()
+  | Wario_certify.Certify.Rejected _ ->
+      Alcotest.fail "elided image rejected by the certifier");
+  let r1 = E.Emulator.run base.P.image
+  and r2 = E.Emulator.run elided.P.image in
+  Alcotest.(check (list int32)) "outputs agree" r1.E.Emulator.output
+    r2.E.Emulator.output;
+  Alcotest.(check int32) "exit codes agree" r1.E.Emulator.exit_code
+    r2.E.Emulator.exit_code;
+  (* survives intermittent power too *)
+  let r3 =
+    E.Emulator.run ~supply:(E.Power.Periodic 100_000) elided.P.image
+  in
+  Alcotest.(check (list int32)) "intermittent output agrees"
+    r1.E.Emulator.output r3.E.Emulator.output
+
+let test_elide_off_by_default () =
+  let c = P.compile P.Wario (micro "rmw_loop") in
+  Alcotest.(check bool) "no elision stats without elide" true
+    (c.P.elision = None)
+
+let suite =
+  [
+    Alcotest.test_case "mangle agrees with isel" `Quick
+      test_mangle_agrees_with_isel;
+    Alcotest.test_case "profile round trip: applied" `Quick
+      test_profile_applied;
+    Alcotest.test_case "pgo: deterministic" `Slow test_pgo_deterministic;
+    Alcotest.test_case "empty profile falls back" `Quick
+      test_empty_profile_falls_back;
+    Alcotest.test_case "stale profile falls back" `Quick
+      test_stale_profile_falls_back;
+    Alcotest.test_case "measured guard: never worse than greedy" `Slow
+      test_guard_never_worse_than_greedy;
+    Alcotest.test_case "elision: certified, no worse, same results" `Slow
+      test_elision_certified_and_no_worse;
+    Alcotest.test_case "elision: off by default" `Quick
+      test_elide_off_by_default;
+  ]

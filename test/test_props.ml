@@ -467,6 +467,109 @@ let prop_hitting_set_covers =
             (String.concat ";" (List.map string_of_int s)))
         sets)
 
+(* -- weighted hitting set vs brute force ---------------------------- *)
+
+(* Small weighted instances: elements 0..9 with integer costs 1..16 (so
+   float sums are exact), a handful of small sets.  The universe is tiny
+   enough to enumerate every subset. *)
+let gen_weighted_instance =
+  QCheck.Gen.(
+    pair
+      (list_size (int_range 1 8) (list_size (int_range 1 4) (int_bound 9)))
+      (array_size (return 10) (map float_of_int (int_range 1 16))))
+
+let arbitrary_weighted_instance =
+  QCheck.make
+    ~print:(fun (sets, w) ->
+      Printf.sprintf "sets=[%s] w=[%s]"
+        (String.concat "; "
+           (List.map
+              (fun s -> "[" ^ String.concat ";" (List.map string_of_int s) ^ "]")
+              sets))
+        (String.concat ";" (Array.to_list (Array.map string_of_float w))))
+    gen_weighted_instance
+
+(* cheapest covering subset by exhaustive enumeration *)
+let brute_optimum sets (w : float array) =
+  let elems = List.sort_uniq compare (List.concat sets) in
+  let n = List.length elems in
+  let arr = Array.of_list elems in
+  let best = ref infinity in
+  for mask = 0 to (1 lsl n) - 1 do
+    let chosen e =
+      let rec idx i = if arr.(i) = e then i else idx (i + 1) in
+      mask land (1 lsl idx 0) <> 0
+    in
+    if List.for_all (List.exists chosen) sets then begin
+      let cost = ref 0. in
+      Array.iteri (fun i e -> if mask land (1 lsl i) <> 0 then cost := !cost +. w.(e)) arr;
+      if !cost < !best then best := !cost
+    end
+  done;
+  !best
+
+let covers chosen sets = List.for_all (List.exists (fun e -> List.mem e chosen)) sets
+
+let solve_w ?node_budget sets w =
+  match Int_hs.solve_weighted ?node_budget ~cost:(fun e -> w.(e)) sets with
+  | Ok s -> s
+  | Error (A.Hitting_set.Empty_set i) ->
+      QCheck.Test.fail_reportf "unexpected Empty_set %d" i
+
+let prop_weighted_matches_bruteforce =
+  QCheck.Test.make
+    ~name:"random weighted instances: exact solver = brute-force optimum"
+    ~count:200 arbitrary_weighted_instance
+    (fun (sets, w) ->
+      let s = solve_w sets w in
+      let opt = brute_optimum sets w in
+      if s.Int_hs.optimality <> A.Hitting_set.Exact then
+        QCheck.Test.fail_reportf "tiny instance fell back to greedy"
+      else if not (covers s.Int_hs.chosen sets) then
+        QCheck.Test.fail_reportf "exact cover misses a set"
+      else if abs_float (s.Int_hs.total_cost -. opt) > 1e-9 then
+        QCheck.Test.fail_reportf "exact cost %f <> brute-force optimum %f"
+          s.Int_hs.total_cost opt
+      else true)
+
+let prop_weighted_greedy_never_cheaper =
+  QCheck.Test.make
+    ~name:"random weighted instances: forced greedy covers, never beats exact"
+    ~count:200 arbitrary_weighted_instance
+    (fun (sets, w) ->
+      let exact = solve_w sets w in
+      let greedy = solve_w ~node_budget:0 sets w in
+      if greedy.Int_hs.optimality <> A.Hitting_set.Greedy_fallback then
+        QCheck.Test.fail_reportf "node_budget 0 did not force the greedy path"
+      else if not (covers greedy.Int_hs.chosen sets) then
+        QCheck.Test.fail_reportf "greedy cover misses a set"
+      else if greedy.Int_hs.total_cost < exact.Int_hs.total_cost -. 1e-9 then
+        QCheck.Test.fail_reportf "greedy cost %f beats exact cost %f"
+          greedy.Int_hs.total_cost exact.Int_hs.total_cost
+      else true)
+
+let prop_weighted_unit_no_worse_than_classic =
+  QCheck.Test.make
+    ~name:"random instances: unit-weight exact cover <= classic greedy size"
+    ~count:200 arbitrary_weighted_instance
+    (fun (sets, _) ->
+      let s = solve_w sets (Array.make 10 1.) in
+      let classic =
+        match Int_hs.solve ~cost:(fun _ -> 1.) sets with
+        | Ok chosen -> chosen
+        | Error (A.Hitting_set.Empty_set i) ->
+            QCheck.Test.fail_reportf "unexpected Empty_set %d" i
+      in
+      if s.Int_hs.total_cost > float_of_int (List.length classic) +. 1e-9 then
+        QCheck.Test.fail_reportf
+          "unit-weight exact cover costs %f > classic greedy size %d"
+          s.Int_hs.total_cost (List.length classic)
+      else true)
+
 let structural_suite =
   List.map to_alcotest
-    [ prop_dominance_matches_bruteforce; prop_hitting_set_covers ]
+    [
+      prop_dominance_matches_bruteforce; prop_hitting_set_covers;
+      prop_weighted_matches_bruteforce; prop_weighted_greedy_never_cheaper;
+      prop_weighted_unit_no_worse_than_classic;
+    ]
