@@ -463,8 +463,133 @@ let trace_cmd =
 
 (* --- verify --- *)
 
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+(* machine-readable coverage artifact for CI upload *)
+let coverage_json (reports : V.Campaign.case_report list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"min_boundary_pct\": %.1f,\n"
+       (V.Campaign.min_boundary_pct reports));
+  Buffer.add_string b
+    (Printf.sprintf "  \"total_failures\": %d,\n"
+       (V.Campaign.total_failures reports));
+  Buffer.add_string b "  \"cases\": [\n";
+  let n = List.length reports in
+  List.iteri
+    (fun i (r : V.Campaign.case_report) ->
+      let c = r.V.Campaign.k_coverage in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"env\": \"%s\", \"schedules\": %d, \
+            \"probes\": %d, \"boundaries\": %d, \"boundaries_cut\": %d, \
+            \"boundary_pct\": %.1f, \"regions\": %d, \"regions_cut\": %d, \
+            \"boot_cut\": %b, \"worst_reexec\": %d, \"failures\": %d}%s\n"
+           r.V.Campaign.k_workload
+           (P.environment_name r.V.Campaign.k_env)
+           r.V.Campaign.k_schedules r.V.Campaign.k_probes
+           c.V.Campaign.cov_boundaries c.V.Campaign.cov_boundaries_cut
+           (V.Campaign.boundary_pct c) c.V.Campaign.cov_regions
+           c.V.Campaign.cov_regions_cut c.V.Campaign.cov_boot_cut
+           r.V.Campaign.k_worst_reexec r.V.Campaign.k_failures_total
+           (if i = n - 1 then "" else ",")))
+    reports;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* replay a persisted regression corpus; the CI hard gate *)
+let do_corpus dir =
+  let entries, errs = V.Corpus.load_dir dir in
+  Printf.printf "corpus %s: %d entr(ies)%s\n%!" dir (List.length entries)
+    (match errs with
+    | [] -> ""
+    | es -> Printf.sprintf ", %d unreadable" (List.length es));
+  List.iter
+    (fun (path, e) -> Printf.printf "  FAIL %s — cannot parse: %s\n%!" path e)
+    errs;
+  let bad = ref (List.length errs) and stale = ref 0 in
+  List.iter
+    (fun (path, entry) ->
+      let v = V.Corpus.replay entry in
+      if v.V.Corpus.v_stale then incr stale;
+      if not v.V.Corpus.v_ok then incr bad;
+      Printf.printf "  %s %s — %s\n%!"
+        (if v.V.Corpus.v_ok then "ok  " else "FAIL")
+        (Filename.basename path) v.V.Corpus.v_message)
+    entries;
+  Printf.printf "corpus replay: %d ok, %d failed, %d stale\n"
+    (List.length entries + List.length errs - !bad)
+    !bad !stale;
+  if !bad = 0 then `Ok ()
+  else `Error (false, "corpus replay: expectations not upheld")
+
+let do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
+    ~corpus_out ~coverage_out ~seed ~opts ~jobs =
+  let budget =
+    match schedules with
+    | Some n -> n
+    | None ->
+        if small then V.Campaign.small_budget else V.Campaign.default_budget
+  in
+  let config =
+    {
+      V.Campaign.envs = config_envs;
+      workloads;
+      budget;
+      seed;
+      opts;
+      jobs;
+      max_shrunk_per_case = 5;
+    }
+  in
+  let log = X.serialized (fun s -> Printf.printf "  %s\n%!" s) in
+  Printf.printf
+    "campaign: %d environment(s) × %d workload(s), budget %d schedules per \
+     case, seed %Ld, %d job(s)\n%!"
+    (List.length config_envs) (List.length workloads) budget seed jobs;
+  let reports = V.Campaign.run ~log config in
+  print_string (Wario.Report.campaign_table (V.Campaign.report_rows reports));
+  (match coverage_out with
+  | None -> ()
+  | Some path ->
+      write_file path (coverage_json reports);
+      Printf.printf "coverage report written to %s\n%!" path);
+  (match corpus_out with
+  | None -> ()
+  | Some dir ->
+      let entries = V.Campaign.corpus_entries reports in
+      let added =
+        List.filter
+          (fun e ->
+            match V.Corpus.save ~dir e with
+            | `Added _ -> true
+            | `Exists _ -> false)
+          entries
+      in
+      Printf.printf "corpus: %d new entr(ies) in %s (%d already present)\n%!"
+        (List.length added) dir
+        (List.length entries - List.length added));
+  let minpct = V.Campaign.min_boundary_pct reports in
+  let failures = V.Campaign.total_failures reports in
+  Printf.printf
+    "campaign: %d case(s), minimum commit-boundary coverage %.1f%% (gate \
+     %d%%), %d consistency failure(s)\n"
+    (List.length reports) minpct min_coverage failures;
+  if failures > 0 then `Error (false, "crash-consistency violations detected")
+  else if minpct < float_of_int min_coverage then
+    `Error
+      ( false,
+        Printf.sprintf "coverage gate not met: %.1f%% < %d%%" minpct
+          min_coverage )
+  else `Ok ()
+
 let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
-    drop_ckpt jobs repro =
+    drop_ckpt jobs repro campaign small min_coverage corpus_out coverage_out
+    corpus =
   match resolve_jobs jobs with
   | Error e -> `Error (true, e)
   | Ok jobs -> (
@@ -479,6 +604,9 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
               Printf.printf "reproducer no longer fails (fixed?)\n";
               `Ok ()
           | Error d -> `Error (false, "reproduced: " ^ d)))
+  | None -> (
+  match corpus with
+  | Some dir -> do_corpus dir
   | None -> (
       let config_envs =
         match envs with
@@ -499,7 +627,19 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
       in
       match named_workloads with
       | Error e -> `Error (false, e)
+      | Ok workloads when campaign ->
+          do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
+            ~corpus_out ~coverage_out ~seed
+            ~opts:
+              {
+                P.default_options with
+                unroll_factor = unroll;
+                max_region;
+                drop_middle_ckpt = drop_ckpt;
+              }
+            ~jobs
       | Ok workloads ->
+          let schedules = Option.value schedules ~default:200 in
           let config =
             {
               V.Harness.envs = config_envs;
@@ -546,7 +686,7 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
           if failures = 0 && rejected = [] then `Ok ()
           else if failures = 0 then
             `Error (false, "static certifier rejected some builds")
-          else `Error (false, "crash-consistency violations detected")))
+          else `Error (false, "crash-consistency violations detected"))))
 
 let verify_cmd =
   let envs =
@@ -565,9 +705,11 @@ let verify_cmd =
   in
   let schedules =
     Arg.(
-      value & opt int 200
+      value
+      & opt (some int) None
       & info [ "n"; "schedules" ] ~docv:"N"
-          ~doc:"Injected failure schedules per (environment, workload) case.")
+          ~doc:
+            "Injected failure schedules per (environment, workload) case            (default: 200 for the sweep; the campaign budget for            --campaign).")
   in
   let seed =
     Arg.(
@@ -599,6 +741,50 @@ let verify_cmd =
           ~doc:
             "Replay a shrunk counterexample emitted by a previous sweep,            e.g. '(repro (workload rmw_loop) (env wario) (unroll 8)            (cuts 413 879))'.")
   in
+  let campaign =
+    Arg.(
+      value & flag
+      & info [ "campaign" ]
+          ~doc:
+            "Run the fleet-scale adversarial campaign instead of the basic            sweep: exhaustive boundary cuts, boundary-bisecting adversary,            harvester-style supply models and seeded random fill, with            cut-coverage accounting per case.")
+  in
+  let small =
+    Arg.(
+      value & flag
+      & info [ "small" ]
+          ~doc:
+            "With --campaign: use the smoke-test budget (2000 schedules per            case) instead of the fleet default (100000).")
+  in
+  let min_coverage =
+    Arg.(
+      value & opt int 95
+      & info [ "min-coverage" ] ~docv:"PCT"
+          ~doc:
+            "With --campaign: fail unless every case reaches at least PCT%            commit-boundary cut coverage.")
+  in
+  let corpus_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-out" ] ~docv:"DIR"
+          ~doc:
+            "With --campaign: persist every shrunk counterexample into DIR            as a deduplicated regression-corpus entry.")
+  in
+  let coverage_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coverage-out" ] ~docv:"FILE"
+          ~doc:"With --campaign: write the coverage report as JSON to FILE.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Replay every regression-corpus entry in DIR and check each            against its recorded expectation (the CI hard gate).")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
@@ -607,7 +793,8 @@ let verify_cmd =
       ret
         (const do_verify $ envs $ workloads $ schedules $ seed
        $ exhaustive_limit $ unroll_arg $ max_region_arg $ drop_ckpt $ jobs_arg
-       $ repro))
+       $ repro $ campaign $ small $ min_coverage $ corpus_out $ coverage_out
+       $ corpus))
 
 (* --- certify --- *)
 

@@ -157,3 +157,58 @@ let summarize_regions (sizes : int list) : region_summary =
         rs_max = sorted.(n - 1);
         rs_count = n;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Verify-campaign coverage (lib/verify)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Scalar row so the core library stays independent of wario_verify: the
+   campaign engine flattens its reports into these. *)
+type campaign_row = {
+  cr_workload : string;
+  cr_env : string;
+  cr_schedules : int;
+  cr_probes : int;
+  cr_boundaries : int;
+  cr_boundaries_cut : int;
+  cr_regions : int;
+  cr_regions_cut : int;
+  cr_boot_cut : bool;
+  cr_worst_reexec : int;
+  cr_failures : int;
+}
+
+let coverage_cell ~cut ~total =
+  if total = 0 then "-/- (100%)"
+  else
+    Printf.sprintf "%d/%d (%.0f%%)" cut total
+      (100.0 *. float_of_int cut /. float_of_int total)
+
+let campaign_table (rows : campaign_row list) : string =
+  table ~title:"Campaign coverage: commit-boundary and region cut accounting"
+    [
+      "workload";
+      "env";
+      "schedules";
+      "probes";
+      "boundaries cut";
+      "regions cut";
+      "boot";
+      "worst reexec";
+      "failures";
+    ]
+    (List.map
+       (fun r ->
+         [
+           r.cr_workload;
+           r.cr_env;
+           string_of_int r.cr_schedules;
+           string_of_int r.cr_probes;
+           coverage_cell ~cut:r.cr_boundaries_cut ~total:r.cr_boundaries;
+           coverage_cell ~cut:r.cr_regions_cut ~total:r.cr_regions;
+           (if r.cr_boot_cut then "yes" else "no");
+           string_of_int r.cr_worst_reexec;
+           (if r.cr_failures = 0 then "ok"
+            else string_of_int r.cr_failures);
+         ])
+       rows)

@@ -33,3 +33,25 @@ val profile_table : ?top:int -> Wario_obs.Profile.t -> string
 
 val regions_table : ?top:int -> Wario_obs.Profile.t -> string
 (** The [top] (default 10) longest idempotent regions of a trace. *)
+
+(** {1 Verify-campaign coverage rendering (lib/verify)}
+
+    Scalar row type so the core library stays independent of
+    [wario_verify]; the campaign engine flattens its case reports into
+    these rows. *)
+
+type campaign_row = {
+  cr_workload : string;
+  cr_env : string;
+  cr_schedules : int;  (** schedules exercised *)
+  cr_probes : int;  (** adversary bisection probes *)
+  cr_boundaries : int;  (** commit boundaries of the reference run *)
+  cr_boundaries_cut : int;  (** boundaries with a first cut within ±1 *)
+  cr_regions : int;
+  cr_regions_cut : int;  (** regions with an interior first cut *)
+  cr_boot_cut : bool;  (** some schedule cut inside the boot window *)
+  cr_worst_reexec : int;  (** worst re-executed waste the adversary provoked *)
+  cr_failures : int;  (** failing schedules (all, not just distinct) *)
+}
+
+val campaign_table : campaign_row list -> string

@@ -56,6 +56,9 @@ type result = {
   checkpoints_total : int;
   region_sizes : int list;  (** cycles between region boundaries *)
   power_failures : int;
+  failure_sites : (int * int) list;
+      (** one [(commits_so_far, lost_work)] per power failure, in order;
+          locates each failure on the continuous run's timeline (see mli) *)
   boots : int;
   violations : violation list;
   irqs_taken : int;
@@ -180,6 +183,13 @@ type state = {
   mutable acc_restore : int;  (** cycles spent replaying restores *)
   mutable acc_reexec : int;  (** work cycles discarded by power failures *)
   mutable work_at_commit : int;  (** work-cycle counter at the last commit *)
+  mutable commits : int;  (** checkpoint commits so far (monotone) *)
+  mutable fail_sites_rev : (int * int) list;
+      (** per power failure: (commits so far, work cycles lost) *)
+  mutable period_live : bool;
+      (** boot + restore completed for the current power period — failures
+          before that land at the resume point itself, so no shortfall is
+          charged to the failure site *)
 }
 
 (* Work cycles: everything except boot and restore replay.  Work done since
@@ -376,6 +386,7 @@ let commit_checkpoint st ~(cause : Tr.cause) mask resume_pc =
   in
   raw_store32 st base seq;
   st.boots_since_commit <- 0;
+  st.commits <- st.commits + 1;
   st.work_at_commit <- work_total st;
   if st.trace_on then
     Tr.emit st.tracer st.cycles
@@ -422,10 +433,11 @@ exception Power_failed
    [unlimited_budget] cycles: far above any reachable spend (fuel caps the
    total), so the same two branch-free int operations serve both cases. *)
 let spend st c =
-  if st.budget < c then begin
-    st.budget <- 0;
-    raise Power_failed
-  end;
+  if st.budget < c then
+    (* the remaining budget is kept: [power_failure] reads it as the
+       shortfall between the last retired instruction and the cycle power
+       actually died, and [power_on] overwrites it for the next period *)
+    raise Power_failed;
   st.budget <- st.budget - c;
   st.cycles <- st.cycles + c;
   if st.cycles > st.fuel then
@@ -482,6 +494,7 @@ let power_on st =
   end;
   st.cur_epoch <- st.cur_epoch + 1;
   st.region_start <- st.cycles;
+  st.period_live <- true;
   (* the interrupt timer starts once the application code resumes *)
   st.next_irq_at <- st.cycles + st.irq_period
 
@@ -490,6 +503,15 @@ let power_failure st =
   (* work since the last commit is discarded: it will be re-executed *)
   let lost = work_total st - st.work_at_commit in
   st.acc_reexec <- st.acc_reexec + lost;
+  (* [lost] is this period's retired progress past the resume point, and
+     the unspent budget remainder is the shortfall to the cycle power
+     actually died (the in-flight spend did not fit), so
+     (commits, lost + shortfall) pins the failure exactly on the
+     continuous run's timeline — the campaign's cut-coverage accounting
+     reads this.  Failures during boot/restore land at the resume point. *)
+  let shortfall = if st.period_live then max 0 st.budget else 0 in
+  st.fail_sites_rev <- (st.commits, lost + shortfall) :: st.fail_sites_rev;
+  st.period_live <- false;
   st.work_at_commit <- work_total st;
   if st.trace_on then
     Tr.emit st.tracer st.cycles (Tr.Power_failure { lost_cycles = lost });
@@ -927,6 +949,9 @@ let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
       acc_restore = 0;
       acc_reexec = 0;
       work_at_commit = 0;
+      commits = 0;
+      fail_sites_rev = [];
+      period_live = false;
     }
   in
   init_memory st;
@@ -1521,6 +1546,7 @@ let result st : result =
       + st.counts.c_backend;
     region_sizes = List.rev ((st.cycles - st.region_start) :: st.regions_rev);
     power_failures = st.failures;
+    failure_sites = List.rev st.fail_sites_rev;
     boots = st.boots;
     violations = List.rev st.violations;
     irqs_taken = st.irqs_taken;

@@ -59,6 +59,17 @@ type result = {
   checkpoints_total : int;
   region_sizes : int list;  (** cycles between region boundaries *)
   power_failures : int;
+  failure_sites : (int * int) list;
+      (** one [(commits_so_far, lost_work)] per power failure, in order.
+          Execution always resumes at the last committed checkpoint (cold
+          start when [commits_so_far = 0]) and commits advance one region
+          boundary at a time, so [lost_work] — the work cycles this power
+          period past the resume point up to the cycle power died,
+          including the unspent shortfall of the in-flight instruction —
+          pins each failure {e exactly} on the continuous run's timeline:
+          the campaign's cut-coverage accounting maps it to
+          [boundary(commits_so_far) + lost_work] golden cycles.  Failures
+          during boot/restore report the resume point itself. *)
   boots : int;
   violations : violation list;
   irqs_taken : int;

@@ -14,6 +14,11 @@ type supply =
   | Continuous
   | Periodic of int  (** fixed on-period, in clock cycles *)
   | Trace of int array  (** sequence of on-durations, repeated cyclically *)
+  | Trace_once of int array
+      (** sequence of on-durations played exactly once; once exhausted the
+          harvester yields no further energy, so the device can never boot
+          again (the emulator raises [No_forward_progress]).  The
+          fail-when-short counterpart of the wrapping [Trace]. *)
   | Schedule of int array
       (** finite sequence of on-durations (injected cut points); continuous
           once exhausted *)
@@ -27,7 +32,7 @@ let create supply =
       if n <= 0 then
         invalid_arg
           (Printf.sprintf "Power.create: non-positive on-period %d" n)
-  | Trace arr ->
+  | Trace arr | Trace_once arr ->
       if Array.length arr = 0 then invalid_arg "Power.create: empty trace";
       Array.iter
         (fun d ->
@@ -57,6 +62,17 @@ let next_budget t : int option =
       let v = arr.(t.index mod Array.length arr) in
       t.index <- t.index + 1;
       Some v
+  | Trace_once arr ->
+      if t.index >= Array.length arr then
+        (* harvester depleted: no period ever again.  A zero budget cannot
+           even cover the boot sequence, so every subsequent power-on is
+           fruitless and the emulator's forward-progress watchdog trips. *)
+        Some 0
+      else begin
+        let v = arr.(t.index) in
+        t.index <- t.index + 1;
+        Some v
+      end
   | Schedule arr ->
       if t.index >= Array.length arr then None
       else begin
@@ -73,6 +89,10 @@ let describe = function
   | Trace arr ->
       let sum = Array.fold_left ( + ) 0 arr in
       Printf.sprintf "trace(%d periods, mean %d)" (Array.length arr)
+        (sum / max 1 (Array.length arr))
+  | Trace_once arr ->
+      let sum = Array.fold_left ( + ) 0 arr in
+      Printf.sprintf "trace-once(%d periods, mean %d)" (Array.length arr)
         (sum / max 1 (Array.length arr))
   | Schedule arr ->
       let shown = Array.to_list (Array.sub arr 0 (min 8 (Array.length arr))) in

@@ -6,6 +6,12 @@ type supply =
   | Continuous
   | Periodic of int  (** fixed on-period, in clock cycles *)
   | Trace of int array  (** sequence of on-durations, repeated cyclically *)
+  | Trace_once of int array
+      (** sequence of on-durations played exactly once: when a harvester
+          recording is shorter than the run, the wrapping [Trace] replays
+          it while [Trace_once] models a depleted source — after the last
+          period the budget is zero forever and the emulator raises
+          {!Emulator.No_forward_progress}. *)
   | Schedule of int array
       (** adversarial injection: a finite sequence of on-durations (chosen
           cut points, in active cycles from each power-on); once the

@@ -75,6 +75,20 @@ let mean xs =
   | [] -> invalid_arg "Util.mean: empty"
   | _ -> List.fold_left ( +. ) 0. (List.map float_of_int xs) /. float_of_int (List.length xs)
 
+(** FNV-1a 64-bit digest of a string.  Deterministic across runs and OCaml
+    versions (unlike [Hashtbl.hash] on structured data), so it is safe to
+    persist — the regression corpus uses it both to content-address entry
+    files and to fingerprint the program a reproducer was recorded
+    against. *)
+let fnv1a64 (s : string) : int64 =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
 (** A deterministic 32-bit linear congruential generator, used wherever the
     library needs reproducible pseudo-randomness (workload inputs, synthetic
     harvester traces).  Numerical Recipes constants. *)

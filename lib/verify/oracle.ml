@@ -67,28 +67,44 @@ let is_double_emission ~want ~got =
   in
   List.length got > List.length want && sub want got
 
-let check_schedule (g : golden) (c : P.compiled) (cuts : int array) :
-    (unit, divergence) result =
+(* Inject an arbitrary supply and return both the verdict and (when the
+   run terminated) the full emulator result: the adversarial cut search
+   maximizes [result.waste.w_reexec] across probes, so the measurement and
+   the differential check must come from the same run. *)
+let run_supply (g : golden) (c : P.compiled) (supply : E.Power.supply) :
+    E.Emulator.result option * (unit, divergence) result =
   match
-    let emu = E.Emulator.create ~supply:(E.Power.Schedule cuts) c.P.image in
+    let emu = E.Emulator.create ~supply c.P.image in
     run_to_halt emu;
     (E.Emulator.result emu, E.Emulator.nv_digest emu)
   with
-  | exception E.Emulator.No_forward_progress s -> Error (No_progress s)
+  | exception E.Emulator.No_forward_progress s -> (None, Error (No_progress s))
   | r, digest ->
-      if r.E.Emulator.violations <> [] then
-        Error (War_violations r.E.Emulator.violations)
-      else if r.E.Emulator.output <> g.g_output then
-        if is_double_emission ~want:g.g_output ~got:r.E.Emulator.output then
-          Error (Double_output { got = r.E.Emulator.output; want = g.g_output })
-        else
+      let verdict =
+        if r.E.Emulator.violations <> [] then
+          Error (War_violations r.E.Emulator.violations)
+        else if r.E.Emulator.output <> g.g_output then
+          if is_double_emission ~want:g.g_output ~got:r.E.Emulator.output then
+            Error
+              (Double_output { got = r.E.Emulator.output; want = g.g_output })
+          else
+            Error
+              (Output_mismatch { got = r.E.Emulator.output; want = g.g_output })
+        else if not (Int32.equal r.E.Emulator.exit_code g.g_exit) then
           Error
-            (Output_mismatch { got = r.E.Emulator.output; want = g.g_output })
-      else if not (Int32.equal r.E.Emulator.exit_code g.g_exit) then
-        Error (Exit_mismatch { got = r.E.Emulator.exit_code; want = g.g_exit })
-      else if not (Int64.equal digest g.g_digest) then
-        Error (Memory_mismatch { got = digest; want = g.g_digest })
-      else Ok ()
+            (Exit_mismatch { got = r.E.Emulator.exit_code; want = g.g_exit })
+        else if not (Int64.equal digest g.g_digest) then
+          Error (Memory_mismatch { got = digest; want = g.g_digest })
+        else Ok ()
+      in
+      (Some r, verdict)
+
+let run_schedule (g : golden) (c : P.compiled) (cuts : int array) =
+  run_supply g c (E.Power.Schedule cuts)
+
+let check_schedule (g : golden) (c : P.compiled) (cuts : int array) :
+    (unit, divergence) result =
+  snd (run_schedule g c cuts)
 
 let pp_outputs vs =
   "[" ^ String.concat "," (List.map Int32.to_string vs) ^ "]"

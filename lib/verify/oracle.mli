@@ -38,4 +38,22 @@ val check_schedule :
     compare output, exit code, final memory digest and WAR-verifier
     verdict against the golden run. *)
 
+val run_schedule :
+  golden ->
+  Wario.Pipeline.compiled ->
+  int array ->
+  Wario_emulator.Emulator.result option * (unit, divergence) result
+(** Like {!check_schedule} but also returns the injected run's full result
+    record ([None] when the supply admitted no forward progress) — the
+    adversarial cut search reads [waste.w_reexec] from the same run it
+    judges. *)
+
+val run_supply :
+  golden ->
+  Wario.Pipeline.compiled ->
+  Wario_emulator.Power.supply ->
+  Wario_emulator.Emulator.result option * (unit, divergence) result
+(** {!run_schedule} generalized to any supply (trace-driven and stochastic
+    models included). *)
+
 val string_of_divergence : divergence -> string

@@ -130,9 +130,18 @@ let int_of_atom ctx = function
       | None -> raise (Parse_error (ctx ^ ": not an integer: " ^ a)))
   | List _ -> raise (Parse_error (ctx ^ ": expected an integer"))
 
-let of_string (s : string) : (t, string) result =
+let parse (s : string) : (sexp, string) result =
+  match parse_sexp s with
+  | sx -> Ok sx
+  | exception Parse_error msg -> Error msg
+
+let rec sexp_to_string = function
+  | Atom a -> a
+  | List items -> "(" ^ String.concat " " (List.map sexp_to_string items) ^ ")"
+
+let of_sexp (sx : sexp) : (t, string) result =
   try
-    match parse_sexp s with
+    match sx with
     | List (Atom "repro" :: fields) ->
         let workload = ref None and env = ref None in
         let unroll = ref P.default_options.P.unroll_factor in
@@ -176,3 +185,6 @@ let of_string (s : string) : (t, string) result =
           }
     | _ -> Error "expected (repro ...)"
   with Parse_error msg -> Error msg
+
+let of_string (s : string) : (t, string) result =
+  match parse s with Error e -> Error e | Ok sx -> of_sexp sx

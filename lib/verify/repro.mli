@@ -34,3 +34,17 @@ val to_string : t -> string
 (** One line, parseable by {!of_string}. *)
 
 val of_string : string -> (t, string) result
+
+(** {1 S-expression plumbing}
+
+    The minimal S-expression reader behind {!of_string}, shared with the
+    regression-corpus entry format ({!Corpus}), which embeds a reproducer
+    inside a larger expression. *)
+
+type sexp = Atom of string | List of sexp list
+
+val parse : string -> (sexp, string) result
+val sexp_to_string : sexp -> string
+
+val of_sexp : sexp -> (t, string) result
+(** Parse an already-read [(repro ...)] expression. *)

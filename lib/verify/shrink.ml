@@ -1,10 +1,45 @@
 (* Counterexample shrinking: reduce a failing injection schedule to a
    minimal set of failure points by delta debugging (Zeller's ddmin — the
-   binary-search generalisation: try dropping halves, then quarters, …).
+   binary-search generalisation: try dropping halves, then quarters, …),
+   then shrink each surviving on-duration toward the failure boundary.
 
    [still_fails] re-runs the oracle on a candidate schedule; the result is
-   1-minimal (no single cut can be removed and still fail).  Shrinking a
-   k-cut schedule costs O(k log k) oracle runs in the typical case. *)
+   1-minimal (no single cut can be removed and still fail) and
+   magnitude-minimal per position under the monotonicity heuristic (no
+   binary-search probe below a surviving value still fails).  Shrinking a
+   k-cut schedule costs O(k log k) oracle runs for the subset phase plus
+   O(k log max-cut) for the magnitude phase. *)
+
+(* Phase 2: for each surviving cut, binary-search the smallest on-duration
+   (>= 1) that still fails.  Cut offsets measure active cycles from each
+   power-on, so the smallest failing value pins the exact cycle at which
+   the failure window opens — reproducers point at the boundary itself,
+   not merely somewhere past it.  Every candidate we keep has been
+   re-checked by [still_fails], so the caller's contract is unchanged. *)
+let shrink_magnitudes ~(still_fails : int array -> bool) (arr : int array) :
+    int array =
+  let arr = Array.copy arr in
+  Array.iteri
+    (fun i v ->
+      if v > 1 then begin
+        let try_at m =
+          let saved = arr.(i) in
+          arr.(i) <- m;
+          if still_fails arr then true
+          else begin
+            arr.(i) <- saved;
+            false
+          end
+        in
+        (* invariant: arr with arr.(i) = hi fails; probe below it *)
+        let lo = ref 1 and hi = ref v in
+        while !lo < !hi do
+          let m = !lo + ((!hi - !lo) / 2) in
+          if try_at m then hi := m else lo := m + 1
+        done
+      end)
+    arr;
+  arr
 
 let ddmin ~(still_fails : int array -> bool) (schedule : int array) :
     int array =
@@ -37,4 +72,4 @@ let ddmin ~(still_fails : int array -> bool) (schedule : int array) :
   else if still_fails [||] then
     (* fails with no injection at all (e.g. a golden-run WAR violation) *)
     [||]
-  else go schedule 2
+  else shrink_magnitudes ~still_fails (go schedule 2)

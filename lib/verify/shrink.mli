@@ -2,6 +2,14 @@
 
 val ddmin : still_fails:(int array -> bool) -> int array -> int array
 (** [ddmin ~still_fails schedule] minimises a failing schedule by delta
-    debugging: the result still satisfies [still_fails] (or is [[||]] if
-    even the empty schedule fails) and is 1-minimal — removing any single
-    remaining cut makes the failure disappear. *)
+    debugging, in two phases: the subset phase makes the result 1-minimal
+    (removing any single remaining cut makes the failure disappear, or the
+    result is [[||]] if even the empty schedule fails), then the magnitude
+    phase binary-searches each surviving on-duration down to the smallest
+    value that still fails — pinning the exact cycle at which the failure
+    window opens.  Every intermediate kept candidate is re-checked, so the
+    result always satisfies [still_fails]. *)
+
+val shrink_magnitudes : still_fails:(int array -> bool) -> int array -> int array
+(** The magnitude phase alone (exposed for tests): requires that the input
+    schedule fails; returns a pointwise-[<=] schedule that still fails. *)

@@ -1,0 +1,49 @@
+(** Harvester-style power-supply models for the verification campaign:
+    seeded synthesizers (RF-bursty, indoor-solar, two-state Markov) and
+    replayed trace files, all reduced to finite on-duration sequences that
+    compose with {!Wario_emulator.Power.Schedule} (power stays on once the
+    window is exhausted, so every injected run terminates). *)
+
+type model =
+  | Rf  (** bursty RF-harvester profile (many short periods, rare long) *)
+  | Solar  (** steadier indoor-solar profile (long, slowly varying) *)
+  | Markov of int
+      (** two-state bursty process; payload = percent chance of switching
+          from the short-burst to the long-window state after each period
+          (the long state falls back with 50%) *)
+  | File of string  (** on-durations replayed from a trace file *)
+
+val name : model -> string
+(** Compact, space- and paren-free token (["rf"], ["markov:40"],
+    ["file:PATH"]) — safe to embed in reproducer S-expressions. *)
+
+val of_name : string -> (model, string) result
+(** Inverse of {!name}; also accepts bare ["markov"] (= [markov:10]). *)
+
+val builtin : model list
+(** The models every campaign mixes in: [Rf; Solar; Markov 10; Markov 40]. *)
+
+val durations : model -> seed:int64 -> mean_on:int -> total:int -> int array
+(** Synthesize on-durations whose cumulative on-time exceeds [total]
+    active cycles (capped at 16384 periods), with the profile rescaled so
+    its mean on-duration is [mean_on] — harvester recordings are measured
+    against real benchmarks, so only the distribution {e shape} transfers
+    to a smaller program.  Byte-for-byte reproducible: equal
+    [(model, seed, mean_on, total)] always yields an identical array, and
+    every duration is >= 1 (accepted by {!Wario_emulator.Power.create}).
+    @raise Invalid_argument if [mean_on < 1], [total < 0], or a [File]
+    model's trace cannot be loaded. *)
+
+val supply : model -> seed:int64 -> mean_on:int -> total:int -> Wario_emulator.Power.supply
+(** [Power.Schedule (durations ...)]: the model as an injectable supply. *)
+
+val load_file : string -> (int array, string) result
+(** Parse a trace file: one positive on-duration (cycles) per line, blank
+    lines and [#] comments skipped.  Errors carry file:line positions. *)
+
+val save_file : string -> int array -> unit
+
+val max_periods : int
+(** Synthesis cap per schedule (16384): past it the schedule ends and
+    power is continuous, so pathological parameters cannot hang or
+    allocate without bound. *)

@@ -15,6 +15,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("exec", Test_exec.suite);
       ("verify", Test_verify.suite);
+      ("campaign", Test_campaign.suite);
       ("certify", Test_certify.suite);
       ("place", Test_place.suite);
       ("properties", Test_props.suite @ Test_props.structural_suite);
