@@ -1095,6 +1095,314 @@ let place () =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Place6: interprocedural placement (BENCH_6.json)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_5 measured the intraprocedural cost-guided placements; this
+   artefact adds the interprocedural policy (call-graph weights,
+   measured-trial expansion, boundary elision, certifier-validated
+   motion) as a fourth variant and gates on it: the benchmarks that
+   BENCH_5 could not improve must improve now, with every expansion,
+   elision and motion decision certified.  The three gate benchmarks ride
+   along even under --small — they are the point of the artefact. *)
+
+let place6 () =
+  print_endline
+    "\n=== Placement: interprocedural policy vs BENCH_5 variants \
+     (BENCH_6.json) ===\n";
+  let micros =
+    List.map
+      (fun (m : Wario_workloads.Micro.t) ->
+        (m.Wario_workloads.Micro.name, m.Wario_workloads.Micro.source, false))
+      Wario_workloads.Micro.all
+  in
+  let gate_names = [ "crc"; "sha"; "dijkstra" ] in
+  let benches =
+    List.map (fun (b : W.benchmark) -> (b.W.name, b.W.source, true)) benchmarks
+  in
+  let progs =
+    micros
+    @ List.filter
+        (fun (n, _, _) -> (not !opt_small) || List.mem n gate_names)
+        benches
+  in
+  let opts = { P.default_options with P.elide = true; motion = true } in
+  let variants =
+    [ Wario.Pgo.Greedy; Wario.Pgo.Static; Wario.Pgo.Profile; Wario.Pgo.Inter ]
+  in
+  let rows =
+    X.map ~jobs:(resolved_jobs ())
+      (fun (name, src, is_bench) ->
+        let cs = Wario.Pgo.compile_candidates ~opts P.Wario src in
+        let images =
+          List.map (fun v -> (v, Wario.Pgo.compiled_of cs v)) variants
+        in
+        let rec measure_im period =
+          try
+            ( period,
+              List.map
+                (fun (_, c) ->
+                  E.Emulator.run
+                    ~supply:(E.Power.Periodic period)
+                    ~verify:false c.P.image)
+                images )
+          with E.Emulator.No_forward_progress _ -> measure_im (10 * period)
+        in
+        let period, ims = measure_im (if is_bench then 100_000 else 5_000) in
+        let placed =
+          List.map2
+            (fun (v, c) im ->
+              let cont = E.Emulator.run ~verify:false c.P.image in
+              ( v,
+                c,
+                (match P.certify c with
+                | Wario_certify.Certify.Certified _ -> true
+                | Wario_certify.Certify.Rejected _ -> false),
+                cont,
+                im ))
+            images ims
+        in
+        (name, is_bench, period, cs.Wario.Pgo.pilot, placed))
+      progs
+  in
+  let find v placed =
+    let (_, c, cert, cont, im) =
+      List.find (fun (v', _, _, _, _) -> v' = v) placed
+    in
+    (c, cert, cont, im)
+  in
+  let dyn_of v placed =
+    let (_, _, cont, _) = find v placed in
+    cont.E.Emulator.checkpoints_total
+  in
+  let table_rows =
+    List.map
+      (fun (name, _, _, pilot, placed) ->
+        let (ic, _, _, _) = find Wario.Pgo.Inter placed in
+        let moved =
+          match ic.P.motion with
+          | Some m -> m.Wario.Motion.applied
+          | None -> 0
+        in
+        let brackets =
+          match ic.P.elision with
+          | Some e -> e.Wario.Elide.boundary_elided
+          | None -> 0
+        in
+        let inlined =
+          match ic.P.middle.P.expander with
+          | Some s -> s.Wario_transforms.Expander.inlined
+          | None -> 0
+        in
+        [
+          name;
+          string_of_int (dyn_of Wario.Pgo.Greedy placed);
+          string_of_int (dyn_of Wario.Pgo.Static placed);
+          string_of_int (dyn_of Wario.Pgo.Profile placed);
+          string_of_int (dyn_of Wario.Pgo.Inter placed);
+          string_of_int inlined;
+          string_of_int brackets;
+          string_of_int moved;
+          Wario.Pgo.variant_name pilot.Wario.Pgo.selected;
+        ])
+      rows
+  in
+  print_string
+    (Report.table
+       [
+         "program"; "greedy"; "static"; "pgo"; "inter"; "inlined";
+         "brackets"; "moved"; "selected";
+       ]
+       table_rows);
+  (* hard gates *)
+  List.iter
+    (fun (name, _, _, _, placed) ->
+      List.iter
+        (fun (v, _, cert, _, _) ->
+          if not cert then
+            failwith
+              (Printf.sprintf "place6: %s [%s] rejected by the certifier"
+                 name
+                 (Wario.Pgo.variant_name v)))
+        placed)
+    rows;
+  List.iter
+    (fun (name, is_bench, _, _, placed) ->
+      if not is_bench then begin
+        let g = dyn_of Wario.Pgo.Greedy placed in
+        List.iter
+          (fun (v, _, _, cont, _) ->
+            if cont.E.Emulator.checkpoints_total > g then
+              failwith
+                (Printf.sprintf
+                   "place6: %s [%s] executes more checkpoints than greedy \
+                    (%d > %d)"
+                   name
+                   (Wario.Pgo.variant_name v)
+                   cont.E.Emulator.checkpoints_total g))
+          placed
+      end)
+    rows;
+  (* every motion decision must carry the certifier's verdict, applied
+     iff certified *)
+  List.iter
+    (fun (name, _, _, _, placed) ->
+      let (ic, _, _, _) = find Wario.Pgo.Inter placed in
+      match ic.P.motion with
+      | None -> failwith (Printf.sprintf "place6: %s ran without motion" name)
+      | Some m ->
+          List.iter
+            (fun (mv : Wario.Motion.move) ->
+              if String.length mv.Wario.Motion.mv_verdict = 0 then
+                failwith
+                  (Printf.sprintf "place6: %s has a move without a verdict"
+                     name);
+              if
+                mv.Wario.Motion.mv_applied
+                <> (mv.Wario.Motion.mv_verdict = "certified")
+              then
+                failwith
+                  (Printf.sprintf
+                     "place6: %s applied a move the certifier rejected" name))
+            m.Wario.Motion.moves)
+    rows;
+  (* gate benchmarks: inter strictly beats every BENCH_5 variant *)
+  let gate name =
+    match
+      List.find_opt (fun (n, _, _, _, _) -> n = name) rows
+    with
+    | None -> (false, false)
+    | Some (_, _, _, pilot, placed) ->
+        let i = dyn_of Wario.Pgo.Inter placed in
+        let others =
+          List.map
+            (fun v -> dyn_of v placed)
+            [ Wario.Pgo.Greedy; Wario.Pgo.Static; Wario.Pgo.Profile ]
+        in
+        let (_, _, _, i_im) = find Wario.Pgo.Inter placed in
+        let (_, _, _, g_im) = find Wario.Pgo.Greedy placed in
+        ( List.for_all (fun d -> i < d) others
+          && i_im.E.Emulator.cycles <= g_im.E.Emulator.cycles,
+          pilot.Wario.Pgo.selected = Wario.Pgo.Inter )
+  in
+  let crc_improved, crc_no_rescue = gate "crc" in
+  let sha_improved, _ = gate "sha" in
+  let dijkstra_improved, _ = gate "dijkstra" in
+  List.iter
+    (fun (flag, msg) -> if not flag then failwith ("place6: " ^ msg))
+    [
+      (crc_improved, "crc: inter does not strictly beat every variant");
+      ( crc_no_rescue,
+        "crc: the measured guard had to rescue the interprocedural binary" );
+      (sha_improved, "sha: inter does not strictly beat every variant");
+      ( dijkstra_improved,
+        "dijkstra: inter does not strictly beat every variant" );
+    ];
+  Printf.printf
+    "\ngates: crc improved=%b (no rescue=%b), sha improved=%b, dijkstra \
+     improved=%b\n"
+    crc_improved crc_no_rescue sha_improved dijkstra_improved;
+  (* -- BENCH_6.json -- *)
+  let variant_json placed v =
+    let (c, cert, cont, im) = find v placed in
+    let elided, brackets =
+      match c.P.elision with
+      | Some e -> (e.Wario.Elide.elided, e.Wario.Elide.boundary_elided)
+      | None -> (0, 0)
+    in
+    let inlined =
+      match c.P.middle.P.expander with
+      | Some s -> s.Wario_transforms.Expander.inlined
+      | None -> 0
+    in
+    let motion_json =
+      match c.P.motion with
+      | None -> "null"
+      | Some m ->
+          let move_json (mv : Wario.Motion.move) =
+            Printf.sprintf
+              "{\"function\": \"%s\", \"kind\": \"%s\", \"from\": \"%s\", \
+               \"to\": \"%s\", \"applied\": %b, \"verdict\": \"%s\"}"
+              (json_escape mv.Wario.Motion.mv_func)
+              (match mv.Wario.Motion.mv_kind with
+              | Wario.Motion.Hoist -> "hoist"
+              | Wario.Motion.Sink -> "sink")
+              (json_escape mv.Wario.Motion.mv_from)
+              (json_escape mv.Wario.Motion.mv_to)
+              mv.Wario.Motion.mv_applied
+              (json_escape mv.Wario.Motion.mv_verdict)
+          in
+          Printf.sprintf
+            "{\"proposed\": %d, \"applied\": %d, \"rejected\": %d, \
+             \"moves\": [%s]}"
+            m.Wario.Motion.proposed m.Wario.Motion.applied
+            m.Wario.Motion.rejected
+            (String.concat ", " (List.map move_json m.Wario.Motion.moves))
+    in
+    String.concat ""
+      [
+        Printf.sprintf "        \"%s\": {\n" (Wario.Pgo.variant_name v);
+        Printf.sprintf "          \"dyn_ckpts\": %d,\n"
+          cont.E.Emulator.checkpoints_total;
+        Printf.sprintf "          \"cycles\": %d,\n" cont.E.Emulator.cycles;
+        Printf.sprintf "          \"elided\": %d,\n" elided;
+        Printf.sprintf "          \"boundary_elided\": %d,\n" brackets;
+        Printf.sprintf "          \"inlined\": %d,\n" inlined;
+        Printf.sprintf "          \"motion\": %s,\n" motion_json;
+        Printf.sprintf "          \"certified\": %b,\n" cert;
+        "          \"intermittent\": {\n";
+        Printf.sprintf "            \"dyn_ckpts\": %d,\n"
+          im.E.Emulator.checkpoints_total;
+        Printf.sprintf "            \"cycles\": %d\n" im.E.Emulator.cycles;
+        "          }\n";
+        "        }";
+      ]
+  in
+  let prog_json (name, is_bench, period, pilot, placed) =
+    String.concat ""
+      [
+        "    {\n";
+        Printf.sprintf "      \"name\": \"%s\",\n" (json_escape name);
+        Printf.sprintf "      \"class\": \"%s\",\n"
+          (if is_bench then "benchmark" else "micro");
+        Printf.sprintf "      \"selected\": \"%s\",\n"
+          (Wario.Pgo.variant_name pilot.Wario.Pgo.selected);
+        Printf.sprintf "      \"periodic_on_cycles\": %d,\n" period;
+        "      \"variants\": {\n";
+        String.concat ",\n" (List.map (variant_json placed) variants);
+        "\n      }\n";
+        "    }";
+      ]
+  in
+  let json =
+    String.concat ""
+      [
+        "{\n";
+        "  \"bench\": \"place6\",\n";
+        "  \"environment\": \"wario\",\n";
+        Printf.sprintf "  \"small\": %b,\n" !opt_small;
+        "  \"programs\": [\n";
+        String.concat ",\n" (List.map prog_json rows);
+        "\n  ],\n";
+        "  \"summary\": {\n";
+        Printf.sprintf "    \"programs\": %d,\n" (List.length rows);
+        "    \"all_certified\": true,\n";
+        Printf.sprintf "    \"crc_improved\": %b,\n" crc_improved;
+        Printf.sprintf "    \"crc_no_rescue\": %b,\n" crc_no_rescue;
+        Printf.sprintf "    \"sha_improved\": %b,\n" sha_improved;
+        Printf.sprintf "    \"dijkstra_improved\": %b\n" dijkstra_improved;
+        "  }\n";
+        "}\n";
+      ]
+  in
+  let dir = match !opt_out_dir with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_6.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1103,7 +1411,7 @@ let artefacts =
     ("fig4", fig4); ("fig5", fig5); ("tab1", tab1); ("tab2", tab2);
     ("fig6", fig6); ("fig7", fig7); ("tab3", tab3); ("tab4", tab4);
     ("ext", ext); ("cert", cert); ("profile", profile); ("bechamel", bechamel);
-    ("perf", perf); ("place", place);
+    ("perf", perf); ("place", place); ("place6", place6);
   ]
 
 (* Redirect stdout to [path] for the duration of [f] (artefact functions

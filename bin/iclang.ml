@@ -123,6 +123,30 @@ let opts_of ?max_region ?profile ~no_opt unroll =
     optimize = not no_opt;
   }
 
+let placement_conv =
+  Arg.enum [ ("greedy", `Greedy); ("cost", `Cost); ("inter", `Inter) ]
+
+let placement_arg =
+  Arg.(
+    value
+    & opt placement_conv `Cost
+    & info [ "placement" ] ~docv:"POLICY"
+        ~doc:
+          "Checkpoint placement policy: greedy (unweighted baseline), cost            (static cost model, the default) or inter (interprocedural            call-graph weights with cost-coupled expansion and            certifier-validated elision and motion).")
+
+let apply_placement pl (opts : P.options) =
+  let module T = Wario_transforms.Checkpoint_inserter in
+  match pl with
+  | `Greedy -> { opts with P.placement = T.Greedy }
+  | `Cost -> opts
+  | `Inter ->
+      {
+        opts with
+        P.placement = T.Interprocedural;
+        elide = true;
+        motion = true;
+      }
+
 let supply_of power trace =
   match (power, trace) with
   | Some p, _ -> Ok (E.Power.Periodic p)
@@ -131,14 +155,131 @@ let supply_of power trace =
   | None, Some t -> Error ("unknown trace " ^ t ^ " (rf|solar)")
   | None, None -> Ok E.Power.Continuous
 
+(* --- --explain: per-checkpoint placement rationale --- *)
+
+let write_text path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One JSON object per compile: where every middle-end checkpoint went and
+   why (solver weight, interprocedural frequency, WAR sets covered), plus
+   what the certifier-validated elision/motion passes did about it. *)
+let explain_json (c : P.compiled) : string =
+  let module T = Wario_transforms.Checkpoint_inserter in
+  let module M = Wario.Motion in
+  let b = Buffer.create 4096 in
+  let freqs = c.P.middle.P.func_freqs in
+  let freq f =
+    match List.assoc_opt f freqs with Some x -> x | None -> 1.0
+  in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"environment\": \"%s\",\n"
+       (json_escape (P.environment_name c.P.env)));
+  Buffer.add_string b "  \"function_frequencies\": {";
+  let nf = List.length freqs in
+  List.iteri
+    (fun i (f, x) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\"%s\": %.6g%s"
+           (if i = 0 then "" else " ")
+           (json_escape f) x
+           (if i = nf - 1 then "" else ",")))
+    freqs;
+  Buffer.add_string b "},\n";
+  Buffer.add_string b "  \"checkpoints\": [\n";
+  let ps = c.P.middle.P.placements in
+  let np = List.length ps in
+  List.iteri
+    (fun i (p : T.placement_info) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"function\": \"%s\", \"block\": \"%s\", \"index\": %d, \
+            \"weight\": %.6g, \"function_frequency\": %.6g, \
+            \"wars_covered\": %d}%s\n"
+           (json_escape p.T.pi_func) (json_escape p.T.pi_block) p.T.pi_index
+           p.T.pi_weight (freq p.T.pi_func) p.T.pi_wars
+           (if i = np - 1 then "" else ",")))
+    ps;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"elided\": %d,\n"
+       (match c.P.elision with
+       | Some s -> s.Wario.Elide.elided
+       | None -> 0));
+  Buffer.add_string b
+    (Printf.sprintf "  \"boundary_elided\": %d,\n"
+       (match c.P.elision with
+       | Some s -> s.Wario.Elide.boundary_elided
+       | None -> 0));
+  (match c.P.motion with
+  | None -> Buffer.add_string b "  \"motion\": null\n"
+  | Some s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"motion\": {\"proposed\": %d, \"applied\": %d, \"hoisted\": \
+            %d, \"sunk\": %d, \"rejected\": %d, \"moves\": [\n"
+           s.M.proposed s.M.applied s.M.hoisted s.M.sunk s.M.rejected);
+      let nm = List.length s.M.moves in
+      List.iteri
+        (fun i (m : M.move) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"function\": \"%s\", \"kind\": \"%s\", \"cause\": \
+                \"%s\", \"from\": \"%s\", \"to\": \"%s\", \"weight_from\": \
+                %.6g, \"weight_to\": %.6g, \"applied\": %b, \"verdict\": \
+                \"%s\"}%s\n"
+               (json_escape m.M.mv_func)
+               (match m.M.mv_kind with M.Hoist -> "hoist" | M.Sink -> "sink")
+               (match m.M.mv_cause with
+               | Wario_machine.Isa.Middle_end_war -> "middle-end-war"
+               | Wario_machine.Isa.Back_end_war -> "back-end-war"
+               | Wario_machine.Isa.Function_entry -> "entry"
+               | Wario_machine.Isa.Function_exit -> "exit")
+               (json_escape m.M.mv_from) (json_escape m.M.mv_to) m.M.mv_w_from
+               m.M.mv_w_to m.M.mv_applied
+               (json_escape m.M.mv_verdict)
+               (if i = nm - 1 then "" else ",")))
+        s.M.moves;
+      Buffer.add_string b "  ]}\n");
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let explain_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-checkpoint placement rationale as JSON to FILE:            solver weight, interprocedural function frequency and WAR sets            covered for every middle-end checkpoint, plus every            elision/motion decision with its certifier verdict.")
+
 (* --- compile --- *)
 
-let do_compile file benchmark env unroll max_region no_opt dump_ir dump_asm =
+let do_compile file benchmark env unroll max_region no_opt placement explain
+    dump_ir dump_asm =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok src -> (
       try
-        let c = P.compile ~opts:(opts_of ?max_region ~no_opt unroll) env src in
+        let opts =
+          apply_placement placement (opts_of ?max_region ~no_opt unroll)
+        in
+        let c = P.compile ~opts env src in
         if dump_ir then
           print_string (Wario_ir.Ir_printer.program_to_string c.P.ir);
         if dump_asm then
@@ -153,6 +294,29 @@ let do_compile file benchmark env unroll max_region no_opt dump_ir dump_asm =
           c.P.image.E.Image.data_bytes c.P.middle.P.wars_found
           c.P.middle.P.middle_ckpts c.P.backend.spill_wars
           c.P.backend.spill_ckpts;
+        (match c.P.elision with
+        | None -> ()
+        | Some e when e.Wario.Elide.boundary_tried > 0 ->
+            Printf.printf
+              "elision: %d coalesced, %d of %d entry/exit brackets removed \
+               (certifier-validated)\n"
+              e.Wario.Elide.elided e.Wario.Elide.boundary_elided
+              e.Wario.Elide.boundary_tried
+        | Some _ -> ());
+        (match c.P.motion with
+        | None -> ()
+        | Some m ->
+            Printf.printf
+              "motion: %d proposed, %d applied (%d hoisted, %d sunk), %d \
+               rejected by the certifier\n"
+              m.Wario.Motion.proposed m.Wario.Motion.applied
+              m.Wario.Motion.hoisted m.Wario.Motion.sunk
+              m.Wario.Motion.rejected);
+        (match explain with
+        | None -> ()
+        | Some path ->
+            write_text path (explain_json c);
+            Printf.printf "placement rationale written to %s\n" path);
         `Ok ()
       with
       | Wario_minic.Minic.Error e -> `Error (false, e)
@@ -169,7 +333,8 @@ let compile_cmd =
     Term.(
       ret
         (const do_compile $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
-       $ max_region_arg $ no_opt_arg $ dump_ir $ dump_asm))
+       $ max_region_arg $ no_opt_arg $ placement_arg $ explain_arg $ dump_ir
+       $ dump_asm))
 
 (* --- run --- *)
 
@@ -511,19 +676,37 @@ let do_corpus dir =
   List.iter
     (fun (path, e) -> Printf.printf "  FAIL %s — cannot parse: %s\n%!" path e)
     errs;
-  let bad = ref (List.length errs) and stale = ref 0 in
+  let bad = ref (List.length errs) and stale_paths = ref [] in
   List.iter
     (fun (path, entry) ->
       let v = V.Corpus.replay entry in
-      if v.V.Corpus.v_stale then incr stale;
+      if v.V.Corpus.v_stale then stale_paths := path :: !stale_paths;
       if not v.V.Corpus.v_ok then incr bad;
       Printf.printf "  %s %s — %s\n%!"
         (if v.V.Corpus.v_ok then "ok  " else "FAIL")
         (Filename.basename path) v.V.Corpus.v_message)
     entries;
+  (* stale entries still replay, but their fingerprint no longer matches
+     what the compiler produces today — surface them loudly so they get
+     re-recorded instead of silently rotting *)
+  (match List.rev !stale_paths with
+  | [] -> ()
+  | ps ->
+      Printf.printf
+        "warning: %d stale entr(ies) — the recorded program fingerprint no \
+         longer matches the current compiler output:\n%!"
+        (List.length ps);
+      List.iter
+        (fun p -> Printf.printf "  STALE %s\n%!" (Filename.basename p))
+        ps;
+      Printf.printf
+        "  re-record with `iclang verify --campaign --corpus-out %s` to \
+         refresh the expectations\n%!"
+        dir);
   Printf.printf "corpus replay: %d ok, %d failed, %d stale\n"
     (List.length entries + List.length errs - !bad)
-    !bad !stale;
+    !bad
+    (List.length !stale_paths);
   if !bad = 0 then `Ok ()
   else `Error (false, "corpus replay: expectations not upheld")
 
@@ -588,8 +771,8 @@ let do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
   else `Ok ()
 
 let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
-    drop_ckpt jobs repro campaign small min_coverage corpus_out coverage_out
-    corpus =
+    drop_ckpt placement jobs repro campaign small min_coverage corpus_out
+    coverage_out corpus =
   match resolve_jobs jobs with
   | Error e -> `Error (true, e)
   | Ok jobs -> (
@@ -631,12 +814,13 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
           do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
             ~corpus_out ~coverage_out ~seed
             ~opts:
-              {
-                P.default_options with
-                unroll_factor = unroll;
-                max_region;
-                drop_middle_ckpt = drop_ckpt;
-              }
+              (apply_placement placement
+                 {
+                   P.default_options with
+                   unroll_factor = unroll;
+                   max_region;
+                   drop_middle_ckpt = drop_ckpt;
+                 })
             ~jobs
       | Ok workloads ->
           let schedules = Option.value schedules ~default:200 in
@@ -649,12 +833,13 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
               max_failures_per_case = 3;
               seed;
               opts =
-                {
-                  P.default_options with
-                  unroll_factor = unroll;
-                  max_region;
-                  drop_middle_ckpt = drop_ckpt;
-                };
+                (apply_placement placement
+                   {
+                     P.default_options with
+                     unroll_factor = unroll;
+                     max_region;
+                     drop_middle_ckpt = drop_ckpt;
+                   });
               jobs;
             }
           in
@@ -792,9 +977,9 @@ let verify_cmd =
     Term.(
       ret
         (const do_verify $ envs $ workloads $ schedules $ seed
-       $ exhaustive_limit $ unroll_arg $ max_region_arg $ drop_ckpt $ jobs_arg
-       $ repro $ campaign $ small $ min_coverage $ corpus_out $ coverage_out
-       $ corpus))
+       $ exhaustive_limit $ unroll_arg $ max_region_arg $ drop_ckpt
+       $ placement_arg $ jobs_arg $ repro $ campaign $ small $ min_coverage
+       $ corpus_out $ coverage_out $ corpus))
 
 (* --- certify --- *)
 
@@ -905,7 +1090,8 @@ let certify_cmd =
 
 (* --- pgo --- *)
 
-let do_pgo file benchmark env unroll max_region no_opt power trace stats =
+let do_pgo file benchmark env unroll max_region no_opt power trace stats
+    explain =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok src -> (
@@ -915,7 +1101,11 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats =
             "pgo needs an instrumented environment (plain-c places no \
              checkpoints)";
         let opts =
-          { (opts_of ?max_region ~no_opt unroll) with P.elide = true }
+          {
+            (opts_of ?max_region ~no_opt unroll) with
+            P.elide = true;
+            motion = true;
+          }
         in
         let cs = Wario.Pgo.compile_candidates ~opts env src in
         let pilot = cs.Wario.Pgo.pilot in
@@ -934,23 +1124,36 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats =
             in
             let elided =
               match c.P.elision with
-              | Some s -> s.Wario.Elide.elided
+              | Some s -> s.Wario.Elide.elided + s.Wario.Elide.boundary_elided
+              | None -> 0
+            in
+            let moved =
+              match c.P.motion with
+              | Some s -> s.Wario.Motion.applied
               | None -> 0
             in
             Printf.printf
               "%-16s %6s dynamic checkpoints on the pilot input, %d elided, \
-               %s%s\n"
+               %d moved, %s%s\n"
               (Wario.Pgo.variant_name v)
               (match List.assoc_opt v pilot.Wario.Pgo.measured with
               | Some k -> string_of_int k
               | None -> "?")
-              elided cert
+              elided moved cert
               (if v = pilot.Wario.Pgo.selected then "  <- selected" else ""))
-          [ Wario.Pgo.Greedy; Wario.Pgo.Static; Wario.Pgo.Profile ];
+          [ Wario.Pgo.Greedy; Wario.Pgo.Static; Wario.Pgo.Profile;
+            Wario.Pgo.Inter ];
         let supply =
           match supply_of power trace with Ok s -> s | Error e -> failwith e
         in
         let best = Wario.Pgo.compiled_of cs pilot.Wario.Pgo.selected in
+        (match explain with
+        | None -> ()
+        | Some path ->
+            write_text path (explain_json best);
+            Printf.printf "placement rationale for %s written to %s\n"
+              (Wario.Pgo.variant_name pilot.Wario.Pgo.selected)
+              path);
         let r = E.Emulator.run ~supply best.P.image in
         List.iter (fun v -> Printf.printf "%ld\n" v) r.E.Emulator.output;
         Printf.printf "exit=%ld\n" r.E.Emulator.exit_code;
@@ -1007,7 +1210,7 @@ let pgo_cmd =
     Term.(
       ret
         (const do_pgo $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
-       $ max_region_arg $ no_opt_arg $ power $ trace $ stats))
+       $ max_region_arg $ no_opt_arg $ power $ trace $ stats $ explain_arg))
 
 (* --- list-benchmarks --- *)
 

@@ -1,0 +1,238 @@
+(* Interprocedural call-graph cost model.
+
+   The per-function Ball-Larus weights (Costmodel.static_weights) answer
+   "how often does this block run per invocation of its function?"; the
+   hitting-set placement minimises the sum of chosen weights, which is only
+   the true objective if every function is invoked equally often.  It
+   isn't: crc32_stream calls mc_getc once per byte, so a checkpoint in
+   mc_getc's entry block costs thousands of dynamic checkpoints while one
+   in io_refill's costs a handful.  This module supplies the missing
+   factor.
+
+   Construction:
+   - nodes are the program's defined functions; one edge per WIR [Call]
+     instruction, weighted by the static frequency of the calling block
+     (a call in a depth-2 loop contributes ~100 invocations per caller
+     entry under the trip_guess model);
+   - Tarjan's SCC algorithm condenses recursion.  Tarjan emits components
+     in reverse topological order of the condensation (callees complete
+     first), so processing the reversed list visits callers before
+     callees;
+   - invocation frequencies propagate top-down through the condensation:
+     the root starts at 1.0, each function pushes [freq(f) * edge_freq]
+     along its extra-SCC out-edges, and a recursive SCC multiplies its
+     external inflow by [recursion_factor] (each level of recursion is
+     guessed to re-enter trip_guess times; intra-SCC edges are dropped —
+     the multiplier stands in for the diverging geometric sum);
+   - functions the root cannot reach keep freq 1.0 so their block weights
+     degrade to the old per-invocation model instead of collapsing to the
+     floor (dead code and test stubs still get sensible placement).
+
+   block_weight multiplies the two factors and floors at
+   Costmodel.min_weight, keeping the solver's cost strictly positive. *)
+
+module Ir = Wario_ir.Ir
+
+type edge = {
+  cg_caller : string;
+  cg_callee : string;
+  cg_site : Ir.label;
+  cg_freq : float;
+}
+
+type t = {
+  cg_funcs : string list;
+  cg_edges : edge list;
+  recursive : string -> bool;
+  func_freq : string -> float;
+  local_weight : string -> Ir.label -> float;
+  block_weight : string -> Ir.label -> float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tarjan SCC over the function graph                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns the SCC list in reverse topological order of the condensation
+   (every edge leaving an SCC targets an SCC emitted EARLIER). *)
+let tarjan (nodes : string list) (succs : string -> string list) :
+    string list list =
+  let index = Hashtbl.create 16 and low = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] and counter = ref 0 and sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace low v
+            (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace low v
+            (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  List.rev !sccs
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let build ?(root = "main") ?(recursion_factor = Costmodel.trip_guess)
+    (p : Ir.program) : t =
+  let funcs = List.map (fun f -> f.Ir.fname) p.Ir.funcs in
+  let defined = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace defined f ()) funcs;
+  (* Per-function local (per-invocation) weights. *)
+  let locals : (string, Ir.label -> float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let cfg = Cfg.build f in
+      let dom = Dominance.build cfg in
+      let loops = Loops.build cfg dom in
+      Hashtbl.replace locals f.Ir.fname (Costmodel.static_weights cfg loops))
+    p.Ir.funcs;
+  let local_weight fname lbl =
+    match Hashtbl.find_opt locals fname with
+    | Some w -> w lbl
+    | None -> Costmodel.min_weight
+  in
+  (* One edge per Call instruction, weighted by the calling block's static
+     frequency (calls to undefined externals are dropped — nothing to
+     place there). *)
+  let edges =
+    List.concat_map
+      (fun f ->
+        List.concat_map
+          (fun (b : Ir.block) ->
+            List.filter_map
+              (function
+                | Ir.Call (_, callee, _) when Hashtbl.mem defined callee ->
+                    Some
+                      {
+                        cg_caller = f.Ir.fname;
+                        cg_callee = callee;
+                        cg_site = b.Ir.bname;
+                        cg_freq = local_weight f.Ir.fname b.Ir.bname;
+                      }
+                | _ -> None)
+              b.Ir.insns)
+          f.Ir.blocks)
+      p.Ir.funcs
+  in
+  let out : (string, edge list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let cur = try Hashtbl.find out e.cg_caller with Not_found -> [] in
+      Hashtbl.replace out e.cg_caller (cur @ [ e ]))
+    edges;
+  let out_edges f = try Hashtbl.find out f with Not_found -> [] in
+  (* SCC condensation: scc_of maps a function to its component id;
+     a component is recursive if it has >1 member or a self-edge. *)
+  let sccs =
+    tarjan funcs (fun f ->
+        List.sort_uniq compare (List.map (fun e -> e.cg_callee) (out_edges f)))
+  in
+  let scc_of = Hashtbl.create 16 in
+  List.iteri
+    (fun i scc -> List.iter (fun f -> Hashtbl.replace scc_of f i) scc)
+    sccs;
+  let is_recursive = Hashtbl.create 16 in
+  List.iter
+    (fun scc ->
+      let rec_ =
+        match scc with
+        | [ f ] ->
+            List.exists (fun e -> String.equal e.cg_callee f) (out_edges f)
+        | _ -> true
+      in
+      List.iter (fun f -> Hashtbl.replace is_recursive f rec_) scc)
+    sccs;
+  (* Top-down propagation over the condensation.  Tarjan's output is
+     reverse-topological (callees first), so walk it reversed. *)
+  let inflow : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let add_inflow f x =
+    Hashtbl.replace inflow f
+      ((try Hashtbl.find inflow f with Not_found -> 0.) +. x)
+  in
+  let indeg = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if Hashtbl.find scc_of e.cg_caller <> Hashtbl.find scc_of e.cg_callee
+      then
+        Hashtbl.replace indeg e.cg_callee
+          (1 + try Hashtbl.find indeg e.cg_callee with Not_found -> 0))
+    edges;
+  (* Seed the roots: [root] if defined, else every function no other
+     component calls (a library without main gets each entry point at
+     frequency 1). *)
+  if Hashtbl.mem defined root then add_inflow root 1.0
+  else
+    List.iter
+      (fun f -> if not (Hashtbl.mem indeg f) then add_inflow f 1.0)
+      funcs;
+  let freq : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun scc ->
+      let factor =
+        if try Hashtbl.find is_recursive (List.hd scc) with Not_found -> false
+        then recursion_factor
+        else 1.0
+      in
+      List.iter
+        (fun f ->
+          let fin = try Hashtbl.find inflow f with Not_found -> 0. in
+          Hashtbl.replace freq f (fin *. factor))
+        scc;
+      (* Push along extra-SCC edges only; intra-SCC flow is the factor's
+         job. *)
+      List.iter
+        (fun f ->
+          let ff = Hashtbl.find freq f in
+          if ff > 0. then
+            List.iter
+              (fun e ->
+                if
+                  Hashtbl.find scc_of e.cg_callee
+                  <> Hashtbl.find scc_of e.cg_caller
+                then add_inflow e.cg_callee (ff *. e.cg_freq))
+              (out_edges f))
+        scc)
+    (List.rev sccs);
+  let func_freq f =
+    match Hashtbl.find_opt freq f with
+    | Some x when x > 0. -> x
+    | _ -> 1.0 (* unreachable from root: keep per-invocation scale *)
+  in
+  {
+    cg_funcs = funcs;
+    cg_edges = edges;
+    recursive =
+      (fun f -> try Hashtbl.find is_recursive f with Not_found -> false);
+    func_freq;
+    local_weight;
+    block_weight =
+      (fun f lbl ->
+        Float.max (func_freq f *. local_weight f lbl) Costmodel.min_weight);
+  }
+
+let callers_of (t : t) (callee : string) : edge list =
+  List.filter (fun e -> String.equal e.cg_callee callee) t.cg_edges

@@ -1,0 +1,49 @@
+(** Interprocedural call-graph cost model.
+
+    Extends {!Costmodel}'s per-invocation Ball-Larus block frequencies to
+    whole-program {e expected execution counts}: the call graph is built
+    over WIR [Call] instructions, each edge weighted by the static
+    frequency of its calling block, recursion is condensed into SCCs (a
+    recursive component multiplies its inflow by a trip-count guess rather
+    than diverging), and invocation frequencies are propagated top-down
+    from the root.  [block_weight] then prices a block at
+    [func_freq * local_weight] — a block in a helper called from a hot
+    loop costs what it really costs, so the per-function weighted hitting
+    set and the expansion/motion passes all optimise the same global
+    objective. *)
+
+type edge = {
+  cg_caller : string;
+  cg_callee : string;
+  cg_site : Wario_ir.Ir.label;  (** calling block in the caller *)
+  cg_freq : float;
+      (** static per-invocation frequency of the calling block — expected
+          executions of this call per invocation of the caller *)
+}
+
+type t = {
+  cg_funcs : string list;  (** every defined function *)
+  cg_edges : edge list;  (** one edge per [Call] instruction *)
+  recursive : string -> bool;
+      (** member of a non-trivial SCC, or directly self-recursive *)
+  func_freq : string -> float;
+      (** expected invocations per program run (root = 1); functions
+          unreachable from the root report 1.0 so their weights stay
+          per-invocation rather than vanishing *)
+  local_weight : string -> Wario_ir.Ir.label -> float;
+      (** {!Costmodel.static_weights} of the function, per invocation *)
+  block_weight : string -> Wario_ir.Ir.label -> float;
+      (** [func_freq f *. local_weight f lbl], floored at
+          {!Costmodel.min_weight} — the interprocedural price of one
+          dynamic checkpoint placed in that block *)
+}
+
+val build :
+  ?root:string -> ?recursion_factor:float -> Wario_ir.Ir.program -> t
+(** Build the model.  [root] defaults to ["main"] (falling back to every
+    zero-in-degree function when absent); [recursion_factor] defaults to
+    {!Costmodel.trip_guess} and scales the inflow of every recursive SCC
+    (each level of recursion is guessed to recurse that many times). *)
+
+val callers_of : t -> string -> edge list
+(** Edges targeting the given callee. *)

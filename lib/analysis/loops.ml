@@ -23,12 +23,14 @@ type t = {
   depth_of : label -> int;  (** loop-nesting depth of a block; 0 = no loop *)
 }
 
-let natural_loop cfg header latch : Str_set.t =
+let natural_loop cfg reachable header latch : Str_set.t =
   let set = ref (Str_set.add header (Str_set.singleton latch)) in
   let rec go l =
     List.iter
       (fun p ->
-        if not (Str_set.mem p !set) then begin
+        (* dead blocks can be predecessors of live ones; they belong to
+           no loop (and dominance is undefined on them) *)
+        if Str_set.mem p reachable && not (Str_set.mem p !set) then begin
           set := Str_set.add p !set;
           go p
         end)
@@ -46,18 +48,31 @@ let find_exits cfg blocks =
     blocks []
 
 let build (cfg : Cfg.t) (dom : Dominance.t) : t =
+  (* Blocks reachable from the entry: dominance (and so back-edge-ness)
+     is only defined on these, and unreachable blocks are in no loop. *)
+  let reachable =
+    let seen = ref Str_set.empty in
+    let rec go l =
+      if not (Str_set.mem l !seen) then begin
+        seen := Str_set.add l !seen;
+        List.iter go (Cfg.succs cfg l)
+      end
+    in
+    go (Cfg.entry cfg);
+    !seen
+  in
   (* Collect back edges grouped by header. *)
   let back_edges = Hashtbl.create 16 in
-  List.iter
+  Str_set.iter
     (fun u ->
       List.iter
         (fun h ->
-          if Dominance.dominates dom h u then begin
+          if Str_set.mem h reachable && Dominance.dominates dom h u then begin
             let cur = try Hashtbl.find back_edges h with Not_found -> [] in
             Hashtbl.replace back_edges h (u :: cur)
           end)
         (Cfg.succs cfg u))
-    (Cfg.labels cfg);
+    reachable;
   let headers = Hashtbl.fold (fun h _ acc -> h :: acc) back_edges [] in
   let raw_loops =
     List.map
@@ -65,7 +80,8 @@ let build (cfg : Cfg.t) (dom : Dominance.t) : t =
         let latches = Hashtbl.find back_edges h in
         let blocks =
           List.fold_left
-            (fun acc latch -> Str_set.union acc (natural_loop cfg h latch))
+            (fun acc latch ->
+              Str_set.union acc (natural_loop cfg reachable h latch))
             Str_set.empty latches
         in
         (h, latches, blocks))

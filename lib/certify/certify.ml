@@ -1051,6 +1051,31 @@ module Session = struct
         !cands;
       if !bad = [] then Certified null_stats else Rejected (!bad, null_stats)
     end
+
+  (* Adding a barrier is certification-monotone: every barrier-free path
+     in the new image is a barrier-free path of the old one (the new Ckpt
+     only removes paths from the walk), so no pair verdict can flip to
+     overlap, and pop conversion cannot break either — O1 requires an
+     sp-increase to be PRECEDED by a checkpoint, and a new checkpoint
+     never writes sp.  The abstract states are untouched (Ckpt has the
+     identity transfer, exactly like the Mov it replaced).  So insertion
+     needs only the structural sanity check that the claimed pc really is
+     a barrier now; the expensive re-sweep is reserved for removals. *)
+  let recheck_insertion (s : t) (pc : int) : verdict =
+    let img = s.ses_img in
+    let n = Img.instr_count img in
+    if pc < 0 || pc >= n || not (is_barrier img.Img.code.(pc)) then
+      Rejected
+        ( [
+            Obligation_failed
+              {
+                ob_name = "insertion-site";
+                ob_pc = Some pc;
+                ob_msg = "claimed insertion pc does not hold a barrier";
+              };
+          ],
+          null_stats )
+    else Certified null_stats
 end
 
 (* ------------------------------------------------------------------ *)

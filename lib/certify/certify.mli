@@ -69,6 +69,18 @@ module Session : sig
       [pc+1]) is re-checked; all other pairs and obligations keep their
       verdicts.  The verdict's [stats] are zeroed — this answers
       "does the image still certify?", not the full census. *)
+
+  val recheck_insertion : t -> int -> verdict
+  (** Validate a barrier newly substituted IN at [pc].  Insertion is
+      certification-monotone: a new barrier only removes barrier-free
+      paths (no pair verdict can flip to overlap) and cannot violate pop
+      conversion (O1 wants an sp-increase {e preceded} by a checkpoint,
+      and a checkpoint never writes sp), while the abstract states are
+      unchanged (Ckpt and the Mov it replaced both have the identity
+      transfer).  So this only checks that [pc] really holds a barrier,
+      and rejects on API misuse.  Checkpoint {e motion} = one
+      [recheck_insertion] at the new site + one {!recheck_removal} at the
+      old site, in that order. *)
 end
 
 val pp_witness : Wario_emulator.Image.t -> pair_witness -> string

@@ -28,38 +28,95 @@
    barrier-free.  Kept removals are then really deleted from the machine
    program, and the caller relinks.
 
-   Candidates are deliberately narrow: only Middle_end_war/Back_end_war
-   checkpoints in blocks carrying at least two of them (the redundancy
-   pattern above).  Function entry/exit checkpoints implement the calling
-   convention and are never touched.  Everything iterates in program
-   order, one trial per candidate (a rejected removal can never succeed
-   after later removals — those only delete barriers, strictly hardening
-   the obligation), so the result is deterministic. *)
+   Two candidate classes:
+
+   - WAR coalescing (always on): Middle_end_war/Back_end_war checkpoints
+     in blocks carrying at least two of them — the redundancy pattern
+     above.  Tried in program order.
+
+   - Calling-convention brackets ([boundary], interprocedural policy
+     only): Function_entry/Function_exit checkpoints.  Per-function
+     reasoning can never drop these — a call counts as a WAR barrier in
+     every intraprocedural analysis precisely because the callee is
+     guaranteed to checkpoint on entry — but the certifier's region walk
+     crosses calls and returns, so it can prove a particular bracket
+     redundant for this whole program (e.g. a callee whose body
+     checkpoints before any store the caller's region could reach).  The
+     interprocedural model also says where that pays: a bracket at a hot
+     call boundary executes once per call, so candidates are ordered by
+     the caller-weighted block weight, hottest first.
+
+   Everything is a single pass per class (a rejected removal can never
+   succeed after later removals — those only delete barriers, strictly
+   hardening the obligation), so the result is deterministic.  All
+   [mcode] deletions are deferred to the end: trials edit only the image
+   (pc-stable), so original per-block indices stay valid throughout. *)
 
 module I = Wario_machine.Isa
 module C = Wario_certify.Certify
 module E = Wario_emulator
 
-type stats = { candidates : int; tried : int; elided : int }
+type stats = {
+  candidates : int;
+  tried : int;
+  elided : int;
+  boundary_tried : int;
+  boundary_elided : int;
+}
 
 let is_war_ckpt = function
   | I.Ckpt ((I.Middle_end_war | I.Back_end_war), _) -> true
   | _ -> false
 
+let is_boundary_ckpt = function
+  | I.Ckpt ((I.Function_entry | I.Function_exit), _) -> true
+  | _ -> false
+
 let nop = I.Mov (0, I.R 0)
 
-let run (p : I.mprog) : stats =
+let run ?(boundary = false) ?(weight = fun _ -> 0.) (p : I.mprog) : stats =
   let img = E.Image.link p in
   (* An image that does not certify as-is gives the pass no oracle to
      preserve: leave such builds untouched. *)
   match C.certify img with
-  | C.Rejected _ -> { candidates = 0; tried = 0; elided = 0 }
+  | C.Rejected _ ->
+      {
+        candidates = 0;
+        tried = 0;
+        elided = 0;
+        boundary_tried = 0;
+        boundary_elided = 0;
+      }
   | C.Certified _ ->
       let ses = C.Session.create img in
       let start_of =
         let tbl = Hashtbl.create 64 in
-        List.iter (fun (l, pc) -> Hashtbl.replace tbl l pc) (E.Image.block_starts img);
+        List.iter
+          (fun (l, pc) -> Hashtbl.replace tbl l pc)
+          (E.Image.block_starts img);
         fun l -> Hashtbl.find tbl l
+      in
+      (* deferred per-block deletions: block -> original indices gone *)
+      let gone : (I.mblock * int list ref) list ref = ref [] in
+      let gone_of (b : I.mblock) =
+        match List.find_opt (fun (b', _) -> b' == b) !gone with
+        | Some (_, r) -> r
+        | None ->
+            let r = ref [] in
+            gone := (b, r) :: !gone;
+            r
+      in
+      let try_removal (b : I.mblock) (k : int) (ins : I.instr) : bool =
+        let pc = start_of b.I.mlabel + k in
+        img.E.Image.code.(pc) <- nop;
+        match C.Session.recheck_removal ses pc with
+        | C.Certified _ ->
+            let g = gone_of b in
+            g := k :: !g;
+            true
+        | C.Rejected _ ->
+            img.E.Image.code.(pc) <- ins;
+            false
       in
       let candidates = ref 0 and tried = ref 0 and elided = ref 0 in
       List.iter
@@ -74,28 +131,54 @@ let run (p : I.mprog) : stats =
               in
               if n_war >= 2 then begin
                 incr candidates;
-                let base = start_of b.I.mlabel in
-                let gone = ref [] in
-                (* single pass: a rejected removal can never succeed later
-                   (further removals only delete barriers, making the
-                   obligation strictly harder), so no retry loop *)
                 Array.iteri
                   (fun k ins ->
                     if is_war_ckpt ins then begin
                       incr tried;
-                      let pc = base + k in
-                      img.E.Image.code.(pc) <- nop;
-                      match C.Session.recheck_removal ses pc with
-                      | C.Certified _ ->
-                          incr elided;
-                          gone := k :: !gone
-                      | C.Rejected _ -> img.E.Image.code.(pc) <- ins
+                      if try_removal b k ins then incr elided
                     end)
-                  code;
-                if !gone <> [] then
-                  b.I.mcode <-
-                    List.filteri (fun k _ -> not (List.mem k !gone)) b.I.mcode
+                  code
               end)
             mf.I.mblocks)
         p.I.mfuncs;
-      { candidates = !candidates; tried = !tried; elided = !elided }
+      let boundary_tried = ref 0 and boundary_elided = ref 0 in
+      if boundary then begin
+        let cands =
+          List.concat_map
+            (fun (mf : I.mfunc) ->
+              List.concat_map
+                (fun (b : I.mblock) ->
+                  List.mapi (fun k ins -> (b, k, ins)) b.I.mcode
+                  |> List.filter (fun (_, _, ins) -> is_boundary_ckpt ins))
+                mf.I.mblocks)
+            p.I.mfuncs
+        in
+        (* hottest bracket first; ties broken by pc for determinism *)
+        let keyed =
+          List.map
+            (fun (b, k, ins) ->
+              ( weight b.I.mlabel,
+                start_of b.I.mlabel + k,
+                (b, k, ins) ))
+            cands
+          |> List.stable_sort (fun (wa, pa, _) (wb, pb, _) ->
+                 match compare wb wa with 0 -> compare pa pb | c -> c)
+        in
+        List.iter
+          (fun (_, _, (b, k, ins)) ->
+            incr boundary_tried;
+            if try_removal b k ins then incr boundary_elided)
+          keyed
+      end;
+      List.iter
+        (fun ((b : I.mblock), g) ->
+          if !g <> [] then
+            b.I.mcode <- List.filteri (fun k _ -> not (List.mem k !g)) b.I.mcode)
+        !gone;
+      {
+        candidates = !candidates;
+        tried = !tried;
+        elided = !elided;
+        boundary_tried = !boundary_tried;
+        boundary_elided = !boundary_elided;
+      }

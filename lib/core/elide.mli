@@ -9,13 +9,36 @@
     output is a subset of an already-certified instruction stream, judged
     by the same oracle `iclang certify` applies.
 
-    Only [Middle_end_war]/[Back_end_war] checkpoints in blocks holding at
-    least two of them are candidates; function entry/exit checkpoints are
-    never touched.  Deterministic; images that do not certify beforehand
-    are left untouched. *)
+    By default only [Middle_end_war]/[Back_end_war] checkpoints in blocks
+    holding at least two of them are candidates; function entry/exit
+    checkpoints implement the calling convention and are never touched.
+    Under the interprocedural placement policy ([boundary = true]) the
+    calling-convention brackets are audited too: every per-function
+    analysis must keep them (a call is only a WAR barrier {e because} the
+    callee checkpoints on entry), but the certifier's region walk crosses
+    calls and returns, so it can prove a particular bracket redundant for
+    this whole program — and a hot call boundary is exactly where the
+    interprocedural model says the dynamic-checkpoint mass is.
+    Deterministic; images that do not certify beforehand are left
+    untouched. *)
 
-type stats = { candidates : int; tried : int; elided : int }
+type stats = {
+  candidates : int;
+  tried : int;
+  elided : int;
+  boundary_tried : int;
+  boundary_elided : int;
+}
 
-val run : Wario_machine.Isa.mprog -> stats
+val run :
+  ?boundary:bool ->
+  ?weight:(string -> float) ->
+  Wario_machine.Isa.mprog ->
+  stats
 (** Mutates the program in place.  [candidates] counts blocks examined,
-    [tried] individual removal attempts, [elided] removals kept. *)
+    [tried]/[elided] the WAR-coalescing attempts and removals kept,
+    [boundary_tried]/[boundary_elided] the same for entry/exit brackets
+    (both 0 unless [boundary]).  [weight] prices a machine block label
+    (the interprocedural block weight) and only orders the boundary
+    audit, hottest first; it defaults to a constant, which degrades to
+    program order. *)

@@ -23,12 +23,13 @@ module A = Wario_analysis
 module E = Wario_emulator
 module Tr = Wario_obs.Trace
 
-type variant = Greedy | Static | Profile
+type variant = Greedy | Static | Profile | Inter
 
 let variant_name = function
   | Greedy -> "greedy"
   | Static -> "static-weighted"
   | Profile -> "profile-guided"
+  | Inter -> "interprocedural"
 
 type pilot = {
   profile : A.Costmodel.profile;  (** per-block entry counts *)
@@ -67,6 +68,7 @@ type candidates = {
   greedy_c : Pipeline.compiled;
   static_c : Pipeline.compiled;
   profile_c : Pipeline.compiled;
+  inter_c : Pipeline.compiled;
   pilot : pilot;
 }
 
@@ -74,6 +76,7 @@ let compiled_of (cs : candidates) = function
   | Greedy -> cs.greedy_c
   | Static -> cs.static_c
   | Profile -> cs.profile_c
+  | Inter -> cs.inter_c
 
 (** The full loop, returning all three binaries (the measured guard's
     choice is [pilot.selected]).  [opts.block_profile] is ignored on
@@ -104,6 +107,19 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
         }
       env source
   in
+  (* The interprocedural candidate is a pure static win: call-graph
+     weights, cost-coupled expansion and (when [opts.motion] is set)
+     certifier-validated checkpoint motion, no profile. *)
+  let inter_c =
+    Pipeline.compile
+      ~opts:
+        {
+          static_opts with
+          Pipeline.placement =
+            Wario_transforms.Checkpoint_inserter.Interprocedural;
+        }
+      env source
+  in
   let measure (c : Pipeline.compiled) =
     let r =
       E.Emulator.run ?fuel:pilot_fuel ~supply:E.Power.Continuous
@@ -113,7 +129,12 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
   in
   (* preference order breaks exact ties toward the more-informed placement *)
   let candidates =
-    [ (Profile, profile_c); (Static, static_c); (Greedy, greedy_c) ]
+    [
+      (Profile, profile_c);
+      (Inter, inter_c);
+      (Static, static_c);
+      (Greedy, greedy_c);
+    ]
   in
   let scored =
     List.map (fun (v, c) -> (v, c, measure c)) candidates
@@ -128,6 +149,7 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
     greedy_c;
     static_c;
     profile_c;
+    inter_c;
     pilot =
       {
         pilot with

@@ -12,7 +12,7 @@
     and the one executing the fewest checkpoints is kept, so PGO is never
     worse than the baseline on the pilot input. *)
 
-type variant = Greedy | Static | Profile
+type variant = Greedy | Static | Profile | Inter
 
 val variant_name : variant -> string
 
@@ -36,6 +36,10 @@ type candidates = {
   greedy_c : Pipeline.compiled;  (** greedy baseline placement *)
   static_c : Pipeline.compiled;  (** static cost model, weighted cover *)
   profile_c : Pipeline.compiled;  (** pilot-measured weights *)
+  inter_c : Pipeline.compiled;
+      (** interprocedural call-graph model: global weights, cost-coupled
+          expansion, and (under [opts.motion]) checkpoint motion; no
+          profile *)
   pilot : pilot;
 }
 

@@ -62,7 +62,12 @@ type options = {
           after the back end, coalescing redundant middle-end/back-end
           checkpoint pairs.  Off by default (it re-certifies per
           candidate); `iclang pgo` and the placement benchmarks turn it
-          on.  Only applies under [Cost_guided]. *)
+          on.  Only applies under [Cost_guided] and [Interprocedural]. *)
+  motion : bool;
+      (** run the certifier-validated checkpoint motion pass ({!Motion})
+          after elision, relocating WAR checkpoints to cheaper blocks.
+          Off by default; only applies under [Interprocedural] (motion
+          needs the global weight table to price destinations). *)
 }
 
 let default_options =
@@ -76,6 +81,7 @@ let default_options =
     placement = T.Checkpoint_inserter.Cost_guided;
     block_profile = None;
     elide = false;
+    motion = false;
   }
 
 (** What became of [options.block_profile] during placement. *)
@@ -97,6 +103,10 @@ type middle_stats = {
   placement_fallback : int;
       (** functions placed by the weighted-greedy fallback *)
   profile_status : profile_status;
+  placements : T.Checkpoint_inserter.placement_info list;
+      (** per-checkpoint rationale from the inserter ([--explain]) *)
+  func_freqs : (string * float) list;
+      (** call-graph invocation frequencies (only under [Interprocedural]) *)
 }
 
 type compiled = {
@@ -107,6 +117,13 @@ type compiled = {
   middle : middle_stats;
   backend : B.Backend.stats;
   elision : Elide.stats option;  (** [Some] when [options.elide] ran *)
+  motion : Motion.stats option;  (** [Some] when [options.motion] ran *)
+  model_cost : float option;
+      (** cost-model estimate of dynamic checkpoint executions per run:
+          the sum of the placement weight of every checkpoint in the
+          final image ([None] under [Greedy], which has no weights).
+          Comparable across compiles of the same source; expansion
+          trials themselves are judged by a measured reference run. *)
   text_bytes : int;
 }
 
@@ -200,8 +217,14 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
     | _ -> None
   in
   let expander =
-    match env with
-    | Wario_expander ->
+    match (env, opts.placement) with
+    | Plain, _ -> None
+    (* Under [Interprocedural] expansion is a placement decision made by
+       trial compilation in {!compile_ir} (each candidate inline needs a
+       full compile of a program copy to be priced) — the middle end
+       alone never expands under that policy. *)
+    | _, T.Checkpoint_inserter.Interprocedural -> None
+    | Wario_expander, _ ->
         let st =
           M.time metrics "middle.expander.ms" (fun () ->
               T.Expander.run ~size_limit:opts.expander_size_limit
@@ -229,7 +252,8 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
   let profile_status, profile =
     match (opts.block_profile, opts.placement) with
     | None, _ | _, T.Checkpoint_inserter.Greedy -> (No_profile, None)
-    | Some p, T.Checkpoint_inserter.Cost_guided -> (
+    | ( Some p,
+        T.Checkpoint_inserter.(Cost_guided | Interprocedural) ) -> (
         let expected_labels =
           List.concat_map
             (fun (f : Ir.func) ->
@@ -250,17 +274,34 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
               reason;
             (Fell_back reason, None))
   in
-  let wars_found, middle_ckpts, placement_exact, placement_fallback =
+  (* The call graph for placement is built AFTER every structure-changing
+     transform (unrolling, clustering, expansion): frequencies must price
+     the blocks the solver will actually see. *)
+  let callgraph =
+    match (env, opts.placement) with
+    | Plain, _ | _, (T.Checkpoint_inserter.Greedy | Cost_guided) -> None
+    | _, T.Checkpoint_inserter.Interprocedural ->
+        Some
+          (M.time metrics "middle.callgraph_place.ms" (fun () ->
+               A.Callgraph.build prog))
+  in
+  let wars_found, middle_ckpts, placement_exact, placement_fallback, placements
+      =
     match env with
-    | Plain -> (0, 0, 0, 0)
+    | Plain -> (0, 0, 0, 0, [])
     | _ ->
         let mode =
           match env with Ratchet -> A.Alias.Basic | _ -> A.Alias.Precise
         in
+        let global =
+          match callgraph with
+          | Some cg -> Some cg.A.Callgraph.block_weight
+          | None -> None
+        in
         let st =
           M.time metrics "middle.checkpoint_inserter.ms" (fun () ->
               T.Checkpoint_inserter.run ~mode ~placement:opts.placement
-                ?profile prog)
+                ?profile ?global prog)
         in
         M.set metrics "middle.checkpoint_inserter.wars" st.T.Checkpoint_inserter.wars;
         M.set metrics "middle.checkpoint_inserter.checkpoints"
@@ -269,7 +310,7 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
           st.T.Checkpoint_inserter.exact;
         M.set metrics "middle.checkpoint_inserter.fallback"
           st.T.Checkpoint_inserter.fallback;
-        (st.wars, st.checkpoints, st.exact, st.fallback)
+        (st.wars, st.checkpoints, st.exact, st.fallback, st.placements)
   in
   (* optional extension: bound region sizes for tiny storage capacitors *)
   (match (env, opts.max_region) with
@@ -290,6 +331,14 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
     placement_exact;
     placement_fallback;
     profile_status;
+    placements;
+    func_freqs =
+      (match callgraph with
+      | Some cg ->
+          List.map
+            (fun f -> (f, cg.A.Callgraph.func_freq f))
+            cg.A.Callgraph.cg_funcs
+      | None -> []);
   }
 
 (** Compile an already-lowered IR program (used by tests and by
@@ -302,11 +351,21 @@ let backend_block_weights (middle : middle_stats) (opts : options)
     (prog : Ir.program) : (string -> float) option =
   match opts.placement with
   | T.Checkpoint_inserter.Greedy -> None
-  | T.Checkpoint_inserter.Cost_guided ->
+  | T.Checkpoint_inserter.(Cost_guided | Interprocedural) as pl ->
       let profile =
         match middle.profile_status with
         | Applied _ -> opts.block_profile
         | No_profile | Fell_back _ -> None
+      in
+      (* Under Interprocedural, fall back to call-graph-scaled global
+         weights instead of per-invocation statics — the stub weight then
+         IS the function's expected invocation count, which is what the
+         entry/exit spill checkpoints cost. *)
+      let cg =
+        match pl with
+        | T.Checkpoint_inserter.Interprocedural ->
+            Some (A.Callgraph.build prog)
+        | _ -> None
       in
       let tbl : (string, float) Hashtbl.t = Hashtbl.create 256 in
       List.iter
@@ -315,12 +374,16 @@ let backend_block_weights (middle : middle_stats) (opts : options)
           let dom = A.Dominance.build cfg in
           let loops = A.Loops.build cfg dom in
           let static = A.Costmodel.static_weights cfg loops in
+          let base =
+            match cg with
+            | Some cg -> fun lbl -> cg.A.Callgraph.block_weight f.Ir.fname lbl
+            | None -> static
+          in
           let weigh =
             match profile with
-            | None -> static
+            | None -> base
             | Some p ->
-                A.Costmodel.profile_weights p ~fname:f.Ir.fname
-                  ~fallback:static
+                A.Costmodel.profile_weights p ~fname:f.Ir.fname ~fallback:base
           in
           List.iter
             (fun (b : Ir.block) ->
@@ -335,7 +398,13 @@ let backend_block_weights (middle : middle_stats) (opts : options)
                 match List.assoc_opt f.Ir.fname p with
                 | Some c -> max (float_of_int c) A.Costmodel.min_weight
                 | None -> weigh (A.Cfg.entry cfg))
-            | None -> weigh (A.Cfg.entry cfg)
+            | None -> (
+                match cg with
+                | Some cg ->
+                    Float.max
+                      (cg.A.Callgraph.func_freq f.Ir.fname)
+                      A.Costmodel.min_weight
+                | None -> weigh (A.Cfg.entry cfg))
           in
           Hashtbl.replace tbl f.Ir.fname stub_weight)
         prog.Ir.funcs;
@@ -345,9 +414,78 @@ let backend_block_weights (middle : middle_stats) (opts : options)
           | Some w -> w
           | None -> A.Costmodel.min_weight)
 
-let compile_ir ?(opts = default_options) ?(metrics = M.disabled)
+(* Model-priced dynamic checkpoint cost of a linked image: the placement
+   weight of every Ckpt's block, summed.  Functions unreachable from main
+   are skipped — inlining orphans out-of-line copies whose checkpoints
+   never execute, and pricing them would bias every expansion trial. *)
+let image_ckpt_cost ~(weights : string -> float) (prog : Ir.program)
+    (image : Wario_emulator.Image.t) : float =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) -> Hashtbl.replace by_name f.Ir.fname f)
+    prog.Ir.funcs;
+  let reached = Hashtbl.create 16 in
+  let rec visit name =
+    match Hashtbl.find_opt by_name name with
+    | Some f when not (Hashtbl.mem reached name) ->
+        Hashtbl.replace reached name ();
+        List.iter
+          (fun (b : Ir.block) ->
+            List.iter
+              (function Ir.Call (_, callee, _) -> visit callee | _ -> ())
+              b.Ir.insns)
+          f.Ir.blocks
+    | _ -> ()
+  in
+  if Hashtbl.mem by_name "main" then visit "main"
+  else List.iter (fun (f : Ir.func) -> visit f.Ir.fname) prog.Ir.funcs;
+  let func_of_label lbl =
+    match String.index_opt lbl '$' with
+    | Some i -> String.sub lbl 0 i
+    | None -> lbl (* bare prolog-stub label *)
+  in
+  let starts = Array.of_list (Wario_emulator.Image.block_starts image) in
+  let n = Array.length starts in
+  let cost = ref 0.0 and cursor = ref 0 in
+  Array.iteri
+    (fun pc instr ->
+      while !cursor + 1 < n && snd starts.(!cursor + 1) <= pc do
+        incr cursor
+      done;
+      match instr with
+      | Wario_machine.Isa.Ckpt _ when n > 0 ->
+          let lbl = fst starts.(!cursor) in
+          if Hashtbl.mem reached (func_of_label lbl) then
+            cost := !cost +. weights lbl
+      | _ -> ())
+    image.Wario_emulator.Image.code;
+  !cost
+
+let rec compile_ir ?(opts = default_options) ?(metrics = M.disabled)
     (env : environment) (prog : Ir.program) : compiled =
+  (* Cost-coupled expansion (Interprocedural only) happens here, before
+     the middle end, because each candidate inline is auditioned by a
+     full compile of a program copy. *)
+  let trial_expander =
+    match (env, opts.placement) with
+    | Plain, _ -> None
+    | _, T.Checkpoint_inserter.Interprocedural
+      when opts.expander_size_limit > 0 ->
+        let st =
+          M.time metrics "middle.expander.ms" (fun () ->
+              trial_expand ~opts env prog)
+        in
+        M.set metrics "middle.expander.candidates" st.T.Expander.candidates;
+        M.set metrics "middle.expander.inlined" st.T.Expander.inlined;
+        Some st
+    | _ -> None
+  in
   let middle = middle_end ~opts ~metrics env prog in
+  let middle =
+    match trial_expander with
+    | Some _ -> { middle with expander = trial_expander }
+    | None -> middle
+  in
   M.time metrics "middle.ir_verify.ms" (fun () ->
       Wario_ir.Ir_verify.verify_program prog);
   let block_weights = backend_block_weights middle opts prog in
@@ -357,19 +495,44 @@ let compile_ir ?(opts = default_options) ?(metrics = M.disabled)
   let elision =
     if
       opts.elide && env <> Plain
-      && opts.placement = T.Checkpoint_inserter.Cost_guided
+      && (opts.placement = T.Checkpoint_inserter.Cost_guided
+         || opts.placement = T.Checkpoint_inserter.Interprocedural)
     then begin
-      let s = M.time metrics "backend.elide.ms" (fun () -> Elide.run mprog) in
+      let boundary =
+        opts.placement = T.Checkpoint_inserter.Interprocedural
+      in
+      let s =
+        M.time metrics "backend.elide.ms" (fun () ->
+            Elide.run ~boundary ?weight:block_weights mprog)
+      in
       M.set metrics "backend.elide.count" s.Elide.elided;
+      M.set metrics "backend.elide.boundary" s.Elide.boundary_elided;
       Some s
     end
     else None
+  in
+  let motion =
+    match (opts.motion, env, opts.placement, block_weights) with
+    | true, env', T.Checkpoint_inserter.Interprocedural, Some weights
+      when env' <> Plain ->
+        let s =
+          M.time metrics "backend.motion.ms" (fun () ->
+              Motion.run ~weights mprog)
+        in
+        M.set metrics "backend.motion.applied" s.Motion.applied;
+        Some s
+    | _ -> None
   in
   let image =
     M.time metrics "link.ms" (fun () -> Wario_emulator.Image.link mprog)
   in
   M.set metrics "link.text_bytes" image.Wario_emulator.Image.text_bytes;
   M.set metrics "link.data_bytes" image.Wario_emulator.Image.data_bytes;
+  let model_cost =
+    match block_weights with
+    | None -> None
+    | Some weights -> Some (image_ckpt_cost ~weights prog image)
+  in
   {
     env;
     ir = prog;
@@ -378,8 +541,82 @@ let compile_ir ?(opts = default_options) ?(metrics = M.disabled)
     middle;
     backend;
     elision;
+    motion;
+    model_cost;
     text_bytes = image.Wario_emulator.Image.text_bytes;
   }
+
+(* The audition loop: candidates in descending closed-form benefit, each
+   compiled on a copy of the program (expansion disabled; a profile's
+   labels would be stale on the inlined copy) and judged by one measured
+   reference run of the trial image — continuous power, verification off,
+   a bounded cycle budget.  The closed form and the static model both
+   mispredict inlining: removing a call deletes a free WAR barrier, and
+   the WARs that re-opens live at *real* trip counts the model's
+   per-loop guess cannot see (the paper's "sometimes detrimental"
+   Expander caveat, and its §6 remedy: profile it).  So the model
+   proposes and the measurement disposes: a candidate is kept only when
+   the dynamic checkpoint count of the whole trial image strictly drops.
+   Accepted inlines stay in force for later trials and the list is
+   re-auditioned (bounded passes) because an accepted inline can change a
+   later candidate's worth; a code-size budget of [4 * size_limit] added
+   instructions bounds growth.  Programs that exhaust the trial budget
+   (or break the trial build) audit as infinitely expensive, so
+   non-terminating inputs simply keep the un-expanded program.  Finally
+   the accepted set is replayed on the real program. *)
+and trial_expand ~opts env (prog : Ir.program) : T.Expander.stats =
+  let cg = A.Callgraph.build prog in
+  let cands =
+    T.Expander.costed_candidates ~size_limit:opts.expander_size_limit cg prog
+  in
+  let trial_opts =
+    { opts with expander_size_limit = 0; block_profile = None }
+  in
+  let cost_of sel =
+    let p = Ir.copy_program prog in
+    List.iter (fun c -> ignore (T.Expander.apply_candidate p c)) sel;
+    match
+      let c = compile_ir ~opts:trial_opts env p in
+      let r =
+        Wario_emulator.Emulator.run ~fuel:100_000_000
+          ~supply:Wario_emulator.Power.Continuous ~verify:false c.image
+      in
+      r.Wario_emulator.Emulator.checkpoints_total
+    with
+    | n -> n
+    | exception _ -> max_int (* no termination, or a broken trial build *)
+  in
+  let budget = ref (4 * opts.expander_size_limit) in
+  let accepted = ref [] in
+  let cur = ref (cost_of []) in
+  if !cur < max_int then begin
+    let remaining = ref cands in
+    let passes = ref 0 in
+    let improving = ref true in
+    while !improving && !passes < 3 do
+      incr passes;
+      improving := false;
+      remaining :=
+        List.filter
+          (fun (cand : T.Expander.cand) ->
+            if cand.T.Expander.xc_size > !budget then true
+            else begin
+              let cost = cost_of (List.rev (cand :: !accepted)) in
+              if cost < !cur then begin
+                accepted := cand :: !accepted;
+                budget := !budget - cand.T.Expander.xc_size;
+                cur := cost;
+                improving := true;
+                false
+              end
+              else true
+            end)
+          !remaining
+    done
+  end;
+  let sel = List.rev !accepted in
+  List.iter (fun c -> ignore (T.Expander.apply_candidate prog c)) sel;
+  { T.Expander.candidates = List.length cands; inlined = List.length sel }
 
 (** Compile MiniC source text under a software environment. *)
 let compile ?(opts = default_options) ?(metrics = M.disabled)

@@ -35,15 +35,23 @@ type options = {
           for [Plain].  Never set this outside tests. *)
   placement : Wario_transforms.Checkpoint_inserter.placement;
       (** checkpoint placement policy for both the middle-end inserter and
-          the back end's stack-spill inserter (default [Cost_guided]) *)
+          the back end's stack-spill inserter (default [Cost_guided]).
+          [Interprocedural] additionally builds the
+          {!Wario_analysis.Callgraph} model, runs cost-coupled expansion
+          for every instrumented environment, and prices every block at
+          its whole-program frequency. *)
   block_profile : Wario_analysis.Costmodel.profile option;
       (** measured per-block entry counts from a PGO pilot run (see
           {!Pgo}); validated against the current label set and ignored
           (with a warning on stderr) when empty or stale.  Only consulted
-          under [Cost_guided]. *)
+          under [Cost_guided] and [Interprocedural]. *)
   elide : bool;
       (** run the certifier-validated checkpoint elision pass ({!Elide})
-          after the back end (default false; only under [Cost_guided]) *)
+          after the back end (default false; only under [Cost_guided] and
+          [Interprocedural]) *)
+  motion : bool;
+      (** run the certifier-validated checkpoint motion pass ({!Motion})
+          after elision (default false; only under [Interprocedural]) *)
 }
 
 val default_options : options
@@ -67,6 +75,10 @@ type middle_stats = {
   placement_fallback : int;
       (** functions placed by the weighted-greedy fallback *)
   profile_status : profile_status;
+  placements : Wario_transforms.Checkpoint_inserter.placement_info list;
+      (** per-checkpoint rationale from the inserter ([--explain]) *)
+  func_freqs : (string * float) list;
+      (** call-graph invocation frequencies (only under [Interprocedural]) *)
 }
 
 type compiled = {
@@ -77,6 +89,13 @@ type compiled = {
   middle : middle_stats;
   backend : Wario_backend.Backend.stats;
   elision : Elide.stats option;  (** [Some] when [options.elide] ran *)
+  motion : Motion.stats option;  (** [Some] when [options.motion] ran *)
+  model_cost : float option;
+      (** cost-model estimate of dynamic checkpoint executions per run:
+          the placement weight of every checkpoint in the final image,
+          summed ([None] under [Greedy]).  Comparable across compiles of
+          the same source; expansion trials themselves are judged by a
+          measured reference run (see {!compile_ir}). *)
   text_bytes : int;
 }
 
@@ -89,7 +108,10 @@ val middle_end :
 (** Run just the middle end (mutates the program).  A live [metrics]
     registry (default {!Wario_obs.Metrics.disabled}) records per-pass wall
     time under [middle.<pass>.ms] plus each pass's headline deltas (WARs
-    found, checkpoints inserted, stores postponed/moved, inlines). *)
+    found, checkpoints inserted, stores postponed/moved, inlines).  Note
+    that under [Interprocedural] the middle end alone never expands:
+    cost-coupled expansion is driven by trial compilation in
+    {!compile_ir}. *)
 
 val compile :
   ?opts:options ->

@@ -90,6 +90,13 @@ let find_func p name =
 
 let find_func_opt p name = List.find_opt (fun f -> f.fname = name) p.funcs
 
+(* Instructions, terminators, slots and globals are immutable values, so a
+   deep copy only needs fresh records for every mutable layer: the blocks,
+   the functions, and the program itself. *)
+let copy_block b = { b with insns = b.insns }
+let copy_func f = { f with blocks = List.map copy_block f.blocks }
+let copy_program p = { p with funcs = List.map copy_func p.funcs }
+
 let find_block f lbl =
   match List.find_opt (fun b -> b.bname = lbl) f.blocks with
   | Some b -> b

@@ -79,6 +79,11 @@ type program = { globals : global list; funcs : func list }
 
 val find_func : program -> string -> func
 val find_func_opt : program -> string -> func option
+
+(** [copy_program p] is a deep, independently-mutable copy (transform
+    trials mutate the copy and throw it away).  Instructions and
+    terminators are immutable values and stay shared. *)
+val copy_program : program -> program
 val find_block : func -> label -> block
 val entry_block : func -> block
 val fresh_reg : func -> reg

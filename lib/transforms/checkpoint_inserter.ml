@@ -29,6 +29,16 @@ type placement =
   | Greedy  (** unweighted greedy hitting set costed by loop depth only *)
   | Cost_guided
       (** weighted solver minimising estimated dynamic checkpoint count *)
+  | Interprocedural
+      (** weighted solver over call-graph-scaled global block weights *)
+
+type placement_info = {
+  pi_func : string;
+  pi_block : label;
+  pi_index : int;
+  pi_weight : float;
+  pi_wars : int;
+}
 
 type stats = {
   functions : int;
@@ -36,6 +46,7 @@ type stats = {
   checkpoints : int;
   exact : int;  (** functions whose weighted cover was proven optimal *)
   fallback : int;  (** functions placed by the weighted-greedy fallback *)
+  placements : placement_info list;
 }
 
 (* Candidate checkpoint points resolving one WAR.  [block_len] must be an
@@ -95,8 +106,10 @@ let insert_checkpoints f (points : point list) (cause : ckpt_cause) =
     by_block
 
 let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
-    ~(profile : Analysis.Costmodel.profile option) ~escapes (f : func) :
-    int * int * Analysis.Hitting_set.optimality option =
+    ~(profile : Analysis.Costmodel.profile option)
+    ~(global : (string -> label -> float) option) ~escapes (f : func) :
+    int * int * Analysis.Hitting_set.optimality option * placement_info list
+    =
   let dbg = Sys.getenv_opt "WARIO_DEBUG_CPI" <> None in
   let now () = if dbg then Unix.gettimeofday () else 0. in
   let t0 = now () in
@@ -113,7 +126,7 @@ let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
     Printf.eprintf "cpi %-14s cfg=%.1f alias=%.1f wars=%.1f (#wars=%d)
 %!"
       f.fname (t1 -. t0) (t2 -. t1) (t3 -. t2) (List.length wars);
-  if wars = [] then (0, 0, None)
+  if wars = [] then (0, 0, None, [])
   else begin
     (* Subsumption: for a fixed store and load block, the pair with the
        latest load has the smallest candidate set, and that set is a subset
@@ -159,7 +172,7 @@ let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
       List.map (fun (w : Analysis.Pdg.war) -> w.war_store.mo_point) reduced
     in
     let t4 = now () in
-    let chosen, opt =
+    let chosen, opt, cost =
       match placement with
       | Greedy ->
           let cost (lbl, _) =
@@ -170,24 +183,50 @@ let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
           ( (match Point_hs.solve ~cost sets with
             | Ok chosen -> chosen
             | Error (Analysis.Hitting_set.Empty_set _) -> naive_placement ()),
-            None )
-      | Cost_guided ->
+            None,
+            cost )
+      | Cost_guided | Interprocedural ->
+          (* Under Interprocedural the fallback weight of a block is its
+             call-graph-scaled global frequency; measured profile counts
+             (already global — the pilot counts every dynamic entry) still
+             override per label, and are now commensurate with the
+             fallback instead of mixing per-run counts with per-invocation
+             estimates. *)
           let static = Analysis.Costmodel.static_weights cfg loops in
+          let base =
+            match (placement, global) with
+            | Interprocedural, Some g -> fun lbl -> g f.fname lbl
+            | _ -> static
+          in
           let weights =
             match profile with
-            | None -> static
+            | None -> base
             | Some p ->
                 Analysis.Costmodel.profile_weights p ~fname:f.fname
-                  ~fallback:static
+                  ~fallback:base
           in
           let cost (lbl, _) = weights lbl in
           (match Point_hs.solve_weighted ~cost sets with
-          | Ok sol ->
-              (sol.Point_hs.chosen, Some sol.Point_hs.optimality)
+          | Ok sol -> (sol.Point_hs.chosen, Some sol.Point_hs.optimality, cost)
           | Error (Analysis.Hitting_set.Empty_set _) ->
-              (naive_placement (), None))
+              (naive_placement (), None, cost))
     in
     let t5 = now () in
+    let infos =
+      List.map
+        (fun ((lbl, i) as pt) ->
+          {
+            pi_func = f.fname;
+            pi_block = lbl;
+            pi_index = i;
+            pi_weight = cost pt;
+            pi_wars =
+              List.length
+                (List.filter (List.exists (fun q -> compare_point q pt = 0))
+                   sets);
+          })
+        (Wario_support.Util.dedup_stable chosen)
+    in
     insert_checkpoints f chosen Middle_end_war;
     if dbg && t5 -. t3 > 0.2 then
       Printf.eprintf "cpi %-14s cand=%.1f hs=%.1f insert=%.1f chosen=%d
@@ -195,16 +234,18 @@ let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
         f.fname (t4 -. t3) (t5 -. t4)
         (now () -. t5)
         (List.length chosen);
-    (List.length wars, List.length chosen, opt)
+    (List.length wars, List.length chosen, opt, infos)
   end
 
 (** Insert middle-end checkpoints for the whole program; returns statistics. *)
 let run ?(mode = Analysis.Alias.Precise) ?(placement = Cost_guided) ?profile
-    (p : program) : stats =
+    ?global (p : program) : stats =
   let escapes = Analysis.Alias.escapes_of_program p in
   List.fold_left
     (fun acc f ->
-      let wars, cps, opt = run_func ~mode ~placement ~profile ~escapes f in
+      let wars, cps, opt, infos =
+        run_func ~mode ~placement ~profile ~global ~escapes f
+      in
       {
         functions = acc.functions + 1;
         wars = acc.wars + wars;
@@ -218,6 +259,14 @@ let run ?(mode = Analysis.Alias.Precise) ?(placement = Cost_guided) ?profile
           match opt with
           | Some Analysis.Hitting_set.Greedy_fallback -> 1
           | _ -> 0);
+        placements = acc.placements @ infos;
       })
-    { functions = 0; wars = 0; checkpoints = 0; exact = 0; fallback = 0 }
+    {
+      functions = 0;
+      wars = 0;
+      checkpoints = 0;
+      exact = 0;
+      fallback = 0;
+      placements = [];
+    }
     p.funcs

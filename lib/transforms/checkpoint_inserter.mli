@@ -6,13 +6,27 @@
     the {!Wario_analysis.Costmodel} block-frequency estimate (optionally
     refined by a measured profile) and the weighted solver minimises the
     expected number of dynamically executed checkpoints, proving optimality
-    when the instance is small enough.  [Greedy] retains the original
-    unweighted greedy costed by loop depth, as the comparison baseline. *)
+    when the instance is small enough.  [Interprocedural] additionally
+    scales every block weight by the {!Wario_analysis.Callgraph} invocation
+    frequency of its function, so a checkpoint in a hot callee is priced at
+    its true global cost.  [Greedy] retains the original unweighted greedy
+    costed by loop depth, as the comparison baseline. *)
 
 type placement =
   | Greedy  (** unweighted greedy hitting set costed by loop depth only *)
   | Cost_guided
       (** weighted solver minimising estimated dynamic checkpoint count *)
+  | Interprocedural
+      (** weighted solver over call-graph-scaled global block weights *)
+
+type placement_info = {
+  pi_func : string;
+  pi_block : Wario_ir.Ir.label;
+  pi_index : int;  (** instruction index the checkpoint was inserted at *)
+  pi_weight : float;  (** the weight the solver paid for this point *)
+  pi_wars : int;  (** reduced WAR sets this point covers *)
+}
+(** Rationale record for one inserted checkpoint ([--explain]). *)
 
 type stats = {
   functions : int;
@@ -20,15 +34,21 @@ type stats = {
   checkpoints : int;
   exact : int;  (** functions whose weighted cover was proven optimal *)
   fallback : int;  (** functions placed by the weighted-greedy fallback *)
+  placements : placement_info list;
+      (** one record per inserted checkpoint, function order *)
 }
 
 val run :
   ?mode:Wario_analysis.Alias.mode ->
   ?placement:placement ->
   ?profile:Wario_analysis.Costmodel.profile ->
+  ?global:(string -> Wario_ir.Ir.label -> float) ->
   Wario_ir.Ir.program ->
   stats
 (** [mode] selects the alias precision: [Basic] reproduces Ratchet,
     [Precise] (default) reproduces R-PDG / WARio.  [placement] defaults to
     [Cost_guided]; [profile] (measured per-block entry counts, validated by
-    the caller) is only consulted under [Cost_guided]. *)
+    the caller) is consulted under [Cost_guided] and [Interprocedural].
+    [global] supplies interprocedural block weights (typically
+    {!Wario_analysis.Callgraph.t.block_weight}) and is only consulted under
+    [Interprocedural]; when absent that policy degrades to [Cost_guided]. *)

@@ -66,6 +66,81 @@ type stats = { candidates : int; inlined : int }
 
 let default_hot_threshold = 32
 
+(* Cost-coupled expansion: inlining as a placement decision, made by the
+   interprocedural cost model.  Every call edge costs ~2 checkpoints
+   (callee entry + epilog) each time it runs, so an edge's a-priori score
+   is
+
+     2 * func_freq(caller) * edge_freq   (dyn-ckpt pairs elided per run)
+
+   The score only orders the audition queue: whether an inline actually
+   pays is decided by the caller (the pipeline), which compiles a trial
+   copy of the program with the candidate applied and compares measured
+   reference runs of the two final images.  Inlining deletes the call's
+   free WAR barrier, and the WARs that re-opens run at real trip counts
+   no closed-form score can see — the paper's "sometimes detrimental"
+   caveat — so the closed form proposes and the measurement disposes. *)
+
+type cand = {
+  xc_caller : string;
+  xc_callee : string;
+  xc_size : int;  (** callee instruction count when scored *)
+  xc_benefit : float;  (** 2 × func_freq(caller) × edge_freq *)
+}
+
+let costed_candidates ?(size_limit = default_size_limit)
+    (cg : Analysis.Callgraph.t) (p : program) : cand list =
+  let eligible (f : func) =
+    f.fname <> "main"
+    && (not (cg.Analysis.Callgraph.recursive f.fname))
+    && Inliner.instr_count f <= size_limit
+  in
+  List.filter_map
+    (fun (e : Analysis.Callgraph.edge) ->
+      if String.equal e.Analysis.Callgraph.cg_caller e.cg_callee then None
+      else
+        match
+          List.find_opt (fun f -> String.equal f.fname e.cg_callee) p.funcs
+        with
+        | Some cf when eligible cf ->
+            Some
+              {
+                xc_caller = e.Analysis.Callgraph.cg_caller;
+                xc_callee = cf.fname;
+                xc_size = Inliner.instr_count cf;
+                xc_benefit =
+                  2.
+                  *. cg.Analysis.Callgraph.func_freq e.cg_caller
+                  *. e.cg_freq;
+              }
+        | _ -> None)
+    cg.Analysis.Callgraph.cg_edges
+  |> List.stable_sort (fun a b -> compare b.xc_benefit a.xc_benefit)
+
+(* Each candidate stands for one Call instruction; consuming the first
+   remaining site to the callee keeps site lookup valid across the block
+   splits earlier inlines performed, and makes replaying the same
+   candidate list on a program copy land on the same sites. *)
+let apply_candidate (p : program) (c : cand) : bool =
+  match find_func_opt p c.xc_caller with
+  | None -> false
+  | Some caller -> (
+      let site =
+        List.find_map
+          (fun b ->
+            List.mapi (fun i ins -> (i, ins)) b.insns
+            |> List.find_map (fun (i, ins) ->
+                   match ins with
+                   | Call (_, callee, _) when String.equal callee c.xc_callee
+                     ->
+                       Some (b.bname, i)
+                   | _ -> None))
+          caller.blocks
+      in
+      match site with
+      | Some pt -> Inliner.inline_call caller (find_func p c.xc_callee) pt
+      | None -> false)
+
 (** Run the Expander over the program.
 
     Without [profile], candidates are guessed structurally (functions whose

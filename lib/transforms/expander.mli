@@ -19,3 +19,37 @@ val run :
     (dynamic call counts, e.g. {!Wario_emulator.Emulator.result}'s
     [call_counts]) the hot functions are inlined instead — the
     profile-guided Expander of the paper's future work (§6). *)
+
+(** {1 Cost-coupled expansion}
+
+    Under the interprocedural placement policy, inlining is a placement
+    decision: each call-graph edge is a candidate scored by the model's
+    predicted dynamic-checkpoint saving (2 entry/exit checkpoints per
+    predicted dynamic call).  The score only orders the audition queue —
+    whether a candidate actually pays is decided by the pipeline, which
+    compiles a trial copy of the program with the candidate applied and
+    keeps it only when a measured reference run of the final image
+    executes strictly fewer checkpoints (inlining deletes the call's
+    free WAR barrier, and what that re-opens runs at real trip counts
+    no closed form or static model can see). *)
+
+type cand = {
+  xc_caller : string;
+  xc_callee : string;
+  xc_size : int;  (** callee instruction count when scored *)
+  xc_benefit : float;  (** 2 × func_freq(caller) × edge_freq *)
+}
+
+val costed_candidates :
+  ?size_limit:int ->
+  Wario_analysis.Callgraph.t ->
+  Wario_ir.Ir.program ->
+  cand list
+(** Eligible call edges (defined, non-recursive, non-[main] callee of at
+    most [size_limit] instructions; self-calls excluded), sorted by
+    descending benefit.  One candidate per call site. *)
+
+val apply_candidate : Wario_ir.Ir.program -> cand -> bool
+(** Inline the first remaining call site of [xc_callee] in [xc_caller].
+    Deterministic: replaying the same candidate list on a program copy
+    lands on the same sites.  False when no site remains. *)

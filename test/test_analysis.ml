@@ -397,6 +397,277 @@ let test_hitting_set_covers () =
       Alcotest.(check bool) "covered" true (List.exists (fun e -> List.mem e r) s))
     sets
 
+(* -- random-CFG properties (qcheck) --------------------------------- *)
+
+(* Same pinned-seed idiom as test_props.ml: qcheck-alcotest otherwise
+   draws a fresh seed per run, making CI nondeterministic. *)
+let to_alcotest t =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string s with _ -> 3)
+    | None -> 3
+  in
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
+
+(* Arbitrary digraphs over n blocks — including unreachable blocks,
+   multi-entry cycles (irreducible regions) and blocks that never reach
+   an exit.  Dominance and natural-loop detection must stay correct on
+   all of them, not just on the reducible CFGs the front end emits. *)
+type rterm = T_ret | T_br of int | T_cbr of int * int
+
+let mk_cfg_func (terms : rterm array) : func =
+  let name i = "b" ^ string_of_int i in
+  let blocks =
+    Array.to_list
+      (Array.mapi
+         (fun i t ->
+           let term =
+             match t with
+             | T_ret -> Ret None
+             | T_br j -> Br (name j)
+             | T_cbr (j, k) -> Cbr (Imm 1l, name j, name k)
+           in
+           { bname = name i; insns = []; term })
+         terms)
+  in
+  {
+    fname = "f";
+    params = [];
+    slots = [];
+    blocks;
+    next_reg = 0;
+    next_label = 0;
+  }
+
+let gen_terms : rterm array QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 2 10 >>= fun n ->
+  let blk = int_range 0 (n - 1) in
+  array_repeat n
+    (frequency
+       [
+         (1, return T_ret);
+         (2, map (fun j -> T_br j) blk);
+         (3, map2 (fun j k -> T_cbr (j, k)) blk blk);
+       ])
+
+let arbitrary_terms =
+  QCheck.make
+    ~print:(fun ts ->
+      Array.to_list ts
+      |> List.mapi (fun i t ->
+             Printf.sprintf "b%d -> %s" i
+               (match t with
+               | T_ret -> "ret"
+               | T_br j -> Printf.sprintf "b%d" j
+               | T_cbr (j, k) -> Printf.sprintf "b%d|b%d" j k))
+      |> String.concat "; ")
+    gen_terms
+
+let reachable_avoiding (cfg : A.Cfg.t) (avoid : string option) : Str_set.t =
+  let seen = ref Str_set.empty in
+  let rec go l =
+    if avoid <> Some l && not (Str_set.mem l !seen) then begin
+      seen := Str_set.add l !seen;
+      List.iter go (A.Cfg.succs cfg l)
+    end
+  in
+  go (A.Cfg.entry cfg);
+  !seen
+
+let prop_dominance_bruteforce =
+  QCheck.Test.make ~count:300
+    ~name:"dominance = unreachability without the dominator" arbitrary_terms
+    (fun terms ->
+      let cfg = A.Cfg.build (mk_cfg_func terms) in
+      let dom = A.Dominance.build cfg in
+      let reach = reachable_avoiding cfg None in
+      Str_set.for_all
+        (fun a ->
+          Str_set.for_all
+            (fun b ->
+              (* every entry->b path passes a  <=>  removing a cuts b off *)
+              let brute =
+                a = b || not (Str_set.mem b (reachable_avoiding cfg (Some a)))
+              in
+              A.Dominance.dominates dom a b = brute)
+            reach)
+        reach)
+
+let prop_loops_well_formed =
+  QCheck.Test.make ~count:300 ~name:"natural loops are well formed"
+    arbitrary_terms (fun terms ->
+      let cfg = A.Cfg.build (mk_cfg_func terms) in
+      let dom = A.Dominance.build cfg in
+      let loops = A.Loops.build cfg dom in
+      List.for_all
+        (fun (l : A.Loops.loop) ->
+          Str_set.mem l.A.Loops.header l.A.Loops.blocks
+          && l.A.Loops.latches <> []
+          && List.for_all
+               (fun latch ->
+                 Str_set.mem latch l.A.Loops.blocks
+                 && List.mem l.A.Loops.header (A.Cfg.succs cfg latch))
+               l.A.Loops.latches
+          && Str_set.for_all
+               (fun b -> A.Dominance.dominates dom l.A.Loops.header b)
+               l.A.Loops.blocks
+          && l.A.Loops.depth >= 1)
+        loops.A.Loops.loops
+      && List.for_all
+           (fun lbl ->
+             let d = loops.A.Loops.depth_of lbl in
+             let containing =
+               List.filter
+                 (fun (l : A.Loops.loop) -> Str_set.mem lbl l.A.Loops.blocks)
+                 loops.A.Loops.loops
+             in
+             (d > 0) = (containing <> [])
+             && d <= List.length containing
+             &&
+             match A.Loops.innermost_containing loops lbl with
+             | None -> containing = []
+             | Some l ->
+                 Str_set.mem lbl l.A.Loops.blocks
+                 && l.A.Loops.depth = d)
+           (A.Cfg.labels cfg))
+
+let test_irreducible_cycle () =
+  (* entry -> {a, b}; a <-> b: a two-entry (irreducible) cycle.  Neither
+     node dominates the other, so there is no natural loop here — but
+     dominance must still be exact. *)
+  let f =
+    mk_cfg_func [| T_cbr (1, 2); T_br 2; T_cbr (1, 3); T_ret |]
+  in
+  let cfg = A.Cfg.build f in
+  let dom = A.Dominance.build cfg in
+  Alcotest.(check bool) "entry dominates a" true
+    (A.Dominance.dominates dom "b0" "b1");
+  Alcotest.(check bool) "entry dominates b" true
+    (A.Dominance.dominates dom "b0" "b2");
+  Alcotest.(check bool) "a does not dominate b" false
+    (A.Dominance.dominates dom "b1" "b2");
+  Alcotest.(check bool) "b does not dominate a" false
+    (A.Dominance.dominates dom "b2" "b1");
+  let loops = A.Loops.build cfg dom in
+  Alcotest.(check int) "no natural loops" 0
+    (List.length loops.A.Loops.loops);
+  List.iter
+    (fun l -> Alcotest.(check int) ("depth " ^ l) 0 (loops.A.Loops.depth_of l))
+    (A.Cfg.labels cfg)
+
+let test_deeply_nested_loops () =
+  (* d nested natural loops: h_i -> h_{i+1} | l_{i-1}; l_i -> h_i *)
+  let d = 6 in
+  (* block numbering: 0 = entry, 1..d = headers, d+1..2d = latches
+     (latch of loop i = d + i), 2d+1 = exit *)
+  let header i = i and latch i = d + i in
+  let exit_b = (2 * d) + 1 in
+  let terms = Array.make ((2 * d) + 2) T_ret in
+  terms.(0) <- T_br (header 1);
+  for i = 1 to d - 1 do
+    terms.(header i) <-
+      T_cbr (header (i + 1), if i = 1 then exit_b else latch (i - 1))
+  done;
+  terms.(header d) <- T_cbr (latch d, latch (d - 1));
+  for i = 1 to d do
+    terms.(latch i) <- T_br (header i)
+  done;
+  let cfg = A.Cfg.build (mk_cfg_func terms) in
+  let dom = A.Dominance.build cfg in
+  let loops = A.Loops.build cfg dom in
+  Alcotest.(check int) "one loop per nesting level" d
+    (List.length loops.A.Loops.loops);
+  for i = 1 to d do
+    Alcotest.(check int)
+      (Printf.sprintf "header %d at depth %d" i i)
+      i
+      (loops.A.Loops.depth_of ("b" ^ string_of_int (header i)))
+  done;
+  Alcotest.(check int) "exit outside every loop" 0
+    (loops.A.Loops.depth_of ("b" ^ string_of_int exit_b))
+
+(* -- interprocedural call graph ------------------------------------- *)
+
+let call_loop_prog () : program =
+  (* main calls f from a loop body; z is never called *)
+  let mk name blocks =
+    { fname = name; params = []; slots = []; blocks; next_reg = 0;
+      next_label = 0 }
+  in
+  let main =
+    mk "main"
+      [
+        { bname = "entry"; insns = []; term = Br "header" };
+        { bname = "header"; insns = []; term = Cbr (Imm 1l, "body", "exit") };
+        {
+          bname = "body";
+          insns = [ Call (None, "f", []) ];
+          term = Br "header";
+        };
+        { bname = "exit"; insns = []; term = Ret None };
+      ]
+  in
+  let f = mk "f" [ { bname = "entry"; insns = []; term = Ret None } ] in
+  let z = mk "z" [ { bname = "entry"; insns = []; term = Ret None } ] in
+  { globals = []; funcs = [ main; f; z ] }
+
+let test_callgraph_hot_callee () =
+  let cg = A.Callgraph.build (call_loop_prog ()) in
+  Alcotest.(check bool) "main at the root" true
+    (cg.A.Callgraph.func_freq "main" = 1.0);
+  (* f is called once per iteration of main's loop: its invocation
+     frequency is the loop trip guess, not 1 *)
+  let ff = cg.A.Callgraph.func_freq "f" in
+  Alcotest.(check bool)
+    (Printf.sprintf "f's frequency reflects the loop (%g)" ff)
+    true
+    (ff > 2. && ff < 100.);
+  (* a block inside f is priced at the caller's rate *)
+  Alcotest.(check bool) "f's entry priced interprocedurally" true
+    (cg.A.Callgraph.block_weight "f" "entry"
+    >= ff *. cg.A.Callgraph.local_weight "f" "entry" -. 1e-9);
+  (* one edge, from the loop body, with the body's frequency *)
+  (match cg.A.Callgraph.cg_edges with
+  | [ e ] ->
+      Alcotest.(check string) "edge site" "body" e.A.Callgraph.cg_site;
+      Alcotest.(check bool) "edge frequency > 1" true (e.A.Callgraph.cg_freq > 1.)
+  | es -> Alcotest.failf "expected one edge, got %d" (List.length es));
+  Alcotest.(check bool) "nothing recursive" true
+    (not (cg.A.Callgraph.recursive "main" || cg.A.Callgraph.recursive "f"))
+
+let test_callgraph_unreached_defaults () =
+  let cg = A.Callgraph.build (call_loop_prog ()) in
+  (* never-called functions keep per-invocation weights instead of
+     vanishing below every other block *)
+  Alcotest.(check bool) "unreached function frequency is 1" true
+    (cg.A.Callgraph.func_freq "z" = 1.0)
+
+let test_callgraph_recursion_finite () =
+  let mk name insns term =
+    { fname = name; params = []; slots = [];
+      blocks = [ { bname = "entry"; insns; term } ];
+      next_reg = 0; next_label = 0 }
+  in
+  let main = mk "main" [ Call (None, "r", []) ] (Ret None) in
+  let r =
+    { fname = "r"; params = []; slots = [];
+      blocks =
+        [
+          { bname = "entry"; insns = []; term = Cbr (Imm 1l, "rec", "out") };
+          { bname = "rec"; insns = [ Call (None, "r", []) ]; term = Br "out" };
+          { bname = "out"; insns = []; term = Ret None };
+        ];
+      next_reg = 0; next_label = 0 }
+  in
+  let cg = A.Callgraph.build { globals = []; funcs = [ main; r ] } in
+  Alcotest.(check bool) "r marked recursive" true (cg.A.Callgraph.recursive "r");
+  let fr = cg.A.Callgraph.func_freq "r" in
+  Alcotest.(check bool)
+    (Printf.sprintf "recursive frequency finite and positive (%g)" fr)
+    true
+    (Float.is_finite fr && fr > 0.)
+
 let suite =
   [
     Alcotest.test_case "cfg: successors/preds/exits" `Quick test_cfg;
@@ -419,4 +690,15 @@ let suite =
     Alcotest.test_case "hitting set: cost aware" `Quick test_hitting_set_cost;
     Alcotest.test_case "hitting set: empty set" `Quick test_hitting_set_empty_set;
     Alcotest.test_case "hitting set: cover property" `Quick test_hitting_set_covers;
+    to_alcotest prop_dominance_bruteforce;
+    to_alcotest prop_loops_well_formed;
+    Alcotest.test_case "loops: irreducible cycle has no natural loop" `Quick
+      test_irreducible_cycle;
+    Alcotest.test_case "loops: deep nesting" `Quick test_deeply_nested_loops;
+    Alcotest.test_case "callgraph: hot callee priced globally" `Quick
+      test_callgraph_hot_callee;
+    Alcotest.test_case "callgraph: unreached stays per-invocation" `Quick
+      test_callgraph_unreached_defaults;
+    Alcotest.test_case "callgraph: recursion finite" `Quick
+      test_callgraph_recursion_finite;
   ]

@@ -129,7 +129,7 @@ let test_guard_never_worse_than_greedy () =
       Alcotest.(check bool)
         (name ^ ": guard measured every candidate")
         true
-        (List.length pilot.Wario.Pgo.measured = 3);
+        (List.length pilot.Wario.Pgo.measured = 4);
       Alcotest.(check bool)
         (name ^ ": selected never executes more checkpoints than greedy")
         true
@@ -175,6 +175,72 @@ let test_elide_off_by_default () =
   Alcotest.(check bool) "no elision stats without elide" true
     (c.P.elision = None)
 
+(* -- interprocedural policy ----------------------------------------- *)
+
+let inter_opts =
+  {
+    P.default_options with
+    P.placement = T.Interprocedural;
+    elide = true;
+    motion = true;
+  }
+
+let test_inter_certified_same_results () =
+  let src = bench "sha" in
+  let base = P.compile P.Wario src in
+  let c = P.compile ~opts:inter_opts P.Wario src in
+  (match P.certify c with
+  | Wario_certify.Certify.Certified _ -> ()
+  | Wario_certify.Certify.Rejected _ ->
+      Alcotest.fail "interprocedural build rejected by the certifier");
+  let r1 = E.Emulator.run base.P.image and r2 = E.Emulator.run c.P.image in
+  Alcotest.(check (list int32)) "outputs agree" r1.E.Emulator.output
+    r2.E.Emulator.output;
+  Alcotest.(check int32) "exit codes agree" r1.E.Emulator.exit_code
+    r2.E.Emulator.exit_code;
+  (* survives intermittent power: elided brackets and moved checkpoints
+     must still give a crash-consistent image *)
+  let r3 = E.Emulator.run ~supply:(E.Power.Periodic 100_000) c.P.image in
+  Alcotest.(check (list int32)) "intermittent output agrees"
+    r1.E.Emulator.output r3.E.Emulator.output;
+  Alcotest.(check bool) "never executes more checkpoints" true
+    (dyn c.P.image <= dyn base.P.image)
+
+let test_inter_decisions_carry_verdicts () =
+  let c = P.compile ~opts:inter_opts P.Wario (bench "crc") in
+  (* every proposed motion move carries the certifier's verdict, and
+     applied <=> certified *)
+  (match c.P.motion with
+  | None -> Alcotest.fail "motion=true produced no motion stats"
+  | Some m ->
+      List.iter
+        (fun (mv : Wario.Motion.move) ->
+          Alcotest.(check bool) "move has a verdict" true
+            (String.length mv.Wario.Motion.mv_verdict > 0);
+          Alcotest.(check bool) "applied iff certified" true
+            (mv.Wario.Motion.mv_applied
+            = (mv.Wario.Motion.mv_verdict = "certified")))
+        m.Wario.Motion.moves);
+  (* bracket elisions were audited (and only ever removed) *)
+  (match c.P.elision with
+  | None -> Alcotest.fail "elide=true produced no elision stats"
+  | Some e ->
+      Alcotest.(check bool) "brackets audited" true
+        (e.Wario.Elide.boundary_tried > 0);
+      Alcotest.(check bool) "kept at most what it tried" true
+        (e.Wario.Elide.boundary_elided <= e.Wario.Elide.boundary_tried));
+  (* the --explain payload: per-checkpoint rationale and call-graph
+     frequencies are populated under the interprocedural policy *)
+  Alcotest.(check bool) "placement rationale non-empty" true
+    (c.P.middle.P.placements <> []);
+  List.iter
+    (fun (p : T.placement_info) ->
+      Alcotest.(check bool) "placement weight positive" true
+        (p.T.pi_weight > 0.))
+    c.P.middle.P.placements;
+  Alcotest.(check bool) "function frequencies present" true
+    (c.P.middle.P.func_freqs <> [])
+
 let suite =
   [
     Alcotest.test_case "mangle agrees with isel" `Quick
@@ -192,4 +258,8 @@ let suite =
       test_elision_certified_and_no_worse;
     Alcotest.test_case "elision: off by default" `Quick
       test_elide_off_by_default;
+    Alcotest.test_case "inter: certified, same results, never worse" `Slow
+      test_inter_certified_same_results;
+    Alcotest.test_case "inter: decisions carry certifier verdicts" `Slow
+      test_inter_decisions_carry_verdicts;
   ]
