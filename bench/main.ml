@@ -27,6 +27,14 @@ module X = Wario_exec.Exec
 
 let benchmarks = W.all
 
+(* Span recording: live exactly when --span-out/--span-jsonl was given.
+   The driver wraps every artefact in a "bench.<name>" span and the
+   parallel fan-outs below contribute pool/worker utilization spans; the
+   recorder is only ever touched by the driver domain. *)
+let opt_span_out : string option ref = ref None
+let opt_span_jsonl : string option ref = ref None
+let spans = ref O.Span.disabled
+
 let instrumented_envs =
   [ P.Ratchet; P.R_pdg; P.Epilog_opt; P.Write_cluster; P.Loop_cluster;
     P.Wario; P.Wario_expander ]
@@ -74,7 +82,9 @@ let prefill ~jobs ?(unroll = 8) (grid : (W.benchmark * P.environment) list) =
   let missing =
     List.filter (fun (b, env) -> not (Hashtbl.mem cache (key_of ~unroll b env))) grid
   in
-  X.map ~jobs (fun (b, env) -> compute ~unroll b env) missing
+  X.map ~jobs ~spans:!spans ~label:"bench.prefill"
+    (fun (b, env) -> compute ~unroll b env)
+    missing
   |> List.iter2
        (fun (b, env) e ->
          warn_violations b env e;
@@ -866,7 +876,7 @@ let place () =
   (* every job compiles and measures its own program (nothing shared);
      results come back in input order *)
   let rows =
-    X.map ~jobs:(resolved_jobs ())
+    X.map ~jobs:(resolved_jobs ()) ~spans:!spans ~label:"bench.place.map"
       (fun (name, src, is_bench) ->
         let cs = Wario.Pgo.compile_candidates ~opts P.Wario src in
         let images =
@@ -1131,7 +1141,7 @@ let place6 () =
     [ Wario.Pgo.Greedy; Wario.Pgo.Static; Wario.Pgo.Profile; Wario.Pgo.Inter ]
   in
   let rows =
-    X.map ~jobs:(resolved_jobs ())
+    X.map ~jobs:(resolved_jobs ()) ~spans:!spans ~label:"bench.place6.map"
       (fun (name, src, is_bench) ->
         let cs = Wario.Pgo.compile_candidates ~opts P.Wario src in
         let images =
@@ -1454,6 +1464,18 @@ let () =
     | "--small" :: rest ->
         opt_small := true;
         parse out_dir names rest
+    | "--span-out" :: path :: rest ->
+        opt_span_out := Some path;
+        parse out_dir names rest
+    | [ "--span-out" ] ->
+        prerr_endline "bench: --span-out requires a file argument";
+        exit 1
+    | "--span-jsonl" :: path :: rest ->
+        opt_span_jsonl := Some path;
+        parse out_dir names rest
+    | [ "--span-jsonl" ] ->
+        prerr_endline "bench: --span-jsonl requires a file argument";
+        exit 1
     | "--artefact" :: name :: rest -> parse out_dir (name :: names) rest
     | [ "--artefact" ] ->
         prerr_endline "bench: --artefact requires an artefact name";
@@ -1476,16 +1498,21 @@ let () =
   (match out_dir with
   | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
   | _ -> ());
+  if !opt_span_out <> None || !opt_span_jsonl <> None then
+    spans := O.Span.create ();
   let t0 = Unix.gettimeofday () in
   (* warm the compile+run cache for the unroll-8 grid on all domains:
      every artefact after this hits the cache instead of recompiling *)
-  prefill ~jobs:(resolved_jobs ())
-    (List.concat_map
-       (fun b -> List.map (fun env -> (b, env)) (P.Plain :: instrumented_envs))
-       benchmarks);
+  O.Span.with_span !spans "bench.prefill_grid" (fun () ->
+      prefill ~jobs:(resolved_jobs ())
+        (List.concat_map
+           (fun b ->
+             List.map (fun env -> (b, env)) (P.Plain :: instrumented_envs))
+           benchmarks));
   List.iter
     (fun name ->
       let f = List.assoc name artefacts in
+      let f () = O.Span.with_span !spans ("bench." ^ name) f in
       match out_dir with
       | None -> f ()
       | Some d ->
@@ -1493,4 +1520,24 @@ let () =
           Printf.eprintf "[bench] %s -> %s\n%!" name path;
           with_stdout_to path f)
     requested;
+  (* span artefacts: self-check attribution before anything is written —
+     a trace whose children overflow their parents must fail the run *)
+  (if O.Span.is_enabled !spans then begin
+     let roots = O.Span.roots !spans in
+     (match O.Span.check roots with
+     | Ok () -> ()
+     | Error e ->
+         Printf.eprintf "bench: span self-check failed: %s\n" e;
+         exit 1);
+     let write path body =
+       let oc = open_out_bin path in
+       output_string oc body;
+       close_out oc;
+       Printf.printf "wrote %s\n" path
+     in
+     Option.iter
+       (fun p -> write p (O.Span.to_chrome_json ~process_name:"bench" roots))
+       !opt_span_out;
+     Option.iter (fun p -> write p (O.Span.to_jsonl roots)) !opt_span_jsonl
+   end);
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

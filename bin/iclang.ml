@@ -155,6 +155,56 @@ let supply_of power trace =
   | None, Some t -> Error ("unknown trace " ^ t ^ " (rf|solar)")
   | None, None -> Ok E.Power.Continuous
 
+(* --- span output (--span-out / --span-jsonl) --- *)
+
+let span_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "span-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the hierarchical span trace of this invocation (pipeline            stages, certifier rechecks, PGO auditions, campaign phases,            worker utilization) as Chrome trace-event JSON to FILE (load in            Perfetto or chrome://tracing).")
+
+let span_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "span-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Write the same spans as JSONL (one span per line) to FILE — the            input format of $(b,iclang stats --spans).")
+
+(* A live recorder exactly when some span output was requested; everywhere
+   else the disabled recorder keeps the instrumentation free. *)
+let span_recorder span_out span_jsonl =
+  if span_out <> None || span_jsonl <> None then O.Span.create ()
+  else O.Span.disabled
+
+let write_span_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Self-check before writing: a trace whose children overflow their
+   parents is an attribution bug, and shipping it would poison every
+   downstream trend report. *)
+let flush_spans ~process_name spans span_out span_jsonl =
+  if O.Span.is_enabled spans then begin
+    let roots = O.Span.roots spans in
+    (match O.Span.check roots with
+    | Ok () -> ()
+    | Error e -> failwith ("span self-check failed: " ^ e));
+    Option.iter
+      (fun p ->
+        write_span_file p (O.Span.to_chrome_json ~process_name roots);
+        Printf.printf "spans: wrote Chrome trace to %s\n" p)
+      span_out;
+    Option.iter
+      (fun p ->
+        write_span_file p (O.Span.to_jsonl roots);
+        Printf.printf "spans: wrote JSONL to %s\n" p)
+      span_jsonl
+  end
+
 (* --- --explain: per-checkpoint placement rationale --- *)
 
 let write_text path s =
@@ -435,7 +485,7 @@ let write_file path s =
   close_out oc
 
 let do_trace file benchmark env unroll max_region no_opt power trace irq out
-    metrics_out folded_out show_profile ring_cap jobs =
+    metrics_out folded_out show_profile ring_cap jobs span_out span_jsonl =
   match resolve_jobs jobs with
   | Error e -> `Error (true, e)
   | Ok jobs -> (
@@ -444,15 +494,24 @@ let do_trace file benchmark env unroll max_region no_opt power trace irq out
   | Ok src -> (
       try
         let metrics = O.Metrics.create () in
+        let spans = span_recorder span_out span_jsonl in
         let c =
-          P.compile ~opts:(opts_of ?max_region ~no_opt unroll) ~metrics env src
+          P.compile ~opts:(opts_of ?max_region ~no_opt unroll) ~metrics ~spans
+            env src
         in
         let supply =
           match supply_of power trace with Ok s -> s | Error e -> failwith e
         in
         let sink = O.Trace.ring ~capacity:ring_cap () in
         let r =
-          E.Emulator.run ~supply ~irq_period:irq ~tracer:sink c.P.image
+          O.Span.with_span spans "emulator.run" (fun () ->
+              let r =
+                E.Emulator.run ~supply ~irq_period:irq ~tracer:sink c.P.image
+              in
+              O.Span.add_counter ~by:r.E.Emulator.cycles spans "cycles";
+              O.Span.add_counter ~by:r.E.Emulator.checkpoints_total spans
+                "dyn_ckpts";
+              r)
         in
         O.Metrics.set metrics "run.cycles" r.E.Emulator.cycles;
         O.Metrics.set metrics "run.instrs" r.E.Emulator.instrs;
@@ -488,7 +547,7 @@ let do_trace file benchmark env unroll max_region no_opt power trace irq out
             ]
         in
         let rendered =
-          X.map ~jobs
+          X.map ~jobs ~spans ~label:"trace.render"
             (fun (kind, path) ->
               let body =
                 match kind with
@@ -555,6 +614,8 @@ let do_trace file benchmark env unroll max_region no_opt power trace irq out
                  "trace inconsistency: %d attributed cycles vs %d total"
                  attributed r.E.Emulator.cycles)
         end;
+        flush_spans
+          ~process_name:("iclang trace " ^ name) spans span_out span_jsonl;
         `Ok ()
       with
       | Wario_minic.Minic.Error e -> `Error (false, e)
@@ -624,7 +685,8 @@ let trace_cmd =
       ret
         (const do_trace $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
        $ max_region_arg $ no_opt_arg $ power $ trace $ irq $ out $ metrics_out
-       $ folded_out $ show_profile $ ring_cap $ jobs_arg))
+       $ folded_out $ show_profile $ ring_cap $ jobs_arg $ span_out_arg
+       $ span_jsonl_arg))
 
 (* --- verify --- *)
 
@@ -711,7 +773,7 @@ let do_corpus dir =
   else `Error (false, "corpus replay: expectations not upheld")
 
 let do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
-    ~corpus_out ~coverage_out ~seed ~opts ~jobs =
+    ~corpus_out ~coverage_out ~seed ~opts ~jobs ~spans =
   let budget =
     match schedules with
     | Some n -> n
@@ -734,7 +796,7 @@ let do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
     "campaign: %d environment(s) × %d workload(s), budget %d schedules per \
      case, seed %Ld, %d job(s)\n%!"
     (List.length config_envs) (List.length workloads) budget seed jobs;
-  let reports = V.Campaign.run ~log config in
+  let reports = V.Campaign.run ~log ~spans config in
   print_string (Wario.Report.campaign_table (V.Campaign.report_rows reports));
   (match coverage_out with
   | None -> ()
@@ -772,10 +834,25 @@ let do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
 
 let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
     drop_ckpt placement jobs repro campaign small min_coverage corpus_out
-    coverage_out corpus =
+    coverage_out corpus span_out span_jsonl =
   match resolve_jobs jobs with
   | Error e -> `Error (true, e)
   | Ok jobs -> (
+  let spans = span_recorder span_out span_jsonl in
+  let finish name r =
+    match r with
+    | `Ok () ->
+        (try
+           flush_spans ~process_name:name spans span_out span_jsonl;
+           `Ok ()
+         with Failure e -> `Error (false, e))
+    | err ->
+        (* still flush on gate failures: the trace of a failing campaign is
+           exactly the one worth keeping *)
+        (try flush_spans ~process_name:name spans span_out span_jsonl
+         with Failure e -> Printf.eprintf "%s\n" e);
+        err
+  in
   match repro with
   | Some line -> (
       match V.Repro.of_string line with
@@ -811,17 +888,18 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
       match named_workloads with
       | Error e -> `Error (false, e)
       | Ok workloads when campaign ->
-          do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
-            ~corpus_out ~coverage_out ~seed
-            ~opts:
-              (apply_placement placement
-                 {
-                   P.default_options with
-                   unroll_factor = unroll;
-                   max_region;
-                   drop_middle_ckpt = drop_ckpt;
-                 })
-            ~jobs
+          finish "iclang verify --campaign"
+            (do_campaign ~config_envs ~workloads ~schedules ~small
+               ~min_coverage ~corpus_out ~coverage_out ~seed
+               ~opts:
+                 (apply_placement placement
+                    {
+                      P.default_options with
+                      unroll_factor = unroll;
+                      max_region;
+                      drop_middle_ckpt = drop_ckpt;
+                    })
+               ~jobs ~spans)
       | Ok workloads ->
           let schedules = Option.value schedules ~default:200 in
           let config =
@@ -857,7 +935,16 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
              schedules each, seed %Ld, %d job(s)\n%!"
             (List.length config_envs) (List.length workloads) schedules seed
             jobs;
-          let reports = V.Harness.sweep ~log config in
+          let reports =
+            O.Span.with_span spans "verify.sweep" (fun () ->
+                let reports = V.Harness.sweep ~log config in
+                O.Span.add_counter spans "schedules"
+                  ~by:
+                    (List.fold_left
+                       (fun acc r -> acc + r.V.Harness.c_schedules)
+                       0 reports);
+                reports)
+          in
           let total =
             List.fold_left
               (fun acc r -> acc + r.V.Harness.c_schedules)
@@ -868,10 +955,11 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
             "%d case(s), %d schedule(s) injected, %d consistency failure(s), \
              %d static rejection(s)\n"
             (List.length reports) total failures (List.length rejected);
-          if failures = 0 && rejected = [] then `Ok ()
-          else if failures = 0 then
-            `Error (false, "static certifier rejected some builds")
-          else `Error (false, "crash-consistency violations detected"))))
+          finish "iclang verify"
+            (if failures = 0 && rejected = [] then `Ok ()
+             else if failures = 0 then
+               `Error (false, "static certifier rejected some builds")
+             else `Error (false, "crash-consistency violations detected")))))
 
 let verify_cmd =
   let envs =
@@ -979,7 +1067,7 @@ let verify_cmd =
         (const do_verify $ envs $ workloads $ schedules $ seed
        $ exhaustive_limit $ unroll_arg $ max_region_arg $ drop_ckpt
        $ placement_arg $ jobs_arg $ repro $ campaign $ small $ min_coverage
-       $ corpus_out $ coverage_out $ corpus))
+       $ corpus_out $ coverage_out $ corpus $ span_out_arg $ span_jsonl_arg))
 
 (* --- certify --- *)
 
@@ -1091,7 +1179,7 @@ let certify_cmd =
 (* --- pgo --- *)
 
 let do_pgo file benchmark env unroll max_region no_opt power trace stats
-    explain =
+    explain span_out span_jsonl =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok src -> (
@@ -1100,6 +1188,7 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats
           failwith
             "pgo needs an instrumented environment (plain-c places no \
              checkpoints)";
+        let spans = span_recorder span_out span_jsonl in
         let opts =
           {
             (opts_of ?max_region ~no_opt unroll) with
@@ -1107,7 +1196,7 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats
             motion = true;
           }
         in
-        let cs = Wario.Pgo.compile_candidates ~opts env src in
+        let cs = Wario.Pgo.compile_candidates ~opts ~spans env src in
         let pilot = cs.Wario.Pgo.pilot in
         Printf.printf "pilot: %d cycles under continuous power\n"
           pilot.Wario.Pgo.pilot_cycles;
@@ -1154,7 +1243,14 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats
             Printf.printf "placement rationale for %s written to %s\n"
               (Wario.Pgo.variant_name pilot.Wario.Pgo.selected)
               path);
-        let r = E.Emulator.run ~supply best.P.image in
+        let r =
+          O.Span.with_span spans "pgo.final_run" (fun () ->
+              let r = E.Emulator.run ~supply best.P.image in
+              O.Span.add_counter ~by:r.E.Emulator.cycles spans "cycles";
+              O.Span.add_counter ~by:r.E.Emulator.checkpoints_total spans
+                "dyn_ckpts";
+              r)
+        in
         List.iter (fun v -> Printf.printf "%ld\n" v) r.E.Emulator.output;
         Printf.printf "exit=%ld\n" r.E.Emulator.exit_code;
         if stats then begin
@@ -1176,7 +1272,10 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats
           `Error (false, "static certifier rejected a candidate build")
         else if r.E.Emulator.violations <> [] then
           `Error (false, "WAR violations detected")
-        else `Ok ()
+        else begin
+          flush_spans ~process_name:"iclang pgo" spans span_out span_jsonl;
+          `Ok ()
+        end
       with
       | Wario_minic.Minic.Error e -> `Error (false, e)
       | Failure e -> `Error (false, e)
@@ -1210,7 +1309,133 @@ let pgo_cmd =
     Term.(
       ret
         (const do_pgo $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
-       $ max_region_arg $ no_opt_arg $ power $ trace $ stats $ explain_arg))
+       $ max_region_arg $ no_opt_arg $ power $ trace $ stats $ explain_arg
+       $ span_out_arg $ span_jsonl_arg))
+
+(* --- stats --- *)
+
+let do_stats bench_files span_files coverage_files budgets_file gate_flag top =
+  let module J = Wario_support.Json in
+  let module St = Wario.Stats in
+  try
+    (* BENCH generations, in the order given (pass oldest first) *)
+    let gens =
+      List.map
+        (fun path ->
+          let label = Filename.remove_extension (Filename.basename path) in
+          match St.load_generation ~label (read_file path) with
+          | Ok g -> g
+          | Error e -> failwith e)
+        bench_files
+    in
+    if gens <> [] then print_string (St.render_trend gens);
+    (* span JSONL: rebuild the trees, re-run the attribution self-check,
+       then report the slowest spans and per-worker utilization *)
+    List.iter
+      (fun path ->
+        match O.Span.of_jsonl (read_file path) with
+        | Error e -> failwith (path ^ ": " ^ e)
+        | Ok roots ->
+            (match O.Span.check roots with
+            | Ok () -> ()
+            | Error e -> failwith (path ^ ": span self-check failed: " ^ e));
+            Printf.printf "\n-- spans: %s --\n" path;
+            print_string (St.render_spans ~k:top roots))
+      span_files;
+    (* campaign coverage artifacts: the one-line fleet summary *)
+    List.iter
+      (fun path ->
+        let doc =
+          match J.parse (read_file path) with
+          | Ok d -> d
+          | Error e -> failwith (path ^ ": " ^ e)
+        in
+        let get name f = Option.bind (J.member name doc) f in
+        Printf.printf
+          "\ncampaign %s: %d case(s), min boundary coverage %.1f%%, %d \
+           failure(s)\n"
+          path
+          (match get "cases" J.to_list with
+          | Some l -> List.length l
+          | None -> 0)
+          (Option.value ~default:0. (get "min_boundary_pct" J.to_float))
+          (Option.value ~default:0 (get "total_failures" J.to_int)))
+      coverage_files;
+    match budgets_file with
+    | None ->
+        if gate_flag then
+          `Error (false, "--gate needs a budget file (--budgets FILE)")
+        else `Ok ()
+    | Some path ->
+        let doc =
+          match J.parse (read_file path) with
+          | Ok d -> d
+          | Error e -> failwith (path ^ ": " ^ e)
+        in
+        let budgets =
+          match St.budgets_of_json doc with
+          | Ok b -> b
+          | Error e -> failwith (path ^ ": " ^ e)
+        in
+        let breaches = St.gate ~budgets gens in
+        print_newline ();
+        print_string (St.render_breaches breaches);
+        if breaches <> [] && gate_flag then
+          `Error (false, "regression budget breached")
+        else `Ok ()
+  with
+  | Failure e -> `Error (false, e)
+  | Sys_error e -> `Error (false, e)
+
+let stats_cmd =
+  let bench_files =
+    Arg.(
+      value & opt_all string []
+      & info [ "bench" ] ~docv:"FILE"
+          ~doc:
+            "A BENCH_*.json generation (repeatable; pass oldest first —            deltas run oldest to newest).")
+  in
+  let span_files =
+    Arg.(
+      value & opt_all string []
+      & info [ "spans" ] ~docv:"FILE"
+          ~doc:
+            "A span JSONL file written by --span-jsonl (repeatable).  Each            file is self-checked (child time must fit its parent) before            the top-k and worker-utilization tables are printed.")
+  in
+  let coverage_files =
+    Arg.(
+      value & opt_all string []
+      & info [ "coverage" ] ~docv:"FILE"
+          ~doc:
+            "A campaign coverage JSON written by verify --coverage-out            (repeatable).")
+  in
+  let budgets_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "budgets" ] ~docv:"FILE"
+          ~doc:
+            "Regression budgets: {\"budgets\": [{\"program\": NAME,            \"max_dyn_ckpts\": N, \"max_cycles\": N}, ...]}.  Each program            is checked against its newest generation; a budgeted program            missing from every generation is itself a breach.")
+  in
+  let gate_flag =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:"Exit nonzero when any budget is breached (the CI gate).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Slowest spans to list (default 10).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Ingest run artifacts (BENCH_*.json generations, span JSONL,            campaign coverage JSON) and print a trend report: per-program            dyn-ckpt/cycle deltas, top-k slowest spans, worker utilization            — optionally gated against regression budgets")
+    Term.(
+      ret
+        (const do_stats $ bench_files $ span_files $ coverage_files
+       $ budgets_file $ gate_flag $ top))
 
 (* --- list-benchmarks --- *)
 
@@ -1228,6 +1453,7 @@ let main =
   Cmd.group
     (Cmd.info "iclang" ~version:"1.0"
        ~doc:"WARio: efficient code generation for intermittent computing")
-    [ compile_cmd; run_cmd; trace_cmd; verify_cmd; certify_cmd; pgo_cmd; list_cmd ]
+    [ compile_cmd; run_cmd; trace_cmd; verify_cmd; certify_cmd; pgo_cmd;
+      stats_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

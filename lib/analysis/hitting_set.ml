@@ -43,6 +43,10 @@ struct
     chosen : Elt.t list;  (** sorted by [Elt.compare] *)
     total_cost : float;
     optimality : optimality;
+    nodes_explored : int;
+        (** branch-and-bound nodes visited (0 when the exact search was
+            never attempted) — the span/metrics attribution for solver
+            effort, including budget-exhausted fallbacks *)
   }
 
   (* intern elements (hashed: candidate families can hold millions) *)
@@ -186,7 +190,7 @@ struct
      sets.  Lower bound: greedily collect element-disjoint uncovered sets —
      any cover must pay at least the cheapest element of each — memoized
      per covered-mask.  Returns the cheapest cover as element ids. *)
-  let branch_and_bound ~budget sets costs incumbent incumbent_cost =
+  let branch_and_bound ~budget ~nodes sets costs incumbent incumbent_cost =
     let ns = Array.length sets in
     let ne = Array.length costs in
     let full = (1 lsl ns) - 1 in
@@ -223,7 +227,6 @@ struct
           !lb
     in
     let best = ref incumbent and best_cost = ref incumbent_cost in
-    let nodes = ref 0 in
     let rec go covered acc acc_cost =
       incr nodes;
       if !nodes > budget then raise Budget_exhausted;
@@ -325,7 +328,7 @@ struct
     match first_empty 0 sets with
     | Some i -> Error (Empty_set i)
     | None when sets = [] ->
-        Ok { chosen = []; total_cost = 0.; optimality = Exact }
+        Ok { chosen = []; total_cost = 0.; optimality = Exact; nodes_explored = 0 }
     | None ->
         let isets, elems = intern_sets sets in
         let costs = Array.map cost elems in
@@ -333,12 +336,14 @@ struct
         let greedy_cost =
           List.fold_left (fun a e -> a +. cost e) 0. greedy
         in
+        let nodes = ref 0 in
         let finish optimality chosen total_cost =
           Ok
             {
               chosen = List.sort_uniq Elt.compare chosen;
               total_cost;
               optimality;
+              nodes_explored = !nodes;
             }
         in
         let reduced = reduce_family isets in
@@ -363,8 +368,8 @@ struct
               greedy
           in
           match
-            branch_and_bound ~budget:node_budget reduced costs greedy_ids
-              greedy_cost
+            branch_and_bound ~budget:node_budget ~nodes reduced costs
+              greedy_ids greedy_cost
           with
           | ids, total ->
               finish Exact (List.map (fun i -> elems.(i)) ids) total

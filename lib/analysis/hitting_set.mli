@@ -27,6 +27,10 @@ end) : sig
     chosen : Elt.t list;  (** sorted by [Elt.compare], duplicate-free *)
     total_cost : float;  (** sum of [cost] over [chosen] *)
     optimality : optimality;
+    nodes_explored : int;
+        (** branch-and-bound nodes visited, 0 when exact search was never
+            attempted; reported even on budget-exhausted fallbacks so span
+            attribution can rank solver effort *)
   }
 
   val solve :

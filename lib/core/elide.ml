@@ -55,6 +55,7 @@
 module I = Wario_machine.Isa
 module C = Wario_certify.Certify
 module E = Wario_emulator
+module S = Wario_obs.Span
 
 type stats = {
   candidates : int;
@@ -74,7 +75,8 @@ let is_boundary_ckpt = function
 
 let nop = I.Mov (0, I.R 0)
 
-let run ?(boundary = false) ?(weight = fun _ -> 0.) (p : I.mprog) : stats =
+let run ?(boundary = false) ?(weight = fun _ -> 0.) ?(spans = S.disabled)
+    (p : I.mprog) : stats =
   let img = E.Image.link p in
   (* An image that does not certify as-is gives the pass no oracle to
      preserve: leave such builds untouched. *)
@@ -108,13 +110,20 @@ let run ?(boundary = false) ?(weight = fun _ -> 0.) (p : I.mprog) : stats =
       in
       let try_removal (b : I.mblock) (k : int) (ins : I.instr) : bool =
         let pc = start_of b.I.mlabel + k in
+        (* one span per certifier recheck: per-removal verdict latency *)
+        S.with_span spans
+          ~attrs:[ ("pc", S.Int pc) ]
+          "certify.recheck_removal"
+        @@ fun () ->
         img.E.Image.code.(pc) <- nop;
         match C.Session.recheck_removal ses pc with
         | C.Certified _ ->
+            S.set_attr spans "verdict" (S.Str "certified");
             let g = gone_of b in
             g := k :: !g;
             true
         | C.Rejected _ ->
+            S.set_attr spans "verdict" (S.Str "rejected");
             img.E.Image.code.(pc) <- ins;
             false
       in

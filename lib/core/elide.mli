@@ -33,6 +33,7 @@ type stats = {
 val run :
   ?boundary:bool ->
   ?weight:(string -> float) ->
+  ?spans:Wario_obs.Span.t ->
   Wario_machine.Isa.mprog ->
   stats
 (** Mutates the program in place.  [candidates] counts blocks examined,
@@ -41,4 +42,6 @@ val run :
     (both 0 unless [boundary]).  [weight] prices a machine block label
     (the interprocedural block weight) and only orders the boundary
     audit, hottest first; it defaults to a constant, which degrades to
-    program order. *)
+    program order.  A live [spans] recorder gets one
+    ["certify.recheck_removal"] span per certifier recheck (pc + verdict
+    attributes — the per-removal verdict latency). *)

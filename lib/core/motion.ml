@@ -46,6 +46,7 @@
 module I = Wario_machine.Isa
 module C = Wario_certify.Certify
 module E = Wario_emulator
+module S = Wario_obs.Span
 
 type kind = Hoist | Sink
 
@@ -121,7 +122,19 @@ type anchor = {
   mutable a_used : bool;  (* some applied move keeps this barrier *)
 }
 
-let run ~(weights : string -> float) (p : I.mprog) : stats =
+let run ~(weights : string -> float) ?(spans = S.disabled) (p : I.mprog) :
+    stats =
+  (* per-recheck verdict latency, same span name as Elide's *)
+  let recheck what pc f =
+    S.with_span spans
+      ~attrs:[ ("op", S.Str what); ("pc", S.Int pc) ]
+      "certify.recheck"
+    @@ fun () ->
+    let v = f () in
+    S.set_attr spans "verdict"
+      (S.Str (match v with C.Certified _ -> "certified" | C.Rejected _ -> "rejected"));
+    v
+  in
   let img0 = E.Image.link p in
   match C.certify img0 with
   | C.Rejected _ -> zero
@@ -362,13 +375,19 @@ let run ~(weights : string -> float) (p : I.mprog) : stats =
                 if planted_now then
                   img1.E.Image.code.(a.a_pc) <-
                     I.Ckpt (pr.p_cause, pr.p_mask);
-                let ins_v = C.Session.recheck_insertion ses a.a_pc in
+                let ins_v =
+                  recheck "insertion" a.a_pc (fun () ->
+                      C.Session.recheck_insertion ses a.a_pc)
+                in
                 let applied, verdict =
                   match ins_v with
                   | C.Rejected _ -> (false, verdict_str ins_v)
                   | C.Certified _ -> (
                       img1.E.Image.code.(src_pc) <- nop;
-                      match C.Session.recheck_removal ses src_pc with
+                      match
+                        recheck "removal" src_pc (fun () ->
+                            C.Session.recheck_removal ses src_pc)
+                      with
                       | C.Certified _ -> (true, "certified")
                       | C.Rejected _ as v ->
                           img1.E.Image.code.(src_pc) <- src_ins;
@@ -386,7 +405,10 @@ let run ~(weights : string -> float) (p : I.mprog) : stats =
                      moves are fully reverted) *)
                   let back = img1.E.Image.code.(a.a_pc) in
                   img1.E.Image.code.(a.a_pc) <- nop;
-                  match C.Session.recheck_removal ses a.a_pc with
+                  match
+                    recheck "anchor-removal" a.a_pc (fun () ->
+                        C.Session.recheck_removal ses a.a_pc)
+                  with
                   | C.Certified _ -> ()
                   | C.Rejected _ ->
                       img1.E.Image.code.(a.a_pc) <- back;

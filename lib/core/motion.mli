@@ -48,8 +48,13 @@ type stats = {
 }
 
 val run :
-  weights:(string -> float) -> Wario_machine.Isa.mprog -> stats
-(** Mutates the program in place; the caller relinks.  [weights] prices a
+  weights:(string -> float) ->
+  ?spans:Wario_obs.Span.t ->
+  Wario_machine.Isa.mprog ->
+  stats
+(** Mutates the program in place; the caller relinks.  A live [spans]
+    recorder gets one ["certify.recheck"] span per session recheck
+    (op/pc/verdict attributes).  [weights] prices a
     {e mangled} machine block label (the same table the back end's
     weighted spill placement uses); a move is proposed only when the
     destination is strictly cheaper.  Images that do not certify

@@ -22,6 +22,7 @@
 module A = Wario_analysis
 module E = Wario_emulator
 module Tr = Wario_obs.Trace
+module S = Wario_obs.Span
 
 type variant = Greedy | Static | Profile | Inter
 
@@ -83,7 +84,8 @@ let compiled_of (cs : candidates) = function
     input (the pilot supplies it); [opts.placement] is forced per
     candidate.  [pilot_fuel] bounds the pilot run. *)
 let compile_candidates ?(opts = Pipeline.default_options) ?metrics
-    ?pilot_fuel (env : Pipeline.environment) (source : string) : candidates =
+    ?(spans = S.disabled) ?pilot_fuel (env : Pipeline.environment)
+    (source : string) : candidates =
   let static_opts =
     {
       opts with
@@ -91,40 +93,63 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
       placement = Wario_transforms.Checkpoint_inserter.Cost_guided;
     }
   in
-  let static_c = Pipeline.compile ~opts:static_opts env source in
-  let pilot = collect ?fuel:pilot_fuel static_c.Pipeline.image in
+  (* per-variant audition cost: each candidate compile gets its own span
+     (with the full pipeline-stage tree nested inside) *)
+  let audition v f =
+    S.with_span spans
+      ~attrs:[ ("variant", S.Str (variant_name v)) ]
+      "pgo.audition" f
+  in
+  let static_c =
+    audition Static (fun () -> Pipeline.compile ~opts:static_opts ~spans env source)
+  in
+  let pilot =
+    S.with_span spans "pgo.pilot" (fun () ->
+        let p = collect ?fuel:pilot_fuel static_c.Pipeline.image in
+        S.add_counter ~by:p.pilot_cycles spans "cycles";
+        p)
+  in
   let profile_c =
-    Pipeline.compile
-      ~opts:{ static_opts with Pipeline.block_profile = Some pilot.profile }
-      ?metrics env source
+    audition Profile (fun () ->
+        Pipeline.compile
+          ~opts:{ static_opts with Pipeline.block_profile = Some pilot.profile }
+          ?metrics ~spans env source)
   in
   let greedy_c =
-    Pipeline.compile
-      ~opts:
-        {
-          static_opts with
-          Pipeline.placement = Wario_transforms.Checkpoint_inserter.Greedy;
-        }
-      env source
+    audition Greedy (fun () ->
+        Pipeline.compile
+          ~opts:
+            {
+              static_opts with
+              Pipeline.placement = Wario_transforms.Checkpoint_inserter.Greedy;
+            }
+          ~spans env source)
   in
   (* The interprocedural candidate is a pure static win: call-graph
      weights, cost-coupled expansion and (when [opts.motion] is set)
      certifier-validated checkpoint motion, no profile. *)
   let inter_c =
-    Pipeline.compile
-      ~opts:
-        {
-          static_opts with
-          Pipeline.placement =
-            Wario_transforms.Checkpoint_inserter.Interprocedural;
-        }
-      env source
+    audition Inter (fun () ->
+        Pipeline.compile
+          ~opts:
+            {
+              static_opts with
+              Pipeline.placement =
+                Wario_transforms.Checkpoint_inserter.Interprocedural;
+            }
+          ~spans env source)
   in
-  let measure (c : Pipeline.compiled) =
+  let measure v (c : Pipeline.compiled) =
+    S.with_span spans
+      ~attrs:[ ("variant", S.Str (variant_name v)) ]
+      "pgo.measure"
+    @@ fun () ->
     let r =
       E.Emulator.run ?fuel:pilot_fuel ~supply:E.Power.Continuous
         ~verify:false c.Pipeline.image
     in
+    S.add_counter ~by:r.E.Emulator.checkpoints_total spans "dyn_ckpts";
+    S.add_counter ~by:r.E.Emulator.cycles spans "cycles";
     (r.E.Emulator.checkpoints_total, r.E.Emulator.cycles)
   in
   (* preference order breaks exact ties toward the more-informed placement *)
@@ -137,7 +162,7 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
     ]
   in
   let scored =
-    List.map (fun (v, c) -> (v, c, measure c)) candidates
+    List.map (fun (v, c) -> (v, c, measure v c)) candidates
   in
   let best_v, _, _ =
     List.fold_left
@@ -160,7 +185,7 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
 
 (** [compile env source]: {!compile_candidates}, keeping only the
     measured guard's choice. *)
-let compile ?opts ?metrics ?pilot_fuel (env : Pipeline.environment)
+let compile ?opts ?metrics ?spans ?pilot_fuel (env : Pipeline.environment)
     (source : string) : Pipeline.compiled * pilot =
-  let cs = compile_candidates ?opts ?metrics ?pilot_fuel env source in
+  let cs = compile_candidates ?opts ?metrics ?spans ?pilot_fuel env source in
   (compiled_of cs cs.pilot.selected, cs.pilot)

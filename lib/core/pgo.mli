@@ -48,6 +48,7 @@ val compiled_of : candidates -> variant -> Pipeline.compiled
 val compile_candidates :
   ?opts:Pipeline.options ->
   ?metrics:Wario_obs.Metrics.t ->
+  ?spans:Wario_obs.Span.t ->
   ?pilot_fuel:int ->
   Pipeline.environment ->
   string ->
@@ -57,11 +58,16 @@ val compile_candidates :
     reuse the losing candidates too).  [opts.block_profile] is ignored on
     input (the pilot supplies it); [opts.placement] is forced per
     candidate; [opts.elide] is honoured for the cost-guided candidates.
+    A live [spans] recorder gets one ["pgo.audition"] span per candidate
+    compile (pipeline stages nested inside), a ["pgo.pilot"] span, and one
+    ["pgo.measure"] span per measured-guard run with dyn-ckpt/cycle
+    counters.
     @raise Wario_minic.Minic.Error on front-end errors *)
 
 val compile :
   ?opts:Pipeline.options ->
   ?metrics:Wario_obs.Metrics.t ->
+  ?spans:Wario_obs.Span.t ->
   ?pilot_fuel:int ->
   Pipeline.environment ->
   string ->

@@ -10,6 +10,12 @@ module T = Wario_transforms
 module A = Wario_analysis
 module B = Wario_backend
 module M = Wario_obs.Metrics
+module S = Wario_obs.Span
+
+(* One instrumented pipeline stage: a span named [name] nested in the
+   caller's open span, plus the historical [name.ms] metrics timer. *)
+let stage metrics spans name f =
+  S.with_span spans name (fun () -> M.time metrics (name ^ ".ms") f)
 
 type environment =
   | Plain  (** uninstrumented C; continuous power only *)
@@ -190,19 +196,22 @@ let drop_middle_checkpoint (prog : Ir.program) (n : int) : bool =
     [metrics] registry records per-pass wall time ([middle.<pass>.ms]) and
     the headline deltas of each pass as counters. *)
 let middle_end ?(opts = default_options) ?(metrics = M.disabled)
-    (env : environment) (prog : Ir.program) : middle_stats =
+    ?(spans = S.disabled) (env : environment) (prog : Ir.program) :
+    middle_stats =
+  S.with_span spans "middle" @@ fun () ->
   if opts.optimize then
-    M.time metrics "middle.opt_pipeline.ms" (fun () -> T.Opt_pipeline.run prog);
+    stage metrics spans "middle.opt_pipeline" (fun () ->
+        T.Opt_pipeline.run prog);
   let lwc =
     match env with
     | Loop_cluster | Wario | Wario_expander ->
         let st =
-          M.time metrics "middle.loop_write_clusterer.ms" (fun () ->
+          stage metrics spans "middle.loop_write_clusterer" (fun () ->
               T.Loop_write_clusterer.run ~unroll_factor:opts.unroll_factor prog)
         in
         (* clean up moves and dead snapshots left behind by the clustering
            (copy propagation and DCE never reorder memory operations) *)
-        M.time metrics "middle.lwc_cleanup.ms" (fun () ->
+        stage metrics spans "middle.lwc_cleanup" (fun () ->
             ignore (T.Copyprop.run prog);
             ignore (T.Dce.run prog));
         M.set metrics "middle.loop_write_clusterer.loops_unrolled"
@@ -226,7 +235,7 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
     | _, T.Checkpoint_inserter.Interprocedural -> None
     | Wario_expander, _ ->
         let st =
-          M.time metrics "middle.expander.ms" (fun () ->
+          stage metrics spans "middle.expander" (fun () ->
               T.Expander.run ~size_limit:opts.expander_size_limit
                 ?profile:opts.expander_profile prog)
         in
@@ -239,7 +248,7 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
     match env with
     | Write_cluster | Wario | Wario_expander ->
         let n =
-          M.time metrics "middle.write_clusterer.ms" (fun () ->
+          stage metrics spans "middle.write_clusterer" (fun () ->
               T.Write_clusterer.run prog)
         in
         M.set metrics "middle.write_clusterer.stores_moved" n;
@@ -282,7 +291,7 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
     | Plain, _ | _, (T.Checkpoint_inserter.Greedy | Cost_guided) -> None
     | _, T.Checkpoint_inserter.Interprocedural ->
         Some
-          (M.time metrics "middle.callgraph_place.ms" (fun () ->
+          (stage metrics spans "middle.callgraph_place" (fun () ->
                A.Callgraph.build prog))
   in
   let wars_found, middle_ckpts, placement_exact, placement_fallback, placements
@@ -299,9 +308,20 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
           | None -> None
         in
         let st =
-          M.time metrics "middle.checkpoint_inserter.ms" (fun () ->
-              T.Checkpoint_inserter.run ~mode ~placement:opts.placement
-                ?profile ?global prog)
+          S.with_span spans "middle.checkpoint_inserter" (fun () ->
+              let st =
+                M.time metrics "middle.checkpoint_inserter.ms" (fun () ->
+                    T.Checkpoint_inserter.run ~mode ~placement:opts.placement
+                      ?profile ?global prog)
+              in
+              S.add_counter ~by:st.T.Checkpoint_inserter.wars spans "wars";
+              S.add_counter ~by:st.T.Checkpoint_inserter.checkpoints spans
+                "checkpoints";
+              S.add_counter ~by:st.T.Checkpoint_inserter.hs_nodes spans
+                "hs_nodes";
+              S.add_counter ~by:st.T.Checkpoint_inserter.fallback spans
+                "fallback";
+              st)
         in
         M.set metrics "middle.checkpoint_inserter.wars" st.T.Checkpoint_inserter.wars;
         M.set metrics "middle.checkpoint_inserter.checkpoints"
@@ -310,13 +330,15 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
           st.T.Checkpoint_inserter.exact;
         M.set metrics "middle.checkpoint_inserter.fallback"
           st.T.Checkpoint_inserter.fallback;
+        M.set metrics "middle.checkpoint_inserter.hs_nodes"
+          st.T.Checkpoint_inserter.hs_nodes;
         (st.wars, st.checkpoints, st.exact, st.fallback, st.placements)
   in
   (* optional extension: bound region sizes for tiny storage capacitors *)
   (match (env, opts.max_region) with
   | Plain, _ | _, None -> ()
   | _, Some n ->
-      M.time metrics "middle.region_bounder.ms" (fun () ->
+      stage metrics spans "middle.region_bounder" (fun () ->
           ignore (T.Region_bounder.run ~max_instrs:n prog)));
   (* test-only sabotage: break the schedule so the verifier has a target *)
   (match (env, opts.drop_middle_ckpt) with
@@ -462,35 +484,44 @@ let image_ckpt_cost ~(weights : string -> float) (prog : Ir.program)
   !cost
 
 let rec compile_ir ?(opts = default_options) ?(metrics = M.disabled)
-    (env : environment) (prog : Ir.program) : compiled =
+    ?(spans = S.disabled) (env : environment) (prog : Ir.program) : compiled =
   (* Cost-coupled expansion (Interprocedural only) happens here, before
      the middle end, because each candidate inline is auditioned by a
-     full compile of a program copy. *)
+     full compile of a program copy.  The trial compiles themselves are
+     never span-instrumented — only the audition total is attributed. *)
   let trial_expander =
     match (env, opts.placement) with
     | Plain, _ -> None
     | _, T.Checkpoint_inserter.Interprocedural
       when opts.expander_size_limit > 0 ->
         let st =
-          M.time metrics "middle.expander.ms" (fun () ->
-              trial_expand ~opts env prog)
+          S.with_span spans "middle.expander_trials" (fun () ->
+              let st =
+                M.time metrics "middle.expander.ms" (fun () ->
+                    trial_expand ~opts env prog)
+              in
+              S.add_counter ~by:st.T.Expander.candidates spans "candidates";
+              S.add_counter ~by:st.T.Expander.inlined spans "inlined";
+              st)
         in
         M.set metrics "middle.expander.candidates" st.T.Expander.candidates;
         M.set metrics "middle.expander.inlined" st.T.Expander.inlined;
         Some st
     | _ -> None
   in
-  let middle = middle_end ~opts ~metrics env prog in
+  let middle = middle_end ~opts ~metrics ~spans env prog in
   let middle =
     match trial_expander with
     | Some _ -> { middle with expander = trial_expander }
     | None -> middle
   in
-  M.time metrics "middle.ir_verify.ms" (fun () ->
+  stage metrics spans "middle.ir_verify" (fun () ->
       Wario_ir.Ir_verify.verify_program prog);
   let block_weights = backend_block_weights middle opts prog in
   let mprog, backend =
-    B.Backend.run ~metrics ?block_weights ~config:(backend_config env) prog
+    S.with_span spans "backend" (fun () ->
+        B.Backend.run ~metrics ?block_weights ~config:(backend_config env)
+          prog)
   in
   let elision =
     if
@@ -502,8 +533,14 @@ let rec compile_ir ?(opts = default_options) ?(metrics = M.disabled)
         opts.placement = T.Checkpoint_inserter.Interprocedural
       in
       let s =
-        M.time metrics "backend.elide.ms" (fun () ->
-            Elide.run ~boundary ?weight:block_weights mprog)
+        S.with_span spans "backend.elide" (fun () ->
+            let s =
+              M.time metrics "backend.elide.ms" (fun () ->
+                  Elide.run ~boundary ?weight:block_weights ~spans mprog)
+            in
+            S.add_counter ~by:s.Elide.elided spans "elided";
+            S.add_counter ~by:s.Elide.boundary_elided spans "boundary_elided";
+            s)
       in
       M.set metrics "backend.elide.count" s.Elide.elided;
       M.set metrics "backend.elide.boundary" s.Elide.boundary_elided;
@@ -516,15 +553,20 @@ let rec compile_ir ?(opts = default_options) ?(metrics = M.disabled)
     | true, env', T.Checkpoint_inserter.Interprocedural, Some weights
       when env' <> Plain ->
         let s =
-          M.time metrics "backend.motion.ms" (fun () ->
-              Motion.run ~weights mprog)
+          S.with_span spans "backend.motion" (fun () ->
+              let s =
+                M.time metrics "backend.motion.ms" (fun () ->
+                    Motion.run ~weights ~spans mprog)
+              in
+              S.add_counter ~by:s.Motion.applied spans "applied";
+              s)
         in
         M.set metrics "backend.motion.applied" s.Motion.applied;
         Some s
     | _ -> None
   in
   let image =
-    M.time metrics "link.ms" (fun () -> Wario_emulator.Image.link mprog)
+    stage metrics spans "link" (fun () -> Wario_emulator.Image.link mprog)
   in
   M.set metrics "link.text_bytes" image.Wario_emulator.Image.text_bytes;
   M.set metrics "link.data_bytes" image.Wario_emulator.Image.data_bytes;
@@ -620,11 +662,16 @@ and trial_expand ~opts env (prog : Ir.program) : T.Expander.stats =
 
 (** Compile MiniC source text under a software environment. *)
 let compile ?(opts = default_options) ?(metrics = M.disabled)
-    (env : environment) (source : string) : compiled =
+    ?(spans = S.disabled) (env : environment) (source : string) : compiled =
+  S.with_span spans
+    ~attrs:[ ("env", S.Str (environment_name env)) ]
+    "pipeline.compile"
+  @@ fun () ->
   let prog =
-    M.time metrics "frontend.ms" (fun () -> Wario_minic.Minic.compile source)
+    stage metrics spans "frontend" (fun () ->
+        Wario_minic.Minic.compile source)
   in
-  compile_ir ~opts ~metrics env prog
+  compile_ir ~opts ~metrics ~spans env prog
 
 (** Static WAR-freedom certification of the linked image (lib/certify):
     translation validation of the whole pipeline above. *)

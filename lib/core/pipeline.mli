@@ -102,30 +102,38 @@ type compiled = {
 val middle_end :
   ?opts:options ->
   ?metrics:Wario_obs.Metrics.t ->
+  ?spans:Wario_obs.Span.t ->
   environment ->
   Wario_ir.Ir.program ->
   middle_stats
 (** Run just the middle end (mutates the program).  A live [metrics]
     registry (default {!Wario_obs.Metrics.disabled}) records per-pass wall
     time under [middle.<pass>.ms] plus each pass's headline deltas (WARs
-    found, checkpoints inserted, stores postponed/moved, inlines).  Note
-    that under [Interprocedural] the middle end alone never expands:
-    cost-coupled expansion is driven by trial compilation in
-    {!compile_ir}. *)
+    found, checkpoints inserted, stores postponed/moved, inlines).  A live
+    [spans] recorder nests one span per pass under a ["middle"] span, with
+    solver-effort counters (WARs, checkpoints, branch-and-bound nodes,
+    greedy fallbacks) on the inserter span.  Note that under
+    [Interprocedural] the middle end alone never expands: cost-coupled
+    expansion is driven by trial compilation in {!compile_ir}. *)
 
 val compile :
   ?opts:options ->
   ?metrics:Wario_obs.Metrics.t ->
+  ?spans:Wario_obs.Span.t ->
   environment ->
   string ->
   compiled
 (** Compile MiniC source text.  [metrics] additionally captures front-end,
-    IR-verify, back-end per-pass and link timings/sizes.
+    IR-verify, back-end per-pass and link timings/sizes.  [spans] wraps the
+    whole compile in a ["pipeline.compile"] span with per-stage children
+    (frontend → middle passes → backend → elide/motion → link), including
+    per-recheck certifier spans inside elide/motion.
     @raise Wario_minic.Minic.Error on front-end errors *)
 
 val compile_ir :
   ?opts:options ->
   ?metrics:Wario_obs.Metrics.t ->
+  ?spans:Wario_obs.Span.t ->
   environment ->
   Wario_ir.Ir.program ->
   compiled

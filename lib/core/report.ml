@@ -22,7 +22,9 @@ let table ?(title = "") (header : string list) (rows : string list list) :
            else String.make pad ' ' ^ cell)
          r)
   in
-  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  (* degenerate tables (no columns at all) must still render: the rule
+     width below would go negative and [String.make] would raise *)
+  let total = max 1 (Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))) in
   let b = Buffer.create 1024 in
   if title <> "" then Buffer.add_string b (title ^ "\n");
   Buffer.add_string b (render_row header);

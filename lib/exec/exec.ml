@@ -6,11 +6,43 @@
    but every result lands in its input slot and the caller observes input
    order only.  Exceptions are captured per item and the lowest-indexed
    one is re-raised after the pool drains, which keeps failure behaviour
-   independent of domain timing. *)
+   independent of domain timing.
+
+   Observability: with a live [?spans] recorder, the whole map is wrapped
+   in a pool span and each worker contributes a child span on its own
+   track (busy/idle milliseconds, item count) grafted at the join — the
+   recorder itself is only ever touched by the calling domain.  Metrics
+   registries are not domain-safe; [map_with_metrics] gives every item a
+   private registry and merges them in input order at the join, so the
+   merged counters are identical for any [jobs]. *)
+
+module Span = Wario_obs.Span
+module M = Wario_obs.Metrics
 
 let default_jobs () = Domain.recommended_domain_count ()
+let now_ms () = Unix.gettimeofday () *. 1000.
 
-let map ?(jobs = 0) (f : 'a -> 'b) (items : 'a list) : 'b list =
+(* A completed worker window: start/stop, items handled, busy milliseconds
+   (sum of per-item wall time; idle = window - busy is pool ramp/drain). *)
+let worker_span k (wt0, wt1, count, busy) : Span.span =
+  let dur = Float.max 0. (wt1 -. wt0) in
+  {
+    Span.sp_name = "worker";
+    sp_t0 = wt0;
+    sp_dur = dur;
+    sp_track = k + 1;
+    sp_attrs =
+      [
+        ("worker", Span.Int k);
+        ("busy_ms", Span.Float busy);
+        ("idle_ms", Span.Float (Float.max 0. (dur -. busy)));
+      ];
+    sp_counters = [ ("items", count) ];
+    sp_children = [];
+  }
+
+let map ?(jobs = 0) ?(spans = Span.disabled) ?(label = "exec.map")
+    (f : 'a -> 'b) (items : 'a list) : 'b list =
   if jobs < 0 then
     invalid_arg (Printf.sprintf "Exec.map: jobs must be >= 0 (got %d)" jobs);
   (* jobs = 0: size the pool to the host.  On a single-core host this
@@ -18,42 +50,106 @@ let map ?(jobs = 0) (f : 'a -> 'b) (items : 'a list) : 'b list =
      no parallelism to buy only adds spawn/join overhead (BENCH_4's
      parallel run clocked 0.87x on one CPU). *)
   let jobs = if jobs = 0 then default_jobs () else jobs in
-  match items with
-  | [] -> []
-  | _ when jobs = 1 -> List.map f items
-  | _ ->
-      let arr = Array.of_list items in
-      let n = Array.length arr in
-      let results = Array.make n None in
-      let cursor = Atomic.make 0 in
-      let worker () =
-        let rec loop () =
-          let i = Atomic.fetch_and_add cursor 1 in
-          if i < n then begin
-            let r =
-              try Ok (f arr.(i))
-              with e -> Error (e, Printexc.get_raw_backtrace ())
-            in
-            results.(i) <- Some r;
-            loop ()
-          end
+  let instrument = Span.is_enabled spans in
+  let run () =
+    match items with
+    | [] -> []
+    | _ when jobs = 1 ->
+        if instrument then begin
+          let wt0 = now_ms () in
+          let r = List.map f items in
+          let wt1 = now_ms () in
+          (* sequential: the whole window is busy *)
+          Span.graft spans
+            [ worker_span 0 (wt0, wt1, List.length items, wt1 -. wt0) ];
+          r
+        end
+        else List.map f items
+    | _ ->
+        let arr = Array.of_list items in
+        let n = Array.length arr in
+        let results = Array.make n None in
+        let cursor = Atomic.make 0 in
+        let nworkers = min jobs n in
+        let stats = Array.make nworkers None in
+        let step i =
+          let r =
+            try Ok (f arr.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r
         in
-        loop ()
-      in
-      let spawned = List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
-      (* the calling domain is a full pool member, not a passive joiner *)
-      worker ();
-      List.iter Domain.join spawned;
-      Array.to_list
-        (Array.map
-           (function
-             | Some (Ok v) -> v
-             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-             | None ->
-                 (* unreachable: the cursor hands every index to exactly one
-                    worker, and joins above guarantee completion *)
-                 assert false)
-           results)
+        let worker k () =
+          if instrument then begin
+            let wt0 = now_ms () in
+            let busy = ref 0. in
+            let count = ref 0 in
+            let rec loop () =
+              let i = Atomic.fetch_and_add cursor 1 in
+              if i < n then begin
+                let s = now_ms () in
+                step i;
+                busy := !busy +. (now_ms () -. s);
+                incr count;
+                loop ()
+              end
+            in
+            loop ();
+            stats.(k) <- Some (wt0, now_ms (), !count, !busy)
+          end
+          else
+            let rec loop () =
+              let i = Atomic.fetch_and_add cursor 1 in
+              if i < n then begin
+                step i;
+                loop ()
+              end
+            in
+            loop ()
+        in
+        let spawned =
+          List.init (nworkers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+        in
+        (* the calling domain is a full pool member, not a passive joiner *)
+        worker 0 ();
+        List.iter Domain.join spawned;
+        if instrument then
+          Span.graft spans
+            (Array.to_list stats
+            |> List.mapi (fun k s -> Option.map (worker_span k) s)
+            |> List.filter_map Fun.id);
+        Array.to_list
+          (Array.map
+             (function
+               | Some (Ok v) -> v
+               | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+               | None ->
+                   (* unreachable: the cursor hands every index to exactly one
+                      worker, and joins above guarantee completion *)
+                   assert false)
+             results)
+  in
+  if instrument then
+    Span.with_span spans
+      ~attrs:
+        [
+          ("jobs", Span.Int jobs); ("items", Span.Int (List.length items));
+        ]
+      label run
+  else run ()
+
+let map_with_metrics ?jobs ?spans ?label ~(metrics : M.t)
+    (f : M.t -> 'a -> 'b) (items : 'a list) : 'b list =
+  let live = M.is_enabled metrics in
+  let wrapped item =
+    let m = if live then M.create () else M.disabled in
+    (f m item, m)
+  in
+  let pairs = map ?jobs ?spans ?label wrapped items in
+  (* merge in input order: the merged registry is a pure function of the
+     inputs, independent of which domain ran which item *)
+  if live then List.iter (fun (_, m) -> M.merge ~into:metrics m) pairs;
+  List.map fst pairs
 
 let serialized (sink : 'a -> unit) : 'a -> unit =
   let m = Mutex.create () in

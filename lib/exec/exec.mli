@@ -31,7 +31,13 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the runtime's estimate of how
     many domains this host runs in parallel (1 on a single-core host). *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?jobs:int ->
+  ?spans:Wario_obs.Span.t ->
+  ?label:string ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** [map ~jobs f items] applies [f] to every item on up to [jobs] domains
     (the calling domain participates, so at most [jobs - 1] are spawned)
     and returns the results in input order.
@@ -40,7 +46,30 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
       to {!default_jobs}.  On a single-core host auto resolves to the
       sequential path — a pool with no parallelism to buy only adds
       spawn/join overhead.
+    @param spans a live recorder wraps the map in a pool span named
+      [label] (default ["exec.map"]) and grafts one ["worker"] child span
+      per pool member at the join — each on its own track, carrying
+      busy/idle milliseconds and the item count, so per-domain utilization
+      timelines survive into the trace.  The recorder is only ever touched
+      by the calling domain.
     @raise Invalid_argument when [jobs < 0]. *)
+
+val map_with_metrics :
+  ?jobs:int ->
+  ?spans:Wario_obs.Span.t ->
+  ?label:string ->
+  metrics:Wario_obs.Metrics.t ->
+  (Wario_obs.Metrics.t -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** Like {!map}, for jobs that record {!Wario_obs.Metrics}.  A shared
+    registry is not domain-safe, so each item gets a {e private} registry
+    and the per-item registries are merged into [metrics] at the join {b in
+    input order} — counters in the merged registry are therefore identical
+    for any [jobs] (timers carry wall-clock and are inherently run-to-run
+    noisy, but still deterministic in {e which} names appear and in which
+    order).  With [metrics] disabled the per-item registries are disabled
+    too, so instrumented jobs cost nothing. *)
 
 val serialized : ('a -> unit) -> 'a -> unit
 (** [serialized sink] is [sink] behind a mutex: a single-writer funnel for

@@ -54,6 +54,18 @@ let time t name f =
         raise e
   end
 
+let merge ~into src =
+  if into.live then
+    List.iter
+      (fun (name, v) ->
+        match (v, Hashtbl.find_opt into.tbl name) with
+        | Count n, Some (Count m) -> record into name (Count (m + n))
+        | Time_ms x, Some (Time_ms y) -> record into name (Time_ms (y +. x))
+        | (Count _ as v), None | (Time_ms _ as v), None -> record into name v
+        | Count _, Some (Time_ms _) | Time_ms _, Some (Count _) ->
+            invalid_arg ("Metrics.merge: kind mismatch on " ^ name))
+      (List.rev_map (fun name -> (name, Hashtbl.find src.tbl name)) src.order_rev)
+
 let items t =
   List.rev_map
     (fun name -> (name, Hashtbl.find t.tbl name))

@@ -29,6 +29,14 @@ val time : t -> string -> (unit -> 'a) -> 'a
 (** Run a thunk, accumulating its wall time into the [name] timer.  With
     {!disabled}, calls the thunk without reading the clock. *)
 
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters add, timers add, unseen names append
+    in [src]'s first-recording order.  Parallel fan-outs give each unit of
+    work its own registry and merge them at the join in input order, so the
+    merged registry is independent of worker scheduling (see
+    [Exec.map_with_metrics]).  Raises [Invalid_argument] if a name is a
+    counter on one side and a timer on the other. *)
+
 type value = Count of int | Time_ms of float
 
 val items : t -> (string * value) list

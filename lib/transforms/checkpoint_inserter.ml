@@ -46,6 +46,7 @@ type stats = {
   checkpoints : int;
   exact : int;  (** functions whose weighted cover was proven optimal *)
   fallback : int;  (** functions placed by the weighted-greedy fallback *)
+  hs_nodes : int;  (** branch-and-bound nodes explored across all solves *)
   placements : placement_info list;
 }
 
@@ -108,8 +109,8 @@ let insert_checkpoints f (points : point list) (cause : ckpt_cause) =
 let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
     ~(profile : Analysis.Costmodel.profile option)
     ~(global : (string -> label -> float) option) ~escapes (f : func) :
-    int * int * Analysis.Hitting_set.optimality option * placement_info list
-    =
+    int * int * Analysis.Hitting_set.optimality option * int
+    * placement_info list =
   let dbg = Sys.getenv_opt "WARIO_DEBUG_CPI" <> None in
   let now () = if dbg then Unix.gettimeofday () else 0. in
   let t0 = now () in
@@ -126,7 +127,7 @@ let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
     Printf.eprintf "cpi %-14s cfg=%.1f alias=%.1f wars=%.1f (#wars=%d)
 %!"
       f.fname (t1 -. t0) (t2 -. t1) (t3 -. t2) (List.length wars);
-  if wars = [] then (0, 0, None, [])
+  if wars = [] then (0, 0, None, 0, [])
   else begin
     (* Subsumption: for a fixed store and load block, the pair with the
        latest load has the smallest candidate set, and that set is a subset
@@ -172,7 +173,7 @@ let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
       List.map (fun (w : Analysis.Pdg.war) -> w.war_store.mo_point) reduced
     in
     let t4 = now () in
-    let chosen, opt, cost =
+    let chosen, opt, nodes, cost =
       match placement with
       | Greedy ->
           let cost (lbl, _) =
@@ -184,6 +185,7 @@ let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
             | Ok chosen -> chosen
             | Error (Analysis.Hitting_set.Empty_set _) -> naive_placement ()),
             None,
+            0,
             cost )
       | Cost_guided | Interprocedural ->
           (* Under Interprocedural the fallback weight of a block is its
@@ -207,9 +209,13 @@ let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
           in
           let cost (lbl, _) = weights lbl in
           (match Point_hs.solve_weighted ~cost sets with
-          | Ok sol -> (sol.Point_hs.chosen, Some sol.Point_hs.optimality, cost)
+          | Ok sol ->
+              ( sol.Point_hs.chosen,
+                Some sol.Point_hs.optimality,
+                sol.Point_hs.nodes_explored,
+                cost )
           | Error (Analysis.Hitting_set.Empty_set _) ->
-              (naive_placement (), None, cost))
+              (naive_placement (), None, 0, cost))
     in
     let t5 = now () in
     let infos =
@@ -234,7 +240,7 @@ let run_func ~(mode : Analysis.Alias.mode) ~(placement : placement)
         f.fname (t4 -. t3) (t5 -. t4)
         (now () -. t5)
         (List.length chosen);
-    (List.length wars, List.length chosen, opt, infos)
+    (List.length wars, List.length chosen, opt, nodes, infos)
   end
 
 (** Insert middle-end checkpoints for the whole program; returns statistics. *)
@@ -243,7 +249,7 @@ let run ?(mode = Analysis.Alias.Precise) ?(placement = Cost_guided) ?profile
   let escapes = Analysis.Alias.escapes_of_program p in
   List.fold_left
     (fun acc f ->
-      let wars, cps, opt, infos =
+      let wars, cps, opt, nodes, infos =
         run_func ~mode ~placement ~profile ~global ~escapes f
       in
       {
@@ -259,6 +265,7 @@ let run ?(mode = Analysis.Alias.Precise) ?(placement = Cost_guided) ?profile
           match opt with
           | Some Analysis.Hitting_set.Greedy_fallback -> 1
           | _ -> 0);
+        hs_nodes = acc.hs_nodes + nodes;
         placements = acc.placements @ infos;
       })
     {
@@ -267,6 +274,7 @@ let run ?(mode = Analysis.Alias.Precise) ?(placement = Cost_guided) ?profile
       checkpoints = 0;
       exact = 0;
       fallback = 0;
+      hs_nodes = 0;
       placements = [];
     }
     p.funcs

@@ -34,6 +34,9 @@ type stats = {
   checkpoints : int;
   exact : int;  (** functions whose weighted cover was proven optimal *)
   fallback : int;  (** functions placed by the weighted-greedy fallback *)
+  hs_nodes : int;
+      (** branch-and-bound nodes explored across all per-function solves
+          (solver-effort attribution for spans/metrics) *)
   placements : placement_info list;
       (** one record per inserted checkpoint, function order *)
 }

@@ -49,6 +49,7 @@
 module P = Wario.Pipeline
 module E = Wario_emulator
 module Exec = Wario_exec.Exec
+module S = Wario_obs.Span
 
 (* ------------------------------------------------------------------ *)
 (* Coverage                                                             *)
@@ -349,11 +350,19 @@ let divergence_class = function
   | Oracle.War_violations _ -> "war"
   | Oracle.No_progress _ -> "no-progress"
 
-let run_case ?(log = fun _ -> ()) (config : config)
+let run_case ?(log = fun _ -> ()) ?(spans = S.disabled) (config : config)
     ~(workload : string * string) ~(env : P.environment) : case_report =
   let name, source = workload in
-  let c = P.compile ~opts:config.opts env source in
-  let g = Oracle.golden c in
+  S.with_span spans
+    ~attrs:
+      [ ("workload", S.Str name); ("env", S.Str (P.environment_name env)) ]
+    "campaign.case"
+  @@ fun () ->
+  let c, g =
+    S.with_span spans "campaign.golden" (fun () ->
+        let c = P.compile ~opts:config.opts env source in
+        (c, Oracle.golden c))
+  in
   match Oracle.golden_violations g with
   | _ :: _ as vs ->
       log
@@ -393,13 +402,24 @@ let run_case ?(log = fun _ -> ()) (config : config)
          budget — cap the bisection to the widest regions, scaled to the
          budget. *)
       let max_regions = max 16 (config.budget / 16) in
-      let worst = Adversary.search ~max_regions g c in
+      let worst =
+        S.with_span spans "campaign.adversary" (fun () ->
+            let w = Adversary.search ~max_regions g c in
+            S.add_counter ~by:(Adversary.total_probes w) spans "probes";
+            S.add_counter ~by:(List.length w) spans "regions";
+            w)
+      in
       let worst_reexec =
         List.fold_left (fun acc w -> max acc w.Adversary.a_reexec) 0 worst
       in
       let gen = case_gen config ~workload:name ~env in
       let sweep = lazy (sweep_plan ref_) in
-      let plan = plan config gen ref_ worst ~sweep in
+      let plan =
+        S.with_span spans "campaign.plan" (fun () ->
+            let p = plan config gen ref_ worst ~sweep in
+            S.add_counter ~by:(List.length p) spans "schedules";
+            p)
+      in
       let acc = acc_create ref_ in
       let still_fails cuts = Result.is_error (Oracle.check_schedule g c cuts) in
       (* sweeps carry thousands of cuts; ddmin's subset phase is linear in
@@ -439,11 +459,11 @@ let run_case ?(log = fun _ -> ()) (config : config)
       and failures_total = ref 0
       and shrunk_failures = ref []
       and seen = Hashtbl.create 16 in
-      let process sched_list =
+      let process label sched_list =
         List.iter
           (fun chunk ->
             let verdicts =
-              Exec.map ~jobs:config.jobs
+              Exec.map ~jobs:config.jobs ~spans ~label
                 (fun (src, cuts) ->
                   let res, verdict = Oracle.run_schedule g c cuts in
                   let sites =
@@ -503,21 +523,27 @@ let run_case ?(log = fun _ -> ()) (config : config)
               verdicts)
           (chunks sched_list)
       in
-      process plan;
+      S.with_span spans "campaign.execute" (fun () ->
+          process "campaign.chunk" plan;
+          S.add_counter ~by:!tried spans "schedules";
+          S.add_counter ~by:!failures_total spans "failures");
       (* mop-up: whatever boundary windows the sweep's landing jitter (or
          plain bad random luck) left unhit get plan-exact single cuts,
          greedily covered and capped at one budget's worth *)
-      (match acc_uncovered acc with
-      | [] -> ()
-      | uncovered ->
-          let singles = cover_boundaries (Array.of_list uncovered) in
-          let cap = max 1 config.budget in
-          let singles =
-            if List.length singles > cap then
-              Wario_support.Util.take cap singles
-            else singles
-          in
-          process (List.map (fun s -> ("mop-up", s)) singles));
+      S.with_span spans "campaign.mopup" (fun () ->
+          match acc_uncovered acc with
+          | [] -> ()
+          | uncovered ->
+              S.add_counter ~by:(List.length uncovered) spans "uncovered";
+              let singles = cover_boundaries (Array.of_list uncovered) in
+              let cap = max 1 config.budget in
+              let singles =
+                if List.length singles > cap then
+                  Wario_support.Util.take cap singles
+                else singles
+              in
+              process "campaign.mopup.chunk"
+                (List.map (fun s -> ("mop-up", s)) singles));
       {
         k_workload = name;
         k_env = env;
@@ -529,12 +555,13 @@ let run_case ?(log = fun _ -> ()) (config : config)
         k_worst_reexec = worst_reexec;
       }
 
-let run ?(log = fun _ -> ()) (config : config) : case_report list =
+let run ?(log = fun _ -> ()) ?(spans = S.disabled) (config : config) :
+    case_report list =
   List.concat_map
     (fun workload ->
       List.map
         (fun env ->
-          let r = run_case ~log config ~workload ~env in
+          let r = run_case ~log ~spans config ~workload ~env in
           log
             (Printf.sprintf
                "%s × %s: %d schedules + %d probes, boundary coverage %.1f%%, \

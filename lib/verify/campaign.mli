@@ -99,6 +99,7 @@ val default_config : config
 
 val run_case :
   ?log:(string -> unit) ->
+  ?spans:Wario_obs.Span.t ->
   config ->
   workload:string * string ->
   env:Wario.Pipeline.environment ->
@@ -108,9 +109,21 @@ val run_case :
     at any boundary windows still unhit (derived from the
     order-independent coverage union, so deterministic for any [jobs]).
     A golden run that itself violates the WAR verifier is reported as a
-    zero-cut ["golden"] failure. *)
+    zero-cut ["golden"] failure.
 
-val run : ?log:(string -> unit) -> config -> case_report list
+    A live [spans] recorder gets one ["campaign.case"] span per case
+    (workload/env attributes) with one child phase span each for
+    ["campaign.golden"], ["campaign.adversary"] (probe/region counters),
+    ["campaign.plan"] (schedule counter), ["campaign.execute"]
+    (schedule/failure counters) and ["campaign.mopup"] (uncovered-window
+    counter); the chunked {!Wario_exec.Exec.map} fan-outs inside the
+    execute and mop-up phases contribute their own pool/worker spans. *)
+
+val run :
+  ?log:(string -> unit) ->
+  ?spans:Wario_obs.Span.t ->
+  config ->
+  case_report list
 
 val total_failures : case_report list -> int
 

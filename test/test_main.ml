@@ -12,6 +12,7 @@ let () =
       ("emulator", Test_emulator.suite @ Test_emulator.cycle_suite);
       ("pipeline", Test_pipeline.suite);
       ("obs", Test_obs.suite);
+      ("stats", Test_stats.suite);
       ("extensions", Test_extensions.suite);
       ("exec", Test_exec.suite);
       ("verify", Test_verify.suite);

@@ -9,6 +9,8 @@ module W = Wario_workloads.Programs
 module T = Wario_obs.Trace
 module Pr = Wario_obs.Profile
 module M = Wario_obs.Metrics
+module S = Wario_obs.Span
+module X = Wario_exec.Exec
 
 (* ------------------------------------------------------------------ *)
 (* A minimal JSON parser (enough for Chrome traces and metric lines)    *)
@@ -414,6 +416,283 @@ let test_metrics_jsonl () =
   Alcotest.(check string) "disabled jsonl empty" "" (M.to_jsonl M.disabled)
 
 (* ------------------------------------------------------------------ *)
+(* Span recorder                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let sp = S.create () in
+  let v =
+    S.with_span sp ~attrs:[ ("stage", S.Str "outer") ] "outer" (fun () ->
+        S.add_counter ~by:3 sp "widgets";
+        S.with_span sp "inner" (fun () ->
+            S.set_attr sp "deep" (S.Bool true);
+            S.add_counter sp "widgets");
+        S.with_span sp "inner2" (fun () -> ());
+        41 + 1)
+  in
+  Alcotest.(check int) "with_span returns the thunk value" 42 v;
+  match S.roots sp with
+  | [ root ] ->
+      Alcotest.(check string) "root name" "outer" root.S.sp_name;
+      Alcotest.(check int) "root track" 0 root.S.sp_track;
+      Alcotest.(check bool) "root attr kept" true
+        (List.assoc_opt "stage" root.S.sp_attrs = Some (S.Str "outer"));
+      Alcotest.(check (list string)) "children in completion order"
+        [ "inner"; "inner2" ]
+        (List.map (fun c -> c.S.sp_name) root.S.sp_children);
+      Alcotest.(check bool) "counter on the open span only" true
+        (List.assoc_opt "widgets" root.S.sp_counters = Some 3);
+      (match root.S.sp_children with
+      | inner :: _ ->
+          Alcotest.(check bool) "inner counter separate" true
+            (List.assoc_opt "widgets" inner.S.sp_counters = Some 1);
+          Alcotest.(check bool) "inner attr" true
+            (List.assoc_opt "deep" inner.S.sp_attrs = Some (S.Bool true));
+          Alcotest.(check bool) "child starts inside parent" true
+            (inner.S.sp_t0 >= root.S.sp_t0)
+      | [] -> Alcotest.fail "no children");
+      (match S.check [ root ] with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("self-check failed: " ^ e))
+  | roots ->
+      Alcotest.fail (Printf.sprintf "expected 1 root, got %d" (List.length roots))
+
+let test_span_exception_keeps_span () =
+  let sp = S.create () in
+  (match S.with_span sp "outer" (fun () ->
+       S.with_span sp "boom" (fun () -> raise Exit))
+   with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Exit -> ());
+  match S.roots sp with
+  | [ root ] ->
+      Alcotest.(check (list string)) "raising span kept" [ "boom" ]
+        (List.map (fun c -> c.S.sp_name) root.S.sp_children)
+  | _ -> Alcotest.fail "expected one root"
+
+let test_span_disabled () =
+  Alcotest.(check bool) "disabled" false (S.is_enabled S.disabled);
+  let v = S.with_span S.disabled "x" (fun () -> 7) in
+  Alcotest.(check int) "disabled runs the thunk" 7 v;
+  S.set_attr S.disabled "a" (S.Int 1);
+  S.add_counter S.disabled "c";
+  S.graft S.disabled [];
+  Alcotest.(check bool) "disabled records nothing" true (S.roots S.disabled = [])
+
+let test_span_check_rejects () =
+  (* a same-track child wider than its parent must fail the self-check *)
+  let child =
+    {
+      S.sp_name = "child";
+      sp_t0 = 0.0;
+      sp_dur = 10.0;
+      sp_track = 0;
+      sp_attrs = [];
+      sp_counters = [];
+      sp_children = [];
+    }
+  in
+  let parent = { child with S.sp_name = "parent"; sp_dur = 4.0;
+                 sp_children = [ child ] } in
+  (match S.check [ parent ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "oversized child accepted");
+  (* two same-track children whose sum exceeds the parent also fail *)
+  let c1 = { child with S.sp_dur = 3.0 } in
+  let c2 = { child with S.sp_t0 = 1.0; sp_dur = 3.0 } in
+  let parent2 = { parent with S.sp_dur = 4.0; sp_children = [ c1; c2 ] } in
+  (match S.check [ parent2 ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "over-summing same-track children accepted");
+  (* the same two children on distinct tracks (parallel workers) are fine *)
+  let parent3 =
+    { parent2 with S.sp_children = [ c1; { c2 with S.sp_track = 1 } ] }
+  in
+  match S.check [ parent3 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("distinct-track overlap rejected: " ^ e)
+
+type shape =
+  | Shape of
+      string * int * (string * S.value) list * (string * int) list * shape list
+
+let rec span_shape (s : S.span) =
+  Shape
+    ( s.S.sp_name,
+      s.S.sp_track,
+      s.S.sp_attrs,
+      s.S.sp_counters,
+      List.map span_shape s.S.sp_children )
+
+let test_span_jsonl_roundtrip () =
+  let sp = S.create () in
+  S.with_span sp ~attrs:[ ("k", S.Int 5); ("f", S.Float 1.25) ] "pool"
+    (fun () ->
+      S.with_span sp "stage" (fun () -> S.add_counter ~by:7 sp "items");
+      (* graft a pre-built worker tree on its own track, like Exec.map *)
+      let wsp = S.create ~track:3 () in
+      S.with_span wsp ~attrs:[ ("worker", S.Int 3) ] "worker" (fun () -> ());
+      S.graft sp (S.roots wsp));
+  let roots = S.roots sp in
+  (match S.check roots with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("pre-serialize check: " ^ e));
+  let jsonl = S.to_jsonl roots in
+  match S.of_jsonl jsonl with
+  | Error e -> Alcotest.fail ("of_jsonl: " ^ e)
+  | Ok rebuilt ->
+      Alcotest.(check int) "same number of roots" (List.length roots)
+        (List.length rebuilt);
+      Alcotest.(check bool) "same shape, attrs and counters" true
+        (List.map span_shape roots = List.map span_shape rebuilt);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "t0 survives the round trip" true
+            (Float.abs (a.S.sp_t0 -. b.S.sp_t0) < 1e-6);
+          Alcotest.(check bool) "dur survives the round trip" true
+            (Float.abs (a.S.sp_dur -. b.S.sp_dur) < 1e-6))
+        roots rebuilt;
+      (match S.check rebuilt with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("post-rebuild check: " ^ e));
+      (* a dangling parent id is an error, not a silent drop *)
+      (match S.of_jsonl {|{"span":"x","id":9,"parent":8,"track":0,"t0_ms":0,"dur_ms":1,"attrs":{},"counters":{}}|}
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "dangling parent accepted")
+
+let test_span_chrome_json () =
+  let sp = S.create () in
+  S.with_span sp "a" (fun () -> S.with_span sp "b" (fun () -> ()));
+  let items =
+    match parse_json (S.to_chrome_json ~process_name:"test" (S.roots sp)) with
+    | J_obj kvs -> (
+        match List.assoc_opt "traceEvents" kvs with
+        | Some (J_arr items) -> items
+        | _ -> Alcotest.fail "no traceEvents array")
+    | _ -> Alcotest.fail "top level is not an object"
+  in
+  let slices =
+    List.filter (fun it -> str_field "ph" it = Some "X") items
+  in
+  Alcotest.(check int) "one X slice per span" 2 (List.length slices);
+  List.iter
+    (fun it ->
+      (match num_field "ts" it with
+      | Some ts when ts >= 0. -> ()
+      | _ -> Alcotest.fail "slice without non-negative ts");
+      match num_field "dur" it with
+      | Some d when d >= 0. -> ()
+      | _ -> Alcotest.fail "slice without non-negative dur")
+    slices;
+  Alcotest.(check bool) "earliest slice normalized to ts 0" true
+    (List.exists (fun it -> num_field "ts" it = Some 0.) slices);
+  Alcotest.(check bool) "process_name metadata present" true
+    (List.exists (fun it -> str_field "ph" it = Some "M") items)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics merge and multi-domain determinism (satellite: jobs=1 = jobs=2) *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_merge () =
+  let a = M.create () in
+  M.incr ~by:2 a "n";
+  M.add_ms a "t" 1.0;
+  let b = M.create () in
+  M.incr ~by:3 b "n";
+  M.add_ms b "t" 0.5;
+  M.incr b "only_b";
+  M.merge ~into:a b;
+  (match M.find a "n" with
+  | Some (M.Count 5) -> ()
+  | _ -> Alcotest.fail "counters add");
+  (match M.find a "t" with
+  | Some (M.Time_ms x) when Float.abs (x -. 1.5) < 1e-9 -> ()
+  | _ -> Alcotest.fail "timers add");
+  Alcotest.(check (list string)) "unseen names append in src order"
+    [ "n"; "t"; "only_b" ]
+    (List.map fst (M.items a));
+  (* kind conflicts are a programming error, loudly *)
+  let c = M.create () in
+  M.incr c "x";
+  let d = M.create () in
+  M.add_ms d "x" 1.0;
+  (match M.merge ~into:c d with
+  | () -> Alcotest.fail "kind conflict accepted"
+  | exception Invalid_argument _ -> ());
+  (* merging into/from disabled is a no-op *)
+  M.merge ~into:M.disabled b;
+  Alcotest.(check bool) "disabled target untouched" true
+    (M.items M.disabled = [])
+
+let test_exec_metrics_jobs_deterministic () =
+  (* The fix under test: per-item registries merged at the join in input
+     order make the merged JSONL independent of worker scheduling.  Only
+     counters are compared byte-for-byte — timers are wall-clock noisy —
+     but the name set and order must match across pool widths too. *)
+  let job m x =
+    M.incr ~by:x m "work.items";
+    M.incr m (Printf.sprintf "work.item_%d" (x mod 3));
+    if x mod 2 = 0 then M.add_ms m "work.ms" (float_of_int x *. 0.01);
+    x * x
+  in
+  let items = List.init 20 (fun i -> i + 1) in
+  let run jobs =
+    let m = M.create () in
+    let rs = X.map_with_metrics ~jobs ~metrics:m job items in
+    (rs, m)
+  in
+  let rs1, m1 = run 1 in
+  let rs2, m2 = run 2 in
+  Alcotest.(check (list int)) "results identical across pool widths" rs1 rs2;
+  Alcotest.(check (list string)) "metric names and order identical"
+    (List.map fst (M.items m1))
+    (List.map fst (M.items m2));
+  let counters m =
+    List.filter_map
+      (fun (k, v) -> match v with M.Count n -> Some (k, n) | _ -> None)
+      (M.items m)
+  in
+  Alcotest.(check (list (pair string int))) "counters identical"
+    (counters m1) (counters m2);
+  (* counter-only JSONL is byte-identical *)
+  let counter_lines m =
+    List.filter
+      (fun l -> l <> "" && str_field "kind" (parse_json l) = Some "count")
+      (String.split_on_char '\n' (M.to_jsonl m))
+  in
+  Alcotest.(check (list string)) "counter JSONL byte-identical"
+    (counter_lines m1) (counter_lines m2)
+
+let test_exec_span_workers () =
+  let sp = S.create () in
+  let rs = X.map ~jobs:2 ~spans:sp ~label:"test.pool" succ [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "map results" [ 2; 3; 4; 5 ] rs;
+  match S.roots sp with
+  | [ pool ] ->
+      Alcotest.(check string) "pool span label" "test.pool" pool.S.sp_name;
+      let workers =
+        List.filter (fun c -> c.S.sp_name = "worker") pool.S.sp_children
+      in
+      Alcotest.(check bool) "at least one worker span" true (workers <> []);
+      let tracks = List.map (fun w -> w.S.sp_track) workers in
+      Alcotest.(check bool) "workers on distinct nonzero tracks" true
+        (List.for_all (fun t -> t > 0) tracks
+        && List.length (List.sort_uniq compare tracks) = List.length tracks);
+      Alcotest.(check int) "worker items sum to the input size" 4
+        (List.fold_left
+           (fun a w ->
+             a
+             + match List.assoc_opt "items" w.S.sp_counters with
+               | Some n -> n
+               | None -> 0)
+           0 workers);
+      (match S.check [ pool ] with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("worker self-check: " ^ e))
+  | _ -> Alcotest.fail "expected exactly one pool span"
+
+(* ------------------------------------------------------------------ *)
 (* Compile pipeline fills the registry                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -448,4 +727,18 @@ let suite =
     Alcotest.test_case "metrics: jsonl and disabled" `Quick test_metrics_jsonl;
     Alcotest.test_case "metrics: pipeline fills registry" `Quick
       test_pipeline_metrics;
+    Alcotest.test_case "span: nesting, attrs, counters" `Quick
+      test_span_nesting;
+    Alcotest.test_case "span: raising thunk keeps the span" `Quick
+      test_span_exception_keeps_span;
+    Alcotest.test_case "span: disabled recorder" `Quick test_span_disabled;
+    Alcotest.test_case "span: self-check rejects bad trees" `Quick
+      test_span_check_rejects;
+    Alcotest.test_case "span: jsonl round trip" `Quick
+      test_span_jsonl_roundtrip;
+    Alcotest.test_case "span: chrome trace json" `Quick test_span_chrome_json;
+    Alcotest.test_case "metrics: merge" `Quick test_metrics_merge;
+    Alcotest.test_case "metrics: jobs=1 and jobs=2 identical" `Quick
+      test_exec_metrics_jobs_deterministic;
+    Alcotest.test_case "span: exec worker spans" `Quick test_exec_span_workers;
   ]
