@@ -11,7 +11,7 @@
      dune exec bench/main.exe -- --small --artefact perf   # CI smoke
 
    Artefacts: fig4 fig5 tab1 tab2 fig6 fig7 tab3 tab4 ext cert profile
-   bechamel perf place.  The compile+run cache is prefilled on --jobs
+   bechamel perf emu place place6.  The compile+run cache is prefilled on --jobs
    domains (default and 0: the host's domain count; results are identical
    for any value).
    Absolute numbers differ from the paper (different substrate,
@@ -668,6 +668,11 @@ let bechamel () =
 (* Set by the driver before artefacts run. *)
 let opt_jobs = ref 0 (* 0 = not set: use X.default_jobs () *)
 let opt_small = ref false
+
+(* --engine: engine for artefact emulator runs that are not themselves
+   engine comparisons (the perf/emu engine tables always run the full
+   reference/uop/block ladder regardless). *)
+let opt_engine = ref E.Emulator.Auto
 let opt_out_dir : string option ref = ref None
 
 let resolved_jobs () = if !opt_jobs >= 1 then !opt_jobs else X.default_jobs ()
@@ -716,23 +721,24 @@ let perf () =
     |> Option.get |> fst
   in
   let image = (get largest P.Wario).compiled.P.image in
-  let run_path ~verify path () =
-    E.Emulator.run ~verify ~path image
-  in
+  let run_engine ~verify engine () = E.Emulator.run ~verify ~engine image in
   let r_ref_verify, t_ref_verify =
-    best_of reps (run_path ~verify:true E.Emulator.Reference)
+    best_of reps (run_engine ~verify:true E.Emulator.Reference)
   in
-  let r_ref, t_ref = best_of reps (run_path ~verify:false E.Emulator.Reference) in
-  let r_fast, t_fast = best_of reps (run_path ~verify:false E.Emulator.Fast) in
-  let fast_eq = r_fast = r_ref in
+  let r_ref, t_ref =
+    best_of reps (run_engine ~verify:false E.Emulator.Reference)
+  in
+  let r_uop, t_uop = best_of reps (run_engine ~verify:false E.Emulator.Uop) in
+  let r_blk, t_blk = best_of reps (run_engine ~verify:false E.Emulator.Block) in
+  let fast_eq = r_uop = r_ref && r_blk = r_ref in
   let fast_eq_verify =
     (* verify-on differs only in that it can report violations *)
-    r_fast = { r_ref_verify with E.Emulator.violations = [] }
+    r_uop = { r_ref_verify with E.Emulator.violations = [] }
     && r_ref_verify.E.Emulator.violations = []
   in
   if not (fast_eq && fast_eq_verify) then
-    failwith "perf: fast path diverged from the reference path";
-  let ips t = float_of_int r_fast.E.Emulator.instrs /. t in
+    failwith "perf: a fast engine diverged from the reference engine";
+  let ips t = float_of_int r_uop.E.Emulator.instrs /. t in
   let rows =
     [
       [ "reference, verify on"; Printf.sprintf "%.3f s" t_ref_verify;
@@ -740,18 +746,21 @@ let perf () =
       [ "reference, verify off"; Printf.sprintf "%.3f s" t_ref;
         Printf.sprintf "%.2fM instr/s" (ips t_ref /. 1e6);
         Printf.sprintf "%.2f" (t_ref_verify /. t_ref) ];
-      [ "fast"; Printf.sprintf "%.3f s" t_fast;
-        Printf.sprintf "%.2fM instr/s" (ips t_fast /. 1e6);
-        Printf.sprintf "%.2f" (t_ref_verify /. t_fast) ];
+      [ "uop"; Printf.sprintf "%.3f s" t_uop;
+        Printf.sprintf "%.2fM instr/s" (ips t_uop /. 1e6);
+        Printf.sprintf "%.2f" (t_ref_verify /. t_uop) ];
+      [ "block"; Printf.sprintf "%.3f s" t_blk;
+        Printf.sprintf "%.2fM instr/s" (ips t_blk /. 1e6);
+        Printf.sprintf "%.2f" (t_ref_verify /. t_blk) ];
     ]
   in
   Printf.printf "emulator throughput: %s, %d instrs, continuous supply, \
                  best of %d\n"
-    largest.W.name r_fast.E.Emulator.instrs reps;
+    largest.W.name r_uop.E.Emulator.instrs reps;
   print_string
-    (Report.table [ "path"; "wall"; "throughput"; "speedup" ] rows);
+    (Report.table [ "engine"; "wall"; "throughput"; "speedup" ] rows);
   Printf.printf
-    "fast = reference (verify off): %b; = reference (verify on, modulo \
+    "uop/block = reference (verify off): %b; = reference (verify on, modulo \
      violations=[]): %b\n"
     fast_eq fast_eq_verify;
   (* -- harness wall-clock: schedule fan-out at jobs=1 vs jobs=N -- *)
@@ -768,6 +777,7 @@ let perf () =
       schedules_per_case = (if !opt_small then 24 else 100);
       exhaustive_limit = (if !opt_small then 24 else 100);
       jobs;
+      engine = !opt_engine;
     }
   in
   let sweep jobs () = H.sweep (config jobs) in
@@ -811,15 +821,17 @@ let perf () =
         "  \"emulator\": {\n";
         Printf.sprintf "    \"benchmark\": \"%s\",\n"
           (json_escape largest.W.name);
-        Printf.sprintf "    \"instrs\": %d,\n" r_fast.E.Emulator.instrs;
+        Printf.sprintf "    \"instrs\": %d,\n" r_uop.E.Emulator.instrs;
         Printf.sprintf "    \"reference_verify_on_s\": %.6f,\n" t_ref_verify;
         Printf.sprintf "    \"reference_verify_off_s\": %.6f,\n" t_ref;
-        Printf.sprintf "    \"fast_s\": %.6f,\n" t_fast;
-        Printf.sprintf "    \"fast_instr_per_s\": %.0f,\n" (ips t_fast);
+        Printf.sprintf "    \"fast_s\": %.6f,\n" t_uop;
+        Printf.sprintf "    \"fast_instr_per_s\": %.0f,\n" (ips t_uop);
+        Printf.sprintf "    \"block_s\": %.6f,\n" t_blk;
+        Printf.sprintf "    \"block_instr_per_s\": %.0f,\n" (ips t_blk);
         Printf.sprintf "    \"speedup_vs_reference_verify_on\": %.3f,\n"
-          (t_ref_verify /. t_fast);
+          (t_ref_verify /. t_uop);
         Printf.sprintf "    \"speedup_vs_reference_verify_off\": %.3f,\n"
-          (t_ref /. t_fast);
+          (t_ref /. t_uop);
         Printf.sprintf "    \"fast_equals_reference\": %b\n"
           (fast_eq && fast_eq_verify);
         "  },\n";
@@ -836,6 +848,178 @@ let perf () =
   in
   let dir = match !opt_out_dir with Some d -> d | None -> "." in
   let path = Filename.concat dir "BENCH_4.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Emu: engine-ladder throughput (BENCH_7.json)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-engine wall time of one run configuration; every engine's [result]
+   is asserted byte-identical before any number is recorded. *)
+type engine_row = {
+  er_instrs : int;
+  er_ref_s : float;
+  er_uop_s : float;
+  er_blk_s : float;
+}
+
+let emu_engines =
+  [
+    ("reference", E.Emulator.Reference);
+    ("uop", E.Emulator.Uop);
+    ("block", E.Emulator.Block);
+  ]
+
+let emu () =
+  print_endline
+    "\n=== Emu: engine ladder (reference / uop / block) throughput, \
+     BENCH_7.json ===\n";
+  let reps = if !opt_small then 2 else 7 in
+  let progs =
+    if !opt_small then
+      List.filter
+        (fun b -> List.mem b.W.name [ "crc"; "sha"; "aes" ])
+        benchmarks
+    else benchmarks
+  in
+  prefill ~jobs:(resolved_jobs ()) (List.map (fun b -> (b, P.Wario)) progs);
+  (* one on-period for every engine of a program, so the intermittent
+     numbers are comparable; generous enough that every workload makes
+     forward progress *)
+  let on_period = 100_000 in
+  let measure image supply =
+    let attempt engine () =
+      E.Emulator.run ~verify:false ~supply ~engine image
+    in
+    let r_ref, t_ref = best_of reps (attempt E.Emulator.Reference) in
+    let r_uop, t_uop = best_of reps (attempt E.Emulator.Uop) in
+    let r_blk, t_blk = best_of reps (attempt E.Emulator.Block) in
+    if r_uop <> r_ref then failwith "emu: uop engine diverged from reference";
+    if r_blk <> r_ref then failwith "emu: block engine diverged from reference";
+    {
+      er_instrs = r_ref.E.Emulator.instrs;
+      er_ref_s = t_ref;
+      er_uop_s = t_uop;
+      er_blk_s = t_blk;
+    }
+  in
+  (* block-engine telemetry: one stepping run, untimed *)
+  let block_stats image =
+    let st = E.Emulator.create ~verify:false image in
+    while not (E.Emulator.halted st) do
+      ignore (E.Emulator.run_batch ~engine:E.Emulator.Block st 65536)
+    done;
+    E.Emulator.engine_stats st
+  in
+  let ips instrs t = float_of_int instrs /. t in
+  let rows =
+    List.map
+      (fun b ->
+        let image = (get b P.Wario).compiled.P.image in
+        let cont = measure image E.Power.Continuous in
+        let im = measure image (E.Power.Periodic on_period) in
+        let es = block_stats image in
+        (b.W.name, cont, im, es))
+      progs
+  in
+  print_string
+    (Report.table
+       [ "benchmark"; "engine"; "continuous"; "intermittent"; "blk/uop" ]
+       (List.concat_map
+          (fun (name, c, im, _) ->
+            List.map
+              (fun (ename, _) ->
+                let pick r =
+                  match ename with
+                  | "reference" -> r.er_ref_s
+                  | "uop" -> r.er_uop_s
+                  | _ -> r.er_blk_s
+                in
+                [
+                  name; ename;
+                  Printf.sprintf "%.2fM instr/s" (ips c.er_instrs (pick c) /. 1e6);
+                  Printf.sprintf "%.2fM instr/s" (ips im.er_instrs (pick im) /. 1e6);
+                  (if ename = "block" then
+                     Printf.sprintf "%.2f" (c.er_uop_s /. c.er_blk_s)
+                   else "");
+                ])
+              emu_engines)
+          rows));
+  let aes_speedup =
+    List.fold_left
+      (fun acc (name, c, _, _) ->
+        if name = "aes" then c.er_uop_s /. c.er_blk_s else acc)
+      0. rows
+  in
+  Printf.printf
+    "\nall engines byte-identical on every run above: true\n\
+     aes block speedup vs uop (continuous): %.2fx\n"
+    aes_speedup;
+  let json =
+    String.concat ""
+      [
+        "{\n";
+        "  \"bench\": \"emu\",\n";
+        Printf.sprintf "  \"small\": %b,\n" !opt_small;
+        Printf.sprintf "  \"reps\": %d,\n" reps;
+        Printf.sprintf "  \"on_period\": %d,\n" on_period;
+        "  \"programs\": [\n";
+        String.concat ",\n"
+          (List.map
+             (fun (name, c, im, es) ->
+               String.concat ""
+                 [
+                   "    {\n";
+                   Printf.sprintf "      \"name\": \"%s\",\n" (json_escape name);
+                   "      \"continuous\": {\n";
+                   Printf.sprintf "        \"instrs\": %d,\n" c.er_instrs;
+                   Printf.sprintf "        \"reference_instr_per_s\": %.0f,\n"
+                     (ips c.er_instrs c.er_ref_s);
+                   Printf.sprintf "        \"uop_instr_per_s\": %.0f,\n"
+                     (ips c.er_instrs c.er_uop_s);
+                   Printf.sprintf "        \"block_instr_per_s\": %.0f,\n"
+                     (ips c.er_instrs c.er_blk_s);
+                   Printf.sprintf "        \"block_speedup_vs_uop\": %.3f\n"
+                     (c.er_uop_s /. c.er_blk_s);
+                   "      },\n";
+                   "      \"intermittent\": {\n";
+                   Printf.sprintf "        \"instrs\": %d,\n" im.er_instrs;
+                   Printf.sprintf "        \"reference_instr_per_s\": %.0f,\n"
+                     (ips im.er_instrs im.er_ref_s);
+                   Printf.sprintf "        \"uop_instr_per_s\": %.0f,\n"
+                     (ips im.er_instrs im.er_uop_s);
+                   Printf.sprintf "        \"block_instr_per_s\": %.0f,\n"
+                     (ips im.er_instrs im.er_blk_s);
+                   Printf.sprintf "        \"block_speedup_vs_uop\": %.3f\n"
+                     (im.er_uop_s /. im.er_blk_s);
+                   "      },\n";
+                   "      \"block_engine\": {\n";
+                   Printf.sprintf "        \"blocks\": %d,\n"
+                     es.E.Emulator.es_blocks;
+                   Printf.sprintf "        \"compile_ms\": %.3f,\n"
+                     es.E.Emulator.es_compile_ms;
+                   Printf.sprintf "        \"dispatches\": %d,\n"
+                     es.E.Emulator.es_dispatches;
+                   Printf.sprintf "        \"fallback_steps\": %d\n"
+                     es.E.Emulator.es_fallback_steps;
+                   "      },\n";
+                   "      \"identical\": true\n";
+                   "    }";
+                 ])
+             rows);
+        "\n  ],\n";
+        "  \"summary\": {\n";
+        Printf.sprintf "    \"aes_block_speedup_vs_uop\": %.3f,\n" aes_speedup;
+        "    \"engines_identical\": true\n";
+        "  }\n";
+        "}\n";
+      ]
+  in
+  let dir = match !opt_out_dir with Some d -> d | None -> "." in
+  let path = Filename.concat dir "BENCH_7.json" in
   let oc = open_out path in
   output_string oc json;
   close_out oc;
@@ -1421,7 +1605,7 @@ let artefacts =
     ("fig4", fig4); ("fig5", fig5); ("tab1", tab1); ("tab2", tab2);
     ("fig6", fig6); ("fig7", fig7); ("tab3", tab3); ("tab4", tab4);
     ("ext", ext); ("cert", cert); ("profile", profile); ("bechamel", bechamel);
-    ("perf", perf); ("place", place); ("place6", place6);
+    ("perf", perf); ("emu", emu); ("place", place); ("place6", place6);
   ]
 
 (* Redirect stdout to [path] for the duration of [f] (artefact functions
@@ -1464,6 +1648,27 @@ let () =
     | "--small" :: rest ->
         opt_small := true;
         parse out_dir names rest
+    | "--engine" :: e :: rest -> (
+        match e with
+        | "auto" ->
+            opt_engine := E.Emulator.Auto;
+            parse out_dir names rest
+        | "reference" ->
+            opt_engine := E.Emulator.Reference;
+            parse out_dir names rest
+        | "uop" ->
+            opt_engine := E.Emulator.Uop;
+            parse out_dir names rest
+        | "block" ->
+            opt_engine := E.Emulator.Block;
+            parse out_dir names rest
+        | _ ->
+            prerr_endline
+              "bench: --engine must be auto, reference, uop or block";
+            exit 1)
+    | [ "--engine" ] ->
+        prerr_endline "bench: --engine must be auto, reference, uop or block";
+        exit 1
     | "--span-out" :: path :: rest ->
         opt_span_out := Some path;
         parse out_dir names rest

@@ -114,6 +114,22 @@ let resolve_jobs = function
   | Some n when n >= 1 -> Ok n
   | Some n -> Error (Printf.sprintf "--jobs must be >= 0 (got %d; 0 = auto)" n)
 
+let engine_arg =
+  let engines =
+    [
+      ("auto", E.Emulator.Auto);
+      ("reference", E.Emulator.Reference);
+      ("uop", E.Emulator.Uop);
+      ("block", E.Emulator.Block);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum engines) E.Emulator.Auto
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Emulator engine: $(b,auto) (default — the block translator when            the run is eligible, the instrumented reference interpreter            otherwise), $(b,reference), $(b,uop) (the predecoded micro-op            loop), or $(b,block) (basic blocks fused into closures).  Every            engine produces byte-identical results; the selection only            changes throughput.")
+
 let opts_of ?max_region ?profile ~no_opt unroll =
   {
     P.default_options with
@@ -389,7 +405,7 @@ let compile_cmd =
 (* --- run --- *)
 
 let do_run file benchmark env unroll max_region no_opt profile_guided power
-    trace irq stats no_verify =
+    trace irq stats no_verify engine =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok src -> (
@@ -399,7 +415,7 @@ let do_run file benchmark env unroll max_region no_opt profile_guided power
           if not profile_guided then c
           else begin
             (* pilot run: collect the call-count profile, then recompile *)
-            let pilot = E.Emulator.run ~verify:false c.P.image in
+            let pilot = E.Emulator.run ~verify:false ~engine c.P.image in
             P.compile
               ~opts:
                 (opts_of ?max_region ~no_opt
@@ -414,7 +430,7 @@ let do_run file benchmark env unroll max_region no_opt profile_guided power
         in
         let r =
           E.Emulator.run ~supply ~irq_period:irq ~verify:(not no_verify)
-            c.P.image
+            ~engine c.P.image
         in
         List.iter (fun v -> Printf.printf "%ld\n" v) r.E.Emulator.output;
         Printf.printf "exit=%ld\n" r.E.Emulator.exit_code;
@@ -475,7 +491,7 @@ let run_cmd =
       ret
         (const do_run $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
        $ max_region_arg $ no_opt_arg $ profile_guided_arg $ power $ trace
-       $ irq $ stats $ no_verify))
+       $ irq $ stats $ no_verify $ engine_arg))
 
 (* --- trace --- *)
 
@@ -485,7 +501,8 @@ let write_file path s =
   close_out oc
 
 let do_trace file benchmark env unroll max_region no_opt power trace irq out
-    metrics_out folded_out show_profile ring_cap jobs span_out span_jsonl =
+    metrics_out folded_out show_profile ring_cap jobs span_out span_jsonl
+    engine =
   match resolve_jobs jobs with
   | Error e -> `Error (true, e)
   | Ok jobs -> (
@@ -506,7 +523,8 @@ let do_trace file benchmark env unroll max_region no_opt power trace irq out
         let r =
           O.Span.with_span spans "emulator.run" (fun () ->
               let r =
-                E.Emulator.run ~supply ~irq_period:irq ~tracer:sink c.P.image
+                E.Emulator.run ~supply ~irq_period:irq ~tracer:sink ~engine
+                  c.P.image
               in
               O.Span.add_counter ~by:r.E.Emulator.cycles spans "cycles";
               O.Span.add_counter ~by:r.E.Emulator.checkpoints_total spans
@@ -686,7 +704,7 @@ let trace_cmd =
         (const do_trace $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
        $ max_region_arg $ no_opt_arg $ power $ trace $ irq $ out $ metrics_out
        $ folded_out $ show_profile $ ring_cap $ jobs_arg $ span_out_arg
-       $ span_jsonl_arg))
+       $ span_jsonl_arg $ engine_arg))
 
 (* --- verify --- *)
 
@@ -773,7 +791,7 @@ let do_corpus dir =
   else `Error (false, "corpus replay: expectations not upheld")
 
 let do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
-    ~corpus_out ~coverage_out ~seed ~opts ~jobs ~spans =
+    ~corpus_out ~coverage_out ~seed ~opts ~jobs ~engine ~spans =
   let budget =
     match schedules with
     | Some n -> n
@@ -789,6 +807,7 @@ let do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
       opts;
       jobs;
       max_shrunk_per_case = 5;
+      engine;
     }
   in
   let log = X.serialized (fun s -> Printf.printf "  %s\n%!" s) in
@@ -834,7 +853,7 @@ let do_campaign ~config_envs ~workloads ~schedules ~small ~min_coverage
 
 let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
     drop_ckpt placement jobs repro campaign small min_coverage corpus_out
-    coverage_out corpus span_out span_jsonl =
+    coverage_out corpus span_out span_jsonl engine =
   match resolve_jobs jobs with
   | Error e -> `Error (true, e)
   | Ok jobs -> (
@@ -899,7 +918,7 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
                       max_region;
                       drop_middle_ckpt = drop_ckpt;
                     })
-               ~jobs ~spans)
+               ~jobs ~engine ~spans)
       | Ok workloads ->
           let schedules = Option.value schedules ~default:200 in
           let config =
@@ -919,6 +938,7 @@ let do_verify envs workloads schedules seed exhaustive_limit unroll max_region
                      drop_middle_ckpt = drop_ckpt;
                    });
               jobs;
+              engine;
             }
           in
           (* progress lines may be emitted while worker domains are live:
@@ -1067,7 +1087,8 @@ let verify_cmd =
         (const do_verify $ envs $ workloads $ schedules $ seed
        $ exhaustive_limit $ unroll_arg $ max_region_arg $ drop_ckpt
        $ placement_arg $ jobs_arg $ repro $ campaign $ small $ min_coverage
-       $ corpus_out $ coverage_out $ corpus $ span_out_arg $ span_jsonl_arg))
+       $ corpus_out $ coverage_out $ corpus $ span_out_arg $ span_jsonl_arg
+       $ engine_arg))
 
 (* --- certify --- *)
 
@@ -1179,7 +1200,7 @@ let certify_cmd =
 (* --- pgo --- *)
 
 let do_pgo file benchmark env unroll max_region no_opt power trace stats
-    explain span_out span_jsonl =
+    explain span_out span_jsonl engine =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok src -> (
@@ -1196,7 +1217,7 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats
             motion = true;
           }
         in
-        let cs = Wario.Pgo.compile_candidates ~opts ~spans env src in
+        let cs = Wario.Pgo.compile_candidates ~opts ~spans ~engine env src in
         let pilot = cs.Wario.Pgo.pilot in
         Printf.printf "pilot: %d cycles under continuous power\n"
           pilot.Wario.Pgo.pilot_cycles;
@@ -1245,7 +1266,7 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats
               path);
         let r =
           O.Span.with_span spans "pgo.final_run" (fun () ->
-              let r = E.Emulator.run ~supply best.P.image in
+              let r = E.Emulator.run ~supply ~engine best.P.image in
               O.Span.add_counter ~by:r.E.Emulator.cycles spans "cycles";
               O.Span.add_counter ~by:r.E.Emulator.checkpoints_total spans
                 "dyn_ckpts";
@@ -1310,7 +1331,7 @@ let pgo_cmd =
       ret
         (const do_pgo $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
        $ max_region_arg $ no_opt_arg $ power $ trace $ stats $ explain_arg
-       $ span_out_arg $ span_jsonl_arg))
+       $ span_out_arg $ span_jsonl_arg $ engine_arg))
 
 (* --- stats --- *)
 

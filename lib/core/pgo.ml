@@ -84,7 +84,7 @@ let compiled_of (cs : candidates) = function
     input (the pilot supplies it); [opts.placement] is forced per
     candidate.  [pilot_fuel] bounds the pilot run. *)
 let compile_candidates ?(opts = Pipeline.default_options) ?metrics
-    ?(spans = S.disabled) ?pilot_fuel (env : Pipeline.environment)
+    ?(spans = S.disabled) ?pilot_fuel ?engine (env : Pipeline.environment)
     (source : string) : candidates =
   let static_opts =
     {
@@ -146,7 +146,7 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
     @@ fun () ->
     let r =
       E.Emulator.run ?fuel:pilot_fuel ~supply:E.Power.Continuous
-        ~verify:false c.Pipeline.image
+        ~verify:false ?engine c.Pipeline.image
     in
     S.add_counter ~by:r.E.Emulator.checkpoints_total spans "dyn_ckpts";
     S.add_counter ~by:r.E.Emulator.cycles spans "cycles";
@@ -185,7 +185,10 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
 
 (** [compile env source]: {!compile_candidates}, keeping only the
     measured guard's choice. *)
-let compile ?opts ?metrics ?spans ?pilot_fuel (env : Pipeline.environment)
-    (source : string) : Pipeline.compiled * pilot =
-  let cs = compile_candidates ?opts ?metrics ?spans ?pilot_fuel env source in
+let compile ?opts ?metrics ?spans ?pilot_fuel ?engine
+    (env : Pipeline.environment) (source : string) : Pipeline.compiled * pilot
+    =
+  let cs =
+    compile_candidates ?opts ?metrics ?spans ?pilot_fuel ?engine env source
+  in
   (compiled_of cs cs.pilot.selected, cs.pilot)

@@ -50,6 +50,7 @@ val compile_candidates :
   ?metrics:Wario_obs.Metrics.t ->
   ?spans:Wario_obs.Span.t ->
   ?pilot_fuel:int ->
+  ?engine:Wario_emulator.Emulator.engine ->
   Pipeline.environment ->
   string ->
   candidates
@@ -61,7 +62,9 @@ val compile_candidates :
     A live [spans] recorder gets one ["pgo.audition"] span per candidate
     compile (pipeline stages nested inside), a ["pgo.pilot"] span, and one
     ["pgo.measure"] span per measured-guard run with dyn-ckpt/cycle
-    counters.
+    counters.  [engine] selects the emulator engine for the measured-guard
+    runs (default [Auto] — the block engine; the pilot itself always runs
+    the reference interpreter, per-pc counting requires it).
     @raise Wario_minic.Minic.Error on front-end errors *)
 
 val compile :
@@ -69,6 +72,7 @@ val compile :
   ?metrics:Wario_obs.Metrics.t ->
   ?spans:Wario_obs.Span.t ->
   ?pilot_fuel:int ->
+  ?engine:Wario_emulator.Emulator.engine ->
   Pipeline.environment ->
   string ->
   Pipeline.compiled * pilot

@@ -22,12 +22,20 @@ type point = {
   pt_cycles : int;
 }
 
+type tpoint = {
+  tp_program : string;
+  tp_ref_ips : float;
+  tp_uop_ips : float;
+  tp_block_ips : float;
+}
+
 type generation = {
   g_label : string;
   g_kind : string;
   g_small : bool;
   g_points : point list;
   g_emulator_ips : float option;
+  g_throughput : tpoint list;
 }
 
 let generation_of_json ~label (doc : J.t) : (generation, string) result =
@@ -47,8 +55,39 @@ let generation_of_json ~label (doc : J.t) : (generation, string) result =
       Option.bind (J.member "emulator" doc) (fun e ->
           Option.bind (J.member "fast_instr_per_s" e) J.to_float)
     in
+    (* emu artefacts (BENCH_7) carry per-engine throughput, not placement
+       variants: their "programs" array has no "selected"/"variants" *)
+    let throughput =
+      if kind <> "emu" then []
+      else
+        match Option.bind (J.member "programs" doc) J.to_list with
+        | None -> fail "emu artefact missing \"programs\" array"
+        | Some progs ->
+            List.map
+              (fun p ->
+                let name =
+                  match Option.bind (J.member "name" p) J.to_string with
+                  | Some s -> s
+                  | None -> fail "emu program missing \"name\""
+                in
+                let eng field =
+                  match
+                    Option.bind (J.member "continuous" p) (fun c ->
+                        Option.bind (J.member field c) J.to_float)
+                  with
+                  | Some f -> f
+                  | None -> fail "emu program %S: continuous missing %S" name field
+                in
+                {
+                  tp_program = name;
+                  tp_ref_ips = eng "reference_instr_per_s";
+                  tp_uop_ips = eng "uop_instr_per_s";
+                  tp_block_ips = eng "block_instr_per_s";
+                })
+              progs
+    in
     let points =
-      match J.member "programs" doc with
+      match (if kind = "emu" then None else J.member "programs" doc) with
       | None -> []
       | Some progs ->
           let progs =
@@ -99,6 +138,7 @@ let generation_of_json ~label (doc : J.t) : (generation, string) result =
         g_small = small;
         g_points = points;
         g_emulator_ips = ips;
+        g_throughput = throughput;
       }
   with Bad msg -> Error msg
 
@@ -171,6 +211,53 @@ let fmt_delta = function
   | None -> "-"
   | Some d -> Printf.sprintf "%+.1f%%" d
 
+(* Throughput generations: emu artefacts only, in input order. *)
+let throughput_gens gens = List.filter (fun g -> g.g_throughput <> []) gens
+
+type throughput_row = {
+  th_program : string;
+  th_cells : tpoint option list;  (** aligned with the emu generations *)
+  th_block_delta_pct : float option;
+      (** block engine instr/s, oldest -> newest appearance *)
+}
+
+let throughput_trend (gens : generation list) : throughput_row list =
+  let gens = throughput_gens gens in
+  let order = ref [] and seen = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun t ->
+          if not (Hashtbl.mem seen t.tp_program) then begin
+            Hashtbl.add seen t.tp_program ();
+            order := t.tp_program :: !order
+          end)
+        g.g_throughput)
+    gens;
+  List.rev_map
+    (fun name ->
+      let cells =
+        List.map
+          (fun g ->
+            List.find_opt (fun t -> t.tp_program = name) g.g_throughput)
+          gens
+      in
+      let present = List.filter_map Fun.id cells in
+      let delta =
+        match present with
+        | first :: _ :: _ ->
+            let last = List.nth present (List.length present - 1) in
+            if first.tp_block_ips <= 0. then None
+            else
+              Some
+                (100.
+                *. (last.tp_block_ips -. first.tp_block_ips)
+                /. first.tp_block_ips)
+        | _ -> None
+      in
+      { th_program = name; th_cells = cells; th_block_delta_pct = delta })
+    !order
+
 let render_trend (gens : generation list) : string =
   let b = Buffer.create 1024 in
   List.iter
@@ -184,6 +271,37 @@ let render_trend (gens : generation list) : string =
                (ips /. 1e6))
       | None -> ())
     gens;
+  let tgens = throughput_gens gens in
+  (match throughput_trend gens with
+  | [] -> ()
+  | rows ->
+      let header =
+        ("program" :: List.map (fun g -> g.g_label ^ " M/s") tgens)
+        @ [ "d-block" ]
+      in
+      let table_rows =
+        List.map
+          (fun r ->
+            (r.th_program
+            :: List.map
+                 (function
+                   | None -> "-"
+                   | Some t ->
+                       Printf.sprintf "%.0f/%.0f/%.0f" (t.tp_ref_ips /. 1e6)
+                         (t.tp_uop_ips /. 1e6)
+                         (t.tp_block_ips /. 1e6))
+                 r.th_cells)
+            @ [ fmt_delta r.th_block_delta_pct ])
+          rows
+      in
+      Buffer.add_string b
+        (Report.table
+           ~title:
+             "emulator throughput (reference/uop/block M instr/s, \
+              continuous power) across emu generations (delta: block \
+              engine, oldest -> newest)"
+           header table_rows);
+      Buffer.add_char b '\n');
   let pgens = placement_gens gens in
   (match trend gens with
   | [] ->
@@ -371,6 +489,7 @@ type budget = {
   b_program : string;
   b_max_dyn_ckpts : int option;
   b_max_cycles : int option;
+  b_min_instr_per_s : float option;
 }
 
 let budgets_of_json (doc : J.t) : (budget list, string) result =
@@ -394,6 +513,8 @@ let budgets_of_json (doc : J.t) : (budget list, string) result =
              b_program = program;
              b_max_dyn_ckpts = opt_int "max_dyn_ckpts";
              b_max_cycles = opt_int "max_cycles";
+             b_min_instr_per_s =
+               Option.bind (J.member "min_instr_per_s" e) J.to_float;
            })
          entries)
   with Bad msg -> Error msg
@@ -415,33 +536,75 @@ let gate ~(budgets : budget list) (gens : generation list) : breach list =
         | None -> acc)
       None gens
   in
+  let newest_throughput name =
+    List.fold_left
+      (fun acc g ->
+        match List.find_opt (fun t -> t.tp_program = name) g.g_throughput with
+        | Some t -> Some t
+        | None -> acc)
+      None gens
+  in
   List.concat_map
     (fun b ->
-      match newest b.b_program with
-      | None ->
-          [
-            {
-              br_program = b.b_program;
-              br_metric = "missing";
-              br_actual = None;
-              br_limit = 0;
-            };
-          ]
-      | Some p ->
-          let check metric actual = function
-            | Some limit when actual > limit ->
+      let placement_breaches =
+        (* a placement budget names a program the placement generations
+           must carry; a throughput-only budget does not *)
+        if b.b_max_dyn_ckpts = None && b.b_max_cycles = None then []
+        else
+          match newest b.b_program with
+          | None ->
+              [
+                {
+                  br_program = b.b_program;
+                  br_metric = "missing";
+                  br_actual = None;
+                  br_limit = 0;
+                };
+              ]
+          | Some p ->
+              let check metric actual = function
+                | Some limit when actual > limit ->
+                    [
+                      {
+                        br_program = b.b_program;
+                        br_metric = metric;
+                        br_actual = Some actual;
+                        br_limit = limit;
+                      };
+                    ]
+                | _ -> []
+              in
+              check "dyn_ckpts" p.pt_dyn_ckpts b.b_max_dyn_ckpts
+              @ check "cycles" p.pt_cycles b.b_max_cycles
+      in
+      let throughput_breaches =
+        (* inverted comparison: a floor, not a ceiling — the block engine
+           falling under it is the regression *)
+        match b.b_min_instr_per_s with
+        | None -> []
+        | Some floor -> (
+            match newest_throughput b.b_program with
+            | None ->
                 [
                   {
                     br_program = b.b_program;
-                    br_metric = metric;
-                    br_actual = Some actual;
-                    br_limit = limit;
+                    br_metric = "instr_per_s missing";
+                    br_actual = None;
+                    br_limit = int_of_float floor;
                   };
                 ]
-            | _ -> []
-          in
-          check "dyn_ckpts" p.pt_dyn_ckpts b.b_max_dyn_ckpts
-          @ check "cycles" p.pt_cycles b.b_max_cycles)
+            | Some t when t.tp_block_ips < floor ->
+                [
+                  {
+                    br_program = b.b_program;
+                    br_metric = "instr_per_s";
+                    br_actual = Some (int_of_float t.tp_block_ips);
+                    br_limit = int_of_float floor;
+                  };
+                ]
+            | Some _ -> [])
+      in
+      placement_breaches @ throughput_breaches)
     budgets
 
 let render_breaches (breaches : breach list) : string =
@@ -459,6 +622,8 @@ let render_breaches (breaches : breach list) : string =
               | Some a -> string_of_int a);
               (match br.br_metric with
               | "missing" -> "-"
+              | "instr_per_s missing" | "instr_per_s" ->
+                  ">= " ^ string_of_int br.br_limit
               | _ -> "<= " ^ string_of_int br.br_limit);
             ])
           breaches

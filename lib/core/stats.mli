@@ -25,6 +25,13 @@ type point = {
   pt_cycles : int;  (** selected variant, continuous power *)
 }
 
+type tpoint = {
+  tp_program : string;
+  tp_ref_ips : float;  (** reference engine, instr/s, continuous power *)
+  tp_uop_ips : float;
+  tp_block_ips : float;
+}
+
 type generation = {
   g_label : string;  (** e.g. ["BENCH_5"] — the file's base name *)
   g_kind : string;  (** the artefact's ["bench"] field *)
@@ -32,13 +39,17 @@ type generation = {
   g_points : point list;  (** one per program; empty for perf artefacts *)
   g_emulator_ips : float option;
       (** perf artefacts: fast-path instructions per second *)
+  g_throughput : tpoint list;
+      (** emu artefacts (BENCH_7): per-program per-engine instr/s; empty
+          for every other artefact kind *)
 }
 
 val generation_of_json :
   label:string -> Wario_support.Json.t -> (generation, string) result
 (** Accepts every BENCH schema in the repo: [perf] (no programs),
-    [place] / [place6] (programs × variants).  Each program's point is its
-    {e selected} variant's continuous-power numbers. *)
+    [place] / [place6] (programs × variants), [emu] (programs × engines —
+    parsed into [g_throughput], not [g_points]).  Each placement program's
+    point is its {e selected} variant's continuous-power numbers. *)
 
 val load_generation : label:string -> string -> (generation, string) result
 (** [generation_of_json] on raw file text. *)
@@ -59,6 +70,19 @@ type trend_row = {
 val trend : generation list -> trend_row list
 (** Rows in order of first appearance; generations are taken in the order
     given (pass oldest first). *)
+
+type throughput_row = {
+  th_program : string;
+  th_cells : tpoint option list;
+      (** aligned with the emu generations in input order *)
+  th_block_delta_pct : float option;
+      (** block-engine instr/s, oldest → newest appearance; [None] with
+          fewer than two appearances *)
+}
+
+val throughput_trend : generation list -> throughput_row list
+(** The instr/s counterpart of {!trend}: one row per program appearing in
+    any emu generation. *)
 
 val render_trend : generation list -> string
 
@@ -97,16 +121,22 @@ type budget = {
   b_program : string;
   b_max_dyn_ckpts : int option;
   b_max_cycles : int option;
+  b_min_instr_per_s : float option;
+      (** a {e floor} on the block engine's continuous-power instr/s (the
+          newest emu generation) — the inverted comparison: falling under
+          it is the breach *)
 }
 
 val budgets_of_json :
   Wario_support.Json.t -> (budget list, string) result
 (** Schema: [{"budgets": [{"program": s, "max_dyn_ckpts": n?,
-    "max_cycles": n?}, ...]}]. *)
+    "max_cycles": n?, "min_instr_per_s": x?}, ...]}]. *)
 
 type breach = {
   br_program : string;
-  br_metric : string;  (** ["dyn_ckpts"], ["cycles"] or ["missing"] *)
+  br_metric : string;
+      (** ["dyn_ckpts"], ["cycles"], ["missing"], ["instr_per_s"] or
+          ["instr_per_s missing"] *)
   br_actual : int option;  (** [None] when the program is missing *)
   br_limit : int;
 }
@@ -114,7 +144,9 @@ type breach = {
 val gate : budgets:budget list -> generation list -> breach list
 (** Each budgeted program is checked against its {e newest} appearance
     (the last generation, in input order, whose points include it); a
-    program appearing in no generation is itself a breach.  Empty result
-    = gate passes. *)
+    program appearing in no generation is itself a breach.  Ceiling
+    budgets (dyn-ckpts, cycles) read placement generations; the
+    [min_instr_per_s] floor reads emu generations.  Empty result = gate
+    passes. *)
 
 val render_breaches : breach list -> string

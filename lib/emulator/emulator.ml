@@ -73,6 +73,29 @@ type result = {
    per-instruction spend never allocates. *)
 let unlimited_budget = max_int
 
+(* canonical register representation: 32-bit values sign-extended to native
+   ints ([Int32.to_int] form), so register traffic never allocates *)
+let[@inline] sext32 v = ((v land 0xffffffff) lxor 0x80000000) - 0x80000000
+
+let halt_magic_i = Int32.to_int halt_magic
+
+(* unboxed little-endian halfword accessors over a [Bytes.t] whose bounds
+   have already been checked; 32-bit traffic composes two of them so no
+   boxed [int32] is ever materialized *)
+let[@inline] ld16 mem a =
+  Char.code (Bytes.unsafe_get mem a)
+  lor (Char.code (Bytes.unsafe_get mem (a + 1)) lsl 8)
+
+let[@inline] st16 mem a v =
+  Bytes.unsafe_set mem a (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set mem (a + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+
+let[@inline] ld32 mem a = sext32 (ld16 mem a lor (ld16 mem (a + 2) lsl 16))
+
+let[@inline] st32 mem a v =
+  st16 mem a v;
+  st16 mem (a + 2) (v lsr 16)
+
 (* Predecoded micro-ops for the fast path.  Every static decode decision —
    operand shape (register vs immediate), access width, ALU operator — is
    folded into one constant constructor at [create], so the interpreter
@@ -108,7 +131,10 @@ type state = {
   img : Image.t;
   supply_desc : string;  (** for diagnostics (No_forward_progress) *)
   mem : Bytes.t;
-  regs : int32 array;
+  (* the single register file, shared by every engine: canonical
+     sign-extended native ints (no boxed [int32] traffic anywhere on the
+     hot paths — conversion happens only at halt/console/image edges) *)
+  regs : int array;
   mutable nf : bool;
   mutable zf : bool;
   mutable cf : bool;
@@ -146,11 +172,6 @@ type state = {
      indexed by the function's slot in [fn_names] *)
   fn_names : string array;
   fn_calls : int array;
-  (* fast-path register file: [regs] holds boxed [int32]s, so every
-     register write through it allocates; the fast path runs over this
-     unboxed mirror (same values, sign-extended to native ints) and syncs
-     with [regs] at batch boundaries and checkpoint commits *)
-  fregs : int array;
   (* per-pc tables precomputed by [create] — every per-instruction cost
      that is static (which is all of them except a not-taken [Bc]) is
      paid for once here instead of per step: *)
@@ -190,6 +211,28 @@ type state = {
       (** boot + restore completed for the current power period — failures
           before that land at the resume point itself, so no shortfall is
           charged to the failure site *)
+  (* block engine: basic blocks translated to fused closures, compiled
+     lazily on first use.  Closures are parameterized over the state (they
+     capture only per-image constants), so the cache is shared by [clone]s. *)
+  mutable bcache : bcache option;
+  mutable n_dispatch : int;  (** block-closure dispatches *)
+  mutable n_fallback : int;  (** checked single-step fallbacks (block engine) *)
+}
+
+and bblock = {
+  b_pc : int;  (** leader pc *)
+  b_ninstr : int;  (** instructions retired by one complete execution *)
+  b_maxcost : int;  (** worst-case cycle spend across the block's exits *)
+  b_exec : state -> int;
+      (** runs the whole block; returns the successor block index, or -1
+          when the successor must be resolved from [st.pc] (dynamic branch,
+          halt, off-image fallthrough — the closure has published [st.pc]) *)
+}
+
+and bcache = {
+  bc_blocks : bblock array;  (** in leader order *)
+  bc_index : int array;  (** pc -> block index; -1 for non-leader pcs *)
+  bc_compile_ms : float;
 }
 
 (* Work cycles: everything except boot and restore replay.  Work done since
@@ -247,67 +290,67 @@ let region_boundary st =
   st.region_start <- st.cycles
 
 let load st w a =
-  let a = Int32.to_int a land 0xffffffff in
+  let a = a land 0xffffffff in
   let n = I.bytes_of_width w in
   check_addr st a n;
   track_read st a n;
   match w with
-  | I.W8 -> Int32.of_int (Char.code (Bytes.get st.mem a))
+  | I.W8 -> Char.code (Bytes.get st.mem a)
   | I.S8 ->
       let v = Char.code (Bytes.get st.mem a) in
-      Int32.of_int (if v >= 0x80 then v - 0x100 else v)
-  | I.W16 -> Int32.of_int (Bytes.get_uint16_le st.mem a)
-  | I.S16 -> Int32.of_int (Bytes.get_int16_le st.mem a)
-  | I.W32 -> Bytes.get_int32_le st.mem a
+      if v >= 0x80 then v - 0x100 else v
+  | I.W16 -> Bytes.get_uint16_le st.mem a
+  | I.S16 -> Bytes.get_int16_le st.mem a
+  | I.W32 -> ld32 st.mem a
 
 let store st w a v =
-  let a = Int32.to_int a land 0xffffffff in
+  let a = a land 0xffffffff in
   let n = I.bytes_of_width w in
   check_addr st a n;
   track_write st a n;
   match w with
-  | I.W8 | I.S8 -> Bytes.set st.mem a (Char.chr (Int32.to_int v land 0xff))
-  | I.W16 | I.S16 -> Bytes.set_uint16_le st.mem a (Int32.to_int v land 0xffff)
-  | I.W32 -> Bytes.set_int32_le st.mem a v
+  | I.W8 | I.S8 -> Bytes.set st.mem a (Char.chr (v land 0xff))
+  | I.W16 | I.S16 -> Bytes.set_uint16_le st.mem a (v land 0xffff)
+  | I.W32 -> st32 st.mem a v
 
-(* raw accesses for the checkpoint runtime (never tracked) *)
-let raw_store32 st a v = Bytes.set_int32_le st.mem a v
-let raw_load32 st a = Bytes.get_int32_le st.mem a
+(* raw accesses for the checkpoint runtime (never tracked); canonical ints *)
+let raw_store32 st a v = st32 st.mem a v
+let raw_load32 st a = ld32 st.mem a
 
 (* ------------------------------------------------------------------ *)
 (* ALU and flags                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let eval_alu op (a : int32) (b : int32) : int32 =
-  let sh = Int32.to_int b land 255 in
-  let shift f = if sh >= 32 then 0l else f a sh in
+(* over canonical (sign-extended) native ints; agrees bit-for-bit with the
+   historical [Int32] semantics (the qcheck equivalence properties pin it) *)
+let eval_alu op (a : int) (b : int) : int =
+  let sh = b land 255 in
   match op with
-  | I.ADD -> Int32.add a b
-  | I.SUB -> Int32.sub a b
-  | I.RSB -> Int32.sub b a
-  | I.MUL -> Int32.mul a b
+  | I.ADD -> sext32 (a + b)
+  | I.SUB -> sext32 (a - b)
+  | I.RSB -> sext32 (b - a)
+  | I.MUL -> sext32 (a * b)
   | I.SDIV ->
       (* Cortex-M semantics: division by zero yields 0 (DIV_0_TRP clear) *)
-      if Int32.equal b 0l then 0l
-      else if Int32.equal a Int32.min_int && Int32.equal b (-1l) then
-        Int32.min_int
-      else Int32.div a b
-  | I.UDIV -> if Int32.equal b 0l then 0l else Int32.unsigned_div a b
-  | I.AND -> Int32.logand a b
-  | I.ORR -> Int32.logor a b
-  | I.EOR -> Int32.logxor a b
-  | I.LSL -> shift Int32.shift_left
-  | I.LSR -> shift Int32.shift_right_logical
-  | I.ASR -> if sh >= 32 then Int32.shift_right a 31 else Int32.shift_right a sh
+      if b = 0 then 0
+      else if a = -0x80000000 && b = -1 then -0x80000000
+      else a / b
+  | I.UDIV ->
+      let x = a land 0xffffffff and y = b land 0xffffffff in
+      if y = 0 then 0 else sext32 (x / y)
+  | I.AND -> a land b
+  | I.ORR -> a lor b
+  | I.EOR -> a lxor b
+  | I.LSL -> if sh >= 32 then 0 else sext32 (a lsl sh)
+  | I.LSR -> if sh >= 32 then 0 else sext32 ((a land 0xffffffff) lsr sh)
+  | I.ASR -> if sh >= 32 then a asr 31 else a asr sh
 
-let set_flags st (a : int32) (b : int32) =
-  let d = Int32.sub a b in
-  st.nf <- Int32.compare d 0l < 0;
-  st.zf <- Int32.equal d 0l;
-  st.cf <- Int32.unsigned_compare a b >= 0;
-  st.vf <-
-    (Int32.compare a 0l < 0 && Int32.compare b 0l >= 0 && Int32.compare d 0l >= 0)
-    || (Int32.compare a 0l >= 0 && Int32.compare b 0l < 0 && Int32.compare d 0l < 0)
+let[@inline] set_flags st a b =
+  let d = sext32 (a - b) in
+  st.nf <- d < 0;
+  st.zf <- d = 0;
+  st.cf <- a land 0xffffffff >= b land 0xffffffff;
+  st.vf <- (a < 0 && b >= 0 && d >= 0) || (a >= 0 && b < 0 && d < 0)
 
 let cond_holds st = function
   | I.EQ -> st.zf
@@ -350,8 +393,8 @@ let restore_cost mask = 8 + (2 * (popcount mask + 3))
 
 let active_buffer st =
   let s0 = raw_load32 st (buf_addr 0) and s1 = raw_load32 st (buf_addr 1) in
-  if Int32.equal s0 0l && Int32.equal s1 0l then None
-  else if Int32.unsigned_compare s0 s1 >= 0 then Some 0
+  if s0 = 0 && s1 = 0 then None
+  else if s0 land 0xffffffff >= s1 land 0xffffffff then Some 0
   else Some 1
 
 let obs_cause : I.ckpt_cause -> Tr.cause = function
@@ -369,19 +412,21 @@ let commit_checkpoint st ~(cause : Tr.cause) mask resume_pc =
     match active_buffer st with Some 0 -> 1 | Some _ -> 0 | None -> 0
   in
   let base = buf_addr target in
-  raw_store32 st (base + 4) (Int32.of_int mask);
-  raw_store32 st (base + 8) (Int32.of_int resume_pc);
+  raw_store32 st (base + 4) mask;
+  raw_store32 st (base + 8) resume_pc;
   raw_store32 st (base + 12) st.regs.(I.sp);
-  raw_store32 st (base + 16) (Int32.of_int (pack_flags st));
+  raw_store32 st (base + 16) (pack_flags st);
   for r = 0 to 14 do
     if mask land (1 lsl r) <> 0 then
       raw_store32 st (base + 20 + (4 * r)) st.regs.(r)
   done;
   (* commit: bump the sequence number last *)
   let seq =
-    Int32.add 1l
-      (match active_buffer st with
-      | None -> 0l
+    sext32
+      (1
+      +
+      match active_buffer st with
+      | None -> 0
       | Some i -> raw_load32 st (buf_addr i))
   in
   raw_store32 st base seq;
@@ -408,15 +453,15 @@ let restore_checkpoint st : int option =
   | None -> None
   | Some i ->
       let base = buf_addr i in
-      let mask = Int32.to_int (raw_load32 st (base + 4)) in
-      st.pc <- Int32.to_int (raw_load32 st (base + 8));
+      let mask = raw_load32 st (base + 4) in
+      st.pc <- raw_load32 st (base + 8);
       st.regs.(I.sp) <- raw_load32 st (base + 12);
-      unpack_flags st (Int32.to_int (raw_load32 st (base + 16)));
+      unpack_flags st (raw_load32 st (base + 16));
       for r = 0 to 14 do
         if r <> I.sp then
           st.regs.(r) <-
             (if mask land (1 lsl r) <> 0 then raw_load32 st (base + 20 + (4 * r))
-             else 0l)
+             else 0)
       done;
       let cost = restore_cost mask in
       st.cycles <- st.cycles + cost;
@@ -445,9 +490,9 @@ let spend st c =
 
 let cold_start st =
   st.pc <- st.img.Image.entry;
-  Array.fill st.regs 0 16 0l;
-  st.regs.(I.sp) <- Int32.of_int Image.stack_top;
-  st.regs.(I.lr) <- halt_magic;
+  Array.fill st.regs 0 16 0;
+  st.regs.(I.sp) <- Image.stack_top;
+  st.regs.(I.lr) <- halt_magic_i;
   st.nf <- false;
   st.zf <- false;
   st.cf <- false;
@@ -515,7 +560,7 @@ let power_failure st =
   st.work_at_commit <- work_total st;
   if st.trace_on then
     Tr.emit st.tracer st.cycles (Tr.Power_failure { lost_cycles = lost });
-  Array.fill st.regs 0 16 0l
+  Array.fill st.regs 0 16 0
 
 (* ------------------------------------------------------------------ *)
 (* Interrupts                                                           *)
@@ -526,12 +571,12 @@ let power_failure st =
    this is precisely the ISR WAR hazard of paper §3.1.3. *)
 let take_irq st =
   spend st 24;
-  let sp = Int32.to_int st.regs.(I.sp) in
+  let sp = st.regs.(I.sp) in
   let frame = sp - 32 in
   let values =
     [|
       st.regs.(0); st.regs.(1); st.regs.(2); st.regs.(3); st.regs.(12);
-      st.regs.(I.lr); Int32.of_int st.pc; Int32.of_int (pack_flags st);
+      st.regs.(I.lr); st.pc; pack_flags st;
     |]
   in
   check_addr st frame 32;
@@ -564,7 +609,7 @@ let maybe_irq st =
 (* Instruction execution                                                *)
 (* ------------------------------------------------------------------ *)
 
-let op2 st = function I.R r -> st.regs.(r) | I.I i -> i
+let op2 st = function I.R r -> st.regs.(r) | I.I i -> Int32.to_int i
 
 let exec_instr st (ins : I.instr) =
   let next = st.pc + 1 in
@@ -579,7 +624,7 @@ let exec_instr st (ins : I.instr) =
       st.pc <- next
   | I.Movw32 (rd, v) ->
       spend st 2;
-      st.regs.(rd) <- v;
+      st.regs.(rd) <- Int32.to_int v;
       st.pc <- next
   | I.Movc (c, rd, o) ->
       spend st 1;
@@ -591,35 +636,35 @@ let exec_instr st (ins : I.instr) =
       st.pc <- next
   | I.Ldr (w, rd, rn, off) ->
       spend st 2;
-      st.regs.(rd) <- load st w (Int32.add st.regs.(rn) off);
+      st.regs.(rd) <- load st w (st.regs.(rn) + Int32.to_int off);
       st.pc <- next
   | I.LdrR (w, rd, rn, rm) ->
       spend st 2;
-      st.regs.(rd) <- load st w (Int32.add st.regs.(rn) st.regs.(rm));
+      st.regs.(rd) <- load st w (st.regs.(rn) + st.regs.(rm));
       st.pc <- next
   | I.Str (w, rd, rn, off) ->
       spend st 2;
-      store st w (Int32.add st.regs.(rn) off) st.regs.(rd);
+      store st w (st.regs.(rn) + Int32.to_int off) st.regs.(rd);
       st.pc <- next
   | I.StrR (w, rd, rn, rm) ->
       spend st 2;
-      store st w (Int32.add st.regs.(rn) st.regs.(rm)) st.regs.(rd);
+      store st w (st.regs.(rn) + st.regs.(rm)) st.regs.(rd);
       st.pc <- next
   | I.AdrData (rd, _, _) ->
       spend st 2;
-      st.regs.(rd) <- st.img.Image.adr.(st.pc);
+      st.regs.(rd) <- Int32.to_int st.img.Image.adr.(st.pc);
       st.pc <- next
   | I.Push rs ->
       spend st st.cost.(st.pc);
       let n = st.push_n.(st.pc) in
-      let sp = Int32.to_int st.regs.(I.sp) - (4 * n) in
+      let sp = st.regs.(I.sp) - (4 * n) in
       check_addr st sp (4 * n);
       List.iteri
         (fun i r ->
           track_write st (sp + (4 * i)) 4;
           raw_store32 st (sp + (4 * i)) st.regs.(r))
         rs;
-      st.regs.(I.sp) <- Int32.of_int sp;
+      st.regs.(I.sp) <- sp;
       st.pc <- next
   | I.B _ ->
       spend st 3;
@@ -637,17 +682,17 @@ let exec_instr st (ins : I.instr) =
       spend st 4;
       let idx = st.call_fn.(st.pc) in
       st.fn_calls.(idx) <- st.fn_calls.(idx) + 1;
-      st.regs.(I.lr) <- Int32.of_int next;
+      st.regs.(I.lr) <- next;
       st.pc <- st.img.Image.target.(st.pc)
   | I.Bx_lr ->
       spend st 3;
-      if Int32.equal st.regs.(I.lr) halt_magic then begin
+      if st.regs.(I.lr) = halt_magic_i then begin
         st.halted <- true;
-        st.exit_code <- st.regs.(0);
+        st.exit_code <- Int32.of_int st.regs.(0);
         if st.trace_on then
           Tr.emit st.tracer st.cycles (Tr.Halt { exit_code = st.exit_code })
       end
-      else st.pc <- Int32.to_int st.regs.(I.lr)
+      else st.pc <- st.regs.(I.lr)
   | I.Ckpt (cause, _) ->
       (* effective mask (WARIO_SAVE_ALL folded in) and its cost are
          precomputed per pc by [create] *)
@@ -674,13 +719,13 @@ let exec_instr st (ins : I.instr) =
          statistics) *)
       let mask = st.eff_mask.(st.pc) in
       spend st st.cost.(st.pc);
-      st.out_rev <- st.regs.(0) :: st.out_rev;
+      st.out_rev <- Int32.of_int st.regs.(0) :: st.out_rev;
       commit_checkpoint st ~cause:Tr.Console mask next;
       st.pc <- next
   | I.Svc _ ->
       spend st 1;
       st.halted <- true;
-      st.exit_code <- st.regs.(0);
+      st.exit_code <- Int32.of_int st.regs.(0);
       if st.trace_on then
         Tr.emit st.tracer st.cycles (Tr.Halt { exit_code = st.exit_code })
   | I.FrameAddr _ | I.SpillLd _ | I.SpillSt _ ->
@@ -895,7 +940,7 @@ let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
       img;
       supply_desc = Power.describe supply;
       mem = Bytes.make Image.mem_size '\000';
-      regs = Array.make 16 0l;
+      regs = Array.make 16 0;
       nf = false;
       zf = false;
       cf = false;
@@ -927,7 +972,6 @@ let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
       out_rev = [];
       fn_names;
       fn_calls = Array.make (Array.length fn_names) 0;
-      fregs = Array.make 16 0;
       save_all;
       cost;
       eff_mask;
@@ -952,6 +996,9 @@ let create ?(fuel = 2_000_000_000) ?(supply = Power.Continuous)
       commits = 0;
       fail_sites_rev = [];
       period_live = false;
+      bcache = None;
+      n_dispatch = 0;
+      n_fallback = 0;
     }
   in
   init_memory st;
@@ -1019,10 +1066,6 @@ let cut_power st =
    together; [exec_instr] remains the oracle.
 
    What it drops relative to the reference path:
-   - boxed [int32] register traffic: it executes over [fregs], an unboxed
-     [int array] mirror of [regs] (values sign-extended to native ints),
-     so the steady state allocates nothing — the reference path allocates
-     a fresh [int32] block on nearly every instruction;
    - [track_read]/[track_write] calls (no-ops with verify off, but still a
      call + branch per accessed byte-range on the reference path);
    - tracer tag tests and the per-step function-transition check;
@@ -1032,30 +1075,6 @@ let cut_power st =
      [run_batch] only selects unchecked execution for stretches it has
      proven cannot exhaust either (headroom ≥ [max_step_cost] per
      instruction), so omitting the checks is exact, not approximate. *)
-
-(* canonical representation: [Int32.to_int v], i.e. sign-extended *)
-let[@inline] sext32 v = ((v land 0xffffffff) lxor 0x80000000) - 0x80000000
-
-let sync_to_fast st =
-  for i = 0 to 15 do
-    st.fregs.(i) <- Int32.to_int st.regs.(i)
-  done
-
-let sync_from_fast st =
-  for i = 0 to 15 do
-    st.regs.(i) <- Int32.of_int st.fregs.(i)
-  done
-
-let halt_magic_i = Int32.to_int halt_magic
-
-(* [set_flags] over canonical native ints; must agree with it
-   bit-for-bit (the qcheck equivalence property exercises it) *)
-let[@inline] set_flags_fast st a b =
-  let d = sext32 (a - b) in
-  st.nf <- d < 0;
-  st.zf <- d = 0;
-  st.cf <- a land 0xffffffff >= b land 0xffffffff;
-  st.vf <- (a < 0 && b >= 0 && d >= 0) || (a >= 0 && b < 0 && d < 0)
 
 (* One fast-path stretch: execute up to [k] instructions over the
    predecoded program.  Returns the number actually executed (short only
@@ -1078,7 +1097,7 @@ let[@inline] set_flags_fast st a b =
    omitting the per-instruction comparisons there is exact, not
    approximate. *)
 let exec_batch st ~unchecked k : int =
-  let fregs = st.fregs in
+  let fregs = st.regs in
   let fop = st.fop and fa = st.fa and fb = st.fb and fc = st.fc in
   let fcond = st.fcond and cost = st.cost in
   let code = st.img.Image.code in
@@ -1094,7 +1113,6 @@ let exec_batch st ~unchecked k : int =
      would have it at the raise, then fail through [check_addr] *)
   let fault pc cyc pend addr n =
     flush pc cyc pend;
-    sync_from_fast st;
     check_addr st addr n;
     assert false
   in
@@ -1115,7 +1133,6 @@ let exec_batch st ~unchecked k : int =
     else if pc < 0 || pc >= ncode then begin
       (* wild pc: fail exactly like the reference fetch *)
       flush pc cyc pend;
-      sync_from_fast st;
       ignore (Array.get code pc : I.instr);
       assert false
     end
@@ -1242,11 +1259,11 @@ let exec_batch st ~unchecked k : int =
             Array.unsafe_set fregs a c;
           go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
       | U_cmp_r ->
-          set_flags_fast st (Array.unsafe_get fregs a)
+          set_flags st (Array.unsafe_get fregs a)
             (Array.unsafe_get fregs c);
           go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
       | U_cmp_i ->
-          set_flags_fast st (Array.unsafe_get fregs a) c;
+          set_flags st (Array.unsafe_get fregs a) c;
           go (pc + 1) (cyc + eff) (pend + 1) (done_ + 1)
       | U_ldr8 | U_ldrr8 ->
           let ad =
@@ -1374,7 +1391,6 @@ let exec_batch st ~unchecked k : int =
           (* the commit's region accounting reads [st.cycles] and its
              snapshot reads [st.regs]: publish both first *)
           flush pc (cyc + eff) pend;
-          sync_from_fast st;
           let cause =
             match Array.unsafe_get code pc with
             | I.Ckpt (cause, _) -> cause
@@ -1398,7 +1414,6 @@ let exec_batch st ~unchecked k : int =
       | U_svc_print ->
           flush pc (cyc + eff) pend;
           st.out_rev <- Int32.of_int (Array.unsafe_get fregs 0) :: st.out_rev;
-          sync_from_fast st;
           commit_checkpoint st ~cause:Tr.Console
             (Array.unsafe_get st.eff_mask pc)
             (pc + 1);
@@ -1410,7 +1425,6 @@ let exec_batch st ~unchecked k : int =
           done_ + 1
       | U_pseudo ->
           flush pc (cyc + eff) pend;
-          sync_from_fast st;
           raise
             (Emu_error
                ("pseudo instruction in linked code: "
@@ -1428,57 +1442,3927 @@ let fast_eligible st =
   && (not st.pending_irq)
   && st.pc_counts = None
 
-let run_batch st n : step =
+(* n [step]s on the fully instrumented reference interpreter *)
+let reference_batch st n : step =
+  let rec go left =
+    if left = 0 then Stepped
+    else match step st with Stepped -> go (left - 1) | s -> s
+  in
+  go n
+
+let uop_batch st n : step =
+  match
+    let left = ref n in
+    while !left > 0 && not st.halted do
+      (* instructions that provably cannot exhaust the power budget or
+         the fuel; both checks hoist out of the inner loop for that
+         stretch *)
+      let headroom =
+        min
+          (st.budget / st.max_step_cost)
+          ((st.fuel - st.cycles) / st.max_step_cost)
+      in
+      let k = min !left headroom in
+      if k > 0 then left := !left - exec_batch st ~unchecked:true k
+      else begin
+        (* within [max_step_cost] of a budget or fuel edge: exact
+           per-instruction checks until the edge resolves *)
+        ignore (exec_batch st ~unchecked:false 1 : int);
+        decr left
+      end
+    done
+  with
+  | () -> if st.halted then Halted else Stepped
+  | exception Power_failed ->
+      (* registers are architectural state shared with the reference path;
+         the failing instruction has already published exact counters *)
+      power_failure st;
+      reboot st;
+      Rebooted
+
+(* ------------------------------------------------------------------ *)
+(* Block engine                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Basic blocks of the predecoded uop stream, translated once into fused
+   OCaml closures.  Leaders: the image entry, every branch target, the pc
+   after any control transfer (call returns included) and every checkpoint
+   site — a commit snapshots the registers, cycle counter and flags, so a
+   checkpoint must begin its own block with fully published state.  The
+   dispatcher pre-checks power budget and fuel against the block's
+   worst-case cost, exactly the hoisting [run_batch]'s uop path performs
+   per stretch; anywhere the proof fails (power edge, fuel edge, quota
+   smaller than the block, or a computed branch landing mid-block) it
+   falls back to the checked single-step uop interpreter, which publishes
+   reference-exact state per instruction.
+
+   Closures update the cycle/budget/instruction counters with per-exit
+   static constants at the block exit only, and capture nothing but ints
+   and per-image arrays: the state is passed as the argument, so one
+   compiled cache serves every [clone].
+
+   Flags: a [Cmp] feeding the block's own terminating [Bc] skips the four
+   flag-field writes entirely when a block-level liveness pass proves the
+   flags dead at both successors (checkpoint commits and conditional moves
+   count as readers, unknown successors as live), branching instead on the
+   equivalent native-int predicate; otherwise the flags are materialized
+   bit-for-bit as the reference path would. *)
+
+let max_block_len = 64
+
+let is_terminator = function
+  | U_b | U_bc | U_bl | U_bx_lr | U_ckpt | U_svc_print | U_svc_halt
+  | U_pseudo ->
+      true
+  | _ -> false
+
+(* flag readers include the commit sites: [pack_flags] snapshots the flags
+   into the checkpoint buffer, which must stay byte-identical *)
+let reads_flags = function
+  | U_movc_r | U_movc_i | U_bc | U_ckpt | U_svc_print -> true
+  | _ -> false
+
+let writes_flags = function U_cmp_r | U_cmp_i -> true | _ -> false
+
+(* out-of-range access inside a block: publish the exact reference state
+   (cycles include the faulting instruction, it does not retire), then
+   fail through [check_addr] *)
+let mfault st pc cyc n ad sz =
+  st.pc <- pc;
+  st.cycles <- st.cycles + cyc;
+  st.budget <- st.budget - cyc;
+  st.instrs <- st.instrs + n;
+  check_addr st ad sz;
+  assert false
+
+(* native-int predicate equivalent to [set_flags a b; cond_holds c] *)
+let holds_direct (c : I.cond) (x : int) (y : int) : bool =
+  match c with
+  | I.EQ -> x = y
+  | I.NE -> x <> y
+  | I.LT -> x < y
+  | I.LE -> x <= y
+  | I.GT -> x > y
+  | I.GE -> x >= y
+  | I.LO -> x land 0xffffffff < y land 0xffffffff
+  | I.LS -> x land 0xffffffff <= y land 0xffffffff
+  | I.HI -> x land 0xffffffff > y land 0xffffffff
+  | I.HS -> x land 0xffffffff >= y land 0xffffffff
+  | I.AL -> true
+
+(* Fused two-instruction closures for the block compiler: one closure,
+   one indirect call, two architectural updates.  Mechanically
+   enumerated over the ALU/mov/flag micro-ops that dominate dynamic
+   pair frequency (memory and control micro-ops keep their specialized
+   single closures).  Sequential composition through the register file
+   and flag fields is semantics-preserving by construction: op1's
+   writes land before op2's reads exactly as in the reference
+   interpreter.  The one deliberate deviation: a compare whose flags
+   are provably dead past its consuming [Movc] ([flags_dead], from the
+   caller's block-liveness scan) branches on the native-int predicate
+   and skips the flag-field writes — unobservable, because every path
+   to the next flag read passes a flag write first, and commits/
+   fallback re-entry only happen at block boundaries. *)
+let comp_pair op1 op2 a1 b1 c1 cnd1 a2 b2 c2 cnd2 ~flags_dead
+    (k : state -> int) : (state -> int) option =
+  ignore cnd1;
+  match (op1, op2) with
+  | U_mov_r, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_mov_r, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_mov_r, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_mov_r, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_mov_r, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_mov_r, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_mov_r, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_mov_r, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_mov_r, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_mov_r, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_mov_r, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_mov_r, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_mov_r, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_mov_r, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_mov_r, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_mov_r, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_mov_r, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_mov_r, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_mov_r, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_mov_r, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | (U_mov_i | U_movw), U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | (U_mov_i | U_movw), (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 c2;
+          k st)
+  | (U_mov_i | U_movw), U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | (U_mov_i | U_movw), U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | (U_mov_i | U_movw), U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | (U_mov_i | U_movw), U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | (U_mov_i | U_movw), U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | (U_mov_i | U_movw), U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | (U_mov_i | U_movw), U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | (U_mov_i | U_movw), U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | (U_mov_i | U_movw), U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | (U_mov_i | U_movw), U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | (U_mov_i | U_movw), U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | (U_mov_i | U_movw), U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | (U_mov_i | U_movw), U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | (U_mov_i | U_movw), U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | (U_mov_i | U_movw), U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | (U_mov_i | U_movw), U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | (U_mov_i | U_movw), U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | (U_mov_i | U_movw), U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 c1;
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_add_r, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_add_r, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_add_r, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_add_r, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_add_r, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_add_r, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_add_r, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_add_r, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_add_r, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_add_r, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_add_r, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_add_r, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_add_r, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_add_r, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_add_r, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_add_r, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_add_r, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_add_r, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_add_r, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_add_r, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + Array.unsafe_get r c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_add_i, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_add_i, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_add_i, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_add_i, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_add_i, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_add_i, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_add_i, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_add_i, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_add_i, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_add_i, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_add_i, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_add_i, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_add_i, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_add_i, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_add_i, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_add_i, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_add_i, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_add_i, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_add_i, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_add_i, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 + c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_sub_r, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_sub_r, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_sub_r, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_sub_r, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_sub_r, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_sub_r, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_sub_r, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_sub_r, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_sub_r, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_sub_r, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_sub_r, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_sub_r, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_sub_r, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_sub_r, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_sub_r, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_sub_r, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_sub_r, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_sub_r, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_sub_r, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_sub_r, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - Array.unsafe_get r c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_sub_i, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_sub_i, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_sub_i, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_sub_i, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_sub_i, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_sub_i, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_sub_i, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_sub_i, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_sub_i, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_sub_i, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_sub_i, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_sub_i, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_sub_i, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_sub_i, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_sub_i, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_sub_i, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_sub_i, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_sub_i, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_sub_i, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_sub_i, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 - c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_mul_r, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_mul_r, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_mul_r, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_mul_r, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_mul_r, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_mul_r, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_mul_r, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_mul_r, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_mul_r, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_mul_r, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_mul_r, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_mul_r, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_mul_r, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_mul_r, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_mul_r, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_mul_r, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_mul_r, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_mul_r, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_mul_r, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_mul_r, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (sext32 (Array.unsafe_get r b1 * Array.unsafe_get r c1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_and_r, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_and_r, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_and_r, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_and_r, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_and_r, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_and_r, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_and_r, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_and_r, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_and_r, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_and_r, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_and_r, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_and_r, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_and_r, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_and_r, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_and_r, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_and_r, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_and_r, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_and_r, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_and_r, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_and_r, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_and_i, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_and_i, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_and_i, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_and_i, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_and_i, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_and_i, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_and_i, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_and_i, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_and_i, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_and_i, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_and_i, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_and_i, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_and_i, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_and_i, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_and_i, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_and_i, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_and_i, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_and_i, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_and_i, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_and_i, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 land c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_orr_r, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_orr_r, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_orr_r, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_orr_r, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_orr_r, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_orr_r, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_orr_r, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_orr_r, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_orr_r, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_orr_r, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_orr_r, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_orr_r, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_orr_r, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_orr_r, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_orr_r, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_orr_r, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_orr_r, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_orr_r, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_orr_r, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_orr_r, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_orr_i, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_orr_i, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_orr_i, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_orr_i, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_orr_i, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_orr_i, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_orr_i, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_orr_i, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_orr_i, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_orr_i, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_orr_i, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_orr_i, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_orr_i, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_orr_i, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_orr_i, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_orr_i, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_orr_i, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_orr_i, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_orr_i, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_orr_i, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lor c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_eor_r, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_eor_r, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_eor_r, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_eor_r, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_eor_r, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_eor_r, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_eor_r, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_eor_r, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_eor_r, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_eor_r, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_eor_r, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_eor_r, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_eor_r, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_eor_r, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_eor_r, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_eor_r, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_eor_r, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_eor_r, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_eor_r, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_eor_r, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_eor_i, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_eor_i, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_eor_i, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_eor_i, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_eor_i, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_eor_i, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_eor_i, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_eor_i, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_eor_i, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_eor_i, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_eor_i, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_eor_i, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_eor_i, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_eor_i, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_eor_i, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_eor_i, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_eor_i, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_eor_i, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_eor_i, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_eor_i, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 lxor c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_lsl_i, U_mov_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_lsl_i, (U_mov_i | U_movw) ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_lsl_i, U_add_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_lsl_i, U_add_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_lsl_i, U_sub_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_lsl_i, U_sub_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_lsl_i, U_mul_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_lsl_i, U_and_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_lsl_i, U_and_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_lsl_i, U_orr_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_lsl_i, U_orr_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_lsl_i, U_eor_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_lsl_i, U_eor_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_lsl_i, U_lsl_i ->
+      Some
+        (let sh1 = c1 land 255 in let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_lsl_i, U_lsr_i ->
+      Some
+        (let sh1 = c1 land 255 in let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_lsl_i, U_asr_i ->
+      Some
+        (let sh1 = c1 land 255 in let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_lsl_i, U_cmp_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_lsl_i, U_cmp_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_lsl_i, U_movc_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_lsl_i, U_movc_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 (Array.unsafe_get r b1 lsl sh1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_lsr_i, U_mov_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_lsr_i, (U_mov_i | U_movw) ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_lsr_i, U_add_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_lsr_i, U_add_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_lsr_i, U_sub_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_lsr_i, U_sub_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_lsr_i, U_mul_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_lsr_i, U_and_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_lsr_i, U_and_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_lsr_i, U_orr_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_lsr_i, U_orr_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_lsr_i, U_eor_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_lsr_i, U_eor_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_lsr_i, U_lsl_i ->
+      Some
+        (let sh1 = c1 land 255 in let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_lsr_i, U_lsr_i ->
+      Some
+        (let sh1 = c1 land 255 in let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_lsr_i, U_asr_i ->
+      Some
+        (let sh1 = c1 land 255 in let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_lsr_i, U_cmp_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_lsr_i, U_cmp_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_lsr_i, U_movc_r ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_lsr_i, U_movc_i ->
+      Some
+        (let sh1 = c1 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (if sh1 >= 32 then 0 else sext32 ((Array.unsafe_get r b1 land 0xffffffff) lsr sh1));
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_asr_i, U_mov_r ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_asr_i, (U_mov_i | U_movw) ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_asr_i, U_add_r ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_asr_i, U_add_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_asr_i, U_sub_r ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_asr_i, U_sub_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_asr_i, U_mul_r ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_asr_i, U_and_r ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_asr_i, U_and_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_asr_i, U_orr_r ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_asr_i, U_orr_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_asr_i, U_eor_r ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_asr_i, U_eor_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_asr_i, U_lsl_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_asr_i, U_lsr_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_asr_i, U_asr_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_asr_i, U_cmp_r ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_asr_i, U_cmp_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_asr_i, U_movc_r ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_asr_i, U_movc_i ->
+      Some
+        (let sh1 = min (c1 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          Array.unsafe_set r a1 (Array.unsafe_get r b1 asr sh1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_cmp_r, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_cmp_r, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_cmp_r, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_cmp_r, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_cmp_r, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_cmp_r, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_cmp_r, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_cmp_r, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_cmp_r, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_cmp_r, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_cmp_r, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_cmp_r, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_cmp_r, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_cmp_r, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_cmp_r, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_cmp_r, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_cmp_r, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_cmp_r, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_cmp_r, U_movc_r ->
+      Some
+        (if flags_dead then fun st ->
+           let r = st.regs in
+           let x = Array.unsafe_get r a1 and y = Array.unsafe_get r c1 in
+           if holds_direct cnd2 x y then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+           k st
+         else fun st ->
+           let r = st.regs in
+           set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+           if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+           k st)
+  | U_cmp_r, U_movc_i ->
+      Some
+        (if flags_dead then fun st ->
+           let r = st.regs in
+           let x = Array.unsafe_get r a1 and y = Array.unsafe_get r c1 in
+           if holds_direct cnd2 x y then Array.unsafe_set r a2 c2;
+           k st
+         else fun st ->
+           let r = st.regs in
+           set_flags st (Array.unsafe_get r a1) (Array.unsafe_get r c1);
+           if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+           k st)
+  | U_cmp_i, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_cmp_i, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_cmp_i, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_cmp_i, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_cmp_i, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_cmp_i, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_cmp_i, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_cmp_i, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_cmp_i, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_cmp_i, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_cmp_i, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_cmp_i, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_cmp_i, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_cmp_i, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_cmp_i, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_cmp_i, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_cmp_i, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_cmp_i, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          set_flags st (Array.unsafe_get r a1) c1;
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_cmp_i, U_movc_r ->
+      Some
+        (if flags_dead then fun st ->
+           let r = st.regs in
+           let x = Array.unsafe_get r a1 and y = c1 in
+           if holds_direct cnd2 x y then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+           k st
+         else fun st ->
+           let r = st.regs in
+           set_flags st (Array.unsafe_get r a1) c1;
+           if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+           k st)
+  | U_cmp_i, U_movc_i ->
+      Some
+        (if flags_dead then fun st ->
+           let r = st.regs in
+           let x = Array.unsafe_get r a1 and y = c1 in
+           if holds_direct cnd2 x y then Array.unsafe_set r a2 c2;
+           k st
+         else fun st ->
+           let r = st.regs in
+           set_flags st (Array.unsafe_get r a1) c1;
+           if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+           k st)
+  | U_movc_r, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_movc_r, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_movc_r, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_movc_r, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_movc_r, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_movc_r, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_movc_r, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_movc_r, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_movc_r, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_movc_r, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_movc_r, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_movc_r, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_movc_r, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_movc_r, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_movc_r, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_movc_r, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_movc_r, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_movc_r, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_movc_r, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_movc_r, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 (Array.unsafe_get r c1);
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | U_movc_i, U_mov_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_movc_i, (U_mov_i | U_movw) ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 c2;
+          k st)
+  | U_movc_i, U_add_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + Array.unsafe_get r c2));
+          k st)
+  | U_movc_i, U_add_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 + c2));
+          k st)
+  | U_movc_i, U_sub_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - Array.unsafe_get r c2));
+          k st)
+  | U_movc_i, U_sub_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 - c2));
+          k st)
+  | U_movc_i, U_mul_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (sext32 (Array.unsafe_get r b2 * Array.unsafe_get r c2));
+          k st)
+  | U_movc_i, U_and_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land Array.unsafe_get r c2);
+          k st)
+  | U_movc_i, U_and_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 land c2);
+          k st)
+  | U_movc_i, U_orr_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor Array.unsafe_get r c2);
+          k st)
+  | U_movc_i, U_orr_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lor c2);
+          k st)
+  | U_movc_i, U_eor_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor Array.unsafe_get r c2);
+          k st)
+  | U_movc_i, U_eor_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 lxor c2);
+          k st)
+  | U_movc_i, U_lsl_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 (Array.unsafe_get r b2 lsl sh2));
+          k st)
+  | U_movc_i, U_lsr_i ->
+      Some
+        (let sh2 = c2 land 255 in
+         fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (if sh2 >= 32 then 0 else sext32 ((Array.unsafe_get r b2 land 0xffffffff) lsr sh2));
+          k st)
+  | U_movc_i, U_asr_i ->
+      Some
+        (let sh2 = min (c2 land 255) 31 in
+         fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          Array.unsafe_set r a2 (Array.unsafe_get r b2 asr sh2);
+          k st)
+  | U_movc_i, U_cmp_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          set_flags st (Array.unsafe_get r a2) (Array.unsafe_get r c2);
+          k st)
+  | U_movc_i, U_cmp_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          set_flags st (Array.unsafe_get r a2) c2;
+          k st)
+  | U_movc_i, U_movc_r ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          if cond_holds st cnd2 then Array.unsafe_set r a2 (Array.unsafe_get r c2);
+          k st)
+  | U_movc_i, U_movc_i ->
+      Some
+        (fun st ->
+          let r = st.regs in
+          if cond_holds st cnd1 then Array.unsafe_set r a1 c1;
+          if cond_holds st cnd2 then Array.unsafe_set r a2 c2;
+          k st)
+  | _ -> None
+
+let compile_blocks (st : state) : bcache =
+  let img = st.img in
+  let code = img.Image.code in
+  let n = Array.length code in
+  let fop = st.fop
+  and fa = st.fa
+  and fb = st.fb
+  and fc = st.fc
+  and fcond = st.fcond
+  and cost = st.cost
+  and eff_mask = st.eff_mask in
+  let msize = Image.mem_size in
+  (* ---- pass 1: leaders ---- *)
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(img.Image.entry) <- true;
+  let mark t = if t >= 0 && t < n then leader.(t) <- true in
+  for pc = 0 to n - 1 do
+    match fop.(pc) with
+    | U_b | U_bc | U_bl ->
+        mark fc.(pc);
+        mark (pc + 1)
+    | U_bx_lr | U_svc_halt | U_pseudo -> mark (pc + 1)
+    | U_ckpt | U_svc_print ->
+        mark pc;
+        mark (pc + 1)
+    | _ -> ()
+  done;
+  (* cap straight-line runs so a block's worst-case cost stays small
+     relative to realistic on-periods (a split point is itself a leader) *)
+  let len = ref 0 in
+  for pc = 0 to n - 1 do
+    if leader.(pc) then len := 1
+    else begin
+      incr len;
+      if !len > max_block_len then begin
+        leader.(pc) <- true;
+        len := 1
+      end
+    end
+  done;
+  let bidx = Array.make (max n 1) (-1) in
+  let nbk = ref 0 in
+  for pc = 0 to n - 1 do
+    if leader.(pc) then begin
+      bidx.(pc) <- !nbk;
+      incr nbk
+    end
+  done;
+  let nbk = !nbk in
+  let starts = Array.make (max nbk 1) 0 in
+  for pc = 0 to n - 1 do
+    if leader.(pc) then starts.(bidx.(pc)) <- pc
+  done;
+  (* ---- pass 2: block spans ---- *)
+  (* [body_end] is exclusive and never includes the terminator;
+     [term_pc.(i) = -1] marks a fallthrough block (next pc is a leader) *)
+  let body_end = Array.make (max nbk 1) 0
+  and term_pc = Array.make (max nbk 1) (-1) in
+  for i = 0 to nbk - 1 do
+    let s = starts.(i) in
+    let limit = if i + 1 < nbk then starts.(i + 1) else n in
+    let rec scan pc =
+      if pc >= limit then begin
+        body_end.(i) <- limit;
+        term_pc.(i) <- -1
+      end
+      else if is_terminator fop.(pc) then begin
+        body_end.(i) <- pc;
+        term_pc.(i) <- pc
+      end
+      else scan (pc + 1)
+    in
+    scan s
+  done;
+  (* ---- pass 3: block-level flags liveness ---- *)
+  let uses = Array.make (max nbk 1) false
+  and defs = Array.make (max nbk 1) false
+  and succs = Array.make (max nbk 1) []
+  and unknown = Array.make (max nbk 1) false
+  and live_in = Array.make (max nbk 1) false in
+  for i = 0 to nbk - 1 do
+    let s = starts.(i) in
+    let stop = if term_pc.(i) >= 0 then term_pc.(i) else body_end.(i) - 1 in
+    (let rec scan pc =
+       if pc > stop then ()
+       else if reads_flags fop.(pc) then uses.(i) <- true
+       else if writes_flags fop.(pc) then defs.(i) <- true
+       else scan (pc + 1)
+     in
+     scan s);
+    let limit = if i + 1 < nbk then starts.(i + 1) else n in
+    match term_pc.(i) with
+    | -1 -> if limit < n then succs.(i) <- [ bidx.(limit) ]
+    | t -> (
+        match fop.(t) with
+        | U_b | U_bl -> succs.(i) <- [ bidx.(fc.(t)) ]
+        | U_bc ->
+            succs.(i) <-
+              (bidx.(fc.(t)) :: (if t + 1 < n then [ bidx.(t + 1) ] else []))
+        | U_ckpt | U_svc_print | U_pseudo ->
+            if t + 1 < n then succs.(i) <- [ bidx.(t + 1) ]
+        | U_bx_lr -> unknown.(i) <- true
+        | _ -> ())
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = nbk - 1 downto 0 do
+      if not live_in.(i) then begin
+        let live_out =
+          unknown.(i) || List.exists (fun s -> live_in.(s)) succs.(i)
+        in
+        if uses.(i) || ((not defs.(i)) && live_out) then begin
+          live_in.(i) <- true;
+          changed := true
+        end
+      end
+    done
+  done;
+  let live_out i = unknown.(i) || List.exists (fun s -> live_in.(s)) succs.(i) in
+  (* ---- pass 4: translate each block to one fused closure ---- *)
+  let compile_one i =
+    let s = starts.(i) in
+    let e = body_end.(i) in
+    let t = term_pc.(i) in
+    let limit = if i + 1 < nbk then starts.(i + 1) else n in
+    (* a [Cmp] immediately feeding the terminating [Bc]: always fused into
+       the branch; the flag fields are skipped when provably dead *)
+    let fuse_cmp =
+      t >= 0
+      && fop.(t) = U_bc
+      && e > s
+      && (match fop.(e - 1) with U_cmp_r | U_cmp_i -> true | _ -> false)
+    in
+    let body_stop = if fuse_cmp then e - 1 else e in
+    (* [flags_dead_from pc]: entering body position [pc], every path to
+       the next architectural flag read passes a flag write first — so a
+       compare just before [pc] may skip materializing the flag fields.
+       Within the block this is a forward scan; past the end it defers to
+       the terminator ([Bc]/[Ckpt]/[Svc_print] read, a [fuse_cmp]d
+       compare writes) and then to the interblock liveness fixpoint. *)
+    let rec flags_dead_from pc =
+      if pc < body_stop then
+        if writes_flags fop.(pc) then true
+        else if reads_flags fop.(pc) then false
+        else flags_dead_from (pc + 1)
+      else if fuse_cmp then true
+      else
+        match t with
+        | -1 -> not (live_out i)
+        | t ->
+            if reads_flags fop.(t) then false
+            else if writes_flags fop.(t) then true
+            else not (live_out i)
+    in
+    let body_cost = ref 0 in
+    for pc = s to e - 1 do
+      body_cost := !body_cost + cost.(pc)
+    done;
+    let bc_ = !body_cost in
+    let bn = e - s in
+    (* ---- terminator ---- *)
+    let tail : state -> int =
+      match t with
+      | -1 ->
+          let tc = bc_ and tn = bn in
+          if limit < n then begin
+            let nb = bidx.(limit) in
+            fun st ->
+              st.cycles <- st.cycles + tc;
+              st.budget <- st.budget - tc;
+              st.instrs <- st.instrs + tn;
+              nb
+          end
+          else fun st ->
+            st.cycles <- st.cycles + tc;
+            st.budget <- st.budget - tc;
+            st.instrs <- st.instrs + tn;
+            st.pc <- limit;
+            -1
+      | t -> (
+          match fop.(t) with
+          | U_b ->
+              let tc = bc_ + 3 and tn = bn + 1 in
+              let nb = bidx.(fc.(t)) in
+              fun st ->
+                st.cycles <- st.cycles + tc;
+                st.budget <- st.budget - tc;
+                st.instrs <- st.instrs + tn;
+                nb
+          | U_bl ->
+              let tc = bc_ + 4 and tn = bn + 1 in
+              let nb = bidx.(fc.(t)) in
+              let slot = fa.(t) and ret = t + 1 in
+              fun st ->
+                Array.unsafe_set st.regs 14 ret;
+                Array.unsafe_set st.fn_calls slot
+                  (Array.unsafe_get st.fn_calls slot + 1);
+                st.cycles <- st.cycles + tc;
+                st.budget <- st.budget - tc;
+                st.instrs <- st.instrs + tn;
+                nb
+          | U_bx_lr ->
+              let tc = bc_ + 3 and tn = bn + 1 in
+              let me = t in
+              fun st ->
+                st.cycles <- st.cycles + tc;
+                st.budget <- st.budget - tc;
+                st.instrs <- st.instrs + tn;
+                let l = Array.unsafe_get st.regs 14 in
+                if l = halt_magic_i then begin
+                  st.pc <- me;
+                  st.halted <- true;
+                  st.exit_code <- Int32.of_int (Array.unsafe_get st.regs 0);
+                  -1
+                end
+                else begin
+                  st.pc <- l;
+                  if l >= 0 && l < n then Array.unsafe_get bidx l else -1
+                end
+          | U_svc_halt ->
+              let tc = bc_ + 1 and tn = bn + 1 in
+              let me = t in
+              fun st ->
+                st.cycles <- st.cycles + tc;
+                st.budget <- st.budget - tc;
+                st.instrs <- st.instrs + tn;
+                st.pc <- me;
+                st.halted <- true;
+                st.exit_code <- Int32.of_int (Array.unsafe_get st.regs 0);
+                -1
+          | U_pseudo ->
+              (* the pseudo's cycle is spent, the instruction never
+                 retires — exactly the uop path's accounting *)
+              let tc = bc_ + 1 and tn = bn in
+              let me = t in
+              fun st ->
+                st.cycles <- st.cycles + tc;
+                st.budget <- st.budget - tc;
+                st.instrs <- st.instrs + tn;
+                st.pc <- me;
+                raise
+                  (Emu_error
+                     ("pseudo instruction in linked code: "
+                     ^ I.string_of_instr code.(me)))
+          | U_ckpt ->
+              (* its own single-instruction block (checkpoint sites are
+                 leaders), so every counter is exact at the commit *)
+              let cst = cost.(t) and mask = eff_mask.(t) in
+              let cause =
+                match code.(t) with I.Ckpt (c, _) -> c | _ -> assert false
+              in
+              let oc = obs_cause cause in
+              let me = t in
+              let nb = if t + 1 < n then bidx.(t + 1) else -1 in
+              fun st ->
+                st.pc <- me;
+                st.cycles <- st.cycles + cst;
+                st.budget <- st.budget - cst;
+                commit_checkpoint st ~cause:oc mask (me + 1);
+                (match cause with
+                | I.Function_entry -> st.counts.c_entry <- st.counts.c_entry + 1
+                | I.Function_exit -> st.counts.c_exit <- st.counts.c_exit + 1
+                | I.Middle_end_war ->
+                    st.counts.c_middle <- st.counts.c_middle + 1
+                | I.Back_end_war ->
+                    st.counts.c_backend <- st.counts.c_backend + 1);
+                st.instrs <- st.instrs + 1;
+                if nb >= 0 then nb
+                else begin
+                  st.pc <- me + 1;
+                  -1
+                end
+          | U_svc_print ->
+              let cst = cost.(t) and mask = eff_mask.(t) in
+              let me = t in
+              let nb = if t + 1 < n then bidx.(t + 1) else -1 in
+              fun st ->
+                st.pc <- me;
+                st.cycles <- st.cycles + cst;
+                st.budget <- st.budget - cst;
+                st.out_rev <-
+                  Int32.of_int (Array.unsafe_get st.regs 0) :: st.out_rev;
+                commit_checkpoint st ~cause:Tr.Console mask (me + 1);
+                st.instrs <- st.instrs + 1;
+                if nb >= 0 then nb
+                else begin
+                  st.pc <- me + 1;
+                  -1
+                end
+          | U_bc when fuse_cmp ->
+              (* cmp+bc superinstruction: native-int predicate; flag
+                 fields written only when live at a successor *)
+              let cp = e - 1 in
+              let xa = fa.(cp) and xc = fc.(cp) in
+              let cmp_reg = fop.(cp) = U_cmp_r in
+              let cnd = fcond.(t) in
+              let live = live_out i in
+              let tcT = bc_ + 3 and tcN = bc_ + 1 and tn = bn + 1 in
+              let tgt = bidx.(fc.(t)) in
+              let nbn = if t + 1 < n then bidx.(t + 1) else -1 in
+              let me = t in
+              fun st ->
+                let x = Array.unsafe_get st.regs xa in
+                let y = if cmp_reg then Array.unsafe_get st.regs xc else xc in
+                if live then set_flags st x y;
+                if holds_direct cnd x y then begin
+                  st.cycles <- st.cycles + tcT;
+                  st.budget <- st.budget - tcT;
+                  st.instrs <- st.instrs + tn;
+                  tgt
+                end
+                else begin
+                  st.cycles <- st.cycles + tcN;
+                  st.budget <- st.budget - tcN;
+                  st.instrs <- st.instrs + tn;
+                  if nbn >= 0 then nbn
+                  else begin
+                    st.pc <- me + 1;
+                    -1
+                  end
+                end
+          | U_bc ->
+              let cnd = fcond.(t) in
+              let tcT = bc_ + 3 and tcN = bc_ + 1 and tn = bn + 1 in
+              let tgt = bidx.(fc.(t)) in
+              let nbn = if t + 1 < n then bidx.(t + 1) else -1 in
+              let me = t in
+              fun st ->
+                if cond_holds st cnd then begin
+                  st.cycles <- st.cycles + tcT;
+                  st.budget <- st.budget - tcT;
+                  st.instrs <- st.instrs + tn;
+                  tgt
+                end
+                else begin
+                  st.cycles <- st.cycles + tcN;
+                  st.budget <- st.budget - tcN;
+                  st.instrs <- st.instrs + tn;
+                  if nbn >= 0 then nbn
+                  else begin
+                    st.pc <- me + 1;
+                    -1
+                  end
+                end
+          | _ -> assert false)
+    in
+    (* ---- body, folded right-to-left into the terminator ----
+       [cc]/[cn] are the cycles/instructions already retired within the
+       block before [pc] — the constants a fault must publish. *)
+    (* Continuations are built bottom-up ([conts.(i)] executes body
+       position [s + i] onward, ending in [tail]) so each position is
+       translated exactly once; the chain entered at [s] pairs fusible
+       ALU/mov micro-ops greedily left to right. *)
+    let conts = Array.make (body_stop - s + 1) tail in
+    let comp pc (k1 : state -> int) (k2 : (state -> int) option) :
+        state -> int =
+      let a = fa.(pc) and b = fb.(pc) and c = fc.(pc) in
+      let me = pc in
+      let cc = ref 0 in
+      for p = s to pc - 1 do
+        cc := !cc + cost.(p)
+      done;
+      let cn = pc - s in
+      let fcy = !cc + cost.(pc) in
+      (* two fusible ALU/mov/flag micro-ops: one closure for both (none
+         of them fault, so the pair needs no intermediate fault state) *)
+      match
+        match k2 with
+        | None -> None
+        | Some k2 ->
+            comp_pair fop.(pc)
+              fop.(pc + 1)
+              a b c fcond.(pc)
+              fa.(pc + 1)
+              fb.(pc + 1)
+              fc.(pc + 1)
+              fcond.(pc + 1)
+              ~flags_dead:(flags_dead_from (pc + 2))
+              k2
+      with
+      | Some fused -> fused
+      | None -> (
+        let k = k1 in
+        match fop.(pc) with
+        | U_add_r ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a
+                (sext32 (Array.unsafe_get r b + Array.unsafe_get r c));
+              k st
+        | U_add_i ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (sext32 (Array.unsafe_get r b + c));
+              k st
+        | U_sub_r ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a
+                (sext32 (Array.unsafe_get r b - Array.unsafe_get r c));
+              k st
+        | U_sub_i ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (sext32 (Array.unsafe_get r b - c));
+              k st
+        | U_rsb_r ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a
+                (sext32 (Array.unsafe_get r c - Array.unsafe_get r b));
+              k st
+        | U_rsb_i ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (sext32 (c - Array.unsafe_get r b));
+              k st
+        | U_mul_r ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a
+                (sext32 (Array.unsafe_get r b * Array.unsafe_get r c));
+              k st
+        | U_mul_i ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (sext32 (Array.unsafe_get r b * c));
+              k st
+        | U_sdiv_r ->
+            fun st ->
+              let r = st.regs in
+              let x = Array.unsafe_get r b and y = Array.unsafe_get r c in
+              Array.unsafe_set r a
+                (if y = 0 then 0
+                 else if x = -0x80000000 && y = -1 then -0x80000000
+                 else x / y);
+              k st
+        | U_sdiv_i ->
+            fun st ->
+              let r = st.regs in
+              let x = Array.unsafe_get r b in
+              Array.unsafe_set r a
+                (if c = 0 then 0
+                 else if x = -0x80000000 && c = -1 then -0x80000000
+                 else x / c);
+              k st
+        | U_udiv_r ->
+            fun st ->
+              let r = st.regs in
+              let x = Array.unsafe_get r b land 0xffffffff
+              and y = Array.unsafe_get r c land 0xffffffff in
+              Array.unsafe_set r a (if y = 0 then 0 else sext32 (x / y));
+              k st
+        | U_udiv_i ->
+            let y = c land 0xffffffff in
+            fun st ->
+              let r = st.regs in
+              let x = Array.unsafe_get r b land 0xffffffff in
+              Array.unsafe_set r a (if y = 0 then 0 else sext32 (x / y));
+              k st
+        | U_and_r ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a
+                (Array.unsafe_get r b land Array.unsafe_get r c);
+              k st
+        | U_and_i ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (Array.unsafe_get r b land c);
+              k st
+        | U_orr_r ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a
+                (Array.unsafe_get r b lor Array.unsafe_get r c);
+              k st
+        | U_orr_i ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (Array.unsafe_get r b lor c);
+              k st
+        | U_eor_r ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a
+                (Array.unsafe_get r b lxor Array.unsafe_get r c);
+              k st
+        | U_eor_i ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (Array.unsafe_get r b lxor c);
+              k st
+        | U_lsl_r ->
+            fun st ->
+              let r = st.regs in
+              let sh = Array.unsafe_get r c land 255 in
+              Array.unsafe_set r a
+                (if sh >= 32 then 0 else sext32 (Array.unsafe_get r b lsl sh));
+              k st
+        | U_lsl_i ->
+            let sh = c land 255 in
+            if sh >= 32 then fun st ->
+              Array.unsafe_set st.regs a 0;
+              k st
+            else fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (sext32 (Array.unsafe_get r b lsl sh));
+              k st
+        | U_lsr_r ->
+            fun st ->
+              let r = st.regs in
+              let sh = Array.unsafe_get r c land 255 in
+              Array.unsafe_set r a
+                (if sh >= 32 then 0
+                 else sext32 ((Array.unsafe_get r b land 0xffffffff) lsr sh));
+              k st
+        | U_lsr_i ->
+            let sh = c land 255 in
+            if sh >= 32 then fun st ->
+              Array.unsafe_set st.regs a 0;
+              k st
+            else fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a
+                (sext32 ((Array.unsafe_get r b land 0xffffffff) lsr sh));
+              k st
+        | U_asr_r ->
+            fun st ->
+              let r = st.regs in
+              let sh = Array.unsafe_get r c land 255 in
+              Array.unsafe_set r a
+                (if sh >= 32 then Array.unsafe_get r b asr 31
+                 else Array.unsafe_get r b asr sh);
+              k st
+        | U_asr_i ->
+            let sh = min (c land 255) 31 in
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (Array.unsafe_get r b asr sh);
+              k st
+        | U_mov_r ->
+            fun st ->
+              let r = st.regs in
+              Array.unsafe_set r a (Array.unsafe_get r c);
+              k st
+        | U_mov_i | U_movw ->
+            fun st ->
+              Array.unsafe_set st.regs a c;
+              k st
+        | U_movc_r ->
+            let cnd = fcond.(pc) in
+            fun st ->
+              let r = st.regs in
+              if cond_holds st cnd then
+                Array.unsafe_set r a (Array.unsafe_get r c);
+              k st
+        | U_movc_i ->
+            let cnd = fcond.(pc) in
+            fun st ->
+              if cond_holds st cnd then Array.unsafe_set st.regs a c;
+              k st
+        | U_cmp_r ->
+            fun st ->
+              let r = st.regs in
+              set_flags st (Array.unsafe_get r a) (Array.unsafe_get r c);
+              k st
+        | U_cmp_i ->
+            fun st ->
+              set_flags st (Array.unsafe_get st.regs a) c;
+              k st
+        | U_ldr8 ->
+            fun st ->
+              let r = st.regs in
+              let ad = (Array.unsafe_get r b + c) land 0xffffffff in
+              if ad < 0x40 || ad + 1 > msize then mfault st me fcy cn ad 1;
+              Array.unsafe_set r a (Char.code (Bytes.unsafe_get st.mem ad));
+              k st
+        | U_ldrr8 ->
+            fun st ->
+              let r = st.regs in
+              let ad =
+                (Array.unsafe_get r b + Array.unsafe_get r c) land 0xffffffff
+              in
+              if ad < 0x40 || ad + 1 > msize then mfault st me fcy cn ad 1;
+              Array.unsafe_set r a (Char.code (Bytes.unsafe_get st.mem ad));
+              k st
+        | U_ldr8s ->
+            fun st ->
+              let r = st.regs in
+              let ad = (Array.unsafe_get r b + c) land 0xffffffff in
+              if ad < 0x40 || ad + 1 > msize then mfault st me fcy cn ad 1;
+              Array.unsafe_set r a
+                ((Char.code (Bytes.unsafe_get st.mem ad) lxor 0x80) - 0x80);
+              k st
+        | U_ldrr8s ->
+            fun st ->
+              let r = st.regs in
+              let ad =
+                (Array.unsafe_get r b + Array.unsafe_get r c) land 0xffffffff
+              in
+              if ad < 0x40 || ad + 1 > msize then mfault st me fcy cn ad 1;
+              Array.unsafe_set r a
+                ((Char.code (Bytes.unsafe_get st.mem ad) lxor 0x80) - 0x80);
+              k st
+        | U_ldr16 ->
+            fun st ->
+              let r = st.regs in
+              let ad = (Array.unsafe_get r b + c) land 0xffffffff in
+              if ad < 0x40 || ad + 2 > msize then mfault st me fcy cn ad 2;
+              Array.unsafe_set r a (ld16 st.mem ad);
+              k st
+        | U_ldrr16 ->
+            fun st ->
+              let r = st.regs in
+              let ad =
+                (Array.unsafe_get r b + Array.unsafe_get r c) land 0xffffffff
+              in
+              if ad < 0x40 || ad + 2 > msize then mfault st me fcy cn ad 2;
+              Array.unsafe_set r a (ld16 st.mem ad);
+              k st
+        | U_ldr16s ->
+            fun st ->
+              let r = st.regs in
+              let ad = (Array.unsafe_get r b + c) land 0xffffffff in
+              if ad < 0x40 || ad + 2 > msize then mfault st me fcy cn ad 2;
+              Array.unsafe_set r a ((ld16 st.mem ad lxor 0x8000) - 0x8000);
+              k st
+        | U_ldrr16s ->
+            fun st ->
+              let r = st.regs in
+              let ad =
+                (Array.unsafe_get r b + Array.unsafe_get r c) land 0xffffffff
+              in
+              if ad < 0x40 || ad + 2 > msize then mfault st me fcy cn ad 2;
+              Array.unsafe_set r a ((ld16 st.mem ad lxor 0x8000) - 0x8000);
+              k st
+        | U_ldr32 ->
+            fun st ->
+              let r = st.regs in
+              let ad = (Array.unsafe_get r b + c) land 0xffffffff in
+              if ad < 0x40 || ad + 4 > msize then mfault st me fcy cn ad 4;
+              Array.unsafe_set r a (ld32 st.mem ad);
+              k st
+        | U_ldrr32 ->
+            fun st ->
+              let r = st.regs in
+              let ad =
+                (Array.unsafe_get r b + Array.unsafe_get r c) land 0xffffffff
+              in
+              if ad < 0x40 || ad + 4 > msize then mfault st me fcy cn ad 4;
+              Array.unsafe_set r a (ld32 st.mem ad);
+              k st
+        | U_str8 ->
+            fun st ->
+              let r = st.regs in
+              let ad = (Array.unsafe_get r b + c) land 0xffffffff in
+              if ad < 0x40 || ad + 1 > msize then mfault st me fcy cn ad 1;
+              Bytes.unsafe_set st.mem ad
+                (Char.unsafe_chr (Array.unsafe_get r a land 0xff));
+              k st
+        | U_strr8 ->
+            fun st ->
+              let r = st.regs in
+              let ad =
+                (Array.unsafe_get r b + Array.unsafe_get r c) land 0xffffffff
+              in
+              if ad < 0x40 || ad + 1 > msize then mfault st me fcy cn ad 1;
+              Bytes.unsafe_set st.mem ad
+                (Char.unsafe_chr (Array.unsafe_get r a land 0xff));
+              k st
+        | U_str16 ->
+            fun st ->
+              let r = st.regs in
+              let ad = (Array.unsafe_get r b + c) land 0xffffffff in
+              if ad < 0x40 || ad + 2 > msize then mfault st me fcy cn ad 2;
+              st16 st.mem ad (Array.unsafe_get r a);
+              k st
+        | U_strr16 ->
+            fun st ->
+              let r = st.regs in
+              let ad =
+                (Array.unsafe_get r b + Array.unsafe_get r c) land 0xffffffff
+              in
+              if ad < 0x40 || ad + 2 > msize then mfault st me fcy cn ad 2;
+              st16 st.mem ad (Array.unsafe_get r a);
+              k st
+        | U_str32 ->
+            fun st ->
+              let r = st.regs in
+              let ad = (Array.unsafe_get r b + c) land 0xffffffff in
+              if ad < 0x40 || ad + 4 > msize then mfault st me fcy cn ad 4;
+              st32 st.mem ad (Array.unsafe_get r a);
+              k st
+        | U_strr32 ->
+            fun st ->
+              let r = st.regs in
+              let ad =
+                (Array.unsafe_get r b + Array.unsafe_get r c) land 0xffffffff
+              in
+              if ad < 0x40 || ad + 4 > msize then mfault st me fcy cn ad 4;
+              st32 st.mem ad (Array.unsafe_get r a);
+              k st
+        | U_push ->
+            let rs =
+              match code.(pc) with I.Push rs -> rs | _ -> assert false
+            in
+            let nr = a in
+            fun st ->
+              let r = st.regs in
+              let sp = Array.unsafe_get r 13 - (4 * nr) in
+              if sp < 0x40 || sp + (4 * nr) > msize then
+                mfault st me fcy cn sp (4 * nr);
+              let mem = st.mem in
+              List.iteri
+                (fun i rg -> st32 mem (sp + (4 * i)) (Array.unsafe_get r rg))
+                rs;
+              Array.unsafe_set r 13 sp;
+              k st
+        | U_cpsid ->
+            fun st ->
+              st.primask <- true;
+              k st
+        | U_cpsie ->
+            fun st ->
+              st.primask <- false;
+              k st
+        | U_b | U_bc | U_bl | U_bx_lr | U_ckpt | U_svc_print | U_svc_halt
+        | U_pseudo ->
+            (* terminators never appear in a block body *)
+            assert false)
+    in
+    for i = body_stop - 1 - s downto 0 do
+      let pc = s + i in
+      let k2 = if pc + 1 < body_stop then Some conts.(i + 2) else None in
+      conts.(i) <- comp pc conts.(i + 1) k2
+    done;
+    let maxcost =
+      bc_
+      +
+      match t with
+      | -1 -> 0
+      | t -> (
+          match fop.(t) with
+          | U_b | U_bx_lr -> 3
+          | U_bc -> 3
+          | U_bl -> 4
+          | U_svc_halt | U_pseudo -> 1
+          | U_ckpt | U_svc_print -> cost.(t)
+          | _ -> assert false)
+    in
+    let ninstr = bn + if t >= 0 then 1 else 0 in
+    { b_pc = s; b_ninstr = ninstr; b_maxcost = maxcost; b_exec = conts.(0) }
+  in
+  let blocks = Array.init nbk compile_one in
+  { bc_blocks = blocks; bc_index = bidx; bc_compile_ms = 0. }
+
+(* The compiled cache depends only on the image and the save-all toggle
+   (closures capture operand constants, checkpoint costs/masks — which
+   [WARIO_SAVE_ALL] inflates — and the image's code array, never other
+   instance state), so it is shared process-wide: one translation serves
+   every instance, clone and rerun of the same image — a campaign probing
+   10^5 schedules compiles once.  Keyed by physical identity plus the
+   save-all flag; bounded, evicting oldest first. *)
+let shared_bcaches : ((Image.t * bool) * bcache) list ref = ref []
+let shared_bcaches_max = 32
+
+let get_bcache st =
+  match st.bcache with
+  | Some c -> c
+  | None -> (
+      match
+        List.find_opt
+          (fun ((img, sa), _) -> img == st.img && sa = st.save_all)
+          !shared_bcaches
+      with
+      | Some (_, c) ->
+          st.bcache <- Some c;
+          c
+      | None ->
+          let t0 = Sys.time () in
+          let c = compile_blocks st in
+          let c = { c with bc_compile_ms = (Sys.time () -. t0) *. 1000. } in
+          st.bcache <- Some c;
+          let kept =
+            List.filteri
+              (fun i _ -> i < shared_bcaches_max - 1)
+              !shared_bcaches
+          in
+          shared_bcaches := ((st.img, st.save_all), c) :: kept;
+          c)
+
+let block_batch st n : step =
+  let bc = get_bcache st in
+  let blocks = bc.bc_blocks and bidx = bc.bc_index in
+  let ncode = Array.length st.fop in
+  (* direct-threaded dispatch: each terminator returns its successor's
+     block index, so the chain never re-derives it from [st.pc]; [st.pc]
+     is published whenever the chain breaks *)
+  let rec drive cur left disp =
+    let b = Array.unsafe_get blocks cur in
+    if left < b.b_ninstr || st.budget < b.b_maxcost
+       || st.fuel - st.cycles < b.b_maxcost
+    then begin
+      st.pc <- b.b_pc;
+      st.n_dispatch <- st.n_dispatch + disp;
+      left
+    end
+    else
+      let nxt = b.b_exec st in
+      if nxt >= 0 then drive nxt (left - b.b_ninstr) (disp + 1)
+      else begin
+        st.n_dispatch <- st.n_dispatch + disp + 1;
+        left - b.b_ninstr
+      end
+  in
+  match
+    let left = ref n in
+    while !left > 0 && not st.halted do
+      let pc = st.pc in
+      let cur =
+        if pc >= 0 && pc < ncode then Array.unsafe_get bidx pc else -1
+      in
+      let advanced =
+        cur >= 0
+        &&
+        let left' = drive cur !left 0 in
+        let adv = left' < !left in
+        left := left';
+        adv
+      in
+      if (not advanced) && !left > 0 && not st.halted then begin
+        (* power/fuel edge, quota smaller than the next block, or a pc
+           inside a block (dynamic branch): checked single-step fallback
+           with reference-exact per-instruction state *)
+        st.n_fallback <- st.n_fallback + 1;
+        ignore (exec_batch st ~unchecked:false 1 : int);
+        decr left
+      end
+    done
+  with
+  | () -> if st.halted then Halted else Stepped
+  | exception Power_failed ->
+      power_failure st;
+      reboot st;
+      Rebooted
+
+type engine =
+  | Auto  (** best eligible engine: block when possible, reference else *)
+  | Reference  (** force the fully instrumented per-step interpreter *)
+  | Uop  (** the predecoded micro-op loop (PR 4's fast path) *)
+  | Block  (** basic blocks fused into closures (falls back when ineligible) *)
+
+let run_batch ?(engine = Auto) st n : step =
   if st.halted then Halted
   else if n <= 0 then invalid_arg "Emulator.run_batch: non-positive batch size"
-  else if not (fast_eligible st) then begin
-    (* fall back to the fully instrumented reference path *)
-    let rec go left =
-      if left = 0 then Stepped
-      else match step st with Stepped -> go (left - 1) | s -> s
-    in
-    go n
-  end
-  else begin
-    sync_to_fast st;
-    match
-      let left = ref n in
-      while !left > 0 && not st.halted do
-        (* instructions that provably cannot exhaust the power budget or
-           the fuel; both checks hoist out of the inner loop for that
-           stretch *)
-        let headroom =
-          min
-            (st.budget / st.max_step_cost)
-            ((st.fuel - st.cycles) / st.max_step_cost)
-        in
-        let k = min !left headroom in
-        if k > 0 then left := !left - exec_batch st ~unchecked:true k
-        else begin
-          (* within [max_step_cost] of a budget or fuel edge: exact
-             per-instruction checks until the edge resolves *)
-          ignore (exec_batch st ~unchecked:false 1 : int);
-          decr left
-        end
-      done
-    with
-    | () ->
-        sync_from_fast st;
-        if st.halted then Halted else Stepped
-    | exception Power_failed ->
-        (* publish the registers as of the failing instruction before the
-           power-failure bookkeeping and reboot *)
-        sync_from_fast st;
-        power_failure st;
-        reboot st;
-        Rebooted
-    | exception e ->
-        (* memory faults and pseudo-instruction errors have already
-           published exact state; fuel exhaustion from a checked [spend]
-           has not — syncing twice is harmless, never syncing is not *)
-        sync_from_fast st;
-        raise e
-  end
+  else
+    match engine with
+    | Reference -> reference_batch st n
+    | Uop -> if fast_eligible st then uop_batch st n else reference_batch st n
+    | Auto | Block ->
+        if fast_eligible st then block_batch st n else reference_batch st n
 
 let clone st =
   {
@@ -1496,7 +5380,6 @@ let clone st =
         c_backend = st.counts.c_backend;
       };
     fn_calls = Array.copy st.fn_calls;
-    fregs = Array.copy st.fregs;
     pc_counts = Option.map Array.copy st.pc_counts;
     (* cost/eff_mask/push_n/call_fn/fn_names are immutable: shared *)
   }
@@ -1568,23 +5451,41 @@ let result st : result =
 
 let output st = List.rev st.out_rev
 
-type path = Auto | Fast | Reference
+type engine_stats = {
+  es_blocks : int;  (** basic blocks compiled (0 if never block-dispatched) *)
+  es_compile_ms : float;  (** wall time spent translating blocks *)
+  es_dispatches : int;  (** fused closures executed *)
+  es_fallback_steps : int;  (** checked single steps at block-engine edges *)
+}
+
+let engine_stats st =
+  let blocks, ms =
+    match st.bcache with
+    | None -> (0, 0.)
+    | Some c -> (Array.length c.bc_blocks, c.bc_compile_ms)
+  in
+  {
+    es_blocks = blocks;
+    es_compile_ms = ms;
+    es_dispatches = st.n_dispatch;
+    es_fallback_steps = st.n_fallback;
+  }
 
 let batch_size = 4096
 
-let run ?fuel ?supply ?irq_period ?verify ?tracer ?(path = Auto)
+let run ?fuel ?supply ?irq_period ?verify ?tracer ?(engine = Auto)
     (img : Image.t) : result =
   let st = create ?fuel ?supply ?irq_period ?verify ?tracer img in
-  (match path with
+  (match engine with
   | Reference ->
       while not st.halted do
         ignore (step st)
       done
-  | Auto | Fast ->
+  | Auto | Uop | Block ->
       (* [run_batch] falls back to the reference path per batch whenever the
-         configuration makes the fast path ineligible (verify/trace/irq), so
-         Auto and Fast share one loop *)
+         configuration makes the fast engines ineligible (verify/trace/irq),
+         so every engine shares one loop *)
       while not st.halted do
-        ignore (run_batch st batch_size)
+        ignore (run_batch ~engine st batch_size)
       done);
   result st

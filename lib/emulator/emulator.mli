@@ -87,17 +87,26 @@ val restore_cost : int -> int
 val ckpt_bytes : int -> int
 (** Bytes a commit writes into its buffer for a given live mask. *)
 
-type path =
-  | Auto  (** fast path when eligible, reference path otherwise (default) *)
-  | Fast  (** same as [Auto] — the fast path self-selects per batch *)
+type engine =
+  | Auto
+      (** best eligible engine — block when possible, reference otherwise
+          (default) *)
   | Reference  (** force the fully instrumented per-step reference path *)
-(** Which interpreter loop {!run} drives.  The fast path is a branch-light
-    twin of the reference path for the measurement configuration
-    ([verify:false], no tracer, [irq_period = 0]); it executes in
-    macro-steps that hoist the power/fuel checks out of the inner loop
-    (exactly — batches are sized so no check can trip inside them).  Both
-    paths produce byte-for-byte identical {!result} records; the reference
-    path is the oracle (qcheck property "fast path = reference path" in
+  | Uop  (** the predecoded micro-op loop (the former [Fast] path) *)
+  | Block
+      (** basic blocks fused into OCaml closures, direct-threaded
+          dispatch *)
+(** The engine ladder {!run} and {!run_batch} drive.  [Uop] and [Block]
+    are branch-light twins of the reference path for the measurement
+    configuration ([verify:false], no tracer, [irq_period = 0]); both
+    hoist the power/fuel checks out of the inner loop ([Uop] per provably
+    safe stretch, [Block] per basic block) and both fall back to the
+    reference path per batch whenever the configuration makes them
+    ineligible.  [Block] additionally falls back to checked single steps
+    at power/fuel edges and at any pc inside a block (e.g. right after a
+    snapshot restore).  All engines produce byte-for-byte identical
+    {!result} records including [waste] and [failure_sites]; the reference
+    path is the oracle (qcheck property "every engine = reference" in
     test/test_props.ml). *)
 
 val run :
@@ -106,7 +115,7 @@ val run :
   ?irq_period:int ->
   ?verify:bool ->
   ?tracer:Wario_obs.Trace.sink ->
-  ?path:path ->
+  ?engine:engine ->
   Image.t ->
   result
 (** Execute an image until it halts.
@@ -120,7 +129,7 @@ val run :
     record every checkpoint commit, power failure, boot/restore,
     interrupt, function transition and the final halt, with active-cycle
     timestamps.
-    @param path interpreter loop selection (default [Auto]).
+    @param engine interpreter/translator selection (default [Auto]).
 
     The runtime's save-all escape hatch is sampled {e once}, at instance
     creation: setting the [WARIO_SAVE_ALL] environment variable (to
@@ -165,14 +174,15 @@ val step : t -> step
 (** Execute one instruction (plus any due interrupt); on power failure,
     replay the boot/restore sequence.  Idempotent once halted. *)
 
-val run_batch : t -> int -> step
+val run_batch : ?engine:engine -> t -> int -> step
 (** [run_batch st n] executes up to [n] instructions as one macro-step.
-    When the instance is fast-path eligible (verify off, no tracer,
+    When the instance is fast-engine eligible (verify off, no tracer,
     interrupts off) the power/fuel budget checks are hoisted out of the
-    inner loop for provably safe stretches; otherwise it is exactly [n]
-    {!step}s.  Returns [Stepped] after [n] instructions, or earlier
-    [Rebooted]/[Halted] the moment either occurs.  Observable behaviour is
-    identical to stepping.
+    inner loop — per provably safe stretch on [Uop], per basic block on
+    [Auto]/[Block] (compiling and caching the block closures on first
+    use); otherwise it is exactly [n] {!step}s.  Returns [Stepped] after
+    [n] instructions, or earlier [Rebooted]/[Halted] the moment either
+    occurs.  Observable behaviour is identical to stepping.
     @raise Invalid_argument when [n < 1]. *)
 
 val output : t -> int32 list
@@ -213,3 +223,16 @@ val nv_digest : t -> int64
 
 val result : t -> result
 (** Statistics so far (complete once {!halted}). *)
+
+type engine_stats = {
+  es_blocks : int;  (** basic blocks compiled (0 if never block-dispatched) *)
+  es_compile_ms : float;  (** wall time spent translating blocks *)
+  es_dispatches : int;  (** fused closures executed *)
+  es_fallback_steps : int;  (** checked single steps at block-engine edges *)
+}
+
+val engine_stats : t -> engine_stats
+(** Block-engine telemetry for this instance: compile cost, dispatch and
+    fallback counters.  All zero unless the block engine ran.  The block
+    cache is compiled lazily on first block dispatch and shared with
+    {!clone}s taken afterwards. *)

@@ -204,6 +204,10 @@ type config = {
   opts : P.options;
   jobs : int;
   max_shrunk_per_case : int;
+  engine : E.Emulator.engine;
+      (** emulator engine for every oracle run (default [Auto]); the oracle
+          verifies WARs, so all engines resolve to the reference path and
+          the report is engine-independent — asserted byte-identical in CI *)
 }
 
 let default_budget = 100_000
@@ -218,6 +222,7 @@ let default_config =
     opts = P.default_options;
     jobs = 1;
     max_shrunk_per_case = 5;
+    engine = E.Emulator.Auto;
   }
 
 (* Per-case generator: derived from the campaign seed and the case
@@ -361,7 +366,7 @@ let run_case ?(log = fun _ -> ()) ?(spans = S.disabled) (config : config)
   let c, g =
     S.with_span spans "campaign.golden" (fun () ->
         let c = P.compile ~opts:config.opts env source in
-        (c, Oracle.golden c))
+        (c, Oracle.golden ~engine:config.engine c))
   in
   match Oracle.golden_violations g with
   | _ :: _ as vs ->
@@ -421,7 +426,9 @@ let run_case ?(log = fun _ -> ()) ?(spans = S.disabled) (config : config)
             p)
       in
       let acc = acc_create ref_ in
-      let still_fails cuts = Result.is_error (Oracle.check_schedule g c cuts) in
+      let still_fails cuts =
+        Result.is_error (Oracle.check_schedule ~engine:config.engine g c cuts)
+      in
       (* sweeps carry thousands of cuts; ddmin's subset phase is linear in
          that, so first find a failing prefix by doubling (failure is not
          monotone in prefix length, so this is a heuristic — like ddmin
@@ -465,7 +472,9 @@ let run_case ?(log = fun _ -> ()) ?(spans = S.disabled) (config : config)
             let verdicts =
               Exec.map ~jobs:config.jobs ~spans ~label
                 (fun (src, cuts) ->
-                  let res, verdict = Oracle.run_schedule g c cuts in
+                  let res, verdict =
+                    Oracle.run_schedule ~engine:config.engine g c cuts
+                  in
                   let sites =
                     match res with
                     | Some r -> r.E.Emulator.failure_sites
@@ -492,7 +501,7 @@ let run_case ?(log = fun _ -> ()) ?(spans = S.disabled) (config : config)
                     incr failures_total;
                     let shrunk = shrink cuts in
                     let divergence =
-                      match Oracle.check_schedule g c shrunk with
+                      match Oracle.check_schedule ~engine:config.engine g c shrunk with
                       | Error d -> d
                       | Ok () ->
                           (* cannot happen: shrinking preserves failure *)

@@ -87,6 +87,11 @@ type config = {
   max_shrunk_per_case : int;
       (** distinct failures shrunk and recorded per case; the rest are
           counted in [k_failures_total] only *)
+  engine : Wario_emulator.Emulator.engine;
+      (** emulator engine for every oracle run (default [Auto]).  Oracle
+          instances keep the WAR verifier on, so every engine resolves to
+          the instrumented reference path: reports are engine-independent
+          by construction (asserted byte-identical in CI). *)
 }
 
 val default_budget : int

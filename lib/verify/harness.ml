@@ -40,6 +40,9 @@ type config = {
   opts : P.options;
   jobs : int;
       (** domains for the schedule fan-out (1 = sequential, 0 = auto) *)
+  engine : Wario_emulator.Emulator.engine;
+      (** emulator engine for every oracle run (default [Auto]; verdicts
+          are engine-independent — the oracle keeps the WAR verifier on) *)
 }
 
 let instrumented_environments =
@@ -59,6 +62,7 @@ let default_config =
     seed = 1L;
     opts = P.default_options;
     jobs = 1;
+    engine = Wario_emulator.Emulator.Auto;
   }
 
 (* Per-case generator: derived from the sweep seed and the case identity,
@@ -78,7 +82,7 @@ let run_case ?(log = fun _ -> ()) config ~(workload : string * string)
     ~(env : P.environment) : case_report =
   let name, source = workload in
   let c = P.compile ~opts:config.opts env source in
-  let g = Oracle.golden c in
+  let g = Oracle.golden ~engine:config.engine c in
   match Oracle.golden_violations g with
   | _ :: _ as vs ->
       (* the schedule is broken before any failure is injected *)
@@ -108,7 +112,7 @@ let run_case ?(log = fun _ -> ()) config ~(workload : string * string)
       let n_random = max 0 (config.schedules_per_case - List.length ex) in
       let schedules = ex @ Schedule.random_schedules gen ref_ ~n:n_random in
       let still_fails cuts =
-        Result.is_error (Oracle.check_schedule g c cuts)
+        Result.is_error (Oracle.check_schedule ~engine:config.engine g c cuts)
       in
       (* The oracle fan-out runs schedules in fixed-size chunks:
          [Exec.map] evaluates a whole chunk (on [config.jobs] domains —
@@ -136,7 +140,8 @@ let run_case ?(log = fun _ -> ()) config ~(workload : string * string)
            (fun chunk ->
              let verdicts =
                Exec.map ~jobs:config.jobs
-                 (fun cuts -> (cuts, Oracle.check_schedule g c cuts))
+                 (fun cuts ->
+                   (cuts, Oracle.check_schedule ~engine:config.engine g c cuts))
                  chunk
              in
              List.iter
@@ -147,7 +152,9 @@ let run_case ?(log = fun _ -> ()) config ~(workload : string * string)
                  | Error _ ->
                      let shrunk = Shrink.ddmin ~still_fails cuts in
                      let divergence =
-                       match Oracle.check_schedule g c shrunk with
+                       match
+                         Oracle.check_schedule ~engine:config.engine g c shrunk
+                       with
                        | Error d -> d
                        | Ok () ->
                            (* cannot happen: ddmin preserves failure *)

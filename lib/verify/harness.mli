@@ -32,6 +32,10 @@ type config = {
           evaluated in fixed-size chunks whose verdicts are consumed in
           input order, so every report — including [c_schedules] under
           the failure cap — is byte-identical for any [jobs] value. *)
+  engine : Wario_emulator.Emulator.engine;
+      (** emulator engine for every oracle run (default [Auto]); verdicts
+          are engine-independent because the oracle keeps the WAR verifier
+          on, which resolves every engine to the reference path *)
 }
 
 val instrumented_environments : Wario.Pipeline.environment list

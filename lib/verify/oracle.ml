@@ -36,14 +36,19 @@ type divergence =
   | War_violations of E.Emulator.violation list
   | No_progress of string
 
-let run_to_halt emu =
+(* Driven through [run_batch] so an [engine] selection reaches the
+   emulator; oracle instances keep the WAR verifier on, which makes every
+   engine fall back to the instrumented reference path — the selection is
+   still threaded end to end so campaign reports can be asserted
+   byte-identical across engines (the CI smoke). *)
+let run_to_halt ?engine emu =
   while not (E.Emulator.halted emu) do
-    ignore (E.Emulator.step emu)
+    ignore (E.Emulator.run_batch ?engine emu 4096)
   done
 
-let golden (c : P.compiled) : golden =
+let golden ?engine (c : P.compiled) : golden =
   let emu = E.Emulator.create c.P.image in
-  run_to_halt emu;
+  run_to_halt ?engine emu;
   let r = E.Emulator.result emu in
   {
     g_output = r.E.Emulator.output;
@@ -71,11 +76,11 @@ let is_double_emission ~want ~got =
    run terminated) the full emulator result: the adversarial cut search
    maximizes [result.waste.w_reexec] across probes, so the measurement and
    the differential check must come from the same run. *)
-let run_supply (g : golden) (c : P.compiled) (supply : E.Power.supply) :
-    E.Emulator.result option * (unit, divergence) result =
+let run_supply ?engine (g : golden) (c : P.compiled) (supply : E.Power.supply)
+    : E.Emulator.result option * (unit, divergence) result =
   match
     let emu = E.Emulator.create ~supply c.P.image in
-    run_to_halt emu;
+    run_to_halt ?engine emu;
     (E.Emulator.result emu, E.Emulator.nv_digest emu)
   with
   | exception E.Emulator.No_forward_progress s -> (None, Error (No_progress s))
@@ -99,12 +104,12 @@ let run_supply (g : golden) (c : P.compiled) (supply : E.Power.supply) :
       in
       (Some r, verdict)
 
-let run_schedule (g : golden) (c : P.compiled) (cuts : int array) =
-  run_supply g c (E.Power.Schedule cuts)
+let run_schedule ?engine (g : golden) (c : P.compiled) (cuts : int array) =
+  run_supply ?engine g c (E.Power.Schedule cuts)
 
-let check_schedule (g : golden) (c : P.compiled) (cuts : int array) :
+let check_schedule ?engine (g : golden) (c : P.compiled) (cuts : int array) :
     (unit, divergence) result =
-  snd (run_schedule g c cuts)
+  snd (run_schedule ?engine g c cuts)
 
 let pp_outputs vs =
   "[" ^ String.concat "," (List.map Int32.to_string vs) ^ "]"

@@ -19,9 +19,13 @@ type divergence =
   | War_violations of Wario_emulator.Emulator.violation list
   | No_progress of string
 
-val golden : Wario.Pipeline.compiled -> golden
+val golden :
+  ?engine:Wario_emulator.Emulator.engine -> Wario.Pipeline.compiled -> golden
 (** Continuous-power reference run (via the stepping API, so the final
-    memory digest is captured). *)
+    memory digest is captured).  [engine] (default [Auto]) is threaded to
+    {!Wario_emulator.Emulator.run_batch}; oracle instances keep the WAR
+    verifier on, so every engine resolves to the instrumented reference
+    path and the verdicts are engine-independent by construction. *)
 
 val golden_violations :
   golden -> Wario_emulator.Emulator.violation list
@@ -33,12 +37,17 @@ val is_double_emission : want:int32 list -> got:int32 list -> bool
     output re-emitted during replay.  Exposed for the test suite. *)
 
 val check_schedule :
-  golden -> Wario.Pipeline.compiled -> int array -> (unit, divergence) result
+  ?engine:Wario_emulator.Emulator.engine ->
+  golden ->
+  Wario.Pipeline.compiled ->
+  int array ->
+  (unit, divergence) result
 (** Run [c]'s image with power cut after each scheduled on-duration and
     compare output, exit code, final memory digest and WAR-verifier
     verdict against the golden run. *)
 
 val run_schedule :
+  ?engine:Wario_emulator.Emulator.engine ->
   golden ->
   Wario.Pipeline.compiled ->
   int array ->
@@ -49,6 +58,7 @@ val run_schedule :
     judges. *)
 
 val run_supply :
+  ?engine:Wario_emulator.Emulator.engine ->
   golden ->
   Wario.Pipeline.compiled ->
   Wario_emulator.Power.supply ->

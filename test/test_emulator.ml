@@ -441,6 +441,85 @@ let test_run_batch_rejects_nonpositive () =
         (fun () -> ignore (E.Emulator.run_batch st n)))
     [ 0; -1 ]
 
+(* --- block engine: directed edge cases ------------------------------- *)
+
+let drive_engine engine st =
+  let rec go () =
+    match E.Emulator.run_batch ~engine st 4096 with
+    | E.Emulator.Halted -> ()
+    | _ -> go ()
+  in
+  go ();
+  E.Emulator.result st
+
+(* A snapshot taken while the pc is parked {e inside} a basic block (after k
+   single steps) must resume correctly on the block engine in both copies:
+   the engine may not assume dispatch ever starts at a leader.  Swept over
+   k so the clone point crosses many in-block offsets. *)
+let test_block_clone_mid_block () =
+  let m = Wario_workloads.Micro.find "rmw_loop" in
+  let c = P.compile P.Wario m.Wario_workloads.Micro.source in
+  let want = E.Emulator.run ~verify:false c.P.image in
+  List.iter
+    (fun k ->
+      let st = E.Emulator.create ~verify:false c.P.image in
+      for _ = 1 to k do ignore (E.Emulator.step st) done;
+      let snap = E.Emulator.clone st in
+      let r_orig = drive_engine E.Emulator.Block st in
+      let r_snap = drive_engine E.Emulator.Block snap in
+      Alcotest.(check bool)
+        (Printf.sprintf "original resumed mid-block at k=%d" k)
+        true (r_orig = want);
+      Alcotest.(check bool)
+        (Printf.sprintf "clone resumed mid-block at k=%d" k)
+        true (r_snap = want);
+      Alcotest.(check int64)
+        (Printf.sprintf "clone digest at k=%d" k)
+        (E.Emulator.nv_digest st) (E.Emulator.nv_digest snap))
+    [ 1; 2; 3; 5; 7; 11; 17; 23; 31; 41 ]
+
+(* Interrupts make the block engine ineligible: a Block request must fall
+   back to the instrumented reference path — never dispatching a fused
+   closure — and reproduce the reference run exactly, interrupts included. *)
+let test_block_irq_fallback () =
+  let m = Wario_workloads.Micro.find "fib" in
+  let c = P.compile P.Wario m.Wario_workloads.Micro.source in
+  let want = E.Emulator.run ~verify:false ~irq_period:37 c.P.image in
+  let st = E.Emulator.create ~verify:false ~irq_period:37 c.P.image in
+  let got = drive_engine E.Emulator.Block st in
+  Alcotest.(check bool) "irq run: block = reference" true (got = want);
+  Alcotest.(check bool) "irqs actually fired" true
+    (got.E.Emulator.irqs_taken > 0);
+  Alcotest.(check int) "no fused closure dispatched under irqs" 0
+    (E.Emulator.engine_stats st).E.Emulator.es_dispatches
+
+(* Power edges across block geometry: sweeping the periodic budget one
+   cycle at a time walks the failure point across every in-block offset —
+   including the {e last} instruction of a block, where the hoisted
+   power check and the block-boundary fallback meet.  Every budget must
+   be byte-identical to the reference engine, result record (waste and
+   failure_sites included) and non-volatile digest alike. *)
+let test_block_power_edge_sweep () =
+  let m = Wario_workloads.Micro.find "rmw_loop" in
+  let c = P.compile P.Wario m.Wario_workloads.Micro.source in
+  let cont = E.Emulator.run ~verify:false c.P.image in
+  let base =
+    400 + 64 + List.fold_left max 0 cont.E.Emulator.region_sizes
+  in
+  for budget = base to base + 64 do
+    let supply = E.Power.Periodic budget in
+    let a = E.Emulator.create ~verify:false ~supply c.P.image in
+    let b = E.Emulator.create ~verify:false ~supply c.P.image in
+    let ra = drive_engine E.Emulator.Reference a in
+    let rb = drive_engine E.Emulator.Block b in
+    Alcotest.(check bool)
+      (Printf.sprintf "budget=%d: block = reference" budget)
+      true (rb = ra);
+    Alcotest.(check int64)
+      (Printf.sprintf "budget=%d: nv digest" budget)
+      (E.Emulator.nv_digest a) (E.Emulator.nv_digest b)
+  done
+
 (* WARIO_SAVE_ALL is sampled exactly once, at [create]: an instance created
    while the flag is clear must behave as save-all-off even if the flag is
    set before it runs; and the flag genuinely changes behaviour (save-all
@@ -501,6 +580,12 @@ let suite =
     Alcotest.test_case "trace-driven run" `Quick test_trace_run;
     Alcotest.test_case "region statistics" `Quick test_region_stats;
     Alcotest.test_case "run_batch = step" `Quick test_run_batch_matches_step;
+    Alcotest.test_case "block engine: clone mid-block" `Quick
+      test_block_clone_mid_block;
+    Alcotest.test_case "block engine: irq fallback" `Quick
+      test_block_irq_fallback;
+    Alcotest.test_case "block engine: power-edge sweep" `Quick
+      test_block_power_edge_sweep;
     Alcotest.test_case "run_batch rejects n < 1" `Quick
       test_run_batch_rejects_nonpositive;
     Alcotest.test_case "WARIO_SAVE_ALL sampled at create" `Quick

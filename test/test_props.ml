@@ -254,9 +254,11 @@ let prop_interrupts_safe =
    enough to force many reboots — and, via [irq_period], through the
    reference fallback inside [run_batch]. *)
 let prop_fast_equals_reference =
-  QCheck.Test.make ~name:"random programs: fast path = reference path"
-    ~count:12 arbitrary_program
-    (fun src ->
+  QCheck.Test.make
+    ~name:"random programs: uop and block engines = reference engine"
+    ~count:12
+    QCheck.(pair arbitrary_program (int_bound 0x3fffffff))
+    (fun (src, seed) ->
       let describe = function
         | Ok (r : E.Emulator.result) ->
             Printf.sprintf "exit=%ld cycles=%d instrs=%d out=[%s]"
@@ -265,12 +267,26 @@ let prop_fast_equals_reference =
                  (List.map Int32.to_string r.E.Emulator.output))
         | Error e -> "raised " ^ e
       in
+      let engine_name = function
+        | E.Emulator.Uop -> "uop"
+        | E.Emulator.Block -> "block"
+        | E.Emulator.Auto -> "auto"
+        | E.Emulator.Reference -> "reference"
+      in
+      (* a random schedule of on-period cuts derived from the generated
+         seed; once exhausted power stays on, so the run terminates *)
+      let random_schedule =
+        let s = ref (seed lor 1) in
+        Array.init 12 (fun _ ->
+            s := ((!s * 0x9e3779b1) + 0x6d2b79f5) land 0x3fffffff;
+            500 + (!s mod 19500))
+      in
       List.for_all
         (fun env ->
           let c = P.compile env src in
-          let attempt path supply irq =
+          let attempt engine supply irq =
             match
-              E.Emulator.run ~verify:false ~supply ~irq_period:irq ~path
+              E.Emulator.run ~verify:false ~supply ~irq_period:irq ~engine
                 c.P.image
             with
             | r -> Ok r
@@ -278,18 +294,24 @@ let prop_fast_equals_reference =
           in
           List.for_all
             (fun (supply, irq) ->
-              let fast = attempt E.Emulator.Fast supply irq in
               let refr = attempt E.Emulator.Reference supply irq in
-              fast = refr
-              || QCheck.Test.fail_reportf
-                   "fast/reference diverged [%s, %s, irq=%d]:\n  fast: %s\n  ref:  %s"
-                   (P.environment_name env)
-                   (E.Power.describe supply) irq (describe fast)
-                   (describe refr))
+              List.for_all
+                (fun engine ->
+                  let fast = attempt engine supply irq in
+                  fast = refr
+                  || QCheck.Test.fail_reportf
+                       "%s/reference diverged [%s, %s, irq=%d]:\n\
+                       \  %s: %s\n\
+                       \  ref:  %s" (engine_name engine)
+                       (P.environment_name env)
+                       (E.Power.describe supply) irq (engine_name engine)
+                       (describe fast) (describe refr))
+                [ E.Emulator.Uop; E.Emulator.Block ])
             [
               (E.Power.Continuous, 0);
               (E.Power.Periodic 2000, 0);
               (E.Power.Periodic 16384, 0);
+              (E.Power.Schedule random_schedule, 0);
               (* interrupts force the reference fallback inside run_batch *)
               (E.Power.Continuous, 997);
             ])

@@ -35,6 +35,21 @@ let perf_gen label =
   | Ok g -> g
   | Error e -> Alcotest.fail (label ^ ": " ^ e)
 
+let emu_gen label progs =
+  let prog (name, r, u, b) =
+    Printf.sprintf
+      {|{"name":%S,"continuous":{"reference_instr_per_s":%f,"uop_instr_per_s":%f,"block_instr_per_s":%f}}|}
+      name r u b
+  in
+  let body =
+    Printf.sprintf
+      {|{"bench":"emu","small":false,"programs":[%s]}|}
+      (String.concat "," (List.map prog progs))
+  in
+  match St.generation_of_json ~label (Result.get_ok (J.parse body)) with
+  | Ok g -> g
+  | Error e -> Alcotest.fail (label ^ ": " ^ e)
+
 let mk_span ?(track = 0) ?(children = []) ?(counters = []) name t0 dur =
   {
     S.sp_name = name;
@@ -73,16 +88,47 @@ let test_generation_parsing () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing dyn_ckpts accepted"
 
+let test_emu_generation_parsing () =
+  let g = emu_gen "E1" [ ("aes", 7.0e7, 1.2e8, 2.2e8) ] in
+  Alcotest.(check string) "kind" "emu" g.St.g_kind;
+  Alcotest.(check bool) "emu has no placement points" true (g.St.g_points = []);
+  (match g.St.g_throughput with
+  | [ t ] ->
+      Alcotest.(check string) "program" "aes" t.St.tp_program;
+      Alcotest.(check bool) "reference ips" true (t.St.tp_ref_ips = 7.0e7);
+      Alcotest.(check bool) "uop ips" true (t.St.tp_uop_ips = 1.2e8);
+      Alcotest.(check bool) "block ips" true (t.St.tp_block_ips = 2.2e8)
+  | ts ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 tpoint, got %d" (List.length ts)));
+  (* placement generations carry no throughput points *)
+  let p = place_gen "G" [ ("crc", "g", 10, 100) ] in
+  Alcotest.(check bool) "place has no throughput" true (p.St.g_throughput = []);
+  (* a missing engine field is an error, not a silent zero *)
+  let bad =
+    {|{"bench":"emu","programs":[{"name":"x","continuous":{"uop_instr_per_s":1.0,"block_instr_per_s":1.0}}]}|}
+  in
+  match St.generation_of_json ~label:"B" (Result.get_ok (J.parse bad)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing reference_instr_per_s accepted"
+
 let test_real_artifacts_load () =
   (* the committed artifacts must stay parseable by the stats engine *)
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   List.iter
     (fun file ->
       if Sys.file_exists file then
-        match St.load_generation ~label:file file with
+        match St.load_generation ~label:file (read file) with
         | Ok _ -> ()
         | Error e -> Alcotest.fail (file ^ ": " ^ e))
-    [ "BENCH_4.json"; "BENCH_5.json"; "BENCH_6.json";
-      "../BENCH_4.json"; "../BENCH_5.json"; "../BENCH_6.json" ]
+    [ "BENCH_4.json"; "BENCH_5.json"; "BENCH_6.json"; "BENCH_7.json";
+      "../BENCH_4.json"; "../BENCH_5.json"; "../BENCH_6.json";
+      "../BENCH_7.json" ]
 
 (* ------------------------------------------------------------------ *)
 (* Trend                                                                *)
@@ -138,6 +184,38 @@ let test_trend_degenerate () =
          in
          has_nan 0))
     [ []; [ single ]; [ perf_gen "P" ]; [ z1; z2 ] ]
+
+let test_throughput_trend () =
+  let e1 = emu_gen "E1" [ ("aes", 1e7, 2e7, 1.0e8); ("sha", 1e7, 2e7, 5e7) ] in
+  let e2 = emu_gen "E2" [ ("aes", 1e7, 2e7, 1.25e8) ] in
+  let place = place_gen "G" [ ("crc", "g", 10, 100) ] in
+  let rows = St.throughput_trend [ place; e1; e2 ] in
+  Alcotest.(check (list string)) "rows in first-appearance order"
+    [ "aes"; "sha" ]
+    (List.map (fun r -> r.St.th_program) rows);
+  let aes = List.hd rows in
+  (* cells align with the emu generations only: the placement generation
+     contributes no column *)
+  Alcotest.(check int) "cells aligned with emu generations" 2
+    (List.length aes.St.th_cells);
+  (match aes.St.th_block_delta_pct with
+  | Some d when Float.abs (d -. 25.0) < 1e-9 -> ()
+  | _ -> Alcotest.fail "aes block delta should be +25%");
+  let sha = List.nth rows 1 in
+  Alcotest.(check bool) "single appearance: no delta" true
+    (sha.St.th_block_delta_pct = None);
+  Alcotest.(check bool) "placement-only input: no throughput rows" true
+    (St.throughput_trend [ place ] = []);
+  (* the emu table renders without nan alongside placement tables *)
+  let s = St.render_trend [ place; e1; e2 ] in
+  Alcotest.(check bool) "render mentions block column" true
+    (let needle = "d-block" in
+     let nl = String.length needle in
+     let rec found i =
+       i + nl <= String.length s
+       && (String.sub s i nl = needle || found (i + 1))
+     in
+     found 0)
 
 (* ------------------------------------------------------------------ *)
 (* Span statistics                                                      *)
@@ -247,6 +325,54 @@ let test_gate () =
      in
      found 0)
 
+let test_gate_floor () =
+  let budgets =
+    budgets_of_string
+      {|{"budgets":[{"program":"aes","min_instr_per_s":1.0e8},
+                    {"program":"sha","min_instr_per_s":5.0e7}]}|}
+  in
+  let healthy = emu_gen "E" [ ("aes", 7e7, 1.2e8, 2.2e8) ] in
+  (* aes clears its floor; sha appears in no emu generation *)
+  (match St.gate ~budgets [ healthy ] with
+  | [ b ] ->
+      Alcotest.(check string) "missing floor program" "sha" b.St.br_program;
+      Alcotest.(check string) "metric" "instr_per_s missing" b.St.br_metric;
+      Alcotest.(check bool) "no actual" true (b.St.br_actual = None)
+  | bs ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 breach, got %d" (List.length bs)));
+  (* a floor-only budget must NOT demand a placement appearance *)
+  let aes_only =
+    budgets_of_string {|{"budgets":[{"program":"aes","min_instr_per_s":1.0e8}]}|}
+  in
+  Alcotest.(check bool) "floor-only budget passes without placement gens" true
+    (St.gate ~budgets:aes_only [ healthy ] = []);
+  (* falling under the floor breaches, with the actual and the floor *)
+  let regressed = emu_gen "R" [ ("aes", 7e7, 1.2e8, 0.5e8) ] in
+  (match St.gate ~budgets:aes_only [ regressed ] with
+  | [ b ] ->
+      Alcotest.(check string) "floor breached" "instr_per_s" b.St.br_metric;
+      Alcotest.(check bool) "actual reported" true
+        (b.St.br_actual = Some 50_000_000);
+      Alcotest.(check int) "floor reported" 100_000_000 b.St.br_limit
+  | _ -> Alcotest.fail "throughput regression not caught");
+  (* the newest emu appearance wins: a recovered run clears an old breach *)
+  Alcotest.(check bool) "newest generation wins" true
+    (St.gate ~budgets:aes_only [ regressed; healthy ] = []);
+  (* mixed ceiling + floor budgets check both artefact kinds at once *)
+  let mixed =
+    budgets_of_string
+      {|{"budgets":[{"program":"aes","max_dyn_ckpts":100,"min_instr_per_s":1.0e8}]}|}
+  in
+  let place = place_gen "P" [ ("aes", "g", 90, 1000) ] in
+  Alcotest.(check bool) "ceiling + floor both satisfied" true
+    (St.gate ~budgets:mixed [ place; healthy ] = []);
+  match St.gate ~budgets:mixed [ place; regressed ] with
+  | [ b ] -> Alcotest.(check string) "only the floor trips" "instr_per_s" b.St.br_metric
+  | bs ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 breach, got %d" (List.length bs))
+
 (* ------------------------------------------------------------------ *)
 (* Report.table degenerate inputs                                       *)
 (* ------------------------------------------------------------------ *)
@@ -264,6 +390,8 @@ let suite =
   [
     Alcotest.test_case "stats: generation parsing" `Quick
       test_generation_parsing;
+    Alcotest.test_case "stats: emu generation parsing" `Quick
+      test_emu_generation_parsing;
     Alcotest.test_case "stats: committed artifacts load" `Quick
       test_real_artifacts_load;
     Alcotest.test_case "stats: trend deltas" `Quick test_trend_deltas;
@@ -272,7 +400,9 @@ let suite =
     Alcotest.test_case "stats: top spans and self time" `Quick test_top_spans;
     Alcotest.test_case "stats: worker utilization" `Quick
       test_worker_utilization;
+    Alcotest.test_case "stats: throughput trend" `Quick test_throughput_trend;
     Alcotest.test_case "stats: regression gate" `Quick test_gate;
+    Alcotest.test_case "stats: throughput floor gate" `Quick test_gate_floor;
     Alcotest.test_case "report: degenerate tables" `Quick
       test_table_degenerate;
   ]
