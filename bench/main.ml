@@ -1597,6 +1597,156 @@ let place6 () =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Cache: content-addressed compile cache, cold vs warm (BENCH_8.json)   *)
+(* ------------------------------------------------------------------ *)
+
+(* The compile side of the place sweep — every program × the placement
+   variant matrix — run twice against one on-disk cache: once cold
+   (every stage misses and is stored) and once warm (every compile
+   replays from the image stage).  Before any number is written, every
+   (program, variant) is re-asserted in-process: the warm-cache compile
+   must be byte-identical (Marshal) to a fresh uncached one.  The
+   speedup is a hard gate here AND a budget in stats_budgets.json. *)
+
+let cache_variants =
+  let base = P.default_options in
+  let cg = Wario_transforms.Checkpoint_inserter.Cost_guided in
+  [
+    ("greedy", { base with P.placement = Wario_transforms.Checkpoint_inserter.Greedy });
+    ("cost-guided", { base with P.placement = cg });
+    (* differs from cost-guided only in [elide]: warm-from-cold this is
+       an image-stage recompile (re-link), the incremental path *)
+    ("cost-guided+elide", { base with P.placement = cg; elide = true });
+    ( "interprocedural",
+      {
+        base with
+        P.placement = Wario_transforms.Checkpoint_inserter.Interprocedural;
+        elide = true;
+        motion = true;
+      } );
+  ]
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter
+        (fun n -> remove_tree (Filename.concat path n))
+        (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let cache_bench () =
+  print_endline
+    "\n=== Compile cache: cold vs warm placement-variant sweep \
+     (BENCH_8.json) ===\n";
+  let micros =
+    List.map
+      (fun (m : Wario_workloads.Micro.t) ->
+        (m.Wario_workloads.Micro.name, m.Wario_workloads.Micro.source))
+      Wario_workloads.Micro.all
+  in
+  let benches = List.map (fun (b : W.benchmark) -> (b.W.name, b.W.source)) benchmarks in
+  let progs = if !opt_small then micros else micros @ benches in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wario-bench-cache-%d" (Unix.getpid ()))
+  in
+  remove_tree dir;
+  let cache = Wario.Cache.create dir in
+  let sweep label c =
+    let t0 = Unix.gettimeofday () in
+    let _ : string list =
+      X.map ~jobs:(resolved_jobs ()) ~spans:!spans ~label
+        (fun (name, src) ->
+          List.iter
+            (fun (_, opts) -> ignore (P.compile ~opts ~cache:c P.Wario src))
+            cache_variants;
+          name)
+        progs
+    in
+    Unix.gettimeofday () -. t0
+  in
+  let cold_s = sweep "bench.cache.cold" cache in
+  (* identity gate BEFORE timing the warm sweep or writing any number:
+     for every (program, variant), a cached compile and a fresh
+     uncached compile must agree byte-for-byte on the linked image *)
+  let mismatches =
+    X.map ~jobs:(resolved_jobs ()) ~spans:!spans ~label:"bench.cache.identity"
+      (fun (name, src) ->
+        List.filter_map
+          (fun (vname, opts) ->
+            let cached = P.compile ~opts ~cache P.Wario src in
+            let fresh = P.compile ~opts ~cache:Wario.Cache.disabled P.Wario src in
+            if
+              Marshal.to_string cached.P.image []
+              = Marshal.to_string fresh.P.image []
+            then None
+            else Some (name ^ "/" ^ vname))
+          cache_variants)
+      progs
+    |> List.concat
+  in
+  if mismatches <> [] then
+    failwith
+      ("cache: warm compile not byte-identical to fresh for "
+      ^ String.concat ", " mismatches);
+  Printf.printf
+    "identity: %d program(s) x %d variant(s), cached == fresh byte-for-byte\n"
+    (List.length progs)
+    (List.length cache_variants);
+  let warm_s = sweep "bench.cache.warm" cache in
+  let speedup = cold_s /. Float.max 1e-6 warm_s in
+  let ctr = Wario.Cache.counters cache in
+  print_string
+    (Report.table
+       [ "sweep"; "wall s"; "hits"; "misses"; "evictions" ]
+       [
+         [ "cold"; Printf.sprintf "%.3f" cold_s; "-"; "-"; "-" ];
+         [
+           "warm";
+           Printf.sprintf "%.3f" warm_s;
+           string_of_int ctr.Wario.Cache.hits;
+           string_of_int ctr.Wario.Cache.misses;
+           string_of_int ctr.Wario.Cache.evictions;
+         ];
+       ]);
+  Printf.printf "\nwarm speedup: %.1fx (gate: >= 3x)\n" speedup;
+  (* the acceptance gate, enforced in-process so a regression fails the
+     artefact itself, not just the downstream stats gate *)
+  if speedup < 3.0 then
+    failwith
+      (Printf.sprintf "cache: warm sweep only %.2fx faster than cold" speedup);
+  let json =
+    String.concat ""
+      [
+        "{\n";
+        "  \"bench\": \"cache\",\n";
+        Printf.sprintf "  \"small\": %b,\n" !opt_small;
+        Printf.sprintf "  \"programs\": %d,\n" (List.length progs);
+        Printf.sprintf "  \"variants\": %d,\n" (List.length cache_variants);
+        "  \"cache\": {\n";
+        Printf.sprintf "    \"cold_s\": %.6f,\n" cold_s;
+        Printf.sprintf "    \"warm_s\": %.6f,\n" warm_s;
+        Printf.sprintf "    \"speedup\": %.3f,\n" speedup;
+        Printf.sprintf "    \"hits\": %d,\n" ctr.Wario.Cache.hits;
+        Printf.sprintf "    \"misses\": %d,\n" ctr.Wario.Cache.misses;
+        Printf.sprintf "    \"evictions\": %d,\n" ctr.Wario.Cache.evictions;
+        Printf.sprintf "    \"puts\": %d\n" ctr.Wario.Cache.puts;
+        "  }\n";
+        "}\n";
+      ]
+  in
+  let out = match !opt_out_dir with Some d -> d | None -> "." in
+  let path = Filename.concat out "BENCH_8.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  remove_tree dir
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1606,6 +1756,7 @@ let artefacts =
     ("fig6", fig6); ("fig7", fig7); ("tab3", tab3); ("tab4", tab4);
     ("ext", ext); ("cert", cert); ("profile", profile); ("bechamel", bechamel);
     ("perf", perf); ("emu", emu); ("place", place); ("place6", place6);
+    ("cache", cache_bench);
   ]
 
 (* Redirect stdout to [path] for the duration of [f] (artefact functions

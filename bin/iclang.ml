@@ -108,6 +108,27 @@ let jobs_arg =
         ~doc:
           "Worker domains for parallel work (default and 0: auto — the            host's recommended domain count, which on a single-core host is            the sequential path; 1 = sequential).  Results and output            ordering are identical for every N.")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed compile cache (created if missing; bounded,            LRU-evicted).  Defaults to $(b,WARIO_CACHE_DIR) when that is set;            without either the compile is uncached.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Ignore --cache-dir and WARIO_CACHE_DIR: always recompile.")
+
+let cache_of ~cache_dir ~no_cache =
+  if no_cache then Wario.Cache.disabled
+  else
+    match cache_dir with
+    | Some dir -> Wario.Cache.create dir
+    | None -> Wario.Cache.from_env ()
+
 (* default and 0 = auto (host-sized); anything below 0 is a usage error *)
 let resolve_jobs = function
   | None | Some 0 -> Ok (X.default_jobs ())
@@ -337,7 +358,7 @@ let explain_arg =
 (* --- compile --- *)
 
 let do_compile file benchmark env unroll max_region no_opt placement explain
-    dump_ir dump_asm =
+    dump_ir dump_asm cache_dir no_cache =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok src -> (
@@ -345,7 +366,8 @@ let do_compile file benchmark env unroll max_region no_opt placement explain
         let opts =
           apply_placement placement (opts_of ?max_region ~no_opt unroll)
         in
-        let c = P.compile ~opts env src in
+        let cache = cache_of ~cache_dir ~no_cache in
+        let c = P.compile ~opts ~cache env src in
         if dump_ir then
           print_string (Wario_ir.Ir_printer.program_to_string c.P.ir);
         if dump_asm then
@@ -400,7 +422,7 @@ let compile_cmd =
       ret
         (const do_compile $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
        $ max_region_arg $ no_opt_arg $ placement_arg $ explain_arg $ dump_ir
-       $ dump_asm))
+       $ dump_asm $ cache_dir_arg $ no_cache_arg))
 
 (* --- run --- *)
 
@@ -1200,7 +1222,7 @@ let certify_cmd =
 (* --- pgo --- *)
 
 let do_pgo file benchmark env unroll max_region no_opt power trace stats
-    explain span_out span_jsonl engine =
+    explain span_out span_jsonl engine cache_dir no_cache =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok src -> (
@@ -1210,6 +1232,7 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats
             "pgo needs an instrumented environment (plain-c places no \
              checkpoints)";
         let spans = span_recorder span_out span_jsonl in
+        let cache = cache_of ~cache_dir ~no_cache in
         let opts =
           {
             (opts_of ?max_region ~no_opt unroll) with
@@ -1217,7 +1240,9 @@ let do_pgo file benchmark env unroll max_region no_opt power trace stats
             motion = true;
           }
         in
-        let cs = Wario.Pgo.compile_candidates ~opts ~spans ~engine env src in
+        let cs =
+          Wario.Pgo.compile_candidates ~opts ~spans ~engine ~cache env src
+        in
         let pilot = cs.Wario.Pgo.pilot in
         Printf.printf "pilot: %d cycles under continuous power\n"
           pilot.Wario.Pgo.pilot_cycles;
@@ -1331,7 +1356,158 @@ let pgo_cmd =
       ret
         (const do_pgo $ file_arg $ benchmark_arg $ env_arg $ unroll_arg
        $ max_region_arg $ no_opt_arg $ power $ trace $ stats $ explain_arg
-       $ span_out_arg $ span_jsonl_arg $ engine_arg))
+       $ span_out_arg $ span_jsonl_arg $ engine_arg $ cache_dir_arg
+       $ no_cache_arg))
+
+(* --- serve --- *)
+
+(* The batch front end: JSONL (program, options) jobs in, JSONL results
+   out.  Jobs are canonicalized to pipeline image keys and deduplicated;
+   only distinct keys compile, fanned over an Exec pool, and every job —
+   including the deduplicated aliases and the lines that failed to parse
+   — gets exactly one result line, in input order.  Protocol lives in
+   Wario.Serve; see README "Compile service". *)
+let do_serve input output jobs cache_dir no_cache stats_only span_out
+    span_jsonl =
+  match resolve_jobs jobs with
+  | Error e -> `Error (true, e)
+  | Ok jobs -> (
+      try
+        let module Sv = Wario.Serve in
+        let cache = cache_of ~cache_dir ~no_cache in
+        let spans = span_recorder span_out span_jsonl in
+        let metrics = O.Metrics.create () in
+        let read_lines ic =
+          let rec loop acc =
+            match input_line ic with
+            | line -> loop (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          loop []
+        in
+        let lines =
+          match input with
+          | None | Some "-" -> read_lines stdin
+          | Some path ->
+              let ic = open_in path in
+              Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+                  read_lines ic)
+        in
+        (* blank lines are separators, not jobs *)
+        let lines =
+          List.filteri (fun _ l -> String.trim l <> "") lines
+        in
+        let lookup b =
+          Option.map
+            (fun (x : W.benchmark) -> x.source)
+            (List.find_opt (fun (x : W.benchmark) -> x.name = b) W.all)
+        in
+        let parsed =
+          List.mapi (fun i l -> Sv.job_of_line ~lookup ~index:i l) lines
+        in
+        let oks =
+          List.filteri (fun _ r -> Result.is_ok r) parsed
+          |> List.map Result.get_ok |> Array.of_list
+        in
+        let plan =
+          O.Span.with_span spans "serve.plan" (fun () ->
+              Sv.plan (Array.to_list oks))
+        in
+        O.Metrics.set metrics "serve.jobs" (Array.length oks);
+        O.Metrics.set metrics "serve.distinct" (List.length plan.Sv.p_distinct);
+        (* compile each distinct job once; private metrics registries are
+           merged deterministically at the join, so the cache.<stage>.*
+           counters are reproducible for any --jobs *)
+        let compiled =
+          X.map_with_metrics ~jobs ~spans ~label:"serve.map" ~metrics
+            (fun metrics idx ->
+              let job = oks.(idx) in
+              let t0 = Unix.gettimeofday () in
+              let c, report =
+                P.compile_with_report ~opts:job.Sv.j_opts ~metrics ~cache
+                  job.Sv.j_env job.Sv.j_source
+              in
+              (idx, c, report, (Unix.gettimeofday () -. t0) *. 1000.))
+            plan.Sv.p_distinct
+        in
+        let by_idx = Hashtbl.create 64 in
+        List.iter
+          (fun (idx, c, report, ms) -> Hashtbl.replace by_idx idx (c, report, ms))
+          compiled;
+        let emit =
+          match output with
+          | None | Some "-" -> fun line -> print_endline line
+          | Some path ->
+              let oc = open_out path in
+              at_exit (fun () -> try close_out oc with _ -> ());
+              fun line ->
+                output_string oc line;
+                output_char oc '\n'
+        in
+        let ok_pos = ref 0 in
+        List.iteri
+          (fun i r ->
+            match r with
+            | Error msg ->
+                emit (Sv.error_line ~id:(Printf.sprintf "job-%d" i) msg)
+            | Ok (job : Sv.job) ->
+                let p = !ok_pos in
+                incr ok_pos;
+                let canon = plan.Sv.p_canonical.(p) in
+                let c, report, ms = Hashtbl.find by_idx canon in
+                let dedup_of =
+                  if canon = p then None else Some oks.(canon).Sv.j_id
+                in
+                emit
+                  (Sv.result_line ~stats_only ~job ~key:plan.Sv.p_keys.(p)
+                     ~dedup_of ~stages:report ~wall_ms:ms c))
+          parsed;
+        let ctr = Wario.Cache.counters cache in
+        Printf.eprintf
+          "serve: %d job(s), %d distinct, %d error line(s); cache: %d hit(s), \
+           %d miss(es), %d eviction(s)\n"
+          (List.length parsed)
+          (List.length plan.Sv.p_distinct)
+          (List.length parsed - Array.length oks)
+          ctr.Wario.Cache.hits ctr.Wario.Cache.misses
+          ctr.Wario.Cache.evictions;
+        flush_spans ~process_name:"iclang serve" spans span_out span_jsonl;
+        `Ok ()
+      with
+      | Sys_error e -> `Error (false, e)
+      | Wario_minic.Minic.Error e -> `Error (false, e)
+      | Wario_backend.Isel.Isel_error e -> `Error (false, e))
+
+let serve_cmd =
+  let input =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "in"; "i" ] ~docv:"FILE"
+          ~doc:"JSONL job stream (default and $(b,-): stdin).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"JSONL result stream (default and $(b,-): stdout).")
+  in
+  let stats_only =
+    Arg.(
+      value & flag
+      & info [ "stats-only" ]
+          ~doc:
+            "Omit the run-varying result fields (per-stage cache outcomes,            wall time), leaving only fields that are a pure function of the            job — two serve runs over the same batch, cached or not, then            produce byte-identical output.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Batch compile service: read JSONL (program, options) jobs,            deduplicate them by canonical pipeline stage key, compile each            distinct job once over a parallel pool (reusing the            content-addressed cache), and stream one JSONL result per job in            input order")
+    Term.(
+      ret
+        (const do_serve $ input $ output $ jobs_arg $ cache_dir_arg
+       $ no_cache_arg $ stats_only $ span_out_arg $ span_jsonl_arg))
 
 (* --- stats --- *)
 
@@ -1475,6 +1651,6 @@ let main =
     (Cmd.info "iclang" ~version:"1.0"
        ~doc:"WARio: efficient code generation for intermittent computing")
     [ compile_cmd; run_cmd; trace_cmd; verify_cmd; certify_cmd; pgo_cmd;
-      stats_cmd; list_cmd ]
+      serve_cmd; stats_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

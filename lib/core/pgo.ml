@@ -84,8 +84,16 @@ let compiled_of (cs : candidates) = function
     input (the pilot supplies it); [opts.placement] is forced per
     candidate.  [pilot_fuel] bounds the pilot run. *)
 let compile_candidates ?(opts = Pipeline.default_options) ?metrics
-    ?(spans = S.disabled) ?pilot_fuel ?engine (env : Pipeline.environment)
-    (source : string) : candidates =
+    ?(spans = S.disabled) ?pilot_fuel ?engine ?cache
+    (env : Pipeline.environment) (source : string) : candidates =
+  (* One cache handle (ambient by default) shared by all four candidate
+     compiles: they differ only in placement options, so the front-end
+     and — for the three non-interprocedural candidates — the whole
+     middle end up to placement are parsed/optimized/analyzed once and
+     replayed from the cache thereafter. *)
+  let cache =
+    match cache with Some c -> c | None -> Cache.from_env ()
+  in
   let static_opts =
     {
       opts with
@@ -101,7 +109,8 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
       "pgo.audition" f
   in
   let static_c =
-    audition Static (fun () -> Pipeline.compile ~opts:static_opts ~spans env source)
+    audition Static (fun () ->
+        Pipeline.compile ~opts:static_opts ~spans ~cache env source)
   in
   let pilot =
     S.with_span spans "pgo.pilot" (fun () ->
@@ -113,7 +122,7 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
     audition Profile (fun () ->
         Pipeline.compile
           ~opts:{ static_opts with Pipeline.block_profile = Some pilot.profile }
-          ?metrics ~spans env source)
+          ?metrics ~spans ~cache env source)
   in
   let greedy_c =
     audition Greedy (fun () ->
@@ -123,7 +132,7 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
               static_opts with
               Pipeline.placement = Wario_transforms.Checkpoint_inserter.Greedy;
             }
-          ~spans env source)
+          ~spans ~cache env source)
   in
   (* The interprocedural candidate is a pure static win: call-graph
      weights, cost-coupled expansion and (when [opts.motion] is set)
@@ -137,7 +146,7 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
               Pipeline.placement =
                 Wario_transforms.Checkpoint_inserter.Interprocedural;
             }
-          ~spans env source)
+          ~spans ~cache env source)
   in
   let measure v (c : Pipeline.compiled) =
     S.with_span spans
@@ -185,10 +194,11 @@ let compile_candidates ?(opts = Pipeline.default_options) ?metrics
 
 (** [compile env source]: {!compile_candidates}, keeping only the
     measured guard's choice. *)
-let compile ?opts ?metrics ?spans ?pilot_fuel ?engine
+let compile ?opts ?metrics ?spans ?pilot_fuel ?engine ?cache
     (env : Pipeline.environment) (source : string) : Pipeline.compiled * pilot
     =
   let cs =
-    compile_candidates ?opts ?metrics ?spans ?pilot_fuel ?engine env source
+    compile_candidates ?opts ?metrics ?spans ?pilot_fuel ?engine ?cache env
+      source
   in
   (compiled_of cs cs.pilot.selected, cs.pilot)

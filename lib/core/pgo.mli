@@ -51,6 +51,7 @@ val compile_candidates :
   ?spans:Wario_obs.Span.t ->
   ?pilot_fuel:int ->
   ?engine:Wario_emulator.Emulator.engine ->
+  ?cache:Cache.t ->
   Pipeline.environment ->
   string ->
   candidates
@@ -64,7 +65,12 @@ val compile_candidates :
     ["pgo.measure"] span per measured-guard run with dyn-ckpt/cycle
     counters.  [engine] selects the emulator engine for the measured-guard
     runs (default [Auto] — the block engine; the pilot itself always runs
-    the reference interpreter, per-pc counting requires it).
+    the reference interpreter, per-pc counting requires it).  [cache]
+    (default: the ambient {!Cache.from_env}) is shared by all four
+    candidate compiles: the candidates differ only in placement options,
+    so with a live cache the source is parsed, optimized and analyzed
+    once — the three intraprocedural candidates replay the cached
+    transformed WIR and diverge only from placement down.
     @raise Wario_minic.Minic.Error on front-end errors *)
 
 val compile :
@@ -73,6 +79,7 @@ val compile :
   ?spans:Wario_obs.Span.t ->
   ?pilot_fuel:int ->
   ?engine:Wario_emulator.Emulator.engine ->
+  ?cache:Cache.t ->
   Pipeline.environment ->
   string ->
   Pipeline.compiled * pilot

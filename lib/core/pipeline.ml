@@ -192,13 +192,23 @@ let drop_middle_checkpoint (prog : Ir.program) (n : int) : bool =
     true
   end
 
-(** Run the middle end for [env] on [prog] (mutates it).  A live
-    [metrics] registry records per-pass wall time ([middle.<pass>.ms]) and
-    the headline deltas of each pass as counters. *)
-let middle_end ?(opts = default_options) ?(metrics = M.disabled)
-    ?(spans = S.disabled) (env : environment) (prog : Ir.program) :
-    middle_stats =
-  S.with_span spans "middle" @@ fun () ->
+(* The middle end is split at the placement boundary so the compilation
+   cache can reuse its two halves independently (DESIGN.md §19):
+   [middle_pre] is everything placement-independent (the "transformed
+   WIR" stage — optimization, loop/write clustering, expansion) and
+   [middle_place] is the placement suffix (profile validation, call
+   graph, checkpoint insertion, region bounding, sabotage).  A
+   placement-policy or profile change therefore re-runs only
+   [middle_place] onward from a cached transformed WIR. *)
+
+type pre_middle = {
+  pm_lwc : T.Loop_write_clusterer.stats option;
+  pm_wc_moves : int;
+  pm_expander : T.Expander.stats option;
+}
+
+let middle_pre ~opts ~metrics ~spans (env : environment) (prog : Ir.program) :
+    pre_middle =
   if opts.optimize then
     stage metrics spans "middle.opt_pipeline" (fun () ->
         T.Opt_pipeline.run prog);
@@ -255,6 +265,13 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
         n
     | _ -> 0
   in
+  { pm_lwc = lwc; pm_wc_moves = wc_moves; pm_expander = expander }
+
+let middle_place ~opts ~metrics ~spans (env : environment) (prog : Ir.program)
+    (pre : pre_middle) : middle_stats =
+  let lwc = pre.pm_lwc
+  and expander = pre.pm_expander
+  and wc_moves = pre.pm_wc_moves in
   (* Validate the PGO profile here — after every label-creating transform
      (unrolling, clustering, inlining) has run, so the label set the
      profile is checked against is the one placement will actually see. *)
@@ -363,14 +380,27 @@ let middle_end ?(opts = default_options) ?(metrics = M.disabled)
       | None -> []);
   }
 
+(** Run the middle end for [env] on [prog] (mutates it).  A live
+    [metrics] registry records per-pass wall time ([middle.<pass>.ms]) and
+    the headline deltas of each pass as counters. *)
+let middle_end ?(opts = default_options) ?(metrics = M.disabled)
+    ?(spans = S.disabled) (env : environment) (prog : Ir.program) :
+    middle_stats =
+  S.with_span spans "middle" @@ fun () ->
+  let pre = middle_pre ~opts ~metrics ~spans env prog in
+  middle_place ~opts ~metrics ~spans env prog pre
+
 (** Compile an already-lowered IR program (used by tests and by
     {!compile} after the front end). *)
 (* Weight table for the back end's stack-spill inserter, keyed by mangled
    machine labels (Isel's 1:1 block mapping plus the bare-[fname] prolog
    stub).  Built on the post-middle-end IR, whose block structure the back
-   end preserves; uses the validated profile when one was applied. *)
-let backend_block_weights (middle : middle_stats) (opts : options)
-    (prog : Ir.program) : (string -> float) option =
+   end preserves; uses the validated profile when one was applied.
+   Returned as a concrete table, not a closure, so the machine-program
+   cache stage can marshal it alongside the backend output (the image
+   stage needs it again for elision/motion pricing and the model cost). *)
+let backend_weight_table (middle : middle_stats) (opts : options)
+    (prog : Ir.program) : (string, float) Hashtbl.t option =
   match opts.placement with
   | T.Checkpoint_inserter.Greedy -> None
   | T.Checkpoint_inserter.(Cost_guided | Interprocedural) as pl ->
@@ -430,11 +460,13 @@ let backend_block_weights (middle : middle_stats) (opts : options)
           in
           Hashtbl.replace tbl f.Ir.fname stub_weight)
         prog.Ir.funcs;
-      Some
-        (fun lbl ->
-          match Hashtbl.find_opt tbl lbl with
-          | Some w -> w
-          | None -> A.Costmodel.min_weight)
+      Some tbl
+
+let weights_of_table (tbl : (string, float) Hashtbl.t) : string -> float =
+ fun lbl ->
+  match Hashtbl.find_opt tbl lbl with
+  | Some w -> w
+  | None -> A.Costmodel.min_weight
 
 (* Model-priced dynamic checkpoint cost of a linked image: the placement
    weight of every Ckpt's block, summed.  Functions unreachable from main
@@ -483,32 +515,68 @@ let image_ckpt_cost ~(weights : string -> float) (prog : Ir.program)
     image.Wario_emulator.Image.code;
   !cost
 
+(* The post-placement stage runners, shared verbatim by the uncached
+   {!compile_ir} path and the cache-aware {!compile_with_report} ladder
+   so the two paths cannot drift. *)
+
+let run_backend ~metrics ~spans env ~block_weights (prog : Ir.program) =
+  S.with_span spans "backend" (fun () ->
+      B.Backend.run ~metrics ?block_weights ~config:(backend_config env) prog)
+
+let run_elide ~(opts : options) ~metrics ~spans env ~block_weights
+    (mprog : Wario_machine.Isa.mprog) : Elide.stats option =
+  if
+    opts.elide && env <> Plain
+    && (opts.placement = T.Checkpoint_inserter.Cost_guided
+       || opts.placement = T.Checkpoint_inserter.Interprocedural)
+  then begin
+    let boundary = opts.placement = T.Checkpoint_inserter.Interprocedural in
+    let s =
+      S.with_span spans "backend.elide" (fun () ->
+          let s =
+            M.time metrics "backend.elide.ms" (fun () ->
+                Elide.run ~boundary ?weight:block_weights ~spans mprog)
+          in
+          S.add_counter ~by:s.Elide.elided spans "elided";
+          S.add_counter ~by:s.Elide.boundary_elided spans "boundary_elided";
+          s)
+    in
+    M.set metrics "backend.elide.count" s.Elide.elided;
+    M.set metrics "backend.elide.boundary" s.Elide.boundary_elided;
+    Some s
+  end
+  else None
+
+let run_motion ~(opts : options) ~metrics ~spans env ~block_weights
+    (mprog : Wario_machine.Isa.mprog) : Motion.stats option =
+  match (opts.motion, env, opts.placement, block_weights) with
+  | true, env', T.Checkpoint_inserter.Interprocedural, Some weights
+    when env' <> Plain ->
+      let s =
+        S.with_span spans "backend.motion" (fun () ->
+            let s =
+              M.time metrics "backend.motion.ms" (fun () ->
+                  Motion.run ~weights ~spans mprog)
+            in
+            S.add_counter ~by:s.Motion.applied spans "applied";
+            s)
+      in
+      M.set metrics "backend.motion.applied" s.Motion.applied;
+      Some s
+  | _ -> None
+
+let run_link ~metrics ~spans (mprog : Wario_machine.Isa.mprog) :
+    Wario_emulator.Image.t =
+  let image =
+    stage metrics spans "link" (fun () -> Wario_emulator.Image.link mprog)
+  in
+  M.set metrics "link.text_bytes" image.Wario_emulator.Image.text_bytes;
+  M.set metrics "link.data_bytes" image.Wario_emulator.Image.data_bytes;
+  image
+
 let rec compile_ir ?(opts = default_options) ?(metrics = M.disabled)
     ?(spans = S.disabled) (env : environment) (prog : Ir.program) : compiled =
-  (* Cost-coupled expansion (Interprocedural only) happens here, before
-     the middle end, because each candidate inline is auditioned by a
-     full compile of a program copy.  The trial compiles themselves are
-     never span-instrumented — only the audition total is attributed. *)
-  let trial_expander =
-    match (env, opts.placement) with
-    | Plain, _ -> None
-    | _, T.Checkpoint_inserter.Interprocedural
-      when opts.expander_size_limit > 0 ->
-        let st =
-          S.with_span spans "middle.expander_trials" (fun () ->
-              let st =
-                M.time metrics "middle.expander.ms" (fun () ->
-                    trial_expand ~opts env prog)
-              in
-              S.add_counter ~by:st.T.Expander.candidates spans "candidates";
-              S.add_counter ~by:st.T.Expander.inlined spans "inlined";
-              st)
-        in
-        M.set metrics "middle.expander.candidates" st.T.Expander.candidates;
-        M.set metrics "middle.expander.inlined" st.T.Expander.inlined;
-        Some st
-    | _ -> None
-  in
+  let trial_expander = run_trial_expander ~opts ~metrics ~spans env prog in
   let middle = middle_end ~opts ~metrics ~spans env prog in
   let middle =
     match trial_expander with
@@ -517,59 +585,12 @@ let rec compile_ir ?(opts = default_options) ?(metrics = M.disabled)
   in
   stage metrics spans "middle.ir_verify" (fun () ->
       Wario_ir.Ir_verify.verify_program prog);
-  let block_weights = backend_block_weights middle opts prog in
-  let mprog, backend =
-    S.with_span spans "backend" (fun () ->
-        B.Backend.run ~metrics ?block_weights ~config:(backend_config env)
-          prog)
-  in
-  let elision =
-    if
-      opts.elide && env <> Plain
-      && (opts.placement = T.Checkpoint_inserter.Cost_guided
-         || opts.placement = T.Checkpoint_inserter.Interprocedural)
-    then begin
-      let boundary =
-        opts.placement = T.Checkpoint_inserter.Interprocedural
-      in
-      let s =
-        S.with_span spans "backend.elide" (fun () ->
-            let s =
-              M.time metrics "backend.elide.ms" (fun () ->
-                  Elide.run ~boundary ?weight:block_weights ~spans mprog)
-            in
-            S.add_counter ~by:s.Elide.elided spans "elided";
-            S.add_counter ~by:s.Elide.boundary_elided spans "boundary_elided";
-            s)
-      in
-      M.set metrics "backend.elide.count" s.Elide.elided;
-      M.set metrics "backend.elide.boundary" s.Elide.boundary_elided;
-      Some s
-    end
-    else None
-  in
-  let motion =
-    match (opts.motion, env, opts.placement, block_weights) with
-    | true, env', T.Checkpoint_inserter.Interprocedural, Some weights
-      when env' <> Plain ->
-        let s =
-          S.with_span spans "backend.motion" (fun () ->
-              let s =
-                M.time metrics "backend.motion.ms" (fun () ->
-                    Motion.run ~weights ~spans mprog)
-              in
-              S.add_counter ~by:s.Motion.applied spans "applied";
-              s)
-        in
-        M.set metrics "backend.motion.applied" s.Motion.applied;
-        Some s
-    | _ -> None
-  in
-  let image =
-    stage metrics spans "link" (fun () -> Wario_emulator.Image.link mprog)
-  in
-  M.set metrics "link.text_bytes" image.Wario_emulator.Image.text_bytes;
-  M.set metrics "link.data_bytes" image.Wario_emulator.Image.data_bytes;
+  let wtbl = backend_weight_table middle opts prog in
+  let block_weights = Option.map weights_of_table wtbl in
+  let mprog, backend = run_backend ~metrics ~spans env ~block_weights prog in
+  let elision = run_elide ~opts ~metrics ~spans env ~block_weights mprog in
+  let motion = run_motion ~opts ~metrics ~spans env ~block_weights mprog in
+  let image = run_link ~metrics ~spans mprog in
   let model_cost =
     match block_weights with
     | None -> None
@@ -587,6 +608,31 @@ let rec compile_ir ?(opts = default_options) ?(metrics = M.disabled)
     model_cost;
     text_bytes = image.Wario_emulator.Image.text_bytes;
   }
+
+(* Cost-coupled expansion (Interprocedural only) happens before the
+   middle end, because each candidate inline is auditioned by a full
+   compile of a program copy.  The trial compiles themselves are never
+   span-instrumented — only the audition total is attributed. *)
+and run_trial_expander ~opts ~metrics ~spans (env : environment)
+    (prog : Ir.program) : T.Expander.stats option =
+  match (env, opts.placement) with
+  | Plain, _ -> None
+  | _, T.Checkpoint_inserter.Interprocedural when opts.expander_size_limit > 0
+    ->
+      let st =
+        S.with_span spans "middle.expander_trials" (fun () ->
+            let st =
+              M.time metrics "middle.expander.ms" (fun () ->
+                  trial_expand ~opts env prog)
+            in
+            S.add_counter ~by:st.T.Expander.candidates spans "candidates";
+            S.add_counter ~by:st.T.Expander.inlined spans "inlined";
+            st)
+      in
+      M.set metrics "middle.expander.candidates" st.T.Expander.candidates;
+      M.set metrics "middle.expander.inlined" st.T.Expander.inlined;
+      Some st
+  | _ -> None
 
 (* The audition loop: candidates in descending closed-form benefit, each
    compiled on a copy of the program (expansion disabled; a profile's
@@ -660,9 +706,117 @@ and trial_expand ~opts env (prog : Ir.program) : T.Expander.stats =
   List.iter (fun c -> ignore (T.Expander.apply_candidate prog c)) sel;
   { T.Expander.candidates = List.length cands; inlined = List.length sel }
 
-(** Compile MiniC source text under a software environment. *)
-let compile ?(opts = default_options) ?(metrics = M.disabled)
-    ?(spans = S.disabled) (env : environment) (source : string) : compiled =
+(* ------------------------------------------------------------------ *)
+(* Stage keys and the content-addressed compile (DESIGN.md §19)         *)
+(* ------------------------------------------------------------------ *)
+
+let stage_names = [ "front"; "wir"; "place"; "mach"; "image" ]
+
+(* Mirrors Emulator.create's sampling of WARIO_SAVE_ALL exactly ("" and
+   "0" mean off).  The flag only matters to compilation under
+   [Interprocedural] (trial compiles run the emulator to audition
+   inlines), but it participates in every post-frontend key: the cache
+   must never have to reason about which configurations could have
+   observed it.  Sampled per call, not memoized — tests flip it. *)
+let save_all_sampled () =
+  match Sys.getenv_opt "WARIO_SAVE_ALL" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let canon_bool b = if b then "1" else "0"
+let canon_opt_int = function None -> "-" | Some n -> string_of_int n
+
+let canon_placement = function
+  | T.Checkpoint_inserter.Greedy -> "greedy"
+  | T.Checkpoint_inserter.Cost_guided -> "cost-guided"
+  | T.Checkpoint_inserter.Interprocedural -> "interprocedural"
+
+(* Canonical rendering of a (label, count) profile: sorted, so two
+   permutations of the same counts share a key. *)
+let canon_counts = function
+  | None -> "-"
+  | Some p ->
+      List.sort compare p
+      |> List.map (fun (l, c) -> l ^ ":" ^ string_of_int c)
+      |> String.concat ","
+
+(** The five stage keys of one (source, env, options) compile, in
+    pipeline order.  Each key is a canonical hash of the stage's input
+    artifact (via the parent stage's key) plus exactly the option fields
+    that stage consumes, so incremental recompilation falls out of the
+    chaining: a [placement]/[block_profile] change misses from "place"
+    down but reuses the cached transformed WIR, and an [elide]/[motion]
+    toggle re-runs only the "image" stage (elision + motion + link) on
+    the cached machine program.  The exception is [Interprocedural]
+    expansion, whose audition loop compiles and *runs* full trial
+    programs before the middle end: there the "wir" key conservatively
+    absorbs every option the trial compiles consume (including the
+    sampled WARIO_SAVE_ALL emulator flag). *)
+let stage_keys ?(opts = default_options) (env : environment) (source : string)
+    : (string * Cache.Key.t) list =
+  let k_front = Cache.Key.of_parts [ ("stage", "front"); ("source", source) ] in
+  let inter_trials =
+    opts.placement = T.Checkpoint_inserter.Interprocedural
+    && env <> Plain && opts.expander_size_limit > 0
+  in
+  let k_wir =
+    Cache.Key.of_parts
+      ([
+         ("stage", "wir");
+         ("parent", k_front);
+         ("env", environment_name env);
+         ("save_all", canon_bool (save_all_sampled ()));
+         ("optimize", canon_bool opts.optimize);
+         ("unroll_factor", string_of_int opts.unroll_factor);
+         ("expander_size_limit", string_of_int opts.expander_size_limit);
+         ("expander_profile", canon_counts opts.expander_profile);
+       ]
+      @
+      if inter_trials then
+        [
+          ("trial_placement", "interprocedural");
+          ("trial_max_region", canon_opt_int opts.max_region);
+          ("trial_drop_middle_ckpt", canon_opt_int opts.drop_middle_ckpt);
+          ("trial_elide", canon_bool opts.elide);
+          ("trial_motion", canon_bool opts.motion);
+          ("trial_save_all", canon_bool (save_all_sampled ()));
+        ]
+      else [])
+  in
+  let k_place =
+    Cache.Key.of_parts
+      [
+        ("stage", "place");
+        ("parent", k_wir);
+        ("placement", canon_placement opts.placement);
+        ("block_profile", canon_counts opts.block_profile);
+        ("max_region", canon_opt_int opts.max_region);
+        ("drop_middle_ckpt", canon_opt_int opts.drop_middle_ckpt);
+      ]
+  in
+  let k_mach = Cache.Key.of_parts [ ("stage", "mach"); ("parent", k_place) ] in
+  let k_image =
+    Cache.Key.of_parts
+      [
+        ("stage", "image");
+        ("parent", k_mach);
+        ("elide", canon_bool opts.elide);
+        ("motion", canon_bool opts.motion);
+      ]
+  in
+  [
+    ("front", k_front);
+    ("wir", k_wir);
+    ("place", k_place);
+    ("mach", k_mach);
+    ("image", k_image);
+  ]
+
+let image_key ?opts (env : environment) (source : string) : Cache.Key.t =
+  List.assoc "image" (stage_keys ?opts env source)
+
+let compile_uncached ~opts ~metrics ~spans (env : environment)
+    (source : string) : compiled =
   S.with_span spans
     ~attrs:[ ("env", S.Str (environment_name env)) ]
     "pipeline.compile"
@@ -672,6 +826,162 @@ let compile ?(opts = default_options) ?(metrics = M.disabled)
         Wario_minic.Minic.compile source)
   in
   compile_ir ~opts ~metrics ~spans env prog
+
+(* Stage payloads are marshalled snapshots taken BEFORE any later pass
+   mutates the artifact ([Cache.put] marshals eagerly): the "wir" entry
+   is the program before placement mutates it, the "mach" entry is the
+   machine program before elision/motion rewrite it in place.  Loading
+   an entry yields a fresh structure, so cached prefixes are safe to
+   mutate onward from. *)
+let compile_with_report ?(opts = default_options) ?(metrics = M.disabled)
+    ?(spans = S.disabled) ~(cache : Cache.t) (env : environment)
+    (source : string) : compiled * (string * bool) list =
+  if not (Cache.enabled cache) then
+    (compile_uncached ~opts ~metrics ~spans env source, [])
+  else
+    S.with_span spans
+      ~attrs:
+        [ ("env", S.Str (environment_name env)); ("cached", S.Str "on") ]
+      "pipeline.compile"
+    @@ fun () ->
+    let keys = stage_keys ~opts env source in
+    let k s = List.assoc s keys in
+    let report = ref [] in
+    let note stage hit =
+      Cache.note ~metrics ~spans ~stage hit;
+      report := (stage, hit) :: !report
+    in
+    (* place artifact: the program after the whole middle end (what
+       [compiled.ir] exposes) plus its stats — always materialized, even
+       on a full image hit, because the compiled record carries it *)
+    let prog, middle =
+      match Cache.get cache (k "place") with
+      | Some v ->
+          note "place" true;
+          v
+      | None ->
+          note "place" false;
+          let prog, pre =
+            match Cache.get cache (k "wir") with
+            | Some v ->
+                note "wir" true;
+                v
+            | None ->
+                note "wir" false;
+                let prog =
+                  match Cache.get cache (k "front") with
+                  | Some p ->
+                      note "front" true;
+                      p
+                  | None ->
+                      note "front" false;
+                      let p =
+                        stage metrics spans "frontend" (fun () ->
+                            Wario_minic.Minic.compile source)
+                      in
+                      Cache.put cache ~stage:"front" (k "front") p;
+                      p
+                in
+                let trial =
+                  run_trial_expander ~opts ~metrics ~spans env prog
+                in
+                let pre =
+                  S.with_span spans "middle" (fun () ->
+                      middle_pre ~opts ~metrics ~spans env prog)
+                in
+                let pre =
+                  match trial with
+                  | Some _ -> { pre with pm_expander = trial }
+                  | None -> pre
+                in
+                Cache.put cache ~stage:"wir" (k "wir") (prog, pre);
+                (prog, pre)
+          in
+          let middle =
+            S.with_span spans "middle" (fun () ->
+                middle_place ~opts ~metrics ~spans env prog pre)
+          in
+          stage metrics spans "middle.ir_verify" (fun () ->
+              Wario_ir.Ir_verify.verify_program prog);
+          Cache.put cache ~stage:"place" (k "place") (prog, middle);
+          (prog, middle)
+    in
+    let mprog0, backend, wtbl =
+      match Cache.get cache (k "mach") with
+      | Some v ->
+          note "mach" true;
+          v
+      | None ->
+          note "mach" false;
+          let wtbl = backend_weight_table middle opts prog in
+          let block_weights = Option.map weights_of_table wtbl in
+          let mprog, backend =
+            run_backend ~metrics ~spans env ~block_weights prog
+          in
+          Cache.put cache ~stage:"mach" (k "mach") (mprog, backend, wtbl);
+          (mprog, backend, wtbl)
+    in
+    let mprog, image, elision, motion, model_cost, text_bytes =
+      match Cache.get cache (k "image") with
+      | Some v ->
+          note "image" true;
+          v
+      | None ->
+          note "image" false;
+          let block_weights = Option.map weights_of_table wtbl in
+          let elision =
+            run_elide ~opts ~metrics ~spans env ~block_weights mprog0
+          in
+          let motion =
+            run_motion ~opts ~metrics ~spans env ~block_weights mprog0
+          in
+          let image = run_link ~metrics ~spans mprog0 in
+          let model_cost =
+            match wtbl with
+            | None -> None
+            | Some t ->
+                Some
+                  (image_ckpt_cost ~weights:(weights_of_table t) prog image)
+          in
+          let v =
+            ( mprog0,
+              image,
+              elision,
+              motion,
+              model_cost,
+              image.Wario_emulator.Image.text_bytes )
+          in
+          Cache.put cache ~stage:"image" (k "image") v;
+          v
+    in
+    ( {
+        env;
+        ir = prog;
+        mprog;
+        image;
+        middle;
+        backend;
+        elision;
+        motion;
+        model_cost;
+        text_bytes;
+      },
+      List.rev !report )
+
+(** Compile MiniC source text under a software environment.  With an
+    enabled [cache] (explicit, or ambient via [WARIO_CACHE_DIR] when the
+    argument is omitted) the compile runs through the keyed stage ladder
+    and reuses every cached prefix; with the cache disabled this is the
+    classic single-pass pipeline. *)
+let compile ?(opts = default_options) ?(metrics = M.disabled)
+    ?(spans = S.disabled) ?cache (env : environment) (source : string) :
+    compiled =
+  let cache =
+    match cache with Some c -> c | None -> Cache.from_env ()
+  in
+  if Cache.enabled cache then
+    fst (compile_with_report ~opts ~metrics ~spans ~cache env source)
+  else compile_uncached ~opts ~metrics ~spans env source
 
 (** Static WAR-freedom certification of the linked image (lib/certify):
     translation validation of the whole pipeline above. *)

@@ -116,10 +116,36 @@ val middle_end :
     [Interprocedural] the middle end alone never expands: cost-coupled
     expansion is driven by trial compilation in {!compile_ir}. *)
 
+val stage_names : string list
+(** The five cacheable pipeline stages, in order:
+    ["front"; "wir"; "place"; "mach"; "image"]. *)
+
+val stage_keys :
+  ?opts:options -> environment -> string -> (string * Cache.Key.t) list
+(** Canonical cache keys of each pipeline stage for one
+    (source, environment, options) compile, in {!stage_names} order.
+    Each stage's key covers its parent stage's key plus exactly the
+    option fields that stage consumes, so two compiles share a prefix of
+    keys exactly when the corresponding stage artifacts are reusable:
+    flipping [placement] or [block_profile] changes keys from ["place"]
+    down (the cached transformed WIR is reused), and flipping [elide] or
+    [motion] changes only ["image"] (the cached machine program is
+    re-linked).  Under [Interprocedural] with a non-[Plain] environment,
+    trial expansion compiles and runs whole programs before placement,
+    so the ["wir"] key conservatively absorbs every option (and the
+    sampled [WARIO_SAVE_ALL] flag) those trials consume. *)
+
+val image_key : ?opts:options -> environment -> string -> Cache.Key.t
+(** [stage_keys]' final ("image") key: a canonical fingerprint of the
+    complete compile — every option field and the environment reach it
+    through the key chain.  Used by the verify corpus as its program
+    fingerprint. *)
+
 val compile :
   ?opts:options ->
   ?metrics:Wario_obs.Metrics.t ->
   ?spans:Wario_obs.Span.t ->
+  ?cache:Cache.t ->
   environment ->
   string ->
   compiled
@@ -128,7 +154,29 @@ val compile :
     whole compile in a ["pipeline.compile"] span with per-stage children
     (frontend → middle passes → backend → elide/motion → link), including
     per-recheck certifier spans inside elide/motion.
+
+    [cache] (default: the ambient {!Cache.from_env}, i.e. enabled exactly
+    when [WARIO_CACHE_DIR] is set) routes the compile through the keyed
+    stage ladder of {!compile_with_report}; with a disabled cache this is
+    the classic single-pass pipeline.
     @raise Wario_minic.Minic.Error on front-end errors *)
+
+val compile_with_report :
+  ?opts:options ->
+  ?metrics:Wario_obs.Metrics.t ->
+  ?spans:Wario_obs.Span.t ->
+  cache:Cache.t ->
+  environment ->
+  string ->
+  compiled * (string * bool) list
+(** Cache-aware compile, additionally reporting per-stage cache outcomes
+    as [(stage, hit)] pairs in probe order (deepest reusable stage
+    first; stages that never needed probing are absent).  With a
+    disabled [cache] the report is empty and the compile is uncached.
+    The resulting [compiled] is byte-identical (up to [Marshal]) to an
+    uncached compile of the same inputs — enforced by the test suite and
+    re-asserted in-process by the cache bench before any number is
+    written. *)
 
 val compile_ir :
   ?opts:options ->

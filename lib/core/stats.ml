@@ -29,6 +29,15 @@ type tpoint = {
   tp_block_ips : float;
 }
 
+type cache_point = {
+  cp_cold_s : float;
+  cp_warm_s : float;
+  cp_speedup : float;
+  cp_hits : int;
+  cp_misses : int;
+  cp_evictions : int;
+}
+
 type generation = {
   g_label : string;
   g_kind : string;
@@ -36,6 +45,7 @@ type generation = {
   g_points : point list;
   g_emulator_ips : float option;
   g_throughput : tpoint list;
+  g_cache : cache_point option;
 }
 
 let generation_of_json ~label (doc : J.t) : (generation, string) result =
@@ -86,8 +96,37 @@ let generation_of_json ~label (doc : J.t) : (generation, string) result =
                 })
               progs
     in
+    (* cache artefacts (BENCH_8) carry one cold/warm compile summary,
+       no per-program placement points *)
+    let cache_pt =
+      if kind <> "cache" then None
+      else
+        match J.member "cache" doc with
+        | None -> fail "cache artefact missing \"cache\" object"
+        | Some c ->
+            let flt field =
+              match Option.bind (J.member field c) J.to_float with
+              | Some f -> f
+              | None -> fail "cache summary missing %S" field
+            in
+            let int0 field =
+              Option.value ~default:0 (Option.bind (J.member field c) J.to_int)
+            in
+            Some
+              {
+                cp_cold_s = flt "cold_s";
+                cp_warm_s = flt "warm_s";
+                cp_speedup = flt "speedup";
+                cp_hits = int0 "hits";
+                cp_misses = int0 "misses";
+                cp_evictions = int0 "evictions";
+              }
+    in
     let points =
-      match (if kind = "emu" then None else J.member "programs" doc) with
+      match
+        (if kind = "emu" || kind = "cache" then None
+         else J.member "programs" doc)
+      with
       | None -> []
       | Some progs ->
           let progs =
@@ -139,6 +178,7 @@ let generation_of_json ~label (doc : J.t) : (generation, string) result =
         g_points = points;
         g_emulator_ips = ips;
         g_throughput = throughput;
+        g_cache = cache_pt;
       }
   with Bad msg -> Error msg
 
@@ -269,6 +309,20 @@ let render_trend (gens : generation list) : string =
                g.g_label g.g_kind
                (if g.g_small then ", small" else "")
                (ips /. 1e6))
+      | None -> ())
+    gens;
+  List.iter
+    (fun g ->
+      match g.g_cache with
+      | Some c ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "%s (cache%s): cold %.2fs -> warm %.2fs (%.1fx); %d hit(s), \
+                %d miss(es), %d eviction(s)\n"
+               g.g_label
+               (if g.g_small then ", small" else "")
+               c.cp_cold_s c.cp_warm_s c.cp_speedup c.cp_hits c.cp_misses
+               c.cp_evictions)
       | None -> ())
     gens;
   let tgens = throughput_gens gens in
@@ -490,6 +544,8 @@ type budget = {
   b_max_dyn_ckpts : int option;
   b_max_cycles : int option;
   b_min_instr_per_s : float option;
+  b_max_warm_compile_s : float option;
+  b_min_cache_speedup : float option;
 }
 
 let budgets_of_json (doc : J.t) : (budget list, string) result =
@@ -515,6 +571,10 @@ let budgets_of_json (doc : J.t) : (budget list, string) result =
              b_max_cycles = opt_int "max_cycles";
              b_min_instr_per_s =
                Option.bind (J.member "min_instr_per_s" e) J.to_float;
+             b_max_warm_compile_s =
+               Option.bind (J.member "max_warm_compile_s" e) J.to_float;
+             b_min_cache_speedup =
+               Option.bind (J.member "min_cache_speedup" e) J.to_float;
            })
          entries)
   with Bad msg -> Error msg
@@ -542,6 +602,14 @@ let gate ~(budgets : budget list) (gens : generation list) : breach list =
         match List.find_opt (fun t -> t.tp_program = name) g.g_throughput with
         | Some t -> Some t
         | None -> acc)
+      None gens
+  in
+  (* cache artefacts carry one batch summary, not per-program points: a
+     cache budget gates against the newest cache generation, whatever its
+     label *)
+  let newest_cache =
+    List.fold_left
+      (fun acc g -> match g.g_cache with Some c -> Some c | None -> acc)
       None gens
   in
   List.concat_map
@@ -604,7 +672,52 @@ let gate ~(budgets : budget list) (gens : generation list) : breach list =
                 ]
             | Some _ -> [])
       in
-      placement_breaches @ throughput_breaches)
+      let cache_breaches =
+        (* integer-rendered units: warm compile seconds as ms (ceiling),
+           speedup as percent (floor) — keeps the breach record integral *)
+        if b.b_max_warm_compile_s = None && b.b_min_cache_speedup = None then
+          []
+        else
+          match newest_cache with
+          | None ->
+              [
+                {
+                  br_program = b.b_program;
+                  br_metric = "cache missing";
+                  br_actual = None;
+                  br_limit = 0;
+                };
+              ]
+          | Some c ->
+              let ceiling =
+                match b.b_max_warm_compile_s with
+                | Some limit when c.cp_warm_s > limit ->
+                    [
+                      {
+                        br_program = b.b_program;
+                        br_metric = "warm_compile_ms";
+                        br_actual = Some (int_of_float (c.cp_warm_s *. 1000.));
+                        br_limit = int_of_float (limit *. 1000.);
+                      };
+                    ]
+                | _ -> []
+              in
+              let floor =
+                match b.b_min_cache_speedup with
+                | Some limit when c.cp_speedup < limit ->
+                    [
+                      {
+                        br_program = b.b_program;
+                        br_metric = "cache_speedup_pct";
+                        br_actual = Some (int_of_float (c.cp_speedup *. 100.));
+                        br_limit = int_of_float (limit *. 100.);
+                      };
+                    ]
+                | _ -> []
+              in
+              ceiling @ floor
+      in
+      placement_breaches @ throughput_breaches @ cache_breaches)
     budgets
 
 let render_breaches (breaches : breach list) : string =
@@ -621,8 +734,8 @@ let render_breaches (breaches : breach list) : string =
               | None -> "absent from every generation"
               | Some a -> string_of_int a);
               (match br.br_metric with
-              | "missing" -> "-"
-              | "instr_per_s missing" | "instr_per_s" ->
+              | "missing" | "cache missing" -> "-"
+              | "instr_per_s missing" | "instr_per_s" | "cache_speedup_pct" ->
                   ">= " ^ string_of_int br.br_limit
               | _ -> "<= " ^ string_of_int br.br_limit);
             ])

@@ -32,6 +32,15 @@ type tpoint = {
   tp_block_ips : float;
 }
 
+type cache_point = {
+  cp_cold_s : float;  (** wall seconds of the cold-cache sweep *)
+  cp_warm_s : float;  (** wall seconds of the identical warm sweep *)
+  cp_speedup : float;  (** [cp_cold_s /. cp_warm_s] *)
+  cp_hits : int;
+  cp_misses : int;
+  cp_evictions : int;
+}
+
 type generation = {
   g_label : string;  (** e.g. ["BENCH_5"] — the file's base name *)
   g_kind : string;  (** the artefact's ["bench"] field *)
@@ -42,13 +51,16 @@ type generation = {
   g_throughput : tpoint list;
       (** emu artefacts (BENCH_7): per-program per-engine instr/s; empty
           for every other artefact kind *)
+  g_cache : cache_point option;
+      (** cache artefacts (BENCH_8): the compile-cache cold/warm summary *)
 }
 
 val generation_of_json :
   label:string -> Wario_support.Json.t -> (generation, string) result
 (** Accepts every BENCH schema in the repo: [perf] (no programs),
     [place] / [place6] (programs × variants), [emu] (programs × engines —
-    parsed into [g_throughput], not [g_points]).  Each placement program's
+    parsed into [g_throughput], not [g_points]), [cache] (one cold/warm
+    compile summary, parsed into [g_cache]).  Each placement program's
     point is its {e selected} variant's continuous-power numbers. *)
 
 val load_generation : label:string -> string -> (generation, string) result
@@ -125,6 +137,12 @@ type budget = {
       (** a {e floor} on the block engine's continuous-power instr/s (the
           newest emu generation) — the inverted comparison: falling under
           it is the breach *)
+  b_max_warm_compile_s : float option;
+      (** ceiling on the warm-cache sweep's wall seconds (the newest
+          cache generation); breaches render in milliseconds *)
+  b_min_cache_speedup : float option;
+      (** floor on cold/warm speedup of the newest cache generation;
+          breaches render in percent *)
 }
 
 val budgets_of_json :

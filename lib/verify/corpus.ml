@@ -37,18 +37,36 @@ type entry = {
   e_expect : expect;
   e_supply : string option;  (** Supply.name of the generator that found it *)
   e_found_by : string option;  (** e.g. ["campaign"], ["adversary"] *)
-  e_program_hash : int64 option;
-      (** fingerprint of (env, options, source) at recording time *)
+  e_program_hash : string option;
+      (** fingerprint of (env, options, source) at recording time: 32 hex
+          chars (the pipeline's canonical image-stage cache key), or a
+          legacy ≤16-hex FNV digest on entries recorded before the cache
+          existed *)
 }
 
 (* ------------------------------------------------------------------ *)
 (* Program fingerprint                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Hash the replay's inputs, not its binary: source text, environment and
-   the option fields a reproducer carries.  Stable across OCaml versions
-   (FNV over bytes) — safe to commit. *)
-let program_hash (r : Repro.t) : int64 option =
+(* The fingerprint is the pipeline's own image-stage cache key: a
+   canonical hash of the replay's inputs — source text, environment and
+   EVERY option field, chained through the per-stage key derivation the
+   compile cache uses (Pipeline.stage_keys).  One fingerprint scheme for
+   the whole repo: whatever would make the cache recompile also marks a
+   corpus entry stale.  Stable across runs (FNV over canonical bytes);
+   the cache format version participates, so a payload-format bump
+   retires old fingerprints to STALE instead of silently matching. *)
+let program_hash (r : Repro.t) : string option =
+  match Repro.source_of_workload r.Repro.workload with
+  | Error _ -> None
+  | Ok source ->
+      let opts = Repro.options_of r in
+      Some (Wario.Cache.Key.to_hex (P.image_key ~opts r.Repro.env source))
+
+(* The pre-cache digest (entries recorded before the stage-key scheme):
+   FNV over environment, source and the three option fields a reproducer
+   carried back then.  Kept only to judge staleness of legacy entries. *)
+let legacy_program_hash (r : Repro.t) : int64 option =
   match Repro.source_of_workload r.Repro.workload with
   | Error _ -> None
   | Ok source ->
@@ -68,6 +86,8 @@ let program_hash (r : Repro.t) : int64 option =
           ]
       in
       Some (U.fnv1a64 canon)
+
+let is_legacy_hash (h : string) = String.length h <> 32
 
 let make ?supply ?found_by ~(expect : expect) (repro : Repro.t) : entry =
   {
@@ -96,7 +116,7 @@ let to_string (e : entry) : string =
   | Some s -> Buffer.add_string buf (Printf.sprintf " (found-by %s)" s));
   (match e.e_program_hash with
   | None -> ()
-  | Some h -> Buffer.add_string buf (Printf.sprintf " (program-hash %Lx)" h));
+  | Some h -> Buffer.add_string buf (Printf.sprintf " (program-hash %s)" h));
   Buffer.add_char buf ' ';
   Buffer.add_string buf (Repro.to_string e.e_repro);
   Buffer.add_char buf ')';
@@ -125,10 +145,23 @@ let of_string (s : string) : (entry, string) result =
               supply := Some s
           | Repro.List [ Repro.Atom "found-by"; Repro.Atom s ] ->
               found_by := Some s
-          | Repro.List [ Repro.Atom "program-hash"; Repro.Atom h ] -> (
-              match Int64.of_string_opt ("0x" ^ h) with
-              | Some v -> hash := Some v
-              | None -> fail ("program-hash: not a hex integer: " ^ h))
+          | Repro.List [ Repro.Atom "program-hash"; Repro.Atom h ] ->
+              let hex_ok =
+                h <> ""
+                && String.for_all
+                     (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+                     h
+              in
+              if not hex_ok then
+                fail ("program-hash: not a hex digest: " ^ h)
+              else begin
+                if is_legacy_hash h then
+                  Printf.eprintf
+                    "corpus: deprecated legacy program-hash %s (re-save the \
+                     entry to upgrade it to the 32-hex stage-key format)\n%!"
+                    h;
+                hash := Some h
+              end
           | Repro.List (Repro.Atom "repro" :: _) as sx -> (
               match Repro.of_sexp sx with
               | Ok r -> repro := Some r
@@ -218,9 +251,18 @@ type verdict = {
 
 let replay (e : entry) : verdict =
   let stale =
-    match (e.e_program_hash, program_hash e.e_repro) with
-    | Some recorded, Some now -> not (Int64.equal recorded now)
-    | _ -> false
+    match e.e_program_hash with
+    | None -> false
+    | Some recorded when is_legacy_hash recorded -> (
+        (* legacy entry: judge staleness by the scheme it was recorded
+           under, so pre-cache corpora keep replaying as non-stale *)
+        match legacy_program_hash e.e_repro with
+        | Some now -> recorded <> Printf.sprintf "%Lx" now
+        | None -> false)
+    | Some recorded -> (
+        match program_hash e.e_repro with
+        | Some now -> recorded <> now
+        | None -> false)
   in
   let ok, message =
     match (Harness.replay e.e_repro, e.e_expect) with

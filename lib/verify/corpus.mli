@@ -15,14 +15,21 @@ type entry = {
   e_expect : expect;
   e_supply : string option;  (** {!Supply.name} of the generator, if any *)
   e_found_by : string option;  (** e.g. ["campaign"], ["adversary"] *)
-  e_program_hash : int64 option;
-      (** fingerprint of (env, options, source) at recording time *)
+  e_program_hash : string option;
+      (** fingerprint of (env, options, source) at recording time: 32 hex
+          chars — the pipeline's canonical image-stage cache key
+          ({!Wario.Pipeline.image_key}) — or a legacy ≤16-hex FNV digest
+          on entries recorded before the compile cache existed (parsed
+          with a deprecation warning; staleness is judged under the
+          scheme the entry was recorded with) *)
 }
 
-val program_hash : Repro.t -> int64 option
-(** FNV-1a over the replay inputs (environment name, workload source and
-    the option fields the reproducer carries); [None] for an unknown
-    workload.  Stable across runs and OCaml versions. *)
+val program_hash : Repro.t -> string option
+(** The canonical fingerprint of the replay's compile:
+    {!Wario.Pipeline.image_key} over the workload source, environment and
+    the reproducer's options — the same hash that addresses the compile
+    cache, so whatever would make the cache recompile also marks the
+    entry stale.  [None] for an unknown workload.  Stable across runs. *)
 
 val make : ?supply:string -> ?found_by:string -> expect:expect -> Repro.t -> entry
 (** Build an entry, computing {!program_hash}. *)

@@ -19,5 +19,6 @@ let () =
       ("campaign", Test_campaign.suite);
       ("certify", Test_certify.suite);
       ("place", Test_place.suite);
+      ("cache", Test_cache.suite);
       ("properties", Test_props.suite @ Test_props.structural_suite);
     ]
